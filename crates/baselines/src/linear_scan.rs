@@ -1,0 +1,217 @@
+//! The no-index baseline: exact brute-force top-k over all entities.
+//!
+//! "One baseline approach is what one would do without our work —
+//! answering the top-k entity queries without using an index by iterating
+//! over all possible entities" (§VI-B). Besides serving as a baseline,
+//! this is the ground-truth oracle the precision@K accuracy figures
+//! compare against.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vkg_embed::EmbeddingStore;
+use vkg_kg::{EntityId, RelationId};
+
+/// Exact brute-force query processing over an embedding store.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScan<'a> {
+    store: &'a EmbeddingStore,
+}
+
+#[derive(Debug, PartialEq)]
+struct Entry {
+    distance: f64,
+    id: u32,
+}
+
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then(self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> LinearScan<'a> {
+    /// Wraps an embedding store.
+    pub fn new(store: &'a EmbeddingStore) -> Self {
+        Self { store }
+    }
+
+    /// Exact top-k nearest entities to an arbitrary S₁ point, excluding
+    /// those for which `skip` returns true. Results ascend by distance.
+    pub fn top_k_near(
+        &self,
+        q_s1: &[f64],
+        k: usize,
+        mut skip: impl FnMut(u32) -> bool,
+    ) -> Vec<(u32, f64)> {
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+        for id in 0..self.store.num_entities() as u32 {
+            if skip(id) {
+                continue;
+            }
+            let d = self.store.distance_to_entity(q_s1, EntityId(id));
+            if heap.len() < k {
+                heap.push(Entry { distance: d, id });
+            } else if let Some(top) = heap.peek() {
+                if d < top.distance {
+                    heap.pop();
+                    heap.push(Entry { distance: d, id });
+                }
+            }
+        }
+        let mut v: Vec<Entry> = heap.into_vec();
+        v.sort();
+        v.into_iter().map(|e| (e.id, e.distance)).collect()
+    }
+
+    /// Exact top-k tails for `(h, r, ·)` — query center `h + r`.
+    pub fn top_k_tails(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        k: usize,
+        skip: impl FnMut(u32) -> bool,
+    ) -> Vec<(u32, f64)> {
+        let q = self.store.tail_query_point(h, r);
+        self.top_k_near(&q, k, skip)
+    }
+
+    /// Exact top-k heads for `(·, r, t)` — query center `t − r`.
+    pub fn top_k_heads(
+        &self,
+        t: EntityId,
+        r: RelationId,
+        k: usize,
+        skip: impl FnMut(u32) -> bool,
+    ) -> Vec<(u32, f64)> {
+        let q = self.store.head_query_point(t, r);
+        self.top_k_near(&q, k, skip)
+    }
+
+    /// All entities within S₁ distance `radius` of `q_s1`, ascending by
+    /// distance (ground truth for the aggregate-query figures).
+    pub fn within_radius(
+        &self,
+        q_s1: &[f64],
+        radius: f64,
+        mut skip: impl FnMut(u32) -> bool,
+    ) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        for id in 0..self.store.num_entities() as u32 {
+            if skip(id) {
+                continue;
+            }
+            let d = self.store.distance_to_entity(q_s1, EntityId(id));
+            if d <= radius {
+                out.push((id, d));
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Exact maximum-inner-product top-k over row-major `data` (`n × dim`) —
+/// the ground truth H2-ALSH is measured against.
+pub fn exact_mips_top_k(data: &[f64], dim: usize, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+    assert_eq!(data.len() % dim, 0, "matrix shape mismatch");
+    assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    let mut scored: Vec<(u32, f64)> = data
+        .chunks_exact(dim)
+        .enumerate()
+        .map(|(i, row)| {
+            let ip: f64 = row.iter().zip(q).map(|(a, b)| a * b).sum();
+            (i as u32, ip)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EmbeddingStore {
+        // 5 entities on a line, 1 relation translating by +1.
+        EmbeddingStore::from_raw(
+            2,
+            vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0],
+            vec![1.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn top_k_near_is_exact_and_sorted() {
+        let s = store();
+        let scan = LinearScan::new(&s);
+        let r = scan.top_k_near(&[1.9, 0.0], 3, |_| false);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].0, 2);
+        assert_eq!(r[1].0, 1);
+        assert_eq!(r[2].0, 3);
+        assert!(r[0].1 <= r[1].1 && r[1].1 <= r[2].1);
+    }
+
+    #[test]
+    fn skip_filters() {
+        let s = store();
+        let scan = LinearScan::new(&s);
+        let r = scan.top_k_near(&[1.9, 0.0], 2, |id| id == 2);
+        assert_eq!(r[0].0, 1);
+        assert_eq!(r[1].0, 3);
+    }
+
+    #[test]
+    fn tails_use_translation() {
+        let s = store();
+        let scan = LinearScan::new(&s);
+        // h = e1 (1,0), r = (+1, 0) → q = (2,0) → nearest is e2.
+        let r = scan.top_k_tails(EntityId(1), RelationId(0), 1, |_| false);
+        assert_eq!(r[0].0, 2);
+        assert_eq!(r[0].1, 0.0);
+    }
+
+    #[test]
+    fn heads_invert_translation() {
+        let s = store();
+        let scan = LinearScan::new(&s);
+        // t = e3 (3,0), r = (+1,0) → q = (2,0) → nearest head is e2.
+        let r = scan.top_k_heads(EntityId(3), RelationId(0), 1, |_| false);
+        assert_eq!(r[0].0, 2);
+    }
+
+    #[test]
+    fn within_radius_collects_ball() {
+        let s = store();
+        let scan = LinearScan::new(&s);
+        let r = scan.within_radius(&[2.0, 0.0], 1.5, |_| false);
+        let ids: Vec<u32> = r.iter().map(|x| x.0).collect();
+        assert_eq!(ids, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let s = store();
+        let scan = LinearScan::new(&s);
+        let r = scan.top_k_near(&[0.0, 0.0], 50, |_| false);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn exact_mips() {
+        let data = vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7];
+        let r = exact_mips_top_k(&data, 2, &[1.0, 0.2], 2);
+        assert_eq!(r[0].0, 0, "(1,0)·(1,0.2) = 1.0 wins");
+        assert_eq!(r[1].0, 2, "(0.7,0.7)·(1,0.2) = 0.84 second");
+    }
+}

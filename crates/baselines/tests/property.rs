@@ -1,0 +1,107 @@
+//! Property-based tests for the baselines: the PH-tree must agree with
+//! brute force; H2-ALSH's partitioning must be a valid cover; the linear
+//! scan is the definitional ground truth.
+
+use proptest::prelude::*;
+use vkg_baselines::{H2Alsh, H2AlshConfig, PhTree};
+
+fn arb_matrix(max_rows: usize, dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, dim..=max_rows * dim)
+        .prop_map(move |mut v| {
+            v.truncate(v.len() / dim * dim);
+            v
+        })
+}
+
+fn brute_nn(data: &[f64], dim: usize, q: &[f64]) -> (u32, f64) {
+    let mut best = (0u32, f64::INFINITY);
+    for (i, row) in data.chunks_exact(dim).enumerate() {
+        let d: f64 = row.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+        if d < best.1 {
+            best = (i as u32, d);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PH-tree nearest neighbour matches brute force up to quantization
+    /// ties (distances equal within one quantum in each dimension).
+    #[test]
+    fn phtree_nearest_matches_brute(
+        data in arb_matrix(60, 3),
+        q in prop::collection::vec(-12.0f64..12.0, 3),
+    ) {
+        let tree = PhTree::build(data.clone(), 3);
+        let got = tree.top_k(&q, 1, |_| false);
+        prop_assert_eq!(got.len(), 1.min(data.len() / 3));
+        if let Some(&(id, dist)) = got.first() {
+            let (bid, bdist) = brute_nn(&data, 3, &q);
+            // Either the same id, or an equally close point (quantization
+            // can flip exact ties).
+            prop_assert!(
+                id == bid || (dist * dist - bdist).abs() < 1e-6,
+                "tree picked {id} at {dist}, brute {bid} at {}",
+                bdist.sqrt()
+            );
+        }
+    }
+
+    /// PH-tree results are sorted and k-bounded with all ids valid.
+    #[test]
+    fn phtree_results_well_formed(data in arb_matrix(80, 2), k in 0usize..12) {
+        let n = data.len() / 2;
+        let tree = PhTree::build(data, 2);
+        let r = tree.top_k(&[0.0, 0.0], k, |_| false);
+        prop_assert!(r.len() <= k.min(n));
+        for w in r.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-9);
+        }
+        let mut ids: Vec<u32> = r.iter().map(|x| x.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), r.len(), "duplicate ids in result");
+        prop_assert!(ids.iter().all(|&i| (i as usize) < n));
+    }
+
+    /// H2-ALSH's homocentric partitions cover every item exactly once
+    /// and respect the norm-ratio contract.
+    #[test]
+    fn h2alsh_partition_cover(data in arb_matrix(60, 4), ratio in 0.5f64..0.95) {
+        let n = data.len() / 4;
+        let cfg = H2AlshConfig {
+            norm_ratio: ratio,
+            ..H2AlshConfig::default()
+        };
+        let idx = H2Alsh::build(data, 4, cfg);
+        prop_assert_eq!(idx.len(), n);
+        if n > 0 {
+            prop_assert!(idx.num_partitions() >= 1);
+            prop_assert!(idx.num_partitions() <= n);
+        }
+    }
+
+    /// H2-ALSH never returns skipped ids, never duplicates, and orders
+    /// results by descending inner product.
+    #[test]
+    fn h2alsh_results_well_formed(
+        data in arb_matrix(50, 3),
+        q in prop::collection::vec(-5.0f64..5.0, 3),
+        banned in 0u32..50,
+    ) {
+        let n = data.len() / 3;
+        let idx = H2Alsh::build(data, 3, H2AlshConfig::default());
+        let r = idx.top_k_mips(&q, 5, |id| id == banned);
+        prop_assert!(r.iter().all(|x| x.0 != banned));
+        for w in r.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-9);
+        }
+        let mut ids: Vec<u32> = r.iter().map(|x| x.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), r.len());
+        prop_assert!(ids.iter().all(|&i| (i as usize) < n));
+    }
+}

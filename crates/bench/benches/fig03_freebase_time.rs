@@ -1,0 +1,103 @@
+//! Criterion counterpart of Figure 3: steady-state top-k query latency
+//! per method on the Freebase-like dataset.
+//!
+//! (The `run_experiments` binary reports the full figure including index
+//! build time and the 1st/6th/11th/16th query; Criterion measures the
+//! steady state rigorously.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use vkg::prelude::*;
+use vkg_bench::setup::{self, Scale};
+use vkg_bench::workload;
+
+fn bench_fig3(c: &mut Criterion) {
+    let p = setup::freebase(Scale::Smoke, 24);
+    let queries = workload::generate(&p.dataset.graph, 256, 0xBE_3);
+    let scan = LinearScan::new(&p.embeddings);
+    let phtree = PhTree::build(p.embeddings.entity_matrix().to_vec(), p.embeddings.dim());
+
+    let mut group = c.benchmark_group("fig03_freebase_topk");
+
+    group.bench_function("no_index", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            let known: HashSet<u32> = match q.direction {
+                Direction::Tails => p.dataset.graph.tails(q.entity, q.relation).map(|e| e.0).collect(),
+                Direction::Heads => p.dataset.graph.heads(q.entity, q.relation).map(|e| e.0).collect(),
+            };
+            let skip = |id: u32| id == q.entity.0 || known.contains(&id);
+            black_box(match q.direction {
+                Direction::Tails => scan.top_k_tails(q.entity, q.relation, 10, skip),
+                Direction::Heads => scan.top_k_heads(q.entity, q.relation, 10, skip),
+            })
+        })
+    });
+
+    group.bench_function("ph_tree", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            let q_s1 = match q.direction {
+                Direction::Tails => p.embeddings.tail_query_point(q.entity, q.relation),
+                Direction::Heads => p.embeddings.head_query_point(q.entity, q.relation),
+            };
+            black_box(phtree.top_k(&q_s1, 10, |id| id == q.entity.0))
+        })
+    });
+
+    // Warmed engines: cracking has converged, so iterations measure the
+    // steady state of each method.
+    let strategies: [(&str, VkgConfig); 4] = [
+        ("bulk_load", vkg_bench::setup::bench_config()),
+        ("cracking_greedy", vkg_bench::setup::bench_config()),
+        (
+            "cracking_2choice",
+            VkgConfig {
+                split_strategy: SplitStrategy::TopK { choices: 2 },
+                ..vkg_bench::setup::bench_config()
+            },
+        ),
+        (
+            "cracking_4choice",
+            VkgConfig {
+                split_strategy: SplitStrategy::TopK { choices: 4 },
+                ..vkg_bench::setup::bench_config()
+            },
+        ),
+    ];
+    for (name, cfg) in strategies {
+        let mut engine = if name == "bulk_load" {
+            p.engine_bulk(cfg)
+        } else {
+            p.engine(cfg)
+        };
+        // Warm-up: run the paper's "first query issued offline" plus a
+        // few more to converge the cracking.
+        for q in queries.iter().take(20) {
+            let _ = workload::run(&mut engine, q, 10);
+        }
+        let qs = queries.clone();
+        group.bench_function(name, move |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(workload::run(&mut engine, q, 10))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig3
+}
+criterion_main!(benches);

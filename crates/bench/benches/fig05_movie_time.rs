@@ -1,0 +1,90 @@
+//! Criterion counterpart of Figure 5: movie-like dataset, α = 3 vs 6,
+//! with H2-ALSH on the single "likes" relation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vkg::prelude::*;
+use vkg_bench::setup::{self, Scale};
+use vkg_bench::workload;
+
+fn bench_fig5(c: &mut Criterion) {
+    let p = setup::movie(Scale::Smoke, 24);
+    let queries = workload::generate(&p.dataset.graph, 256, 0xBE_5);
+
+    let mut group = c.benchmark_group("fig05_movie_topk");
+
+    for alpha in [3usize, 6] {
+        let cfg = VkgConfig {
+            alpha,
+            ..vkg_bench::setup::bench_config()
+        };
+        let mut engine = p.engine(cfg.clone());
+        for q in queries.iter().take(20) {
+            let _ = workload::run(&mut engine, q, 10);
+        }
+        let qs = queries.clone();
+        group.bench_function(format!("cracking_alpha{alpha}"), move |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(workload::run(&mut engine, q, 10))
+            })
+        });
+
+        let mut bulk = p.engine_bulk(cfg);
+        let qs = queries.clone();
+        group.bench_function(format!("bulk_alpha{alpha}"), move |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(workload::run(&mut bulk, q, 10))
+            })
+        });
+    }
+
+    // H2-ALSH: single relation MIPS over the movie vectors.
+    let d = p.embeddings.dim();
+    let movies: Vec<EntityId> = (0..p.dataset.graph.num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| {
+            p.dataset
+                .graph
+                .entity_name(e)
+                .is_some_and(|n| n.starts_with("movie_"))
+        })
+        .collect();
+    let mut data = Vec::with_capacity(movies.len() * d);
+    for &m in &movies {
+        data.extend_from_slice(p.embeddings.entity(m));
+    }
+    let idx = H2Alsh::build(data, d, H2AlshConfig::default());
+    let users: Vec<EntityId> = (0..p.dataset.graph.num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| {
+            p.dataset
+                .graph
+                .entity_name(e)
+                .is_some_and(|n| n.starts_with("user_"))
+        })
+        .collect();
+    group.bench_function("h2alsh_likes", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = users[i % users.len()];
+            i += 1;
+            black_box(idx.top_k_mips(p.embeddings.entity(u), 10, |_| false))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig5
+}
+criterion_main!(benches);

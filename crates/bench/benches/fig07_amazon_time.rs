@@ -1,0 +1,81 @@
+//! Criterion counterpart of Figure 7: amazon-like dataset, varying k
+//! (2 vs 10) for our cracking index and for H2-ALSH.
+//!
+//! The paper's finding: changing k barely affects the tree index (the
+//! extra results sit in the same node) but does affect H2-ALSH, and
+//! H2-ALSH degrades much faster as the dataset grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vkg::prelude::*;
+use vkg_bench::setup::{self, Scale};
+use vkg_bench::workload;
+
+fn bench_fig7(c: &mut Criterion) {
+    let p = setup::amazon(Scale::Smoke, 24);
+    let queries = workload::generate(&p.dataset.graph, 256, 0xBE_7);
+
+    let mut group = c.benchmark_group("fig07_amazon_topk");
+
+    for k in [2usize, 10] {
+        let mut engine = p.engine(vkg_bench::setup::bench_config());
+        for q in queries.iter().take(20) {
+            let _ = workload::run(&mut engine, q, k);
+        }
+        let qs = queries.clone();
+        group.bench_function(format!("cracking_k{k}"), move |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(workload::run(&mut engine, q, k))
+            })
+        });
+    }
+
+    // H2-ALSH over the product vectors, single "likes" relation.
+    let d = p.embeddings.dim();
+    let products: Vec<EntityId> = (0..p.dataset.graph.num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| {
+            p.dataset
+                .graph
+                .entity_name(e)
+                .is_some_and(|n| n.starts_with("product_"))
+        })
+        .collect();
+    let mut data = Vec::with_capacity(products.len() * d);
+    for &m in &products {
+        data.extend_from_slice(p.embeddings.entity(m));
+    }
+    let idx = H2Alsh::build(data, d, H2AlshConfig::default());
+    let users: Vec<EntityId> = (0..p.dataset.graph.num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| {
+            p.dataset
+                .graph
+                .entity_name(e)
+                .is_some_and(|n| n.starts_with("user_"))
+        })
+        .collect();
+    for k in [2usize, 10] {
+        group.bench_function(format!("h2alsh_k{k}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let u = users[i % users.len()];
+                i += 1;
+                black_box(idx.top_k_mips(p.embeddings.entity(u), k, |_| false))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion counterpart of Figures 12–16: aggregate-query latency as a
+//! function of sample size `a` (the time side of the time/accuracy
+//! trade-off; `run_experiments` reports the accuracy side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vkg::prelude::*;
+use vkg_bench::setup::{self, Scale};
+
+fn bench_aggregates(c: &mut Criterion) {
+    let p = setup::movie(Scale::Smoke, 24);
+    let mut engine = p.engine(vkg_bench::setup::bench_config());
+    let likes = engine.graph().relation_id("likes").unwrap();
+    let users: Vec<EntityId> = (0..12)
+        .filter_map(|u| engine.graph().entity_id(&format!("user_{u}")))
+        .collect();
+    // Warm the index.
+    for &u in &users {
+        let _ = engine.aggregate(u, likes, Direction::Tails, &AggregateSpec::count(0.05));
+    }
+
+    let mut group = c.benchmark_group("fig12_16_aggregates");
+
+    for a in [2usize, 10, 50] {
+        let spec = AggregateSpec::count(0.05).with_sample(a);
+        let mut i = 0usize;
+        group.bench_function(format!("count_a{a}"), |b| {
+            b.iter(|| {
+                let u = users[i % users.len()];
+                i += 1;
+                black_box(engine.aggregate(u, likes, Direction::Tails, &spec).unwrap())
+            })
+        });
+    }
+
+    for a in [2usize, 10, 50] {
+        let spec = AggregateSpec::of(AggregateKind::Avg, "year", 0.05).with_sample(a);
+        let mut i = 0usize;
+        group.bench_function(format!("avg_year_a{a}"), |b| {
+            b.iter(|| {
+                let u = users[i % users.len()];
+                i += 1;
+                black_box(engine.aggregate(u, likes, Direction::Tails, &spec).unwrap())
+            })
+        });
+    }
+
+    let max_spec = AggregateSpec::of(AggregateKind::Max, "year", 0.05).with_sample(10);
+    let mut i = 0usize;
+    group.bench_function("max_year_a10", |b| {
+        b.iter(|| {
+            let u = users[i % users.len()];
+            i += 1;
+            black_box(engine.aggregate(u, likes, Direction::Tails, &max_spec).unwrap())
+        })
+    });
+
+    let min_spec = AggregateSpec::of(AggregateKind::Min, "year", 0.05).with_sample(10);
+    let mut i = 0usize;
+    group.bench_function("min_year_a10", |b| {
+        b.iter(|| {
+            let u = users[i % users.len()];
+            i += 1;
+            black_box(engine.aggregate(u, likes, Direction::Tails, &min_spec).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aggregates
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p vkg-bench --release --bin run_experiments -- --all
+//! cargo run -p vkg-bench --release --bin run_experiments -- --exp fig3 --scale standard
+//! ```
+//!
+//! Results print as aligned tables and land as CSVs under `results/`
+//! (override with `--out <dir>`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vkg_bench::experiments;
+use vkg_bench::setup::Scale;
+
+fn usage() {
+    eprintln!(
+        "usage: run_experiments (--all | --exp <id>)... [--scale smoke|standard|large] [--out DIR]\n\
+         experiment ids: {}",
+        experiments::ALL.join(", ")
+    );
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Standard;
+    let mut out = PathBuf::from("results");
+    let mut exps: Vec<String> = Vec::new();
+    let mut all = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--exp" => match args.next() {
+                Some(e) => exps.push(e),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scale" => match args.next().as_deref().and_then(Scale::parse) {
+                Some(s) => scale = s,
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(d) => out = PathBuf::from(d),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if all {
+        exps = experiments::ALL.iter().map(|s| (*s).to_string()).collect();
+    }
+    if exps.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    println!("scale: {scale:?}   output: {}\n", out.display());
+    for exp in &exps {
+        let t = std::time::Instant::now();
+        if !experiments::run(exp, scale, &out) {
+            eprintln!("unknown experiment id {exp:?}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        println!("[{exp} done in {:.1?}]\n", t.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,13 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The `run_experiments` binary drives [`experiments`]; the Criterion
+//! benches reuse [`setup`] and [`workload`] so both timing paths measure
+//! the same configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod setup;
+pub mod workload;

@@ -1,0 +1,116 @@
+//! Query workload generation (§VI-B "Queries"): each query randomly
+//! picks a head entity + relationship and asks for top-k tails, or a
+//! tail entity + relationship and asks for top-k heads — systematically
+//! exploring the space of queried embedding vectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vkg::prelude::*;
+
+/// One generated query.
+#[derive(Debug, Clone, Copy)]
+pub struct Query {
+    /// The given entity.
+    pub entity: EntityId,
+    /// The relationship.
+    pub relation: RelationId,
+    /// Which endpoint is asked for.
+    pub direction: Direction,
+}
+
+/// Generates `n` random queries over existing triples (guaranteeing the
+/// entity actually participates in the relationship, as real workloads
+/// do).
+pub fn generate(graph: &KnowledgeGraph, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triples = graph.triples();
+    assert!(!triples.is_empty(), "cannot generate queries over an empty graph");
+    (0..n)
+        .map(|_| {
+            let t = triples[rng.gen_range(0..triples.len())];
+            if rng.gen_bool(0.5) {
+                Query {
+                    entity: t.head,
+                    relation: t.relation,
+                    direction: Direction::Tails,
+                }
+            } else {
+                Query {
+                    entity: t.tail,
+                    relation: t.relation,
+                    direction: Direction::Heads,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs one query against the engine.
+pub fn run(engine: &mut VirtualKnowledgeGraph, q: &Query, k: usize) -> TopKResult {
+    engine
+        .top_k(q.entity, q.relation, q.direction, k)
+        .expect("generated queries use valid ids")
+}
+
+/// precision@K of `answer` against ground truth produced by the exact
+/// no-index scan with identical E′ skip semantics.
+pub fn precision_vs_scan(
+    graph: &KnowledgeGraph,
+    scan: &LinearScan<'_>,
+    q: &Query,
+    k: usize,
+    answer: &TopKResult,
+) -> f64 {
+    let known: std::collections::HashSet<u32> = match q.direction {
+        Direction::Tails => graph.tails(q.entity, q.relation).map(|e| e.0).collect(),
+        Direction::Heads => graph.heads(q.entity, q.relation).map(|e| e.0).collect(),
+    };
+    let skip = |id: u32| id == q.entity.0 || known.contains(&id);
+    let truth = match q.direction {
+        Direction::Tails => scan.top_k_tails(q.entity, q.relation, k, skip),
+        Direction::Heads => scan.top_k_heads(q.entity, q.relation, k, skip),
+    };
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|t| t.0).collect();
+    let hits = answer
+        .predictions
+        .iter()
+        .filter(|p| truth_ids.contains(&p.id))
+        .count();
+    hits as f64 / truth_ids.len().min(k) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vkg_kg::datasets::{movie_like, MovieConfig};
+
+    use vkg::kg as vkg_kg;
+
+    #[test]
+    fn generated_queries_are_valid() {
+        let ds = movie_like(&MovieConfig::tiny());
+        let qs = generate(&ds.graph, 50, 1);
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            assert!(q.entity.index() < ds.graph.num_entities());
+            assert!(q.relation.index() < ds.graph.num_relations());
+        }
+        // Both directions occur.
+        assert!(qs.iter().any(|q| q.direction == Direction::Tails));
+        assert!(qs.iter().any(|q| q.direction == Direction::Heads));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = movie_like(&MovieConfig::tiny());
+        let a = generate(&ds.graph, 10, 7);
+        let b = generate(&ds.graph, 10, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.entity, y.entity);
+            assert_eq!(x.relation, y.relation);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Configuration of the index and query layers.
+
+/// How node splits are chosen when the index cracks for a query (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// The greedy single-choice INCREMENTALINDEXBUILD: each binary split
+    /// takes the locally optimal `(c_Q, c_O)` candidate.
+    Greedy,
+    /// TOP-KSPLITSINDEXBUILD (Algorithm 2): explore the top-`choices`
+    /// split candidates with A*-style pruning over contour change
+    /// candidates. The paper evaluates 2–4 choices.
+    TopK {
+        /// Number of split choices explored at each decision (≥ 1).
+        choices: usize,
+    },
+}
+
+impl SplitStrategy {
+    /// The number of alternatives explored per split.
+    pub fn choices(self) -> usize {
+        match self {
+            SplitStrategy::Greedy => 1,
+            SplitStrategy::TopK { choices } => choices.max(1),
+        }
+    }
+}
+
+/// Parameters of a [`crate::vkg::VirtualKnowledgeGraph`] and its index.
+#[derive(Debug, Clone)]
+pub struct VkgConfig {
+    /// Dimensionality α of the index space S₂ (paper: 3 or 6).
+    pub alpha: usize,
+    /// The ε of Algorithm 3's radius inflation `r_q = r*_k(1+ε)`; larger
+    /// values trade speed for recall per Theorem 2.
+    pub epsilon: f64,
+    /// Leaf capacity `N` — max data-point entries per leaf node.
+    pub leaf_capacity: usize,
+    /// Non-leaf fanout `M` — max children per internal node.
+    pub fanout: usize,
+    /// The β ≥ 1 of the overlap cost `c_O += βʰ·‖O‖/min(‖L‖,‖H‖)`:
+    /// overlaps higher in the tree cost more.
+    pub beta: f64,
+    /// Split-choice strategy for cracking.
+    pub split_strategy: SplitStrategy,
+    /// Whether split ranking uses the query-aware `c_Q` major order
+    /// (§IV-B1). Disabled only by the `abl_cost` ablation.
+    pub query_aware_cost: bool,
+    /// Seed for the JL projection matrix.
+    pub transform_seed: u64,
+}
+
+impl Default for VkgConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 3,
+            epsilon: 3.0,
+            leaf_capacity: 32,
+            fanout: 8,
+            beta: 2.0,
+            split_strategy: SplitStrategy::Greedy,
+            query_aware_cost: true,
+            transform_seed: 0x4a4c_5452, // "JLTR"
+        }
+    }
+}
+
+impl VkgConfig {
+    /// Validates invariants the index relies on.
+    ///
+    /// # Panics
+    /// Panics on invalid parameter combinations; called by the index
+    /// constructors.
+    pub fn validate(&self) {
+        assert!(self.alpha >= 1, "α must be ≥ 1");
+        assert!(
+            self.alpha <= crate::geometry::MAX_DIM,
+            "α = {} exceeds MAX_DIM = {}",
+            self.alpha,
+            crate::geometry::MAX_DIM
+        );
+        assert!(self.epsilon > 0.0, "ε must be positive");
+        assert!(self.leaf_capacity >= 2, "leaf capacity N must be ≥ 2");
+        assert!(self.fanout >= 2, "fanout M must be ≥ 2");
+        assert!(self.beta >= 1.0, "β must be ≥ 1 (paper §IV-B1)");
+        assert!(self.split_strategy.choices() >= 1, "need ≥ 1 split choice");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        VkgConfig::default().validate();
+    }
+
+    #[test]
+    fn choices_accessor() {
+        assert_eq!(SplitStrategy::Greedy.choices(), 1);
+        assert_eq!(SplitStrategy::TopK { choices: 4 }.choices(), 4);
+        assert_eq!(SplitStrategy::TopK { choices: 0 }.choices(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "β must be ≥ 1")]
+    fn beta_below_one_rejected() {
+        let cfg = VkgConfig {
+            beta: 0.5,
+            ..VkgConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DIM")]
+    fn oversized_alpha_rejected() {
+        let cfg = VkgConfig {
+            alpha: 99,
+            ..VkgConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout M must be ≥ 2")]
+    fn tiny_fanout_rejected() {
+        let cfg = VkgConfig {
+            fanout: 1,
+            ..VkgConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,7 @@
+//! Geometry in the low-dimensional index space S₂.
+
+pub mod mbr;
+pub mod points;
+
+pub use mbr::{Mbr, MAX_DIM};
+pub use points::PointSet;

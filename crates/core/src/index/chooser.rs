@@ -1,0 +1,127 @@
+//! Split-choice strategies.
+//!
+//! `best_splits` returns ranked candidates; a [`SplitChooser`] decides
+//! which one a build run takes at each decision point. The greedy
+//! INCREMENTALINDEXBUILD always takes the best; TOP-KSPLITSINDEXBUILD
+//! (Algorithm 2) replays *scripts* of choice indices discovered by a
+//! best-first search over contour change candidates (see
+//! [`crate::index::topk`]).
+
+use crate::rtree::SplitCandidate;
+
+/// Decides which ranked split candidate a build run takes.
+pub trait SplitChooser {
+    /// How many candidates to request from `best_splits` (the `k` of the
+    /// paper's top-k split choices).
+    fn num_choices(&self) -> usize;
+
+    /// Picks the index of the candidate to apply. `candidates` is
+    /// non-empty and sorted best-first.
+    fn choose(&mut self, candidates: &[SplitCandidate]) -> usize;
+}
+
+/// Always takes the locally optimal split (the paper's main cracking
+/// algorithm, and the choice BULKLOADCHUNK itself makes).
+#[derive(Debug, Default)]
+pub struct GreedyChooser;
+
+impl SplitChooser for GreedyChooser {
+    fn num_choices(&self) -> usize {
+        1
+    }
+
+    fn choose(&mut self, _candidates: &[SplitCandidate]) -> usize {
+        0
+    }
+}
+
+/// Replays a script of choice indices, falling back to greedy (choice 0)
+/// once the script is exhausted. Records how many candidates were
+/// available at every decision point so the Algorithm 2 search knows the
+/// branching factor at each position.
+#[derive(Debug)]
+pub struct ScriptChooser {
+    script: Vec<u8>,
+    k: usize,
+    /// Number of candidates available at each decision point of the run.
+    pub available: Vec<u8>,
+}
+
+impl ScriptChooser {
+    /// Creates a chooser replaying `script` with up to `k` choices per
+    /// decision.
+    pub fn new(script: Vec<u8>, k: usize) -> Self {
+        assert!(k >= 1, "need at least one choice");
+        Self {
+            script,
+            k,
+            available: Vec::new(),
+        }
+    }
+
+    /// Total decision points seen by the last run.
+    pub fn decisions(&self) -> usize {
+        self.available.len()
+    }
+}
+
+impl SplitChooser for ScriptChooser {
+    fn num_choices(&self) -> usize {
+        self.k
+    }
+
+    fn choose(&mut self, candidates: &[SplitCandidate]) -> usize {
+        let pos = self.available.len();
+        let avail = candidates.len().min(self.k).min(u8::MAX as usize) as u8;
+        self.available.push(avail);
+        let want = self.script.get(pos).copied().unwrap_or(0) as usize;
+        want.min(candidates.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Mbr;
+    use crate::rtree::cost::SplitCost;
+
+    fn dummy_candidates(n: usize) -> Vec<SplitCandidate> {
+        (0..n)
+            .map(|i| SplitCandidate {
+                axis: 0,
+                count: i + 1,
+                cost: SplitCost::new(i as u64, 0.0),
+                low_mbr: Mbr::empty(2),
+                high_mbr: Mbr::empty(2),
+                low_in_q: 0,
+                high_in_q: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_always_zero() {
+        let mut g = GreedyChooser;
+        assert_eq!(g.num_choices(), 1);
+        assert_eq!(g.choose(&dummy_candidates(5)), 0);
+    }
+
+    #[test]
+    fn script_replays_then_falls_back() {
+        let mut s = ScriptChooser::new(vec![2, 1], 4);
+        let c = dummy_candidates(4);
+        assert_eq!(s.choose(&c), 2);
+        assert_eq!(s.choose(&c), 1);
+        assert_eq!(s.choose(&c), 0, "beyond script = greedy");
+        assert_eq!(s.decisions(), 3);
+        assert_eq!(s.available, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn script_clamps_to_available() {
+        let mut s = ScriptChooser::new(vec![3], 4);
+        let c = dummy_candidates(2);
+        assert_eq!(s.choose(&c), 1, "clamped to last candidate");
+        assert_eq!(s.available, vec![2]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Dynamic updates of the cracking index (the paper's §VIII future work:
+//! "we plan to do incremental updates on our partial index").
+//!
+//! The uneven tree makes this natural: an insert descends to the contour
+//! element covering the new point (least MBR enlargement, as in a classic
+//! R-tree insert) and splices the point into that element's sorted
+//! orders; an overfull leaf simply *reverts to an unsplit partition* and
+//! re-cracks lazily when a query next needs it — no eager re-balancing.
+//! Removals detach the point from its element and tombstone the id;
+//! element MBRs stay conservative (they may over-cover after removals,
+//! which affects pruning quality, never correctness).
+
+use crate::rtree::{height_for, SortOrders};
+
+use super::{CrackingIndex, NodeId, NodeKind};
+
+impl CrackingIndex {
+    /// Inserts a new point, returning its id (= the new entity's dense
+    /// id). O(height + S·|element|).
+    pub fn insert_point(&mut self, coords: &[f64]) -> u32 {
+        let id = self.points.push(coords);
+        self.attach_point(id);
+        id
+    }
+
+    /// Moves an existing point to new coordinates (an embedding update
+    /// after local graph changes). The id is stable.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range or tombstoned.
+    pub fn update_point(&mut self, id: u32, coords: &[f64]) {
+        assert!(
+            (id as usize) < self.points.len(),
+            "unknown point id {id}"
+        );
+        assert!(!self.removed.contains(&id), "point {id} was removed");
+        let detached = self.detach_point(id);
+        debug_assert!(detached, "live point must sit in some element");
+        self.points.set(id, coords);
+        self.attach_point(id);
+    }
+
+    /// Removes a point from the index (tombstoned; ids are never reused).
+    /// Returns whether the point was present and live.
+    pub fn remove_point(&mut self, id: u32) -> bool {
+        if (id as usize) >= self.points.len() || self.removed.contains(&id) {
+            return false;
+        }
+        let detached = self.detach_point(id);
+        if detached {
+            self.removed.insert(id);
+        }
+        detached
+    }
+
+    /// Number of live (non-tombstoned) points.
+    pub fn live_points(&self) -> usize {
+        self.points.len() - self.removed.len()
+    }
+
+    /// Whether `id` has been tombstoned by [`CrackingIndex::remove_point`].
+    pub fn is_removed(&self, id: u32) -> bool {
+        self.removed.contains(&id)
+    }
+
+    /// Descends from the root by least MBR enlargement and splices the
+    /// point into the reached contour element.
+    fn attach_point(&mut self, id: u32) {
+        let point: Vec<f64> = self.points.point(id).to_vec();
+        let mut cur = self.root;
+        loop {
+            // Expand the node's region on the way down.
+            self.nodes[cur as usize].mbr.include_point(&point);
+            let next = match &self.nodes[cur as usize].kind {
+                NodeKind::Internal(children) => {
+                    debug_assert!(!children.is_empty());
+                    children
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let ea = self.enlargement(a, &point);
+                            let eb = self.enlargement(b, &point);
+                            ea.total_cmp(&eb).then_with(|| {
+                                self.nodes[a as usize]
+                                    .mbr
+                                    .volume()
+                                    .total_cmp(&self.nodes[b as usize].mbr.volume())
+                            })
+                        })
+                        .expect("internal node has children")
+                }
+                NodeKind::Leaf(_) | NodeKind::Unsplit(_) => break,
+            };
+            cur = next;
+        }
+
+        let leaf_capacity = self.params.leaf_capacity;
+        let fanout = self.params.fanout;
+        // Split the borrow: the sorted insert reads point coordinates.
+        let points = &self.points;
+        let node = &mut self.nodes[cur as usize];
+        match &mut node.kind {
+            NodeKind::Leaf(ids) => {
+                ids.push(id);
+                if ids.len() > leaf_capacity {
+                    // Overflow: revert to an unsplit partition; the next
+                    // query that needs this region re-cracks it.
+                    let orders = SortOrders::build(points, std::mem::take(ids));
+                    node.height = height_for(orders.len(), leaf_capacity, fanout);
+                    node.kind = NodeKind::Unsplit(orders);
+                }
+            }
+            NodeKind::Unsplit(orders) => {
+                orders.insert(points, id);
+                node.height = height_for(orders.len(), leaf_capacity, fanout);
+            }
+            NodeKind::Internal(_) => unreachable!("descent ends at a contour element"),
+        }
+    }
+
+    /// MBR-volume enlargement of node `n` if it absorbed `point`.
+    fn enlargement(&self, n: NodeId, point: &[f64]) -> f64 {
+        let mbr = &self.nodes[n as usize].mbr;
+        let mut grown = *mbr;
+        grown.include_point(point);
+        grown.volume() - mbr.volume()
+    }
+
+    /// Removes `id` from the contour element holding it. Returns whether
+    /// it was found. Element MBRs are left as (valid) over-approximations.
+    fn detach_point(&mut self, id: u32) -> bool {
+        let point: Vec<f64> = self.points.point(id).to_vec();
+        // Search all elements whose region covers the point's coordinates.
+        let mut stack = vec![self.root];
+        while let Some(cur) = stack.pop() {
+            let node = &mut self.nodes[cur as usize];
+            if !node.mbr.contains_point(&point) {
+                continue;
+            }
+            match &mut node.kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+                NodeKind::Leaf(ids) => {
+                    if let Some(pos) = ids.iter().position(|&x| x == id) {
+                        ids.swap_remove(pos);
+                        return true;
+                    }
+                }
+                NodeKind::Unsplit(orders) => {
+                    if orders.remove(id) {
+                        return true;
+                    }
+                }
+            }
+        }
+        // Stale coordinates (e.g. the point moved since): fall back to a
+        // full contour sweep.
+        for cur in self.contour() {
+            let node = &mut self.nodes[cur as usize];
+            match &mut node.kind {
+                NodeKind::Leaf(ids) => {
+                    if let Some(pos) = ids.iter().position(|&x| x == id) {
+                        ids.swap_remove(pos);
+                        return true;
+                    }
+                }
+                NodeKind::Unsplit(orders) => {
+                    if orders.remove(id) {
+                        return true;
+                    }
+                }
+                NodeKind::Internal(_) => {}
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SplitStrategy;
+    use crate::geometry::{Mbr, PointSet};
+    use crate::index::CrackingIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::from_rows(
+            3,
+            (0..n * 3).map(|_| rng.gen_range(-10.0..10.0)).collect(),
+        )
+    }
+
+    fn search_ids(idx: &mut CrackingIndex, q: &Mbr) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx.search_region(q, |id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn insert_into_fresh_index() {
+        let mut idx = CrackingIndex::new(random_points(100, 1), 8, 4, 2.0, SplitStrategy::Greedy);
+        let id = idx.insert_point(&[1.0, 2.0, 3.0]);
+        assert_eq!(id, 100);
+        idx.check_invariants();
+        let q = Mbr::of_ball(&[1.0, 2.0, 3.0], 0.1);
+        assert!(search_ids(&mut idx, &q).contains(&id));
+    }
+
+    #[test]
+    fn insert_after_cracking_lands_in_leaf() {
+        let mut idx = CrackingIndex::new(random_points(2_000, 2), 8, 4, 2.0, SplitStrategy::Greedy);
+        let target = [0.5, 0.5, 0.5];
+        idx.crack(&Mbr::of_ball(&target, 2.0));
+        let nodes_before = idx.node_count();
+        let id = idx.insert_point(&target);
+        idx.check_invariants();
+        assert_eq!(idx.node_count(), nodes_before, "insert allocates no nodes");
+        let q = Mbr::of_ball(&target, 0.05);
+        assert!(search_ids(&mut idx, &q).contains(&id));
+    }
+
+    #[test]
+    fn leaf_overflow_reverts_to_partition_and_recracks() {
+        let mut idx = CrackingIndex::new(random_points(500, 3), 4, 2, 2.0, SplitStrategy::Greedy);
+        let spot = [7.0, 7.0, 7.0];
+        idx.crack(&Mbr::of_ball(&spot, 1.0));
+        // Stuff one location until leaves overflow repeatedly.
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            ids.push(idx.insert_point(&[7.0 + i as f64 * 1e-3, 7.0, 7.0]));
+        }
+        idx.check_invariants();
+        // A fresh crack tidies the overflowed partitions back to ≤ N.
+        idx.crack(&Mbr::of_ball(&spot, 1.0));
+        idx.check_invariants();
+        let q = Mbr::of_ball(&spot, 0.5);
+        let found = search_ids(&mut idx, &q);
+        for id in ids {
+            assert!(found.contains(&id));
+        }
+    }
+
+    #[test]
+    fn remove_point_tombstones() {
+        let mut idx = CrackingIndex::new(random_points(300, 4), 8, 4, 2.0, SplitStrategy::Greedy);
+        idx.crack(&Mbr::of_ball(&[0.0, 0.0, 0.0], 5.0));
+        assert!(idx.remove_point(5));
+        assert!(!idx.remove_point(5), "double remove is a no-op");
+        assert!(idx.is_removed(5));
+        assert_eq!(idx.live_points(), 299);
+        idx.check_invariants();
+        let everywhere = Mbr::of_ball(&[0.0, 0.0, 0.0], 100.0);
+        let found = search_ids(&mut idx, &everywhere);
+        assert_eq!(found.len(), 299);
+        assert!(!found.contains(&5));
+    }
+
+    #[test]
+    fn update_point_moves_it() {
+        let mut idx = CrackingIndex::new(random_points(400, 5), 8, 4, 2.0, SplitStrategy::Greedy);
+        idx.crack(&Mbr::of_ball(&[0.0, 0.0, 0.0], 3.0));
+        let old = idx.points().point(7).to_vec();
+        idx.update_point(7, &[9.5, 9.5, 9.5]);
+        idx.check_invariants();
+        let near_new = Mbr::of_ball(&[9.5, 9.5, 9.5], 0.1);
+        assert!(search_ids(&mut idx, &near_new).contains(&7));
+        let near_old = Mbr::of_ball(&old, 1e-6);
+        assert!(!search_ids(&mut idx, &near_old).contains(&7));
+    }
+
+    #[test]
+    fn interleaved_updates_and_queries_stay_exact() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut idx = CrackingIndex::new(random_points(800, 6), 8, 4, 2.0, SplitStrategy::Greedy);
+        let mut live: std::collections::HashSet<u32> = (0..800u32).collect();
+        for round in 0..30 {
+            match round % 3 {
+                0 => {
+                    let p = [
+                        rng.gen_range(-10.0..10.0),
+                        rng.gen_range(-10.0..10.0),
+                        rng.gen_range(-10.0..10.0),
+                    ];
+                    live.insert(idx.insert_point(&p));
+                }
+                1 => {
+                    if let Some(&id) = live.iter().next() {
+                        idx.remove_point(id);
+                        live.remove(&id);
+                    }
+                }
+                _ => {
+                    let c = [
+                        rng.gen_range(-10.0..10.0),
+                        rng.gen_range(-10.0..10.0),
+                        rng.gen_range(-10.0..10.0),
+                    ];
+                    idx.crack(&Mbr::of_ball(&c, 2.0));
+                }
+            }
+            idx.check_invariants();
+        }
+        // Exactness against brute force over live points.
+        let q = Mbr::of_ball(&[1.0, -1.0, 1.0], 4.0);
+        let got = search_ids(&mut idx, &q);
+        let want: Vec<u32> = (0..idx.points().len() as u32)
+            .filter(|&i| live.contains(&i) && idx.points().in_region(i, &q))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_unknown_ids() {
+        let mut idx = CrackingIndex::new(random_points(10, 7), 8, 4, 2.0, SplitStrategy::Greedy);
+        assert!(!idx.remove_point(999));
+    }
+}

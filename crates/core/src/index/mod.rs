@@ -1,0 +1,776 @@
+//! The cracking / uneven R-tree index (§IV).
+//!
+//! The index starts as a single unsplit root partition and is shaped by
+//! the queries: each call to [`CrackingIndex::crack`] performs the
+//! partial, query-directed top-down build of INCREMENTALINDEXBUILD (or
+//! Algorithm 2's TOP-KSPLITSINDEXBUILD when the strategy asks for
+//! multiple split choices). A full offline
+//! [`CrackingIndex::bulk_load`] path implements the classic
+//! BULKLOADCHUNK baseline the paper compares against.
+
+pub mod build;
+pub mod chooser;
+pub mod dynamic;
+pub mod topk;
+
+use crate::config::SplitStrategy;
+use crate::geometry::{Mbr, PointSet};
+use crate::rtree::SortOrders;
+use crate::stats::IndexStats;
+
+use build::{build_element, BuildParams, BuiltKind, BuiltNode, RunCost};
+use chooser::GreedyChooser;
+
+/// Arena id of a node.
+pub type NodeId = u32;
+
+/// Payload of an arena node.
+#[derive(Debug)]
+pub enum NodeKind {
+    /// Split node with child node ids.
+    Internal(Vec<NodeId>),
+    /// Terminal leaf with ≤ N point ids.
+    Leaf(Vec<u32>),
+    /// A contour partition (Definition 2): has data but no children yet.
+    Unsplit(SortOrders),
+}
+
+/// One node of the (possibly partial) R-tree.
+#[derive(Debug)]
+pub struct Node {
+    /// Bounding region of every point below this node.
+    pub mbr: Mbr,
+    /// Height (0 = leaf level).
+    pub height: u32,
+    /// Children / payload.
+    pub kind: NodeKind,
+}
+
+/// The online cracking R-tree over a set of S₂ points.
+#[derive(Debug)]
+pub struct CrackingIndex {
+    points: PointSet,
+    nodes: Vec<Node>,
+    root: NodeId,
+    params: BuildParams,
+    strategy: SplitStrategy,
+    stats: IndexStats,
+    /// Tombstoned point ids (dynamic removals; ids are never reused).
+    removed: std::collections::HashSet<u32>,
+}
+
+impl CrackingIndex {
+    /// Creates an index whose tree is a single unsplit root — query
+    /// processing can start immediately (§IV-C: "we can start processing
+    /// the first query when the index only has a root node").
+    pub fn new(
+        points: PointSet,
+        leaf_capacity: usize,
+        fanout: usize,
+        beta: f64,
+        strategy: SplitStrategy,
+    ) -> Self {
+        assert!(leaf_capacity >= 2, "leaf capacity N must be ≥ 2");
+        assert!(fanout >= 2, "fanout M must be ≥ 2");
+        assert!(beta >= 1.0, "β must be ≥ 1");
+        let params = BuildParams {
+            leaf_capacity,
+            fanout,
+            beta,
+            query_aware_cost: true,
+        };
+        let ids = points.all_ids();
+        let orders = SortOrders::build(&points, ids);
+        let mbr = orders.mbr(&points);
+        let len = orders.len();
+        let kind = if len <= leaf_capacity {
+            NodeKind::Leaf(orders.into_ids())
+        } else {
+            NodeKind::Unsplit(orders)
+        };
+        let height = crate::rtree::height_for(len, leaf_capacity, fanout);
+        let root_node = Node { mbr, height, kind };
+        let mut index = Self {
+            points,
+            nodes: vec![root_node],
+            root: 0,
+            params,
+            strategy,
+            stats: IndexStats::default(),
+            removed: std::collections::HashSet::new(),
+        };
+        index.stats.nodes_created = 1;
+        index
+    }
+
+    /// Builds the complete balanced index offline (the BULKLOADCHUNK
+    /// baseline of §VI). No stop conditions; every leaf materialized.
+    pub fn bulk_load(points: PointSet, leaf_capacity: usize, fanout: usize, beta: f64) -> Self {
+        let mut index = Self::new(points, leaf_capacity, fanout, beta, SplitStrategy::Greedy);
+        let root = index.root;
+        // A root that already fits in one leaf needs no building; only an
+        // unsplit root is taken apart (swapping the kind out first would
+        // destroy a leaf root's payload).
+        if matches!(index.nodes[root as usize].kind, NodeKind::Unsplit(_)) {
+            let NodeKind::Unsplit(orders) = std::mem::replace(
+                &mut index.nodes[root as usize].kind,
+                NodeKind::Internal(Vec::new()),
+            ) else {
+                unreachable!("kind matched Unsplit above");
+            };
+            let mut cost = RunCost::default();
+            let built = build_element(
+                &index.points,
+                &index.params,
+                orders,
+                None,
+                &mut GreedyChooser,
+                &mut cost,
+            );
+            index.stats.splits_performed += cost.splits;
+            index.install(root, built);
+        }
+        index
+    }
+
+    /// Disables (or re-enables) the query-aware `c_Q` component of the
+    /// split-ranking cost — the `abl_cost` ablation. Stop conditions are
+    /// unaffected.
+    pub fn set_query_aware_cost(&mut self, enabled: bool) {
+        self.params.query_aware_cost = enabled;
+    }
+
+    /// The point set the index is built over.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Dimensionality α of the index space.
+    pub fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (e.g. to reset per-query access counters).
+    pub fn stats_mut(&mut self) -> &mut IndexStats {
+        &mut self.stats
+    }
+
+    /// Leaf capacity `N`.
+    pub fn leaf_capacity(&self) -> usize {
+        self.params.leaf_capacity
+    }
+
+    /// Number of nodes currently allocated (Fig. 9's metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate index size in bytes (Figs. 10–11's metric): node
+    /// envelopes plus leaf/partition payloads. The point coordinates are
+    /// excluded — every method stores those.
+    pub fn index_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for node in &self.nodes {
+            bytes += std::mem::size_of::<Node>();
+            bytes += match &node.kind {
+                NodeKind::Internal(children) => children.capacity() * std::mem::size_of::<NodeId>(),
+                NodeKind::Leaf(ids) => ids.capacity() * std::mem::size_of::<u32>(),
+                NodeKind::Unsplit(orders) => orders.bytes(),
+            };
+        }
+        bytes
+    }
+
+    /// Node ids of the current contour (Definition 2): unsplit partitions
+    /// and terminal leaves, in DFS order.
+    pub fn contour(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
+                _ => out.push(id),
+            }
+        }
+        out
+    }
+
+    /// Cracks the index for query region `q`: the online incremental
+    /// partial build of §IV-C (strategy-dependent: greedy or Algorithm 2).
+    pub fn crack(&mut self, q: &Mbr) {
+        match self.strategy {
+            SplitStrategy::Greedy => self.crack_greedy(q),
+            SplitStrategy::TopK { choices } => topk::crack_topk(self, q, choices.max(1)),
+        }
+    }
+
+    fn crack_greedy(&mut self, q: &Mbr) {
+        let elements = self.unsplit_elements_overlapping(q);
+        for id in elements {
+            self.crack_element(id, q, &mut GreedyChooser);
+        }
+    }
+
+    /// Unsplit contour elements whose MBR overlaps `q`, in DFS order.
+    /// This is the traversal order Algorithm 2's lines 6–8 walk.
+    pub(crate) fn unsplit_elements_overlapping(&self, q: &Mbr) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !node.mbr.intersects(q) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
+                NodeKind::Unsplit(_) => out.push(id),
+                NodeKind::Leaf(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Runs the build core over one unsplit element and installs the
+    /// result. Returns the run cost (no-op zero cost if the element is
+    /// not unsplit).
+    pub(crate) fn crack_element(
+        &mut self,
+        id: NodeId,
+        q: &Mbr,
+        chooser: &mut dyn chooser::SplitChooser,
+    ) -> RunCost {
+        let mut cost = RunCost::default();
+        let kind = &mut self.nodes[id as usize].kind;
+        let orders = match kind {
+            NodeKind::Unsplit(_) => {
+                match std::mem::replace(kind, NodeKind::Internal(Vec::new())) {
+                    NodeKind::Unsplit(orders) => orders,
+                    _ => unreachable!("just matched Unsplit"),
+                }
+            }
+            _ => return cost,
+        };
+        let built = build_element(&self.points, &self.params, orders, Some(q), chooser, &mut cost);
+        self.stats.splits_performed += cost.splits;
+        self.install(id, built);
+        cost
+    }
+
+    /// Dry-runs the build core over a *clone* of one unsplit element,
+    /// returning only the cost (used by the Algorithm 2 search).
+    pub(crate) fn dry_run_element(
+        &self,
+        id: NodeId,
+        q: &Mbr,
+        chooser: &mut dyn chooser::SplitChooser,
+    ) -> RunCost {
+        let mut cost = RunCost::default();
+        if let NodeKind::Unsplit(orders) = &self.nodes[id as usize].kind {
+            let _ = build_element(
+                &self.points,
+                &self.params,
+                orders.clone(),
+                Some(q),
+                chooser,
+                &mut cost,
+            );
+        }
+        cost
+    }
+
+    /// Replaces node `id` with the built subtree (children freshly
+    /// allocated; `id` itself is reused so parents stay valid).
+    fn install(&mut self, id: NodeId, built: BuiltNode) {
+        let BuiltNode { mbr, height, kind } = built;
+        let new_kind = match kind {
+            BuiltKind::Leaf(ids) => NodeKind::Leaf(ids),
+            BuiltKind::Unsplit(orders) => NodeKind::Unsplit(orders),
+            BuiltKind::Internal(children) => {
+                let child_ids: Vec<NodeId> = children
+                    .into_iter()
+                    .map(|c| {
+                        let cid = self.alloc();
+                        self.install(cid, c);
+                        cid
+                    })
+                    .collect();
+                NodeKind::Internal(child_ids)
+            }
+        };
+        let node = &mut self.nodes[id as usize];
+        node.mbr = mbr;
+        node.height = height;
+        node.kind = new_kind;
+    }
+
+    fn alloc(&mut self) -> NodeId {
+        let id = NodeId::try_from(self.nodes.len()).expect("node arena overflow");
+        self.nodes.push(Node {
+            mbr: Mbr::empty(self.points.dim().max(1)),
+            height: 0,
+            kind: NodeKind::Leaf(Vec::new()),
+        });
+        self.stats.nodes_created += 1;
+        id
+    }
+
+    /// Visits every point id inside `q`, updating access statistics.
+    ///
+    /// This is a pure read: it does **not** crack the index (Algorithm 3
+    /// cracks once per query, after the result region stabilizes).
+    pub fn search_region(&mut self, q: &Mbr, mut visit: impl FnMut(u32)) {
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            // Split borrows: stats updated after inspecting the node.
+            let node = &self.nodes[id as usize];
+            if !node.mbr.intersects(q) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
+                NodeKind::Leaf(ids) => {
+                    self.stats.elements_accessed += 1;
+                    self.stats.points_examined += ids.len() as u64;
+                    for &pid in ids {
+                        if self.points.in_region(pid, q) {
+                            visit(pid);
+                        }
+                    }
+                }
+                NodeKind::Unsplit(orders) => {
+                    self.stats.elements_accessed += 1;
+                    let ids = orders.ids(0);
+                    self.stats.points_examined += ids.len() as u64;
+                    for &pid in ids {
+                        if self.points.in_region(pid, q) {
+                            visit(pid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`CrackingIndex::search_region`], but also hands the visitor
+    /// the MBR of the contour element each point lives in. The aggregate
+    /// estimators use the element geometry to *approximate* the
+    /// probabilities of points they do not access exactly (§V-B: "we
+    /// know the number of entities in each element of an index contour,
+    /// and hence can estimate the b − a probabilities based on the
+    /// average distance of an element to a query point").
+    pub fn search_region_elements(&mut self, q: &Mbr, mut visit: impl FnMut(u32, &Mbr)) {
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !node.mbr.intersects(q) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
+                NodeKind::Leaf(ids) => {
+                    self.stats.elements_accessed += 1;
+                    self.stats.points_examined += ids.len() as u64;
+                    for &pid in ids {
+                        if self.points.in_region(pid, q) {
+                            visit(pid, &node.mbr);
+                        }
+                    }
+                }
+                NodeKind::Unsplit(orders) => {
+                    self.stats.elements_accessed += 1;
+                    let ids = orders.ids(0);
+                    self.stats.points_examined += ids.len() as u64;
+                    for &pid in ids {
+                        if self.points.in_region(pid, q) {
+                            visit(pid, &node.mbr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probes for the smallest contour element whose region contains (or
+    /// is nearest to) `point` — line 2 of Algorithm 3.
+    pub fn smallest_element_containing(&self, point: &[f64]) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Internal(children) => {
+                    debug_assert!(!children.is_empty());
+                    // Prefer a child containing the point; otherwise the
+                    // nearest child region.
+                    let next = children
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let da = self.nodes[a as usize].mbr.min_distance_sq(point);
+                            let db = self.nodes[b as usize].mbr.min_distance_sq(point);
+                            da.total_cmp(&db)
+                        })
+                        .expect("internal node with children");
+                    id = next;
+                }
+                _ => return id,
+            }
+        }
+    }
+
+    /// The point ids stored at a contour element (empty for internal
+    /// nodes).
+    pub fn element_point_ids(&self, id: NodeId) -> &[u32] {
+        match &self.nodes[id as usize].kind {
+            NodeKind::Internal(_) => &[],
+            NodeKind::Leaf(ids) => ids,
+            NodeKind::Unsplit(orders) => orders.ids(0),
+        }
+    }
+
+    /// Walks a contour element's points outward from `center` along one
+    /// sort order (the seed scan of Algorithm 3 line 2), returning up to
+    /// `k` point ids in that traversal order.
+    ///
+    /// For an unsplit partition the walk uses the axis-0 sort order and a
+    /// two-pointer expansion from the query coordinate; a leaf is scanned
+    /// and sorted directly (it holds at most N points).
+    pub fn seed_scan(&mut self, element: NodeId, center: &[f64], k: usize) -> Vec<u32> {
+        self.stats.elements_accessed += 1;
+        match &self.nodes[element as usize].kind {
+            NodeKind::Internal(_) => Vec::new(),
+            NodeKind::Leaf(ids) => {
+                let mut v: Vec<u32> = ids.clone();
+                self.stats.points_examined += v.len() as u64;
+                v.sort_by(|&a, &b| {
+                    self.points
+                        .distance_sq(a, center)
+                        .total_cmp(&self.points.distance_sq(b, center))
+                });
+                v.truncate(k);
+                v
+            }
+            NodeKind::Unsplit(orders) => {
+                let order = orders.ids(0);
+                let c = center[0];
+                // Position of the query coordinate in the axis-0 order.
+                let start = order.partition_point(|&id| self.points.coord(id, 0) < c);
+                let mut out = Vec::with_capacity(k);
+                let (mut lo, mut hi) = (start, start);
+                while out.len() < k && (lo > 0 || hi < order.len()) {
+                    let take_low = if lo == 0 {
+                        false
+                    } else if hi >= order.len() {
+                        true
+                    } else {
+                        (c - self.points.coord(order[lo - 1], 0)).abs()
+                            <= (self.points.coord(order[hi], 0) - c).abs()
+                    };
+                    if take_low {
+                        lo -= 1;
+                        out.push(order[lo]);
+                    } else {
+                        out.push(order[hi]);
+                        hi += 1;
+                    }
+                }
+                self.stats.points_examined += out.len() as u64;
+                out
+            }
+        }
+    }
+
+    /// Consistency checks used by the test-suite: Lemma 1 (the contour
+    /// partitions the point ids) and MBR containment along every path.
+    ///
+    /// # Panics
+    /// Panics on violation.
+    pub fn check_invariants(&self) {
+        // Lemma 1: contour elements are mutually exclusive and cover all
+        // live points; tombstoned points must appear nowhere.
+        let mut seen = vec![false; self.points.len()];
+        for id in self.contour() {
+            for &pid in self.element_point_ids(id) {
+                assert!(
+                    !seen[pid as usize],
+                    "point {pid} appears in two contour elements"
+                );
+                assert!(
+                    !self.removed.contains(&pid),
+                    "tombstoned point {pid} still indexed"
+                );
+                seen[pid as usize] = true;
+            }
+        }
+        for (pid, &s) in seen.iter().enumerate() {
+            assert!(
+                s || self.removed.contains(&(pid as u32)),
+                "live point {pid} is missing from the contour"
+            );
+        }
+        // MBR containment and child coverage.
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            match &node.kind {
+                NodeKind::Internal(children) => {
+                    assert!(!children.is_empty(), "internal node {id} has no children");
+                    for &c in children {
+                        let child = &self.nodes[c as usize];
+                        assert!(
+                            node.mbr.contains_mbr(&child.mbr),
+                            "child {c} MBR escapes parent {id}"
+                        );
+                        stack.push(c);
+                    }
+                }
+                NodeKind::Leaf(ids) => {
+                    for &pid in ids {
+                        assert!(
+                            node.mbr.contains_point(self.points.point(pid)),
+                            "leaf point {pid} outside node MBR"
+                        );
+                    }
+                }
+                NodeKind::Unsplit(orders) => {
+                    for &pid in orders.ids(0) {
+                        assert!(
+                            node.mbr.contains_point(self.points.point(pid)),
+                            "partition point {pid} outside node MBR"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coords: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        PointSet::from_rows(dim, coords)
+    }
+
+    fn fresh(n: usize, strategy: SplitStrategy) -> CrackingIndex {
+        CrackingIndex::new(random_points(n, 3, 42), 16, 8, 2.0, strategy)
+    }
+
+    /// Brute-force region query for ground truth.
+    fn brute_force(ps: &PointSet, q: &Mbr) -> Vec<u32> {
+        (0..ps.len() as u32).filter(|&i| ps.in_region(i, q)).collect()
+    }
+
+    #[test]
+    fn new_index_is_root_only() {
+        let idx = fresh(1_000, SplitStrategy::Greedy);
+        assert_eq!(idx.node_count(), 1);
+        assert_eq!(idx.contour(), vec![0]);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn tiny_input_is_leaf_root() {
+        let idx = fresh(10, SplitStrategy::Greedy);
+        assert_eq!(idx.node_count(), 1);
+        assert!(matches!(idx.nodes[0].kind, NodeKind::Leaf(_)));
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn search_on_unsplit_root_finds_everything() {
+        let mut idx = fresh(500, SplitStrategy::Greedy);
+        let q = Mbr::of_ball(&[0.0, 0.0, 0.0], 4.0);
+        let mut found = Vec::new();
+        idx.search_region(&q, |id| found.push(id));
+        found.sort_unstable();
+        assert_eq!(found, brute_force(idx.points(), &q));
+        assert!(idx.stats().points_examined >= found.len() as u64);
+    }
+
+    #[test]
+    fn crack_then_search_is_exact() {
+        let mut idx = fresh(3_000, SplitStrategy::Greedy);
+        let q = Mbr::of_ball(&[2.0, -3.0, 5.0], 2.0);
+        idx.crack(&q);
+        idx.check_invariants();
+        let mut found = Vec::new();
+        idx.search_region(&q, |id| found.push(id));
+        found.sort_unstable();
+        assert_eq!(found, brute_force(idx.points(), &q));
+        assert!(idx.node_count() > 1, "crack must split the root");
+    }
+
+    #[test]
+    fn crack_is_idempotent() {
+        let mut idx = fresh(3_000, SplitStrategy::Greedy);
+        let q = Mbr::of_ball(&[2.0, -3.0, 5.0], 2.0);
+        idx.crack(&q);
+        let nodes_after_first = idx.node_count();
+        let splits_after_first = idx.stats().splits_performed;
+        idx.crack(&q);
+        assert_eq!(idx.node_count(), nodes_after_first, "re-crack must not grow");
+        assert_eq!(idx.stats().splits_performed, splits_after_first);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn successive_queries_grow_then_converge() {
+        let mut idx = fresh(5_000, SplitStrategy::Greedy);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sizes = Vec::new();
+        for _ in 0..12 {
+            let c = [
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            ];
+            let q = Mbr::of_ball(&c, 1.0);
+            idx.crack(&q);
+            sizes.push(idx.node_count());
+        }
+        idx.check_invariants();
+        // Growth per query must slow down (convergence of Figs. 9–11).
+        let early = sizes[1] - sizes[0];
+        let late = sizes[11] - sizes[10];
+        assert!(late <= early, "early growth {early}, late {late}");
+    }
+
+    #[test]
+    fn bulk_load_builds_complete_tree() {
+        let ps = random_points(2_000, 3, 9);
+        let idx = CrackingIndex::bulk_load(ps, 16, 8, 2.0);
+        idx.check_invariants();
+        // No unsplit partitions anywhere.
+        for id in idx.contour() {
+            assert!(
+                matches!(idx.nodes[id as usize].kind, NodeKind::Leaf(_)),
+                "bulk-loaded index must be fully split"
+            );
+        }
+        // Leaf sizes bounded by N.
+        for id in idx.contour() {
+            assert!(idx.element_point_ids(id).len() <= 16);
+        }
+    }
+
+    #[test]
+    fn cracked_index_much_smaller_than_bulk(){
+        let ps = random_points(20_000, 3, 11);
+        let bulk = CrackingIndex::bulk_load(ps.clone(), 16, 8, 2.0);
+        let mut cracked = CrackingIndex::new(ps, 16, 8, 2.0, SplitStrategy::Greedy);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let c = [
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            ];
+            cracked.crack(&Mbr::of_ball(&c, 0.8));
+        }
+        assert!(
+            cracked.node_count() * 3 < bulk.node_count(),
+            "cracked {} nodes vs bulk {}",
+            cracked.node_count(),
+            bulk.node_count()
+        );
+        assert!(
+            cracked.stats().splits_performed * 3 < bulk.stats().splits_performed,
+            "cracked {} splits vs bulk {}",
+            cracked.stats().splits_performed,
+            bulk.stats().splits_performed
+        );
+    }
+
+    #[test]
+    fn bulk_and_cracked_search_agree() {
+        let ps = random_points(4_000, 3, 21);
+        let mut bulk = CrackingIndex::bulk_load(ps.clone(), 16, 8, 2.0);
+        let mut cracked = CrackingIndex::new(ps, 16, 8, 2.0, SplitStrategy::Greedy);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..8 {
+            let c = [
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            ];
+            let q = Mbr::of_ball(&c, 1.5);
+            cracked.crack(&q);
+            let mut a = Vec::new();
+            bulk.search_region(&q, |id| a.push(id));
+            let mut b = Vec::new();
+            cracked.search_region(&q, |id| b.push(id));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn seed_scan_returns_nearby_points() {
+        let mut idx = fresh(2_000, SplitStrategy::Greedy);
+        let center = [1.0, 1.0, 1.0];
+        let el = idx.smallest_element_containing(&center);
+        let n_before = idx.element_point_ids(el).len();
+        let seeds = idx.seed_scan(el, &center, 5);
+        assert_eq!(seeds.len(), 5);
+        // After cracking, the probe lands in a smaller element.
+        idx.crack(&Mbr::of_ball(&center, 1.0));
+        let el2 = idx.smallest_element_containing(&center);
+        let n_after = idx.element_point_ids(el2).len();
+        assert!(n_after <= n_before);
+        let seeds2 = idx.seed_scan(el2, &center, 5);
+        assert_eq!(seeds2.len(), 5);
+    }
+
+    #[test]
+    fn topk_strategy_produces_valid_index() {
+        let mut idx = fresh(3_000, SplitStrategy::TopK { choices: 3 });
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let c = [
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            ];
+            let q = Mbr::of_ball(&c, 1.5);
+            idx.crack(&q);
+            idx.check_invariants();
+            let mut found = Vec::new();
+            idx.search_region(&q, |id| found.push(id));
+            found.sort_unstable();
+            assert_eq!(found, brute_force(idx.points(), &q));
+        }
+    }
+
+    #[test]
+    fn index_bytes_grow_with_cracking() {
+        let mut idx = fresh(5_000, SplitStrategy::Greedy);
+        let before = idx.index_bytes();
+        idx.crack(&Mbr::of_ball(&[0.0, 0.0, 0.0], 2.0));
+        // Splitting adds node envelopes even though payload shrinks per
+        // element; byte accounting must stay positive and sane.
+        assert!(idx.index_bytes() > 0);
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn empty_point_set() {
+        let ps = PointSet::from_rows(3, vec![]);
+        let mut idx = CrackingIndex::new(ps, 8, 4, 1.0, SplitStrategy::Greedy);
+        let q = Mbr::of_ball(&[0.0, 0.0, 0.0], 1.0);
+        idx.crack(&q);
+        let mut found = Vec::new();
+        idx.search_region(&q, |id| found.push(id));
+        assert!(found.is_empty());
+        idx.check_invariants();
+    }
+}

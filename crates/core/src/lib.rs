@@ -1,0 +1,39 @@
+//! The paper's primary contribution: an **online cracking R-tree index**
+//! over JL-transformed knowledge-graph embeddings, and query processing
+//! for predictive top-k entity and aggregate queries.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`geometry`] — points in the low-dimensional index space S₂ and
+//!   minimum bounding regions.
+//! * [`rtree`] — the top-down bulk-loading machinery of Algorithm 1
+//!   (BULKLOADCHUNK): multi-sort-order partitions, best-binary-split
+//!   selection, and the two-component node-splitting cost model (§IV-B1).
+//! * [`index`] — the cracking/uneven R-tree itself (§IV-C): the greedy
+//!   INCREMENTALINDEXBUILD, the A*-style TOP-KSPLITSINDEXBUILD
+//!   (Algorithm 2), contours (Definition 2), and a full offline bulk-load
+//!   path used as the evaluation baseline.
+//! * [`query`] — FINDTOP-KENTITIES (Algorithm 3, §V-A) and the
+//!   COUNT/SUM/AVG/MAX/MIN estimators with martingale deviation bounds
+//!   (§V-B, Theorem 4).
+//! * [`vkg`] — the `VirtualKnowledgeGraph` facade assembling graph +
+//!   attributes + embeddings + transform + index into one queryable
+//!   object (Definition 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod geometry;
+pub mod index;
+pub mod query;
+pub mod rtree;
+pub mod stats;
+pub mod vkg;
+
+pub use config::{SplitStrategy, VkgConfig};
+pub use index::CrackingIndex;
+pub use query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
+pub use query::topk::TopKResult;
+pub use stats::IndexStats;
+pub use vkg::{Direction, VirtualKnowledgeGraph};

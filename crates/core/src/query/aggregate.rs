@@ -1,0 +1,362 @@
+//! Aggregate and statistical queries (§V-B): COUNT, SUM, AVG, MAX, MIN
+//! over the attributes of the entities in a probability ball, with the
+//! martingale (Azuma) deviation bound of Theorem 4.
+//!
+//! The relevant entities lie in the S₁ ball of radius `r_τ = d_min/p_τ`
+//! around the query center; their probabilities decrease from 1 at the
+//! center (inverse-distance model). The estimator accesses only the `a`
+//! most-probable of the `b` ball members and scales up per Equation (3)
+//! (COUNT/SUM/AVG) or Equation (4) (MAX/MIN).
+
+/// Which aggregate to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Expected number of relevant entities.
+    Count,
+    /// Expected sum of an attribute.
+    Sum,
+    /// Expected average of an attribute.
+    Avg,
+    /// Expected maximum of an attribute.
+    Max,
+    /// Expected minimum of an attribute.
+    Min,
+}
+
+/// Specification of one aggregate query.
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// The aggregate to compute.
+    pub kind: AggregateKind,
+    /// Attribute name (ignored for COUNT).
+    pub attribute: Option<String>,
+    /// Probability threshold `p_τ` delimiting the ball (paper example:
+    /// 0.05; ground truth in §VI uses 0.01).
+    pub p_tau: f64,
+    /// How many of the closest points to access (`a`); `None` = all.
+    pub sample_size: Option<usize>,
+}
+
+impl AggregateSpec {
+    /// COUNT with threshold `p_τ`.
+    pub fn count(p_tau: f64) -> Self {
+        Self {
+            kind: AggregateKind::Count,
+            attribute: None,
+            p_tau,
+            sample_size: None,
+        }
+    }
+
+    /// An attribute aggregate with threshold `p_τ`.
+    pub fn of(kind: AggregateKind, attribute: &str, p_tau: f64) -> Self {
+        Self {
+            kind,
+            attribute: Some(attribute.to_owned()),
+            p_tau,
+            sample_size: None,
+        }
+    }
+
+    /// Restricts the estimator to the `a` most-probable entities.
+    pub fn with_sample(mut self, a: usize) -> Self {
+        self.sample_size = Some(a);
+        self
+    }
+}
+
+/// The Theorem 4 deviation bound attached to an estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviationBound {
+    /// The estimate μ the bound is relative to.
+    pub mu: f64,
+    /// `Σ_{i≤a} vᵢ² + (b−a)·v_m²` — the martingale increment mass.
+    pub increment_mass: f64,
+}
+
+impl DeviationBound {
+    /// `Pr[|S − μ| ≥ δμ] ≤ 2·exp(−2δ²μ² / (Σ vᵢ² + (b−a)v_m²))`.
+    pub fn tail_probability(&self, delta: f64) -> f64 {
+        assert!(delta >= 0.0, "δ must be non-negative");
+        if self.increment_mass <= 0.0 {
+            // No unaccessed mass and zero accessed values: the estimate is
+            // exact.
+            return if delta == 0.0 { 1.0 } else { 0.0 };
+        }
+        (2.0 * (-2.0 * delta * delta * self.mu * self.mu / self.increment_mass).exp()).min(1.0)
+    }
+
+    /// The smallest relative error δ guaranteed with probability at least
+    /// `confidence` (inverts the tail bound).
+    pub fn delta_for_confidence(&self, confidence: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&confidence),
+            "confidence must be in [0, 1), got {confidence}"
+        );
+        if self.increment_mass <= 0.0 || self.mu == 0.0 {
+            return 0.0;
+        }
+        let tail = 1.0 - confidence;
+        ((self.increment_mass * (2.0 / tail).ln()) / (2.0 * self.mu * self.mu)).sqrt()
+    }
+}
+
+/// Result of one aggregate query.
+#[derive(Debug, Clone)]
+pub struct AggregateResult {
+    /// The expected aggregate value.
+    pub estimate: f64,
+    /// Number of entities accessed (`a`).
+    pub accessed: usize,
+    /// Total entities in the ball (`b`).
+    pub ball_size: usize,
+    /// The Theorem 4 deviation bound (meaningful for COUNT/SUM/AVG; for
+    /// MAX/MIN it is the analogous bound sketched at the end of §V-B).
+    pub bound: DeviationBound,
+}
+
+/// Equation (3): expected SUM from the `a` accessed `(value, probability)`
+/// pairs and the probabilities of **all** `b` ball members
+/// (`probs_all[i]` descending; the first `values.len()` entries align
+/// with `values`).
+pub fn estimate_sum(values: &[f64], probs_all: &[f64]) -> f64 {
+    let a = values.len();
+    assert!(a <= probs_all.len(), "more values than ball members");
+    if a == 0 {
+        return 0.0;
+    }
+    let weighted: f64 = values.iter().zip(probs_all).map(|(v, p)| v * p).sum();
+    let sum_a: f64 = probs_all[..a].iter().sum();
+    let sum_b: f64 = probs_all.iter().sum();
+    if sum_a <= 0.0 {
+        return 0.0;
+    }
+    weighted * (sum_b / sum_a)
+}
+
+/// COUNT = SUM over the constant 1: `Σ_{i≤b} pᵢ` (independent of `a`
+/// because the index already knows every ball member's probability).
+pub fn estimate_count(probs_all: &[f64]) -> f64 {
+    probs_all.iter().sum()
+}
+
+/// AVG = SUM/COUNT: the probability-weighted mean of the accessed values.
+pub fn estimate_avg(values: &[f64], probs_all: &[f64]) -> f64 {
+    let a = values.len();
+    assert!(a <= probs_all.len(), "more values than ball members");
+    if a == 0 {
+        return 0.0;
+    }
+    let weighted: f64 = values.iter().zip(probs_all).map(|(v, p)| v * p).sum();
+    let sum_a: f64 = probs_all[..a].iter().sum();
+    if sum_a <= 0.0 {
+        return 0.0;
+    }
+    weighted / sum_a
+}
+
+/// Equation (4): expected MAX from the accessed sample.
+///
+/// `E[M_S] = Σ uᵢ·pᵢ·∏_{j<i}(1−pⱼ)` with values re-sorted descending, then
+/// the sample-maximum correction
+/// `E[M] = (E[M_S] − min v)(1 + 1/Σ pᵢ) + min v`.
+pub fn estimate_max(values: &[f64], probs: &[f64]) -> f64 {
+    let a = values.len();
+    assert_eq!(a, probs.len(), "values/probs length mismatch");
+    if a == 0 {
+        return 0.0;
+    }
+    // Sort (value, prob) by value descending.
+    let mut pairs: Vec<(f64, f64)> = values.iter().copied().zip(probs.iter().copied()).collect();
+    pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
+
+    let mut expected_sample_max = 0.0;
+    let mut none_before = 1.0;
+    for &(u, p) in &pairs {
+        expected_sample_max += u * none_before * p;
+        none_before *= 1.0 - p;
+    }
+    let min_v = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let sum_p: f64 = probs.iter().sum();
+    if sum_p <= 0.0 {
+        return expected_sample_max;
+    }
+    // The sample-maximum correction of [19] assumes an effective sample
+    // size Σpᵢ of at least one draw; with less probability mass than one
+    // relevant point there is no basis for extrapolating beyond the
+    // sample, so the factor is clamped (and the result never drops below
+    // the uncorrected expectation — Eq. (4) can otherwise swing negative
+    // when E[M_S] < min v).
+    let effective_n = sum_p.max(1.0);
+    let corrected = (expected_sample_max - min_v) * (1.0 + 1.0 / effective_n) + min_v;
+    corrected.max(expected_sample_max)
+}
+
+/// MIN via negation: `MIN(v) = −MAX(−v)`.
+pub fn estimate_min(values: &[f64], probs: &[f64]) -> f64 {
+    let negated: Vec<f64> = values.iter().map(|v| -v).collect();
+    -estimate_max(&negated, probs)
+}
+
+/// Builds the Theorem 4 deviation bound.
+///
+/// * `mu` — the estimate.
+/// * `accessed_values` — the `a` accessed attribute values (1s for COUNT).
+/// * `unaccessed` — `b − a`.
+/// * `v_max_unaccessed` — (an upper estimate of) the largest |value| among
+///   the unaccessed points. The paper suggests R-tree statistics or the
+///   sample-max inflation of Eq. (4); callers pick.
+pub fn deviation_bound(
+    mu: f64,
+    accessed_values: &[f64],
+    unaccessed: usize,
+    v_max_unaccessed: f64,
+) -> DeviationBound {
+    let mass: f64 = accessed_values.iter().map(|v| v * v).sum::<f64>()
+        + unaccessed as f64 * v_max_unaccessed * v_max_unaccessed;
+    DeviationBound {
+        mu,
+        increment_mass: mass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_with_full_access_is_expected_value() {
+        // Full access (a = b): E[s] = Σ vᵢpᵢ · (Σp/Σp) = Σ vᵢpᵢ.
+        let values = [10.0, 20.0, 30.0];
+        let probs = [1.0, 0.5, 0.25];
+        let e = estimate_sum(&values, &probs);
+        assert!((e - (10.0 + 10.0 + 7.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_scales_partial_sample() {
+        // Access only the first of two identical points: estimator must
+        // scale up by Σ_b p / Σ_a p = 1.5/1.0.
+        let e = estimate_sum(&[10.0], &[1.0, 0.5]);
+        assert!((e - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_sums_probabilities() {
+        assert!((estimate_count(&[1.0, 0.5, 0.25, 0.05]) - 1.8).abs() < 1e-12);
+        assert_eq!(estimate_count(&[]), 0.0);
+    }
+
+    #[test]
+    fn avg_is_weighted_mean() {
+        let e = estimate_avg(&[10.0, 30.0], &[1.0, 0.5]);
+        assert!((e - (10.0 + 15.0) / 1.5).abs() < 1e-12);
+        // Constant values → AVG equals the constant regardless of probs.
+        let c = estimate_avg(&[7.0, 7.0, 7.0], &[1.0, 0.3, 0.1]);
+        assert!((c - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_unaffected_by_unaccessed_probability_mass() {
+        let partial = estimate_avg(&[10.0, 30.0], &[1.0, 0.5, 0.4, 0.3]);
+        let full_probs = estimate_avg(&[10.0, 30.0], &[1.0, 0.5]);
+        assert!((partial - full_probs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_with_certain_point_is_that_point_dominated() {
+        // Single certain value: E[M_S] = v; correction (v−v)(1+1/1)+v = v.
+        let e = estimate_max(&[42.0], &[1.0]);
+        assert!((e - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_correction_extrapolates_beyond_sample() {
+        // Uniform sample far from its own max → estimator exceeds the
+        // sample max (the (1 + 1/n) correction of [19]).
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let probs = [1.0, 1.0, 1.0, 1.0];
+        let e = estimate_max(&values, &probs);
+        assert!(e > 4.0, "estimate {e} should exceed the sample max");
+        assert!(e < 6.0, "estimate {e} unreasonably large");
+    }
+
+    #[test]
+    fn max_weighs_improbable_large_values_less() {
+        let certain = estimate_max(&[10.0, 100.0], &[1.0, 1.0]);
+        let unlikely = estimate_max(&[10.0, 100.0], &[1.0, 0.01]);
+        assert!(unlikely < certain);
+    }
+
+    #[test]
+    fn min_mirrors_max() {
+        let values = [3.0, 9.0, 1.0];
+        let probs = [1.0, 0.5, 0.8];
+        let min = estimate_min(&values, &probs);
+        let neg: Vec<f64> = values.iter().map(|v| -v).collect();
+        let max_of_neg = estimate_max(&neg, &probs);
+        assert!((min + max_of_neg).abs() < 1e-12);
+        assert!(min < 3.0, "min estimate {min} should be pulled low");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(estimate_sum(&[], &[]), 0.0);
+        assert_eq!(estimate_avg(&[], &[]), 0.0);
+        assert_eq!(estimate_max(&[], &[]), 0.0);
+        assert_eq!(estimate_min(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn deviation_bound_monotone_in_delta() {
+        let b = deviation_bound(100.0, &[5.0, 5.0, 5.0], 10, 5.0);
+        let mut prev = f64::INFINITY;
+        for d in [0.01, 0.05, 0.1, 0.5, 1.0] {
+            let p = b.tail_probability(d);
+            assert!(p <= prev);
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn deviation_bound_tightens_with_more_access() {
+        // Accessing more points moves mass from (b−a)v_m² to Σ v² with
+        // smaller values → smaller increment mass → tighter bound.
+        let loose = deviation_bound(100.0, &[5.0], 20, 10.0);
+        let tight = deviation_bound(100.0, &[5.0; 15], 6, 10.0);
+        assert!(tight.increment_mass < loose.increment_mass);
+        assert!(tight.tail_probability(0.1) <= loose.tail_probability(0.1));
+    }
+
+    #[test]
+    fn confidence_inversion_roundtrip() {
+        let b = deviation_bound(50.0, &[2.0; 10], 5, 3.0);
+        for conf in [0.5, 0.9, 0.99] {
+            let delta = b.delta_for_confidence(conf);
+            let tail = b.tail_probability(delta);
+            assert!(
+                tail <= 1.0 - conf + 1e-9,
+                "conf {conf}: δ {delta} gives tail {tail}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_estimate_has_zero_tail() {
+        let b = deviation_bound(10.0, &[], 0, 0.0);
+        assert_eq!(b.tail_probability(0.5), 0.0);
+        assert_eq!(b.delta_for_confidence(0.99), 0.0);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let c = AggregateSpec::count(0.05);
+        assert_eq!(c.kind, AggregateKind::Count);
+        assert!(c.attribute.is_none());
+        let s = AggregateSpec::of(AggregateKind::Avg, "year", 0.01).with_sample(100);
+        assert_eq!(s.kind, AggregateKind::Avg);
+        assert_eq!(s.attribute.as_deref(), Some("year"));
+        assert_eq!(s.sample_size, Some(100));
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-answer accuracy guarantees (Theorems 2 and 3), attached to every
+//! top-k result.
+
+use vkg_transform::bounds;
+
+/// The data-dependent guarantee of Theorem 2 for one answered top-k query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKGuarantee {
+    /// The ratios `mᵢ = (r*_k / r*_i)(1+ε)` for the k reported entities.
+    pub ratios: Vec<f64>,
+    /// Probability that no true top-k entity was missed.
+    pub success_probability: f64,
+    /// Expected number of missing entities vs the ground truth.
+    pub expected_misses: f64,
+}
+
+/// Computes the Theorem 2 guarantee from the S₁ distances of the reported
+/// top-k entities (ascending order expected but not required).
+///
+/// `r*_k` is the largest reported distance; ratio `mᵢ = (r*_k/r*_i)(1+ε)`.
+pub fn topk_guarantee(distances: &[f64], epsilon: f64, alpha: usize) -> TopKGuarantee {
+    let r_k = distances.iter().copied().fold(0.0f64, f64::max);
+    let ratios: Vec<f64> = distances
+        .iter()
+        .map(|&r_i| {
+            if r_i <= 0.0 {
+                // An exact hit can only be missed with vanishing
+                // probability; its ratio is effectively unbounded. Cap at
+                // a large finite value to keep arithmetic clean.
+                1e6
+            } else {
+                (r_k / r_i) * (1.0 + epsilon)
+            }
+        })
+        .collect();
+    TopKGuarantee {
+        success_probability: bounds::topk_success_probability(&ratios, alpha),
+        expected_misses: bounds::expected_misses(&ratios, alpha),
+        ratios,
+    }
+}
+
+/// Theorem 3's spill-in bound for the final query region: probability a
+/// far point (distance ≥ `r*_k(1+ε)/(1−ε′)`) intrudes.
+pub fn spill_in_bound(epsilon_prime: f64, alpha: usize) -> f64 {
+    bounds::spill_in_bound(epsilon_prime, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_fields_consistent() {
+        let g = topk_guarantee(&[1.0, 2.0, 4.0], 3.0, 3);
+        assert_eq!(g.ratios.len(), 3);
+        // m for the farthest entity is exactly (1+ε).
+        assert!((g.ratios[2] - 4.0).abs() < 1e-12);
+        // m for the closest is (4/1)(1+3) = 16.
+        assert!((g.ratios[0] - 16.0).abs() < 1e-12);
+        assert!(g.success_probability > 0.0 && g.success_probability <= 1.0);
+        assert!(g.expected_misses >= 0.0);
+    }
+
+    #[test]
+    fn closer_entities_are_safer() {
+        let g = topk_guarantee(&[1.0, 2.0, 4.0], 3.0, 3);
+        // Larger ratio → smaller miss probability, so ratios descending in
+        // distance order means guarantees are strongest for the closest.
+        assert!(g.ratios[0] > g.ratios[1]);
+        assert!(g.ratios[1] > g.ratios[2]);
+    }
+
+    #[test]
+    fn bigger_epsilon_improves_success() {
+        let small = topk_guarantee(&[1.0, 2.0, 3.0], 0.5, 3);
+        let large = topk_guarantee(&[1.0, 2.0, 3.0], 4.0, 3);
+        assert!(large.success_probability >= small.success_probability);
+        assert!(large.expected_misses <= small.expected_misses);
+    }
+
+    #[test]
+    fn zero_distance_gets_capped_ratio() {
+        let g = topk_guarantee(&[0.0, 1.0], 3.0, 3);
+        assert_eq!(g.ratios[0], 1e6);
+        assert!(g.success_probability > 0.99);
+    }
+
+    #[test]
+    fn empty_result_is_vacuously_safe() {
+        let g = topk_guarantee(&[], 3.0, 3);
+        assert_eq!(g.success_probability, 1.0);
+        assert_eq!(g.expected_misses, 0.0);
+    }
+}

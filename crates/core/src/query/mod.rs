@@ -1,0 +1,6 @@
+//! Query processing over the virtual knowledge graph (paper §V).
+
+pub mod aggregate;
+pub mod guarantees;
+pub mod probability;
+pub mod topk;

@@ -1,0 +1,414 @@
+//! FINDTOP-KENTITIES (Algorithm 3, §V-A).
+//!
+//! The algorithm runs in the low-dimensional index space S₂ but ranks by
+//! true S₁ distance: it seeds a top-k set from the contour element
+//! containing the query point, inflates the k-th S₁ distance by `(1+ε)`
+//! into an S₂ ball, and examines the ball's points while the ball
+//! monotonically shrinks as better candidates arrive. When the region
+//! stabilizes the index is cracked for it (line 9), so subsequent queries
+//! near the same region find a finer tree.
+//!
+//! This module implements the algorithm generically over two closures —
+//! the S₁ distance oracle and the skip predicate (known `E`-edges and the
+//! query entity itself are excluded per §II's E′-only semantics) — so the
+//! same code serves tail queries (`h + r`), head queries (`t − r`), and
+//! the unit tests' synthetic geometry.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::geometry::Mbr;
+use crate::index::CrackingIndex;
+
+use super::guarantees::{topk_guarantee, TopKGuarantee};
+use super::probability::inverse_distance_probabilities;
+
+/// One predicted edge endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Point id (= dense entity id).
+    pub id: u32,
+    /// Distance in the original embedding space S₁ (lower = more likely).
+    pub distance: f64,
+    /// Edge probability under the §V-B inverse-distance model.
+    pub probability: f64,
+}
+
+/// Result of one top-k query.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// Up to `k` predictions, ascending by S₁ distance.
+    pub predictions: Vec<Prediction>,
+    /// The Theorem 2 guarantee computed from the reported distances.
+    pub guarantee: TopKGuarantee,
+    /// Number of candidate points whose S₁ distance was evaluated.
+    pub s1_evals: u64,
+    /// Number of points examined in S₂ (the cheap filter).
+    pub candidates_examined: u64,
+}
+
+/// Max-heap entry so the k-th (worst) current answer pops first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    distance: f64,
+    id: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs Algorithm 3.
+///
+/// * `q_s2` — the query center in S₂ (the transformed `h + r` / `t − r`).
+/// * `k` — number of entities requested.
+/// * `epsilon` — the radius inflation of line 3 (`r_q = r*_k(1+ε)`).
+/// * `alpha` — dimensionality of S₂ (for the Theorem 2 guarantee).
+/// * `s1_distance(id)` — the true S₁ distance from the query point to the
+///   entity's embedding (the expensive oracle; evaluations are counted).
+/// * `skip(id)` — true for entities excluded from `E'` (existing
+///   neighbours, the query entity itself).
+pub fn find_top_k(
+    index: &mut CrackingIndex,
+    q_s2: &[f64],
+    k: usize,
+    epsilon: f64,
+    alpha: usize,
+    mut s1_distance: impl FnMut(u32) -> f64,
+    mut skip: impl FnMut(u32) -> bool,
+) -> TopKResult {
+    assert!(k > 0, "top-k requires k ≥ 1");
+    assert!(epsilon > 0.0, "ε must be positive");
+    let mut s1_evals = 0u64;
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+
+    // Line 2: probe the smallest contour element containing q and seed
+    // the k-set by walking its points outward along one sort order.
+    let element = index.smallest_element_containing(q_s2);
+    let seed_want = (k * 4).max(16);
+    let seeds = index.seed_scan(element, q_s2, seed_want);
+    for id in seeds {
+        if skip(id) {
+            continue;
+        }
+        let d = s1_distance(id);
+        s1_evals += 1;
+        push_candidate(&mut heap, k, id, d);
+    }
+
+    // Lines 3–4: initial region. If seeding found fewer than k usable
+    // entities the radius is unknown; fall back to the whole data region
+    // (correct, just slower — happens only on degenerate inputs).
+    let initial_region = if heap.len() >= k {
+        let r_q = heap.peek().expect("non-empty heap").distance * (1.0 + epsilon);
+        Mbr::of_ball(q_s2, r_q)
+    } else {
+        index.points().mbr_of(&index.points().all_ids())
+    };
+
+    // Gather the candidate ids in the initial region and consume them
+    // nearest-in-S₂ first so the ball shrinks as early as possible (the
+    // "increasing distance from q" traversal of lines 5–8). A lazy
+    // min-heap beats a full sort: as soon as the nearest unexamined
+    // candidate falls outside the shrunken ball, everything else does
+    // too and the loop ends.
+    let mut candidates: Vec<(f64, u32)> = Vec::new();
+    index.search_region(&initial_region, |id| candidates.push((0.0, id)));
+    for c in &mut candidates {
+        c.0 = index.points().distance_sq(c.1, q_s2);
+    }
+    let candidates_examined = candidates.len() as u64;
+    let mut frontier: BinaryHeap<std::cmp::Reverse<HeapEntry>> = candidates
+        .into_iter()
+        .map(|(d, id)| std::cmp::Reverse(HeapEntry { distance: d, id }))
+        .collect();
+
+    let mut current_r_sq = current_ball_radius_sq(&heap, k, epsilon);
+    let mut seen: std::collections::HashSet<u32> = heap.iter().map(|e| e.id).collect();
+    while let Some(std::cmp::Reverse(HeapEntry { distance: d_s2_sq, id })) = frontier.pop() {
+        // Line 5's loop condition: the region Q only shrinks, so once the
+        // nearest remaining candidate is outside the current ball, all
+        // data points in Q have been examined.
+        if d_s2_sq > current_r_sq {
+            break;
+        }
+        if !seen.insert(id) || skip(id) {
+            continue;
+        }
+        let d = s1_distance(id);
+        s1_evals += 1;
+        if push_candidate(&mut heap, k, id, d) {
+            current_r_sq = current_ball_radius_sq(&heap, k, epsilon);
+        }
+    }
+
+    // Line 9: crack the index for the final (stabilized) region.
+    let final_region = if heap.is_empty() {
+        initial_region
+    } else {
+        let r_k = heap.peek().expect("non-empty heap").distance;
+        Mbr::of_ball(q_s2, r_k * (1.0 + epsilon))
+    };
+    index.crack(&final_region);
+    index.stats_mut().s1_distance_evals += s1_evals;
+
+    // Assemble ascending results with probabilities and guarantees.
+    let mut entries: Vec<HeapEntry> = heap.into_vec();
+    entries.sort();
+    let distances: Vec<f64> = entries.iter().map(|e| e.distance).collect();
+    let probabilities = inverse_distance_probabilities(&distances);
+    let predictions = entries
+        .into_iter()
+        .zip(probabilities)
+        .map(|(e, probability)| Prediction {
+            id: e.id,
+            distance: e.distance,
+            probability,
+        })
+        .collect();
+    let guarantee = topk_guarantee(&distances, epsilon, alpha);
+
+    TopKResult {
+        predictions,
+        guarantee,
+        s1_evals,
+        candidates_examined,
+    }
+}
+
+/// Pushes a candidate into the bounded max-heap; returns whether the k-th
+/// distance changed (the ball can shrink).
+fn push_candidate(heap: &mut BinaryHeap<HeapEntry>, k: usize, id: u32, distance: f64) -> bool {
+    if heap.len() < k {
+        heap.push(HeapEntry { distance, id });
+        true
+    } else if distance < heap.peek().expect("heap at capacity").distance {
+        heap.pop();
+        heap.push(HeapEntry { distance, id });
+        true
+    } else {
+        false
+    }
+}
+
+/// Squared S₂ ball radius for the current k-set (infinite until k found).
+fn current_ball_radius_sq(heap: &BinaryHeap<HeapEntry>, k: usize, epsilon: f64) -> f64 {
+    if heap.len() < k {
+        f64::INFINITY
+    } else {
+        let r = heap.peek().expect("non-empty heap").distance * (1.0 + epsilon);
+        r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitStrategy;
+    use crate::geometry::PointSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic setup where S₁ *is* S₂ (identity transform): exactness
+    /// is then required, which pins the algorithm's plumbing.
+    fn identity_setup(n: usize, seed: u64) -> (CrackingIndex, Vec<[f64; 3]>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                ]
+            })
+            .collect();
+        let coords: Vec<f64> = pts.iter().flatten().copied().collect();
+        let ps = PointSet::from_rows(3, coords);
+        let idx = CrackingIndex::new(ps, 16, 8, 2.0, SplitStrategy::Greedy);
+        (idx, pts)
+    }
+
+    fn l2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn brute_top_k(pts: &[[f64; 3]], q: &[f64], k: usize, skip: &dyn Fn(u32) -> bool) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..pts.len() as u32).filter(|&i| !skip(i)).collect();
+        ids.sort_by(|&a, &b| {
+            l2(&pts[a as usize], q)
+                .total_cmp(&l2(&pts[b as usize], q))
+        });
+        ids.truncate(k);
+        ids
+    }
+
+    #[test]
+    fn exact_under_identity_transform() {
+        let (mut idx, pts) = identity_setup(2_000, 1);
+        let q = [1.0, -2.0, 3.0];
+        let result = find_top_k(
+            &mut idx,
+            &q,
+            5,
+            1.0,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |_| false,
+        );
+        let got: Vec<u32> = result.predictions.iter().map(|p| p.id).collect();
+        let want = brute_top_k(&pts, &q, 5, &|_| false);
+        assert_eq!(got, want);
+        // Ascending distances, probabilities descending from 1.
+        for w in result.predictions.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+            assert!(w[0].probability >= w[1].probability);
+        }
+        assert_eq!(result.predictions[0].probability, 1.0);
+    }
+
+    #[test]
+    fn skip_predicate_excludes_neighbours() {
+        let (mut idx, pts) = identity_setup(500, 2);
+        let q = pts[7];
+        let result = find_top_k(
+            &mut idx,
+            &q,
+            3,
+            1.0,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |id| id == 7 || id == 11,
+        );
+        let got: Vec<u32> = result.predictions.iter().map(|p| p.id).collect();
+        assert!(!got.contains(&7));
+        assert!(!got.contains(&11));
+        let want = brute_top_k(&pts, &q, 3, &|id| id == 7 || id == 11);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn repeated_queries_get_faster() {
+        let (mut idx, pts) = identity_setup(20_000, 3);
+        let q = [0.5, 0.5, 0.5];
+        let first = find_top_k(
+            &mut idx,
+            &q,
+            10,
+            1.0,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |_| false,
+        );
+        let second = find_top_k(
+            &mut idx,
+            &q,
+            10,
+            1.0,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |_| false,
+        );
+        assert_eq!(
+            first
+                .predictions
+                .iter()
+                .map(|p| p.id)
+                .collect::<Vec<_>>(),
+            second
+                .predictions
+                .iter()
+                .map(|p| p.id)
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            second.candidates_examined <= first.candidates_examined,
+            "cracking must not increase examined candidates ({} → {})",
+            first.candidates_examined,
+            second.candidates_examined
+        );
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn fewer_points_than_k() {
+        let (mut idx, pts) = identity_setup(3, 4);
+        let q = [0.0, 0.0, 0.0];
+        let result = find_top_k(
+            &mut idx,
+            &q,
+            10,
+            1.0,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |_| false,
+        );
+        assert_eq!(result.predictions.len(), 3);
+    }
+
+    #[test]
+    fn everything_skipped_yields_empty() {
+        let (mut idx, pts) = identity_setup(50, 5);
+        let q = [0.0, 0.0, 0.0];
+        let result = find_top_k(
+            &mut idx,
+            &q,
+            5,
+            1.0,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |_| true,
+        );
+        assert!(result.predictions.is_empty());
+        assert_eq!(result.guarantee.success_probability, 1.0);
+    }
+
+    #[test]
+    fn s1_evals_bounded_by_examined_plus_seeds() {
+        let (mut idx, pts) = identity_setup(5_000, 6);
+        let q = [2.0, 2.0, 2.0];
+        let result = find_top_k(
+            &mut idx,
+            &q,
+            5,
+            0.5,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |_| false,
+        );
+        assert!(result.s1_evals <= result.candidates_examined + 16 + 20);
+        assert!(result.s1_evals >= 5);
+    }
+
+    #[test]
+    fn guarantee_attached() {
+        let (mut idx, pts) = identity_setup(1_000, 7);
+        let q = [0.0, 0.0, 0.0];
+        let r = find_top_k(
+            &mut idx,
+            &q,
+            5,
+            3.0,
+            3,
+            |id| l2(&pts[id as usize], &q),
+            |_| false,
+        );
+        assert_eq!(r.guarantee.ratios.len(), 5);
+        assert!(r.guarantee.success_probability > 0.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! The two-component node-splitting cost model (paper §IV-B1).
+//!
+//! A cost is a pair `(c_Q, c_O)`:
+//!
+//! * `c_Q` — the Lemma 3 lower bound on leaf accesses for the query
+//!   region, `Σ_{e∈𝒞} ⌈|Q∩e|/N⌉`. Integral.
+//! * `c_O` — accumulated overlap penalty, `Σ βʰ·‖O‖/min(‖L‖,‖H‖)` over
+//!   binary splits. Real-valued.
+//!
+//! Comparison is **lexicographic**: the paper treats `c_Q` as the major
+//! order and `c_O` as the secondary order, because the query region is a
+//! small ball and optimizing its access cost dominates.
+
+use std::cmp::Ordering;
+
+/// A composite `(c_Q, c_O)` cost. Smaller is better.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitCost {
+    /// Query-access component (major order).
+    pub cq: u64,
+    /// Overlap component (secondary order).
+    pub co: f64,
+}
+
+impl SplitCost {
+    /// The zero cost.
+    pub const ZERO: SplitCost = SplitCost { cq: 0, co: 0.0 };
+
+    /// Creates a cost.
+    pub fn new(cq: u64, co: f64) -> Self {
+        debug_assert!(co.is_finite() && co >= 0.0, "invalid overlap cost {co}");
+        Self { cq, co }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: SplitCost) -> SplitCost {
+        SplitCost {
+            cq: self.cq + other.cq,
+            co: self.co + other.co,
+        }
+    }
+}
+
+impl Eq for SplitCost {}
+
+impl PartialOrd for SplitCost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SplitCost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cq
+            .cmp(&other.cq)
+            .then_with(|| self.co.total_cmp(&other.co))
+    }
+}
+
+/// The per-split overlap penalty `βʰ · ‖O‖ / min(‖L‖, ‖H‖)`.
+///
+/// When both candidate sides are degenerate (zero volume — e.g. all
+/// points share an axis value), overlap is necessarily zero too and the
+/// penalty is 0.
+pub fn overlap_penalty(beta: f64, height: u32, overlap: f64, vol_low: f64, vol_high: f64) -> f64 {
+    debug_assert!(beta >= 1.0);
+    let min_vol = vol_low.min(vol_high);
+    if overlap <= 0.0 {
+        return 0.0;
+    }
+    // overlap ≤ min_vol geometrically, so min_vol > 0 here.
+    beta.powi(height as i32) * overlap / min_vol
+}
+
+/// `⌈a / b⌉` for the Lemma 3 page count.
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_ordering() {
+        let a = SplitCost::new(1, 100.0);
+        let b = SplitCost::new(2, 0.0);
+        assert!(a < b, "c_Q dominates c_O");
+        let c = SplitCost::new(1, 0.5);
+        assert!(c < a, "ties on c_Q broken by c_O");
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let s = SplitCost::new(2, 1.5).plus(SplitCost::new(3, 0.25));
+        assert_eq!(s.cq, 5);
+        assert!((s.co - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_scales_with_height() {
+        let at0 = overlap_penalty(2.0, 0, 1.0, 4.0, 8.0);
+        let at3 = overlap_penalty(2.0, 3, 1.0, 4.0, 8.0);
+        assert!((at0 - 0.25).abs() < 1e-12);
+        assert!((at3 - 2.0).abs() < 1e-12, "β³ = 8 × 0.25");
+    }
+
+    #[test]
+    fn penalty_zero_without_overlap() {
+        assert_eq!(overlap_penalty(2.0, 5, 0.0, 1.0, 1.0), 0.0);
+        assert_eq!(overlap_penalty(2.0, 5, 0.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn div_ceil_examples() {
+        assert_eq!(div_ceil(0, 10), 0);
+        assert_eq!(div_ceil(1, 10), 1);
+        assert_eq!(div_ceil(10, 10), 1);
+        assert_eq!(div_ceil(11, 10), 2);
+    }
+
+    #[test]
+    fn sorting_uses_ord() {
+        let mut costs = vec![
+            SplitCost::new(2, 0.0),
+            SplitCost::new(0, 9.0),
+            SplitCost::new(0, 1.0),
+            SplitCost::new(1, 0.0),
+        ];
+        costs.sort();
+        assert_eq!(
+            costs,
+            vec![
+                SplitCost::new(0, 1.0),
+                SplitCost::new(0, 9.0),
+                SplitCost::new(1, 0.0),
+                SplitCost::new(2, 0.0),
+            ]
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Top-down R-tree bulk-loading machinery (Algorithm 1, BULKLOADCHUNK).
+//!
+//! The cracking index in [`crate::index`] reuses everything here: the
+//! multi-sort-order partition representation ([`sorted::SortOrders`]),
+//! the two-component node-splitting cost ([`cost::SplitCost`]), and the
+//! BESTBINARYSPLIT candidate enumeration ([`split::best_splits`]).
+
+pub mod cost;
+pub mod sorted;
+pub mod split;
+
+pub use cost::SplitCost;
+pub use sorted::SortOrders;
+pub use split::{best_splits, SplitCandidate};
+
+/// Height of a packed R-tree over `len` points with leaf capacity `n_leaf`
+/// and fanout `m_fanout`: the smallest `h` with `n_leaf · m_fanout^h ≥ len`.
+///
+/// Height 0 means the points fit in a single leaf.
+pub fn height_for(len: usize, n_leaf: usize, m_fanout: usize) -> u32 {
+    debug_assert!(n_leaf >= 1 && m_fanout >= 2);
+    let mut h = 0u32;
+    let mut capacity = n_leaf;
+    while capacity < len {
+        capacity = capacity.saturating_mul(m_fanout);
+        h += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_examples() {
+        assert_eq!(height_for(0, 10, 4), 0);
+        assert_eq!(height_for(10, 10, 4), 0);
+        assert_eq!(height_for(11, 10, 4), 1);
+        assert_eq!(height_for(40, 10, 4), 1);
+        assert_eq!(height_for(41, 10, 4), 2);
+        assert_eq!(height_for(160, 10, 4), 2);
+        assert_eq!(height_for(161, 10, 4), 3);
+    }
+
+    #[test]
+    fn height_monotonic_in_len() {
+        let mut prev = 0;
+        for len in 1..2000 {
+            let h = height_for(len, 8, 4);
+            assert!(h >= prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn capacity_covers_len() {
+        for len in [1usize, 7, 100, 999, 12345] {
+            let h = height_for(len, 16, 8);
+            let cap = 16usize * 8usize.pow(h);
+            assert!(cap >= len, "len {len}: height {h} capacity {cap}");
+        }
+    }
+}

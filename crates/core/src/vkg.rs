@@ -1,0 +1,728 @@
+//! The virtual knowledge graph facade (Definition 1).
+//!
+//! Assembles the materialized graph `G = (V, E)`, its attributes, the
+//! embedding store (the algorithm 𝒜 inducing the predicted edges `E'`),
+//! the JL transform S₁ → S₂ and the cracking index into one queryable
+//! object. Queries follow the paper's default E′-only semantics: results
+//! never include edges already in `E`, nor the query entity itself.
+
+use vkg_embed::EmbeddingStore;
+use vkg_kg::{AttributeStore, EntityId, KgError, KnowledgeGraph, RelationId};
+use vkg_transform::JlTransform;
+
+use crate::config::VkgConfig;
+use crate::geometry::{Mbr, PointSet};
+use crate::index::CrackingIndex;
+use crate::query::aggregate::{
+    self, AggregateKind, AggregateResult, AggregateSpec, DeviationBound,
+};
+use crate::query::probability::{inverse_distance_probabilities, radius_for_threshold};
+use crate::query::topk::{find_top_k, TopKResult};
+use crate::stats::IndexStats;
+
+/// Which endpoint of the triple the query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Given a head entity `h`, find tails `t` of likely `(h, r, t)` —
+    /// query center `h + r`.
+    Tails,
+    /// Given a tail entity `t`, find heads `h` of likely `(h, r, t)` —
+    /// query center `t − r`.
+    Heads,
+}
+
+/// Errors raised by query processing.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query entity id is out of range.
+    UnknownEntity(u32),
+    /// The relation id is out of range.
+    UnknownRelation(u32),
+    /// The aggregate references an attribute that does not exist.
+    UnknownAttribute(String),
+    /// An attribute aggregate was requested without naming an attribute.
+    MissingAttribute,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownEntity(id) => write!(f, "unknown entity id {id}"),
+            QueryError::UnknownRelation(id) => write!(f, "unknown relation id {id}"),
+            QueryError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            QueryError::MissingAttribute => {
+                write!(f, "aggregate kind requires an attribute name")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A knowledge graph extended with predicted, probabilistic edges, indexed
+/// for predictive top-k and aggregate queries.
+#[derive(Debug)]
+pub struct VirtualKnowledgeGraph {
+    graph: KnowledgeGraph,
+    attributes: AttributeStore,
+    embeddings: EmbeddingStore,
+    transform: JlTransform,
+    index: CrackingIndex,
+    config: VkgConfig,
+}
+
+impl VirtualKnowledgeGraph {
+    /// Assembles a virtual knowledge graph with an **online cracking**
+    /// index (starts as a root-only tree; queries shape it).
+    ///
+    /// # Panics
+    /// Panics if the embedding store's entity count does not match the
+    /// graph's, or the configuration is invalid.
+    pub fn assemble(
+        graph: KnowledgeGraph,
+        attributes: AttributeStore,
+        embeddings: EmbeddingStore,
+        config: VkgConfig,
+    ) -> Self {
+        let (points, transform) = Self::project(&graph, &embeddings, &config);
+        let mut index = CrackingIndex::new(
+            points,
+            config.leaf_capacity,
+            config.fanout,
+            config.beta,
+            config.split_strategy,
+        );
+        index.set_query_aware_cost(config.query_aware_cost);
+        Self {
+            graph,
+            attributes,
+            embeddings,
+            transform,
+            index,
+            config,
+        }
+    }
+
+    /// Assembles with a fully **bulk-loaded** offline index (the
+    /// BULKLOADCHUNK baseline of §VI).
+    pub fn assemble_bulk_loaded(
+        graph: KnowledgeGraph,
+        attributes: AttributeStore,
+        embeddings: EmbeddingStore,
+        config: VkgConfig,
+    ) -> Self {
+        let (points, transform) = Self::project(&graph, &embeddings, &config);
+        let index =
+            CrackingIndex::bulk_load(points, config.leaf_capacity, config.fanout, config.beta);
+        Self {
+            graph,
+            attributes,
+            embeddings,
+            transform,
+            index,
+            config,
+        }
+    }
+
+    fn project(
+        graph: &KnowledgeGraph,
+        embeddings: &EmbeddingStore,
+        config: &VkgConfig,
+    ) -> (PointSet, JlTransform) {
+        config.validate();
+        assert_eq!(
+            embeddings.num_entities(),
+            graph.num_entities(),
+            "embedding store and graph disagree on entity count"
+        );
+        assert_eq!(
+            embeddings.num_relations(),
+            graph.num_relations(),
+            "embedding store and graph disagree on relation count"
+        );
+        let transform = JlTransform::new(embeddings.dim(), config.alpha, config.transform_seed);
+        let projected = transform.apply_matrix(embeddings.entity_matrix());
+        (PointSet::from_rows(config.alpha, projected), transform)
+    }
+
+    /// The materialized knowledge graph.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// The attribute store.
+    pub fn attributes(&self) -> &AttributeStore {
+        &self.attributes
+    }
+
+    /// The embedding store (space S₁).
+    pub fn embeddings(&self) -> &EmbeddingStore {
+        &self.embeddings
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &VkgConfig {
+        &self.config
+    }
+
+    /// Index statistics (splits, nodes, per-query access counters).
+    pub fn index_stats(&self) -> &IndexStats {
+        self.index.stats()
+    }
+
+    /// Number of index nodes (Fig. 9 metric).
+    pub fn index_node_count(&self) -> usize {
+        self.index.node_count()
+    }
+
+    /// Approximate index size in bytes (Figs. 10–11 metric).
+    pub fn index_bytes(&self) -> usize {
+        self.index.index_bytes()
+    }
+
+    /// Resets the per-query access counters.
+    pub fn reset_access_counters(&mut self) {
+        self.index.stats_mut().reset_access_counters();
+    }
+
+    /// The query center in S₁ for an entity/relation/direction.
+    pub fn query_point_s1(
+        &self,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+    ) -> Result<Vec<f64>, QueryError> {
+        self.check(entity, relation)?;
+        Ok(match direction {
+            Direction::Tails => self.embeddings.tail_query_point(entity, relation),
+            Direction::Heads => self.embeddings.head_query_point(entity, relation),
+        })
+    }
+
+    fn check(&self, entity: EntityId, relation: RelationId) -> Result<(), QueryError> {
+        if entity.index() >= self.graph.num_entities() {
+            return Err(QueryError::UnknownEntity(entity.0));
+        }
+        if relation.index() >= self.graph.num_relations() {
+            return Err(QueryError::UnknownRelation(relation.0));
+        }
+        Ok(())
+    }
+
+    /// Top-k predicted entities for `(entity, relation)` in `direction`
+    /// (Q1-style queries; Algorithm 3).
+    pub fn top_k(
+        &mut self,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        k: usize,
+    ) -> Result<TopKResult, QueryError> {
+        self.top_k_filtered(entity, relation, direction, k, |_| true)
+    }
+
+    /// Top-k restricted to entities accepted by `filter` (e.g. only
+    /// movies). The E′ semantics (skip known edges, skip self) always
+    /// apply on top of the filter.
+    pub fn top_k_filtered(
+        &mut self,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        k: usize,
+        filter: impl Fn(EntityId) -> bool,
+    ) -> Result<TopKResult, QueryError> {
+        let q_s1 = self.query_point_s1(entity, relation, direction)?;
+        let q_s2 = self.transform.apply(&q_s1);
+        let known: std::collections::HashSet<u32> = match direction {
+            Direction::Tails => self.graph.tails(entity, relation).map(|e| e.0).collect(),
+            Direction::Heads => self.graph.heads(entity, relation).map(|e| e.0).collect(),
+        };
+        let embeddings = &self.embeddings;
+        let result = find_top_k(
+            &mut self.index,
+            &q_s2,
+            k,
+            self.config.epsilon,
+            self.config.alpha,
+            |id| embeddings.distance_to_entity(&q_s1, EntityId(id)),
+            |id| id == entity.0 || known.contains(&id) || !filter(EntityId(id)),
+        );
+        Ok(result)
+    }
+
+    /// Answers an aggregate query over the probability ball around the
+    /// query center (§V-B).
+    pub fn aggregate(
+        &mut self,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        spec: &AggregateSpec,
+    ) -> Result<AggregateResult, QueryError> {
+        // Validate the attribute before any work.
+        let attr = match spec.kind {
+            AggregateKind::Count => None,
+            _ => {
+                let name = spec
+                    .attribute
+                    .as_deref()
+                    .ok_or(QueryError::MissingAttribute)?;
+                if !self.attributes.has_attribute(name) {
+                    return Err(QueryError::UnknownAttribute(name.to_owned()));
+                }
+                Some(name.to_owned())
+            }
+        };
+
+        // Step 1: nearest predicted entity fixes d_min (probability 1).
+        let top1 = self.top_k(entity, relation, direction, 1)?;
+        let Some(nearest) = top1.predictions.first().cloned() else {
+            return Ok(AggregateResult {
+                estimate: 0.0,
+                accessed: 0,
+                ball_size: 0,
+                bound: DeviationBound {
+                    mu: 0.0,
+                    increment_mass: 0.0,
+                },
+            });
+        };
+        let d_min = nearest.distance;
+        let r_tau = radius_for_threshold(d_min, spec.p_tau);
+
+        // Step 2: gather the ball members through the index.
+        let q_s1 = self.query_point_s1(entity, relation, direction)?;
+        let q_s2 = self.transform.apply(&q_s1);
+        let region = Mbr::of_ball(&q_s2, r_tau * (1.0 + self.config.epsilon));
+        let known: std::collections::HashSet<u32> = match direction {
+            Direction::Tails => self.graph.tails(entity, relation).map(|e| e.0).collect(),
+            Direction::Heads => self.graph.heads(entity, relation).map(|e| e.0).collect(),
+        };
+        // Candidates arrive with the MBR of their contour element; the
+        // element-center distance in S₂ is the cheap proxy ranking which
+        // points to *access* and the probability estimate for the ones we
+        // never access (§V-B: the index knows per-element counts and
+        // average distances; only accessed points get exact distances).
+        let mut candidates: Vec<(u32, f64)> = Vec::new();
+        self.index.search_region_elements(&region, |id, elem_mbr| {
+            let center = elem_mbr.center();
+            let approx: f64 = center[..q_s2.len()]
+                .iter()
+                .zip(&q_s2)
+                .map(|(c, q)| (c - q) * (c - q))
+                .sum::<f64>()
+                .sqrt();
+            candidates.push((id, approx));
+        });
+
+        // Schema-level filtering (attribute presence is catalog metadata,
+        // not a record access) and E′ semantics.
+        let mut filtered: Vec<(u32, f64)> = Vec::with_capacity(candidates.len());
+        for (id, approx) in candidates {
+            if id == entity.0 || known.contains(&id) {
+                continue;
+            }
+            if let Some(name) = &attr {
+                match self.attributes.get(name, EntityId(id)) {
+                    Ok(Some(_)) => {}
+                    Ok(None) => continue,
+                    Err(KgError::UnknownAttribute(a)) => {
+                        return Err(QueryError::UnknownAttribute(a))
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // The anchoring nearest entity is always accessed first.
+            let key = if id == nearest.id { 0.0 } else { approx };
+            filtered.push((id, key));
+        }
+        filtered.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+        // Step 3: access the `a` most-promising points exactly; estimate
+        // the rest from their element geometry.
+        let budget = spec.sample_size.unwrap_or(usize::MAX);
+        let mut accessed: Vec<(f64, f64)> = Vec::new(); // (distance, value)
+        let mut unaccessed_dists: Vec<f64> = Vec::new();
+        let mut s1_evals = 0u64;
+        for (id, approx) in filtered {
+            if accessed.len() < budget {
+                let d = self.embeddings.distance_to_entity(&q_s1, EntityId(id));
+                s1_evals += 1;
+                if d > r_tau {
+                    continue;
+                }
+                let value = match &attr {
+                    None => 1.0,
+                    Some(name) => self
+                        .attributes
+                        .get(name, EntityId(id))
+                        .expect("attribute validated above")
+                        .expect("candidates filtered to attribute holders"),
+                };
+                accessed.push((d, value));
+            } else if approx <= r_tau {
+                unaccessed_dists.push(approx);
+            }
+        }
+        self.index.stats_mut().s1_distance_evals += s1_evals;
+        accessed.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+        let distances: Vec<f64> = accessed.iter().map(|m| m.0).collect();
+        let values: Vec<f64> = accessed.iter().map(|m| m.1).collect();
+        // Probabilities are relative to the closest member of the result
+        // population (for attribute aggregates the closest *attribute
+        // holder*, which may differ from the global anchor).
+        let ref_d = distances.first().copied().unwrap_or(d_min).max(1e-12);
+        let mut probs = inverse_distance_probabilities(&distances);
+        probs.extend(
+            unaccessed_dists
+                .into_iter()
+                .map(|d| (ref_d / d.max(ref_d)).min(1.0)),
+        );
+        let a = accessed.len();
+        let b = probs.len();
+
+        // Step 4: estimate + Theorem 4 bound, then crack for the region.
+        let estimate = match spec.kind {
+            AggregateKind::Count => aggregate::estimate_count(&probs),
+            AggregateKind::Sum => aggregate::estimate_sum(&values, &probs),
+            AggregateKind::Avg => aggregate::estimate_avg(&values, &probs),
+            AggregateKind::Max => aggregate::estimate_max(&values, &probs[..a]),
+            AggregateKind::Min => aggregate::estimate_min(&values, &probs[..a]),
+        };
+        // v_m for the unaccessed points, estimated from the sample (the
+        // paper's no-domain-knowledge alternative). For AVG the paper
+        // divides both μ and the martingale increments by the count, so
+        // the increment values are v_i / E[count].
+        let v_max = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let bound = if spec.kind == AggregateKind::Avg {
+            let count = aggregate::estimate_count(&probs).max(1.0);
+            let scaled: Vec<f64> = values.iter().map(|v| v / count).collect();
+            aggregate::deviation_bound(estimate, &scaled, b - a, v_max / count)
+        } else {
+            aggregate::deviation_bound(estimate, &values, b - a, v_max)
+        };
+
+        self.index.crack(&region);
+
+        Ok(AggregateResult {
+            estimate,
+            accessed: a,
+            ball_size: b,
+            bound,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic knowledge-graph updates (the paper's §VIII future work:
+    // "when there are local updates, the embedding changes should be
+    // local too, as most (h, r, t) soft constraints still hold. We plan
+    // to do incremental updates on our partial index.")
+    // ------------------------------------------------------------------
+
+    /// Adds a new entity with a known S₁ embedding (e.g. produced by the
+    /// external embedding pipeline for a cold-start item). The entity is
+    /// projected into S₂ and spliced into the partial index in place — no
+    /// rebuild.
+    ///
+    /// # Panics
+    /// Panics if the embedding's dimensionality does not match the store.
+    pub fn add_entity_dynamic(&mut self, name: &str, s1_embedding: &[f64]) -> EntityId {
+        let id = self.graph.add_entity(name);
+        if id.index() < self.embeddings.num_entities() {
+            // The name was already interned — treat as an embedding update.
+            self.embeddings
+                .entity_mut(id)
+                .copy_from_slice(s1_embedding);
+            let s2 = self.transform.apply(s1_embedding);
+            self.index.update_point(id.0, &s2);
+            return id;
+        }
+        let store_id = self.embeddings.push_entity(s1_embedding);
+        debug_assert_eq!(store_id, id, "graph and store ids must stay aligned");
+        let s2 = self.transform.apply(s1_embedding);
+        let point_id = self.index.insert_point(&s2);
+        debug_assert_eq!(point_id, id.0, "index point ids must stay aligned");
+        id
+    }
+
+    /// Adds a fact `(h, r, t)` to `E` and locally refines the embeddings:
+    /// `refine_steps` gradient steps pull `h + r` toward `t` (the TransE
+    /// positive-pair objective, no negative sampling — a *local* change,
+    /// per the paper's intuition that local graph updates should move
+    /// embeddings locally). Both endpoints' S₂ points are updated in the
+    /// partial index in place.
+    ///
+    /// Returns whether the edge was new.
+    pub fn add_fact_dynamic(
+        &mut self,
+        h: EntityId,
+        r: RelationId,
+        t: EntityId,
+        refine_steps: usize,
+        learning_rate: f64,
+    ) -> Result<bool, QueryError> {
+        self.check(h, r)?;
+        self.check(t, r)?;
+        let added = self
+            .graph
+            .add_triple(h, r, t)
+            .map_err(|_| QueryError::UnknownEntity(h.0))?;
+        if !added {
+            return Ok(false);
+        }
+        let d = self.embeddings.dim();
+        for _ in 0..refine_steps {
+            let mut grad = vec![0.0; d];
+            {
+                let (hv, rv, tv) = (
+                    self.embeddings.entity(h),
+                    self.embeddings.relation(r),
+                    self.embeddings.entity(t),
+                );
+                for i in 0..d {
+                    grad[i] = 2.0 * (hv[i] + rv[i] - tv[i]);
+                }
+            }
+            for i in 0..d {
+                self.embeddings.entity_mut(h)[i] -= learning_rate * grad[i];
+                self.embeddings.entity_mut(t)[i] += learning_rate * grad[i];
+            }
+        }
+        let h_s2 = self.transform.apply(self.embeddings.entity(h));
+        self.index.update_point(h.0, &h_s2);
+        let t_s2 = self.transform.apply(self.embeddings.entity(t));
+        self.index.update_point(t.0, &t_s2);
+        Ok(true)
+    }
+
+    /// Sets (or updates) an attribute of an entity — aggregate queries
+    /// observe the new value immediately.
+    pub fn set_attribute_dynamic(&mut self, attr: &str, entity: EntityId, value: f64) {
+        self.attributes.set(attr, entity, value);
+    }
+
+    /// Direct access to the index (benchmarks, invariant checks).
+    pub fn index(&self) -> &CrackingIndex {
+        &self.index
+    }
+
+    /// Mutable access to the index.
+    pub fn index_mut(&mut self) -> &mut CrackingIndex {
+        &mut self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitStrategy;
+
+    /// A small synthetic world with hand-crafted geometry:
+    /// users u0..u3 at distinct positions, items m0..m5 clustered so that
+    /// u's "+likes" lands near specific items.
+    fn tiny_world(dim: usize) -> (KnowledgeGraph, AttributeStore, EmbeddingStore) {
+        let mut g = KnowledgeGraph::new();
+        let likes = g.add_relation("likes");
+        let users: Vec<_> = (0..4).map(|i| g.add_entity(&format!("u{i}"))).collect();
+        let items: Vec<_> = (0..6).map(|i| g.add_entity(&format!("m{i}"))).collect();
+        // u0 already likes m0 (edge in E — must be skipped by queries).
+        g.add_triple(users[0], likes, items[0]).unwrap();
+
+        // Embeddings: dim-d vectors. Items sit at x = 10 + i, users at
+        // x = i, relation "likes" translates by +10, so u_i + likes ≈ m_i.
+        let mut ent = vec![0.0; 10 * dim];
+        for (i, _) in users.iter().enumerate() {
+            ent[i * dim] = i as f64;
+        }
+        for (j, _) in items.iter().enumerate() {
+            ent[(4 + j) * dim] = 10.0 + j as f64;
+            ent[(4 + j) * dim + 1] = 0.5; // offset so items aren't colinear
+        }
+        let mut rel = vec![0.0; dim];
+        rel[0] = 10.0;
+        rel[1] = 0.5;
+        let store = EmbeddingStore::from_raw(dim, ent, rel);
+
+        let mut attrs = AttributeStore::new();
+        for (j, &m) in items.iter().enumerate() {
+            attrs.set("year", m, 2000.0 + j as f64);
+        }
+        (g, attrs, store)
+    }
+
+    fn config() -> VkgConfig {
+        VkgConfig {
+            alpha: 3,
+            epsilon: 3.0,
+            leaf_capacity: 2,
+            fanout: 2,
+            beta: 2.0,
+            split_strategy: SplitStrategy::Greedy,
+            query_aware_cost: true,
+            transform_seed: 7,
+        }
+    }
+
+    #[test]
+    fn top_k_finds_nearest_unknown_item() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let r = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
+        assert_eq!(r.predictions.len(), 2);
+        let names: Vec<&str> = r
+            .predictions
+            .iter()
+            .map(|p| vkg.graph().entity_name(EntityId(p.id)).unwrap())
+            .collect();
+        // m0 is a known edge → skipped; the nearest predictions are m1
+        // then m2 (u0 + likes = (10, 0.5): m1 at distance 1 along x ...
+        // actually m0 at 0 is skipped, m1 at 1, m2 at 2).
+        assert_eq!(names, vec!["m1", "m2"]);
+        assert_eq!(r.predictions[0].probability, 1.0);
+    }
+
+    #[test]
+    fn heads_query_inverts_translation() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let m2 = vkg.graph().entity_id("m2").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        // m2 − likes = (2, 0, …) → nearest user is u2.
+        let r = vkg.top_k(m2, likes, Direction::Heads, 1).unwrap();
+        let name = vkg
+            .graph()
+            .entity_name(EntityId(r.predictions[0].id))
+            .unwrap();
+        assert_eq!(name, "u2");
+    }
+
+    #[test]
+    fn filter_restricts_candidates() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        // Restrict to even-numbered items.
+        let graph = vkg.graph().clone();
+        let r = vkg
+            .top_k_filtered(u0, likes, Direction::Tails, 2, |e| {
+                graph
+                    .entity_name(e)
+                    .is_some_and(|n| n.starts_with('m') && n[1..].parse::<u32>().unwrap() % 2 == 0)
+            })
+            .unwrap();
+        let names: Vec<&str> = r
+            .predictions
+            .iter()
+            .map(|p| vkg.graph().entity_name(EntityId(p.id)).unwrap())
+            .collect();
+        assert_eq!(names, vec!["m2", "m4"], "m0 is a known edge");
+    }
+
+    #[test]
+    fn aggregate_count_over_ball() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let r = vkg
+            .aggregate(u0, likes, Direction::Tails, &AggregateSpec::count(0.05))
+            .unwrap();
+        assert!(r.ball_size >= 1);
+        assert!(r.estimate >= 1.0, "closest entity alone contributes 1");
+        assert!(r.estimate <= r.ball_size as f64);
+    }
+
+    #[test]
+    fn aggregate_avg_year() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let spec = AggregateSpec::of(AggregateKind::Avg, "year", 0.05);
+        let r = vkg.aggregate(u0, likes, Direction::Tails, &spec).unwrap();
+        assert!(
+            (2000.0..=2005.0).contains(&r.estimate),
+            "avg year {} outside item range",
+            r.estimate
+        );
+    }
+
+    #[test]
+    fn aggregate_rejects_unknown_attribute() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let spec = AggregateSpec::of(AggregateKind::Avg, "nonexistent", 0.05);
+        assert!(matches!(
+            vkg.aggregate(u0, likes, Direction::Tails, &spec),
+            Err(QueryError::UnknownAttribute(_))
+        ));
+        let spec = AggregateSpec {
+            kind: AggregateKind::Sum,
+            attribute: None,
+            p_tau: 0.05,
+            sample_size: None,
+        };
+        assert!(matches!(
+            vkg.aggregate(u0, likes, Direction::Tails, &spec),
+            Err(QueryError::MissingAttribute)
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        assert!(matches!(
+            vkg.top_k(EntityId(999), likes, Direction::Tails, 3),
+            Err(QueryError::UnknownEntity(999))
+        ));
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        assert!(matches!(
+            vkg.top_k(u0, RelationId(42), Direction::Tails, 3),
+            Err(QueryError::UnknownRelation(42))
+        ));
+    }
+
+    #[test]
+    fn bulk_loaded_agrees_with_cracking() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut online =
+            VirtualKnowledgeGraph::assemble(g.clone(), attrs.clone(), emb.clone(), config());
+        let mut bulk = VirtualKnowledgeGraph::assemble_bulk_loaded(g, attrs, emb, config());
+        let u1 = online.graph().entity_id("u1").unwrap();
+        let likes = online.graph().relation_id("likes").unwrap();
+        let a = online.top_k(u1, likes, Direction::Tails, 3).unwrap();
+        let b = bulk.top_k(u1, likes, Direction::Tails, 3).unwrap();
+        assert_eq!(
+            a.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+            b.predictions.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn queries_crack_the_index() {
+        let (g, attrs, emb) = tiny_world(8);
+        // A tight ε keeps the query region smaller than the whole space
+        // (with the default ε = 3 the tiny world's region covers all ten
+        // points and the stop condition correctly leaves the root alone).
+        let cfg = VkgConfig {
+            epsilon: 0.3,
+            ..config()
+        };
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, cfg);
+        assert_eq!(vkg.index_node_count(), 1);
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let _ = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
+        assert!(vkg.index_node_count() > 1);
+        vkg.index().check_invariants();
+    }
+}

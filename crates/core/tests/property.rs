@@ -1,0 +1,213 @@
+//! Property-based tests for the index core: MBR algebra, sort-order
+//! splits, the cracking invariants (Lemma 1), search exactness against
+//! brute force, and the aggregate estimators.
+
+use proptest::prelude::*;
+
+use vkg_core::config::SplitStrategy;
+use vkg_core::geometry::{Mbr, PointSet};
+use vkg_core::index::CrackingIndex;
+use vkg_core::query::aggregate;
+use vkg_core::rtree::SortOrders;
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec(-50.0f64..50.0, dim..=max_n * dim).prop_map(move |mut coords| {
+        coords.truncate(coords.len() / dim * dim);
+        PointSet::from_rows(dim, coords)
+    })
+}
+
+fn brute_force(ps: &PointSet, q: &Mbr) -> Vec<u32> {
+    (0..ps.len() as u32).filter(|&i| ps.in_region(i, q)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MBR union covers both inputs; intersection volume is bounded by
+    /// both volumes; containment is transitive through union.
+    #[test]
+    fn mbr_algebra(
+        pts_a in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..10),
+        pts_b in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..10),
+    ) {
+        let mut a = Mbr::empty(2);
+        for (x, y) in &pts_a {
+            a.include_point(&[*x, *y]);
+        }
+        let mut b = Mbr::empty(2);
+        for (x, y) in &pts_b {
+            b.include_point(&[*x, *y]);
+        }
+        let mut u = a;
+        u.include_mbr(&b);
+        prop_assert!(u.contains_mbr(&a));
+        prop_assert!(u.contains_mbr(&b));
+        for (x, y) in pts_a.iter().chain(&pts_b) {
+            prop_assert!(u.contains_point(&[*x, *y]));
+        }
+        let ov = a.overlap_volume(&b);
+        prop_assert!(ov <= a.volume() + 1e-9);
+        prop_assert!(ov <= b.volume() + 1e-9);
+        prop_assert!(ov >= 0.0);
+        // Intersection symmetric.
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert!((ov - b.overlap_volume(&a)).abs() < 1e-9);
+    }
+
+    /// min_distance_sq is 0 exactly for contained points and positive
+    /// otherwise, and never exceeds the distance to any covered point.
+    #[test]
+    fn mbr_min_distance(
+        pts in prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..10),
+        q in (-30.0f64..30.0, -30.0f64..30.0),
+    ) {
+        let mut m = Mbr::empty(2);
+        for (x, y) in &pts {
+            m.include_point(&[*x, *y]);
+        }
+        let query = [q.0, q.1];
+        let d = m.min_distance_sq(&query);
+        if m.contains_point(&query) {
+            prop_assert_eq!(d, 0.0);
+        }
+        for (x, y) in &pts {
+            let dist = (x - q.0).powi(2) + (y - q.1).powi(2);
+            prop_assert!(d <= dist + 1e-9);
+        }
+    }
+
+    /// A sort-order split partitions the ids and keeps every order sorted.
+    #[test]
+    fn sort_order_split_partitions(ps in arb_points(40, 3), cut in 1usize..20, axis in 0usize..3) {
+        if ps.len() < 2 {
+            return Ok(());
+        }
+        let so = SortOrders::build(&ps, ps.all_ids());
+        let cut = cut.min(ps.len() - 1).max(1);
+        let (lo, hi) = so.split_by_prefix(axis, cut);
+        prop_assert_eq!(lo.len(), cut);
+        prop_assert_eq!(lo.len() + hi.len(), ps.len());
+        // Partition: every id on exactly one side.
+        let mut seen = vec![false; ps.len()];
+        for &id in lo.ids(0).iter().chain(hi.ids(0)) {
+            prop_assert!(!seen[id as usize]);
+            seen[id as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Sortedness maintained in every order on both sides.
+        for side in [&lo, &hi] {
+            for ax in 0..3 {
+                let ids = side.ids(ax);
+                for w in ids.windows(2) {
+                    prop_assert!(ps.coord(w[0], ax) <= ps.coord(w[1], ax));
+                }
+            }
+        }
+        // The low side really is the coordinate prefix on the split axis.
+        let max_lo = lo.ids(axis).iter().map(|&i| ps.coord(i, axis)).fold(f64::MIN, f64::max);
+        let min_hi = hi.ids(axis).iter().map(|&i| ps.coord(i, axis)).fold(f64::MAX, f64::min);
+        prop_assert!(max_lo <= min_hi);
+    }
+
+    /// THE core invariant: after arbitrary crack sequences, region search
+    /// over the index equals brute force, and Lemma 1 holds.
+    #[test]
+    fn crack_search_exact(
+        ps in arb_points(120, 3),
+        queries in prop::collection::vec(
+            ((-60.0f64..60.0, -60.0f64..60.0, -60.0f64..60.0), 0.5f64..30.0),
+            1..6
+        ),
+        greedy in any::<bool>(),
+    ) {
+        let strategy = if greedy {
+            SplitStrategy::Greedy
+        } else {
+            SplitStrategy::TopK { choices: 2 }
+        };
+        let mut idx = CrackingIndex::new(ps.clone(), 4, 3, 2.0, strategy);
+        for ((x, y, z), r) in queries {
+            let q = Mbr::of_ball(&[x, y, z], r);
+            idx.crack(&q);
+            idx.check_invariants();
+            let mut got = Vec::new();
+            idx.search_region(&q, |id| got.push(id));
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_force(&ps, &q));
+        }
+    }
+
+    /// Bulk load is always lossless and fully split regardless of data.
+    #[test]
+    fn bulk_load_lossless(ps in arb_points(150, 2)) {
+        let idx = CrackingIndex::bulk_load(ps.clone(), 4, 3, 1.5);
+        idx.check_invariants();
+        let all = ps.mbr_of(&ps.all_ids());
+        let mut got = Vec::new();
+        let mut idx = idx;
+        idx.search_region(&all, |id| got.push(id));
+        got.sort_unstable();
+        prop_assert_eq!(got.len(), ps.len());
+    }
+
+    /// Aggregate estimators: full access reproduces the plain
+    /// probability-weighted expectations; MIN/MAX are order-consistent.
+    #[test]
+    fn aggregate_estimators_consistent(
+        pairs in prop::collection::vec((0.1f64..100.0, 0.01f64..1.0), 1..20),
+    ) {
+        let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let mut probs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        probs.sort_by(|a, b| b.total_cmp(a));
+        let sum = aggregate::estimate_sum(&values, &probs);
+        let expect: f64 = values.iter().zip(&probs).map(|(v, p)| v * p).sum();
+        prop_assert!((sum - expect).abs() < 1e-6 * expect.abs().max(1.0));
+
+        let avg = aggregate::estimate_avg(&values, &probs);
+        let (lo, hi) = values.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} outside [{lo}, {hi}]");
+
+        let count = aggregate::estimate_count(&probs);
+        prop_assert!(count > 0.0 && count <= probs.len() as f64 + 1e-9);
+
+        let max = aggregate::estimate_max(&values, &probs);
+        let min = aggregate::estimate_min(&values, &probs);
+        prop_assert!(max >= min - 1e-9, "max {max} < min {min}");
+        prop_assert!(max.is_finite() && min.is_finite());
+        // With a certain closest point (p₁ = 1, the engine's invariant),
+        // the MAX estimate is at least the smallest observed value.
+        let mut certain = probs.clone();
+        certain[0] = 1.0;
+        let max_certain = aggregate::estimate_max(&values, &certain);
+        prop_assert!(max_certain >= lo - 1e-9, "certain max {max_certain} < lo {lo}");
+    }
+
+    /// Theorem 4 tail bound is a valid, monotone tail function for any
+    /// inputs.
+    #[test]
+    fn deviation_bound_valid(
+        mu in 0.1f64..1000.0,
+        values in prop::collection::vec(0.0f64..50.0, 0..20),
+        unaccessed in 0usize..50,
+        vm in 0.0f64..50.0,
+    ) {
+        let b = aggregate::deviation_bound(mu, &values, unaccessed, vm);
+        let mut prev = f64::INFINITY;
+        for delta in [0.01, 0.1, 0.5, 1.0, 2.0] {
+            let p = b.tail_probability(delta);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+        // delta_for_confidence inverts the tail bound — except in the
+        // degenerate exact case (zero increment mass), where δ = 0 and
+        // Pr[|S − μ| ≥ 0] is trivially 1.
+        if b.increment_mass > 0.0 {
+            for conf in [0.5, 0.9] {
+                let delta = b.delta_for_confidence(conf);
+                prop_assert!(b.tail_probability(delta) <= 1.0 - conf + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Alternating-least-squares translational embedding.
+//!
+//! Minimizes `Σ_{(h,r,t)∈E} ‖h + r − t‖²` (plus an anchor regularizer) by
+//! coordinate descent instead of TransE's margin-SGD:
+//!
+//! * entity step — each entity moves to the (anchor-regularized) average
+//!   of the positions its edges translate it to;
+//! * relation step — each relation becomes the mean displacement
+//!   `t − h` over its edges.
+//!
+//! No negative sampling and no learning rate, so a handful of sweeps
+//! reaches a geometry where true triples are *tight* — the regime a
+//! well-converged TransE run over a web-scale graph sits in. The
+//! benchmark harness uses this to simulate converged embeddings (the
+//! paper imports embeddings precomputed by the original TransE code; see
+//! DESIGN.md §2): the index and query layers only ever see the resulting
+//! vector geometry, never the trainer.
+//!
+//! The anchor regularizer (each entity is pulled toward a random anchor
+//! drawn once at init) prevents connected components from collapsing to
+//! a point and keeps unrelated entities spread out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vkg_kg::KnowledgeGraph;
+
+use crate::store::EmbeddingStore;
+
+/// Hyper-parameters for [`least_squares_embedding`].
+#[derive(Debug, Clone)]
+pub struct LsConfig {
+    /// Embedding dimensionality `d`.
+    pub dim: usize,
+    /// Number of alternating sweeps.
+    pub sweeps: usize,
+    /// Anchor pull λ: larger keeps entities closer to their random
+    /// anchors (more spread, looser triples); smaller tightens triples.
+    pub anchor_weight: f64,
+    /// Scale of the random anchors (the cloud radius).
+    pub anchor_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LsConfig {
+    fn default() -> Self {
+        // Tuned on the synthetic datasets so that a top-10 query ball
+        // inflated by ε = 1 covers a small fraction (≈ 10–30%) of the
+        // entities — the locality regime of a converged web-scale
+        // embedding, which is what the index's figures depend on.
+        Self {
+            dim: 48,
+            sweeps: 30,
+            anchor_weight: 0.05,
+            anchor_scale: 6.0,
+            seed: 0x4c53_4551, // "LSEQ"
+        }
+    }
+}
+
+/// Runs the alternating least-squares embedding over all triples.
+pub fn least_squares_embedding(graph: &KnowledgeGraph, cfg: &LsConfig) -> EmbeddingStore {
+    assert!(cfg.dim > 0, "dimensionality must be positive");
+    assert!(cfg.anchor_weight > 0.0, "anchor weight must be positive");
+    let n = graph.num_entities();
+    let m = graph.num_relations();
+    let d = cfg.dim;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Anchors double as the initial entity positions.
+    let mut anchors = vec![0.0f64; n * d];
+    for v in &mut anchors {
+        *v = rng.gen_range(-cfg.anchor_scale..cfg.anchor_scale);
+    }
+    let mut ent = anchors.clone();
+    let mut rel = vec![0.0f64; m * d];
+    for v in &mut rel {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+
+    let triples = graph.triples();
+    let lambda = cfg.anchor_weight;
+
+    for _ in 0..cfg.sweeps {
+        // Relation step: T_r ← mean over edges of (t − h).
+        let mut sums = vec![0.0f64; m * d];
+        let mut counts = vec![0usize; m];
+        for t in triples {
+            let (hi, ri, ti) = (t.head.index() * d, t.relation.index() * d, t.tail.index() * d);
+            for j in 0..d {
+                sums[ri + j] += ent[ti + j] - ent[hi + j];
+            }
+            counts[t.relation.index()] += 1;
+        }
+        for r in 0..m {
+            if counts[r] > 0 {
+                for j in 0..d {
+                    rel[r * d + j] = sums[r * d + j] / counts[r] as f64;
+                }
+            }
+        }
+
+        // Entity step (Jacobi): e ← (Σ targets + λ·anchor) / (deg + λ).
+        let mut acc = anchors.clone();
+        for v in &mut acc {
+            *v *= lambda;
+        }
+        let mut weight = vec![lambda; n];
+        for t in triples {
+            let (hi, ri, ti) = (t.head.index() * d, t.relation.index() * d, t.tail.index() * d);
+            for j in 0..d {
+                // The tail pulls the head toward t − r; the head pulls the
+                // tail toward h + r.
+                acc[hi + j] += ent[ti + j] - rel[ri + j];
+                acc[ti + j] += ent[hi + j] + rel[ri + j];
+            }
+            weight[t.head.index()] += 1.0;
+            weight[t.tail.index()] += 1.0;
+        }
+        // Damped update: plain Jacobi oscillates on bipartite structures
+        // (heads and tails swap positions each sweep); averaging with the
+        // previous iterate restores convergence for any λ.
+        const DAMPING: f64 = 0.5;
+        for e in 0..n {
+            for j in 0..d {
+                let target = acc[e * d + j] / weight[e];
+                ent[e * d + j] = (1.0 - DAMPING) * ent[e * d + j] + DAMPING * target;
+            }
+        }
+    }
+
+    EmbeddingStore::from_raw(d, ent, rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vkg_kg::EntityId;
+
+    fn clustered_graph() -> KnowledgeGraph {
+        // Two user groups, each liking its own block of items.
+        let mut g = KnowledgeGraph::new();
+        for group in 0..2 {
+            for u in 0..6 {
+                for m in 0..6 {
+                    g.add_fact(
+                        &format!("u{group}_{u}"),
+                        "likes",
+                        &format!("m{group}_{m}"),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn triples_become_tight() {
+        let g = clustered_graph();
+        let store = least_squares_embedding(&g, &LsConfig::default());
+        let likes = g.relation_id("likes").unwrap();
+        // Distances for true edges must be well below the distance to the
+        // other group's items.
+        let u = g.entity_id("u0_0").unwrap();
+        let own = g.entity_id("m0_0").unwrap();
+        let other = g.entity_id("m1_0").unwrap();
+        let d_own = store.triple_distance(u, likes, own);
+        let d_other = store.triple_distance(u, likes, other);
+        assert!(
+            d_own * 2.0 < d_other,
+            "edge distance {d_own} not well below cross-group {d_other}"
+        );
+    }
+
+    #[test]
+    fn strong_contrast_for_queries() {
+        // The property the index needs: a query ball of radius
+        // r_k(1 + ε) around h + r covers only a small fraction of all
+        // entities.
+        let g = clustered_graph();
+        let store = least_squares_embedding(&g, &LsConfig::default());
+        let likes = g.relation_id("likes").unwrap();
+        let u = g.entity_id("u1_3").unwrap();
+        let q = store.tail_query_point(u, likes);
+        let mut dists: Vec<f64> = (0..store.num_entities() as u32)
+            .map(|i| store.distance_to_entity(&q, EntityId(i)))
+            .collect();
+        dists.sort_by(|a, b| a.total_cmp(b));
+        let r = dists[5] * 2.0; // k = 6 (the group size), ε = 1
+        let covered = dists.iter().filter(|&&x| x <= r).count();
+        assert!(
+            covered <= store.num_entities() / 2,
+            "ball covers {covered}/{} entities — no locality",
+            store.num_entities()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = clustered_graph();
+        let a = least_squares_embedding(&g, &LsConfig::default());
+        let b = least_squares_embedding(&g, &LsConfig::default());
+        assert_eq!(a, b);
+        let c = least_squares_embedding(
+            &g,
+            &LsConfig {
+                seed: 99,
+                ..LsConfig::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_degree_entities_stay_at_anchor_scale() {
+        let mut g = clustered_graph();
+        g.add_entity("isolated");
+        let cfg = LsConfig::default();
+        let store = least_squares_embedding(&g, &cfg);
+        let iso = g.entity_id("isolated").unwrap();
+        let norm: f64 = store
+            .entity(iso)
+            .iter()
+            .map(|x| x * x)
+            .sum::<f64>()
+            .sqrt();
+        assert!(norm <= cfg.anchor_scale * (cfg.dim as f64).sqrt());
+        assert!(norm > 0.0);
+    }
+
+    #[test]
+    fn shapes_match_graph() {
+        let g = clustered_graph();
+        let store = least_squares_embedding(
+            &g,
+            &LsConfig {
+                dim: 10,
+                ..LsConfig::default()
+            },
+        );
+        assert_eq!(store.num_entities(), g.num_entities());
+        assert_eq!(store.num_relations(), g.num_relations());
+        assert_eq!(store.dim(), 10);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = KnowledgeGraph::new();
+        let store = least_squares_embedding(&g, &LsConfig::default());
+        assert_eq!(store.num_entities(), 0);
+    }
+}

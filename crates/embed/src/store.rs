@@ -1,0 +1,211 @@
+//! The embedding store: dense entity/relation matrices in space S₁.
+//!
+//! This is the artifact the index layer consumes. It does not care *how*
+//! the vectors were produced — our own TransE/TransA trainers, or an
+//! external tool via [`crate::io`] — only that entity `e`'s vector lives
+//! at row `e` and relation `r`'s at row `r`.
+
+use vkg_kg::{EntityId, RelationId};
+
+use crate::vector::{add, l2_distance, sub};
+
+/// Dense `d`-dimensional embeddings for all entities and relation types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingStore {
+    dim: usize,
+    entities: Vec<f64>,
+    relations: Vec<f64>,
+}
+
+impl EmbeddingStore {
+    /// Creates a zero-initialized store for `n` entities and `m` relations
+    /// of dimensionality `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn zeros(n: usize, m: usize, dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimensionality must be positive");
+        Self {
+            dim,
+            entities: vec![0.0; n * dim],
+            relations: vec![0.0; m * dim],
+        }
+    }
+
+    /// Builds a store from raw row-major matrices.
+    ///
+    /// # Panics
+    /// Panics if either matrix length is not a multiple of `dim`.
+    pub fn from_raw(dim: usize, entities: Vec<f64>, relations: Vec<f64>) -> Self {
+        assert!(dim > 0, "embedding dimensionality must be positive");
+        assert_eq!(entities.len() % dim, 0, "entity matrix shape mismatch");
+        assert_eq!(relations.len() % dim, 0, "relation matrix shape mismatch");
+        Self {
+            dim,
+            entities,
+            relations,
+        }
+    }
+
+    /// Embedding dimensionality `d` (the paper's S₁ has d in 50–100).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of entity rows.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len() / self.dim
+    }
+
+    /// Number of relation rows.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len() / self.dim
+    }
+
+    /// Entity `e`'s vector.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn entity(&self, e: EntityId) -> &[f64] {
+        let i = e.index() * self.dim;
+        &self.entities[i..i + self.dim]
+    }
+
+    /// Mutable entity vector.
+    #[inline]
+    pub fn entity_mut(&mut self, e: EntityId) -> &mut [f64] {
+        let i = e.index() * self.dim;
+        &mut self.entities[i..i + self.dim]
+    }
+
+    /// Relation `r`'s vector.
+    #[inline]
+    pub fn relation(&self, r: RelationId) -> &[f64] {
+        let i = r.index() * self.dim;
+        &self.relations[i..i + self.dim]
+    }
+
+    /// Mutable relation vector.
+    #[inline]
+    pub fn relation_mut(&mut self, r: RelationId) -> &mut [f64] {
+        let i = r.index() * self.dim;
+        &mut self.relations[i..i + self.dim]
+    }
+
+    /// The tail-query point `h + r`: tails `t` of plausible `(h, r, t)`
+    /// triples cluster around this point (paper §I).
+    pub fn tail_query_point(&self, h: EntityId, r: RelationId) -> Vec<f64> {
+        add(self.entity(h), self.relation(r))
+    }
+
+    /// The head-query point `t − r`: heads `h` of plausible `(h, r, t)`
+    /// triples cluster around this point.
+    pub fn head_query_point(&self, t: EntityId, r: RelationId) -> Vec<f64> {
+        sub(self.entity(t), self.relation(r))
+    }
+
+    /// TransE plausibility score of a triple: `‖h + r − t‖₂` (lower is
+    /// more plausible).
+    pub fn triple_distance(&self, h: EntityId, r: RelationId, t: EntityId) -> f64 {
+        let q = self.tail_query_point(h, r);
+        l2_distance(&q, self.entity(t))
+    }
+
+    /// Distance from an arbitrary S₁ point to entity `e`'s vector.
+    #[inline]
+    pub fn distance_to_entity(&self, point: &[f64], e: EntityId) -> f64 {
+        l2_distance(point, self.entity(e))
+    }
+
+    /// Appends an entity row, returning its id (dynamic graph updates).
+    ///
+    /// # Panics
+    /// Panics if the row's dimensionality does not match the store's.
+    pub fn push_entity(&mut self, row: &[f64]) -> EntityId {
+        assert_eq!(row.len(), self.dim, "entity row dimensionality mismatch");
+        let id = u32::try_from(self.num_entities()).expect("entity id overflow");
+        self.entities.extend_from_slice(row);
+        EntityId(id)
+    }
+
+    /// Raw row-major entity matrix (for the transform layer).
+    pub fn entity_matrix(&self) -> &[f64] {
+        &self.entities
+    }
+
+    /// Raw row-major relation matrix.
+    pub fn relation_matrix(&self) -> &[f64] {
+        &self.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EmbeddingStore {
+        // 3 entities, 2 relations, dim 2.
+        EmbeddingStore::from_raw(
+            2,
+            vec![0.0, 0.0, 1.0, 0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 0.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let s = store();
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.num_entities(), 3);
+        assert_eq!(s.num_relations(), 2);
+    }
+
+    #[test]
+    fn row_access() {
+        let s = store();
+        assert_eq!(s.entity(EntityId(1)), &[1.0, 0.0]);
+        assert_eq!(s.relation(RelationId(1)), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn query_points() {
+        let s = store();
+        // h=e0 (0,0) + r0 (1,0) = (1,0) → exactly e1.
+        assert_eq!(s.tail_query_point(EntityId(0), RelationId(0)), vec![1.0, 0.0]);
+        // t=e2 (1,1) − r1 (0,1) = (1,0) → exactly e1.
+        assert_eq!(s.head_query_point(EntityId(2), RelationId(1)), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn triple_distance_zero_for_exact_translation() {
+        let s = store();
+        assert_eq!(s.triple_distance(EntityId(0), RelationId(0), EntityId(1)), 0.0);
+        let d = s.triple_distance(EntityId(0), RelationId(0), EntityId(2));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutation_visible_through_reads() {
+        let mut s = store();
+        s.entity_mut(EntityId(0))[0] = 9.0;
+        assert_eq!(s.entity(EntityId(0)), &[9.0, 0.0]);
+        s.relation_mut(RelationId(0))[1] = -1.0;
+        assert_eq!(s.relation(RelationId(0)), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn zeros_constructor() {
+        let s = EmbeddingStore::zeros(4, 2, 3);
+        assert_eq!(s.num_entities(), 4);
+        assert_eq!(s.num_relations(), 2);
+        assert!(s.entity(EntityId(3)).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_rejected() {
+        let _ = EmbeddingStore::from_raw(3, vec![1.0; 7], vec![]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Dense vector helpers shared by the embedding trainers and stores.
+//!
+//! These operate on `&[f64]` slices so callers can keep their data in flat
+//! matrices (struct-of-arrays) without materializing per-row `Vec`s.
+
+/// Euclidean (L2) distance between `a` and `b`.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance (no sqrt — cheaper for comparisons).
+#[inline]
+pub fn l2_distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Inner product `a · b`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// L2 norm of `v`.
+#[inline]
+pub fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Scales `v` in place to unit L2 norm (no-op on the zero vector).
+pub fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Element-wise `out = a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise `out = a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_agree_on_axis_pair() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [3.0, 4.0, 0.0];
+        assert!((l2_distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((l2_distance_sq(&a, &b) - 25.0).abs() < 1e-12);
+        assert!((l1_distance(&a, &b) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = [1.0, 2.0, 2.0];
+        assert!((norm(&a) - 3.0).abs() < 1e-12);
+        assert!((dot(&a, &a) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.0, -2.0];
+        let b = [0.5, 3.0];
+        let s = add(&a, &b);
+        let back = sub(&s, &b);
+        assert!((back[0] - a[0]).abs() < 1e-12);
+        assert!((back[1] - a[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-1.0, 0.5, 9.0];
+        assert_eq!(l2_distance(&a, &b), l2_distance(&b, &a));
+        assert_eq!(l2_distance(&a, &a), 0.0);
+        assert_eq!(l1_distance(&a, &a), 0.0);
+    }
+}

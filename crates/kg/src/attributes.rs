@@ -1,0 +1,124 @@
+//! Per-entity numeric attributes for aggregate queries.
+//!
+//! The paper's aggregate queries (§V-B, §VI) read numeric attributes of
+//! entities: the average *age* of users, the average *year* of liked
+//! movies, the average *quality* of products, the maximum *popularity* of
+//! an entity. This module stores such attributes as named columns over the
+//! dense entity-id space, with explicit missing-value handling (not every
+//! entity has every attribute — a user has an `age`, a movie has a `year`).
+
+use std::collections::HashMap;
+
+use crate::error::{KgError, Result};
+use crate::ids::EntityId;
+
+/// A named column of optional `f64` values indexed by entity id.
+#[derive(Debug, Clone, Default)]
+struct Column {
+    values: Vec<Option<f64>>,
+}
+
+impl Column {
+    fn set(&mut self, e: EntityId, v: f64) {
+        if self.values.len() <= e.index() {
+            self.values.resize(e.index() + 1, None);
+        }
+        self.values[e.index()] = Some(v);
+    }
+
+    fn get(&self, e: EntityId) -> Option<f64> {
+        self.values.get(e.index()).copied().flatten()
+    }
+}
+
+/// Columnar store of named per-entity attributes.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeStore {
+    columns: HashMap<String, Column>,
+}
+
+impl AttributeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `attr` of entity `e` to `value`, creating the column if needed.
+    pub fn set(&mut self, attr: &str, e: EntityId, value: f64) {
+        self.columns.entry(attr.to_owned()).or_default().set(e, value);
+    }
+
+    /// Reads `attr` of entity `e`; `None` if the entity lacks the attribute.
+    ///
+    /// Returns an error if the attribute column itself does not exist —
+    /// querying a typo'd attribute name should fail loudly, not aggregate
+    /// over nothing.
+    pub fn get(&self, attr: &str, e: EntityId) -> Result<Option<f64>> {
+        self.columns
+            .get(attr)
+            .map(|c| c.get(e))
+            .ok_or_else(|| KgError::UnknownAttribute(attr.to_owned()))
+    }
+
+    /// Whether a column named `attr` exists.
+    pub fn has_attribute(&self, attr: &str) -> bool {
+        self.columns.contains_key(attr)
+    }
+
+    /// Names of all attribute columns (unordered).
+    pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+
+    /// Number of entities with a value in column `attr` (0 if no column).
+    pub fn count_present(&self, attr: &str) -> usize {
+        self.columns
+            .get(attr)
+            .map(|c| c.values.iter().filter(|v| v.is_some()).count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut a = AttributeStore::new();
+        a.set("age", EntityId(3), 41.0);
+        assert_eq!(a.get("age", EntityId(3)).unwrap(), Some(41.0));
+        assert_eq!(a.get("age", EntityId(0)).unwrap(), None);
+        assert_eq!(a.get("age", EntityId(99)).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let a = AttributeStore::new();
+        assert!(matches!(
+            a.get("age", EntityId(0)),
+            Err(KgError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn overwrite_takes_latest() {
+        let mut a = AttributeStore::new();
+        a.set("year", EntityId(1), 1997.0);
+        a.set("year", EntityId(1), 2001.0);
+        assert_eq!(a.get("year", EntityId(1)).unwrap(), Some(2001.0));
+    }
+
+    #[test]
+    fn column_introspection() {
+        let mut a = AttributeStore::new();
+        a.set("quality", EntityId(0), 4.5);
+        a.set("quality", EntityId(7), 3.0);
+        assert!(a.has_attribute("quality"));
+        assert!(!a.has_attribute("age"));
+        assert_eq!(a.count_present("quality"), 2);
+        assert_eq!(a.count_present("age"), 0);
+        let names: Vec<_> = a.attribute_names().collect();
+        assert_eq!(names, vec!["quality"]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Synthetic dataset generators standing in for the paper's real datasets.
+//!
+//! The paper evaluates on Freebase, MovieLens and Amazon review data
+//! (Table I). Those dumps are not redistributable here, so each generator
+//! produces a graph with the same *structure*: the same relationship-type
+//! inventory, power-law (Zipf) degree distributions, latent-factor-driven
+//! like/dislike edges (so that embeddings find real geometric structure),
+//! and the attributes the aggregate-query experiments read (`age`, `year`,
+//! `quality`, `popularity`). Entity counts are scaled to laptop size and
+//! are configurable; DESIGN.md §2 records the substitution rationale.
+
+mod amazon;
+mod freebase;
+mod movie;
+
+pub use amazon::{amazon_like, AmazonConfig};
+pub use freebase::{freebase_like, FreebaseConfig};
+pub use movie::{movie_like, MovieConfig};
+
+use crate::attributes::AttributeStore;
+use crate::graph::KnowledgeGraph;
+use crate::ids::EntityId;
+
+/// A generated dataset: graph + attributes + bookkeeping for experiments.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name ("freebase-like", ...).
+    pub name: String,
+    /// The materialized knowledge graph `G = (V, E)`.
+    pub graph: KnowledgeGraph,
+    /// Per-entity numeric attributes for aggregate queries.
+    pub attributes: AttributeStore,
+}
+
+impl Dataset {
+    /// Computes and stores the `popularity` attribute (total degree) for
+    /// every entity — the attribute the Freebase MAX-query experiment
+    /// (Fig. 15) aggregates.
+    pub fn compute_popularity(&mut self) {
+        for i in 0..self.graph.num_entities() {
+            let e = EntityId(i as u32);
+            self.attributes
+                .set("popularity", e, self.graph.degree(e) as f64);
+        }
+    }
+
+    /// Entities whose name starts with `prefix` (e.g. all `user_` vertices).
+    pub fn entities_with_prefix(&self, prefix: &str) -> Vec<EntityId> {
+        (0..self.graph.num_entities() as u32)
+            .map(EntityId)
+            .filter(|&e| {
+                self.graph
+                    .entity_name(e)
+                    .is_some_and(|n| n.starts_with(prefix))
+            })
+            .collect()
+    }
+}
+
+/// Clamp-free helper: linearly rescales a dot product into a star rating
+/// in `[0.5, 5.0]` with half-star steps, like MovieLens ratings.
+pub(crate) fn to_star_rating(score: f64) -> f64 {
+    let clamped = score.clamp(-1.0, 1.0);
+    let stars = 0.5 + (clamped + 1.0) / 2.0 * 4.5;
+    (stars * 2.0).round() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_rating_range_and_step() {
+        for &s in &[-2.0, -1.0, -0.3, 0.0, 0.4, 1.0, 3.0] {
+            let r = to_star_rating(s);
+            assert!((0.5..=5.0).contains(&r), "rating {r} out of range");
+            let doubled = r * 2.0;
+            assert!((doubled - doubled.round()).abs() < 1e-9, "not a half-star: {r}");
+        }
+        assert_eq!(to_star_rating(1.0), 5.0);
+        assert_eq!(to_star_rating(-1.0), 0.5);
+    }
+
+    #[test]
+    fn popularity_matches_degree() {
+        let mut ds = movie_like(&MovieConfig::tiny());
+        ds.compute_popularity();
+        for i in (0..ds.graph.num_entities()).step_by(7) {
+            let e = EntityId(i as u32);
+            assert_eq!(
+                ds.attributes.get("popularity", e).unwrap(),
+                Some(ds.graph.degree(e) as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_filter_finds_users() {
+        let ds = movie_like(&MovieConfig::tiny());
+        let users = ds.entities_with_prefix("user_");
+        assert_eq!(users.len(), MovieConfig::tiny().users);
+    }
+}

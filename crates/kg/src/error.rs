@@ -1,0 +1,81 @@
+//! Error type for the knowledge-graph substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `vkg-kg`.
+pub type Result<T> = std::result::Result<T, KgError>;
+
+/// Errors raised by graph construction, attribute access and I/O.
+#[derive(Debug)]
+pub enum KgError {
+    /// An entity id referenced a vertex that does not exist.
+    UnknownEntity(u32),
+    /// A relation id referenced a relationship type that does not exist.
+    UnknownRelation(u32),
+    /// A named attribute was requested but never registered.
+    UnknownAttribute(String),
+    /// A parsed input line did not have the expected shape.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::UnknownEntity(id) => write!(f, "unknown entity id {id}"),
+            KgError::UnknownRelation(id) => write!(f, "unknown relation id {id}"),
+            KgError::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+            KgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            KgError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KgError {
+    fn from(e: std::io::Error) -> Self {
+        KgError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(KgError::UnknownEntity(7).to_string(), "unknown entity id 7");
+        assert_eq!(
+            KgError::UnknownRelation(3).to_string(),
+            "unknown relation id 3"
+        );
+        assert!(KgError::UnknownAttribute("age".into())
+            .to_string()
+            .contains("age"));
+        let parse = KgError::Parse {
+            line: 12,
+            message: "expected 3 fields".into(),
+        };
+        assert!(parse.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let err: KgError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

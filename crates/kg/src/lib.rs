@@ -1,0 +1,36 @@
+//! Knowledge-graph substrate for virtual knowledge graphs.
+//!
+//! This crate provides everything the index and query layers need from a
+//! knowledge graph *as data*:
+//!
+//! * interned entities and relationship types ([`ids`]),
+//! * a triple store with adjacency lists ([`graph::KnowledgeGraph`]) used to
+//!   implement the paper's "skip edges already in `E`" query semantics,
+//! * per-entity numeric attributes ([`attributes::AttributeStore`]) that the
+//!   aggregate queries (SUM/AVG/MAX/MIN over `age`, `year`, `quality`,
+//!   `popularity`, ...) read,
+//! * synthetic dataset generators ([`datasets`]) standing in for the paper's
+//!   Freebase, MovieLens and Amazon datasets, with power-law degree
+//!   distributions ([`zipf`]),
+//! * TSV import/export ([`io`]) so externally prepared graphs can be loaded.
+//!
+//! The paper: Li, Ge, Chen. *Online Indices for Predictive Top-k Entity and
+//! Aggregate Queries on Knowledge Graphs*, ICDE 2020.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod datasets;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod stats;
+pub mod zipf;
+
+pub use attributes::AttributeStore;
+pub use error::{KgError, Result};
+pub use graph::KnowledgeGraph;
+pub use ids::{EntityId, Interner, RelationId};
+pub use stats::GraphStats;

@@ -1,0 +1,53 @@
+//! Dataset summary statistics (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Entity / relationship-type / edge counts of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of entities (vertices).
+    pub entities: usize,
+    /// Number of distinct relationship types.
+    pub relation_types: usize,
+    /// Number of materialized edges in `E`.
+    pub edges: usize,
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} entities, {} relationship types, {} edges",
+            self.entities, self.relation_types, self.edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_all_counts() {
+        let s = GraphStats {
+            entities: 10,
+            relation_types: 2,
+            edges: 30,
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 entities"));
+        assert!(text.contains("2 relationship types"));
+        assert!(text.contains("30 edges"));
+    }
+
+    #[test]
+    fn stats_are_copy_and_comparable() {
+        let s = GraphStats {
+            entities: 1,
+            relation_types: 2,
+            edges: 3,
+        };
+        let t = s;
+        assert_eq!(s, t);
+    }
+}

@@ -1,0 +1,74 @@
+//! Standard-normal sampling via the Box–Muller transform.
+//!
+//! Hand-rolled so the workspace does not need `rand_distr` for one
+//! distribution (DESIGN.md §4).
+
+use rand::Rng;
+
+/// Draws one sample from `N(0, 1)`.
+///
+/// Uses the polar (Marsaglia) form of Box–Muller: rejection-samples a
+/// point in the unit disk, then transforms. The second variate of each
+/// pair is discarded for simplicity — construction of the projection
+/// matrix is a one-time cost.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Fills `out` with i.i.d. `N(0, 1)` samples.
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for v in out {
+        *v = standard_normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn tail_mass_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        let frac = beyond_2sigma as f64 / n as f64;
+        // True mass beyond ±2σ is ≈ 4.55%.
+        assert!((frac - 0.0455).abs() < 0.005, "2σ tail fraction {frac}");
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = vec![0.0; 64];
+        fill_standard_normal(&mut rng, &mut buf);
+        assert!(buf.iter().all(|&x| x != 0.0));
+    }
+}

@@ -1,0 +1,24 @@
+//! Johnson–Lindenstrauss transform of embedding vectors (paper §III).
+//!
+//! The embedding space S₁ has dimensionality `d` in the tens or hundreds —
+//! too high for spatial indices like the R-tree. This crate implements the
+//! paper's JL-type random projection to a *very* low-dimensional space S₂
+//! (α such as 3):
+//!
+//! ```text
+//!   x ↦ (1/√α) · A · x,    A ∈ ℝ^{α×d},  A_ij ~ N(0, 1) i.i.d.
+//! ```
+//!
+//! Classical JL analysis needs α in the hundreds; the paper's Theorem 1
+//! re-derives distance-distortion tail bounds that are meaningful for any
+//! α, and those closed forms live in [`bounds`]. Gaussian sampling is
+//! hand-rolled Box–Muller ([`gaussian`]) to avoid an extra dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod gaussian;
+pub mod jl;
+
+pub use jl::JlTransform;

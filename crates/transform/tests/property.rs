@@ -1,0 +1,86 @@
+//! Property-based tests for the JL transform and the Theorem 1–3 bounds.
+
+use proptest::prelude::*;
+use vkg_transform::{bounds, JlTransform};
+
+proptest! {
+    /// The transform is linear: T(ax + by) = aT(x) + bT(y).
+    #[test]
+    fn transform_linearity(
+        seed: u64,
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        x in prop::collection::vec(-10.0f64..10.0, 16),
+        y in prop::collection::vec(-10.0f64..10.0, 16),
+    ) {
+        let t = JlTransform::new(16, 3, seed);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| a * p + b * q).collect();
+        let lhs = t.apply(&combo);
+        let tx = t.apply(&x);
+        let ty = t.apply(&y);
+        for k in 0..3 {
+            let rhs = a * tx[k] + b * ty[k];
+            prop_assert!((lhs[k] - rhs).abs() < 1e-6 * rhs.abs().max(1.0));
+        }
+    }
+
+    /// apply_matrix agrees with row-wise apply for arbitrary shapes.
+    #[test]
+    fn matrix_consistency(seed: u64, rows in 1usize..6) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * 12).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let t = JlTransform::new(12, 4, seed);
+        let m = t.apply_matrix(&data);
+        for i in 0..rows {
+            let row = t.apply(&data[i * 12..(i + 1) * 12]);
+            prop_assert_eq!(&m[i * 4..(i + 1) * 4], row.as_slice());
+        }
+    }
+
+    /// Theorem 1 bounds are valid probabilities over their whole domain,
+    /// decreasing in both ε and α.
+    #[test]
+    fn theorem1_bounds_behave(eps_u in 0.01f64..20.0, eps_l in 0.01f64..0.99, alpha in 1usize..8) {
+        let du = bounds::delta_upper(eps_u, alpha);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&du));
+        let dl = bounds::delta_lower(eps_l, alpha);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&dl));
+        // Monotone in α.
+        prop_assert!(bounds::delta_upper(eps_u, alpha + 1) <= du + 1e-12);
+        prop_assert!(bounds::delta_lower(eps_l, alpha + 1) <= dl + 1e-12);
+        // Monotone in ε.
+        prop_assert!(bounds::delta_upper(eps_u + 0.5, alpha) <= du + 1e-12);
+    }
+
+    /// Theorem 2 composition: success probability is a probability,
+    /// expected misses is within [0, k], and both improve with larger
+    /// distance ratios.
+    #[test]
+    fn theorem2_composition(ratios in prop::collection::vec(0.5f64..10.0, 1..10), alpha in 1usize..8) {
+        let p = bounds::topk_success_probability(&ratios, alpha);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let e = bounds::expected_misses(&ratios, alpha);
+        prop_assert!(e >= 0.0 && e <= ratios.len() as f64 + 1e-9);
+        // Inflating every ratio can only help.
+        let better: Vec<f64> = ratios.iter().map(|m| m + 1.0).collect();
+        prop_assert!(bounds::topk_success_probability(&better, alpha) >= p - 1e-12);
+        prop_assert!(bounds::expected_misses(&better, alpha) <= e + 1e-12);
+    }
+
+    /// Theorem 3's spill bound is a probability, decreasing in α.
+    #[test]
+    fn theorem3_bound_behaves(eps in 0.01f64..0.99, alpha in 1usize..8) {
+        let b = bounds::spill_in_bound(eps, alpha);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(bounds::spill_in_bound(eps, alpha + 1) <= b + 1e-12);
+    }
+
+    /// The zero vector is a fixed point for every draw of the matrix.
+    #[test]
+    fn zero_fixed_point(seed: u64, in_dim in 2usize..40, out_dim in 1usize..4) {
+        let t = JlTransform::new(in_dim, out_dim.min(in_dim), seed);
+        let out = t.apply(&vec![0.0; in_dim]);
+        prop_assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

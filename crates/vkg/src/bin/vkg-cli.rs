@@ -1,0 +1,268 @@
+//! `vkg-cli` — command-line front end for the virtual-knowledge-graph
+//! engine.
+//!
+//! ```text
+//! vkg-cli generate --dataset movie --out graph.tsv          # synthetic data
+//! vkg-cli stats    --graph graph.tsv                        # Table-I numbers
+//! vkg-cli embed    --graph graph.tsv --out emb.bin          # train embeddings
+//! vkg-cli topk     --graph graph.tsv --embeddings emb.bin \
+//!                  --entity user_7 --relation likes -k 10   # predictive top-k
+//! vkg-cli count    --graph graph.tsv --embeddings emb.bin \
+//!                  --entity user_7 --relation likes         # expected COUNT
+//! ```
+//!
+//! Embeddings are stored in the compact `VKGE` binary format
+//! (`vkg::embed::io`); graphs in triple TSV.
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use vkg::prelude::*;
+
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = std::collections::HashMap::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_owned(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn opt(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "vkg-cli — predictive top-k and aggregate queries on knowledge graphs\n\
+         \n\
+         subcommands:\n\
+           generate --dataset movie|amazon|freebase [--scale F] --out FILE.tsv\n\
+           stats    --graph FILE.tsv\n\
+           embed    --graph FILE.tsv --out FILE.bin [--method ls|transe] [--dim N] [--epochs N]\n\
+           topk     --graph FILE.tsv --embeddings FILE.bin --entity NAME --relation NAME\n\
+                    [--k N] [--direction tails|heads] [--alpha N] [--epsilon F]\n\
+           count    --graph FILE.tsv --embeddings FILE.bin --entity NAME --relation NAME\n\
+                    [--p-tau F] [--sample N]"
+    );
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "embed" => cmd_embed(&args),
+        "topk" => cmd_topk(&args),
+        "count" => cmd_count(&args),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_graph(args: &Args) -> Result<KnowledgeGraph, String> {
+    let path = args.get("graph")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    vkg::kg::io::read_tsv(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let scale: f64 = args.num("scale", 0.1)?;
+    let ds = match args.get("dataset")? {
+        "movie" => movie_like(&MovieConfig::scaled(scale)),
+        "amazon" => amazon_like(&AmazonConfig::scaled(scale)),
+        "freebase" => freebase_like(&FreebaseConfig::scaled(scale)),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    let path = args.get("out")?;
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    vkg::kg::io::write_tsv(&ds.graph, file).map_err(|e| e.to_string())?;
+    println!("{}: {} → {path}", ds.name, ds.graph.stats());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    println!("{}", graph.stats());
+    Ok(())
+}
+
+fn cmd_embed(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let dim: usize = args.num("dim", 48)?;
+    let store = match args.opt("method").unwrap_or("ls") {
+        "ls" => vkg::embed::least_squares_embedding(
+            &graph,
+            &vkg::embed::LsConfig {
+                dim,
+                ..Default::default()
+            },
+        ),
+        "transe" => {
+            let epochs: usize = args.num("epochs", 30)?;
+            let (store, stats) = TransE::new(TransEConfig {
+                dim,
+                epochs,
+                ..TransEConfig::default()
+            })
+            .train(&graph);
+            println!(
+                "TransE: {} epochs, final loss {:.4}",
+                epochs,
+                stats.final_loss().unwrap_or(0.0)
+            );
+            store
+        }
+        other => return Err(format!("unknown embedding method {other:?}")),
+    };
+    let path = args.get("out")?;
+    let bytes = vkg::embed::io::to_binary(&store);
+    std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "embedded {} entities, {} relations (d={dim}) → {path} ({} KiB)",
+        store.num_entities(),
+        store.num_relations(),
+        bytes.len() / 1024
+    );
+    Ok(())
+}
+
+fn build_engine(args: &Args) -> Result<VirtualKnowledgeGraph, String> {
+    let graph = load_graph(args)?;
+    let path = args.get("embeddings")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let store = vkg::embed::io::from_binary(&bytes).map_err(|e| e.to_string())?;
+    if store.num_entities() != graph.num_entities() {
+        return Err(format!(
+            "embeddings cover {} entities but the graph has {} — re-run `vkg-cli embed`",
+            store.num_entities(),
+            graph.num_entities()
+        ));
+    }
+    let cfg = VkgConfig {
+        alpha: args.num("alpha", 3)?,
+        epsilon: args.num("epsilon", 1.0)?,
+        ..VkgConfig::default()
+    };
+    Ok(VirtualKnowledgeGraph::assemble(
+        graph,
+        AttributeStore::new(),
+        store,
+        cfg,
+    ))
+}
+
+fn resolve(
+    vkg: &VirtualKnowledgeGraph,
+    args: &Args,
+) -> Result<(EntityId, RelationId, Direction), String> {
+    let ename = args.get("entity")?;
+    let rname = args.get("relation")?;
+    let entity = vkg
+        .graph()
+        .entity_id(ename)
+        .ok_or_else(|| format!("unknown entity {ename:?}"))?;
+    let relation = vkg
+        .graph()
+        .relation_id(rname)
+        .ok_or_else(|| format!("unknown relation {rname:?}"))?;
+    let direction = match args.opt("direction").unwrap_or("tails") {
+        "tails" => Direction::Tails,
+        "heads" => Direction::Heads,
+        other => return Err(format!("bad --direction {other:?}")),
+    };
+    Ok((entity, relation, direction))
+}
+
+fn cmd_topk(args: &Args) -> Result<(), String> {
+    let mut vkg = build_engine(args)?;
+    let (entity, relation, direction) = resolve(&vkg, args)?;
+    let k: usize = args.num("k", 10)?;
+    let t = std::time::Instant::now();
+    let r = vkg
+        .top_k(entity, relation, direction, k)
+        .map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+    for (rank, p) in r.predictions.iter().enumerate() {
+        println!(
+            "{:>3}. {:24} distance {:8.4}  probability {:.4}",
+            rank + 1,
+            vkg.graph().entity_name(EntityId(p.id)).unwrap_or("?"),
+            p.distance,
+            p.probability
+        );
+    }
+    println!(
+        "\n{} results in {elapsed:.1?}; Theorem 2: success prob ≥ {:.3}, expected misses ≤ {:.3}",
+        r.predictions.len(),
+        r.guarantee.success_probability,
+        r.guarantee.expected_misses
+    );
+    Ok(())
+}
+
+fn cmd_count(args: &Args) -> Result<(), String> {
+    let mut vkg = build_engine(args)?;
+    let (entity, relation, direction) = resolve(&vkg, args)?;
+    let mut spec = AggregateSpec::count(args.num("p-tau", 0.05)?);
+    if let Some(s) = args.opt("sample") {
+        spec = spec.with_sample(s.parse().map_err(|_| "bad --sample".to_string())?);
+    }
+    let r = vkg
+        .aggregate(entity, relation, direction, &spec)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "expected count: {:.2}   (ball {} entities, {} accessed; 90%-conf rel. error ±{:.1}%)",
+        r.estimate,
+        r.ball_size,
+        r.accessed,
+        100.0 * r.bound.delta_for_confidence(0.9)
+    );
+    Ok(())
+}

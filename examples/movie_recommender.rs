@@ -1,0 +1,113 @@
+//! Movie recommender over the MovieLens-like dataset (the paper's §VI
+//! "Movie (Top-k)" scenario).
+//!
+//! Recommends unseen movies for several users with the cracking index,
+//! compares each answer against the exact no-index scan (precision@K,
+//! the metric of Figure 6), and shows how the index converges over the
+//! query sequence.
+//!
+//! Run with: `cargo run --release --example movie_recommender`
+
+use std::time::Instant;
+
+use vkg::prelude::*;
+
+fn main() {
+    let cfg = MovieConfig {
+        users: 800,
+        movies: 1_500,
+        ratings_per_user: 25,
+        ..MovieConfig::default()
+    };
+    let ds = movie_like(&cfg);
+    println!("dataset: {} — {}", ds.name, ds.graph.stats());
+
+    // The harness-style embedding: alternating least squares converges to
+    // the tight h + r ≈ t geometry of a production embedding in seconds
+    // (swap in `TransE::new(...).train(...)` for the SGD trainer).
+    let t = Instant::now();
+    let embeddings = vkg::embed::least_squares_embedding(
+        &ds.graph,
+        &vkg::embed::LsConfig { dim: 32, ..Default::default() },
+    );
+    println!("embeddings trained in {:.1?}", t.elapsed());
+
+    let scan_store = embeddings.clone();
+    let scan = LinearScan::new(&scan_store);
+
+    let mut vkg = VirtualKnowledgeGraph::assemble(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        embeddings,
+        VkgConfig {
+            alpha: 3,
+            epsilon: 1.0,
+            ..VkgConfig::default()
+        },
+    );
+
+    let likes = vkg.graph().relation_id("likes").unwrap();
+    let movie_filter = {
+        let g = vkg.graph().clone();
+        move |e: EntityId| g.entity_name(e).is_some_and(|n| n.starts_with("movie_"))
+    };
+
+    let k = 10;
+    let mut total_precision = 0.0;
+    let mut queries = 0usize;
+    println!("\nper-query latency and precision@{k} vs the exact no-index scan:");
+    for u in (0..cfg.users).step_by(cfg.users / 16) {
+        let user = ds.graph.entity_id(&format!("user_{u}")).unwrap();
+
+        let t = Instant::now();
+        let rec = vkg
+            .top_k_filtered(user, likes, Direction::Tails, k, &movie_filter)
+            .expect("valid query");
+        let indexed_time = t.elapsed();
+
+        // Ground truth: exact scan with identical E′ semantics.
+        let known: std::collections::HashSet<u32> =
+            ds.graph.tails(user, likes).map(|e| e.0).collect();
+        let mf = &movie_filter;
+        let truth = scan.top_k_tails(user, likes, k, |id| {
+            id == user.0 || known.contains(&id) || !mf(EntityId(id))
+        });
+        let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|t| t.0).collect();
+        let hits = rec
+            .predictions
+            .iter()
+            .filter(|p| truth_ids.contains(&p.id))
+            .count();
+        let precision = hits as f64 / k as f64;
+        total_precision += precision;
+        queries += 1;
+
+        println!(
+            "  user_{u:<4} {:>9.1?}   precision@{k} {:.2}   index nodes {}",
+            indexed_time,
+            precision,
+            vkg.index_node_count()
+        );
+        if queries == 1 {
+            println!("    first recommendations:");
+            for p in rec.predictions.iter().take(3) {
+                println!(
+                    "      {}  p={:.3}",
+                    ds.graph.entity_name(EntityId(p.id)).unwrap(),
+                    p.probability
+                );
+            }
+        }
+    }
+    println!(
+        "\nmean precision@{k}: {:.3}   (paper reports ≥ 0.945 for movie data)",
+        total_precision / queries as f64
+    );
+    let s = vkg.index_stats();
+    println!(
+        "index: {} nodes, {} splits, {} KiB — no offline build was ever run",
+        vkg.index_node_count(),
+        s.splits_performed,
+        vkg.index_bytes() / 1024
+    );
+}

@@ -1,0 +1,115 @@
+//! Predictive product analytics over the Amazon-like dataset: aggregate
+//! queries on the *virtual* edges (the paper's §VI aggregate experiments,
+//! Figures 12–16 in miniature).
+//!
+//! For a user, estimates over the products they *would* like (but have
+//! not rated): the expected COUNT, the AVG product quality, and the MAX
+//! quality — sweeping the sample size `a` to show the time/accuracy
+//! trade-off, with Theorem 4 confidence intervals.
+//!
+//! Run with: `cargo run --release --example product_analytics`
+
+use std::time::Instant;
+
+use vkg::prelude::*;
+
+fn main() {
+    let cfg = AmazonConfig {
+        users: 600,
+        products: 1_200,
+        ratings_per_user: 20,
+        ..AmazonConfig::default()
+    };
+    let ds = amazon_like(&cfg);
+    println!("dataset: {} — {}", ds.name, ds.graph.stats());
+
+    let embeddings = vkg::embed::least_squares_embedding(
+        &ds.graph,
+        &vkg::embed::LsConfig { dim: 32, ..Default::default() },
+    );
+
+    let mut vkg = VirtualKnowledgeGraph::assemble(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        embeddings,
+        VkgConfig {
+            epsilon: 1.0,
+            ..VkgConfig::default()
+        },
+    );
+
+    let likes = vkg.graph().relation_id("likes").unwrap();
+    let user = vkg.graph().entity_id("user_7").unwrap();
+
+    // --- COUNT: how many products would this user like? ---------------
+    let count = vkg
+        .aggregate(user, likes, Direction::Tails, &AggregateSpec::count(0.05))
+        .expect("valid query");
+    println!(
+        "\nexpected number of products user_7 would like (p ≥ 0.05): {:.1}  (ball: {} products)",
+        count.estimate, count.ball_size
+    );
+
+    // --- AVG quality with a sample-size sweep (Fig. 14's tradeoff) -----
+    println!("\nAVG product quality of user_7's predicted likes, sweeping sample size a:");
+    println!("  {:>6} {:>12} {:>10} {:>22}", "a", "time", "estimate", "90%-conf rel. error");
+    let full = vkg
+        .aggregate(
+            user,
+            likes,
+            Direction::Tails,
+            &AggregateSpec::of(AggregateKind::Avg, "quality", 0.05),
+        )
+        .expect("valid query");
+    for a in [2usize, 5, 10, 25, 50, full.ball_size.max(1)] {
+        let spec = AggregateSpec::of(AggregateKind::Avg, "quality", 0.05).with_sample(a);
+        let t = Instant::now();
+        let r = vkg
+            .aggregate(user, likes, Direction::Tails, &spec)
+            .expect("valid query");
+        println!(
+            "  {:>6} {:>12.1?} {:>10.3} {:>21.1}%",
+            r.accessed,
+            t.elapsed(),
+            r.estimate,
+            100.0 * r.bound.delta_for_confidence(0.9)
+        );
+    }
+    println!(
+        "  full-access reference estimate: {:.3} over {} ball members",
+        full.estimate, full.ball_size
+    );
+
+    // --- MAX quality (Fig. 15's estimator, Eq. 4) ----------------------
+    let max = vkg
+        .aggregate(
+            user,
+            likes,
+            Direction::Tails,
+            &AggregateSpec::of(AggregateKind::Max, "quality", 0.05).with_sample(10),
+        )
+        .expect("valid query");
+    println!(
+        "\nexpected MAX quality among predicted likes (from a 10-sample): {:.3}",
+        max.estimate
+    );
+
+    // --- MIN quality ----------------------------------------------------
+    let min = vkg
+        .aggregate(
+            user,
+            likes,
+            Direction::Tails,
+            &AggregateSpec::of(AggregateKind::Min, "quality", 0.05).with_sample(10),
+        )
+        .expect("valid query");
+    println!("expected MIN quality among predicted likes: {:.3}", min.estimate);
+
+    let s = vkg.index_stats();
+    println!(
+        "\nindex after the analytics session: {} nodes, {} splits, {} S₁ distance evals",
+        vkg.index_node_count(),
+        s.splits_performed,
+        s.s1_distance_evals
+    );
+}

@@ -1,0 +1,127 @@
+//! Quickstart: build a virtual knowledge graph over a toy restaurant
+//! scene (the paper's Figure 1) and ask the two headline queries:
+//!
+//! * Q1 — "top-k restaurants Amy would rate high but has not been to yet"
+//! * Q2 — "expected average age of the people who would like Restaurant 2"
+//!
+//! Run with: `cargo run --example quickstart`
+
+use vkg::prelude::*;
+
+fn main() {
+    // --- The knowledge graph of Figure 1 -------------------------------
+    let mut graph = KnowledgeGraph::new();
+    let people = ["amy", "bob", "carol", "dave", "erin", "frank"];
+    let restaurants: Vec<String> = (1..=8).map(|i| format!("restaurant_{i}")).collect();
+    let styles = ["italian", "mexican", "thai"];
+
+    // Restaurants belong to styles.
+    for (i, r) in restaurants.iter().enumerate() {
+        graph.add_fact(r, "belongs_to", styles[i % styles.len()]).unwrap();
+    }
+    // People rate restaurants they've been to; tastes follow styles:
+    // person j likes style j % 3.
+    for (j, p) in people.iter().enumerate() {
+        for (i, r) in restaurants.iter().enumerate() {
+            if i % styles.len() == j % styles.len() && i / styles.len() == j % 2 {
+                graph.add_fact(p, "rates_high", r).unwrap();
+            }
+        }
+        graph
+            .add_fact(p, "frequents", &format!("grocery_{}", j % 2 + 1))
+            .unwrap();
+    }
+
+    // Ages for the aggregate query.
+    let mut attributes = AttributeStore::new();
+    for (j, p) in people.iter().enumerate() {
+        let id = graph.entity_id(p).unwrap();
+        attributes.set("age", id, 25.0 + 7.0 * j as f64);
+    }
+
+    println!("knowledge graph: {}", graph.stats());
+
+    // --- Embedding: the algorithm 𝒜 inducing the virtual KG ------------
+    let (embeddings, stats) = TransE::new(TransEConfig {
+        dim: 24,
+        epochs: 200,
+        learning_rate: 0.02,
+        ..TransEConfig::default()
+    })
+    .train(&graph);
+    println!(
+        "TransE trained: d={} final loss {:.4}",
+        embeddings.dim(),
+        stats.final_loss().unwrap_or(0.0)
+    );
+
+    // --- Assemble the virtual knowledge graph --------------------------
+    let mut vkg = VirtualKnowledgeGraph::assemble(
+        graph,
+        attributes,
+        embeddings,
+        VkgConfig {
+            alpha: 3,
+            epsilon: 1.0,
+            leaf_capacity: 4,
+            fanout: 4,
+            ..VkgConfig::default()
+        },
+    );
+
+    // --- Q1: top-3 restaurants Amy would rate high ---------------------
+    let amy = vkg.graph().entity_id("amy").unwrap();
+    let rates_high = vkg.graph().relation_id("rates_high").unwrap();
+    let graph_snapshot = vkg.graph().clone();
+    let q1 = vkg
+        .top_k_filtered(amy, rates_high, Direction::Tails, 3, |e| {
+            graph_snapshot
+                .entity_name(e)
+                .is_some_and(|n| n.starts_with("restaurant_"))
+        })
+        .expect("valid query");
+
+    println!("\nQ1: top-3 restaurants Amy would rate high (not yet visited):");
+    for p in &q1.predictions {
+        println!(
+            "  {:14}  distance {:.3}  probability {:.3}",
+            vkg.graph().entity_name(EntityId(p.id)).unwrap(),
+            p.distance,
+            p.probability,
+        );
+    }
+    println!(
+        "  Theorem 2 guarantee: no true top-k missed with prob ≥ {:.3}, expected misses ≤ {:.3}",
+        q1.guarantee.success_probability, q1.guarantee.expected_misses
+    );
+
+    // --- Q2: average age of likely fans of restaurant_2 ----------------
+    let r2 = vkg.graph().entity_id("restaurant_2").unwrap();
+    let q2 = vkg
+        .aggregate(
+            r2,
+            rates_high,
+            Direction::Heads,
+            &AggregateSpec::of(AggregateKind::Avg, "age", 0.05),
+        )
+        .expect("valid aggregate");
+    println!(
+        "\nQ2: expected average age of people who would like restaurant_2: {:.1}",
+        q2.estimate
+    );
+    println!(
+        "  ball size {}   accessed {}   90%-confidence relative error ±{:.1}%",
+        q2.ball_size,
+        q2.accessed,
+        100.0 * q2.bound.delta_for_confidence(0.9)
+    );
+
+    // --- The index shaped itself around the two queries ----------------
+    let s = vkg.index_stats();
+    println!(
+        "\nindex after 2 queries: {} nodes, {} splits, {} bytes",
+        vkg.index_node_count(),
+        s.splits_performed,
+        vkg.index_bytes()
+    );
+}

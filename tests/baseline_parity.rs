@@ -1,0 +1,133 @@
+//! Cross-checks between the baselines and the indexed engine: every
+//! method must agree on the ground truth it is exact for, and approximate
+//! methods must hit their advertised recall.
+
+use vkg::prelude::*;
+
+fn trained_movie() -> (Dataset, EmbeddingStore) {
+    let ds = movie_like(&MovieConfig::tiny());
+    let (store, _) = TransE::new(TransEConfig {
+        dim: 24,
+        epochs: 10,
+        ..TransEConfig::default()
+    })
+    .train(&ds.graph);
+    (ds, store)
+}
+
+#[test]
+fn phtree_matches_linear_scan_on_embeddings() {
+    let (ds, store) = trained_movie();
+    let tree = PhTree::build(store.entity_matrix().to_vec(), store.dim());
+    let scan = LinearScan::new(&store);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (i, t) in ds.graph.triples().iter().step_by(97).take(10).enumerate() {
+        let _ = i;
+        let q = store.tail_query_point(t.head, t.relation);
+        let tree_ids: Vec<u32> = tree.top_k(&q, 5, |_| false).iter().map(|r| r.0).collect();
+        let scan_ids: Vec<u32> = scan.top_k_near(&q, 5, |_| false).iter().map(|r| r.0).collect();
+        // Quantization can flip exact ties; require the nearest to match
+        // and ≥ 4/5 overlap.
+        assert_eq!(tree_ids[0], scan_ids[0], "nearest neighbour must agree");
+        agree += tree_ids.iter().filter(|x| scan_ids.contains(x)).count();
+        total += 5;
+    }
+    assert!(agree as f64 / total as f64 >= 0.8);
+}
+
+#[test]
+fn h2alsh_recall_on_single_relation() {
+    // H2-ALSH's setting: ONE relation type, MIPS over user/item vectors.
+    let (ds, store) = trained_movie();
+    let movies: Vec<EntityId> = (0..ds.graph.num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| {
+            ds.graph
+                .entity_name(e)
+                .is_some_and(|n| n.starts_with("movie_"))
+        })
+        .collect();
+    let dim = store.dim();
+    let mut data = Vec::with_capacity(movies.len() * dim);
+    for &m in &movies {
+        data.extend_from_slice(store.entity(m));
+    }
+    let idx = H2Alsh::build(data.clone(), dim, H2AlshConfig::default());
+
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for u in 0..10 {
+        let user = ds.graph.entity_id(&format!("user_{u}")).unwrap();
+        let q = store.entity(user);
+        let got: Vec<u32> = idx.top_k_mips(q, 5, |_| false).iter().map(|r| r.0).collect();
+        let want: Vec<u32> = vkg::baselines::linear_scan::exact_mips_top_k(&data, dim, q, 5)
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        hits += got.iter().filter(|g| want.contains(g)).count();
+        total += 5;
+    }
+    let recall = hits as f64 / total as f64;
+    assert!(recall >= 0.8, "H2-ALSH recall {recall}");
+}
+
+#[test]
+fn cracked_bulk_and_scan_agree_through_facade() {
+    let (ds, store) = trained_movie();
+    let scan_store = store.clone();
+    let scan = LinearScan::new(&scan_store);
+    let mut cracked = VirtualKnowledgeGraph::assemble(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        store.clone(),
+        VkgConfig::default(),
+    );
+    let mut bulk = VirtualKnowledgeGraph::assemble_bulk_loaded(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        store,
+        VkgConfig::default(),
+    );
+    let likes = ds.graph.relation_id("likes").unwrap();
+    for u in 0..8 {
+        let user = ds.graph.entity_id(&format!("user_{u}")).unwrap();
+        let a = cracked.top_k(user, likes, Direction::Tails, 5).unwrap();
+        let b = bulk.top_k(user, likes, Direction::Tails, 5).unwrap();
+        assert_eq!(
+            a.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+            b.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+            "cracked and bulk answers diverged for user_{u}"
+        );
+        // Both must rank by true S₁ distance: compare the top-1 against
+        // the exact scan under the same skip set.
+        let known: std::collections::HashSet<u32> =
+            ds.graph.tails(user, likes).map(|e| e.0).collect();
+        let truth = scan.top_k_near(
+            &store_q(&cracked, user, likes),
+            1,
+            |id| id == user.0 || known.contains(&id),
+        );
+        if let (Some(p), Some(t)) = (a.predictions.first(), truth.first()) {
+            assert!(
+                (p.distance - t.1).abs() < 1e-9 || p.id == t.0,
+                "top-1 mismatch beyond transform noise"
+            );
+        }
+    }
+}
+
+fn store_q(vkg: &VirtualKnowledgeGraph, e: EntityId, r: RelationId) -> Vec<f64> {
+    vkg.query_point_s1(e, r, Direction::Tails).unwrap()
+}
+
+#[test]
+fn phtree_and_h2alsh_handle_skip_consistently() {
+    let (ds, store) = trained_movie();
+    let tree = PhTree::build(store.entity_matrix().to_vec(), store.dim());
+    let t = ds.graph.triples()[0];
+    let q = store.tail_query_point(t.head, t.relation);
+    let banned = tree.top_k(&q, 1, |_| false)[0].0;
+    let filtered = tree.top_k(&q, 5, |id| id == banned);
+    assert!(filtered.iter().all(|r| r.0 != banned));
+}

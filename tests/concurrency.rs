@@ -1,0 +1,134 @@
+//! Concurrency: the assembled engine is `Send`, read paths are shareable,
+//! and a lock-guarded engine serves a multi-threaded query workload with
+//! results identical to the serial run.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use vkg::prelude::*;
+
+fn build() -> (Dataset, VirtualKnowledgeGraph) {
+    let ds = movie_like(&MovieConfig::tiny());
+    let vkg = vkg::build_from_dataset(
+        &ds,
+        TransEConfig {
+            dim: 16,
+            epochs: 6,
+            ..TransEConfig::default()
+        },
+        VkgConfig::default(),
+    );
+    (ds, vkg)
+}
+
+#[test]
+fn engine_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<VirtualKnowledgeGraph>();
+    assert_send::<KnowledgeGraph>();
+    assert_send::<EmbeddingStore>();
+    assert_send::<CrackingIndex>();
+}
+
+#[test]
+fn concurrent_readers_on_graph_and_embeddings() {
+    let (_ds, vkg) = build();
+    let shared = Arc::new(RwLock::new(vkg));
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let guard = shared.read();
+            let mut checksum = 0usize;
+            for i in (t * 10)..(t * 10 + 10) {
+                let e = EntityId(i as u32);
+                if let Some(name) = guard.graph().entity_name(e) {
+                    checksum += name.len();
+                    checksum += guard.embeddings().entity(e).len();
+                }
+            }
+            checksum
+        }));
+    }
+    for h in handles {
+        assert!(h.join().unwrap() > 0);
+    }
+}
+
+#[test]
+fn parallel_queries_match_serial_results() {
+    let (ds, vkg) = build();
+    let likes = ds.graph.relation_id("likes").unwrap();
+    let users: Vec<EntityId> = (0..12)
+        .map(|u| ds.graph.entity_id(&format!("user_{u}")).unwrap())
+        .collect();
+
+    // Serial reference on an identical fresh engine.
+    let (_, mut serial) = {
+        let d = movie_like(&MovieConfig::tiny());
+        let v = vkg::build_from_dataset(
+            &d,
+            TransEConfig {
+                dim: 16,
+                epochs: 6,
+                ..TransEConfig::default()
+            },
+            VkgConfig::default(),
+        );
+        (d, v)
+    };
+    let mut serial_answers = Vec::new();
+    for &u in &users {
+        let r = serial.top_k(u, likes, Direction::Tails, 5).unwrap();
+        serial_answers.push(r.predictions.iter().map(|p| p.id).collect::<Vec<_>>());
+    }
+
+    // Parallel run: queries mutate the index (cracking), so a Mutex
+    // serializes the engine while threads interleave arbitrarily.
+    let shared = Arc::new(Mutex::new(vkg));
+    let mut handles = Vec::new();
+    for (qi, &u) in users.iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let mut guard = shared.lock();
+            let r = guard.top_k(u, likes, Direction::Tails, 5).unwrap();
+            (qi, r.predictions.iter().map(|p| p.id).collect::<Vec<_>>())
+        }));
+    }
+    let mut parallel_answers = vec![Vec::new(); users.len()];
+    for h in handles {
+        let (qi, ids) = h.join().unwrap();
+        parallel_answers[qi] = ids;
+    }
+
+    // Cracking order differs between runs, but answers are order-
+    // independent (the index is lossless; only its shape differs).
+    for (qi, (s, p)) in serial_answers.iter().zip(&parallel_answers).enumerate() {
+        assert_eq!(s, p, "query {qi} diverged under concurrency");
+    }
+    shared.lock().index().check_invariants();
+}
+
+#[test]
+fn index_stats_are_coherent_after_concurrent_load() {
+    let (ds, vkg) = build();
+    let likes = ds.graph.relation_id("likes").unwrap();
+    let shared = Arc::new(Mutex::new(vkg));
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let shared = Arc::clone(&shared);
+        let ds_users = ds.graph.entity_id(&format!("user_{t}")).unwrap();
+        handles.push(std::thread::spawn(move || {
+            let mut guard = shared.lock();
+            let _ = guard.top_k(ds_users, likes, Direction::Tails, 3).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let guard = shared.lock();
+    let s = guard.index_stats();
+    assert!(s.s1_distance_evals > 0);
+    assert!(guard.index_node_count() >= 1);
+    guard.index().check_invariants();
+}

@@ -1,0 +1,165 @@
+//! Dynamic knowledge-graph updates end-to-end (the paper's §VIII future
+//! work): new entities and facts arrive after assembly, embeddings move
+//! locally, and the partial index absorbs every change in place.
+
+use vkg::prelude::*;
+
+fn world() -> (Dataset, VirtualKnowledgeGraph) {
+    let ds = movie_like(&MovieConfig::tiny());
+    let embeddings = vkg::embed::least_squares_embedding(
+        &ds.graph,
+        &vkg::embed::LsConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
+    let vkg = VirtualKnowledgeGraph::assemble(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        embeddings,
+        VkgConfig {
+            epsilon: 1.0,
+            ..VkgConfig::default()
+        },
+    );
+    (ds, vkg)
+}
+
+#[test]
+fn cold_start_entity_becomes_queryable() {
+    let (_ds, mut vkg) = world();
+    let likes = vkg.graph().relation_id("likes").unwrap();
+
+    // A new movie arrives with an embedding placed exactly where an
+    // existing user's "likes" query lands — it must become that user's
+    // top prediction.
+    let user = vkg.graph().entity_id("user_1").unwrap();
+    let target = vkg
+        .query_point_s1(user, likes, Direction::Tails)
+        .unwrap();
+    let new_movie = vkg.add_entity_dynamic("movie_coldstart", &target);
+    vkg.index().check_invariants();
+
+    let r = vkg.top_k(user, likes, Direction::Tails, 3).unwrap();
+    assert_eq!(
+        r.predictions[0].id, new_movie.0,
+        "the perfectly placed new movie must rank first"
+    );
+    assert!(r.predictions[0].distance < 1e-9);
+}
+
+#[test]
+fn new_fact_is_excluded_from_predictions() {
+    let (_ds, mut vkg) = world();
+    let likes = vkg.graph().relation_id("likes").unwrap();
+    let user = vkg.graph().entity_id("user_2").unwrap();
+
+    let before = vkg.top_k(user, likes, Direction::Tails, 1).unwrap();
+    let top = EntityId(before.predictions[0].id);
+
+    // The user now actually likes their top prediction: the edge enters
+    // E, so E′ semantics must drop it from future answers.
+    assert!(vkg.add_fact_dynamic(user, likes, top, 4, 0.05).unwrap());
+    vkg.index().check_invariants();
+    let after = vkg.top_k(user, likes, Direction::Tails, 5).unwrap();
+    assert!(
+        after.predictions.iter().all(|p| p.id != top.0),
+        "materialized edge must be skipped"
+    );
+}
+
+#[test]
+fn refinement_pulls_endpoints_together() {
+    let (_ds, mut vkg) = world();
+    let likes = vkg.graph().relation_id("likes").unwrap();
+    let user = vkg.graph().entity_id("user_3").unwrap();
+    // A far-away movie the user does not like yet.
+    let movie = vkg.graph().entity_id("movie_50").unwrap();
+    let before = vkg.embeddings().triple_distance(user, likes, movie);
+    vkg.add_fact_dynamic(user, likes, movie, 8, 0.05).unwrap();
+    let after = vkg.embeddings().triple_distance(user, likes, movie);
+    assert!(
+        after < before,
+        "local refinement must tighten the new triple ({before} → {after})"
+    );
+    vkg.index().check_invariants();
+}
+
+#[test]
+fn duplicate_fact_is_noop() {
+    let (ds, mut vkg) = world();
+    let likes = ds.graph.relation_id("likes").unwrap();
+    let t = ds
+        .graph
+        .triples()
+        .iter()
+        .find(|t| t.relation == likes)
+        .copied()
+        .unwrap();
+    let h_before = vkg.embeddings().entity(t.head).to_vec();
+    assert!(!vkg.add_fact_dynamic(t.head, likes, t.tail, 5, 0.05).unwrap());
+    assert_eq!(
+        vkg.embeddings().entity(t.head),
+        h_before.as_slice(),
+        "duplicate facts must not move embeddings"
+    );
+}
+
+#[test]
+fn dynamic_attribute_visible_to_aggregates() {
+    let (_ds, mut vkg) = world();
+    let likes = vkg.graph().relation_id("likes").unwrap();
+    let user = vkg.graph().entity_id("user_0").unwrap();
+    // Give every movie a fresh attribute after assembly.
+    let ids: Vec<EntityId> = (0..vkg.graph().num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| {
+            vkg.graph()
+                .entity_name(e)
+                .is_some_and(|n| n.starts_with("movie_"))
+        })
+        .collect();
+    for (i, m) in ids.iter().enumerate() {
+        vkg.set_attribute_dynamic("runtime", *m, 90.0 + (i % 60) as f64);
+    }
+    let r = vkg
+        .aggregate(
+            user,
+            likes,
+            Direction::Tails,
+            &AggregateSpec::of(AggregateKind::Avg, "runtime", 0.05),
+        )
+        .unwrap();
+    assert!(
+        (90.0..=150.0).contains(&r.estimate),
+        "avg runtime {} outside the attribute's range",
+        r.estimate
+    );
+}
+
+#[test]
+fn many_updates_keep_queries_exact() {
+    let (_ds, mut vkg) = world();
+    let likes = vkg.graph().relation_id("likes").unwrap();
+    // Interleave queries and updates, then verify against the scan.
+    for i in 0..10 {
+        let user = vkg.graph().entity_id(&format!("user_{i}")).unwrap();
+        let _ = vkg.top_k(user, likes, Direction::Tails, 5).unwrap();
+        let q = vkg.query_point_s1(user, likes, Direction::Tails).unwrap();
+        let jitter: Vec<f64> = q.iter().map(|v| v + 0.01 * i as f64).collect();
+        vkg.add_entity_dynamic(&format!("new_movie_{i}"), &jitter);
+    }
+    vkg.index().check_invariants();
+    let user = vkg.graph().entity_id("user_5").unwrap();
+    let indexed = vkg.top_k(user, likes, Direction::Tails, 5).unwrap();
+    let scan_store = vkg.embeddings().clone();
+    let scan = LinearScan::new(&scan_store);
+    let q = vkg.query_point_s1(user, likes, Direction::Tails).unwrap();
+    let known: std::collections::HashSet<u32> =
+        vkg.graph().tails(user, likes).map(|e| e.0).collect();
+    let truth = scan.top_k_near(&q, 5, |id| id == user.0 || known.contains(&id));
+    let truth_ids: Vec<u32> = truth.iter().map(|t| t.0).collect();
+    let got_ids: Vec<u32> = indexed.predictions.iter().map(|p| p.id).collect();
+    let hits = got_ids.iter().filter(|g| truth_ids.contains(g)).count();
+    assert!(hits >= 4, "only {hits}/5 agree with the scan after updates");
+}
