@@ -139,7 +139,9 @@ impl H2Alsh {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
         // 1. Sort ids by norm descending.
-        let norms: Vec<f64> = (0..n).map(|i| norm(&data[i * dim..(i + 1) * dim])).collect();
+        let norms: Vec<f64> = (0..n)
+            .map(|i| norm(&data[i * dim..(i + 1) * dim]))
+            .collect();
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_by(|&a, &b| norms[b as usize].total_cmp(&norms[a as usize]));
 

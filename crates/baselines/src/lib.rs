@@ -15,14 +15,18 @@
 //!   partitioning + QNF asymmetric transform + E2LSH hash tables for
 //!   maximum-inner-product search. Single relationship type only, as the
 //!   paper stresses.
+//! * [`engine`] — [`vkg_core::engine::QueryEngine`] adapters for all
+//!   three, so the harness dispatches over `&mut dyn QueryEngine`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod h2alsh;
 pub mod linear_scan;
 pub mod phtree;
 
+pub use engine::{H2AlshEngine, LinearScanEngine, PhTreeEngine};
 pub use h2alsh::{H2Alsh, H2AlshConfig};
 pub use linear_scan::LinearScan;
 pub use phtree::PhTree;

@@ -33,7 +33,10 @@ pub const MAX_PH_DIM: usize = 128;
 enum Child {
     Node(Box<Node>),
     /// A point entry: quantized key + the ids of all points sharing it.
-    Entry { key: Vec<u16>, ids: Vec<u32> },
+    Entry {
+        key: Vec<u16>,
+        ids: Vec<u32>,
+    },
 }
 
 #[derive(Debug)]
@@ -77,9 +80,11 @@ fn mask_above(key: &[u16], bit: u32) -> Vec<u16> {
 /// Highest bit level strictly below `below` at which `a` and `b` differ in
 /// any dimension; `None` if equal on all those levels.
 fn highest_diff_bit(a: &[u16], b: &[u16], below: u32) -> Option<u32> {
-    (0..below).rev().find(|&bit| a.iter()
+    (0..below).rev().find(|&bit| {
+        a.iter()
             .zip(b)
-            .any(|(&x, &y)| ((x >> bit) & 1) != ((y >> bit) & 1)))
+            .any(|(&x, &y)| ((x >> bit) & 1) != ((y >> bit) & 1))
+    })
 }
 
 /// The PH-tree index over a row-major point matrix.
@@ -129,7 +134,10 @@ impl PhTree {
     /// Panics on shape mismatch, `dim` = 0 or > [`MAX_PH_DIM`], or
     /// non-finite coordinates.
     pub fn build(data: Vec<f64>, dim: usize) -> Self {
-        assert!(dim > 0 && dim <= MAX_PH_DIM, "unsupported dimensionality {dim}");
+        assert!(
+            dim > 0 && dim <= MAX_PH_DIM,
+            "unsupported dimensionality {dim}"
+        );
         assert_eq!(data.len() % dim, 0, "matrix shape mismatch");
         let n = data.len() / dim;
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -214,15 +222,15 @@ impl PhTree {
             (1u16 << (node.bit + 1)) - 1
         };
         let mut sum = 0.0;
-        for i in 0..self.dim {
+        for (i, &qi) in q.iter().enumerate().take(self.dim) {
             let lo_q = node.prefix[i];
             let hi_q = node.prefix[i] | free;
             let lo = self.min + f64::from(lo_q) * self.step - self.step;
             let hi = self.min + f64::from(hi_q) * self.step + self.step;
-            let d = if q[i] < lo {
-                lo - q[i]
-            } else if q[i] > hi {
-                q[i] - hi
+            let d = if qi < lo {
+                lo - qi
+            } else if qi > hi {
+                qi - hi
             } else {
                 0.0
             };
@@ -241,12 +249,7 @@ impl PhTree {
 
     /// Exact k-nearest-neighbour search, excluding ids for which `skip`
     /// returns true. Results ascend by distance.
-    pub fn top_k(
-        &self,
-        q: &[f64],
-        k: usize,
-        mut skip: impl FnMut(u32) -> bool,
-    ) -> Vec<(u32, f64)> {
+    pub fn top_k(&self, q: &[f64], k: usize, mut skip: impl FnMut(u32) -> bool) -> Vec<(u32, f64)> {
         assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
         let mut heap = BinaryHeap::new();
         heap.push(Prioritized {
@@ -300,12 +303,10 @@ fn insert(node: &mut Node, key: Vec<u16>, id: u32) {
     let node_bit = node.bit;
     match node.children.get_mut(&hv) {
         None => {
-            node.children.insert(hv, Child::Entry { key, ids: vec![id] });
+            node.children
+                .insert(hv, Child::Entry { key, ids: vec![id] });
         }
-        Some(Child::Entry {
-            key: existing,
-            ids,
-        }) => {
+        Some(Child::Entry { key: existing, ids }) => {
             if *existing == key {
                 ids.push(id);
                 return;
@@ -468,7 +469,10 @@ mod tests {
         let tree = PhTree::build(data, 2);
         let nodes = tree.node_count();
         assert!(nodes >= 1);
-        assert!(nodes <= 1_000, "a trie over 1000 points needs ≤ n inner nodes");
+        assert!(
+            nodes <= 1_000,
+            "a trie over 1000 points needs ≤ n inner nodes"
+        );
     }
 
     #[test]

@@ -6,11 +6,10 @@ use proptest::prelude::*;
 use vkg_baselines::{H2Alsh, H2AlshConfig, PhTree};
 
 fn arb_matrix(max_rows: usize, dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, dim..=max_rows * dim)
-        .prop_map(move |mut v| {
-            v.truncate(v.len() / dim * dim);
-            v
-        })
+    prop::collection::vec(-10.0f64..10.0, dim..=max_rows * dim).prop_map(move |mut v| {
+        v.truncate(v.len() / dim * dim);
+        v
+    })
 }
 
 fn brute_nn(data: &[f64], dim: usize, q: &[f64]) -> (u32, f64) {

@@ -6,7 +6,6 @@
 //! steady state rigorously.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::collections::HashSet;
 use std::hint::black_box;
 
 use vkg::prelude::*;
@@ -15,9 +14,10 @@ use vkg_bench::workload;
 
 fn bench_fig3(c: &mut Criterion) {
     let p = setup::freebase(Scale::Smoke, 24);
-    let queries = workload::generate(&p.dataset.graph, 256, 0xBE_3);
-    let scan = LinearScan::new(&p.embeddings);
-    let phtree = PhTree::build(p.embeddings.entity_matrix().to_vec(), p.embeddings.dim());
+    let queries = workload::generate(&p.dataset.graph, 256, 0xBE03);
+    let snap = p.snapshot(vkg_bench::setup::bench_config());
+    let mut scan = LinearScanEngine::new();
+    let mut phtree = PhTreeEngine::build(&snap);
 
     let mut group = c.benchmark_group("fig03_freebase_topk");
 
@@ -26,15 +26,7 @@ fn bench_fig3(c: &mut Criterion) {
         b.iter(|| {
             let q = &queries[i % queries.len()];
             i += 1;
-            let known: HashSet<u32> = match q.direction {
-                Direction::Tails => p.dataset.graph.tails(q.entity, q.relation).map(|e| e.0).collect(),
-                Direction::Heads => p.dataset.graph.heads(q.entity, q.relation).map(|e| e.0).collect(),
-            };
-            let skip = |id: u32| id == q.entity.0 || known.contains(&id);
-            black_box(match q.direction {
-                Direction::Tails => scan.top_k_tails(q.entity, q.relation, 10, skip),
-                Direction::Heads => scan.top_k_heads(q.entity, q.relation, 10, skip),
-            })
+            black_box(workload::run(&mut scan, &snap, q, 10))
         })
     });
 
@@ -43,11 +35,7 @@ fn bench_fig3(c: &mut Criterion) {
         b.iter(|| {
             let q = &queries[i % queries.len()];
             i += 1;
-            let q_s1 = match q.direction {
-                Direction::Tails => p.embeddings.tail_query_point(q.entity, q.relation),
-                Direction::Heads => p.embeddings.head_query_point(q.entity, q.relation),
-            };
-            black_box(phtree.top_k(&q_s1, 10, |id| id == q.entity.0))
+            black_box(workload::run(&mut phtree, &snap, q, 10))
         })
     });
 
@@ -72,15 +60,16 @@ fn bench_fig3(c: &mut Criterion) {
         ),
     ];
     for (name, cfg) in strategies {
+        let snap_c = p.snapshot(cfg);
         let mut engine = if name == "bulk_load" {
-            p.engine_bulk(cfg)
+            IndexState::bulk_loaded(&snap_c)
         } else {
-            p.engine(cfg)
+            IndexState::cracking(&snap_c)
         };
         // Warm-up: run the paper's "first query issued offline" plus a
         // few more to converge the cracking.
         for q in queries.iter().take(20) {
-            let _ = workload::run(&mut engine, q, 10);
+            let _ = workload::run(&mut engine, &snap_c, q, 10);
         }
         let qs = queries.clone();
         group.bench_function(name, move |b| {
@@ -88,7 +77,7 @@ fn bench_fig3(c: &mut Criterion) {
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i += 1;
-                black_box(workload::run(&mut engine, q, 10))
+                black_box(workload::run(&mut engine, &snap_c, q, 10))
             })
         });
     }

@@ -10,7 +10,7 @@ use vkg_bench::workload;
 
 fn bench_fig5(c: &mut Criterion) {
     let p = setup::movie(Scale::Smoke, 24);
-    let queries = workload::generate(&p.dataset.graph, 256, 0xBE_5);
+    let queries = workload::generate(&p.dataset.graph, 256, 0xBE05);
 
     let mut group = c.benchmark_group("fig05_movie_topk");
 
@@ -19,28 +19,30 @@ fn bench_fig5(c: &mut Criterion) {
             alpha,
             ..vkg_bench::setup::bench_config()
         };
-        let mut engine = p.engine(cfg.clone());
+        let snap = p.snapshot(cfg.clone());
+        let mut engine = IndexState::cracking(&snap);
         for q in queries.iter().take(20) {
-            let _ = workload::run(&mut engine, q, 10);
+            let _ = workload::run(&mut engine, &snap, q, 10);
         }
         let qs = queries.clone();
-        group.bench_function(format!("cracking_alpha{alpha}"), move |b| {
+        group.bench_function(&format!("cracking_alpha{alpha}"), move |b| {
             let mut i = 0usize;
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i += 1;
-                black_box(workload::run(&mut engine, q, 10))
+                black_box(workload::run(&mut engine, &snap, q, 10))
             })
         });
 
-        let mut bulk = p.engine_bulk(cfg);
+        let snap = p.snapshot(cfg);
+        let mut bulk = IndexState::bulk_loaded(&snap);
         let qs = queries.clone();
-        group.bench_function(format!("bulk_alpha{alpha}"), move |b| {
+        group.bench_function(&format!("bulk_alpha{alpha}"), move |b| {
             let mut i = 0usize;
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i += 1;
-                black_box(workload::run(&mut bulk, q, 10))
+                black_box(workload::run(&mut bulk, &snap, q, 10))
             })
         });
     }

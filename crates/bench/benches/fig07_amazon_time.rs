@@ -14,22 +14,23 @@ use vkg_bench::workload;
 
 fn bench_fig7(c: &mut Criterion) {
     let p = setup::amazon(Scale::Smoke, 24);
-    let queries = workload::generate(&p.dataset.graph, 256, 0xBE_7);
+    let queries = workload::generate(&p.dataset.graph, 256, 0xBE07);
 
     let mut group = c.benchmark_group("fig07_amazon_topk");
 
     for k in [2usize, 10] {
-        let mut engine = p.engine(vkg_bench::setup::bench_config());
+        let snap = p.snapshot(vkg_bench::setup::bench_config());
+        let mut engine = IndexState::cracking(&snap);
         for q in queries.iter().take(20) {
-            let _ = workload::run(&mut engine, q, k);
+            let _ = workload::run(&mut engine, &snap, q, k);
         }
         let qs = queries.clone();
-        group.bench_function(format!("cracking_k{k}"), move |b| {
+        group.bench_function(&format!("cracking_k{k}"), move |b| {
             let mut i = 0usize;
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i += 1;
-                black_box(workload::run(&mut engine, q, k))
+                black_box(workload::run(&mut engine, &snap, q, k))
             })
         });
     }
@@ -60,7 +61,7 @@ fn bench_fig7(c: &mut Criterion) {
         })
         .collect();
     for k in [2usize, 10] {
-        group.bench_function(format!("h2alsh_k{k}"), |b| {
+        group.bench_function(&format!("h2alsh_k{k}"), |b| {
             let mut i = 0usize;
             b.iter(|| {
                 let u = users[i % users.len()];

@@ -10,14 +10,21 @@ use vkg_bench::setup::{self, Scale};
 
 fn bench_aggregates(c: &mut Criterion) {
     let p = setup::movie(Scale::Smoke, 24);
-    let mut engine = p.engine(vkg_bench::setup::bench_config());
-    let likes = engine.graph().relation_id("likes").unwrap();
+    let snap = p.snapshot(vkg_bench::setup::bench_config());
+    let mut engine = IndexState::cracking(&snap);
+    let likes = snap.graph().relation_id("likes").unwrap();
     let users: Vec<EntityId> = (0..12)
-        .filter_map(|u| engine.graph().entity_id(&format!("user_{u}")))
+        .filter_map(|u| snap.graph().entity_id(&format!("user_{u}")))
         .collect();
     // Warm the index.
     for &u in &users {
-        let _ = engine.aggregate(u, likes, Direction::Tails, &AggregateSpec::count(0.05));
+        let _ = engine.aggregate(
+            &snap,
+            u,
+            likes,
+            Direction::Tails,
+            &AggregateSpec::count(0.05),
+        );
     }
 
     let mut group = c.benchmark_group("fig12_16_aggregates");
@@ -25,11 +32,15 @@ fn bench_aggregates(c: &mut Criterion) {
     for a in [2usize, 10, 50] {
         let spec = AggregateSpec::count(0.05).with_sample(a);
         let mut i = 0usize;
-        group.bench_function(format!("count_a{a}"), |b| {
+        group.bench_function(&format!("count_a{a}"), |b| {
             b.iter(|| {
                 let u = users[i % users.len()];
                 i += 1;
-                black_box(engine.aggregate(u, likes, Direction::Tails, &spec).unwrap())
+                black_box(
+                    engine
+                        .aggregate(&snap, u, likes, Direction::Tails, &spec)
+                        .unwrap(),
+                )
             })
         });
     }
@@ -37,11 +48,15 @@ fn bench_aggregates(c: &mut Criterion) {
     for a in [2usize, 10, 50] {
         let spec = AggregateSpec::of(AggregateKind::Avg, "year", 0.05).with_sample(a);
         let mut i = 0usize;
-        group.bench_function(format!("avg_year_a{a}"), |b| {
+        group.bench_function(&format!("avg_year_a{a}"), |b| {
             b.iter(|| {
                 let u = users[i % users.len()];
                 i += 1;
-                black_box(engine.aggregate(u, likes, Direction::Tails, &spec).unwrap())
+                black_box(
+                    engine
+                        .aggregate(&snap, u, likes, Direction::Tails, &spec)
+                        .unwrap(),
+                )
             })
         });
     }
@@ -52,7 +67,11 @@ fn bench_aggregates(c: &mut Criterion) {
         b.iter(|| {
             let u = users[i % users.len()];
             i += 1;
-            black_box(engine.aggregate(u, likes, Direction::Tails, &max_spec).unwrap())
+            black_box(
+                engine
+                    .aggregate(&snap, u, likes, Direction::Tails, &max_spec)
+                    .unwrap(),
+            )
         })
     });
 
@@ -62,7 +81,11 @@ fn bench_aggregates(c: &mut Criterion) {
         b.iter(|| {
             let u = users[i % users.len()];
             i += 1;
-            black_box(engine.aggregate(u, likes, Direction::Tails, &min_spec).unwrap())
+            black_box(
+                engine
+                    .aggregate(&snap, u, likes, Direction::Tails, &min_spec)
+                    .unwrap(),
+            )
         })
     });
 

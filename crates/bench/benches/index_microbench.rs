@@ -51,7 +51,13 @@ fn bench_micro(c: &mut Criterion) {
     });
 
     // Region search on a converged index.
-    let mut idx = CrackingIndex::new(random_points(50_000, 3, 3), 32, 8, 2.0, SplitStrategy::Greedy);
+    let mut idx = CrackingIndex::new(
+        random_points(50_000, 3, 3),
+        32,
+        8,
+        2.0,
+        SplitStrategy::Greedy,
+    );
     let region = Mbr::of_ball(&[0.0, 0.0, 0.0], 1.0);
     idx.crack(&region);
     group.bench_function("search_region_50k_converged", |b| {

@@ -1,20 +1,28 @@
 //! Internal probe: per-query index work at standard scale.
-use vkg_bench::{setup::{self, Scale}, workload};
+use vkg::prelude::*;
+use vkg_bench::{
+    setup::{self, Scale},
+    workload,
+};
 
 fn main() {
     let p = setup::freebase(Scale::Standard, 48);
     let n = p.dataset.graph.num_entities();
-    let mut engine = p.engine(setup::bench_config());
+    let snap = p.snapshot(setup::bench_config());
+    let mut engine = IndexState::cracking(&snap);
     let queries = workload::generate(&p.dataset.graph, 60, 0xDEAD);
     for (i, q) in queries.iter().enumerate() {
         engine.reset_access_counters();
-        let r = workload::run(&mut engine, q, 10);
-        let s = engine.index_stats();
+        let r = workload::run(&mut engine, &snap, q, 10);
+        let s = engine.stats();
         if i % 10 == 0 {
             println!(
                 "q{i:>3}: candidates={:>6} points_examined={:>6} elements={:>4} s1={:>5} nodes={} (n={n})",
-                r.candidates_examined, s.points_examined, s.elements_accessed, s.s1_distance_evals,
-                engine.index_node_count()
+                r.candidates_examined,
+                s.counters.points_examined,
+                s.counters.elements_accessed,
+                s.counters.s1_distance_evals,
+                s.nodes
             );
         }
     }

@@ -1,8 +1,13 @@
 //! One function per table/figure of the paper's evaluation (§VI), plus
 //! the DESIGN.md ablations. Each emits an aligned table to stdout and a
 //! CSV under the results directory.
+//!
+//! Every method — no-index scan, PH-tree, H2-ALSH, bulk-loaded R-tree
+//! and the cracking index — goes through the single `run_method`
+//! driver as a `Box<dyn QueryEngine>` over a shared [`VkgSnapshot`];
+//! the per-method loops differ only in how the engine is built and
+//! which query stream it sees.
 
-use std::collections::HashSet;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -43,10 +48,22 @@ pub fn run(exp: &str, scale: Scale, out: &Path) -> bool {
         "fig10" => fig10_fig11(scale, out, "movie", "fig10"),
         "fig11" => fig10_fig11(scale, out, "amazon", "fig11"),
         "fig12" => aggregate_sweep(scale, out, "fig12", "freebase", AggregateKind::Count, None),
-        "fig13" => aggregate_sweep(scale, out, "fig13", "movie", AggregateKind::Avg, Some("year")),
-        "fig14" => {
-            aggregate_sweep(scale, out, "fig14", "amazon", AggregateKind::Avg, Some("quality"))
-        }
+        "fig13" => aggregate_sweep(
+            scale,
+            out,
+            "fig13",
+            "movie",
+            AggregateKind::Avg,
+            Some("year"),
+        ),
+        "fig14" => aggregate_sweep(
+            scale,
+            out,
+            "fig14",
+            "amazon",
+            AggregateKind::Avg,
+            Some("quality"),
+        ),
         "fig15" => aggregate_sweep(
             scale,
             out,
@@ -55,7 +72,14 @@ pub fn run(exp: &str, scale: Scale, out: &Path) -> bool {
             AggregateKind::Max,
             Some("popularity"),
         ),
-        "fig16" => aggregate_sweep(scale, out, "fig16", "movie", AggregateKind::Min, Some("year")),
+        "fig16" => aggregate_sweep(
+            scale,
+            out,
+            "fig16",
+            "movie",
+            AggregateKind::Min,
+            Some("year"),
+        ),
         "abl_alpha" => ablation_alpha(scale, out),
         "abl_eps" => ablation_epsilon(scale, out),
         "abl_beta" => ablation_beta(scale, out),
@@ -67,8 +91,22 @@ pub fn run(exp: &str, scale: Scale, out: &Path) -> bool {
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig3", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "abl_alpha", "abl_eps", "abl_beta", "abl_cost",
+    "table1",
+    "fig3",
+    "fig5",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "abl_alpha",
+    "abl_eps",
+    "abl_beta",
+    "abl_cost",
 ];
 
 // ---------------------------------------------------------------------
@@ -98,7 +136,7 @@ fn table1(scale: Scale, out: &Path) {
 }
 
 // ---------------------------------------------------------------------
-// Figures 3–4: Freebase — method vs elapsed time, and precision@K.
+// The generic per-method driver.
 // ---------------------------------------------------------------------
 
 struct MethodRun {
@@ -109,188 +147,35 @@ struct MethodRun {
     precision: f64,
 }
 
-fn fig3_fig4(scale: Scale, out: &Path) {
-    let p = setup::freebase(scale, dim(scale));
-    let queries = workload::generate(&p.dataset.graph, steady_queries(scale) + 20, 0xF16_3);
-    let k = 10;
-
-    let mut runs: Vec<MethodRun> = Vec::new();
-    runs.push(run_no_index(&p, &queries, k, scale));
-    runs.push(run_phtree(&p, &queries, k, scale));
-    runs.push(run_engine(
-        "bulk-load R-tree",
-        p.engine_bulk(setup::bench_config()),
-        &p,
-        &queries,
-        k,
-        scale,
-        true,
-    ));
-    runs.push(run_engine(
-        "cracking (greedy)",
-        p.engine(setup::bench_config()),
-        &p,
-        &queries,
-        k,
-        scale,
-        false,
-    ));
-    for choices in [2usize, 4] {
-        let cfg = VkgConfig {
-            split_strategy: SplitStrategy::TopK { choices },
-            ..setup::bench_config()
-        };
-        runs.push(run_engine(
-            &format!("{choices}-choice split"),
-            p.engine(cfg),
-            &p,
-            &queries,
-            k,
-            scale,
-            false,
-        ));
-    }
-
-    let mut t3 = Table::new(
-        "Fig 3: method vs elapsed time (freebase-like)",
-        &["method", "index build", "q1", "q6", "q11", "q16", "steady avg"],
-    );
-    for r in &runs {
-        t3.row(vec![
-            r.name.clone(),
-            fmt_duration(r.build),
-            fmt_duration(r.probes[0]),
-            fmt_duration(r.probes[1]),
-            fmt_duration(r.probes[2]),
-            fmt_duration(r.probes[3]),
-            fmt_duration(r.steady_avg),
-        ]);
-    }
-    t3.emit(out, "fig03_freebase_time");
-
-    let mut t4 = Table::new(
-        "Fig 4: precision@K vs the no-index method (freebase-like)",
-        &["method", "precision@10"],
-    );
-    for r in &runs {
-        t4.row(vec![r.name.clone(), format!("{:.4}", r.precision)]);
-    }
-    t4.emit(out, "fig04_freebase_accuracy");
-}
-
-fn run_no_index(p: &Prepared, queries: &[Query], k: usize, scale: Scale) -> MethodRun {
-    let scan = LinearScan::new(&p.embeddings);
-    let graph = &p.dataset.graph;
-    let mut probes = Vec::new();
-    let mut steady = Duration::ZERO;
-    let steady_n = steady_queries(scale);
-    for (i, q) in queries.iter().enumerate() {
-        let known: HashSet<u32> = match q.direction {
-            Direction::Tails => graph.tails(q.entity, q.relation).map(|e| e.0).collect(),
-            Direction::Heads => graph.heads(q.entity, q.relation).map(|e| e.0).collect(),
-        };
-        let skip = |id: u32| id == q.entity.0 || known.contains(&id);
-        let t = Instant::now();
-        let _ = match q.direction {
-            Direction::Tails => scan.top_k_tails(q.entity, q.relation, k, skip),
-            Direction::Heads => scan.top_k_heads(q.entity, q.relation, k, skip),
-        };
-        let dt = t.elapsed();
-        if PROBE_QUERIES.contains(&(i + 1)) {
-            probes.push(dt);
-        }
-        if i >= 20 && i < 20 + steady_n {
-            steady += dt;
-        }
-    }
-    MethodRun {
-        name: "no index".into(),
-        build: Duration::ZERO,
-        probes,
-        steady_avg: steady / steady_n.max(1) as u32,
-        precision: 1.0, // the accuracy baseline by definition
-    }
-}
-
-fn run_phtree(p: &Prepared, queries: &[Query], k: usize, scale: Scale) -> MethodRun {
-    let graph = &p.dataset.graph;
-    let build_t = Instant::now();
-    let tree = PhTree::build(p.embeddings.entity_matrix().to_vec(), p.embeddings.dim());
-    let build = build_t.elapsed();
-
-    let scan = LinearScan::new(&p.embeddings);
-    let mut probes = Vec::new();
-    let mut steady = Duration::ZERO;
-    let mut precision_sum = 0.0;
-    let mut precision_n = 0usize;
-    let steady_n = steady_queries(scale);
-    for (i, q) in queries.iter().enumerate() {
-        let known: HashSet<u32> = match q.direction {
-            Direction::Tails => graph.tails(q.entity, q.relation).map(|e| e.0).collect(),
-            Direction::Heads => graph.heads(q.entity, q.relation).map(|e| e.0).collect(),
-        };
-        let q_s1 = match q.direction {
-            Direction::Tails => p.embeddings.tail_query_point(q.entity, q.relation),
-            Direction::Heads => p.embeddings.head_query_point(q.entity, q.relation),
-        };
-        let skip = |id: u32| id == q.entity.0 || known.contains(&id);
-        let t = Instant::now();
-        let answer = tree.top_k(&q_s1, k, skip);
-        let dt = t.elapsed();
-        if PROBE_QUERIES.contains(&(i + 1)) {
-            probes.push(dt);
-        }
-        if i >= 20 && i < 20 + steady_n {
-            steady += dt;
-        }
-        if i % 7 == 0 && precision_n < 30 {
-            let truth = scan.top_k_near(&q_s1, k, skip);
-            let truth_ids: HashSet<u32> = truth.iter().map(|t| t.0).collect();
-            if !truth_ids.is_empty() {
-                let hits = answer.iter().filter(|a| truth_ids.contains(&a.0)).count();
-                precision_sum += hits as f64 / truth_ids.len().min(k) as f64;
-                precision_n += 1;
-            }
-        }
-    }
-    MethodRun {
-        name: "PH-tree".into(),
-        build,
-        probes,
-        steady_avg: steady / steady_n.max(1) as u32,
-        precision: precision_sum / precision_n.max(1) as f64,
-    }
-}
-
-fn run_engine(
+/// Runs `queries` against the engine produced by `build`, measuring the
+/// build (reported only when `timed_build` — online methods pay no
+/// offline phase), the probe queries, the steady-state average and
+/// precision@K against the engine's own reference oracle.
+fn run_method(
     name: &str,
-    mut engine: VirtualKnowledgeGraph,
-    p: &Prepared,
+    snap: &VkgSnapshot,
     queries: &[Query],
     k: usize,
     scale: Scale,
     timed_build: bool,
+    build: impl FnOnce() -> Box<dyn QueryEngine>,
 ) -> MethodRun {
-    // Bulk-loaded engines pay an offline build; re-measure it.
+    let t0 = Instant::now();
+    let mut engine = build();
     let build = if timed_build {
-        let t = Instant::now();
-        let rebuilt = p.engine_bulk(engine.config().clone());
-        let d = t.elapsed();
-        engine = rebuilt;
-        d
+        t0.elapsed()
     } else {
         Duration::ZERO
     };
 
-    let scan = LinearScan::new(&p.embeddings);
+    let steady_n = steady_queries(scale);
     let mut probes = Vec::new();
     let mut steady = Duration::ZERO;
     let mut precision_sum = 0.0;
     let mut precision_n = 0usize;
-    let steady_n = steady_queries(scale);
     for (i, q) in queries.iter().enumerate() {
         let t = Instant::now();
-        let answer = workload::run(&mut engine, q, k);
+        let answer = workload::run(engine.as_mut(), snap, q, k);
         let dt = t.elapsed();
         if PROBE_QUERIES.contains(&(i + 1)) {
             probes.push(dt);
@@ -299,8 +184,7 @@ fn run_engine(
             steady += dt;
         }
         if i % 7 == 0 && precision_n < 30 {
-            let prec = workload::precision_vs_scan(&p.dataset.graph, &scan, q, k, &answer);
-            precision_sum += prec;
+            precision_sum += workload::precision_vs_reference(engine.as_ref(), snap, q, k, &answer);
             precision_n += 1;
         }
     }
@@ -313,6 +197,144 @@ fn run_engine(
     }
 }
 
+fn time_table(title: &str, runs: &[MethodRun]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "method",
+            "index build",
+            "q1",
+            "q6",
+            "q11",
+            "q16",
+            "steady avg",
+        ],
+    );
+    for r in runs {
+        t.row(vec![
+            r.name.clone(),
+            fmt_duration(r.build),
+            fmt_duration(r.probes[0]),
+            fmt_duration(r.probes[1]),
+            fmt_duration(r.probes[2]),
+            fmt_duration(r.probes[3]),
+            fmt_duration(r.steady_avg),
+        ]);
+    }
+    t
+}
+
+fn precision_table(title: &str, column: &str, runs: &[MethodRun]) -> Table {
+    let mut t = Table::new(title, &["method", column]);
+    for r in runs {
+        t.row(vec![r.name.clone(), format!("{:.4}", r.precision)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// H2-ALSH's native single-relation workload: user → top-k items by
+// inner product over "likes", with recall measured against its own
+// exact-MIPS no-index case (as the paper does: "the H2-ALSH numbers are
+// based on … comparing to its no-index case").
+// ---------------------------------------------------------------------
+
+fn run_h2alsh(p: &Prepared, snap: &VkgSnapshot, k: usize, scale: Scale, label: &str) -> MethodRun {
+    let graph = &p.dataset.graph;
+    // Item side: everything that is the tail of a "likes" edge type —
+    // movies or products, recognizable by name prefix.
+    let items: Vec<u32> = (0..graph.num_entities() as u32)
+        .filter(|&e| {
+            graph
+                .entity_name(EntityId(e))
+                .is_some_and(|n| n.starts_with("movie_") || n.starts_with("product_"))
+        })
+        .collect();
+    let users: Vec<EntityId> = (0..graph.num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| graph.entity_name(e).is_some_and(|n| n.starts_with("user_")))
+        .collect();
+    let likes = graph
+        .relation_id("likes")
+        .expect("movie/amazon datasets define a likes relation");
+    let queries: Vec<Query> = (0..steady_queries(scale) + 20)
+        .map(|i| Query {
+            entity: users[i % users.len()],
+            relation: likes,
+            direction: Direction::Tails,
+        })
+        .collect();
+    run_method(
+        label,
+        snap,
+        &queries,
+        k,
+        scale,
+        true,
+        || match H2AlshEngine::build(snap, items, H2AlshConfig::default()) {
+            Ok(e) => Box::new(e),
+            Err(e) => panic!("item corpus is non-empty and in range: {e}"),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figures 3–4: Freebase — method vs elapsed time, and precision@K.
+// ---------------------------------------------------------------------
+
+fn fig3_fig4(scale: Scale, out: &Path) {
+    let p = setup::freebase(scale, dim(scale));
+    let snap = p.snapshot(setup::bench_config());
+    let queries = workload::generate(&p.dataset.graph, steady_queries(scale) + 20, 0xF163);
+    let k = 10;
+
+    let mut runs: Vec<MethodRun> = vec![
+        run_method("no index", &snap, &queries, k, scale, false, || {
+            Box::new(LinearScanEngine::new())
+        }),
+        run_method("PH-tree", &snap, &queries, k, scale, true, || {
+            Box::new(PhTreeEngine::build(&snap))
+        }),
+        run_method("bulk-load R-tree", &snap, &queries, k, scale, true, || {
+            Box::new(IndexState::bulk_loaded(&snap))
+        }),
+        run_method(
+            "cracking (greedy)",
+            &snap,
+            &queries,
+            k,
+            scale,
+            false,
+            || Box::new(IndexState::cracking(&snap)),
+        ),
+    ];
+    for choices in [2usize, 4] {
+        let cfg = VkgConfig {
+            split_strategy: SplitStrategy::TopK { choices },
+            ..setup::bench_config()
+        };
+        let snap_c = p.snapshot(cfg);
+        runs.push(run_method(
+            &format!("{choices}-choice split"),
+            &snap_c,
+            &queries,
+            k,
+            scale,
+            false,
+            || Box::new(IndexState::cracking(&snap_c)),
+        ));
+    }
+
+    time_table("Fig 3: method vs elapsed time (freebase-like)", &runs)
+        .emit(out, "fig03_freebase_time");
+    precision_table(
+        "Fig 4: precision@K vs the no-index method (freebase-like)",
+        "precision@10",
+        &runs,
+    )
+    .emit(out, "fig04_freebase_accuracy");
+}
+
 // ---------------------------------------------------------------------
 // Figures 5–6: Movie — α = 3 vs 6, plus H2-ALSH on the single "likes"
 // relation.
@@ -320,7 +342,7 @@ fn run_engine(
 
 fn fig5_fig6(scale: Scale, out: &Path) {
     let p = setup::movie(scale, dim(scale));
-    let queries = workload::generate(&p.dataset.graph, steady_queries(scale) + 20, 0xF16_5);
+    let queries = workload::generate(&p.dataset.graph, steady_queries(scale) + 20, 0xF165);
     let k = 10;
 
     let mut runs = Vec::new();
@@ -329,118 +351,36 @@ fn fig5_fig6(scale: Scale, out: &Path) {
             alpha,
             ..setup::bench_config()
         };
-        runs.push(run_engine(
+        let snap = p.snapshot(cfg);
+        runs.push(run_method(
             &format!("cracking α={alpha}"),
-            p.engine(cfg.clone()),
-            &p,
+            &snap,
             &queries,
             k,
             scale,
             false,
+            || Box::new(IndexState::cracking(&snap)),
         ));
-        runs.push(run_engine(
+        runs.push(run_method(
             &format!("bulk-load α={alpha}"),
-            p.engine_bulk(cfg),
-            &p,
+            &snap,
             &queries,
             k,
             scale,
             true,
+            || Box::new(IndexState::bulk_loaded(&snap)),
         ));
     }
-    runs.push(run_h2alsh(&p, k, scale, "H2-ALSH (likes only)"));
+    let snap = p.snapshot(setup::bench_config());
+    runs.push(run_h2alsh(&p, &snap, k, scale, "H2-ALSH (likes only)"));
 
-    let mut t5 = Table::new(
+    time_table(
         "Fig 5: method vs elapsed time (movie-like), α = 3 vs 6, with H2-ALSH",
-        &["method", "index build", "q1", "q6", "q11", "q16", "steady avg"],
-    );
-    let mut t6 = Table::new(
-        "Fig 6: precision@K (movie-like)",
-        &["method", "precision@10"],
-    );
-    for r in &runs {
-        t5.row(vec![
-            r.name.clone(),
-            fmt_duration(r.build),
-            fmt_duration(r.probes[0]),
-            fmt_duration(r.probes[1]),
-            fmt_duration(r.probes[2]),
-            fmt_duration(r.probes[3]),
-            fmt_duration(r.steady_avg),
-        ]);
-        t6.row(vec![r.name.clone(), format!("{:.4}", r.precision)]);
-    }
-    t5.emit(out, "fig05_movie_time");
-    t6.emit(out, "fig06_movie_accuracy");
-}
-
-/// H2-ALSH runs its native single-relation workload: user → top-k items
-/// by inner product over the "likes" relation, with recall measured
-/// against its own exact-MIPS no-index case (as the paper does: "the
-/// H2-ALSH numbers are based on … comparing to its no-index case").
-fn run_h2alsh(p: &Prepared, k: usize, scale: Scale, label: &str) -> MethodRun {
-    run_h2alsh_k(p, k, scale, label)
-}
-
-fn run_h2alsh_k(p: &Prepared, k: usize, scale: Scale, label: &str) -> MethodRun {
-    let graph = &p.dataset.graph;
-    let store = &p.embeddings;
-    let d = store.dim();
-    // Item side: everything that is the tail of a "likes" edge type —
-    // movies or products, recognizable by name prefix.
-    let items: Vec<EntityId> = (0..graph.num_entities() as u32)
-        .map(EntityId)
-        .filter(|&e| {
-            graph
-                .entity_name(e)
-                .is_some_and(|n| n.starts_with("movie_") || n.starts_with("product_"))
-        })
-        .collect();
-    let users: Vec<EntityId> = (0..graph.num_entities() as u32)
-        .map(EntityId)
-        .filter(|&e| graph.entity_name(e).is_some_and(|n| n.starts_with("user_")))
-        .collect();
-    let mut data = Vec::with_capacity(items.len() * d);
-    for &m in &items {
-        data.extend_from_slice(store.entity(m));
-    }
-
-    let build_t = Instant::now();
-    let idx = H2Alsh::build(data.clone(), d, H2AlshConfig::default());
-    let build = build_t.elapsed();
-
-    let steady_n = steady_queries(scale);
-    let mut probes = Vec::new();
-    let mut steady = Duration::ZERO;
-    let mut precision_sum = 0.0;
-    let mut precision_n = 0usize;
-    for i in 0..steady_n + 20 {
-        let user = users[i % users.len()];
-        let q = store.entity(user).to_vec();
-        let t = Instant::now();
-        let answer = idx.top_k_mips(&q, k, |_| false);
-        let dt = t.elapsed();
-        if PROBE_QUERIES.contains(&(i + 1)) {
-            probes.push(dt);
-        }
-        if i >= 20 && i < 20 + steady_n {
-            steady += dt;
-        }
-        if i % 7 == 0 && precision_n < 30 {
-            let truth = vkg::baselines::linear_scan::exact_mips_top_k(&data, d, &q, k);
-            let truth_ids: HashSet<u32> = truth.iter().map(|t| t.0).collect();
-            let hits = answer.iter().filter(|a| truth_ids.contains(&a.0)).count();
-            precision_sum += hits as f64 / k as f64;
-            precision_n += 1;
-        }
-    }
-    MethodRun {
-        name: label.to_owned(),
-        build,
-        probes,
-        steady_avg: steady / steady_n.max(1) as u32,
-        precision: precision_sum / precision_n.max(1) as f64,
-    }
+        &runs,
+    )
+    .emit(out, "fig05_movie_time");
+    precision_table("Fig 6: precision@K (movie-like)", "precision@10", &runs)
+        .emit(out, "fig06_movie_accuracy");
 }
 
 // ---------------------------------------------------------------------
@@ -449,53 +389,39 @@ fn run_h2alsh_k(p: &Prepared, k: usize, scale: Scale, label: &str) -> MethodRun 
 
 fn fig7_fig8(scale: Scale, out: &Path) {
     let p = setup::amazon(scale, dim(scale));
-    let queries = workload::generate(&p.dataset.graph, steady_queries(scale) + 20, 0xF16_7);
+    let snap = p.snapshot(setup::bench_config());
+    let queries = workload::generate(&p.dataset.graph, steady_queries(scale) + 20, 0xF167);
 
     let mut runs = Vec::new();
     for k in [2usize, 10] {
-        runs.push(run_engine(
+        runs.push(run_method(
             &format!("cracking: k={k}"),
-            p.engine(setup::bench_config()),
-            &p,
+            &snap,
             &queries,
             k,
             scale,
             false,
+            || Box::new(IndexState::cracking(&snap)),
         ));
-        runs.push(run_h2alsh_k(&p, k, scale, &format!("H2-ALSH: k={k}")));
+        runs.push(run_h2alsh(&p, &snap, k, scale, &format!("H2-ALSH: k={k}")));
     }
-    runs.push(run_engine(
+    runs.push(run_method(
         "bulk-load R-tree",
-        p.engine_bulk(setup::bench_config()),
-        &p,
+        &snap,
         &queries,
         10,
         scale,
         true,
+        || Box::new(IndexState::bulk_loaded(&snap)),
     ));
 
-    let mut t7 = Table::new(
+    time_table(
         "Fig 7: method vs elapsed time (amazon-like), k = 2 vs 10",
-        &["method", "index build", "q1", "q6", "q11", "q16", "steady avg"],
-    );
-    let mut t8 = Table::new(
-        "Fig 8: precision@K (amazon-like)",
-        &["method", "precision@K"],
-    );
-    for r in &runs {
-        t7.row(vec![
-            r.name.clone(),
-            fmt_duration(r.build),
-            fmt_duration(r.probes[0]),
-            fmt_duration(r.probes[1]),
-            fmt_duration(r.probes[2]),
-            fmt_duration(r.probes[3]),
-            fmt_duration(r.steady_avg),
-        ]);
-        t8.row(vec![r.name.clone(), format!("{:.4}", r.precision)]);
-    }
-    t7.emit(out, "fig07_amazon_time");
-    t8.emit(out, "fig08_amazon_accuracy");
+        &runs,
+    )
+    .emit(out, "fig07_amazon_time");
+    precision_table("Fig 8: precision@K (amazon-like)", "precision@K", &runs)
+        .emit(out, "fig08_amazon_accuracy");
 }
 
 // ---------------------------------------------------------------------
@@ -505,9 +431,10 @@ fn fig7_fig8(scale: Scale, out: &Path) {
 
 fn fig9(scale: Scale, out: &Path) {
     let p = setup::freebase(scale, dim(scale));
-    let mut cracked = p.engine(setup::bench_config());
-    let bulk = p.engine_bulk(setup::bench_config());
-    let queries = workload::generate(&p.dataset.graph, 50, 0xF16_9);
+    let snap = p.snapshot(setup::bench_config());
+    let mut cracked = IndexState::cracking(&snap);
+    let bulk = IndexState::bulk_loaded(&snap);
+    let queries = workload::generate(&p.dataset.graph, 50, 0xF169);
 
     let mut t = Table::new(
         "Fig 9: #index nodes after N initial queries (freebase-like)",
@@ -515,17 +442,17 @@ fn fig9(scale: Scale, out: &Path) {
     );
     t.row(vec![
         "0".into(),
-        cracked.index_node_count().to_string(),
-        bulk.index_node_count().to_string(),
+        cracked.stats().nodes.to_string(),
+        bulk.stats().nodes.to_string(),
     ]);
     for (i, q) in queries.iter().enumerate() {
-        let _ = workload::run(&mut cracked, q, 10);
+        let _ = workload::run(&mut cracked, &snap, q, 10);
         let n = i + 1;
         if [1usize, 5, 10, 20, 50].contains(&n) {
             t.row(vec![
                 n.to_string(),
-                cracked.index_node_count().to_string(),
-                bulk.index_node_count().to_string(),
+                cracked.stats().nodes.to_string(),
+                bulk.stats().nodes.to_string(),
             ]);
         }
     }
@@ -537,9 +464,10 @@ fn fig10_fig11(scale: Scale, out: &Path, which: &str, file_tag: &str) {
         "movie" => setup::movie(scale, dim(scale)),
         _ => setup::amazon(scale, dim(scale)),
     };
-    let mut cracked = p.engine(setup::bench_config());
-    let bulk = p.engine_bulk(setup::bench_config());
-    let queries = workload::generate(&p.dataset.graph, 50, 0xF16_10);
+    let snap = p.snapshot(setup::bench_config());
+    let mut cracked = IndexState::cracking(&snap);
+    let bulk = IndexState::bulk_loaded(&snap);
+    let queries = workload::generate(&p.dataset.graph, 50, 0xF1610);
 
     let mut t = Table::new(
         &format!(
@@ -551,17 +479,17 @@ fn fig10_fig11(scale: Scale, out: &Path, which: &str, file_tag: &str) {
     );
     t.row(vec![
         "0".into(),
-        (cracked.index_bytes() / 1024).to_string(),
-        (bulk.index_bytes() / 1024).to_string(),
+        (cracked.stats().bytes / 1024).to_string(),
+        (bulk.stats().bytes / 1024).to_string(),
     ]);
     for (i, q) in queries.iter().enumerate() {
-        let _ = workload::run(&mut cracked, q, 10);
+        let _ = workload::run(&mut cracked, &snap, q, 10);
         let n = i + 1;
         if [1usize, 5, 10, 20, 50].contains(&n) {
             t.row(vec![
                 n.to_string(),
-                (cracked.index_bytes() / 1024).to_string(),
-                (bulk.index_bytes() / 1024).to_string(),
+                (cracked.stats().bytes / 1024).to_string(),
+                (bulk.stats().bytes / 1024).to_string(),
             ]);
         }
     }
@@ -585,11 +513,12 @@ fn aggregate_sweep(
         "movie" => setup::movie(scale, dim(scale)),
         _ => setup::amazon(scale, dim(scale)),
     };
-    let mut engine = p.engine(setup::bench_config());
+    let snap = p.snapshot(setup::bench_config());
+    let mut engine = IndexState::cracking(&snap);
     // Aggregate queries want attribute-bearing targets; for movie/amazon
     // that means tails of "likes" from users — generate accordingly.
     let queries: Vec<Query> = if which == "freebase" {
-        workload::generate(&p.dataset.graph, 200, 0xA6_12)
+        workload::generate(&p.dataset.graph, 200, 0xA612)
             .into_iter()
             .filter(|q| q.direction == Direction::Tails)
             .take(8)
@@ -646,13 +575,14 @@ fn aggregate_sweep(
         let mut acc_sum = 0.0;
         let mut n = 0usize;
         for q in &queries {
-            let truth = match engine.aggregate(q.entity, q.relation, q.direction, &truth_spec) {
-                Ok(r) if r.ball_size > 0 && r.estimate.abs() > 1e-9 => r,
-                _ => continue,
-            };
+            let truth =
+                match engine.aggregate(&snap, q.entity, q.relation, q.direction, &truth_spec) {
+                    Ok(r) if r.ball_size > 0 && r.estimate.abs() > 1e-9 => r,
+                    _ => continue,
+                };
             let spec = base_spec(if a == usize::MAX { None } else { Some(a) });
             let t0 = Instant::now();
-            let est = match engine.aggregate(q.entity, q.relation, q.direction, &spec) {
+            let est = match engine.aggregate(&snap, q.entity, q.relation, q.direction, &spec) {
                 Ok(r) => r,
                 Err(_) => continue,
             };
@@ -684,8 +614,7 @@ fn aggregate_sweep(
 
 fn ablation_alpha(scale: Scale, out: &Path) {
     let p = setup::movie(scale, dim(scale));
-    let queries = workload::generate(&p.dataset.graph, 120, 0xAB_1);
-    let scan = LinearScan::new(&p.embeddings);
+    let queries = workload::generate(&p.dataset.graph, 120, 0xAB01);
     let mut t = Table::new(
         "Ablation: S₂ dimensionality α — accuracy vs per-query time",
         &["alpha", "steady avg", "precision@10", "index KiB"],
@@ -695,18 +624,19 @@ fn ablation_alpha(scale: Scale, out: &Path) {
             alpha,
             ..setup::bench_config()
         };
-        let mut engine = p.engine(cfg);
+        let snap = p.snapshot(cfg);
+        let mut engine = IndexState::cracking(&snap);
         let mut time = Duration::ZERO;
         let mut prec = 0.0;
         let mut n_prec = 0usize;
         for (i, q) in queries.iter().enumerate() {
             let t0 = Instant::now();
-            let answer = workload::run(&mut engine, q, 10);
+            let answer = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();
             }
             if i % 5 == 0 {
-                prec += workload::precision_vs_scan(&p.dataset.graph, &scan, q, 10, &answer);
+                prec += workload::precision_vs_reference(&engine, &snap, q, 10, &answer);
                 n_prec += 1;
             }
         }
@@ -714,7 +644,7 @@ fn ablation_alpha(scale: Scale, out: &Path) {
             alpha.to_string(),
             fmt_duration(time / (queries.len() - 20).max(1) as u32),
             format!("{:.4}", prec / n_prec.max(1) as f64),
-            (engine.index_bytes() / 1024).to_string(),
+            (engine.stats().bytes / 1024).to_string(),
         ]);
     }
     t.emit(out, "abl_alpha");
@@ -722,8 +652,7 @@ fn ablation_alpha(scale: Scale, out: &Path) {
 
 fn ablation_epsilon(scale: Scale, out: &Path) {
     let p = setup::movie(scale, dim(scale));
-    let queries = workload::generate(&p.dataset.graph, 120, 0xAB_2);
-    let scan = LinearScan::new(&p.embeddings);
+    let queries = workload::generate(&p.dataset.graph, 120, 0xAB02);
     let mut t = Table::new(
         "Ablation: ball inflation ε of Algorithm 3 — recall vs work",
         &["epsilon", "steady avg", "precision@10", "mean S1 evals"],
@@ -733,20 +662,21 @@ fn ablation_epsilon(scale: Scale, out: &Path) {
             epsilon: eps,
             ..setup::bench_config()
         };
-        let mut engine = p.engine(cfg);
+        let snap = p.snapshot(cfg);
+        let mut engine = IndexState::cracking(&snap);
         let mut time = Duration::ZERO;
         let mut prec = 0.0;
         let mut n_prec = 0usize;
         let mut evals = 0u64;
         for (i, q) in queries.iter().enumerate() {
             let t0 = Instant::now();
-            let answer = workload::run(&mut engine, q, 10);
+            let answer = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();
             }
             evals += answer.s1_evals;
             if i % 5 == 0 {
-                prec += workload::precision_vs_scan(&p.dataset.graph, &scan, q, 10, &answer);
+                prec += workload::precision_vs_reference(&engine, &snap, q, 10, &answer);
                 n_prec += 1;
             }
         }
@@ -762,7 +692,7 @@ fn ablation_epsilon(scale: Scale, out: &Path) {
 
 fn ablation_beta(scale: Scale, out: &Path) {
     let p = setup::freebase(scale, dim(scale));
-    let queries = workload::generate(&p.dataset.graph, 120, 0xAB_3);
+    let queries = workload::generate(&p.dataset.graph, 120, 0xAB03);
     let mut t = Table::new(
         "Ablation: overlap-cost base β — split quality vs steady time",
         &["beta", "steady avg", "splits", "nodes"],
@@ -777,21 +707,22 @@ fn ablation_beta(scale: Scale, out: &Path) {
             split_strategy: SplitStrategy::TopK { choices: 3 },
             ..setup::bench_config()
         };
-        let mut engine = p.engine(cfg);
+        let snap = p.snapshot(cfg);
+        let mut engine = IndexState::cracking(&snap);
         let mut time = Duration::ZERO;
         for (i, q) in queries.iter().enumerate() {
             let t0 = Instant::now();
-            let _ = workload::run(&mut engine, q, 10);
+            let _ = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();
             }
         }
-        let s = engine.index_stats();
+        let s = engine.stats();
         t.row(vec![
             format!("{beta}"),
             fmt_duration(time / (queries.len() - 20).max(1) as u32),
-            s.splits_performed.to_string(),
-            engine.index_node_count().to_string(),
+            s.counters.splits_performed.to_string(),
+            s.nodes.to_string(),
         ]);
     }
     t.emit(out, "abl_beta");
@@ -802,7 +733,7 @@ fn ablation_cost(scale: Scale, out: &Path) {
     // alone buys slightly better steady-state query time, because splits
     // keep each workload region's points in fewer pages.
     let p = setup::freebase(scale, dim(scale));
-    let queries = workload::generate(&p.dataset.graph, 220, 0xAB_4);
+    let queries = workload::generate(&p.dataset.graph, 220, 0xAB04);
     let mut t = Table::new(
         "Ablation: two-component (c_Q, c_O) split cost vs overlap-only",
         &["cost model", "steady avg", "mean points examined", "nodes"],
@@ -812,16 +743,17 @@ fn ablation_cost(scale: Scale, out: &Path) {
             query_aware_cost: aware,
             ..setup::bench_config()
         };
-        let mut engine = p.engine(cfg);
+        let snap = p.snapshot(cfg);
+        let mut engine = IndexState::cracking(&snap);
         let mut time = Duration::ZERO;
         let mut examined = 0u64;
         for (i, q) in queries.iter().enumerate() {
             engine.reset_access_counters();
             let t0 = Instant::now();
-            let _ = workload::run(&mut engine, q, 10);
+            let _ = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();
-                examined += engine.index_stats().points_examined;
+                examined += engine.stats().counters.points_examined;
             }
         }
         let steady_n = (queries.len() - 20) as u64;
@@ -829,7 +761,7 @@ fn ablation_cost(scale: Scale, out: &Path) {
             name.into(),
             fmt_duration(time / steady_n as u32),
             (examined / steady_n).to_string(),
-            engine.index_node_count().to_string(),
+            engine.stats().nodes.to_string(),
         ]);
     }
     t.emit(out, "abl_cost");

@@ -104,6 +104,21 @@ pub fn amazon(scale: Scale, dim: usize) -> Prepared {
 }
 
 impl Prepared {
+    /// Builds the immutable read snapshot every [`QueryEngine`] in a run
+    /// shares. Engines are built *per method*, the snapshot once per
+    /// configuration.
+    pub fn snapshot(&self, cfg: VkgConfig) -> VkgSnapshot {
+        match VkgSnapshot::new(
+            self.dataset.graph.clone(),
+            self.dataset.attributes.clone(),
+            self.embeddings.clone(),
+            cfg,
+        ) {
+            Ok(s) => s,
+            Err(e) => panic!("prepared data is internally consistent: {e}"),
+        }
+    }
+
     /// Assembles a fresh online-cracking engine over this data.
     pub fn engine(&self, cfg: VkgConfig) -> VirtualKnowledgeGraph {
         VirtualKnowledgeGraph::assemble(
@@ -142,7 +157,7 @@ mod tests {
         let p = movie(Scale::Smoke, 16);
         assert!(p.dataset.graph.num_edges() > 0);
         assert_eq!(p.embeddings.num_entities(), p.dataset.graph.num_entities());
-        let mut engine = p.engine(VkgConfig::default());
+        let engine = p.engine(VkgConfig::default());
         let likes = engine.graph().relation_id("likes").unwrap();
         let user = engine.graph().entity_id("user_0").unwrap();
         let r = engine.top_k(user, likes, Direction::Tails, 3).unwrap();

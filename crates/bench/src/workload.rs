@@ -24,7 +24,10 @@ pub struct Query {
 pub fn generate(graph: &KnowledgeGraph, n: usize, seed: u64) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(seed);
     let triples = graph.triples();
-    assert!(!triples.is_empty(), "cannot generate queries over an empty graph");
+    assert!(
+        !triples.is_empty(),
+        "cannot generate queries over an empty graph"
+    );
     (0..n)
         .map(|_| {
             let t = triples[rng.gen_range(0..triples.len())];
@@ -45,35 +48,32 @@ pub fn generate(graph: &KnowledgeGraph, n: usize, seed: u64) -> Vec<Query> {
         .collect()
 }
 
-/// Runs one query against the engine.
-pub fn run(engine: &mut VirtualKnowledgeGraph, q: &Query, k: usize) -> TopKResult {
-    engine
-        .top_k(q.entity, q.relation, q.direction, k)
-        .expect("generated queries use valid ids")
+/// Runs one query against any engine over the shared snapshot.
+pub fn run(engine: &mut dyn QueryEngine, snap: &VkgSnapshot, q: &Query, k: usize) -> TopKResult {
+    match engine.top_k(snap, q.entity, q.relation, q.direction, k) {
+        Ok(r) => r,
+        Err(e) => panic!("generated queries use valid ids: {e}"),
+    }
 }
 
-/// precision@K of `answer` against ground truth produced by the exact
-/// no-index scan with identical E′ skip semantics.
-pub fn precision_vs_scan(
-    graph: &KnowledgeGraph,
-    scan: &LinearScan<'_>,
+/// precision@K of `answer` against the engine's own ground-truth oracle
+/// ([`QueryEngine::reference_top_k`]): the exact E′-semantics S₁ scan for
+/// distance-ranked engines, the exact-MIPS scan for H2-ALSH.
+pub fn precision_vs_reference(
+    engine: &dyn QueryEngine,
+    snap: &VkgSnapshot,
     q: &Query,
     k: usize,
     answer: &TopKResult,
 ) -> f64 {
-    let known: std::collections::HashSet<u32> = match q.direction {
-        Direction::Tails => graph.tails(q.entity, q.relation).map(|e| e.0).collect(),
-        Direction::Heads => graph.heads(q.entity, q.relation).map(|e| e.0).collect(),
-    };
-    let skip = |id: u32| id == q.entity.0 || known.contains(&id);
-    let truth = match q.direction {
-        Direction::Tails => scan.top_k_tails(q.entity, q.relation, k, skip),
-        Direction::Heads => scan.top_k_heads(q.entity, q.relation, k, skip),
+    let truth = match engine.reference_top_k(snap, q.entity, q.relation, q.direction, k) {
+        Ok(t) => t,
+        Err(e) => panic!("generated queries use valid ids: {e}"),
     };
     if truth.is_empty() {
         return 1.0;
     }
-    let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|t| t.0).collect();
+    let truth_ids: std::collections::HashSet<u32> = truth.iter().copied().collect();
     let hits = answer
         .predictions
         .iter()

@@ -65,24 +65,45 @@ impl Default for VkgConfig {
 }
 
 impl VkgConfig {
-    /// Validates invariants the index relies on.
+    /// Validates invariants the index relies on, reporting violations as
+    /// [`VkgError::InvalidParameter`](crate::error::VkgError::InvalidParameter).
+    pub fn try_validate(&self) -> Result<(), crate::error::VkgError> {
+        let fail = |msg: String| Err(crate::error::VkgError::InvalidParameter(msg));
+        if self.alpha < 1 {
+            return fail("α must be ≥ 1".into());
+        }
+        if self.alpha > crate::geometry::MAX_DIM {
+            return fail(format!(
+                "α = {} exceeds MAX_DIM = {}",
+                self.alpha,
+                crate::geometry::MAX_DIM
+            ));
+        }
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return fail("ε must be positive".into());
+        }
+        if self.leaf_capacity < 2 {
+            return fail("leaf capacity N must be ≥ 2".into());
+        }
+        if self.fanout < 2 {
+            return fail("fanout M must be ≥ 2".into());
+        }
+        if !self.beta.is_finite() || self.beta < 1.0 {
+            return fail("β must be ≥ 1 (paper §IV-B1)".into());
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`VkgConfig::try_validate`], kept for the
+    /// assembly paths that treat a bad configuration as a programming
+    /// error.
     ///
     /// # Panics
-    /// Panics on invalid parameter combinations; called by the index
-    /// constructors.
+    /// Panics on invalid parameter combinations.
     pub fn validate(&self) {
-        assert!(self.alpha >= 1, "α must be ≥ 1");
-        assert!(
-            self.alpha <= crate::geometry::MAX_DIM,
-            "α = {} exceeds MAX_DIM = {}",
-            self.alpha,
-            crate::geometry::MAX_DIM
-        );
-        assert!(self.epsilon > 0.0, "ε must be positive");
-        assert!(self.leaf_capacity >= 2, "leaf capacity N must be ≥ 2");
-        assert!(self.fanout >= 2, "fanout M must be ≥ 2");
-        assert!(self.beta >= 1.0, "β must be ≥ 1 (paper §IV-B1)");
-        assert!(self.split_strategy.choices() >= 1, "need ≥ 1 split choice");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 

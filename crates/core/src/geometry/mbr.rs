@@ -27,7 +27,10 @@ impl Mbr {
     /// # Panics
     /// Panics if `dim` is zero or exceeds [`MAX_DIM`].
     pub fn empty(dim: usize) -> Self {
-        assert!(dim > 0 && dim <= MAX_DIM, "invalid MBR dimensionality {dim}");
+        assert!(
+            dim > 0 && dim <= MAX_DIM,
+            "invalid MBR dimensionality {dim}"
+        );
         Self {
             dim: dim as u8,
             min: [f64::INFINITY; MAX_DIM],
@@ -77,9 +80,9 @@ impl Mbr {
     #[inline]
     pub fn include_point(&mut self, p: &[f64]) {
         debug_assert_eq!(p.len(), self.dim());
-        for i in 0..self.dim() {
-            self.min[i] = self.min[i].min(p[i]);
-            self.max[i] = self.max[i].max(p[i]);
+        for (i, &pi) in p.iter().enumerate().take(self.dim()) {
+            self.min[i] = self.min[i].min(pi);
+            self.max[i] = self.max[i].max(pi);
         }
     }
 
@@ -174,8 +177,8 @@ impl Mbr {
     pub fn center(&self) -> [f64; MAX_DIM] {
         let mut c = [0.0; MAX_DIM];
         if !self.is_empty() {
-            for i in 0..self.dim() {
-                c[i] = (self.min[i] + self.max[i]) / 2.0;
+            for (i, ci) in c.iter_mut().enumerate().take(self.dim()) {
+                *ci = (self.min[i] + self.max[i]) / 2.0;
             }
         }
         c

@@ -1,0 +1,122 @@
+//! The node arena: flat storage for the (possibly partial) R-tree.
+//!
+//! Nodes live in one `Vec` and refer to each other by [`NodeId`]; ids are
+//! stable for the life of the index (installing a built subtree reuses
+//! the replaced node's id so parents stay valid, and children are
+//! appended). The arena also owns the size accounting the evaluation
+//! figures report (node counts for Fig. 9, byte sizes for Figs. 10–11).
+
+use crate::geometry::Mbr;
+use crate::rtree::SortOrders;
+
+use super::build::{BuiltKind, BuiltNode};
+use super::CrackingIndex;
+
+/// Arena id of a node.
+pub type NodeId = u32;
+
+/// Payload of an arena node.
+#[derive(Debug)]
+pub enum NodeKind {
+    /// Split node with child node ids.
+    Internal(Vec<NodeId>),
+    /// Terminal leaf with ≤ N point ids.
+    Leaf(Vec<u32>),
+    /// A contour partition (Definition 2): has data but no children yet.
+    Unsplit(SortOrders),
+}
+
+/// One node of the (possibly partial) R-tree.
+#[derive(Debug)]
+pub struct Node {
+    /// Bounding region of every point below this node.
+    pub mbr: Mbr,
+    /// Height (0 = leaf level).
+    pub height: u32,
+    /// Children / payload.
+    pub kind: NodeKind,
+}
+
+impl CrackingIndex {
+    /// Number of nodes currently allocated (Fig. 9's metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate index size in bytes (Figs. 10–11's metric): node
+    /// envelopes plus leaf/partition payloads. The point coordinates are
+    /// excluded — every method stores those.
+    pub fn index_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for node in &self.nodes {
+            bytes += std::mem::size_of::<Node>();
+            bytes += match &node.kind {
+                NodeKind::Internal(children) => children.capacity() * std::mem::size_of::<NodeId>(),
+                NodeKind::Leaf(ids) => ids.capacity() * std::mem::size_of::<u32>(),
+                NodeKind::Unsplit(orders) => orders.bytes(),
+            };
+        }
+        bytes
+    }
+
+    /// Node ids of the current contour (Definition 2): unsplit partitions
+    /// and terminal leaves, in DFS order.
+    pub fn contour(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
+                _ => out.push(id),
+            }
+        }
+        out
+    }
+
+    /// The point ids stored at a contour element (empty for internal
+    /// nodes).
+    pub fn element_point_ids(&self, id: NodeId) -> &[u32] {
+        match &self.nodes[id as usize].kind {
+            NodeKind::Internal(_) => &[],
+            NodeKind::Leaf(ids) => ids,
+            NodeKind::Unsplit(orders) => orders.ids(0),
+        }
+    }
+
+    /// Replaces node `id` with the built subtree (children freshly
+    /// allocated; `id` itself is reused so parents stay valid).
+    pub(super) fn install(&mut self, id: NodeId, built: BuiltNode) {
+        let BuiltNode { mbr, height, kind } = built;
+        let new_kind = match kind {
+            BuiltKind::Leaf(ids) => NodeKind::Leaf(ids),
+            BuiltKind::Unsplit(orders) => NodeKind::Unsplit(orders),
+            BuiltKind::Internal(children) => {
+                let child_ids: Vec<NodeId> = children
+                    .into_iter()
+                    .map(|c| {
+                        let cid = self.alloc();
+                        self.install(cid, c);
+                        cid
+                    })
+                    .collect();
+                NodeKind::Internal(child_ids)
+            }
+        };
+        let node = &mut self.nodes[id as usize];
+        node.mbr = mbr;
+        node.height = height;
+        node.kind = new_kind;
+    }
+
+    pub(super) fn alloc(&mut self) -> NodeId {
+        let id = NodeId::try_from(self.nodes.len())
+            .expect("invariant: node arena holds fewer than u32::MAX nodes");
+        self.nodes.push(Node {
+            mbr: Mbr::empty(self.points.dim().max(1)),
+            height: 0,
+            kind: NodeKind::Leaf(Vec::new()),
+        });
+        self.stats.nodes_created += 1;
+        id
+    }
+}

@@ -270,9 +270,7 @@ mod tests {
 
     fn max_leaf_size(node: &BuiltNode) -> usize {
         match &node.kind {
-            BuiltKind::Internal(children) => {
-                children.iter().map(max_leaf_size).max().unwrap_or(0)
-            }
+            BuiltKind::Internal(children) => children.iter().map(max_leaf_size).max().unwrap_or(0),
             BuiltKind::Leaf(ids) => ids.len(),
             BuiltKind::Unsplit(orders) => orders.len(),
         }

@@ -1,0 +1,215 @@
+//! Contour reads (Definitions 2–3): region search, element summaries,
+//! seed probes.
+//!
+//! Everything here is a *read* of the current contour — none of these
+//! operations crack the index (Algorithm 3 cracks once per query, after
+//! the result region stabilizes). They do update access statistics,
+//! which is why the methods take `&mut self`.
+
+use crate::geometry::Mbr;
+
+use super::{CrackingIndex, NodeId, NodeKind};
+
+/// Summary statistics of one contour element's in-region members, handed
+/// to the [`CrackingIndex::search_region_elements`] visitor. Per §V-B the
+/// index estimates the probabilities of unaccessed points from
+/// element-level statistics rather than per-point geometry.
+#[derive(Debug, Clone)]
+pub struct ElementSummary {
+    /// Bounding region of the whole element (not just the in-region part).
+    pub mbr: Mbr,
+    /// Mean S₂ coordinates of the element's in-region members.
+    pub centroid: Vec<f64>,
+    /// Mean squared distance of those members from the centroid.
+    pub spread_sq: f64,
+}
+
+impl CrackingIndex {
+    /// Visits every point id inside `q`, updating access statistics.
+    ///
+    /// This is a pure read: it does **not** crack the index (Algorithm 3
+    /// cracks once per query, after the result region stabilizes).
+    pub fn search_region(&mut self, q: &Mbr, mut visit: impl FnMut(u32)) {
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            // Split borrows: stats updated after inspecting the node.
+            let node = &self.nodes[id as usize];
+            if !node.mbr.intersects(q) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
+                NodeKind::Leaf(ids) => {
+                    self.stats.elements_accessed += 1;
+                    self.stats.points_examined += ids.len() as u64;
+                    for &pid in ids {
+                        if self.points.in_region(pid, q) {
+                            visit(pid);
+                        }
+                    }
+                }
+                NodeKind::Unsplit(orders) => {
+                    self.stats.elements_accessed += 1;
+                    let ids = orders.ids(0);
+                    self.stats.points_examined += ids.len() as u64;
+                    for &pid in ids {
+                        if self.points.in_region(pid, q) {
+                            visit(pid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`CrackingIndex::search_region`], but also hands the visitor
+    /// summary statistics of the contour element each point lives in.
+    /// The aggregate estimators use the element summary to *approximate*
+    /// the probabilities of points they do not access exactly (§V-B: "we
+    /// know the number of entities in each element of an index contour,
+    /// and hence can estimate the b − a probabilities based on the
+    /// average distance of an element to a query point").
+    ///
+    /// The summary is computed over the element's in-region members that
+    /// pass the caller's `keep` predicate — i.e. over the population
+    /// actually being proxied. Summarizing filtered-out points (the query
+    /// entity's already-known neighbors, say, which cluster right next to
+    /// the query) would attribute their near-query mass to the remaining
+    /// members and systematically inflate the estimates. With the right
+    /// population, `‖q − centroid‖² + spread²` is the exact second moment
+    /// of the distance from `q` to a random proxied member — unlike the
+    /// element MBR's center, which misrepresents members that cluster
+    /// away from the box center.
+    pub fn search_region_elements(
+        &mut self,
+        q: &Mbr,
+        mut keep: impl FnMut(u32) -> bool,
+        mut visit: impl FnMut(u32, &ElementSummary),
+    ) {
+        let dim = self.points.dim();
+        let mut stack = vec![self.root];
+        let mut members: Vec<u32> = Vec::new();
+        let mut sum = vec![0.0f64; dim];
+        while let Some(id) = stack.pop() {
+            // Split borrows: stats updated after inspecting the node.
+            let node = &self.nodes[id as usize];
+            if !node.mbr.intersects(q) {
+                continue;
+            }
+            let ids: &[u32] = match &node.kind {
+                NodeKind::Internal(children) => {
+                    stack.extend(children.iter().rev().copied());
+                    continue;
+                }
+                NodeKind::Leaf(ids) => ids,
+                NodeKind::Unsplit(orders) => orders.ids(0),
+            };
+            self.stats.elements_accessed += 1;
+            self.stats.points_examined += ids.len() as u64;
+            members.clear();
+            sum.iter_mut().for_each(|s| *s = 0.0);
+            let mut sum_norm_sq = 0.0;
+            for &pid in ids {
+                if self.points.in_region(pid, q) && keep(pid) {
+                    members.push(pid);
+                    let p = self.points.point(pid);
+                    for (axis, &c) in p.iter().enumerate() {
+                        sum[axis] += c;
+                    }
+                    sum_norm_sq += p.iter().map(|c| c * c).sum::<f64>();
+                }
+            }
+            if members.is_empty() {
+                continue;
+            }
+            let n = members.len() as f64;
+            let centroid: Vec<f64> = sum.iter().map(|s| s / n).collect();
+            let centroid_norm_sq: f64 = centroid.iter().map(|c| c * c).sum();
+            let summary = ElementSummary {
+                mbr: node.mbr,
+                centroid,
+                spread_sq: (sum_norm_sq / n - centroid_norm_sq).max(0.0),
+            };
+            for &pid in &members {
+                visit(pid, &summary);
+            }
+        }
+    }
+
+    /// Probes for the smallest contour element whose region contains (or
+    /// is nearest to) `point` — line 2 of Algorithm 3.
+    pub fn smallest_element_containing(&self, point: &[f64]) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Internal(children) => {
+                    // Prefer a child containing the point; otherwise the
+                    // nearest child region.
+                    let next = children
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let da = self.nodes[a as usize].mbr.min_distance_sq(point);
+                            let db = self.nodes[b as usize].mbr.min_distance_sq(point);
+                            da.total_cmp(&db)
+                        })
+                        .expect("invariant: internal nodes always have ≥ 1 child");
+                    id = next;
+                }
+                _ => return id,
+            }
+        }
+    }
+
+    /// Walks a contour element's points outward from `center` along one
+    /// sort order (the seed scan of Algorithm 3 line 2), returning up to
+    /// `k` point ids in that traversal order.
+    ///
+    /// For an unsplit partition the walk uses the axis-0 sort order and a
+    /// two-pointer expansion from the query coordinate; a leaf is scanned
+    /// and sorted directly (it holds at most N points).
+    pub fn seed_scan(&mut self, element: NodeId, center: &[f64], k: usize) -> Vec<u32> {
+        self.stats.elements_accessed += 1;
+        match &self.nodes[element as usize].kind {
+            NodeKind::Internal(_) => Vec::new(),
+            NodeKind::Leaf(ids) => {
+                let mut v: Vec<u32> = ids.clone();
+                self.stats.points_examined += v.len() as u64;
+                v.sort_by(|&a, &b| {
+                    self.points
+                        .distance_sq(a, center)
+                        .total_cmp(&self.points.distance_sq(b, center))
+                });
+                v.truncate(k);
+                v
+            }
+            NodeKind::Unsplit(orders) => {
+                let order = orders.ids(0);
+                let c = center[0];
+                // Position of the query coordinate in the axis-0 order.
+                let start = order.partition_point(|&id| self.points.coord(id, 0) < c);
+                let mut out = Vec::with_capacity(k);
+                let (mut lo, mut hi) = (start, start);
+                while out.len() < k && (lo > 0 || hi < order.len()) {
+                    let take_low = if lo == 0 {
+                        false
+                    } else if hi >= order.len() {
+                        true
+                    } else {
+                        (c - self.points.coord(order[lo - 1], 0)).abs()
+                            <= (self.points.coord(order[hi], 0) - c).abs()
+                    };
+                    if take_low {
+                        lo -= 1;
+                        out.push(order[lo]);
+                    } else {
+                        out.push(order[hi]);
+                        hi += 1;
+                    }
+                }
+                self.stats.points_examined += out.len() as u64;
+                out
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The crack/split driver: query-directed partial builds over contour
+//! elements (§IV-C).
+//!
+//! [`CrackingIndex::crack`] dispatches on the configured strategy —
+//! greedy INCREMENTALINDEXBUILD runs the build core directly over each
+//! overlapping unsplit element; TOP-KSPLITSINDEXBUILD (Algorithm 2)
+//! lives in [`super::topk`] and drives the same per-element primitives
+//! exposed here (`CrackingIndex::crack_element` /
+//! `CrackingIndex::dry_run_element`, crate-private).
+
+use crate::config::SplitStrategy;
+use crate::geometry::Mbr;
+
+use super::build::{build_element, RunCost};
+use super::chooser::{GreedyChooser, SplitChooser};
+use super::{topk, CrackingIndex, NodeId, NodeKind};
+
+impl CrackingIndex {
+    /// Cracks the index for query region `q`: the online incremental
+    /// partial build of §IV-C (strategy-dependent: greedy or Algorithm 2).
+    pub fn crack(&mut self, q: &Mbr) {
+        match self.strategy {
+            SplitStrategy::Greedy => self.crack_greedy(q),
+            SplitStrategy::TopK { choices } => topk::crack_topk(self, q, choices.max(1)),
+        }
+    }
+
+    fn crack_greedy(&mut self, q: &Mbr) {
+        let elements = self.unsplit_elements_overlapping(q);
+        for id in elements {
+            self.crack_element(id, q, &mut GreedyChooser);
+        }
+    }
+
+    /// Unsplit contour elements whose MBR overlaps `q`, in DFS order.
+    /// This is the traversal order Algorithm 2's lines 6–8 walk.
+    pub(crate) fn unsplit_elements_overlapping(&self, q: &Mbr) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !node.mbr.intersects(q) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
+                NodeKind::Unsplit(_) => out.push(id),
+                NodeKind::Leaf(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Runs the build core over one unsplit element and installs the
+    /// result. Returns the run cost (no-op zero cost if the element is
+    /// not unsplit).
+    pub(crate) fn crack_element(
+        &mut self,
+        id: NodeId,
+        q: &Mbr,
+        chooser: &mut dyn SplitChooser,
+    ) -> RunCost {
+        let mut cost = RunCost::default();
+        let kind = &mut self.nodes[id as usize].kind;
+        let orders = match kind {
+            NodeKind::Unsplit(_) => match std::mem::replace(kind, NodeKind::Internal(Vec::new())) {
+                NodeKind::Unsplit(orders) => orders,
+                _ => unreachable!("just matched Unsplit"),
+            },
+            _ => return cost,
+        };
+        let built = build_element(
+            &self.points,
+            &self.params,
+            orders,
+            Some(q),
+            chooser,
+            &mut cost,
+        );
+        self.stats.splits_performed += cost.splits;
+        self.install(id, built);
+        cost
+    }
+
+    /// Dry-runs the build core over a *clone* of one unsplit element,
+    /// returning only the cost (used by the Algorithm 2 search).
+    pub(crate) fn dry_run_element(
+        &self,
+        id: NodeId,
+        q: &Mbr,
+        chooser: &mut dyn SplitChooser,
+    ) -> RunCost {
+        let mut cost = RunCost::default();
+        if let NodeKind::Unsplit(orders) = &self.nodes[id as usize].kind {
+            let _ = build_element(
+                &self.points,
+                &self.params,
+                orders.clone(),
+                Some(q),
+                chooser,
+                &mut cost,
+            );
+        }
+        cost
+    }
+}

@@ -29,10 +29,7 @@ impl CrackingIndex {
     /// # Panics
     /// Panics if the id is out of range or tombstoned.
     pub fn update_point(&mut self, id: u32, coords: &[f64]) {
-        assert!(
-            (id as usize) < self.points.len(),
-            "unknown point id {id}"
-        );
+        assert!((id as usize) < self.points.len(), "unknown point id {id}");
         assert!(!self.removed.contains(&id), "point {id} was removed");
         let detached = self.detach_point(id);
         debug_assert!(detached, "live point must sit in some element");
@@ -185,10 +182,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);
-        PointSet::from_rows(
-            3,
-            (0..n * 3).map(|_| rng.gen_range(-10.0..10.0)).collect(),
-        )
+        PointSet::from_rows(3, (0..n * 3).map(|_| rng.gen_range(-10.0..10.0)).collect())
     }
 
     fn search_ids(idx: &mut CrackingIndex, q: &Mbr) -> Vec<u32> {

@@ -7,44 +7,39 @@
 //! multiple split choices). A full offline
 //! [`CrackingIndex::bulk_load`] path implements the classic
 //! BULKLOADCHUNK baseline the paper compares against.
+//!
+//! The implementation is decomposed into cohesive submodules:
+//!
+//! - [`arena`] — flat node storage ([`Node`] / [`NodeKind`] / [`NodeId`])
+//!   and size accounting;
+//! - [`contour`] — reads over the current contour (Definitions 2–3):
+//!   region search, element summaries, seed probes;
+//! - [`crack`] — the crack/split driver turning query regions into
+//!   partial builds;
+//! - [`build`] — the recursive build core shared by cracking and bulk
+//!   loading;
+//! - [`chooser`] — split-choice strategies (greedy and top-k candidates);
+//! - [`topk`] — Algorithm 2's TOP-KSPLITSINDEXBUILD search;
+//! - [`dynamic`] — online insertions and removals.
 
+pub mod arena;
 pub mod build;
 pub mod chooser;
+pub mod contour;
+pub mod crack;
 pub mod dynamic;
 pub mod topk;
 
+pub use arena::{Node, NodeId, NodeKind};
+pub use contour::ElementSummary;
+
 use crate::config::SplitStrategy;
-use crate::geometry::{Mbr, PointSet};
+use crate::geometry::PointSet;
 use crate::rtree::SortOrders;
 use crate::stats::IndexStats;
 
-use build::{build_element, BuildParams, BuiltKind, BuiltNode, RunCost};
+use build::{build_element, BuildParams, RunCost};
 use chooser::GreedyChooser;
-
-/// Arena id of a node.
-pub type NodeId = u32;
-
-/// Payload of an arena node.
-#[derive(Debug)]
-pub enum NodeKind {
-    /// Split node with child node ids.
-    Internal(Vec<NodeId>),
-    /// Terminal leaf with ≤ N point ids.
-    Leaf(Vec<u32>),
-    /// A contour partition (Definition 2): has data but no children yet.
-    Unsplit(SortOrders),
-}
-
-/// One node of the (possibly partial) R-tree.
-#[derive(Debug)]
-pub struct Node {
-    /// Bounding region of every point below this node.
-    pub mbr: Mbr,
-    /// Height (0 = leaf level).
-    pub height: u32,
-    /// Children / payload.
-    pub kind: NodeKind,
-}
 
 /// The online cracking R-tree over a set of S₂ points.
 #[derive(Debug)]
@@ -165,324 +160,6 @@ impl CrackingIndex {
         self.params.leaf_capacity
     }
 
-    /// Number of nodes currently allocated (Fig. 9's metric).
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Approximate index size in bytes (Figs. 10–11's metric): node
-    /// envelopes plus leaf/partition payloads. The point coordinates are
-    /// excluded — every method stores those.
-    pub fn index_bytes(&self) -> usize {
-        let mut bytes = 0usize;
-        for node in &self.nodes {
-            bytes += std::mem::size_of::<Node>();
-            bytes += match &node.kind {
-                NodeKind::Internal(children) => children.capacity() * std::mem::size_of::<NodeId>(),
-                NodeKind::Leaf(ids) => ids.capacity() * std::mem::size_of::<u32>(),
-                NodeKind::Unsplit(orders) => orders.bytes(),
-            };
-        }
-        bytes
-    }
-
-    /// Node ids of the current contour (Definition 2): unsplit partitions
-    /// and terminal leaves, in DFS order.
-    pub fn contour(&self) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            match &self.nodes[id as usize].kind {
-                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
-                _ => out.push(id),
-            }
-        }
-        out
-    }
-
-    /// Cracks the index for query region `q`: the online incremental
-    /// partial build of §IV-C (strategy-dependent: greedy or Algorithm 2).
-    pub fn crack(&mut self, q: &Mbr) {
-        match self.strategy {
-            SplitStrategy::Greedy => self.crack_greedy(q),
-            SplitStrategy::TopK { choices } => topk::crack_topk(self, q, choices.max(1)),
-        }
-    }
-
-    fn crack_greedy(&mut self, q: &Mbr) {
-        let elements = self.unsplit_elements_overlapping(q);
-        for id in elements {
-            self.crack_element(id, q, &mut GreedyChooser);
-        }
-    }
-
-    /// Unsplit contour elements whose MBR overlaps `q`, in DFS order.
-    /// This is the traversal order Algorithm 2's lines 6–8 walk.
-    pub(crate) fn unsplit_elements_overlapping(&self, q: &Mbr) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            let node = &self.nodes[id as usize];
-            if !node.mbr.intersects(q) {
-                continue;
-            }
-            match &node.kind {
-                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
-                NodeKind::Unsplit(_) => out.push(id),
-                NodeKind::Leaf(_) => {}
-            }
-        }
-        out
-    }
-
-    /// Runs the build core over one unsplit element and installs the
-    /// result. Returns the run cost (no-op zero cost if the element is
-    /// not unsplit).
-    pub(crate) fn crack_element(
-        &mut self,
-        id: NodeId,
-        q: &Mbr,
-        chooser: &mut dyn chooser::SplitChooser,
-    ) -> RunCost {
-        let mut cost = RunCost::default();
-        let kind = &mut self.nodes[id as usize].kind;
-        let orders = match kind {
-            NodeKind::Unsplit(_) => {
-                match std::mem::replace(kind, NodeKind::Internal(Vec::new())) {
-                    NodeKind::Unsplit(orders) => orders,
-                    _ => unreachable!("just matched Unsplit"),
-                }
-            }
-            _ => return cost,
-        };
-        let built = build_element(&self.points, &self.params, orders, Some(q), chooser, &mut cost);
-        self.stats.splits_performed += cost.splits;
-        self.install(id, built);
-        cost
-    }
-
-    /// Dry-runs the build core over a *clone* of one unsplit element,
-    /// returning only the cost (used by the Algorithm 2 search).
-    pub(crate) fn dry_run_element(
-        &self,
-        id: NodeId,
-        q: &Mbr,
-        chooser: &mut dyn chooser::SplitChooser,
-    ) -> RunCost {
-        let mut cost = RunCost::default();
-        if let NodeKind::Unsplit(orders) = &self.nodes[id as usize].kind {
-            let _ = build_element(
-                &self.points,
-                &self.params,
-                orders.clone(),
-                Some(q),
-                chooser,
-                &mut cost,
-            );
-        }
-        cost
-    }
-
-    /// Replaces node `id` with the built subtree (children freshly
-    /// allocated; `id` itself is reused so parents stay valid).
-    fn install(&mut self, id: NodeId, built: BuiltNode) {
-        let BuiltNode { mbr, height, kind } = built;
-        let new_kind = match kind {
-            BuiltKind::Leaf(ids) => NodeKind::Leaf(ids),
-            BuiltKind::Unsplit(orders) => NodeKind::Unsplit(orders),
-            BuiltKind::Internal(children) => {
-                let child_ids: Vec<NodeId> = children
-                    .into_iter()
-                    .map(|c| {
-                        let cid = self.alloc();
-                        self.install(cid, c);
-                        cid
-                    })
-                    .collect();
-                NodeKind::Internal(child_ids)
-            }
-        };
-        let node = &mut self.nodes[id as usize];
-        node.mbr = mbr;
-        node.height = height;
-        node.kind = new_kind;
-    }
-
-    fn alloc(&mut self) -> NodeId {
-        let id = NodeId::try_from(self.nodes.len()).expect("node arena overflow");
-        self.nodes.push(Node {
-            mbr: Mbr::empty(self.points.dim().max(1)),
-            height: 0,
-            kind: NodeKind::Leaf(Vec::new()),
-        });
-        self.stats.nodes_created += 1;
-        id
-    }
-
-    /// Visits every point id inside `q`, updating access statistics.
-    ///
-    /// This is a pure read: it does **not** crack the index (Algorithm 3
-    /// cracks once per query, after the result region stabilizes).
-    pub fn search_region(&mut self, q: &Mbr, mut visit: impl FnMut(u32)) {
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            // Split borrows: stats updated after inspecting the node.
-            let node = &self.nodes[id as usize];
-            if !node.mbr.intersects(q) {
-                continue;
-            }
-            match &node.kind {
-                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
-                NodeKind::Leaf(ids) => {
-                    self.stats.elements_accessed += 1;
-                    self.stats.points_examined += ids.len() as u64;
-                    for &pid in ids {
-                        if self.points.in_region(pid, q) {
-                            visit(pid);
-                        }
-                    }
-                }
-                NodeKind::Unsplit(orders) => {
-                    self.stats.elements_accessed += 1;
-                    let ids = orders.ids(0);
-                    self.stats.points_examined += ids.len() as u64;
-                    for &pid in ids {
-                        if self.points.in_region(pid, q) {
-                            visit(pid);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Like [`CrackingIndex::search_region`], but also hands the visitor
-    /// the MBR of the contour element each point lives in. The aggregate
-    /// estimators use the element geometry to *approximate* the
-    /// probabilities of points they do not access exactly (§V-B: "we
-    /// know the number of entities in each element of an index contour,
-    /// and hence can estimate the b − a probabilities based on the
-    /// average distance of an element to a query point").
-    pub fn search_region_elements(&mut self, q: &Mbr, mut visit: impl FnMut(u32, &Mbr)) {
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            let node = &self.nodes[id as usize];
-            if !node.mbr.intersects(q) {
-                continue;
-            }
-            match &node.kind {
-                NodeKind::Internal(children) => stack.extend(children.iter().rev().copied()),
-                NodeKind::Leaf(ids) => {
-                    self.stats.elements_accessed += 1;
-                    self.stats.points_examined += ids.len() as u64;
-                    for &pid in ids {
-                        if self.points.in_region(pid, q) {
-                            visit(pid, &node.mbr);
-                        }
-                    }
-                }
-                NodeKind::Unsplit(orders) => {
-                    self.stats.elements_accessed += 1;
-                    let ids = orders.ids(0);
-                    self.stats.points_examined += ids.len() as u64;
-                    for &pid in ids {
-                        if self.points.in_region(pid, q) {
-                            visit(pid, &node.mbr);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Probes for the smallest contour element whose region contains (or
-    /// is nearest to) `point` — line 2 of Algorithm 3.
-    pub fn smallest_element_containing(&self, point: &[f64]) -> NodeId {
-        let mut id = self.root;
-        loop {
-            match &self.nodes[id as usize].kind {
-                NodeKind::Internal(children) => {
-                    debug_assert!(!children.is_empty());
-                    // Prefer a child containing the point; otherwise the
-                    // nearest child region.
-                    let next = children
-                        .iter()
-                        .copied()
-                        .min_by(|&a, &b| {
-                            let da = self.nodes[a as usize].mbr.min_distance_sq(point);
-                            let db = self.nodes[b as usize].mbr.min_distance_sq(point);
-                            da.total_cmp(&db)
-                        })
-                        .expect("internal node with children");
-                    id = next;
-                }
-                _ => return id,
-            }
-        }
-    }
-
-    /// The point ids stored at a contour element (empty for internal
-    /// nodes).
-    pub fn element_point_ids(&self, id: NodeId) -> &[u32] {
-        match &self.nodes[id as usize].kind {
-            NodeKind::Internal(_) => &[],
-            NodeKind::Leaf(ids) => ids,
-            NodeKind::Unsplit(orders) => orders.ids(0),
-        }
-    }
-
-    /// Walks a contour element's points outward from `center` along one
-    /// sort order (the seed scan of Algorithm 3 line 2), returning up to
-    /// `k` point ids in that traversal order.
-    ///
-    /// For an unsplit partition the walk uses the axis-0 sort order and a
-    /// two-pointer expansion from the query coordinate; a leaf is scanned
-    /// and sorted directly (it holds at most N points).
-    pub fn seed_scan(&mut self, element: NodeId, center: &[f64], k: usize) -> Vec<u32> {
-        self.stats.elements_accessed += 1;
-        match &self.nodes[element as usize].kind {
-            NodeKind::Internal(_) => Vec::new(),
-            NodeKind::Leaf(ids) => {
-                let mut v: Vec<u32> = ids.clone();
-                self.stats.points_examined += v.len() as u64;
-                v.sort_by(|&a, &b| {
-                    self.points
-                        .distance_sq(a, center)
-                        .total_cmp(&self.points.distance_sq(b, center))
-                });
-                v.truncate(k);
-                v
-            }
-            NodeKind::Unsplit(orders) => {
-                let order = orders.ids(0);
-                let c = center[0];
-                // Position of the query coordinate in the axis-0 order.
-                let start = order.partition_point(|&id| self.points.coord(id, 0) < c);
-                let mut out = Vec::with_capacity(k);
-                let (mut lo, mut hi) = (start, start);
-                while out.len() < k && (lo > 0 || hi < order.len()) {
-                    let take_low = if lo == 0 {
-                        false
-                    } else if hi >= order.len() {
-                        true
-                    } else {
-                        (c - self.points.coord(order[lo - 1], 0)).abs()
-                            <= (self.points.coord(order[hi], 0) - c).abs()
-                    };
-                    if take_low {
-                        lo -= 1;
-                        out.push(order[lo]);
-                    } else {
-                        out.push(order[hi]);
-                        hi += 1;
-                    }
-                }
-                self.stats.points_examined += out.len() as u64;
-                out
-            }
-        }
-    }
-
     /// Consistency checks used by the test-suite: Lemma 1 (the contour
     /// partitions the point ids) and MBR containment along every path.
     ///
@@ -551,6 +228,7 @@ impl CrackingIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geometry::Mbr;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -566,7 +244,9 @@ mod tests {
 
     /// Brute-force region query for ground truth.
     fn brute_force(ps: &PointSet, q: &Mbr) -> Vec<u32> {
-        (0..ps.len() as u32).filter(|&i| ps.in_region(i, q)).collect()
+        (0..ps.len() as u32)
+            .filter(|&i| ps.in_region(i, q))
+            .collect()
     }
 
     #[test]
@@ -617,7 +297,11 @@ mod tests {
         let nodes_after_first = idx.node_count();
         let splits_after_first = idx.stats().splits_performed;
         idx.crack(&q);
-        assert_eq!(idx.node_count(), nodes_after_first, "re-crack must not grow");
+        assert_eq!(
+            idx.node_count(),
+            nodes_after_first,
+            "re-crack must not grow"
+        );
         assert_eq!(idx.stats().splits_performed, splits_after_first);
         idx.check_invariants();
     }
@@ -626,21 +310,36 @@ mod tests {
     fn successive_queries_grow_then_converge() {
         let mut idx = fresh(5_000, SplitStrategy::Greedy);
         let mut rng = StdRng::seed_from_u64(7);
+        // Queries cluster around a few hot centers — Figs. 9–11 measure
+        // convergence under a *fixed* query distribution, where later
+        // queries revisit cracked territory. Independent uniform queries
+        // would keep hitting virgin space and never converge.
+        let hot: Vec<[f64; 3]> = (0..4)
+            .map(|_| {
+                [
+                    rng.gen_range(-8.0..8.0),
+                    rng.gen_range(-8.0..8.0),
+                    rng.gen_range(-8.0..8.0),
+                ]
+            })
+            .collect();
         let mut sizes = Vec::new();
-        for _ in 0..12 {
+        for i in 0..24 {
+            let h = hot[i % hot.len()];
             let c = [
-                rng.gen_range(-10.0..10.0),
-                rng.gen_range(-10.0..10.0),
-                rng.gen_range(-10.0..10.0),
+                h[0] + rng.gen_range(-0.5..0.5),
+                h[1] + rng.gen_range(-0.5..0.5),
+                h[2] + rng.gen_range(-0.5..0.5),
             ];
             let q = Mbr::of_ball(&c, 1.0);
             idx.crack(&q);
             sizes.push(idx.node_count());
         }
         idx.check_invariants();
-        // Growth per query must slow down (convergence of Figs. 9–11).
-        let early = sizes[1] - sizes[0];
-        let late = sizes[11] - sizes[10];
+        // Growth must slow down (convergence of Figs. 9–11): the second
+        // half of the workload revisits regions the first half cracked.
+        let early: usize = sizes[11] - sizes[0];
+        let late: usize = sizes[23] - sizes[12];
         assert!(late <= early, "early growth {early}, late {late}");
     }
 
@@ -663,7 +362,7 @@ mod tests {
     }
 
     #[test]
-    fn cracked_index_much_smaller_than_bulk(){
+    fn cracked_index_much_smaller_than_bulk() {
         let ps = random_points(20_000, 3, 11);
         let bulk = CrackingIndex::bulk_load(ps.clone(), 16, 8, 2.0);
         let mut cracked = CrackingIndex::new(ps, 16, 8, 2.0, SplitStrategy::Greedy);

@@ -197,8 +197,7 @@ mod tests {
         let ps = random_points(4_000, 77);
         let q = Mbr::of_ball(&[1.0, 2.0, 3.0], 2.0);
 
-        let mut greedy_idx =
-            CrackingIndex::new(ps.clone(), 16, 8, 2.0, SplitStrategy::Greedy);
+        let mut greedy_idx = CrackingIndex::new(ps.clone(), 16, 8, 2.0, SplitStrategy::Greedy);
         let g_elems = greedy_idx.unsplit_elements_overlapping(&q);
         let mut g_cost = RunCost::default();
         for &id in &g_elems {

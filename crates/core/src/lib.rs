@@ -16,24 +16,39 @@
 //! * [`query`] — FINDTOP-KENTITIES (Algorithm 3, §V-A) and the
 //!   COUNT/SUM/AVG/MAX/MIN estimators with martingale deviation bounds
 //!   (§V-B, Theorem 4).
-//! * [`vkg`] — the `VirtualKnowledgeGraph` facade assembling graph +
-//!   attributes + embeddings + transform + index into one queryable
-//!   object (Definition 1).
+//! * [`snapshot`] — the immutable read side: graph + attributes +
+//!   embeddings + JL transform frozen into an `Arc`-shareable
+//!   [`VkgSnapshot`] that any number of readers can query lock-free.
+//! * [`engine`] — the [`engine::QueryEngine`] trait every query-capable
+//!   structure implements (the cracking index, the bulk-loaded R-tree,
+//!   and the baselines in `vkg-baselines`), plus [`engine::IndexState`],
+//!   the mutable index half guarded by the facade's lock.
+//! * [`error`] — the workspace [`VkgError`] type threaded through every
+//!   fallible engine entry point.
+//! * [`vkg`] — the `VirtualKnowledgeGraph` facade assembling an
+//!   `Arc<VkgSnapshot>` + locked [`engine::IndexState`] into one
+//!   queryable object (Definition 1).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod geometry;
 pub mod index;
 pub mod query;
 pub mod rtree;
+pub mod snapshot;
 pub mod stats;
 pub mod vkg;
 
 pub use config::{SplitStrategy, VkgConfig};
+pub use engine::{Accuracy, EngineStats, IndexState, Neighbor, QueryEngine};
+pub use error::{VkgError, VkgResult};
 pub use index::CrackingIndex;
 pub use query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
 pub use query::topk::TopKResult;
+pub use snapshot::{Direction, VkgSnapshot};
 pub use stats::IndexStats;
-pub use vkg::{Direction, VirtualKnowledgeGraph};
+pub use vkg::VirtualKnowledgeGraph;

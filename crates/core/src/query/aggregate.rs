@@ -202,18 +202,21 @@ pub fn estimate_min(values: &[f64], probs: &[f64]) -> f64 {
 ///
 /// * `mu` — the estimate.
 /// * `accessed_values` — the `a` accessed attribute values (1s for COUNT).
-/// * `unaccessed` — `b − a`.
+/// * `unaccessed_probs` — the `b − a` estimated inclusion probabilities of
+///   the unaccessed points (only their count enters the mass: the Azuma
+///   increment of an unrevealed member is its full value range `v_m`,
+///   whatever its inclusion probability).
 /// * `v_max_unaccessed` — (an upper estimate of) the largest |value| among
 ///   the unaccessed points. The paper suggests R-tree statistics or the
 ///   sample-max inflation of Eq. (4); callers pick.
 pub fn deviation_bound(
     mu: f64,
     accessed_values: &[f64],
-    unaccessed: usize,
+    unaccessed_probs: &[f64],
     v_max_unaccessed: f64,
 ) -> DeviationBound {
     let mass: f64 = accessed_values.iter().map(|v| v * v).sum::<f64>()
-        + unaccessed as f64 * v_max_unaccessed * v_max_unaccessed;
+        + unaccessed_probs.len() as f64 * v_max_unaccessed * v_max_unaccessed;
     DeviationBound {
         mu,
         increment_mass: mass,
@@ -309,7 +312,7 @@ mod tests {
 
     #[test]
     fn deviation_bound_monotone_in_delta() {
-        let b = deviation_bound(100.0, &[5.0, 5.0, 5.0], 10, 5.0);
+        let b = deviation_bound(100.0, &[5.0, 5.0, 5.0], &[1.0; 10], 5.0);
         let mut prev = f64::INFINITY;
         for d in [0.01, 0.05, 0.1, 0.5, 1.0] {
             let p = b.tail_probability(d);
@@ -323,15 +326,15 @@ mod tests {
     fn deviation_bound_tightens_with_more_access() {
         // Accessing more points moves mass from (b−a)v_m² to Σ v² with
         // smaller values → smaller increment mass → tighter bound.
-        let loose = deviation_bound(100.0, &[5.0], 20, 10.0);
-        let tight = deviation_bound(100.0, &[5.0; 15], 6, 10.0);
+        let loose = deviation_bound(100.0, &[5.0], &[1.0; 20], 10.0);
+        let tight = deviation_bound(100.0, &[5.0; 15], &[1.0; 6], 10.0);
         assert!(tight.increment_mass < loose.increment_mass);
         assert!(tight.tail_probability(0.1) <= loose.tail_probability(0.1));
     }
 
     #[test]
     fn confidence_inversion_roundtrip() {
-        let b = deviation_bound(50.0, &[2.0; 10], 5, 3.0);
+        let b = deviation_bound(50.0, &[2.0; 10], &[1.0; 5], 3.0);
         for conf in [0.5, 0.9, 0.99] {
             let delta = b.delta_for_confidence(conf);
             let tail = b.tail_probability(delta);
@@ -344,7 +347,7 @@ mod tests {
 
     #[test]
     fn exact_estimate_has_zero_tail() {
-        let b = deviation_bound(10.0, &[], 0, 0.0);
+        let b = deviation_bound(10.0, &[], &[], 0.0);
         assert_eq!(b.tail_probability(0.5), 0.0);
         assert_eq!(b.delta_for_confidence(0.99), 0.0);
     }

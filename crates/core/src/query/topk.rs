@@ -17,6 +17,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::error::{VkgError, VkgResult};
 use crate::geometry::Mbr;
 use crate::index::CrackingIndex;
 
@@ -80,6 +81,9 @@ impl PartialOrd for HeapEntry {
 ///   entity's embedding (the expensive oracle; evaluations are counted).
 /// * `skip(id)` — true for entities excluded from `E'` (existing
 ///   neighbours, the query entity itself).
+///
+/// # Errors
+/// [`VkgError::InvalidParameter`] when `k = 0` or `ε` is not positive.
 pub fn find_top_k(
     index: &mut CrackingIndex,
     q_s2: &[f64],
@@ -88,9 +92,13 @@ pub fn find_top_k(
     alpha: usize,
     mut s1_distance: impl FnMut(u32) -> f64,
     mut skip: impl FnMut(u32) -> bool,
-) -> TopKResult {
-    assert!(k > 0, "top-k requires k ≥ 1");
-    assert!(epsilon > 0.0, "ε must be positive");
+) -> VkgResult<TopKResult> {
+    if k == 0 {
+        return Err(VkgError::InvalidParameter("top-k requires k ≥ 1".into()));
+    }
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(VkgError::InvalidParameter("ε must be positive".into()));
+    }
     let mut s1_evals = 0u64;
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
 
@@ -112,7 +120,11 @@ pub fn find_top_k(
     // entities the radius is unknown; fall back to the whole data region
     // (correct, just slower — happens only on degenerate inputs).
     let initial_region = if heap.len() >= k {
-        let r_q = heap.peek().expect("non-empty heap").distance * (1.0 + epsilon);
+        let r_q = heap
+            .peek()
+            .expect("invariant: heap holds ≥ k ≥ 1 entries here")
+            .distance
+            * (1.0 + epsilon);
         Mbr::of_ball(q_s2, r_q)
     } else {
         index.points().mbr_of(&index.points().all_ids())
@@ -137,7 +149,11 @@ pub fn find_top_k(
 
     let mut current_r_sq = current_ball_radius_sq(&heap, k, epsilon);
     let mut seen: std::collections::HashSet<u32> = heap.iter().map(|e| e.id).collect();
-    while let Some(std::cmp::Reverse(HeapEntry { distance: d_s2_sq, id })) = frontier.pop() {
+    while let Some(std::cmp::Reverse(HeapEntry {
+        distance: d_s2_sq,
+        id,
+    })) = frontier.pop()
+    {
         // Line 5's loop condition: the region Q only shrinks, so once the
         // nearest remaining candidate is outside the current ball, all
         // data points in Q have been examined.
@@ -158,7 +174,10 @@ pub fn find_top_k(
     let final_region = if heap.is_empty() {
         initial_region
     } else {
-        let r_k = heap.peek().expect("non-empty heap").distance;
+        let r_k = heap
+            .peek()
+            .expect("invariant: heap is non-empty in this branch")
+            .distance;
         Mbr::of_ball(q_s2, r_k * (1.0 + epsilon))
     };
     index.crack(&final_region);
@@ -180,12 +199,12 @@ pub fn find_top_k(
         .collect();
     let guarantee = topk_guarantee(&distances, epsilon, alpha);
 
-    TopKResult {
+    Ok(TopKResult {
         predictions,
         guarantee,
         s1_evals,
         candidates_examined,
-    }
+    })
 }
 
 /// Pushes a candidate into the bounded max-heap; returns whether the k-th
@@ -194,7 +213,12 @@ fn push_candidate(heap: &mut BinaryHeap<HeapEntry>, k: usize, id: u32, distance:
     if heap.len() < k {
         heap.push(HeapEntry { distance, id });
         true
-    } else if distance < heap.peek().expect("heap at capacity").distance {
+    } else if distance
+        < heap
+            .peek()
+            .expect("invariant: heap is at capacity k ≥ 1 in this branch")
+            .distance
+    {
         heap.pop();
         heap.push(HeapEntry { distance, id });
         true
@@ -208,7 +232,11 @@ fn current_ball_radius_sq(heap: &BinaryHeap<HeapEntry>, k: usize, epsilon: f64) 
     if heap.len() < k {
         f64::INFINITY
     } else {
-        let r = heap.peek().expect("non-empty heap").distance * (1.0 + epsilon);
+        let r = heap
+            .peek()
+            .expect("invariant: heap holds ≥ k ≥ 1 entries here")
+            .distance
+            * (1.0 + epsilon);
         r * r
     }
 }
@@ -250,10 +278,7 @@ mod tests {
 
     fn brute_top_k(pts: &[[f64; 3]], q: &[f64], k: usize, skip: &dyn Fn(u32) -> bool) -> Vec<u32> {
         let mut ids: Vec<u32> = (0..pts.len() as u32).filter(|&i| !skip(i)).collect();
-        ids.sort_by(|&a, &b| {
-            l2(&pts[a as usize], q)
-                .total_cmp(&l2(&pts[b as usize], q))
-        });
+        ids.sort_by(|&a, &b| l2(&pts[a as usize], q).total_cmp(&l2(&pts[b as usize], q)));
         ids.truncate(k);
         ids
     }
@@ -270,7 +295,8 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |_| false,
-        );
+        )
+        .unwrap();
         let got: Vec<u32> = result.predictions.iter().map(|p| p.id).collect();
         let want = brute_top_k(&pts, &q, 5, &|_| false);
         assert_eq!(got, want);
@@ -294,7 +320,8 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |id| id == 7 || id == 11,
-        );
+        )
+        .unwrap();
         let got: Vec<u32> = result.predictions.iter().map(|p| p.id).collect();
         assert!(!got.contains(&7));
         assert!(!got.contains(&11));
@@ -314,7 +341,8 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |_| false,
-        );
+        )
+        .unwrap();
         let second = find_top_k(
             &mut idx,
             &q,
@@ -323,18 +351,11 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |_| false,
-        );
+        )
+        .unwrap();
         assert_eq!(
-            first
-                .predictions
-                .iter()
-                .map(|p| p.id)
-                .collect::<Vec<_>>(),
-            second
-                .predictions
-                .iter()
-                .map(|p| p.id)
-                .collect::<Vec<_>>()
+            first.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+            second.predictions.iter().map(|p| p.id).collect::<Vec<_>>()
         );
         assert!(
             second.candidates_examined <= first.candidates_examined,
@@ -357,7 +378,8 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |_| false,
-        );
+        )
+        .unwrap();
         assert_eq!(result.predictions.len(), 3);
     }
 
@@ -373,7 +395,8 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |_| true,
-        );
+        )
+        .unwrap();
         assert!(result.predictions.is_empty());
         assert_eq!(result.guarantee.success_probability, 1.0);
     }
@@ -390,7 +413,8 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |_| false,
-        );
+        )
+        .unwrap();
         assert!(result.s1_evals <= result.candidates_examined + 16 + 20);
         assert!(result.s1_evals >= 5);
     }
@@ -407,7 +431,8 @@ mod tests {
             3,
             |id| l2(&pts[id as usize], &q),
             |_| false,
-        );
+        )
+        .unwrap();
         assert_eq!(r.guarantee.ratios.len(), 5);
         assert!(r.guarantee.success_probability > 0.5);
     }

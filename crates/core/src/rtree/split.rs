@@ -61,10 +61,7 @@ pub fn best_splits(
     if len <= m || k == 0 {
         return Vec::new();
     }
-    let positions: Vec<usize> = (1..)
-        .map(|i| i * m)
-        .take_while(|&p| p < len)
-        .collect();
+    let positions: Vec<usize> = (1..).map(|i| i * m).take_while(|&p| p < len).collect();
 
     let mut candidates: Vec<SplitCandidate> = Vec::new();
     for axis in 0..orders.num_orders() {

@@ -1,74 +1,77 @@
 //! The virtual knowledge graph facade (Definition 1).
 //!
-//! Assembles the materialized graph `G = (V, E)`, its attributes, the
-//! embedding store (the algorithm 𝒜 inducing the predicted edges `E'`),
-//! the JL transform S₁ → S₂ and the cracking index into one queryable
-//! object. Queries follow the paper's default E′-only semantics: results
-//! never include edges already in `E`, nor the query entity itself.
+//! Assembles an immutable, `Arc`-shared [`VkgSnapshot`] (graph +
+//! attributes + embeddings + JL transform) with a lock-guarded
+//! [`IndexState`] (the cracking index and its query pipelines) into one
+//! queryable object. The split means the lock guards **only** the index:
+//! any number of readers resolve entities, embeddings and query points
+//! through the snapshot without ever touching the lock, while queries —
+//! which may crack the index — serialize on the engine's write lock.
+//! Queries follow the paper's default E′-only semantics: results never
+//! include edges already in `E`, nor the query entity itself.
 
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use vkg_embed::EmbeddingStore;
-use vkg_kg::{AttributeStore, EntityId, KgError, KnowledgeGraph, RelationId};
-use vkg_transform::JlTransform;
+use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
 
 use crate::config::VkgConfig;
-use crate::geometry::{Mbr, PointSet};
+use crate::engine::{IndexState, QueryEngine};
+use crate::error::{VkgError, VkgResult};
 use crate::index::CrackingIndex;
-use crate::query::aggregate::{
-    self, AggregateKind, AggregateResult, AggregateSpec, DeviationBound,
-};
-use crate::query::probability::{inverse_distance_probabilities, radius_for_threshold};
-use crate::query::topk::{find_top_k, TopKResult};
+use crate::query::aggregate::{AggregateResult, AggregateSpec};
+use crate::query::topk::TopKResult;
+use crate::snapshot::VkgSnapshot;
 use crate::stats::IndexStats;
 
-/// Which endpoint of the triple the query asks for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Direction {
-    /// Given a head entity `h`, find tails `t` of likely `(h, r, t)` —
-    /// query center `h + r`.
-    Tails,
-    /// Given a tail entity `t`, find heads `h` of likely `(h, r, t)` —
-    /// query center `t − r`.
-    Heads,
-}
+pub use crate::snapshot::Direction;
 
-/// Errors raised by query processing.
-#[derive(Debug)]
-pub enum QueryError {
-    /// The query entity id is out of range.
-    UnknownEntity(u32),
-    /// The relation id is out of range.
-    UnknownRelation(u32),
-    /// The aggregate references an attribute that does not exist.
-    UnknownAttribute(String),
-    /// An attribute aggregate was requested without naming an attribute.
-    MissingAttribute,
-}
+/// Former name of the facade's error type, kept as an alias after query
+/// errors became the workspace-wide [`VkgError`].
+pub type QueryError = VkgError;
 
-impl std::fmt::Display for QueryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            QueryError::UnknownEntity(id) => write!(f, "unknown entity id {id}"),
-            QueryError::UnknownRelation(id) => write!(f, "unknown relation id {id}"),
-            QueryError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
-            QueryError::MissingAttribute => {
-                write!(f, "aggregate kind requires an attribute name")
-            }
-        }
+/// Read access to the facade's index, holding the engine's read lock for
+/// the guard's lifetime.
+pub struct IndexGuard<'a>(RwLockReadGuard<'a, IndexState>);
+
+impl Deref for IndexGuard<'_> {
+    type Target = CrackingIndex;
+
+    fn deref(&self) -> &CrackingIndex {
+        self.0.index()
     }
 }
 
-impl std::error::Error for QueryError {}
+/// Exclusive access to the facade's index, holding the engine's write
+/// lock for the guard's lifetime.
+pub struct IndexGuardMut<'a>(RwLockWriteGuard<'a, IndexState>);
+
+impl Deref for IndexGuardMut<'_> {
+    type Target = CrackingIndex;
+
+    fn deref(&self) -> &CrackingIndex {
+        self.0.index()
+    }
+}
+
+impl DerefMut for IndexGuardMut<'_> {
+    fn deref_mut(&mut self) -> &mut CrackingIndex {
+        self.0.index_mut()
+    }
+}
 
 /// A knowledge graph extended with predicted, probabilistic edges, indexed
 /// for predictive top-k and aggregate queries.
+///
+/// All query methods take `&self`: reads go through the shared snapshot
+/// lock-free, and the index mutations a query implies (cracking) are
+/// serialized behind the internal engine lock.
 #[derive(Debug)]
 pub struct VirtualKnowledgeGraph {
-    graph: KnowledgeGraph,
-    attributes: AttributeStore,
-    embeddings: EmbeddingStore,
-    transform: JlTransform,
-    index: CrackingIndex,
-    config: VkgConfig,
+    snapshot: Arc<VkgSnapshot>,
+    engine: RwLock<IndexState>,
 }
 
 impl VirtualKnowledgeGraph {
@@ -77,112 +80,108 @@ impl VirtualKnowledgeGraph {
     ///
     /// # Panics
     /// Panics if the embedding store's entity count does not match the
-    /// graph's, or the configuration is invalid.
+    /// graph's, or the configuration is invalid. Use
+    /// [`VirtualKnowledgeGraph::try_assemble`] to handle these as errors.
     pub fn assemble(
         graph: KnowledgeGraph,
         attributes: AttributeStore,
         embeddings: EmbeddingStore,
         config: VkgConfig,
     ) -> Self {
-        let (points, transform) = Self::project(&graph, &embeddings, &config);
-        let mut index = CrackingIndex::new(
-            points,
-            config.leaf_capacity,
-            config.fanout,
-            config.beta,
-            config.split_strategy,
-        );
-        index.set_query_aware_cost(config.query_aware_cost);
-        Self {
-            graph,
-            attributes,
-            embeddings,
-            transform,
-            index,
-            config,
+        match Self::try_assemble(graph, attributes, embeddings, config) {
+            Ok(vkg) => vkg,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible form of [`VirtualKnowledgeGraph::assemble`].
+    pub fn try_assemble(
+        graph: KnowledgeGraph,
+        attributes: AttributeStore,
+        embeddings: EmbeddingStore,
+        config: VkgConfig,
+    ) -> VkgResult<Self> {
+        let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
+        let engine = RwLock::new(IndexState::cracking(&snapshot));
+        Ok(Self { snapshot, engine })
     }
 
     /// Assembles with a fully **bulk-loaded** offline index (the
     /// BULKLOADCHUNK baseline of §VI).
+    ///
+    /// # Panics
+    /// Panics under the same conditions as
+    /// [`VirtualKnowledgeGraph::assemble`].
     pub fn assemble_bulk_loaded(
         graph: KnowledgeGraph,
         attributes: AttributeStore,
         embeddings: EmbeddingStore,
         config: VkgConfig,
     ) -> Self {
-        let (points, transform) = Self::project(&graph, &embeddings, &config);
-        let index =
-            CrackingIndex::bulk_load(points, config.leaf_capacity, config.fanout, config.beta);
-        Self {
-            graph,
-            attributes,
-            embeddings,
-            transform,
-            index,
-            config,
+        match Self::try_assemble_bulk_loaded(graph, attributes, embeddings, config) {
+            Ok(vkg) => vkg,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    fn project(
-        graph: &KnowledgeGraph,
-        embeddings: &EmbeddingStore,
-        config: &VkgConfig,
-    ) -> (PointSet, JlTransform) {
-        config.validate();
-        assert_eq!(
-            embeddings.num_entities(),
-            graph.num_entities(),
-            "embedding store and graph disagree on entity count"
-        );
-        assert_eq!(
-            embeddings.num_relations(),
-            graph.num_relations(),
-            "embedding store and graph disagree on relation count"
-        );
-        let transform = JlTransform::new(embeddings.dim(), config.alpha, config.transform_seed);
-        let projected = transform.apply_matrix(embeddings.entity_matrix());
-        (PointSet::from_rows(config.alpha, projected), transform)
+    /// Fallible form of [`VirtualKnowledgeGraph::assemble_bulk_loaded`].
+    pub fn try_assemble_bulk_loaded(
+        graph: KnowledgeGraph,
+        attributes: AttributeStore,
+        embeddings: EmbeddingStore,
+        config: VkgConfig,
+    ) -> VkgResult<Self> {
+        let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
+        let engine = RwLock::new(IndexState::bulk_loaded(&snapshot));
+        Ok(Self { snapshot, engine })
+    }
+
+    /// The immutable read side, shareable across threads. Clones of this
+    /// `Arc` stay valid (and lock-free) while other threads query — they
+    /// observe the snapshot as of the clone, unaffected by later dynamic
+    /// updates (which copy-on-write a fresh snapshot).
+    pub fn snapshot(&self) -> Arc<VkgSnapshot> {
+        Arc::clone(&self.snapshot)
     }
 
     /// The materialized knowledge graph.
     pub fn graph(&self) -> &KnowledgeGraph {
-        &self.graph
+        self.snapshot.graph()
     }
 
     /// The attribute store.
     pub fn attributes(&self) -> &AttributeStore {
-        &self.attributes
+        self.snapshot.attributes()
     }
 
     /// The embedding store (space S₁).
     pub fn embeddings(&self) -> &EmbeddingStore {
-        &self.embeddings
+        self.snapshot.embeddings()
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> &VkgConfig {
-        &self.config
+        self.snapshot.config()
     }
 
     /// Index statistics (splits, nodes, per-query access counters).
-    pub fn index_stats(&self) -> &IndexStats {
-        self.index.stats()
+    pub fn index_stats(&self) -> IndexStats {
+        *self.engine.read().index().stats()
     }
 
     /// Number of index nodes (Fig. 9 metric).
     pub fn index_node_count(&self) -> usize {
-        self.index.node_count()
+        self.engine.read().index().node_count()
     }
 
     /// Approximate index size in bytes (Figs. 10–11 metric).
     pub fn index_bytes(&self) -> usize {
-        self.index.index_bytes()
+        self.engine.read().index().index_bytes()
     }
 
     /// Resets the per-query access counters.
-    pub fn reset_access_counters(&mut self) {
-        self.index.stats_mut().reset_access_counters();
+    pub fn reset_access_counters(&self) {
+        self.engine.write().reset_access_counters();
     }
 
     /// The query center in S₁ for an entity/relation/direction.
@@ -191,227 +190,52 @@ impl VirtualKnowledgeGraph {
         entity: EntityId,
         relation: RelationId,
         direction: Direction,
-    ) -> Result<Vec<f64>, QueryError> {
-        self.check(entity, relation)?;
-        Ok(match direction {
-            Direction::Tails => self.embeddings.tail_query_point(entity, relation),
-            Direction::Heads => self.embeddings.head_query_point(entity, relation),
-        })
-    }
-
-    fn check(&self, entity: EntityId, relation: RelationId) -> Result<(), QueryError> {
-        if entity.index() >= self.graph.num_entities() {
-            return Err(QueryError::UnknownEntity(entity.0));
-        }
-        if relation.index() >= self.graph.num_relations() {
-            return Err(QueryError::UnknownRelation(relation.0));
-        }
-        Ok(())
+    ) -> VkgResult<Vec<f64>> {
+        self.snapshot.query_point_s1(entity, relation, direction)
     }
 
     /// Top-k predicted entities for `(entity, relation)` in `direction`
     /// (Q1-style queries; Algorithm 3).
     pub fn top_k(
-        &mut self,
+        &self,
         entity: EntityId,
         relation: RelationId,
         direction: Direction,
         k: usize,
-    ) -> Result<TopKResult, QueryError> {
-        self.top_k_filtered(entity, relation, direction, k, |_| true)
+    ) -> VkgResult<TopKResult> {
+        self.engine
+            .write()
+            .top_k(&self.snapshot, entity, relation, direction, k)
     }
 
     /// Top-k restricted to entities accepted by `filter` (e.g. only
     /// movies). The E′ semantics (skip known edges, skip self) always
     /// apply on top of the filter.
     pub fn top_k_filtered(
-        &mut self,
+        &self,
         entity: EntityId,
         relation: RelationId,
         direction: Direction,
         k: usize,
         filter: impl Fn(EntityId) -> bool,
-    ) -> Result<TopKResult, QueryError> {
-        let q_s1 = self.query_point_s1(entity, relation, direction)?;
-        let q_s2 = self.transform.apply(&q_s1);
-        let known: std::collections::HashSet<u32> = match direction {
-            Direction::Tails => self.graph.tails(entity, relation).map(|e| e.0).collect(),
-            Direction::Heads => self.graph.heads(entity, relation).map(|e| e.0).collect(),
-        };
-        let embeddings = &self.embeddings;
-        let result = find_top_k(
-            &mut self.index,
-            &q_s2,
-            k,
-            self.config.epsilon,
-            self.config.alpha,
-            |id| embeddings.distance_to_entity(&q_s1, EntityId(id)),
-            |id| id == entity.0 || known.contains(&id) || !filter(EntityId(id)),
-        );
-        Ok(result)
+    ) -> VkgResult<TopKResult> {
+        self.engine
+            .write()
+            .top_k_filtered(&self.snapshot, entity, relation, direction, k, &filter)
     }
 
     /// Answers an aggregate query over the probability ball around the
     /// query center (§V-B).
     pub fn aggregate(
-        &mut self,
+        &self,
         entity: EntityId,
         relation: RelationId,
         direction: Direction,
         spec: &AggregateSpec,
-    ) -> Result<AggregateResult, QueryError> {
-        // Validate the attribute before any work.
-        let attr = match spec.kind {
-            AggregateKind::Count => None,
-            _ => {
-                let name = spec
-                    .attribute
-                    .as_deref()
-                    .ok_or(QueryError::MissingAttribute)?;
-                if !self.attributes.has_attribute(name) {
-                    return Err(QueryError::UnknownAttribute(name.to_owned()));
-                }
-                Some(name.to_owned())
-            }
-        };
-
-        // Step 1: nearest predicted entity fixes d_min (probability 1).
-        let top1 = self.top_k(entity, relation, direction, 1)?;
-        let Some(nearest) = top1.predictions.first().cloned() else {
-            return Ok(AggregateResult {
-                estimate: 0.0,
-                accessed: 0,
-                ball_size: 0,
-                bound: DeviationBound {
-                    mu: 0.0,
-                    increment_mass: 0.0,
-                },
-            });
-        };
-        let d_min = nearest.distance;
-        let r_tau = radius_for_threshold(d_min, spec.p_tau);
-
-        // Step 2: gather the ball members through the index.
-        let q_s1 = self.query_point_s1(entity, relation, direction)?;
-        let q_s2 = self.transform.apply(&q_s1);
-        let region = Mbr::of_ball(&q_s2, r_tau * (1.0 + self.config.epsilon));
-        let known: std::collections::HashSet<u32> = match direction {
-            Direction::Tails => self.graph.tails(entity, relation).map(|e| e.0).collect(),
-            Direction::Heads => self.graph.heads(entity, relation).map(|e| e.0).collect(),
-        };
-        // Candidates arrive with the MBR of their contour element; the
-        // element-center distance in S₂ is the cheap proxy ranking which
-        // points to *access* and the probability estimate for the ones we
-        // never access (§V-B: the index knows per-element counts and
-        // average distances; only accessed points get exact distances).
-        let mut candidates: Vec<(u32, f64)> = Vec::new();
-        self.index.search_region_elements(&region, |id, elem_mbr| {
-            let center = elem_mbr.center();
-            let approx: f64 = center[..q_s2.len()]
-                .iter()
-                .zip(&q_s2)
-                .map(|(c, q)| (c - q) * (c - q))
-                .sum::<f64>()
-                .sqrt();
-            candidates.push((id, approx));
-        });
-
-        // Schema-level filtering (attribute presence is catalog metadata,
-        // not a record access) and E′ semantics.
-        let mut filtered: Vec<(u32, f64)> = Vec::with_capacity(candidates.len());
-        for (id, approx) in candidates {
-            if id == entity.0 || known.contains(&id) {
-                continue;
-            }
-            if let Some(name) = &attr {
-                match self.attributes.get(name, EntityId(id)) {
-                    Ok(Some(_)) => {}
-                    Ok(None) => continue,
-                    Err(KgError::UnknownAttribute(a)) => {
-                        return Err(QueryError::UnknownAttribute(a))
-                    }
-                    Err(_) => continue,
-                }
-            }
-            // The anchoring nearest entity is always accessed first.
-            let key = if id == nearest.id { 0.0 } else { approx };
-            filtered.push((id, key));
-        }
-        filtered.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-
-        // Step 3: access the `a` most-promising points exactly; estimate
-        // the rest from their element geometry.
-        let budget = spec.sample_size.unwrap_or(usize::MAX);
-        let mut accessed: Vec<(f64, f64)> = Vec::new(); // (distance, value)
-        let mut unaccessed_dists: Vec<f64> = Vec::new();
-        let mut s1_evals = 0u64;
-        for (id, approx) in filtered {
-            if accessed.len() < budget {
-                let d = self.embeddings.distance_to_entity(&q_s1, EntityId(id));
-                s1_evals += 1;
-                if d > r_tau {
-                    continue;
-                }
-                let value = match &attr {
-                    None => 1.0,
-                    Some(name) => self
-                        .attributes
-                        .get(name, EntityId(id))
-                        .expect("attribute validated above")
-                        .expect("candidates filtered to attribute holders"),
-                };
-                accessed.push((d, value));
-            } else if approx <= r_tau {
-                unaccessed_dists.push(approx);
-            }
-        }
-        self.index.stats_mut().s1_distance_evals += s1_evals;
-        accessed.sort_by(|x, y| x.0.total_cmp(&y.0));
-
-        let distances: Vec<f64> = accessed.iter().map(|m| m.0).collect();
-        let values: Vec<f64> = accessed.iter().map(|m| m.1).collect();
-        // Probabilities are relative to the closest member of the result
-        // population (for attribute aggregates the closest *attribute
-        // holder*, which may differ from the global anchor).
-        let ref_d = distances.first().copied().unwrap_or(d_min).max(1e-12);
-        let mut probs = inverse_distance_probabilities(&distances);
-        probs.extend(
-            unaccessed_dists
-                .into_iter()
-                .map(|d| (ref_d / d.max(ref_d)).min(1.0)),
-        );
-        let a = accessed.len();
-        let b = probs.len();
-
-        // Step 4: estimate + Theorem 4 bound, then crack for the region.
-        let estimate = match spec.kind {
-            AggregateKind::Count => aggregate::estimate_count(&probs),
-            AggregateKind::Sum => aggregate::estimate_sum(&values, &probs),
-            AggregateKind::Avg => aggregate::estimate_avg(&values, &probs),
-            AggregateKind::Max => aggregate::estimate_max(&values, &probs[..a]),
-            AggregateKind::Min => aggregate::estimate_min(&values, &probs[..a]),
-        };
-        // v_m for the unaccessed points, estimated from the sample (the
-        // paper's no-domain-knowledge alternative). For AVG the paper
-        // divides both μ and the martingale increments by the count, so
-        // the increment values are v_i / E[count].
-        let v_max = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        let bound = if spec.kind == AggregateKind::Avg {
-            let count = aggregate::estimate_count(&probs).max(1.0);
-            let scaled: Vec<f64> = values.iter().map(|v| v / count).collect();
-            aggregate::deviation_bound(estimate, &scaled, b - a, v_max / count)
-        } else {
-            aggregate::deviation_bound(estimate, &values, b - a, v_max)
-        };
-
-        self.index.crack(&region);
-
-        Ok(AggregateResult {
-            estimate,
-            accessed: a,
-            ball_size: b,
-            bound,
-        })
+    ) -> VkgResult<AggregateResult> {
+        self.engine
+            .write()
+            .aggregate(&self.snapshot, entity, relation, direction, spec)
     }
 
     // ------------------------------------------------------------------
@@ -419,6 +243,10 @@ impl VirtualKnowledgeGraph {
     // "when there are local updates, the embedding changes should be
     // local too, as most (h, r, t) soft constraints still hold. We plan
     // to do incremental updates on our partial index.")
+    //
+    // Updates take `&mut self`: the snapshot is copy-on-written via
+    // `Arc::make_mut`, so concurrent readers holding an older snapshot
+    // clone keep a consistent (pre-update) view.
     // ------------------------------------------------------------------
 
     /// Adds a new entity with a known S₁ embedding (e.g. produced by the
@@ -429,20 +257,22 @@ impl VirtualKnowledgeGraph {
     /// # Panics
     /// Panics if the embedding's dimensionality does not match the store.
     pub fn add_entity_dynamic(&mut self, name: &str, s1_embedding: &[f64]) -> EntityId {
-        let id = self.graph.add_entity(name);
-        if id.index() < self.embeddings.num_entities() {
+        let engine = self.engine.get_mut();
+        let snap = Arc::make_mut(&mut self.snapshot);
+        let id = snap.graph_mut().add_entity(name);
+        if id.index() < snap.embeddings().num_entities() {
             // The name was already interned — treat as an embedding update.
-            self.embeddings
+            snap.embeddings_mut()
                 .entity_mut(id)
                 .copy_from_slice(s1_embedding);
-            let s2 = self.transform.apply(s1_embedding);
-            self.index.update_point(id.0, &s2);
+            let s2 = snap.transform().apply(s1_embedding);
+            engine.index_mut().update_point(id.0, &s2);
             return id;
         }
-        let store_id = self.embeddings.push_entity(s1_embedding);
+        let store_id = snap.embeddings_mut().push_entity(s1_embedding);
         debug_assert_eq!(store_id, id, "graph and store ids must stay aligned");
-        let s2 = self.transform.apply(s1_embedding);
-        let point_id = self.index.insert_point(&s2);
+        let s2 = snap.transform().apply(s1_embedding);
+        let point_id = engine.index_mut().insert_point(&s2);
         debug_assert_eq!(point_id, id.0, "index point ids must stay aligned");
         id
     }
@@ -462,55 +292,61 @@ impl VirtualKnowledgeGraph {
         t: EntityId,
         refine_steps: usize,
         learning_rate: f64,
-    ) -> Result<bool, QueryError> {
-        self.check(h, r)?;
-        self.check(t, r)?;
-        let added = self
-            .graph
-            .add_triple(h, r, t)
-            .map_err(|_| QueryError::UnknownEntity(h.0))?;
+    ) -> VkgResult<bool> {
+        self.snapshot.check_ids(h, r)?;
+        self.snapshot.check_ids(t, r)?;
+        let engine = self.engine.get_mut();
+        let snap = Arc::make_mut(&mut self.snapshot);
+        let added = snap.graph_mut().add_triple(h, r, t)?;
         if !added {
             return Ok(false);
         }
-        let d = self.embeddings.dim();
+        let d = snap.embeddings().dim();
         for _ in 0..refine_steps {
             let mut grad = vec![0.0; d];
             {
+                let embeddings = snap.embeddings();
                 let (hv, rv, tv) = (
-                    self.embeddings.entity(h),
-                    self.embeddings.relation(r),
-                    self.embeddings.entity(t),
+                    embeddings.entity(h),
+                    embeddings.relation(r),
+                    embeddings.entity(t),
                 );
-                for i in 0..d {
-                    grad[i] = 2.0 * (hv[i] + rv[i] - tv[i]);
+                for (i, g) in grad.iter_mut().enumerate().take(d) {
+                    *g = 2.0 * (hv[i] + rv[i] - tv[i]);
                 }
             }
-            for i in 0..d {
-                self.embeddings.entity_mut(h)[i] -= learning_rate * grad[i];
-                self.embeddings.entity_mut(t)[i] += learning_rate * grad[i];
+            let embeddings = snap.embeddings_mut();
+            for (i, &g) in grad.iter().enumerate().take(d) {
+                embeddings.entity_mut(h)[i] -= learning_rate * g;
+                embeddings.entity_mut(t)[i] += learning_rate * g;
             }
         }
-        let h_s2 = self.transform.apply(self.embeddings.entity(h));
-        self.index.update_point(h.0, &h_s2);
-        let t_s2 = self.transform.apply(self.embeddings.entity(t));
-        self.index.update_point(t.0, &t_s2);
+        let h_s2 = snap.transform().apply(snap.embeddings().entity(h));
+        engine.index_mut().update_point(h.0, &h_s2);
+        let t_s2 = snap.transform().apply(snap.embeddings().entity(t));
+        engine.index_mut().update_point(t.0, &t_s2);
         Ok(true)
     }
 
     /// Sets (or updates) an attribute of an entity — aggregate queries
     /// observe the new value immediately.
     pub fn set_attribute_dynamic(&mut self, attr: &str, entity: EntityId, value: f64) {
-        self.attributes.set(attr, entity, value);
+        Arc::make_mut(&mut self.snapshot)
+            .attributes_mut()
+            .set(attr, entity, value);
     }
 
-    /// Direct access to the index (benchmarks, invariant checks).
-    pub fn index(&self) -> &CrackingIndex {
-        &self.index
+    /// Direct read access to the index (benchmarks, invariant checks).
+    /// Holds the engine's read lock while the guard lives.
+    pub fn index(&self) -> IndexGuard<'_> {
+        IndexGuard(self.engine.read())
     }
 
-    /// Mutable access to the index.
-    pub fn index_mut(&mut self) -> &mut CrackingIndex {
-        &mut self.index
+    /// Exclusive access to the index. Holds the engine's write lock while
+    /// the guard lives — readers of [`VirtualKnowledgeGraph::graph`] /
+    /// [`VirtualKnowledgeGraph::embeddings`] are *not* blocked.
+    pub fn index_mut(&self) -> IndexGuardMut<'_> {
+        IndexGuardMut(self.engine.write())
     }
 }
 
@@ -518,6 +354,7 @@ impl VirtualKnowledgeGraph {
 mod tests {
     use super::*;
     use crate::config::SplitStrategy;
+    use crate::query::aggregate::AggregateKind;
 
     /// A small synthetic world with hand-crafted geometry:
     /// users u0..u3 at distinct positions, items m0..m5 clustered so that
@@ -568,7 +405,7 @@ mod tests {
     #[test]
     fn top_k_finds_nearest_unknown_item() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
         let r = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
@@ -588,7 +425,7 @@ mod tests {
     #[test]
     fn heads_query_inverts_translation() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let m2 = vkg.graph().entity_id("m2").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
         // m2 − likes = (2, 0, …) → nearest user is u2.
@@ -603,7 +440,7 @@ mod tests {
     #[test]
     fn filter_restricts_candidates() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
         // Restrict to even-numbered items.
@@ -626,7 +463,7 @@ mod tests {
     #[test]
     fn aggregate_count_over_ball() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
         let r = vkg
@@ -640,7 +477,7 @@ mod tests {
     #[test]
     fn aggregate_avg_year() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
         let spec = AggregateSpec::of(AggregateKind::Avg, "year", 0.05);
@@ -655,7 +492,7 @@ mod tests {
     #[test]
     fn aggregate_rejects_unknown_attribute() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
         let spec = AggregateSpec::of(AggregateKind::Avg, "nonexistent", 0.05);
@@ -678,7 +515,7 @@ mod tests {
     #[test]
     fn unknown_ids_rejected() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let likes = vkg.graph().relation_id("likes").unwrap();
         assert!(matches!(
             vkg.top_k(EntityId(999), likes, Direction::Tails, 3),
@@ -692,11 +529,38 @@ mod tests {
     }
 
     #[test]
+    fn invalid_parameters_rejected() {
+        let (g, attrs, emb) = tiny_world(8);
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        assert!(matches!(
+            vkg.top_k(u0, likes, Direction::Tails, 0),
+            Err(QueryError::InvalidParameter(_))
+        ));
+        let spec = AggregateSpec::count(1.5);
+        assert!(matches!(
+            vkg.aggregate(u0, likes, Direction::Tails, &spec),
+            Err(QueryError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn try_assemble_reports_mismatch() {
+        let (g, attrs, _) = tiny_world(8);
+        let short = EmbeddingStore::from_raw(8, vec![0.0; 8], vec![0.0; 8]);
+        assert!(matches!(
+            VirtualKnowledgeGraph::try_assemble(g, attrs, short, config()),
+            Err(VkgError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
     fn bulk_loaded_agrees_with_cracking() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut online =
+        let online =
             VirtualKnowledgeGraph::assemble(g.clone(), attrs.clone(), emb.clone(), config());
-        let mut bulk = VirtualKnowledgeGraph::assemble_bulk_loaded(g, attrs, emb, config());
+        let bulk = VirtualKnowledgeGraph::assemble_bulk_loaded(g, attrs, emb, config());
         let u1 = online.graph().entity_id("u1").unwrap();
         let likes = online.graph().relation_id("likes").unwrap();
         let a = online.top_k(u1, likes, Direction::Tails, 3).unwrap();
@@ -717,12 +581,25 @@ mod tests {
             epsilon: 0.3,
             ..config()
         };
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, cfg);
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, cfg);
         assert_eq!(vkg.index_node_count(), 1);
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
         let _ = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
         assert!(vkg.index_node_count() > 1);
         vkg.index().check_invariants();
+    }
+
+    #[test]
+    fn snapshot_clone_survives_dynamic_update() {
+        let (g, attrs, emb) = tiny_world(8);
+        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let before = vkg.snapshot();
+        let n = before.graph().num_entities();
+        let dim = before.embeddings().dim();
+        vkg.add_entity_dynamic("m_new", &vec![20.0; dim]);
+        // The old snapshot is frozen; the facade sees the new entity.
+        assert_eq!(before.graph().num_entities(), n);
+        assert_eq!(vkg.graph().num_entities(), n + 1);
     }
 }

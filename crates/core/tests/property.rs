@@ -18,7 +18,9 @@ fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = PointSet> {
 }
 
 fn brute_force(ps: &PointSet, q: &Mbr) -> Vec<u32> {
-    (0..ps.len() as u32).filter(|&i| ps.in_region(i, q)).collect()
+    (0..ps.len() as u32)
+        .filter(|&i| ps.in_region(i, q))
+        .collect()
 }
 
 proptest! {
@@ -192,7 +194,7 @@ proptest! {
         unaccessed in 0usize..50,
         vm in 0.0f64..50.0,
     ) {
-        let b = aggregate::deviation_bound(mu, &values, unaccessed, vm);
+        let b = aggregate::deviation_bound(mu, &values, &vec![1.0; unaccessed], vm);
         let mut prev = f64::INFINITY;
         for delta in [0.01, 0.1, 0.5, 1.0, 2.0] {
             let p = b.tail_probability(delta);

@@ -163,8 +163,7 @@ pub fn to_binary(store: &EmbeddingStore) -> Bytes {
     let d = store.dim();
     let ents = store.entity_matrix();
     let rels = store.relation_matrix();
-    let mut buf =
-        BytesMut::with_capacity(4 + 1 + 4 * 3 + (ents.len() + rels.len()) * 8);
+    let mut buf = BytesMut::with_capacity(4 + 1 + 4 * 3 + (ents.len() + rels.len()) * 8);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u32_le(d as u32);
@@ -219,11 +218,7 @@ mod tests {
     use super::*;
 
     fn sample_store() -> EmbeddingStore {
-        EmbeddingStore::from_raw(
-            3,
-            vec![1.0, 2.0, 3.0, -1.5, 0.25, 9.0],
-            vec![0.1, 0.2, 0.3],
-        )
+        EmbeddingStore::from_raw(3, vec![1.0, 2.0, 3.0, -1.5, 0.25, 9.0], vec![0.1, 0.2, 0.3])
     }
 
     #[test]

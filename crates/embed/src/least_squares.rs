@@ -87,7 +87,11 @@ pub fn least_squares_embedding(graph: &KnowledgeGraph, cfg: &LsConfig) -> Embedd
         let mut sums = vec![0.0f64; m * d];
         let mut counts = vec![0usize; m];
         for t in triples {
-            let (hi, ri, ti) = (t.head.index() * d, t.relation.index() * d, t.tail.index() * d);
+            let (hi, ri, ti) = (
+                t.head.index() * d,
+                t.relation.index() * d,
+                t.tail.index() * d,
+            );
             for j in 0..d {
                 sums[ri + j] += ent[ti + j] - ent[hi + j];
             }
@@ -108,7 +112,11 @@ pub fn least_squares_embedding(graph: &KnowledgeGraph, cfg: &LsConfig) -> Embedd
         }
         let mut weight = vec![lambda; n];
         for t in triples {
-            let (hi, ri, ti) = (t.head.index() * d, t.relation.index() * d, t.tail.index() * d);
+            let (hi, ri, ti) = (
+                t.head.index() * d,
+                t.relation.index() * d,
+                t.tail.index() * d,
+            );
             for j in 0..d {
                 // The tail pulls the head toward t − r; the head pulls the
                 // tail toward h + r.
@@ -144,12 +152,8 @@ mod tests {
         for group in 0..2 {
             for u in 0..6 {
                 for m in 0..6 {
-                    g.add_fact(
-                        &format!("u{group}_{u}"),
-                        "likes",
-                        &format!("m{group}_{m}"),
-                    )
-                    .unwrap();
+                    g.add_fact(&format!("u{group}_{u}"), "likes", &format!("m{group}_{m}"))
+                        .unwrap();
                 }
             }
         }
@@ -220,12 +224,7 @@ mod tests {
         let cfg = LsConfig::default();
         let store = least_squares_embedding(&g, &cfg);
         let iso = g.entity_id("isolated").unwrap();
-        let norm: f64 = store
-            .entity(iso)
-            .iter()
-            .map(|x| x * x)
-            .sum::<f64>()
-            .sqrt();
+        let norm: f64 = store.entity(iso).iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(norm <= cfg.anchor_scale * (cfg.dim as f64).sqrt());
         assert!(norm > 0.0);
     }

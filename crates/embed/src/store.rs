@@ -173,15 +173,24 @@ mod tests {
     fn query_points() {
         let s = store();
         // h=e0 (0,0) + r0 (1,0) = (1,0) → exactly e1.
-        assert_eq!(s.tail_query_point(EntityId(0), RelationId(0)), vec![1.0, 0.0]);
+        assert_eq!(
+            s.tail_query_point(EntityId(0), RelationId(0)),
+            vec![1.0, 0.0]
+        );
         // t=e2 (1,1) − r1 (0,1) = (1,0) → exactly e1.
-        assert_eq!(s.head_query_point(EntityId(2), RelationId(1)), vec![1.0, 0.0]);
+        assert_eq!(
+            s.head_query_point(EntityId(2), RelationId(1)),
+            vec![1.0, 0.0]
+        );
     }
 
     #[test]
     fn triple_distance_zero_for_exact_translation() {
         let s = store();
-        assert_eq!(s.triple_distance(EntityId(0), RelationId(0), EntityId(1)), 0.0);
+        assert_eq!(
+            s.triple_distance(EntityId(0), RelationId(0), EntityId(1)),
+            0.0
+        );
         let d = s.triple_distance(EntityId(0), RelationId(0), EntityId(2));
         assert!((d - 1.0).abs() < 1e-12);
     }

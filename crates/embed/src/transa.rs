@@ -153,7 +153,15 @@ impl TransA {
             for &ti in &order {
                 let tr = triples[ti];
                 let (nh, nt) = corrupt(graph, tr.head, tr.relation, tr.tail, &mut rng);
-                total += self.step(&mut store, &mut weights, tr.head, tr.relation, tr.tail, nh, nt);
+                total += self.step(
+                    &mut store,
+                    &mut weights,
+                    tr.head,
+                    tr.relation,
+                    tr.tail,
+                    nh,
+                    nt,
+                );
             }
             epoch_loss.push(total / triples.len().max(1) as f64);
         }

@@ -45,7 +45,10 @@ impl AttributeStore {
 
     /// Sets `attr` of entity `e` to `value`, creating the column if needed.
     pub fn set(&mut self, attr: &str, e: EntityId, value: f64) {
-        self.columns.entry(attr.to_owned()).or_default().set(e, value);
+        self.columns
+            .entry(attr.to_owned())
+            .or_default()
+            .set(e, value);
     }
 
     /// Reads `attr` of entity `e`; `None` if the entity lacks the attribute.

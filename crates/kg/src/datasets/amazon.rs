@@ -107,8 +107,14 @@ pub fn amazon_like(cfg: &AmazonConfig) -> Dataset {
         attrs.set("age", u, rng.gen_range(18.0f64..80.0).round());
     }
 
-    let user_latent: Vec<Vec<f64>> = users.iter().map(|_| latent(&mut rng, cfg.latent_dim)).collect();
-    let prod_latent: Vec<Vec<f64>> = products.iter().map(|_| latent(&mut rng, cfg.latent_dim)).collect();
+    let user_latent: Vec<Vec<f64>> = users
+        .iter()
+        .map(|_| latent(&mut rng, cfg.latent_dim))
+        .collect();
+    let prod_latent: Vec<Vec<f64>> = products
+        .iter()
+        .map(|_| latent(&mut rng, cfg.latent_dim))
+        .collect();
 
     // Ratings → likes/dislikes edges + per-product rating accumulators.
     let zipf = Zipf::new(cfg.products, cfg.zipf_exponent);
@@ -163,7 +169,11 @@ pub fn amazon_like(cfg: &AmazonConfig) -> Dataset {
                 }
             }
             if let Some((qi, _)) = best {
-                let rel = if rng.gen_bool(0.5) { also_viewed } else { also_bought };
+                let rel = if rng.gen_bool(0.5) {
+                    also_viewed
+                } else {
+                    also_bought
+                };
                 graph
                     .add_triple(p, rel, products[qi])
                     .expect("generated ids are valid");
@@ -207,8 +217,16 @@ mod tests {
         let ab = ds.graph.relation_id("also_bought").unwrap();
         for t in ds.graph.triples() {
             if t.relation == av || t.relation == ab {
-                assert!(ds.graph.entity_name(t.head).unwrap().starts_with("product_"));
-                assert!(ds.graph.entity_name(t.tail).unwrap().starts_with("product_"));
+                assert!(ds
+                    .graph
+                    .entity_name(t.head)
+                    .unwrap()
+                    .starts_with("product_"));
+                assert!(ds
+                    .graph
+                    .entity_name(t.tail)
+                    .unwrap()
+                    .starts_with("product_"));
             }
         }
     }

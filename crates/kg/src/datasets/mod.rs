@@ -75,7 +75,10 @@ mod tests {
             let r = to_star_rating(s);
             assert!((0.5..=5.0).contains(&r), "rating {r} out of range");
             let doubled = r * 2.0;
-            assert!((doubled - doubled.round()).abs() < 1e-9, "not a half-star: {r}");
+            assert!(
+                (doubled - doubled.round()).abs() < 1e-9,
+                "not a half-star: {r}"
+            );
         }
         assert_eq!(to_star_rating(1.0), 5.0);
         assert_eq!(to_star_rating(-1.0), 0.5);

@@ -123,12 +123,21 @@ pub fn movie_like(cfg: &MovieConfig) -> Dataset {
     }
 
     // Latent taste vectors.
-    let user_latent: Vec<Vec<f64>> = users.iter().map(|_| latent(&mut rng, cfg.latent_dim)).collect();
-    let movie_latent: Vec<Vec<f64>> = movies.iter().map(|_| latent(&mut rng, cfg.latent_dim)).collect();
+    let user_latent: Vec<Vec<f64>> = users
+        .iter()
+        .map(|_| latent(&mut rng, cfg.latent_dim))
+        .collect();
+    let movie_latent: Vec<Vec<f64>> = movies
+        .iter()
+        .map(|_| latent(&mut rng, cfg.latent_dim))
+        .collect();
 
     // Genres/tags cluster in latent space: assign each movie the genre whose
     // anchor is nearest, plus a couple of Zipf-sampled tags.
-    let genre_anchor: Vec<Vec<f64>> = genres.iter().map(|_| latent(&mut rng, cfg.latent_dim)).collect();
+    let genre_anchor: Vec<Vec<f64>> = genres
+        .iter()
+        .map(|_| latent(&mut rng, cfg.latent_dim))
+        .collect();
     let tag_zipf = Zipf::new(cfg.tags.max(1), 1.0);
     for (mi, &m) in movies.iter().enumerate() {
         let best = genre_anchor
@@ -148,7 +157,9 @@ pub fn movie_like(cfg: &MovieConfig) -> Dataset {
             let ntags = rng.gen_range(0..3);
             for _ in 0..ntags {
                 let t = tags[tag_zipf.sample(&mut rng)];
-                graph.add_triple(m, has_tag, t).expect("generated ids are valid");
+                graph
+                    .add_triple(m, has_tag, t)
+                    .expect("generated ids are valid");
             }
         }
     }

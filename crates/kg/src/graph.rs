@@ -103,7 +103,8 @@ impl KnowledgeGraph {
         if !self.edge_set.remove(&(h.0, r.0, t.0)) {
             return false;
         }
-        self.triples.retain(|tr| !(tr.head == h && tr.relation == r && tr.tail == t));
+        self.triples
+            .retain(|tr| !(tr.head == h && tr.relation == r && tr.tail == t));
         self.out[h.index()].retain(|&(rr, tt)| !(rr == r && tt == t));
         self.inc[t.index()].retain(|&(rr, hh)| !(rr == r && hh == h));
         true

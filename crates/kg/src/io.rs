@@ -43,11 +43,15 @@ pub fn read_tsv<R: Read>(reader: R) -> Result<KnowledgeGraph> {
 pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, writer: W) -> Result<()> {
     let mut out = BufWriter::new(writer);
     for t in graph.triples() {
-        let head = graph.entity_name(t.head).expect("triple head must be interned");
+        let head = graph
+            .entity_name(t.head)
+            .expect("triple head must be interned");
         let rel = graph
             .relation_name(t.relation)
             .expect("triple relation must be interned");
-        let tail = graph.entity_name(t.tail).expect("triple tail must be interned");
+        let tail = graph
+            .entity_name(t.tail)
+            .expect("triple tail must be interned");
         writeln!(out, "{head}\t{rel}\t{tail}")?;
     }
     out.flush()?;

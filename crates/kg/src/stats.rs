@@ -1,9 +1,7 @@
 //! Dataset summary statistics (Table I of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Entity / relationship-type / edge counts of a dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphStats {
     /// Number of entities (vertices).
     pub entities: usize,

@@ -56,7 +56,7 @@ impl Zipf {
     }
 
     /// Samples a rank in `0..n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         match self
             .cdf
@@ -114,8 +114,8 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Head of the distribution should be within a few percent.
-        for i in 0..5 {
-            let observed = counts[i] as f64 / n as f64;
+        for (i, &count) in counts.iter().enumerate().take(5) {
+            let observed = count as f64 / n as f64;
             let expected = z.pmf(i);
             assert!(
                 (observed - expected).abs() < 0.01,

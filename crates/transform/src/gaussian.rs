@@ -11,7 +11,7 @@ use rand::Rng;
 /// point in the unit disk, then transforms. The second variate of each
 /// pair is discarded for simplicity — construction of the projection
 /// matrix is a one-time cost.
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
     loop {
         let u: f64 = rng.gen_range(-1.0..1.0);
         let v: f64 = rng.gen_range(-1.0..1.0);
@@ -23,7 +23,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// Fills `out` with i.i.d. `N(0, 1)` samples.
-pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+pub fn fill_standard_normal<R: Rng>(rng: &mut R, out: &mut [f64]) {
     for v in out {
         *v = standard_normal(rng);
     }

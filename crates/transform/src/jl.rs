@@ -25,7 +25,10 @@ impl JlTransform {
     /// # Panics
     /// Panics if either dimensionality is zero or `out_dim > in_dim`.
     pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "dimensionalities must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "dimensionalities must be positive"
+        );
         assert!(
             out_dim <= in_dim,
             "JL transform must reduce dimensionality ({out_dim} > {in_dim})"

@@ -221,7 +221,7 @@ fn resolve(
 }
 
 fn cmd_topk(args: &Args) -> Result<(), String> {
-    let mut vkg = build_engine(args)?;
+    let vkg = build_engine(args)?;
     let (entity, relation, direction) = resolve(&vkg, args)?;
     let k: usize = args.num("k", 10)?;
     let t = std::time::Instant::now();
@@ -248,7 +248,7 @@ fn cmd_topk(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_count(args: &Args) -> Result<(), String> {
-    let mut vkg = build_engine(args)?;
+    let vkg = build_engine(args)?;
     let (entity, relation, direction) = resolve(&vkg, args)?;
     let mut spec = AggregateSpec::count(args.num("p-tau", 0.05)?);
     if let Some(s) = args.opt("sample") {

@@ -36,8 +36,9 @@
 //! // Train TransE embeddings (the algorithm 𝒜 inducing the virtual KG).
 //! let (embeddings, _stats) = TransE::new(TransEConfig::fast()).train(&graph);
 //!
-//! // Assemble and query.
-//! let mut vkg = VirtualKnowledgeGraph::assemble(
+//! // Assemble and query. Queries take `&self` — the index cracks behind
+//! // an internal lock while reads share an immutable snapshot.
+//! let vkg = VirtualKnowledgeGraph::assemble(
 //!     graph,
 //!     AttributeStore::new(),
 //!     embeddings,
@@ -64,11 +65,14 @@ use vkg_kg::datasets::Dataset;
 
 /// The common imports for applications.
 pub mod prelude {
-    pub use vkg_baselines::{H2Alsh, H2AlshConfig, LinearScan, PhTree};
+    pub use vkg_baselines::{
+        H2Alsh, H2AlshConfig, H2AlshEngine, LinearScan, LinearScanEngine, PhTree, PhTreeEngine,
+    };
     pub use vkg_core::query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
     pub use vkg_core::query::topk::{Prediction, TopKResult};
     pub use vkg_core::{
-        CrackingIndex, Direction, SplitStrategy, VirtualKnowledgeGraph, VkgConfig,
+        Accuracy, CrackingIndex, Direction, EngineStats, IndexState, Neighbor, QueryEngine,
+        SplitStrategy, VirtualKnowledgeGraph, VkgConfig, VkgError, VkgResult, VkgSnapshot,
     };
     pub use vkg_embed::{EmbeddingStore, TransA, TransAConfig, TransE, TransEConfig};
     pub use vkg_kg::datasets::{
@@ -107,7 +111,7 @@ mod tests {
     #[test]
     fn build_from_dataset_end_to_end() {
         let ds = movie_like(&MovieConfig::tiny());
-        let mut vkg = build_from_dataset(
+        let vkg = build_from_dataset(
             &ds,
             TransEConfig {
                 dim: 12,

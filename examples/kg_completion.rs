@@ -50,7 +50,7 @@ fn main() {
 
     // Quick SGD TransE leaves moderate distance contrast, so keep the
     // Algorithm 3 ball tight (ε inflates the k-th candidate radius).
-    let mut vkg = VirtualKnowledgeGraph::assemble(
+    let vkg = VirtualKnowledgeGraph::assemble(
         ds.graph.clone(),
         ds.attributes.clone(),
         embeddings,
@@ -87,7 +87,10 @@ fn main() {
             ),
         }
     }
-    println!("recovered {recovered}/{} masked edges in the top-10", masked.len());
+    println!(
+        "recovered {recovered}/{} masked edges in the top-10",
+        masked.len()
+    );
 
     // --- Head queries across many relation types -----------------------
     // The "(Rapper, /people/person/profession) → top heads" query shape.

@@ -28,14 +28,17 @@ fn main() {
     let t = Instant::now();
     let embeddings = vkg::embed::least_squares_embedding(
         &ds.graph,
-        &vkg::embed::LsConfig { dim: 32, ..Default::default() },
+        &vkg::embed::LsConfig {
+            dim: 32,
+            ..Default::default()
+        },
     );
     println!("embeddings trained in {:.1?}", t.elapsed());
 
     let scan_store = embeddings.clone();
     let scan = LinearScan::new(&scan_store);
 
-    let mut vkg = VirtualKnowledgeGraph::assemble(
+    let vkg = VirtualKnowledgeGraph::assemble(
         ds.graph.clone(),
         ds.attributes.clone(),
         embeddings,

@@ -25,10 +25,13 @@ fn main() {
 
     let embeddings = vkg::embed::least_squares_embedding(
         &ds.graph,
-        &vkg::embed::LsConfig { dim: 32, ..Default::default() },
+        &vkg::embed::LsConfig {
+            dim: 32,
+            ..Default::default()
+        },
     );
 
-    let mut vkg = VirtualKnowledgeGraph::assemble(
+    let vkg = VirtualKnowledgeGraph::assemble(
         ds.graph.clone(),
         ds.attributes.clone(),
         embeddings,
@@ -52,7 +55,10 @@ fn main() {
 
     // --- AVG quality with a sample-size sweep (Fig. 14's tradeoff) -----
     println!("\nAVG product quality of user_7's predicted likes, sweeping sample size a:");
-    println!("  {:>6} {:>12} {:>10} {:>22}", "a", "time", "estimate", "90%-conf rel. error");
+    println!(
+        "  {:>6} {:>12} {:>10} {:>22}",
+        "a", "time", "estimate", "90%-conf rel. error"
+    );
     let full = vkg
         .aggregate(
             user,
@@ -103,7 +109,10 @@ fn main() {
             &AggregateSpec::of(AggregateKind::Min, "quality", 0.05).with_sample(10),
         )
         .expect("valid query");
-    println!("expected MIN quality among predicted likes: {:.3}", min.estimate);
+    println!(
+        "expected MIN quality among predicted likes: {:.3}",
+        min.estimate
+    );
 
     let s = vkg.index_stats();
     println!(

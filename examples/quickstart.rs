@@ -17,7 +17,9 @@ fn main() {
 
     // Restaurants belong to styles.
     for (i, r) in restaurants.iter().enumerate() {
-        graph.add_fact(r, "belongs_to", styles[i % styles.len()]).unwrap();
+        graph
+            .add_fact(r, "belongs_to", styles[i % styles.len()])
+            .unwrap();
     }
     // People rate restaurants they've been to; tastes follow styles:
     // person j likes style j % 3.
@@ -56,7 +58,7 @@ fn main() {
     );
 
     // --- Assemble the virtual knowledge graph --------------------------
-    let mut vkg = VirtualKnowledgeGraph::assemble(
+    let vkg = VirtualKnowledgeGraph::assemble(
         graph,
         attributes,
         embeddings,

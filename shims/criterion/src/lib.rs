@@ -1,0 +1,155 @@
+//! Offline stand-in for the slice of the `criterion` API used by the
+//! workspace benches.
+//!
+//! Runs each benchmark `sample_size` times, reports mean wall-clock time
+//! per iteration on stdout, and skips all of real criterion's statistics,
+//! warm-up, and HTML reporting. Good enough to keep `cargo bench`
+//! runnable and the bench targets compiling offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; collects configuration and runs groups.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration duration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mean = if bencher.iters > 0 {
+            bencher.elapsed / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: {:?} mean over {} iterations",
+            self.name, id, mean, bencher.iters
+        );
+        self
+    }
+
+    /// Finishes the group (no-op; reports are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample, accumulating wall-clock time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Prevents the optimizer from discarding a value (std-backed).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! Runner configuration.
+
+/// Controls how many random cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the offline test suite
+        // fast while still exercising each property broadly.
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}

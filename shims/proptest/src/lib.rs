@@ -1,0 +1,163 @@
+//! Offline stand-in for the slice of `proptest` used by the workspace
+//! property tests.
+//!
+//! Provides the `proptest!` macro, a [`strategy::Strategy`] trait with
+//! range / tuple / collection / regex-string strategies and `prop_map`,
+//! `any::<T>()` arbitraries, and `prop_assert!` / `prop_assert_eq!`.
+//! Unlike the real crate there is **no shrinking** and no failure
+//! persistence: cases are generated from a per-test deterministic seed,
+//! so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    pub mod prop {
+        //! Namespaced strategy modules (`prop::collection::vec`, …).
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(pat in strategy, arg: Type) { body }` item expands to a
+/// plain test that evaluates the body over `ProptestConfig::cases`
+/// generated inputs. An optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` overrides the
+/// case count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            ($crate::config::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::config::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bindings! { __rng, ($($params)*) }
+                // Bodies may `return Ok(())` early, as under the real
+                // crate where they run inside a Result-returning closure.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property case rejected: {e:?}");
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ( $rng:ident, () ) => {};
+    ( $rng:ident, ( $pat:pat in $strat:expr ) ) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ( $rng:ident, ( $pat:pat in $strat:expr, $($rest:tt)* ) ) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings! { $rng, ($($rest)*) }
+    };
+    ( $rng:ident, ( $arg:ident : $ty:ty ) ) => {
+        let $arg: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    ( $rng:ident, ( $arg:ident : $ty:ty, $($rest:tt)* ) ) => {
+        let $arg: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bindings! { $rng, ($($rest)*) }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (panics on failure; the
+/// real crate's early-return semantics are not needed without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(u8, u8)>> {
+        prop::collection::vec((0u8..10, 0u8..10), 0..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn range_strategies_respect_bounds(x in -5.0f64..5.0, n in 1usize..9) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn mixed_binding_forms(v in pairs(), seed: u64, flag in any::<bool>()) {
+            for &(a, b) in &v {
+                prop_assert!(a < 10 && b < 10);
+            }
+            let _ = seed;
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn prop_map_applies(len in prop::collection::vec(0u32..3, 4..=4)
+            .prop_map(|v| v.len()))
+        {
+            prop_assert_eq!(len, 4);
+        }
+
+        #[test]
+        fn regex_strings_match_class(s in "[a-z]{1,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! String generation from a small regex subset.
+//!
+//! Supports what the workspace tests actually use: sequences of literal
+//! characters and character classes (`[a-z0-9_]`), each optionally
+//! followed by a repetition `{m}`, `{m,n}`, `?`, `+` or `*`. Unsupported
+//! constructs panic with a message naming the pattern, so a silently
+//! wrong generator can't masquerade as coverage.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// Upper bound substituted for the open repetitions `+` and `*`.
+const UNBOUNDED_REP: usize = 8;
+
+#[derive(Debug)]
+enum Atom {
+    /// A set of candidate characters (singleton for literals).
+    Class(Vec<char>),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = rng.gen_range(piece.min..=piece.max);
+        let Atom::Class(chars) = &piece.atom;
+        for _ in 0..reps {
+            out.push(chars[rng.gen_range(0..chars.len())]);
+        }
+    }
+    out
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!("proptest shim: unsupported regex construct ({what}) in pattern {pattern:?}");
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| unsupported(pattern, "unterminated class"));
+                    match c {
+                        ']' => break,
+                        '^' if set.is_empty() => unsupported(pattern, "negated class"),
+                        lo => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars
+                                    .next()
+                                    .unwrap_or_else(|| unsupported(pattern, "open range"));
+                                if hi == ']' {
+                                    set.push(lo);
+                                    set.push('-');
+                                    break;
+                                }
+                                if hi < lo {
+                                    unsupported(pattern, "inverted range");
+                                }
+                                set.extend((lo..=hi).filter(|c| c.is_ascii() || lo == hi));
+                            } else {
+                                set.push(lo);
+                            }
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    unsupported(pattern, "empty class");
+                }
+                Atom::Class(set)
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+                Atom::Class(vec![escaped])
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => unsupported(pattern, "metacharacter"),
+            literal => Atom::Class(vec![literal]),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => unsupported(pattern, "unterminated repetition"),
+                    }
+                }
+                let parse_n = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| unsupported(pattern, "non-numeric repetition"))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                    None => {
+                        let n = parse_n(&spec);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_REP)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_REP)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            unsupported(pattern, "inverted repetition");
+        }
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn class_with_bounded_repeat() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_repeat() {
+        let mut rng = rng();
+        let s = generate_matching("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_rejected() {
+        generate_matching("a|b", &mut rng());
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic per-test random source.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Error type carried by a property body's implicit `Result` (present
+/// for API parity; assertions in this shim panic instead of returning
+/// `Err`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// The generator threaded through every strategy during a test run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds a generator whose seed is derived from `tag` (the full test
+    /// path), so every test gets an independent but reproducible stream.
+    pub fn deterministic(tag: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        tag.hash(&mut hasher);
+        Self {
+            inner: StdRng::seed_from_u64(hasher.finish()),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

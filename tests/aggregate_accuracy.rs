@@ -40,11 +40,16 @@ fn accuracy(returned: f64, truth: f64) -> f64 {
 
 #[test]
 fn count_approaches_full_access() {
-    let mut w = movie_world();
+    let w = movie_world();
     // Ground truth: access everything (no sample cap) at p_τ = 0.01.
     let truth = w
         .vkg
-        .aggregate(w.user, w.likes, Direction::Tails, &AggregateSpec::count(0.01))
+        .aggregate(
+            w.user,
+            w.likes,
+            Direction::Tails,
+            &AggregateSpec::count(0.01),
+        )
         .unwrap();
     assert!(truth.estimate >= 1.0);
     assert_eq!(truth.accessed, truth.ball_size, "no cap = full access");
@@ -62,12 +67,17 @@ fn count_approaches_full_access() {
         .unwrap();
     assert_eq!(sampled.accessed, 3.min(sampled.ball_size));
     let rel = (truth.estimate - sampled.estimate).abs() / truth.estimate;
-    assert!(rel < 0.75, "sampled count {} vs truth {}", sampled.estimate, truth.estimate);
+    assert!(
+        rel < 0.75,
+        "sampled count {} vs truth {}",
+        sampled.estimate,
+        truth.estimate
+    );
 }
 
 #[test]
 fn avg_accuracy_improves_with_sample_size() {
-    let mut w = movie_world();
+    let w = movie_world();
     let spec_full = AggregateSpec::of(AggregateKind::Avg, "year", 0.01);
     let truth = w
         .vkg
@@ -98,7 +108,7 @@ fn avg_accuracy_improves_with_sample_size() {
 
 #[test]
 fn sum_scales_to_truth() {
-    let mut w = movie_world();
+    let w = movie_world();
     let spec = AggregateSpec::of(AggregateKind::Sum, "year", 0.01);
     let truth = w
         .vkg
@@ -134,7 +144,7 @@ fn sum_scales_to_truth() {
 
 #[test]
 fn max_and_min_bracket_the_truth() {
-    let mut w = movie_world();
+    let w = movie_world();
     let max_spec = AggregateSpec::of(AggregateKind::Max, "year", 0.01);
     let min_spec = AggregateSpec::of(AggregateKind::Min, "year", 0.01);
     let max = w
@@ -154,7 +164,7 @@ fn max_and_min_bracket_the_truth() {
 
 #[test]
 fn deviation_bound_tightens_with_access() {
-    let mut w = movie_world();
+    let w = movie_world();
     let spec = AggregateSpec::of(AggregateKind::Sum, "year", 0.01);
     let truth = w
         .vkg
@@ -165,7 +175,12 @@ fn deviation_bound_tightens_with_access() {
     }
     let small = w
         .vkg
-        .aggregate(w.user, w.likes, Direction::Tails, &spec.clone().with_sample(1))
+        .aggregate(
+            w.user,
+            w.likes,
+            Direction::Tails,
+            &spec.clone().with_sample(1),
+        )
         .unwrap();
     let large = w
         .vkg
@@ -202,7 +217,7 @@ fn theorem4_bound_actually_holds_empirically() {
         ..TransEConfig::default()
     })
     .train(&ds.graph);
-    let mut vkg = VirtualKnowledgeGraph::assemble(
+    let vkg = VirtualKnowledgeGraph::assemble(
         ds.graph.clone(),
         ds.attributes.clone(),
         store,

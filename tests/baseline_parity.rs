@@ -26,7 +26,11 @@ fn phtree_matches_linear_scan_on_embeddings() {
         let _ = i;
         let q = store.tail_query_point(t.head, t.relation);
         let tree_ids: Vec<u32> = tree.top_k(&q, 5, |_| false).iter().map(|r| r.0).collect();
-        let scan_ids: Vec<u32> = scan.top_k_near(&q, 5, |_| false).iter().map(|r| r.0).collect();
+        let scan_ids: Vec<u32> = scan
+            .top_k_near(&q, 5, |_| false)
+            .iter()
+            .map(|r| r.0)
+            .collect();
         // Quantization can flip exact ties; require the nearest to match
         // and ≥ 4/5 overlap.
         assert_eq!(tree_ids[0], scan_ids[0], "nearest neighbour must agree");
@@ -60,7 +64,11 @@ fn h2alsh_recall_on_single_relation() {
     for u in 0..10 {
         let user = ds.graph.entity_id(&format!("user_{u}")).unwrap();
         let q = store.entity(user);
-        let got: Vec<u32> = idx.top_k_mips(q, 5, |_| false).iter().map(|r| r.0).collect();
+        let got: Vec<u32> = idx
+            .top_k_mips(q, 5, |_| false)
+            .iter()
+            .map(|r| r.0)
+            .collect();
         let want: Vec<u32> = vkg::baselines::linear_scan::exact_mips_top_k(&data, dim, q, 5)
             .iter()
             .map(|r| r.0)
@@ -77,13 +85,13 @@ fn cracked_bulk_and_scan_agree_through_facade() {
     let (ds, store) = trained_movie();
     let scan_store = store.clone();
     let scan = LinearScan::new(&scan_store);
-    let mut cracked = VirtualKnowledgeGraph::assemble(
+    let cracked = VirtualKnowledgeGraph::assemble(
         ds.graph.clone(),
         ds.attributes.clone(),
         store.clone(),
         VkgConfig::default(),
     );
-    let mut bulk = VirtualKnowledgeGraph::assemble_bulk_loaded(
+    let bulk = VirtualKnowledgeGraph::assemble_bulk_loaded(
         ds.graph.clone(),
         ds.attributes.clone(),
         store,
@@ -103,11 +111,9 @@ fn cracked_bulk_and_scan_agree_through_facade() {
         // the exact scan under the same skip set.
         let known: std::collections::HashSet<u32> =
             ds.graph.tails(user, likes).map(|e| e.0).collect();
-        let truth = scan.top_k_near(
-            &store_q(&cracked, user, likes),
-            1,
-            |id| id == user.0 || known.contains(&id),
-        );
+        let truth = scan.top_k_near(&store_q(&cracked, user, likes), 1, |id| {
+            id == user.0 || known.contains(&id)
+        });
         if let (Some(p), Some(t)) = (a.predictions.first(), truth.first()) {
             assert!(
                 (p.distance - t.1).abs() < 1e-9 || p.id == t.0,
@@ -119,6 +125,102 @@ fn cracked_bulk_and_scan_agree_through_facade() {
 
 fn store_q(vkg: &VirtualKnowledgeGraph, e: EntityId, r: RelationId) -> Vec<f64> {
     vkg.query_point_s1(e, r, Direction::Tails).unwrap()
+}
+
+/// Satellite of the engine layer: every [`QueryEngine`] — baselines and
+/// index states alike — goes through one `&mut dyn QueryEngine` loop and
+/// is checked against the contract its [`Accuracy`] advertises, with the
+/// exact linear scan as the shared ground truth.
+#[test]
+fn engines_satisfy_their_accuracy_contracts() {
+    let (ds, store) = trained_movie();
+    let snap = match VkgSnapshot::new(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        store,
+        VkgConfig::default(),
+    ) {
+        Ok(s) => s,
+        Err(e) => panic!("trained store matches the graph: {e}"),
+    };
+    let movies: Vec<u32> = (0..ds.graph.num_entities() as u32)
+        .filter(|&e| {
+            ds.graph
+                .entity_name(EntityId(e))
+                .is_some_and(|n| n.starts_with("movie_"))
+        })
+        .collect();
+    let mut engines: Vec<Box<dyn QueryEngine>> = vec![
+        Box::new(LinearScanEngine::new()),
+        Box::new(PhTreeEngine::build(&snap)),
+        Box::new(IndexState::cracking(&snap)),
+        Box::new(IndexState::bulk_loaded(&snap)),
+        Box::new(H2AlshEngine::build(&snap, movies, H2AlshConfig::default()).unwrap()),
+    ];
+    let mut truth_engine = LinearScanEngine::new();
+    let likes = ds.graph.relation_id("likes").unwrap();
+    let users: Vec<EntityId> = (0..8)
+        .map(|u| ds.graph.entity_id(&format!("user_{u}")).unwrap())
+        .collect();
+    let k = 5;
+
+    for engine in engines.iter_mut() {
+        let name = engine.name().to_owned();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for &user in &users {
+            let answer = engine
+                .top_k(&snap, user, likes, Direction::Tails, k)
+                .unwrap();
+            let ids: Vec<u32> = answer.predictions.iter().map(|p| p.id).collect();
+            match engine.accuracy() {
+                Accuracy::Exact => {
+                    let truth = truth_engine
+                        .top_k(&snap, user, likes, Direction::Tails, k)
+                        .unwrap();
+                    let truth_ids: Vec<u32> = truth.predictions.iter().map(|p| p.id).collect();
+                    assert_eq!(
+                        ids, truth_ids,
+                        "{name} claims Exact but diverged from the scan"
+                    );
+                }
+                Accuracy::Approximate { .. } => {
+                    let truth = truth_engine
+                        .top_k(&snap, user, likes, Direction::Tails, k)
+                        .unwrap();
+                    hits += ids
+                        .iter()
+                        .filter(|id| truth.predictions.iter().any(|p| p.id == **id))
+                        .count();
+                    total += truth.predictions.len().min(k);
+                }
+                Accuracy::SelfOracle { .. } => {
+                    let oracle = engine
+                        .reference_top_k(&snap, user, likes, Direction::Tails, k)
+                        .unwrap();
+                    hits += ids.iter().filter(|id| oracle.contains(id)).count();
+                    total += oracle.len().min(k);
+                }
+            }
+        }
+        match engine.accuracy() {
+            Accuracy::Exact => {}
+            Accuracy::Approximate { min_overlap } => {
+                let overlap = hits as f64 / total.max(1) as f64;
+                assert!(
+                    overlap >= min_overlap,
+                    "{name}: overlap {overlap:.3} below advertised {min_overlap}"
+                );
+            }
+            Accuracy::SelfOracle { min_recall } => {
+                let recall = hits as f64 / total.max(1) as f64;
+                assert!(
+                    recall >= min_recall,
+                    "{name}: recall {recall:.3} below advertised {min_recall}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

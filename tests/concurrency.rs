@@ -64,7 +64,7 @@ fn parallel_queries_match_serial_results() {
         .collect();
 
     // Serial reference on an identical fresh engine.
-    let (_, mut serial) = {
+    let (_, serial) = {
         let d = movie_like(&MovieConfig::tiny());
         let v = vkg::build_from_dataset(
             &d,
@@ -90,7 +90,7 @@ fn parallel_queries_match_serial_results() {
     for (qi, &u) in users.iter().enumerate() {
         let shared = Arc::clone(&shared);
         handles.push(std::thread::spawn(move || {
-            let mut guard = shared.lock();
+            let guard = shared.lock();
             let r = guard.top_k(u, likes, Direction::Tails, 5).unwrap();
             (qi, r.predictions.iter().map(|p| p.id).collect::<Vec<_>>())
         }));
@@ -109,6 +109,82 @@ fn parallel_queries_match_serial_results() {
     shared.lock().index().check_invariants();
 }
 
+/// Snapshot isolation: readers holding `Arc<VkgSnapshot>` clones make
+/// progress while the index write lock is held for the whole duration —
+/// the read path never touches the engine lock.
+#[test]
+fn snapshot_readers_progress_while_writer_holds_index_lock() {
+    let (ds, vkg) = build();
+    let likes = ds.graph.relation_id("likes").unwrap();
+    let snap = vkg.snapshot();
+
+    // The "writer": grab the engine write lock and sit on it, as a
+    // long-running crack would.
+    let writer_guard = vkg.index_mut();
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let n_readers = 4;
+    let mut handles = Vec::new();
+    for t in 0..n_readers {
+        let snap = Arc::clone(&snap);
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut checksum = 0usize;
+            for u in 0..6 {
+                let user = snap.graph().entity_id(&format!("user_{u}")).unwrap();
+                let q = snap.query_point_s1(user, likes, Direction::Tails).unwrap();
+                checksum += q.len();
+                checksum += snap.known_neighbors(user, likes, Direction::Tails).len();
+                checksum += snap.project(&q).len();
+            }
+            tx.send((t, checksum)).unwrap();
+        }));
+    }
+
+    // Readers must finish while the write lock is still held; a deadlock
+    // (reads secretly routed through the engine lock) trips the timeout.
+    for _ in 0..n_readers {
+        let (_, checksum) = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("snapshot readers must progress while the index lock is held");
+        assert!(checksum > 0);
+    }
+    drop(writer_guard);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // With the lock released, writers crack and readers keep reading
+    // concurrently through the same facade.
+    let shared = Arc::new(vkg);
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let user = shared.graph().entity_id(&format!("user_{t}")).unwrap();
+            let r = shared.top_k(user, likes, Direction::Tails, 3).unwrap();
+            assert!(r.predictions.len() <= 3);
+        }));
+    }
+    let snap2 = shared.snapshot();
+    for t in 0..4 {
+        let snap2 = Arc::clone(&snap2);
+        handles.push(std::thread::spawn(move || {
+            let user = snap2.graph().entity_id(&format!("user_{t}")).unwrap();
+            assert!(
+                !snap2
+                    .known_neighbors(user, likes, Direction::Tails)
+                    .is_empty()
+                    || snap2.graph().num_entities() > 0
+            );
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    shared.index().check_invariants();
+}
+
 #[test]
 fn index_stats_are_coherent_after_concurrent_load() {
     let (ds, vkg) = build();
@@ -119,7 +195,7 @@ fn index_stats_are_coherent_after_concurrent_load() {
         let shared = Arc::clone(&shared);
         let ds_users = ds.graph.entity_id(&format!("user_{t}")).unwrap();
         handles.push(std::thread::spawn(move || {
-            let mut guard = shared.lock();
+            let guard = shared.lock();
             let _ = guard.top_k(ds_users, likes, Direction::Tails, 3).unwrap();
         }));
     }

@@ -34,9 +34,7 @@ fn cold_start_entity_becomes_queryable() {
     // existing user's "likes" query lands — it must become that user's
     // top prediction.
     let user = vkg.graph().entity_id("user_1").unwrap();
-    let target = vkg
-        .query_point_s1(user, likes, Direction::Tails)
-        .unwrap();
+    let target = vkg.query_point_s1(user, likes, Direction::Tails).unwrap();
     let new_movie = vkg.add_entity_dynamic("movie_coldstart", &target);
     vkg.index().check_invariants();
 
@@ -97,7 +95,9 @@ fn duplicate_fact_is_noop() {
         .copied()
         .unwrap();
     let h_before = vkg.embeddings().entity(t.head).to_vec();
-    assert!(!vkg.add_fact_dynamic(t.head, likes, t.tail, 5, 0.05).unwrap());
+    assert!(!vkg
+        .add_fact_dynamic(t.head, likes, t.tail, 5, 0.05)
+        .unwrap());
     assert_eq!(
         vkg.embeddings().entity(t.head),
         h_before.as_slice(),

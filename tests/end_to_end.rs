@@ -14,7 +14,7 @@ fn fast_embed() -> TransEConfig {
 #[test]
 fn movie_pipeline_end_to_end() {
     let ds = movie_like(&MovieConfig::tiny());
-    let mut vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
+    let vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
 
     let likes = vkg.graph().relation_id("likes").unwrap();
     let user = vkg.graph().entity_id("user_3").unwrap();
@@ -37,7 +37,7 @@ fn movie_pipeline_end_to_end() {
 #[test]
 fn amazon_pipeline_with_aggregates() {
     let ds = amazon_like(&AmazonConfig::tiny());
-    let mut vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
+    let vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
 
     let likes = vkg.graph().relation_id("likes").unwrap();
     let user = vkg.graph().entity_id("user_1").unwrap();
@@ -67,7 +67,7 @@ fn amazon_pipeline_with_aggregates() {
 #[test]
 fn freebase_pipeline_multi_relation() {
     let ds = freebase_like(&FreebaseConfig::tiny());
-    let mut vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
+    let vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
 
     // Query across several distinct relation types with one index.
     let mut used = std::collections::HashSet::new();
@@ -90,7 +90,7 @@ fn freebase_pipeline_multi_relation() {
 #[test]
 fn index_converges_over_query_sequence() {
     let ds = movie_like(&MovieConfig::tiny());
-    let mut vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
+    let vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
     let likes = vkg.graph().relation_id("likes").unwrap();
 
     let mut node_counts = Vec::new();
@@ -116,7 +116,7 @@ fn topk_split_strategy_end_to_end() {
         split_strategy: SplitStrategy::TopK { choices: 3 },
         ..VkgConfig::default()
     };
-    let mut vkg = vkg::build_from_dataset(&ds, fast_embed(), cfg);
+    let vkg = vkg::build_from_dataset(&ds, fast_embed(), cfg);
     let likes = vkg.graph().relation_id("likes").unwrap();
     for u in 0..6 {
         let user = vkg.graph().entity_id(&format!("user_{u}")).unwrap();
@@ -129,7 +129,7 @@ fn topk_split_strategy_end_to_end() {
 #[test]
 fn guarantees_reported_and_sane() {
     let ds = movie_like(&MovieConfig::tiny());
-    let mut vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
+    let vkg = vkg::build_from_dataset(&ds, fast_embed(), VkgConfig::default());
     let likes = vkg.graph().relation_id("likes").unwrap();
     let user = vkg.graph().entity_id("user_0").unwrap();
     let r = vkg.top_k(user, likes, Direction::Tails, 5).unwrap();

@@ -55,18 +55,14 @@ fn graph_tsv_roundtrip_preserves_queries() {
         ..TransEConfig::default()
     })
     .train(&canonical);
-    let mut a = VirtualKnowledgeGraph::assemble(
+    let a = VirtualKnowledgeGraph::assemble(
         canonical.clone(),
         AttributeStore::new(),
         store.clone(),
         VkgConfig::default(),
     );
-    let mut b = VirtualKnowledgeGraph::assemble(
-        graph2,
-        AttributeStore::new(),
-        store,
-        VkgConfig::default(),
-    );
+    let b =
+        VirtualKnowledgeGraph::assemble(graph2, AttributeStore::new(), store, VkgConfig::default());
     let likes = canonical.relation_id("likes").unwrap();
     let mut asked = 0;
     for u in 0..10 {
@@ -93,13 +89,13 @@ fn embedding_tsv_roundtrip_preserves_answers() {
     let store2 = embed_io::read_tsv(buf.as_slice()).unwrap();
     assert_eq!(store2.dim(), store.dim());
 
-    let mut a = VirtualKnowledgeGraph::assemble(
+    let a = VirtualKnowledgeGraph::assemble(
         ds.graph.clone(),
         ds.attributes.clone(),
         store,
         VkgConfig::default(),
     );
-    let mut b = VirtualKnowledgeGraph::assemble(
+    let b = VirtualKnowledgeGraph::assemble(
         ds.graph.clone(),
         ds.attributes.clone(),
         store2,
