@@ -1,0 +1,275 @@
+//! Open-loop load generator for the `vkg-server` serving layer.
+//!
+//! Starts an in-process server over the smoke-scale movie dataset, then
+//! drives it at a target QPS: request *i* is launched at
+//! `start + i/qps` regardless of how long earlier requests took (open
+//! loop — the arrival process does not slow down when the server does,
+//! so queueing delay shows up in the latencies instead of being hidden
+//! by back-pressure). Reports hand-rolled p50/p95/p99/max latency
+//! histograms, the shed rate, and the error count.
+//!
+//! ```text
+//! cargo run --release -p vkg-bench --bin serve_load -- --qps 150 --seconds 2 --seed 7 --check
+//! ```
+//!
+//! `--check` exits non-zero unless every completed request succeeded
+//! and at least one completed — the CI tier-2 gate.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vkg::prelude::*;
+use vkg_bench::latency::Histogram;
+use vkg_bench::setup::{self, Scale};
+use vkg_bench::workload;
+use vkg_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
+
+struct Args {
+    qps: f64,
+    seconds: f64,
+    connections: usize,
+    seed: u64,
+    write_ratio: f64,
+    workers: usize,
+    queue_capacity: usize,
+    check: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            qps: 200.0,
+            seconds: 5.0,
+            connections: 4,
+            seed: 7,
+            write_ratio: 0.02,
+            workers: 4,
+            queue_capacity: 128,
+            check: false,
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: serve_load [--qps N] [--seconds N] [--connections N] [--seed N]\n\
+         \x20                 [--write-ratio F] [--workers N] [--queue N] [--check]"
+    );
+}
+
+fn parse_args() -> Option<Args> {
+    let mut a = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> Option<f64> {
+            match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => Some(v),
+                _ => {
+                    eprintln!("serve_load: {what} wants a positive number");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--qps" => a.qps = num("--qps")?,
+            "--seconds" => a.seconds = num("--seconds")?,
+            "--connections" => a.connections = num("--connections")? as usize,
+            "--seed" => a.seed = num("--seed")? as u64,
+            "--write-ratio" => a.write_ratio = num("--write-ratio")?.min(1.0),
+            "--workers" => a.workers = num("--workers")? as usize,
+            "--queue" => a.queue_capacity = num("--queue")? as usize,
+            "--check" => a.check = true,
+            _ => {
+                usage();
+                return None;
+            }
+        }
+    }
+    Some(a)
+}
+
+/// Per-connection tally, merged after the run.
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    shed: u64,
+    deadline_expired: u64,
+    errors: u64,
+    hist: Histogram,
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return ExitCode::FAILURE;
+    };
+
+    eprintln!("serve_load: preparing smoke-scale movie dataset + embeddings...");
+    let prepared = setup::movie(Scale::Smoke, 16);
+    let graph = prepared.dataset.graph.clone();
+    let vkg = Arc::new(VirtualKnowledgeGraph::assemble(
+        prepared.dataset.graph,
+        prepared.dataset.attributes,
+        prepared.embeddings,
+        setup::bench_config(),
+    ));
+    let handle = Server::start(
+        Arc::clone(&vkg),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: args.workers,
+            queue_capacity: args.queue_capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = handle.addr();
+
+    let total = (args.qps * args.seconds).ceil() as u64;
+    let queries = Arc::new(workload::generate(&graph, total as usize, args.seed));
+    let entities = graph.num_entities() as u32;
+    eprintln!(
+        "serve_load: {} requests at {} QPS over {} connections -> {}",
+        total, args.qps, args.connections, addr
+    );
+
+    // Open loop: a shared ticket counter assigns each request its
+    // absolute launch time; whichever connection is free next takes it.
+    let tickets = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let senders: Vec<_> = (0..args.connections)
+        .map(|c| {
+            let tickets = Arc::clone(&tickets);
+            let queries = Arc::clone(&queries);
+            let write_ratio = args.write_ratio;
+            let qps = args.qps;
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect load connection");
+                let mut tally = Tally::default();
+                loop {
+                    let i = tickets.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let due = start + Duration::from_secs_f64(i as f64 / qps);
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        thread::sleep(wait);
+                    }
+                    // A deterministic slice of the stream becomes
+                    // dynamic writes; everything else alternates top-k
+                    // and aggregates.
+                    let write_every = if write_ratio > 0.0 {
+                        (1.0 / write_ratio) as u64
+                    } else {
+                        u64::MAX
+                    };
+                    let q = &queries[i as usize];
+                    let sent = Instant::now();
+                    let outcome = if i % write_every == write_every - 1 {
+                        let h = q.entity;
+                        let t = EntityId((h.0 * 31 + i as u32 * 7 + c as u32) % entities);
+                        client.add_fact(h, q.relation, t, 2, 0.01).map(|_| ())
+                    } else if i % 10 == 9 {
+                        client
+                            .aggregate(
+                                q.entity,
+                                q.relation,
+                                q.direction,
+                                AggregateKind::Count,
+                                None,
+                                0.05,
+                                None,
+                            )
+                            .map(|_| ())
+                    } else {
+                        client
+                            .top_k(q.entity, q.relation, q.direction, 10)
+                            .map(|_| ())
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            tally.hist.record(sent.elapsed());
+                            tally.completed += 1;
+                        }
+                        Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {
+                            tally.shed += 1;
+                        }
+                        Err(ClientError::Server(e)) if e.code == ErrorCode::DeadlineExceeded => {
+                            tally.deadline_expired += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("serve_load: request {i} failed: {e}");
+                            tally.errors += 1;
+                        }
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut merged = Tally::default();
+    for s in senders {
+        let t = s.join().expect("sender thread");
+        merged.completed += t.completed;
+        merged.shed += t.shed;
+        merged.deadline_expired += t.deadline_expired;
+        merged.errors += t.errors;
+        merged.hist.merge(&t.hist);
+    }
+    let elapsed = start.elapsed();
+    let counters = handle.shutdown();
+
+    let issued = merged.completed + merged.shed + merged.deadline_expired + merged.errors;
+    let shed_rate = merged.shed as f64 / issued.max(1) as f64;
+    println!("serve_load results");
+    println!(
+        "  issued={} completed={} shed={} ({:.2}%) deadline_expired={} errors={}",
+        issued,
+        merged.completed,
+        merged.shed,
+        shed_rate * 1e2,
+        merged.deadline_expired,
+        merged.errors
+    );
+    println!(
+        "  offered={:.0} QPS achieved={:.0} QPS over {:.2}s",
+        args.qps,
+        merged.completed as f64 / elapsed.as_secs_f64(),
+        elapsed.as_secs_f64()
+    );
+    println!("  latency {}", merged.hist.summary());
+    println!(
+        "  server counters: admitted={} answered={} shed={} deadline_expired={} drained={}",
+        counters.admitted,
+        counters.answered,
+        counters.shed,
+        counters.deadline_expired,
+        counters.drained
+    );
+
+    if args.check {
+        if merged.errors > 0 {
+            eprintln!(
+                "serve_load: CHECK FAILED — {} request errors",
+                merged.errors
+            );
+            return ExitCode::FAILURE;
+        }
+        if merged.completed == 0 {
+            eprintln!("serve_load: CHECK FAILED — no request completed");
+            return ExitCode::FAILURE;
+        }
+        if counters.admitted != counters.answered {
+            eprintln!(
+                "serve_load: CHECK FAILED — admitted {} != answered {}",
+                counters.admitted, counters.answered
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("serve_load: CHECK OK");
+    }
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod latency;
 pub mod report;
 pub mod setup;
 pub mod workload;

@@ -51,4 +51,4 @@ pub use query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
 pub use query::topk::TopKResult;
 pub use snapshot::{Direction, VkgSnapshot};
 pub use stats::IndexStats;
-pub use vkg::VirtualKnowledgeGraph;
+pub use vkg::{SnapRef, VirtualKnowledgeGraph};

@@ -7,9 +7,19 @@
 //! any number of readers resolve entities, embeddings and query points
 //! through the snapshot without ever touching the lock, while queries —
 //! which may crack the index — serialize on the engine's write lock.
+//!
+//! Dynamic updates are **epoch-swapped**: every write takes `&self`,
+//! serializes on the engine lock (single-writer), builds a fresh
+//! snapshot, and *publishes* it by swapping the shared `Arc` and bumping
+//! the epoch counter. Readers holding an older `Arc` clone keep a
+//! consistent pre-update view; new readers pick up the new epoch with a
+//! single pointer load. This is the concurrency contract the serving
+//! layer (`vkg-server`) extends across the process boundary.
+//!
 //! Queries follow the paper's default E′-only semantics: results never
 //! include edges already in `E`, nor the query entity itself.
 
+use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
@@ -62,15 +72,53 @@ impl DerefMut for IndexGuardMut<'_> {
     }
 }
 
+/// A borrow projected out of the currently-published snapshot.
+///
+/// The facade's component accessors ([`VirtualKnowledgeGraph::graph`]
+/// and friends) hand these out instead of plain references because the
+/// published snapshot can be *swapped* by a concurrent dynamic update:
+/// the `SnapRef` pins the epoch it was taken at (an `Arc` clone), so the
+/// borrow stays valid — and internally consistent — however long it is
+/// held, without holding any lock.
+pub struct SnapRef<T: ?Sized + 'static> {
+    snap: Arc<VkgSnapshot>,
+    project: fn(&VkgSnapshot) -> &T,
+}
+
+impl<T: ?Sized> Deref for SnapRef<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        (self.project)(&self.snap)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for SnapRef<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// The published read side: the current snapshot plus the epoch counter
+/// that advances on every publication.
+#[derive(Debug)]
+struct Published {
+    epoch: u64,
+    snap: Arc<VkgSnapshot>,
+}
+
 /// A knowledge graph extended with predicted, probabilistic edges, indexed
 /// for predictive top-k and aggregate queries.
 ///
-/// All query methods take `&self`: reads go through the shared snapshot
-/// lock-free, and the index mutations a query implies (cracking) are
-/// serialized behind the internal engine lock.
+/// All query **and update** methods take `&self`: reads go through the
+/// currently-published snapshot lock-free, index mutations a query
+/// implies (cracking) serialize behind the internal engine lock, and
+/// dynamic updates act as a single writer that publishes a fresh
+/// snapshot epoch. The facade is `Send + Sync` and is shared behind an
+/// `Arc` by the serving layer with no outer lock.
 #[derive(Debug)]
 pub struct VirtualKnowledgeGraph {
-    snapshot: Arc<VkgSnapshot>,
+    published: RwLock<Published>,
     engine: RwLock<IndexState>,
 }
 
@@ -103,7 +151,13 @@ impl VirtualKnowledgeGraph {
     ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
         let engine = RwLock::new(IndexState::cracking(&snapshot));
-        Ok(Self { snapshot, engine })
+        Ok(Self {
+            published: RwLock::new(Published {
+                epoch: 0,
+                snap: snapshot,
+            }),
+            engine,
+        })
     }
 
     /// Assembles with a fully **bulk-loaded** offline index (the
@@ -133,35 +187,66 @@ impl VirtualKnowledgeGraph {
     ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
         let engine = RwLock::new(IndexState::bulk_loaded(&snapshot));
-        Ok(Self { snapshot, engine })
+        Ok(Self {
+            published: RwLock::new(Published {
+                epoch: 0,
+                snap: snapshot,
+            }),
+            engine,
+        })
     }
 
     /// The immutable read side, shareable across threads. Clones of this
     /// `Arc` stay valid (and lock-free) while other threads query — they
     /// observe the snapshot as of the clone, unaffected by later dynamic
-    /// updates (which copy-on-write a fresh snapshot).
+    /// updates (which publish a fresh snapshot).
     pub fn snapshot(&self) -> Arc<VkgSnapshot> {
-        Arc::clone(&self.snapshot)
+        self.published.read().snap.clone()
     }
 
-    /// The materialized knowledge graph.
-    pub fn graph(&self) -> &KnowledgeGraph {
-        self.snapshot.graph()
+    /// The currently-published `(epoch, snapshot)` pair, read atomically.
+    /// The epoch starts at 0 and advances by one per dynamic update, so
+    /// two reads with equal epochs saw byte-identical snapshots.
+    pub fn published(&self) -> (u64, Arc<VkgSnapshot>) {
+        let p = self.published.read();
+        (p.epoch, p.snap.clone())
     }
 
-    /// The attribute store.
-    pub fn attributes(&self) -> &AttributeStore {
-        self.snapshot.attributes()
+    /// The current snapshot epoch (number of published dynamic updates).
+    pub fn epoch(&self) -> u64 {
+        self.published.read().epoch
     }
 
-    /// The embedding store (space S₁).
-    pub fn embeddings(&self) -> &EmbeddingStore {
-        self.snapshot.embeddings()
+    /// The materialized knowledge graph (pinned at the current epoch).
+    pub fn graph(&self) -> SnapRef<KnowledgeGraph> {
+        SnapRef {
+            snap: self.snapshot(),
+            project: VkgSnapshot::graph,
+        }
     }
 
-    /// The configuration in effect.
-    pub fn config(&self) -> &VkgConfig {
-        self.snapshot.config()
+    /// The attribute store (pinned at the current epoch).
+    pub fn attributes(&self) -> SnapRef<AttributeStore> {
+        SnapRef {
+            snap: self.snapshot(),
+            project: VkgSnapshot::attributes,
+        }
+    }
+
+    /// The embedding store, space S₁ (pinned at the current epoch).
+    pub fn embeddings(&self) -> SnapRef<EmbeddingStore> {
+        SnapRef {
+            snap: self.snapshot(),
+            project: VkgSnapshot::embeddings,
+        }
+    }
+
+    /// The configuration in effect (pinned at the current epoch).
+    pub fn config(&self) -> SnapRef<VkgConfig> {
+        SnapRef {
+            snap: self.snapshot(),
+            project: VkgSnapshot::config,
+        }
     }
 
     /// Index statistics (splits, nodes, per-query access counters).
@@ -191,7 +276,24 @@ impl VirtualKnowledgeGraph {
         relation: RelationId,
         direction: Direction,
     ) -> VkgResult<Vec<f64>> {
-        self.snapshot.query_point_s1(entity, relation, direction)
+        self.snapshot().query_point_s1(entity, relation, direction)
+    }
+
+    /// Runs `f` with the engine lock held against the currently-published
+    /// snapshot — the epoch-consistent entry point the serving layer
+    /// builds on. While `f` runs no dynamic update can publish (writers
+    /// also hold the engine lock), so the epoch handed to `f` is exact
+    /// for the whole call.
+    ///
+    /// `f` must not call back into this facade (the engine lock is not
+    /// reentrant).
+    pub fn with_published_engine<R>(
+        &self,
+        f: impl FnOnce(u64, &VkgSnapshot, &mut IndexState) -> R,
+    ) -> R {
+        let mut engine = self.engine.write();
+        let (epoch, snap) = self.published();
+        f(epoch, &snap, &mut engine)
     }
 
     /// Top-k predicted entities for `(entity, relation)` in `direction`
@@ -203,9 +305,9 @@ impl VirtualKnowledgeGraph {
         direction: Direction,
         k: usize,
     ) -> VkgResult<TopKResult> {
-        self.engine
-            .write()
-            .top_k(&self.snapshot, entity, relation, direction, k)
+        self.with_published_engine(|_, snap, engine| {
+            engine.top_k(snap, entity, relation, direction, k)
+        })
     }
 
     /// Top-k restricted to entities accepted by `filter` (e.g. only
@@ -219,9 +321,9 @@ impl VirtualKnowledgeGraph {
         k: usize,
         filter: impl Fn(EntityId) -> bool,
     ) -> VkgResult<TopKResult> {
-        self.engine
-            .write()
-            .top_k_filtered(&self.snapshot, entity, relation, direction, k, &filter)
+        self.with_published_engine(|_, snap, engine| {
+            engine.top_k_filtered(snap, entity, relation, direction, k, &filter)
+        })
     }
 
     /// Answers an aggregate query over the probability ball around the
@@ -233,9 +335,9 @@ impl VirtualKnowledgeGraph {
         direction: Direction,
         spec: &AggregateSpec,
     ) -> VkgResult<AggregateResult> {
-        self.engine
-            .write()
-            .aggregate(&self.snapshot, entity, relation, direction, spec)
+        self.with_published_engine(|_, snap, engine| {
+            engine.aggregate(snap, entity, relation, direction, spec)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -244,10 +346,21 @@ impl VirtualKnowledgeGraph {
     // local too, as most (h, r, t) soft constraints still hold. We plan
     // to do incremental updates on our partial index.")
     //
-    // Updates take `&mut self`: the snapshot is copy-on-written via
-    // `Arc::make_mut`, so concurrent readers holding an older snapshot
-    // clone keep a consistent (pre-update) view.
+    // Updates take `&self` and act as a single writer: they serialize on
+    // the engine's write lock, build the next snapshot off to the side,
+    // and publish it with an epoch bump. Concurrent readers holding an
+    // older snapshot clone keep a consistent (pre-update) view.
     // ------------------------------------------------------------------
+
+    /// Publishes `next` as the new snapshot epoch. Callers must hold the
+    /// engine write lock so the index and the published snapshot advance
+    /// together.
+    fn publish(&self, next: VkgSnapshot) -> u64 {
+        let mut p = self.published.write();
+        p.epoch += 1;
+        p.snap = Arc::new(next);
+        p.epoch
+    }
 
     /// Adds a new entity with a known S₁ embedding (e.g. produced by the
     /// external embedding pipeline for a cold-start item). The entity is
@@ -256,24 +369,26 @@ impl VirtualKnowledgeGraph {
     ///
     /// # Panics
     /// Panics if the embedding's dimensionality does not match the store.
-    pub fn add_entity_dynamic(&mut self, name: &str, s1_embedding: &[f64]) -> EntityId {
-        let engine = self.engine.get_mut();
-        let snap = Arc::make_mut(&mut self.snapshot);
-        let id = snap.graph_mut().add_entity(name);
-        if id.index() < snap.embeddings().num_entities() {
+    pub fn add_entity_dynamic(&self, name: &str, s1_embedding: &[f64]) -> EntityId {
+        let mut engine = self.engine.write();
+        let mut next = (*self.snapshot()).clone();
+        let id = next.graph_mut().add_entity(name);
+        if id.index() < next.embeddings().num_entities() {
             // The name was already interned — treat as an embedding update.
-            snap.embeddings_mut()
+            next.embeddings_mut()
                 .entity_mut(id)
                 .copy_from_slice(s1_embedding);
-            let s2 = snap.transform().apply(s1_embedding);
+            let s2 = next.transform().apply(s1_embedding);
             engine.index_mut().update_point(id.0, &s2);
+            self.publish(next);
             return id;
         }
-        let store_id = snap.embeddings_mut().push_entity(s1_embedding);
+        let store_id = next.embeddings_mut().push_entity(s1_embedding);
         debug_assert_eq!(store_id, id, "graph and store ids must stay aligned");
-        let s2 = snap.transform().apply(s1_embedding);
+        let s2 = next.transform().apply(s1_embedding);
         let point_id = engine.index_mut().insert_point(&s2);
         debug_assert_eq!(point_id, id.0, "index point ids must stay aligned");
+        self.publish(next);
         id
     }
 
@@ -286,26 +401,27 @@ impl VirtualKnowledgeGraph {
     ///
     /// Returns whether the edge was new.
     pub fn add_fact_dynamic(
-        &mut self,
+        &self,
         h: EntityId,
         r: RelationId,
         t: EntityId,
         refine_steps: usize,
         learning_rate: f64,
     ) -> VkgResult<bool> {
-        self.snapshot.check_ids(h, r)?;
-        self.snapshot.check_ids(t, r)?;
-        let engine = self.engine.get_mut();
-        let snap = Arc::make_mut(&mut self.snapshot);
-        let added = snap.graph_mut().add_triple(h, r, t)?;
+        let mut engine = self.engine.write();
+        let cur = self.snapshot();
+        cur.check_ids(h, r)?;
+        cur.check_ids(t, r)?;
+        let mut next = (*cur).clone();
+        let added = next.graph_mut().add_triple(h, r, t)?;
         if !added {
             return Ok(false);
         }
-        let d = snap.embeddings().dim();
+        let d = next.embeddings().dim();
         for _ in 0..refine_steps {
             let mut grad = vec![0.0; d];
             {
-                let embeddings = snap.embeddings();
+                let embeddings = next.embeddings();
                 let (hv, rv, tv) = (
                     embeddings.entity(h),
                     embeddings.relation(r),
@@ -315,25 +431,27 @@ impl VirtualKnowledgeGraph {
                     *g = 2.0 * (hv[i] + rv[i] - tv[i]);
                 }
             }
-            let embeddings = snap.embeddings_mut();
+            let embeddings = next.embeddings_mut();
             for (i, &g) in grad.iter().enumerate().take(d) {
                 embeddings.entity_mut(h)[i] -= learning_rate * g;
                 embeddings.entity_mut(t)[i] += learning_rate * g;
             }
         }
-        let h_s2 = snap.transform().apply(snap.embeddings().entity(h));
+        let h_s2 = next.transform().apply(next.embeddings().entity(h));
         engine.index_mut().update_point(h.0, &h_s2);
-        let t_s2 = snap.transform().apply(snap.embeddings().entity(t));
+        let t_s2 = next.transform().apply(next.embeddings().entity(t));
         engine.index_mut().update_point(t.0, &t_s2);
+        self.publish(next);
         Ok(true)
     }
 
     /// Sets (or updates) an attribute of an entity — aggregate queries
-    /// observe the new value immediately.
-    pub fn set_attribute_dynamic(&mut self, attr: &str, entity: EntityId, value: f64) {
-        Arc::make_mut(&mut self.snapshot)
-            .attributes_mut()
-            .set(attr, entity, value);
+    /// observe the new value from the next epoch on.
+    pub fn set_attribute_dynamic(&self, attr: &str, entity: EntityId, value: f64) {
+        let _engine = self.engine.write();
+        let mut next = (*self.snapshot()).clone();
+        next.attributes_mut().set(attr, entity, value);
+        self.publish(next);
     }
 
     /// Direct read access to the index (benchmarks, invariant checks).
@@ -410,10 +528,11 @@ mod tests {
         let likes = vkg.graph().relation_id("likes").unwrap();
         let r = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
         assert_eq!(r.predictions.len(), 2);
+        let graph = vkg.graph();
         let names: Vec<&str> = r
             .predictions
             .iter()
-            .map(|p| vkg.graph().entity_name(EntityId(p.id)).unwrap())
+            .map(|p| graph.entity_name(EntityId(p.id)).unwrap())
             .collect();
         // m0 is a known edge → skipped; the nearest predictions are m1
         // then m2 (u0 + likes = (10, 0.5): m1 at distance 1 along x ...
@@ -430,10 +549,8 @@ mod tests {
         let likes = vkg.graph().relation_id("likes").unwrap();
         // m2 − likes = (2, 0, …) → nearest user is u2.
         let r = vkg.top_k(m2, likes, Direction::Heads, 1).unwrap();
-        let name = vkg
-            .graph()
-            .entity_name(EntityId(r.predictions[0].id))
-            .unwrap();
+        let graph = vkg.graph();
+        let name = graph.entity_name(EntityId(r.predictions[0].id)).unwrap();
         assert_eq!(name, "u2");
     }
 
@@ -455,7 +572,7 @@ mod tests {
         let names: Vec<&str> = r
             .predictions
             .iter()
-            .map(|p| vkg.graph().entity_name(EntityId(p.id)).unwrap())
+            .map(|p| graph.entity_name(EntityId(p.id)).unwrap())
             .collect();
         assert_eq!(names, vec!["m2", "m4"], "m0 is a known edge");
     }
@@ -593,7 +710,7 @@ mod tests {
     #[test]
     fn snapshot_clone_survives_dynamic_update() {
         let (g, attrs, emb) = tiny_world(8);
-        let mut vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let before = vkg.snapshot();
         let n = before.graph().num_entities();
         let dim = before.embeddings().dim();
@@ -601,5 +718,65 @@ mod tests {
         // The old snapshot is frozen; the facade sees the new entity.
         assert_eq!(before.graph().num_entities(), n);
         assert_eq!(vkg.graph().num_entities(), n + 1);
+    }
+
+    #[test]
+    fn epoch_advances_once_per_publication() {
+        let (g, attrs, emb) = tiny_world(8);
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        assert_eq!(vkg.epoch(), 0);
+        let dim = vkg.embeddings().dim();
+        vkg.add_entity_dynamic("m_new", &vec![20.0; dim]);
+        assert_eq!(vkg.epoch(), 1);
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let m_new = vkg.graph().entity_id("m_new").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        // Queries never advance the epoch.
+        let _ = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
+        assert_eq!(vkg.epoch(), 1);
+        assert!(vkg.add_fact_dynamic(u0, likes, m_new, 2, 0.01).unwrap());
+        assert_eq!(vkg.epoch(), 2);
+        // A duplicate fact is a no-op and publishes nothing.
+        assert!(!vkg.add_fact_dynamic(u0, likes, m_new, 2, 0.01).unwrap());
+        assert_eq!(vkg.epoch(), 2);
+        vkg.set_attribute_dynamic("year", m_new, 2020.0);
+        assert_eq!(vkg.epoch(), 3);
+        // `published()` reads the pair atomically.
+        let (epoch, snap) = vkg.published();
+        assert_eq!(epoch, 3);
+        assert_eq!(snap.graph().num_entities(), vkg.graph().num_entities());
+    }
+
+    #[test]
+    fn dynamic_updates_take_shared_reference_behind_arc() {
+        let (g, attrs, emb) = tiny_world(8);
+        let vkg = std::sync::Arc::new(VirtualKnowledgeGraph::assemble(g, attrs, emb, config()));
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let u1 = vkg.graph().entity_id("u1").unwrap();
+        let m3 = vkg.graph().entity_id("m3").unwrap();
+        // No outer lock: the Arc alone suffices for the single writer.
+        let writer = {
+            let vkg = std::sync::Arc::clone(&vkg);
+            std::thread::spawn(move || vkg.add_fact_dynamic(u1, likes, m3, 2, 0.01).unwrap())
+        };
+        assert!(writer.join().unwrap());
+        assert!(vkg.graph().tails(u1, likes).any(|e| e == m3));
+    }
+
+    #[test]
+    fn with_published_engine_pins_one_epoch() {
+        let (g, attrs, emb) = tiny_world(8);
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let (epoch, ids) = vkg.with_published_engine(|epoch, snap, engine| {
+            let r = engine.top_k(snap, u0, likes, Direction::Tails, 2).unwrap();
+            (
+                epoch,
+                r.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(epoch, 0);
+        assert_eq!(ids.len(), 2);
     }
 }

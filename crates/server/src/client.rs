@@ -1,0 +1,220 @@
+//! Synchronous client for the vkg wire protocol: one TCP connection,
+//! one outstanding request at a time (call–response).
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use vkg_core::query::aggregate::AggregateKind;
+use vkg_core::Direction;
+use vkg_kg::{EntityId, RelationId};
+
+use crate::protocol::{
+    AggregateWire, Request, RequestOp, Response, ServerError, StatsWire, TopKWire, WireFilter,
+};
+use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME};
+
+/// Everything that can go wrong on the client side of a call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not decode (or the frame was truncated).
+    Wire(WireError),
+    /// The server answered with a typed refusal or failure.
+    Server(ServerError),
+    /// The server answered with a well-formed response of the wrong
+    /// kind for the request that was sent.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response variant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Shorthand result type for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A connected client. Cheap to construct; not thread-safe (use one
+/// client per thread, as the load generator does).
+pub struct Client {
+    stream: TcpStream,
+    /// Deadline stamped on requests issued through the typed helpers;
+    /// `0` defers to the server's default.
+    deadline_ms: u32,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            deadline_ms: 0,
+        })
+    }
+
+    /// Sets the per-request deadline stamped by the typed helpers
+    /// (`None` defers to the server default).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline_ms = deadline.map_or(0, |d| d.as_millis().min(u32::MAX as u128) as u32);
+    }
+
+    /// Sends one request and blocks for its response. The transport
+    /// failing mid-call (including server-side connection teardown
+    /// after a malformed frame) surfaces as `Io` or `Wire`.
+    pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        self.stream.flush()?;
+        match read_frame(&mut self.stream, MAX_FRAME)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(ClientError::Wire(WireError::Truncated)),
+        }
+    }
+
+    fn request(&self, op: RequestOp) -> Request {
+        Request {
+            deadline_ms: self.deadline_ms,
+            op,
+        }
+    }
+
+    /// Top-k predicted entities for `(entity, relation)` in `direction`.
+    pub fn top_k(
+        &mut self,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        k: usize,
+    ) -> ClientResult<TopKWire> {
+        let req = self.request(RequestOp::TopK {
+            entity: entity.0,
+            relation: relation.0,
+            direction,
+            k: k as u32,
+        });
+        match self.call(&req)? {
+            Response::TopK(t) => Ok(t),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted TopK")),
+        }
+    }
+
+    /// Top-k restricted by a declarative server-side filter.
+    pub fn top_k_filtered(
+        &mut self,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        k: usize,
+        filter: WireFilter,
+    ) -> ClientResult<TopKWire> {
+        let req = self.request(RequestOp::TopKFiltered {
+            entity: entity.0,
+            relation: relation.0,
+            direction,
+            k: k as u32,
+            filter,
+        });
+        match self.call(&req)? {
+            Response::TopK(t) => Ok(t),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted TopK")),
+        }
+    }
+
+    /// Aggregate over the probability ball around `(entity, relation)`.
+    /// Mirrors the wire message field-for-field, hence the arity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregate(
+        &mut self,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        kind: AggregateKind,
+        attribute: Option<&str>,
+        p_tau: f64,
+        sample_size: Option<usize>,
+    ) -> ClientResult<AggregateWire> {
+        let req = self.request(RequestOp::Aggregate {
+            entity: entity.0,
+            relation: relation.0,
+            direction,
+            kind,
+            attribute: attribute.map(str::to_string),
+            p_tau,
+            sample_size: sample_size.map(|a| a.min(u32::MAX as usize) as u32),
+        });
+        match self.call(&req)? {
+            Response::Aggregate(a) => Ok(a),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted Aggregate")),
+        }
+    }
+
+    /// Appends a fact with local embedding refinement. Returns
+    /// `(added, epoch)` — the epoch after the write.
+    pub fn add_fact(
+        &mut self,
+        h: EntityId,
+        r: RelationId,
+        t: EntityId,
+        refine_steps: usize,
+        learning_rate: f64,
+    ) -> ClientResult<(bool, u64)> {
+        let req = self.request(RequestOp::AddFactDynamic {
+            h: h.0,
+            r: r.0,
+            t: t.0,
+            refine_steps: refine_steps as u32,
+            learning_rate,
+        });
+        match self.call(&req)? {
+            Response::FactAdded { added, epoch } => Ok((added, epoch)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted FactAdded")),
+        }
+    }
+
+    /// Engine + server statistics at the current epoch.
+    pub fn stats(&mut self) -> ClientResult<StatsWire> {
+        match self.call(&self.request(RequestOp::Stats))? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted Stats")),
+        }
+    }
+
+    /// Asks the server to drain gracefully. The server acknowledges,
+    /// then stops admitting work and exits once in-flight requests are
+    /// answered.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.call(&self.request(RequestOp::Shutdown))? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted ShuttingDown")),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! `vkg-server` — a hand-rolled TCP query-serving subsystem for the
+//! virtual knowledge graph, built on `std::net` only.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`wire`] — length-prefixed framing (`u32` LE length + payload),
+//!   incremental [`wire::FrameBuffer`] reassembly, and the `Enc`/`Dec`
+//!   primitives. Decoding fails closed: truncated prefixes, oversized
+//!   frames, and trailing bytes are typed [`wire::WireError`]s, never
+//!   panics.
+//! * [`protocol`] — the versioned message set: `TopK`, `TopKFiltered`,
+//!   `Aggregate`, `AddFactDynamic`, `Stats`, `Shutdown` requests and
+//!   their typed responses, including the [`protocol::ErrorCode`]
+//!   vocabulary for admission-control refusals (`Overloaded`,
+//!   `DeadlineExceeded`, `Draining`).
+//! * [`server`] — accept loop + per-connection threads + a bounded
+//!   admission queue feeding a fixed worker pool. A full queue sheds
+//!   load explicitly; admitted work is always answered (the
+//!   `admitted == answered` invariant), and reads pin one snapshot
+//!   epoch end-to-end via the facade's epoch-swap publication.
+//! * [`client`] — a synchronous [`client::Client`] speaking the same
+//!   protocol, used by the test suite and `vkg-bench`'s `serve_load`
+//!   load generator.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vkg_server::{Client, Server, ServerConfig};
+//! # fn vkg() -> vkg_core::vkg::VirtualKnowledgeGraph { unimplemented!() }
+//!
+//! let handle = Server::start(Arc::new(vkg()), "127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let top = client.top_k(vkg_kg::EntityId(0), vkg_kg::RelationId(0), vkg_core::Direction::Tails, 5)?;
+//! println!("epoch {}: {} predictions", top.epoch, top.predictions.len());
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use protocol::{
+    AggregateWire, ErrorCode, PredictionWire, Request, RequestOp, Response, ServerCounters,
+    ServerError, StatsWire, TopKWire, WireFilter,
+};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{WireError, MAX_FRAME, WIRE_VERSION};

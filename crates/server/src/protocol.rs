@@ -1,0 +1,902 @@
+//! The request/response messages of the serving protocol.
+//!
+//! Every message encodes to one frame payload: `[version][opcode][body]`.
+//! Request opcodes occupy `0x01..=0x7F`; responses set the high bit.
+//! Encoding is hand-rolled over [`crate::wire`]'s primitives and every
+//! variant round-trips bit-exactly (`encode` → `decode` is the
+//! identity), which the property tests in `tests/wire_roundtrip.rs`
+//! enforce per variant.
+
+use vkg_core::engine::{Accuracy, EngineStats};
+use vkg_core::query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
+use vkg_core::query::topk::TopKResult;
+use vkg_core::{Direction, VkgError};
+
+use crate::wire::{Dec, Enc, WireError, WIRE_VERSION};
+
+/// Request opcodes (`0x01..=0x7F`).
+mod op {
+    pub const TOP_K: u8 = 0x01;
+    pub const TOP_K_FILTERED: u8 = 0x02;
+    pub const AGGREGATE: u8 = 0x03;
+    pub const ADD_FACT: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const SHUTDOWN: u8 = 0x06;
+
+    pub const R_TOP_K: u8 = 0x81;
+    pub const R_AGGREGATE: u8 = 0x82;
+    pub const R_FACT_ADDED: u8 = 0x83;
+    pub const R_STATS: u8 = 0x84;
+    pub const R_SHUTTING_DOWN: u8 = 0x85;
+    pub const R_ERROR: u8 = 0xE0;
+}
+
+/// A server-side filter a client can attach to a top-k query. Closures
+/// do not cross the wire, so the protocol offers the two declarative
+/// shapes the examples use: a name prefix and a dense-id range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFilter {
+    /// Keep entities whose interned name starts with the prefix.
+    NamePrefix(String),
+    /// Keep entities with `lo <= id < hi`.
+    IdRange {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Exclusive upper bound.
+        hi: u32,
+    },
+}
+
+impl WireFilter {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            WireFilter::NamePrefix(p) => {
+                e.u8(0);
+                e.str(p);
+            }
+            WireFilter::IdRange { lo, hi } => {
+                e.u8(1);
+                e.u32(*lo);
+                e.u32(*hi);
+            }
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        match d.u8()? {
+            0 => Ok(WireFilter::NamePrefix(d.str()?)),
+            1 => Ok(WireFilter::IdRange {
+                lo: d.u32()?,
+                hi: d.u32()?,
+            }),
+            _ => Err(WireError::Malformed("filter tag")),
+        }
+    }
+}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOp {
+    /// Predictive top-k entities (Algorithm 3).
+    TopK {
+        /// Dense entity id.
+        entity: u32,
+        /// Dense relation id.
+        relation: u32,
+        /// Query direction.
+        direction: Direction,
+        /// Number of entities requested.
+        k: u32,
+    },
+    /// Top-k restricted by a declarative filter.
+    TopKFiltered {
+        /// Dense entity id.
+        entity: u32,
+        /// Dense relation id.
+        relation: u32,
+        /// Query direction.
+        direction: Direction,
+        /// Number of entities requested.
+        k: u32,
+        /// Candidate filter.
+        filter: WireFilter,
+    },
+    /// Aggregate over the probability ball (§V-B).
+    Aggregate {
+        /// Dense entity id.
+        entity: u32,
+        /// Dense relation id.
+        relation: u32,
+        /// Query direction.
+        direction: Direction,
+        /// Which aggregate to compute.
+        kind: AggregateKind,
+        /// Attribute name (required for all but COUNT).
+        attribute: Option<String>,
+        /// Probability threshold `p_τ`.
+        p_tau: f64,
+        /// Access budget `a` (`None` = all ball members).
+        sample_size: Option<u32>,
+    },
+    /// Appends a fact and locally refines embeddings (single-writer).
+    AddFactDynamic {
+        /// Head entity id.
+        h: u32,
+        /// Relation id.
+        r: u32,
+        /// Tail entity id.
+        t: u32,
+        /// Local gradient refinement steps.
+        refine_steps: u32,
+        /// Refinement learning rate.
+        learning_rate: f64,
+    },
+    /// Engine + server statistics at the current epoch.
+    Stats,
+    /// Begin a graceful drain: stop admitting, finish in-flight work.
+    Shutdown,
+}
+
+/// One request frame: a deadline plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Per-request deadline in milliseconds, measured from admission;
+    /// `0` means "use the server's default deadline".
+    pub deadline_ms: u32,
+    /// The operation.
+    pub op: RequestOp,
+}
+
+fn dir_byte(d: Direction) -> u8 {
+    match d {
+        Direction::Tails => 0,
+        Direction::Heads => 1,
+    }
+}
+
+fn dir_from(b: u8) -> Result<Direction, WireError> {
+    match b {
+        0 => Ok(Direction::Tails),
+        1 => Ok(Direction::Heads),
+        _ => Err(WireError::Malformed("direction byte")),
+    }
+}
+
+fn kind_byte(k: AggregateKind) -> u8 {
+    match k {
+        AggregateKind::Count => 0,
+        AggregateKind::Sum => 1,
+        AggregateKind::Avg => 2,
+        AggregateKind::Max => 3,
+        AggregateKind::Min => 4,
+    }
+}
+
+fn kind_from(b: u8) -> Result<AggregateKind, WireError> {
+    Ok(match b {
+        0 => AggregateKind::Count,
+        1 => AggregateKind::Sum,
+        2 => AggregateKind::Avg,
+        3 => AggregateKind::Max,
+        4 => AggregateKind::Min,
+        _ => return Err(WireError::Malformed("aggregate kind byte")),
+    })
+}
+
+impl Request {
+    /// Encodes to one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(WIRE_VERSION);
+        let opcode = match &self.op {
+            RequestOp::TopK { .. } => op::TOP_K,
+            RequestOp::TopKFiltered { .. } => op::TOP_K_FILTERED,
+            RequestOp::Aggregate { .. } => op::AGGREGATE,
+            RequestOp::AddFactDynamic { .. } => op::ADD_FACT,
+            RequestOp::Stats => op::STATS,
+            RequestOp::Shutdown => op::SHUTDOWN,
+        };
+        e.u8(opcode);
+        e.u32(self.deadline_ms);
+        match &self.op {
+            RequestOp::TopK {
+                entity,
+                relation,
+                direction,
+                k,
+            } => {
+                e.u32(*entity);
+                e.u32(*relation);
+                e.u8(dir_byte(*direction));
+                e.u32(*k);
+            }
+            RequestOp::TopKFiltered {
+                entity,
+                relation,
+                direction,
+                k,
+                filter,
+            } => {
+                e.u32(*entity);
+                e.u32(*relation);
+                e.u8(dir_byte(*direction));
+                e.u32(*k);
+                filter.encode(&mut e);
+            }
+            RequestOp::Aggregate {
+                entity,
+                relation,
+                direction,
+                kind,
+                attribute,
+                p_tau,
+                sample_size,
+            } => {
+                e.u32(*entity);
+                e.u32(*relation);
+                e.u8(dir_byte(*direction));
+                e.u8(kind_byte(*kind));
+                match attribute {
+                    None => e.u8(0),
+                    Some(a) => {
+                        e.u8(1);
+                        e.str(a);
+                    }
+                }
+                e.f64(*p_tau);
+                match sample_size {
+                    None => e.u8(0),
+                    Some(a) => {
+                        e.u8(1);
+                        e.u32(*a);
+                    }
+                }
+            }
+            RequestOp::AddFactDynamic {
+                h,
+                r,
+                t,
+                refine_steps,
+                learning_rate,
+            } => {
+                e.u32(*h);
+                e.u32(*r);
+                e.u32(*t);
+                e.u32(*refine_steps);
+                e.f64(*learning_rate);
+            }
+            RequestOp::Stats | RequestOp::Shutdown => {}
+        }
+        e.finish()
+    }
+
+    /// Decodes one frame payload. Fails closed on any malformation.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        if payload.len() < crate::wire::MIN_PAYLOAD {
+            return Err(WireError::FrameTooShort(payload.len()));
+        }
+        let mut d = Dec::new(payload);
+        let version = d.u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let opcode = d.u8()?;
+        let deadline_ms = d.u32()?;
+        let op = match opcode {
+            op::TOP_K => RequestOp::TopK {
+                entity: d.u32()?,
+                relation: d.u32()?,
+                direction: dir_from(d.u8()?)?,
+                k: d.u32()?,
+            },
+            op::TOP_K_FILTERED => RequestOp::TopKFiltered {
+                entity: d.u32()?,
+                relation: d.u32()?,
+                direction: dir_from(d.u8()?)?,
+                k: d.u32()?,
+                filter: WireFilter::decode(&mut d)?,
+            },
+            op::AGGREGATE => RequestOp::Aggregate {
+                entity: d.u32()?,
+                relation: d.u32()?,
+                direction: dir_from(d.u8()?)?,
+                kind: kind_from(d.u8()?)?,
+                attribute: match d.u8()? {
+                    0 => None,
+                    1 => Some(d.str()?),
+                    _ => return Err(WireError::Malformed("attribute option tag")),
+                },
+                p_tau: d.f64()?,
+                sample_size: match d.u8()? {
+                    0 => None,
+                    1 => Some(d.u32()?),
+                    _ => return Err(WireError::Malformed("sample-size option tag")),
+                },
+            },
+            op::ADD_FACT => RequestOp::AddFactDynamic {
+                h: d.u32()?,
+                r: d.u32()?,
+                t: d.u32()?,
+                refine_steps: d.u32()?,
+                learning_rate: d.f64()?,
+            },
+            op::STATS => RequestOp::Stats,
+            op::SHUTDOWN => RequestOp::Shutdown,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        d.finish()?;
+        Ok(Request { deadline_ms, op })
+    }
+
+    /// Builds the [`AggregateSpec`] an `Aggregate` request describes.
+    /// Returns `None` for other operations.
+    pub fn aggregate_spec(&self) -> Option<AggregateSpec> {
+        match &self.op {
+            RequestOp::Aggregate {
+                kind,
+                attribute,
+                p_tau,
+                sample_size,
+                ..
+            } => Some(AggregateSpec {
+                kind: *kind,
+                attribute: attribute.clone(),
+                p_tau: *p_tau,
+                sample_size: sample_size.map(|a| a as usize),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// One predicted edge endpoint on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionWire {
+    /// Dense entity id.
+    pub id: u32,
+    /// S₁ distance (lower = more likely).
+    pub distance: f64,
+    /// Edge probability under the inverse-distance model.
+    pub probability: f64,
+}
+
+/// A top-k answer with its epoch and Theorem 2 guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKWire {
+    /// Snapshot epoch the answer was computed at.
+    pub epoch: u64,
+    /// Up to `k` predictions, ascending by S₁ distance.
+    pub predictions: Vec<PredictionWire>,
+    /// Probability no true top-k entity was missed (Theorem 2).
+    pub success_probability: f64,
+    /// Expected number of missed entities (Theorem 2).
+    pub expected_misses: f64,
+    /// S₁ distance evaluations this answer cost.
+    pub s1_evals: u64,
+    /// S₂ candidate points examined.
+    pub candidates_examined: u64,
+}
+
+impl TopKWire {
+    /// Projects an engine answer onto the wire.
+    pub fn from_result(epoch: u64, r: &TopKResult) -> Self {
+        TopKWire {
+            epoch,
+            predictions: r
+                .predictions
+                .iter()
+                .map(|p| PredictionWire {
+                    id: p.id,
+                    distance: p.distance,
+                    probability: p.probability,
+                })
+                .collect(),
+            success_probability: r.guarantee.success_probability,
+            expected_misses: r.guarantee.expected_misses,
+            s1_evals: r.s1_evals,
+            candidates_examined: r.candidates_examined,
+        }
+    }
+}
+
+/// An aggregate answer with its epoch and Theorem 4 bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateWire {
+    /// Snapshot epoch the answer was computed at.
+    pub epoch: u64,
+    /// The expected aggregate value.
+    pub estimate: f64,
+    /// Entities accessed (`a`).
+    pub accessed: u64,
+    /// Ball size (`b`).
+    pub ball_size: u64,
+    /// Theorem 4 bound: the estimate μ.
+    pub mu: f64,
+    /// Theorem 4 bound: the martingale increment mass.
+    pub increment_mass: f64,
+}
+
+impl AggregateWire {
+    /// Projects an engine answer onto the wire.
+    pub fn from_result(epoch: u64, r: &AggregateResult) -> Self {
+        AggregateWire {
+            epoch,
+            estimate: r.estimate,
+            accessed: r.accessed as u64,
+            ball_size: r.ball_size as u64,
+            mu: r.bound.mu,
+            increment_mass: r.bound.increment_mass,
+        }
+    }
+}
+
+/// [`Accuracy`] on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyWire(pub Accuracy);
+
+impl AccuracyWire {
+    fn encode(&self, e: &mut Enc) {
+        match self.0 {
+            Accuracy::Exact => {
+                e.u8(0);
+                e.f64(0.0);
+            }
+            Accuracy::Approximate { min_overlap } => {
+                e.u8(1);
+                e.f64(min_overlap);
+            }
+            Accuracy::SelfOracle { min_recall } => {
+                e.u8(2);
+                e.f64(min_recall);
+            }
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let tag = d.u8()?;
+        let x = d.f64()?;
+        Ok(AccuracyWire(match tag {
+            0 => Accuracy::Exact,
+            1 => Accuracy::Approximate { min_overlap: x },
+            2 => Accuracy::SelfOracle { min_recall: x },
+            _ => return Err(WireError::Malformed("accuracy tag")),
+        }))
+    }
+}
+
+/// Admission-control counters the server reports alongside engine stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Admitted requests answered (success, query error, or deadline).
+    pub answered: u64,
+    /// Requests shed with `Overloaded` (queue full).
+    pub shed: u64,
+    /// Admitted requests whose deadline expired before execution.
+    pub deadline_expired: u64,
+    /// Requests refused because the server was draining.
+    pub drained: u64,
+}
+
+/// Engine + server statistics at one epoch — the remote view of
+/// [`EngineStats`] (crack-depth, probe counters) and [`Accuracy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsWire {
+    /// Snapshot epoch at the time of the answer.
+    pub epoch: u64,
+    /// Index nodes currently allocated.
+    pub nodes: u64,
+    /// Approximate index size in bytes.
+    pub bytes: u64,
+    /// Binary splits performed (crack depth proxy).
+    pub splits_performed: u64,
+    /// Tree nodes created.
+    pub nodes_created: u64,
+    /// Contour elements touched by searches.
+    pub elements_accessed: u64,
+    /// Data points examined in S₂.
+    pub points_examined: u64,
+    /// Full S₁ distance evaluations.
+    pub s1_distance_evals: u64,
+    /// The engine's accuracy contract.
+    pub accuracy: AccuracyWire,
+    /// Admission-control counters.
+    pub server: ServerCounters,
+}
+
+impl StatsWire {
+    /// Assembles from the engine's uniform stats report.
+    pub fn from_stats(
+        epoch: u64,
+        stats: &EngineStats,
+        accuracy: Accuracy,
+        server: ServerCounters,
+    ) -> Self {
+        StatsWire {
+            epoch,
+            nodes: stats.nodes as u64,
+            bytes: stats.bytes as u64,
+            splits_performed: stats.counters.splits_performed,
+            nodes_created: stats.counters.nodes_created,
+            elements_accessed: stats.counters.elements_accessed,
+            points_examined: stats.counters.points_examined,
+            s1_distance_evals: stats.counters.s1_distance_evals,
+            accuracy: AccuracyWire(accuracy),
+            server,
+        }
+    }
+}
+
+/// Why a request was refused or failed — the typed half of
+/// [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The admission queue was full; retry with backoff.
+    Overloaded,
+    /// The request waited past its deadline and was not executed.
+    DeadlineExceeded,
+    /// The server is draining and admits no new work.
+    Draining,
+    /// The frame or message could not be decoded; the connection closes.
+    MalformedRequest,
+    /// The query itself failed (unknown ids, invalid parameters, …).
+    Query,
+    /// The server failed internally (e.g. a worker disappeared).
+    Internal,
+}
+
+impl ErrorCode {
+    fn byte(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::Draining => 3,
+            ErrorCode::MalformedRequest => 4,
+            ErrorCode::Query => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::Draining,
+            4 => ErrorCode::MalformedRequest,
+            5 => ErrorCode::Query,
+            6 => ErrorCode::Internal,
+            _ => return Err(WireError::Malformed("error code byte")),
+        })
+    }
+}
+
+/// A typed refusal or failure sent in place of a result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerError {
+    /// Machine-readable cause.
+    pub code: ErrorCode,
+    /// Human-readable detail (e.g. the rendered [`VkgError`]).
+    pub message: String,
+}
+
+impl ServerError {
+    /// Wraps a query-layer error.
+    pub fn query(e: &VkgError) -> Self {
+        ServerError {
+            code: ErrorCode::Query,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Top-k answer.
+    TopK(TopKWire),
+    /// Aggregate answer.
+    Aggregate(AggregateWire),
+    /// Outcome of an `AddFactDynamic` (epoch after the write).
+    FactAdded {
+        /// Whether the edge was new.
+        added: bool,
+        /// The epoch after the write (unchanged for duplicates).
+        epoch: u64,
+    },
+    /// Statistics report.
+    Stats(StatsWire),
+    /// Acknowledges a `Shutdown`: the server drains and exits.
+    ShuttingDown,
+    /// Typed refusal or failure.
+    Error(ServerError),
+}
+
+impl Response {
+    /// Encodes to one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(WIRE_VERSION);
+        match self {
+            Response::TopK(t) => {
+                e.u8(op::R_TOP_K);
+                e.u64(t.epoch);
+                e.u32(t.predictions.len() as u32);
+                for p in &t.predictions {
+                    e.u32(p.id);
+                    e.f64(p.distance);
+                    e.f64(p.probability);
+                }
+                e.f64(t.success_probability);
+                e.f64(t.expected_misses);
+                e.u64(t.s1_evals);
+                e.u64(t.candidates_examined);
+            }
+            Response::Aggregate(a) => {
+                e.u8(op::R_AGGREGATE);
+                e.u64(a.epoch);
+                e.f64(a.estimate);
+                e.u64(a.accessed);
+                e.u64(a.ball_size);
+                e.f64(a.mu);
+                e.f64(a.increment_mass);
+            }
+            Response::FactAdded { added, epoch } => {
+                e.u8(op::R_FACT_ADDED);
+                e.u8(u8::from(*added));
+                e.u64(*epoch);
+            }
+            Response::Stats(s) => {
+                e.u8(op::R_STATS);
+                e.u64(s.epoch);
+                e.u64(s.nodes);
+                e.u64(s.bytes);
+                e.u64(s.splits_performed);
+                e.u64(s.nodes_created);
+                e.u64(s.elements_accessed);
+                e.u64(s.points_examined);
+                e.u64(s.s1_distance_evals);
+                s.accuracy.encode(&mut e);
+                e.u64(s.server.admitted);
+                e.u64(s.server.answered);
+                e.u64(s.server.shed);
+                e.u64(s.server.deadline_expired);
+                e.u64(s.server.drained);
+            }
+            Response::ShuttingDown => {
+                e.u8(op::R_SHUTTING_DOWN);
+            }
+            Response::Error(err) => {
+                e.u8(op::R_ERROR);
+                e.u8(err.code.byte());
+                e.str(&err.message);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes one frame payload. Fails closed on any malformation.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        if payload.len() < crate::wire::MIN_PAYLOAD {
+            return Err(WireError::FrameTooShort(payload.len()));
+        }
+        let mut d = Dec::new(payload);
+        let version = d.u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let opcode = d.u8()?;
+        let resp = match opcode {
+            op::R_TOP_K => {
+                let epoch = d.u64()?;
+                let n = d.seq_len(20)?;
+                let mut predictions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    predictions.push(PredictionWire {
+                        id: d.u32()?,
+                        distance: d.f64()?,
+                        probability: d.f64()?,
+                    });
+                }
+                Response::TopK(TopKWire {
+                    epoch,
+                    predictions,
+                    success_probability: d.f64()?,
+                    expected_misses: d.f64()?,
+                    s1_evals: d.u64()?,
+                    candidates_examined: d.u64()?,
+                })
+            }
+            op::R_AGGREGATE => Response::Aggregate(AggregateWire {
+                epoch: d.u64()?,
+                estimate: d.f64()?,
+                accessed: d.u64()?,
+                ball_size: d.u64()?,
+                mu: d.f64()?,
+                increment_mass: d.f64()?,
+            }),
+            op::R_FACT_ADDED => Response::FactAdded {
+                added: match d.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bool byte")),
+                },
+                epoch: d.u64()?,
+            },
+            op::R_STATS => Response::Stats(StatsWire {
+                epoch: d.u64()?,
+                nodes: d.u64()?,
+                bytes: d.u64()?,
+                splits_performed: d.u64()?,
+                nodes_created: d.u64()?,
+                elements_accessed: d.u64()?,
+                points_examined: d.u64()?,
+                s1_distance_evals: d.u64()?,
+                accuracy: AccuracyWire::decode(&mut d)?,
+                server: ServerCounters {
+                    admitted: d.u64()?,
+                    answered: d.u64()?,
+                    shed: d.u64()?,
+                    deadline_expired: d.u64()?,
+                    drained: d.u64()?,
+                },
+            }),
+            op::R_SHUTTING_DOWN => Response::ShuttingDown,
+            op::R_ERROR => Response::Error(ServerError {
+                code: ErrorCode::from_byte(d.u8()?)?,
+                message: d.str()?,
+            }),
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_smoke() {
+        let reqs = vec![
+            Request {
+                deadline_ms: 0,
+                op: RequestOp::TopK {
+                    entity: 3,
+                    relation: 1,
+                    direction: Direction::Tails,
+                    k: 5,
+                },
+            },
+            Request {
+                deadline_ms: 250,
+                op: RequestOp::TopKFiltered {
+                    entity: 9,
+                    relation: 0,
+                    direction: Direction::Heads,
+                    k: 2,
+                    filter: WireFilter::NamePrefix("movie_".into()),
+                },
+            },
+            Request {
+                deadline_ms: 1000,
+                op: RequestOp::Aggregate {
+                    entity: 7,
+                    relation: 2,
+                    direction: Direction::Tails,
+                    kind: AggregateKind::Avg,
+                    attribute: Some("year".into()),
+                    p_tau: 0.05,
+                    sample_size: Some(40),
+                },
+            },
+            Request {
+                deadline_ms: 0,
+                op: RequestOp::AddFactDynamic {
+                    h: 1,
+                    r: 0,
+                    t: 2,
+                    refine_steps: 4,
+                    learning_rate: 0.05,
+                },
+            },
+            Request {
+                deadline_ms: 0,
+                op: RequestOp::Stats,
+            },
+            Request {
+                deadline_ms: 0,
+                op: RequestOp::Shutdown,
+            },
+        ];
+        for req in reqs {
+            let payload = req.encode();
+            assert_eq!(payload[0], WIRE_VERSION);
+            assert_eq!(Request::decode(&payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_smoke() {
+        let resps = vec![
+            Response::TopK(TopKWire {
+                epoch: 4,
+                predictions: vec![PredictionWire {
+                    id: 11,
+                    distance: 0.5,
+                    probability: 1.0,
+                }],
+                success_probability: 0.99,
+                expected_misses: 0.01,
+                s1_evals: 37,
+                candidates_examined: 90,
+            }),
+            Response::Aggregate(AggregateWire {
+                epoch: 0,
+                estimate: 12.5,
+                accessed: 10,
+                ball_size: 20,
+                mu: 12.5,
+                increment_mass: 3.0,
+            }),
+            Response::FactAdded {
+                added: true,
+                epoch: 9,
+            },
+            Response::ShuttingDown,
+            Response::Error(ServerError {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            }),
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn foreign_version_rejected() {
+        let mut payload = Request {
+            deadline_ms: 0,
+            op: RequestOp::Stats,
+        }
+        .encode();
+        payload[0] = 99;
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let payload = vec![WIRE_VERSION, 0x7C, 0, 0, 0, 0];
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::UnknownOpcode(0x7C)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut payload = Request {
+            deadline_ms: 0,
+            op: RequestOp::Stats,
+        }
+        .encode();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::Trailing(1)
+        );
+    }
+}

@@ -1,0 +1,566 @@
+//! The serving loop: accept thread, per-connection I/O threads, a
+//! bounded admission queue, and a fixed worker pool executing queries
+//! against epoch-pinned snapshots.
+//!
+//! # Admission control
+//!
+//! Every query or write admitted to the internal job queue is guaranteed an
+//! answer — success, a typed query error, or `DeadlineExceeded` — so
+//! the counter invariant `admitted == answered` holds whenever the
+//! queue is empty (and in particular after a graceful drain). When the
+//! queue is full the connection thread *sheds* the request immediately
+//! with [`ErrorCode::Overloaded`] instead of queueing unboundedly;
+//! clients are expected to back off and retry.
+//!
+//! # Epoch-swapped reads
+//!
+//! Workers execute reads through
+//! [`VirtualKnowledgeGraph::with_published_engine`], which pins one
+//! `(epoch, snapshot)` pair for the whole query. Dynamic writes go
+//! through the facade's `&self` single-writer path and publish a fresh
+//! snapshot with a bumped epoch; every response carries the epoch it
+//! was computed at so clients can reason about read-your-writes.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use vkg_core::engine::QueryEngine;
+use vkg_core::vkg::VirtualKnowledgeGraph;
+use vkg_kg::{EntityId, RelationId};
+
+use crate::protocol::{
+    AggregateWire, ErrorCode, Request, RequestOp, Response, ServerCounters, ServerError, StatsWire,
+    TopKWire, WireFilter,
+};
+use crate::wire::{write_frame, FrameBuffer, WireError};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (≥ 1).
+    pub workers: usize,
+    /// Bounded admission-queue capacity; a full queue sheds with
+    /// [`ErrorCode::Overloaded`] (≥ 1).
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that pass `deadline_ms = 0`.
+    pub default_deadline: Duration,
+    /// Largest frame accepted from a client.
+    pub max_frame: usize,
+    /// Artificial per-request execution delay — fault injection used by
+    /// the overload and deadline tests to make queueing deterministic.
+    pub worker_think_time: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 128,
+            default_deadline: Duration::from_secs(5),
+            max_frame: crate::wire::MAX_FRAME,
+            worker_think_time: None,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    request: Request,
+    admitted_at: Instant,
+    deadline: Duration,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Outcome of [`JobQueue::try_push`].
+enum Admission {
+    Admitted,
+    QueueFull,
+    Closed,
+}
+
+/// A bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`. Push never
+/// blocks — a full queue is an explicit shed decision, not a wait.
+struct JobQueue {
+    inner: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Admission {
+        let mut state = self.inner.lock();
+        if state.closed {
+            return Admission::Closed;
+        }
+        if state.jobs.len() >= self.capacity {
+            return Admission::QueueFull;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Admission::Admitted
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained, so workers never abandon admitted work.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Monotonic admission-control counters (relaxed atomics — they are
+/// statistics, ordering is established by the queue's mutex).
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerCounters {
+        ServerCounters {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    vkg: Arc<VirtualKnowledgeGraph>,
+    cfg: ServerConfig,
+    queue: JobQueue,
+    counters: Counters,
+    draining: AtomicBool,
+}
+
+/// The query server. Construct with [`Server::start`]; the returned
+/// [`ServerHandle`] owns the background threads.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr`, spawns the accept loop and `cfg.workers` workers,
+    /// and returns immediately. Pass `"127.0.0.1:0"` to let the OS pick
+    /// a port (read it back from [`ServerHandle::addr`]).
+    pub fn start<A: ToSocketAddrs>(
+        vkg: Arc<VirtualKnowledgeGraph>,
+        addr: A,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.queue_capacity >= 1, "need a non-empty queue");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            vkg,
+            queue: JobQueue::new(cfg.queue_capacity),
+            counters: Counters::default(),
+            draining: AtomicBool::new(false),
+            cfg,
+        });
+        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("vkg-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("vkg-accept".into())
+                .spawn(move || accept_loop(listener, &shared, workers))
+                .expect("spawn accept loop")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Owner of a running server's threads. Dropping the handle without
+/// calling [`ServerHandle::shutdown`]/[`ServerHandle::join`] detaches
+/// the threads (they exit once a drain is triggered remotely).
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Current admission-control counters.
+    pub fn counters(&self) -> ServerCounters {
+        self.shared.counters.snapshot()
+    }
+
+    /// Whether a drain has been triggered (locally or by a client's
+    /// `Shutdown` request).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Triggers a graceful drain and blocks until every thread exits:
+    /// stop accepting, answer all admitted work, join workers.
+    pub fn shutdown(mut self) -> ServerCounters {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.join_inner();
+        self.shared.counters.snapshot()
+    }
+
+    /// Blocks until the server drains (e.g. after a client sent
+    /// `Shutdown`) and every thread exits.
+    pub fn join(mut self) -> ServerCounters {
+        self.join_inner();
+        self.shared.counters.snapshot()
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(20);
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("vkg-conn".into())
+                    .spawn(move || connection_loop(stream, &shared))
+                    .expect("spawn connection thread");
+                conns.push(handle);
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain: the listener drops here (no new connections); connection
+    // threads notice the flag at their next read-timeout tick and exit
+    // after writing any in-flight response.
+    drop(listener);
+    for conn in conns {
+        let _ = conn.join();
+    }
+    // No producer remains, so closing the queue lets workers finish the
+    // backlog and exit — every admitted job is answered before this
+    // returns.
+    shared.queue.close();
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// One thread per connection: reassemble frames, decode, admit, and
+/// write back whatever the worker answers. Malformed input fails the
+/// connection closed after a best-effort typed error.
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut buf = FrameBuffer::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Serve frames already buffered before reading more.
+        loop {
+            match buf.next_frame(shared.cfg.max_frame) {
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    if !serve_frame(&mut stream, shared, &payload) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    fail_connection(&mut stream, &e);
+                    return;
+                }
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Clean EOF mid-frame means the client truncated a
+                // request; either way the conversation is over.
+                return;
+            }
+            Ok(n) => buf.feed(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one decoded frame. Returns `false` when the connection must
+/// close (shutdown acknowledged, malformed request, or I/O failure).
+fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    let request = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            fail_connection(stream, &e);
+            return false;
+        }
+    };
+    match request.op {
+        RequestOp::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let _ = send(stream, &Response::ShuttingDown);
+            false
+        }
+        RequestOp::Stats => {
+            // Cheap and side-effect free: answered inline, bypassing
+            // admission control so it stays observable under overload.
+            let stats = shared.vkg.with_published_engine(|epoch, _, engine| {
+                StatsWire::from_stats(
+                    epoch,
+                    &engine.stats(),
+                    engine.accuracy(),
+                    shared.counters.snapshot(),
+                )
+            });
+            send(stream, &Response::Stats(stats)).is_ok()
+        }
+        _ => {
+            if shared.draining.load(Ordering::SeqCst) {
+                shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                return send(stream, &refusal(ErrorCode::Draining, "server is draining")).is_ok();
+            }
+            let deadline = if request.deadline_ms == 0 {
+                shared.cfg.default_deadline
+            } else {
+                Duration::from_millis(u64::from(request.deadline_ms))
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = Job {
+                request,
+                admitted_at: Instant::now(),
+                deadline,
+                reply: reply_tx,
+            };
+            match shared.queue.try_push(job) {
+                Admission::Admitted => {
+                    shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    let response = reply_rx.recv().unwrap_or_else(|_| {
+                        refusal(ErrorCode::Internal, "worker pool disappeared")
+                    });
+                    send(stream, &response).is_ok()
+                }
+                Admission::QueueFull => {
+                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    send(
+                        stream,
+                        &refusal(ErrorCode::Overloaded, "admission queue full; back off"),
+                    )
+                    .is_ok()
+                }
+                Admission::Closed => {
+                    shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                    send(stream, &refusal(ErrorCode::Draining, "server is draining")).is_ok()
+                }
+            }
+        }
+    }
+}
+
+fn refusal(code: ErrorCode, message: &str) -> Response {
+    Response::Error(ServerError {
+        code,
+        message: message.to_string(),
+    })
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> Result<(), WireError> {
+    write_frame(stream, &response.encode())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Best-effort typed error before failing the connection closed.
+fn fail_connection(stream: &mut TcpStream, e: &WireError) {
+    let _ = send(
+        stream,
+        &refusal(ErrorCode::MalformedRequest, &e.to_string()),
+    );
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let response = if job.admitted_at.elapsed() >= job.deadline {
+            shared
+                .counters
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            refusal(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired while queued; not executed",
+            )
+        } else {
+            if let Some(think) = shared.cfg.worker_think_time {
+                thread::sleep(think);
+            }
+            execute(&shared.vkg, &job.request)
+        };
+        // Every admitted job is answered exactly once; a hung-up client
+        // (closed reply channel) still counts as answered.
+        shared.counters.answered.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Runs one request against the engine. Reads pin a single epoch via
+/// `with_published_engine`; the dynamic write goes through the facade's
+/// serialized `&self` writer path and reports the post-publish epoch.
+fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
+    match &request.op {
+        RequestOp::TopK {
+            entity,
+            relation,
+            direction,
+            k,
+        } => vkg.with_published_engine(|epoch, snap, engine| {
+            match engine.top_k(
+                snap,
+                EntityId(*entity),
+                RelationId(*relation),
+                *direction,
+                *k as usize,
+            ) {
+                Ok(r) => Response::TopK(TopKWire::from_result(epoch, &r)),
+                Err(e) => Response::Error(ServerError::query(&e)),
+            }
+        }),
+        RequestOp::TopKFiltered {
+            entity,
+            relation,
+            direction,
+            k,
+            filter,
+        } => vkg.with_published_engine(|epoch, snap, engine| {
+            let graph = snap.graph();
+            let accept: Box<dyn Fn(EntityId) -> bool> = match filter {
+                WireFilter::NamePrefix(prefix) => Box::new(move |id: EntityId| {
+                    graph.entity_name(id).is_some_and(|n| n.starts_with(prefix))
+                }),
+                WireFilter::IdRange { lo, hi } => {
+                    let (lo, hi) = (*lo, *hi);
+                    Box::new(move |id: EntityId| lo <= id.0 && id.0 < hi)
+                }
+            };
+            match engine.top_k_filtered(
+                snap,
+                EntityId(*entity),
+                RelationId(*relation),
+                *direction,
+                *k as usize,
+                &accept,
+            ) {
+                Ok(r) => Response::TopK(TopKWire::from_result(epoch, &r)),
+                Err(e) => Response::Error(ServerError::query(&e)),
+            }
+        }),
+        RequestOp::Aggregate {
+            entity,
+            relation,
+            direction,
+            ..
+        } => {
+            let spec = request
+                .aggregate_spec()
+                .expect("aggregate request has a spec");
+            vkg.with_published_engine(|epoch, snap, engine| {
+                match engine.aggregate(
+                    snap,
+                    EntityId(*entity),
+                    RelationId(*relation),
+                    *direction,
+                    &spec,
+                ) {
+                    Ok(r) => Response::Aggregate(AggregateWire::from_result(epoch, &r)),
+                    Err(e) => Response::Error(ServerError::query(&e)),
+                }
+            })
+        }
+        RequestOp::AddFactDynamic {
+            h,
+            r,
+            t,
+            refine_steps,
+            learning_rate,
+        } => match vkg.add_fact_dynamic(
+            EntityId(*h),
+            RelationId(*r),
+            EntityId(*t),
+            *refine_steps as usize,
+            *learning_rate,
+        ) {
+            Ok(added) => Response::FactAdded {
+                added,
+                epoch: vkg.epoch(),
+            },
+            Err(e) => Response::Error(ServerError::query(&e)),
+        },
+        RequestOp::Stats | RequestOp::Shutdown => {
+            refusal(ErrorCode::Internal, "control requests are not queued")
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Length-prefixed binary framing and primitive encode/decode.
+//!
+//! A frame on the wire is a little-endian `u32` payload length followed
+//! by that many payload bytes. Every payload begins with a protocol
+//! version byte ([`WIRE_VERSION`]) and an opcode byte; the message
+//! bodies themselves are defined in [`crate::protocol`].
+//!
+//! Decoding **fails closed**: a frame longer than the negotiated maximum,
+//! an unknown opcode, a foreign version byte, an ill-formed body, or
+//! trailing garbage all produce a typed [`WireError`] — never a panic —
+//! so a server can reply with a typed error and drop the connection.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in the first payload byte of every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Default upper bound on a frame's payload length (1 MiB). Anything
+/// larger is rejected before allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Smallest well-formed payload: version byte + opcode byte.
+pub const MIN_PAYLOAD: usize = 2;
+
+/// Typed decode/transport failure. Every malformed input maps to one of
+/// these variants; decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the message did (truncated length prefix,
+    /// truncated body, or a field whose declared length exceeds the
+    /// remaining bytes).
+    Truncated,
+    /// The length prefix declares a payload larger than the maximum.
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: u32,
+        /// Maximum accepted payload length.
+        max: usize,
+    },
+    /// The payload is shorter than version + opcode.
+    FrameTooShort(usize),
+    /// The version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// The opcode byte names no known message.
+    UnknownOpcode(u8),
+    /// A field failed validation (named for diagnostics).
+    Malformed(&'static str),
+    /// Bytes remained after the message body was fully decoded.
+    Trailing(usize),
+    /// An underlying socket read/write failed (rendered message).
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated before message end"),
+            WireError::FrameTooLarge { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds maximum {max}")
+            }
+            WireError::FrameTooShort(n) => {
+                write!(f, "payload of {n} bytes is shorter than version + opcode")
+            }
+            WireError::BadVersion(v) => {
+                write!(f, "protocol version {v} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after message end"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::FrameTooLarge {
+        declared: u32::MAX,
+        max: MAX_FRAME,
+    })?;
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::FrameTooLarge {
+            declared: len,
+            max: MAX_FRAME,
+        });
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a blocking stream. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary; an EOF mid-frame is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let declared = u32::from_le_bytes(len_buf);
+    if declared as usize > max {
+        return Err(WireError::FrameTooLarge { declared, max });
+    }
+    if (declared as usize) < MIN_PAYLOAD {
+        return Err(WireError::FrameTooShort(declared as usize));
+    }
+    let mut payload = vec![0u8; declared as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::from(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// Incremental frame extraction over bytes that arrive in arbitrary
+/// chunks (the server's per-connection reader feeds a non-blocking
+/// socket into this).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly-read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete frame payload, if one is buffered.
+    /// A hostile length prefix fails here, before any allocation.
+    pub fn next_frame(&mut self, max: usize) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if declared as usize > max {
+            return Err(WireError::FrameTooLarge { declared, max });
+        }
+        if (declared as usize) < MIN_PAYLOAD {
+            return Err(WireError::FrameTooShort(declared as usize));
+        }
+        let total = 4 + declared as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+/// Primitive little-endian encoder backing the message bodies.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes encoding, yielding the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Primitive decoder over a payload slice. Every accessor checks bounds
+/// and returns [`WireError::Truncated`] rather than panicking.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decodes from `buf`, starting at its first byte.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`WireError::Trailing`] unless every byte was consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string. The declared length is
+    /// checked against the remaining bytes before any allocation.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if self.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    /// Reads a collection length and verifies the remaining bytes can
+    /// hold at least `len * min_elem_size` — a hostile length cannot
+    /// trigger a huge allocation.
+    pub fn seq_len(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let len = self.u32()? as usize;
+        if len.saturating_mul(min_elem_size) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.f64(-0.125);
+        e.str("héllo");
+        let payload = e.finish();
+        let mut d = Dec::new(&payload);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.f64().unwrap(), -0.125);
+        assert_eq!(d.str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_fails_closed_on_truncation() {
+        let mut e = Enc::new();
+        e.str("abcdef");
+        let payload = e.finish();
+        for cut in 0..payload.len() {
+            let mut d = Dec::new(&payload[..cut]);
+            assert_eq!(d.str().unwrap_err(), WireError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Enc::new();
+        e.u32(1);
+        let mut payload = e.finish();
+        payload.push(0xFF);
+        let mut d = Dec::new(&payload);
+        d.u32().unwrap();
+        assert_eq!(d.finish().unwrap_err(), WireError::Trailing(1));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut out = Vec::new();
+        write_frame(&mut out, &[1, 2, 3, 4, 5]).unwrap();
+        write_frame(&mut out, &[9, 9]).unwrap();
+        let mut fb = FrameBuffer::new();
+        // Feed a byte at a time: frames appear exactly when complete.
+        let mut frames = Vec::new();
+        for &b in &out {
+            fb.feed(&[b]);
+            while let Some(f) = fb.next_frame(MAX_FRAME).unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames, vec![vec![1, 2, 3, 4, 5], vec![9, 9]]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_declared_length_early() {
+        let mut fb = FrameBuffer::new();
+        fb.feed(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(MAX_FRAME),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_buffer_rejects_undersized_frames() {
+        let mut fb = FrameBuffer::new();
+        fb.feed(&1u32.to_le_bytes());
+        fb.feed(&[0x01]);
+        assert_eq!(
+            fb.next_frame(MAX_FRAME).unwrap_err(),
+            WireError::FrameTooShort(1)
+        );
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_truncation() {
+        // Clean EOF at the boundary.
+        let empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut &*empty, MAX_FRAME).unwrap(), None);
+        // Truncated length prefix.
+        let partial: &[u8] = &[3, 0];
+        assert_eq!(
+            read_frame(&mut &*partial, MAX_FRAME).unwrap_err(),
+            WireError::Truncated
+        );
+        // Truncated body.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &[1, 2, 3]).unwrap();
+        framed.pop();
+        assert_eq!(
+            read_frame(&mut &framed[..], MAX_FRAME).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn seq_len_guards_against_hostile_lengths() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX); // claims 4 billion elements
+        let payload = e.finish();
+        let mut d = Dec::new(&payload);
+        assert_eq!(d.seq_len(8).unwrap_err(), WireError::Truncated);
+    }
+}

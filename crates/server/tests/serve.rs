@@ -1,0 +1,481 @@
+//! End-to-end serving tests against a live loopback server: concurrent
+//! clients + a dynamic writer, epoch-consistent answers matching the
+//! in-process engine, explicit load shedding under an undersized queue,
+//! deadline enforcement, graceful drain, and fail-closed handling of
+//! malformed frames.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use vkg_core::query::aggregate::AggregateKind;
+use vkg_core::vkg::VirtualKnowledgeGraph;
+use vkg_core::{Direction, VkgConfig};
+use vkg_embed::{TransE, TransEConfig};
+use vkg_kg::datasets::{movie_like, MovieConfig};
+use vkg_kg::{EntityId, RelationId};
+use vkg_server::wire::{read_frame, write_frame, MAX_FRAME};
+use vkg_server::{
+    Client, ClientError, ErrorCode, Request, RequestOp, Response, Server, ServerConfig,
+};
+
+/// Users occupy ids `0..60` and movies `60..180` in the tiny movie
+/// dataset; relation 0 is valid for every query direction.
+const USERS: u32 = 60;
+const MOVIES: u32 = 120;
+
+fn build_vkg() -> Arc<VirtualKnowledgeGraph> {
+    let ds = movie_like(&MovieConfig::tiny());
+    let (embeddings, _) = TransE::new(TransEConfig {
+        dim: 16,
+        epochs: 6,
+        ..TransEConfig::default()
+    })
+    .train(&ds.graph);
+    Arc::new(VirtualKnowledgeGraph::assemble(
+        ds.graph,
+        ds.attributes,
+        embeddings,
+        VkgConfig::default(),
+    ))
+}
+
+fn start(vkg: &Arc<VirtualKnowledgeGraph>, cfg: ServerConfig) -> vkg_server::ServerHandle {
+    Server::start(Arc::clone(vkg), "127.0.0.1:0", cfg).expect("bind loopback")
+}
+
+/// The headline acceptance test: ≥4 concurrent clients issue top-k and
+/// aggregate queries against a live loopback server while a writer
+/// appends dynamic facts. Every accepted request gets a well-formed
+/// response; after the writer stops, responses match the in-process
+/// engine at the same (final) snapshot epoch.
+#[test]
+fn concurrent_clients_with_dynamic_writer_match_engine() {
+    let vkg = build_vkg();
+    let handle = start(
+        &vkg,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 512,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    // Phase 1: query storm under concurrent writes.
+    let writer = thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("writer connects");
+        let mut published = 0u64;
+        for i in 0..16u32 {
+            let (added, epoch) = client
+                .add_fact(
+                    EntityId(i % USERS),
+                    RelationId(0),
+                    EntityId(USERS + (i * 7) % MOVIES),
+                    2,
+                    0.01,
+                )
+                .expect("dynamic write is answered");
+            if added {
+                published = epoch;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        published
+    });
+
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connects");
+                let mut last_epoch = 0u64;
+                for i in 0..30u32 {
+                    let entity = EntityId((t * 13 + i) % USERS);
+                    if i % 2 == 0 {
+                        let top = client
+                            .top_k(entity, RelationId(0), Direction::Tails, 5)
+                            .expect("top-k is answered");
+                        assert!(top.predictions.len() <= 5);
+                        for w in top.predictions.windows(2) {
+                            assert!(w[0].distance <= w[1].distance, "ascending by distance");
+                        }
+                        assert!(top.epoch >= last_epoch, "epochs never move backwards");
+                        last_epoch = top.epoch;
+                    } else {
+                        let agg = client
+                            .aggregate(
+                                entity,
+                                RelationId(0),
+                                Direction::Tails,
+                                AggregateKind::Count,
+                                None,
+                                0.05,
+                                None,
+                            )
+                            .expect("aggregate is answered");
+                        assert!(agg.estimate >= 0.0);
+                        assert!(agg.epoch >= last_epoch, "epochs never move backwards");
+                        last_epoch = agg.epoch;
+                    }
+                }
+                last_epoch
+            })
+        })
+        .collect();
+
+    let final_write_epoch = writer.join().expect("writer thread");
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+    assert!(final_write_epoch > 0, "the writer published new epochs");
+
+    // Phase 2: the writer is quiet, so the epoch is pinned; remote
+    // answers must now equal the in-process engine's bit-for-bit.
+    let final_epoch = vkg.epoch();
+    assert!(final_epoch >= final_write_epoch);
+    let mut client = Client::connect(addr).expect("verification client connects");
+    for t in 0..4u32 {
+        let entity = EntityId((t * 17) % USERS);
+        let remote = client
+            .top_k(entity, RelationId(0), Direction::Tails, 5)
+            .expect("top-k answered");
+        assert_eq!(remote.epoch, final_epoch, "answer pinned to the live epoch");
+        let local = vkg
+            .top_k(entity, RelationId(0), Direction::Tails, 5)
+            .expect("in-process answer");
+        assert_eq!(remote.predictions.len(), local.predictions.len());
+        for (rp, lp) in remote.predictions.iter().zip(&local.predictions) {
+            assert_eq!(rp.id, lp.id);
+            assert_eq!(rp.distance, lp.distance);
+            assert_eq!(rp.probability, lp.probability);
+        }
+        assert_eq!(
+            remote.success_probability,
+            local.guarantee.success_probability
+        );
+
+        let remote_agg = client
+            .aggregate(
+                entity,
+                RelationId(0),
+                Direction::Tails,
+                AggregateKind::Count,
+                None,
+                0.05,
+                None,
+            )
+            .expect("aggregate answered");
+        assert_eq!(remote_agg.epoch, final_epoch);
+        let spec = vkg_core::AggregateSpec::count(0.05);
+        let local_agg = vkg
+            .aggregate(entity, RelationId(0), Direction::Tails, &spec)
+            .expect("in-process aggregate");
+        assert_eq!(remote_agg.estimate, local_agg.estimate);
+        assert_eq!(remote_agg.ball_size as usize, local_agg.ball_size);
+    }
+
+    // Every admitted request was answered.
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered);
+    assert_eq!(counters.shed, 0, "the full-size queue never shed");
+}
+
+/// With a deliberately undersized queue and a slow worker, concurrent
+/// clients are shed with a typed `Overloaded` response — the server
+/// neither stalls nor panics, and every admitted request is answered.
+#[test]
+fn undersized_queue_sheds_with_typed_overloaded() {
+    let vkg = build_vkg();
+    let handle = start(
+        &vkg,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            worker_think_time: Some(Duration::from_millis(40)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let clients = 12;
+    let barrier = Arc::new(Barrier::new(clients));
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                barrier.wait();
+                match client.top_k(
+                    EntityId(t as u32 % USERS),
+                    RelationId(0),
+                    Direction::Tails,
+                    3,
+                ) {
+                    Ok(_) => (1u32, 0u32),
+                    Err(ClientError::Server(e)) => {
+                        assert_eq!(e.code, ErrorCode::Overloaded, "only overload refusals");
+                        (0, 1)
+                    }
+                    Err(other) => panic!("no transport errors under overload: {other}"),
+                }
+            })
+        })
+        .collect();
+
+    let (mut ok, mut shed) = (0, 0);
+    for t in threads {
+        let (o, s) = t.join().expect("client thread");
+        ok += o;
+        shed += s;
+    }
+    assert_eq!(ok + shed, clients as u32, "every request got a response");
+    assert!(ok >= 1, "the admitted requests completed");
+    assert!(shed >= 1, "the undersized queue shed load");
+
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered);
+    assert_eq!(counters.shed as u32, shed);
+}
+
+/// Requests that overstay their deadline in the queue are refused with
+/// `DeadlineExceeded` instead of being executed late.
+#[test]
+fn queued_requests_past_deadline_are_refused() {
+    let vkg = build_vkg();
+    let handle = start(
+        &vkg,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            worker_think_time: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                client.set_deadline(Some(Duration::from_millis(10)));
+                barrier.wait();
+                match client.top_k(
+                    EntityId(t as u32 % USERS),
+                    RelationId(0),
+                    Direction::Tails,
+                    3,
+                ) {
+                    Ok(_) => 0u32,
+                    Err(ClientError::Server(e)) => {
+                        assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+                        1
+                    }
+                    Err(other) => panic!("unexpected failure kind: {other}"),
+                }
+            })
+        })
+        .collect();
+
+    let expired: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(
+        expired >= 1,
+        "queued-behind-a-slow-worker requests expired their 10ms deadline"
+    );
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered);
+    assert_eq!(counters.deadline_expired as u32, expired);
+}
+
+/// A client-initiated `Shutdown` drains gracefully: the acknowledgement
+/// arrives, in-flight work is answered (admitted == answered), all
+/// threads join, and the listener stops accepting.
+#[test]
+fn client_shutdown_drains_without_dropping_requests() {
+    let vkg = build_vkg();
+    let handle = start(
+        &vkg,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            worker_think_time: Some(Duration::from_millis(5)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    // Keep a few requests in flight while the drain is triggered.
+    let inflight: Vec<_> = (0..4)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut outcomes = Vec::new();
+                for i in 0..10u32 {
+                    let res = client.top_k(
+                        EntityId((t * 11 + i) % USERS),
+                        RelationId(0),
+                        Direction::Tails,
+                        3,
+                    );
+                    match res {
+                        // Admitted work is always answered in full.
+                        Ok(_) => outcomes.push(true),
+                        // Refused-at-the-door during drain is the only
+                        // acceptable server-side refusal here.
+                        Err(ClientError::Server(e)) => {
+                            assert_eq!(e.code, ErrorCode::Draining);
+                            outcomes.push(false);
+                        }
+                        // The connection may also die once the drain
+                        // finishes between calls.
+                        Err(_) => break,
+                    }
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(30));
+    let mut control = Client::connect(addr).expect("control client connects");
+    control.shutdown().expect("shutdown acknowledged");
+
+    for t in inflight {
+        let outcomes = t.join().expect("in-flight client");
+        assert!(outcomes.iter().any(|&ok| ok), "clients made progress");
+    }
+
+    let counters = handle.join();
+    assert_eq!(
+        counters.admitted, counters.answered,
+        "graceful drain answers every admitted request"
+    );
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "the drained server no longer accepts connections"
+    );
+}
+
+/// Raw-socket abuse: malformed frames get a typed `MalformedRequest`
+/// error and a closed connection — never a panic — and the server keeps
+/// serving well-behaved clients afterwards.
+#[test]
+fn malformed_frames_fail_closed_and_server_survives() {
+    let vkg = build_vkg();
+    let handle = start(&vkg, ServerConfig::default());
+    let addr = handle.addr();
+
+    let expect_error_then_close = |payload: &[u8]| {
+        let mut raw = TcpStream::connect(addr).expect("raw connect");
+        write_frame(&mut raw, payload).expect("frame written");
+        let resp = read_frame(&mut raw, MAX_FRAME)
+            .expect("typed error frame")
+            .expect("response before close");
+        match Response::decode(&resp).expect("well-formed error response") {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::MalformedRequest),
+            other => panic!("wanted a MalformedRequest error, got {other:?}"),
+        }
+        // The server fails the connection closed after the error.
+        let mut rest = Vec::new();
+        let _ = raw.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "nothing follows the typed error");
+    };
+
+    // Unknown opcode.
+    expect_error_then_close(&[vkg_server::WIRE_VERSION, 0x7C, 0, 0, 0, 0]);
+    // Foreign protocol version.
+    expect_error_then_close(&{
+        let mut p = Request {
+            deadline_ms: 0,
+            op: RequestOp::Stats,
+        }
+        .encode();
+        p[0] = 9;
+        p
+    });
+    // Truncated body (frame shorter than its message).
+    expect_error_then_close(&[vkg_server::WIRE_VERSION, 0x01, 0, 0]);
+
+    // Oversized declared length: refused before buffering the body.
+    {
+        let mut raw = TcpStream::connect(addr).expect("raw connect");
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        raw.write_all(&huge).expect("length prefix written");
+        let resp = read_frame(&mut raw, MAX_FRAME)
+            .expect("typed error frame")
+            .expect("response before close");
+        match Response::decode(&resp).expect("well-formed error response") {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::MalformedRequest),
+            other => panic!("wanted a MalformedRequest error, got {other:?}"),
+        }
+    }
+
+    // A truncated length prefix followed by a hangup is just a closed
+    // connection — no response owed, no panic.
+    {
+        let mut raw = TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&[3, 0]).expect("partial prefix written");
+        drop(raw);
+    }
+
+    // The server is still healthy for well-behaved clients.
+    let mut client = Client::connect(addr).expect("healthy client connects");
+    let top = client
+        .top_k(EntityId(0), RelationId(0), Direction::Tails, 3)
+        .expect("server survived the abuse");
+    assert!(top.predictions.len() <= 3);
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered);
+}
+
+/// `Stats` reports the live epoch, engine counters, and the
+/// admission-control ledger; it stays answerable while queries flow.
+#[test]
+fn stats_reports_epoch_accuracy_and_ledger() {
+    let vkg = build_vkg();
+    let handle = start(&vkg, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    client
+        .top_k(EntityId(1), RelationId(0), Direction::Tails, 4)
+        .expect("top-k");
+    let (added, epoch) = client
+        .add_fact(EntityId(2), RelationId(0), EntityId(USERS + 5), 2, 0.01)
+        .expect("dynamic write");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.epoch, vkg.epoch());
+    if added {
+        assert_eq!(stats.epoch, epoch, "stats sees the post-write epoch");
+    }
+    assert!(stats.nodes >= 1);
+    assert!(
+        stats.s1_distance_evals >= 1,
+        "the top-k evaluated distances"
+    );
+    assert_eq!(stats.server.admitted, 2, "stats itself bypasses admission");
+    assert_eq!(stats.server.answered, 2);
+    assert_eq!(stats.server.shed, 0);
+
+    let name_filtered = client
+        .top_k_filtered(
+            EntityId(0),
+            RelationId(0),
+            Direction::Tails,
+            5,
+            vkg_server::WireFilter::NamePrefix("movie_".into()),
+        )
+        .expect("filtered top-k");
+    let graph = vkg.graph();
+    for p in &name_filtered.predictions {
+        let name = graph.entity_name(EntityId(p.id)).expect("named entity");
+        assert!(name.starts_with("movie_"), "filter applied server-side");
+    }
+
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered);
+}

@@ -1,0 +1,221 @@
+//! Property tests: every protocol message round-trips bit-exactly
+//! through encode → decode, and the decoder fails closed (typed error,
+//! never a panic) on truncated, trailing, or arbitrary hostile bytes.
+
+use proptest::prelude::*;
+use vkg_core::query::aggregate::AggregateKind;
+use vkg_core::{Accuracy, Direction};
+use vkg_server::protocol::{
+    AccuracyWire, AggregateWire, ErrorCode, PredictionWire, Request, RequestOp, Response,
+    ServerCounters, ServerError, StatsWire, TopKWire, WireFilter,
+};
+
+fn direction(tag: u8) -> Direction {
+    if tag == 0 {
+        Direction::Tails
+    } else {
+        Direction::Heads
+    }
+}
+
+fn kind(tag: u8) -> AggregateKind {
+    match tag % 5 {
+        0 => AggregateKind::Count,
+        1 => AggregateKind::Sum,
+        2 => AggregateKind::Avg,
+        3 => AggregateKind::Max,
+        _ => AggregateKind::Min,
+    }
+}
+
+fn filter(tag: u8, text: String, lo: u32, hi: u32) -> WireFilter {
+    if tag == 0 {
+        WireFilter::NamePrefix(text)
+    } else {
+        WireFilter::IdRange { lo, hi }
+    }
+}
+
+fn assert_request_roundtrip(req: Request) {
+    let payload = req.encode();
+    prop_assert_eq!(Request::decode(&payload).unwrap(), req.clone());
+    assert_prefixes_fail_closed(&payload);
+}
+
+fn assert_response_roundtrip(resp: Response) {
+    let payload = resp.encode();
+    prop_assert_eq!(Response::decode(&payload).unwrap(), resp.clone());
+    assert_prefixes_fail_closed(&payload);
+}
+
+/// Every strict prefix of a valid payload must decode to a typed error
+/// (the message grammar has no self-delimiting valid prefixes shorter
+/// than the whole payload — requests and responses alike).
+fn assert_prefixes_fail_closed(payload: &[u8]) {
+    for cut in 0..payload.len() {
+        assert!(Request::decode(&payload[..cut]).is_err() || cut == payload.len());
+        assert!(Response::decode(&payload[..cut]).is_err() || cut == payload.len());
+    }
+}
+
+proptest! {
+    #[test]
+    fn top_k_request_roundtrip(
+        (entity, relation, k, deadline_ms, dir) in
+            (0u32..=u32::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX, 0u8..2),
+    ) {
+        assert_request_roundtrip(Request {
+            deadline_ms,
+            op: RequestOp::TopK { entity, relation, direction: direction(dir), k },
+        });
+    }
+
+    #[test]
+    fn top_k_filtered_request_roundtrip(
+        (entity, relation, k, dir) in (0u32..1000, 0u32..50, 0u32..100, 0u8..2),
+        (ftag, prefix, lo, hi) in (0u8..2, "[a-z_]{0,24}", 0u32..=u32::MAX, 0u32..=u32::MAX),
+    ) {
+        assert_request_roundtrip(Request {
+            deadline_ms: 0,
+            op: RequestOp::TopKFiltered {
+                entity,
+                relation,
+                direction: direction(dir),
+                k,
+                filter: filter(ftag, prefix, lo, hi),
+            },
+        });
+    }
+
+    #[test]
+    fn aggregate_request_roundtrip(
+        (entity, relation, dir, ktag) in (0u32..1000, 0u32..50, 0u8..2, 0u8..5),
+        (has_attr, attr, p_tau, has_a, a) in
+            (0u8..2, "[a-z]{1,16}", 0.0f64..1.0, 0u8..2, 0u32..=u32::MAX),
+    ) {
+        assert_request_roundtrip(Request {
+            deadline_ms: 0,
+            op: RequestOp::Aggregate {
+                entity,
+                relation,
+                direction: direction(dir),
+                kind: kind(ktag),
+                attribute: (has_attr == 1).then_some(attr),
+                p_tau,
+                sample_size: (has_a == 1).then_some(a),
+            },
+        });
+    }
+
+    #[test]
+    fn add_fact_request_roundtrip(
+        (h, r, t, refine_steps, learning_rate) in
+            (0u32..=u32::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX, 0u32..1000, -1.0f64..1.0),
+    ) {
+        assert_request_roundtrip(Request {
+            deadline_ms: 0,
+            op: RequestOp::AddFactDynamic { h, r, t, refine_steps, learning_rate },
+        });
+    }
+
+    #[test]
+    fn control_request_roundtrip(deadline_ms in 0u32..=u32::MAX) {
+        assert_request_roundtrip(Request { deadline_ms, op: RequestOp::Stats });
+        assert_request_roundtrip(Request { deadline_ms, op: RequestOp::Shutdown });
+    }
+
+    #[test]
+    fn top_k_response_roundtrip(
+        (epoch, preds, success_probability) in (
+            0u64..=u64::MAX,
+            prop::collection::vec((0u32..=u32::MAX, 0.0f64..1e9, 0.0f64..1.0), 0..12),
+            0.0f64..1.0,
+        ),
+        (expected_misses, s1_evals, candidates_examined) in
+            (0.0f64..100.0, 0u64..=u64::MAX, 0u64..=u64::MAX),
+    ) {
+        assert_response_roundtrip(Response::TopK(TopKWire {
+            epoch,
+            predictions: preds
+                .into_iter()
+                .map(|(id, distance, probability)| PredictionWire { id, distance, probability })
+                .collect(),
+            success_probability,
+            expected_misses,
+            s1_evals,
+            candidates_examined,
+        }));
+    }
+
+    #[test]
+    fn aggregate_response_roundtrip(
+        (epoch, estimate, accessed, ball_size) in
+            (0u64..=u64::MAX, -1e12f64..1e12, 0u64..=u64::MAX, 0u64..=u64::MAX),
+        (mu, increment_mass) in (-1e12f64..1e12, 0.0f64..1e12),
+    ) {
+        assert_response_roundtrip(Response::Aggregate(AggregateWire {
+            epoch, estimate, accessed, ball_size, mu, increment_mass,
+        }));
+    }
+
+    #[test]
+    fn fact_added_response_roundtrip((added, epoch) in (0u8..2, 0u64..=u64::MAX)) {
+        assert_response_roundtrip(Response::FactAdded { added: added == 1, epoch });
+    }
+
+    #[test]
+    fn stats_response_roundtrip(
+        (epoch, nodes, bytes, splits_performed, nodes_created) in
+            (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+        (elements_accessed, points_examined, s1_distance_evals) in
+            (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+        (acc_tag, acc_x) in (0u8..3, 0.0f64..1.0),
+        (admitted, answered, shed, deadline_expired, drained) in
+            (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+    ) {
+        let accuracy = AccuracyWire(match acc_tag {
+            0 => Accuracy::Exact,
+            1 => Accuracy::Approximate { min_overlap: acc_x },
+            _ => Accuracy::SelfOracle { min_recall: acc_x },
+        });
+        assert_response_roundtrip(Response::Stats(StatsWire {
+            epoch,
+            nodes,
+            bytes,
+            splits_performed,
+            nodes_created,
+            elements_accessed,
+            points_examined,
+            s1_distance_evals,
+            accuracy,
+            server: ServerCounters { admitted, answered, shed, deadline_expired, drained },
+        }));
+    }
+
+    #[test]
+    fn error_response_roundtrip((tag, message) in (0u8..6, "[ -~]{0,64}")) {
+        let code = [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Draining,
+            ErrorCode::MalformedRequest,
+            ErrorCode::Query,
+            ErrorCode::Internal,
+        ][tag as usize];
+        assert_response_roundtrip(Response::Error(ServerError { code, message }));
+    }
+
+    #[test]
+    fn shutting_down_response_roundtrip(_x in 0u8..1) {
+        assert_response_roundtrip(Response::ShuttingDown);
+    }
+
+    /// Hostile bytes never panic the decoders — they return typed
+    /// errors. (Accidentally-valid frames are allowed, just not UB or
+    /// panics.)
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..128)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+}

@@ -57,6 +57,7 @@ pub use vkg_baselines as baselines;
 pub use vkg_core as core;
 pub use vkg_embed as embed;
 pub use vkg_kg as kg;
+pub use vkg_server as server;
 pub use vkg_transform as transform;
 
 use vkg_core::{VirtualKnowledgeGraph, VkgConfig};
@@ -71,14 +72,16 @@ pub mod prelude {
     pub use vkg_core::query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
     pub use vkg_core::query::topk::{Prediction, TopKResult};
     pub use vkg_core::{
-        Accuracy, CrackingIndex, Direction, EngineStats, IndexState, Neighbor, QueryEngine,
-        SplitStrategy, VirtualKnowledgeGraph, VkgConfig, VkgError, VkgResult, VkgSnapshot,
+        Accuracy, CrackingIndex, Direction, EngineStats, IndexState, IndexStats, Neighbor,
+        QueryEngine, SplitStrategy, VirtualKnowledgeGraph, VkgConfig, VkgError, VkgResult,
+        VkgSnapshot,
     };
     pub use vkg_embed::{EmbeddingStore, TransA, TransAConfig, TransE, TransEConfig};
     pub use vkg_kg::datasets::{
         amazon_like, freebase_like, movie_like, AmazonConfig, Dataset, FreebaseConfig, MovieConfig,
     };
     pub use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
+    pub use vkg_server::{Client, Server, ServerConfig, ServerHandle};
     pub use vkg_transform::JlTransform;
 }
 

@@ -27,7 +27,7 @@ fn world() -> (Dataset, VirtualKnowledgeGraph) {
 
 #[test]
 fn cold_start_entity_becomes_queryable() {
-    let (_ds, mut vkg) = world();
+    let (_ds, vkg) = world();
     let likes = vkg.graph().relation_id("likes").unwrap();
 
     // A new movie arrives with an embedding placed exactly where an
@@ -48,7 +48,7 @@ fn cold_start_entity_becomes_queryable() {
 
 #[test]
 fn new_fact_is_excluded_from_predictions() {
-    let (_ds, mut vkg) = world();
+    let (_ds, vkg) = world();
     let likes = vkg.graph().relation_id("likes").unwrap();
     let user = vkg.graph().entity_id("user_2").unwrap();
 
@@ -68,7 +68,7 @@ fn new_fact_is_excluded_from_predictions() {
 
 #[test]
 fn refinement_pulls_endpoints_together() {
-    let (_ds, mut vkg) = world();
+    let (_ds, vkg) = world();
     let likes = vkg.graph().relation_id("likes").unwrap();
     let user = vkg.graph().entity_id("user_3").unwrap();
     // A far-away movie the user does not like yet.
@@ -85,7 +85,7 @@ fn refinement_pulls_endpoints_together() {
 
 #[test]
 fn duplicate_fact_is_noop() {
-    let (ds, mut vkg) = world();
+    let (ds, vkg) = world();
     let likes = ds.graph.relation_id("likes").unwrap();
     let t = ds
         .graph
@@ -107,7 +107,7 @@ fn duplicate_fact_is_noop() {
 
 #[test]
 fn dynamic_attribute_visible_to_aggregates() {
-    let (_ds, mut vkg) = world();
+    let (_ds, vkg) = world();
     let likes = vkg.graph().relation_id("likes").unwrap();
     let user = vkg.graph().entity_id("user_0").unwrap();
     // Give every movie a fresh attribute after assembly.
@@ -139,7 +139,7 @@ fn dynamic_attribute_visible_to_aggregates() {
 
 #[test]
 fn many_updates_keep_queries_exact() {
-    let (_ds, mut vkg) = world();
+    let (_ds, vkg) = world();
     let likes = vkg.graph().relation_id("likes").unwrap();
     // Interleave queries and updates, then verify against the scan.
     for i in 0..10 {
