@@ -8,8 +8,16 @@
 //! reader threads can resolve entities, embeddings and query points
 //! concurrently while a single writer cracks the index (which lives in
 //! [`crate::engine::IndexState`], behind its own lock).
+//!
+//! Components are **structurally shared**: each store sits behind its
+//! own `Arc`, so cloning a snapshot is a handful of reference-count
+//! bumps, and the copy-on-write mutators ([`Arc::make_mut`]) copy only
+//! the component a dynamic update actually touches. A fact append
+//! clones the graph and embeddings but shares the attribute store with
+//! every earlier epoch; an attribute write clones nothing else.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use vkg_embed::EmbeddingStore;
 use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
@@ -63,10 +71,10 @@ pub enum Direction {
 /// ```
 #[derive(Debug, Clone)]
 pub struct VkgSnapshot {
-    graph: KnowledgeGraph,
-    attributes: AttributeStore,
-    embeddings: EmbeddingStore,
-    transform: JlTransform,
+    graph: Arc<KnowledgeGraph>,
+    attributes: Arc<AttributeStore>,
+    embeddings: Arc<EmbeddingStore>,
+    transform: Arc<JlTransform>,
     config: VkgConfig,
 }
 
@@ -96,10 +104,10 @@ impl VkgSnapshot {
         }
         let transform = JlTransform::new(embeddings.dim(), config.alpha, config.transform_seed);
         Ok(Self {
-            graph,
-            attributes,
-            embeddings,
-            transform,
+            graph: Arc::new(graph),
+            attributes: Arc::new(attributes),
+            embeddings: Arc::new(embeddings),
+            transform: Arc::new(transform),
             config,
         })
     }
@@ -183,18 +191,20 @@ impl VkgSnapshot {
     }
 
     // Copy-on-write mutators, used only by the facade's dynamic-update
-    // path (which clones the snapshot first via `Arc::make_mut`).
+    // path. Each one copies just its own component (and only while the
+    // previous epoch still shares it); the others stay shared across
+    // epochs, so a write's cost is proportional to what it touches.
 
     pub(crate) fn graph_mut(&mut self) -> &mut KnowledgeGraph {
-        &mut self.graph
+        Arc::make_mut(&mut self.graph)
     }
 
     pub(crate) fn attributes_mut(&mut self) -> &mut AttributeStore {
-        &mut self.attributes
+        Arc::make_mut(&mut self.attributes)
     }
 
     pub(crate) fn embeddings_mut(&mut self) -> &mut EmbeddingStore {
-        &mut self.embeddings
+        Arc::make_mut(&mut self.embeddings)
     }
 }
 
@@ -258,6 +268,29 @@ mod tests {
         assert_eq!(
             snap.check_ids(EntityId(0), RelationId(9)),
             Err(VkgError::UnknownRelation(9))
+        );
+    }
+
+    #[test]
+    fn clone_shares_components_until_mutated() {
+        let (g, store) = tiny();
+        let snap = VkgSnapshot::new(g, AttributeStore::new(), store, cfg()).unwrap();
+        let mut next = snap.clone();
+        assert!(Arc::ptr_eq(&snap.graph, &next.graph));
+        assert!(Arc::ptr_eq(&snap.attributes, &next.attributes));
+        assert!(Arc::ptr_eq(&snap.embeddings, &next.embeddings));
+        assert!(Arc::ptr_eq(&snap.transform, &next.transform));
+        // Mutating one component copies it — and only it.
+        next.attributes_mut().set("year", EntityId(0), 1999.0);
+        assert!(!Arc::ptr_eq(&snap.attributes, &next.attributes));
+        assert!(Arc::ptr_eq(&snap.graph, &next.graph));
+        assert!(Arc::ptr_eq(&snap.embeddings, &next.embeddings));
+        // The original epoch's view is untouched (the column never
+        // existed there).
+        assert!(snap.attributes().get("year", EntityId(0)).is_err());
+        assert_eq!(
+            next.attributes().get("year", EntityId(0)).unwrap(),
+            Some(1999.0)
         );
     }
 

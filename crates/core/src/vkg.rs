@@ -14,7 +14,10 @@
 //! the epoch counter. Readers holding an older `Arc` clone keep a
 //! consistent pre-update view; new readers pick up the new epoch with a
 //! single pointer load. This is the concurrency contract the serving
-//! layer (`vkg-server`) extends across the process boundary.
+//! layer (`vkg-server`) extends across the process boundary. Snapshots
+//! share components structurally ([`VkgSnapshot`] holds each store
+//! behind its own `Arc`), so per-write cost is proportional to the
+//! component the write mutates — not to the whole dataset.
 //!
 //! Queries follow the paper's default E′-only semantics: results never
 //! include edges already in `E`, nor the query entity itself.
@@ -347,9 +350,11 @@ impl VirtualKnowledgeGraph {
     // to do incremental updates on our partial index.")
     //
     // Updates take `&self` and act as a single writer: they serialize on
-    // the engine's write lock, build the next snapshot off to the side,
-    // and publish it with an epoch bump. Concurrent readers holding an
-    // older snapshot clone keep a consistent (pre-update) view.
+    // the engine's write lock, build the next snapshot off to the side
+    // (cloning is cheap — components are Arc-shared, and the CoW
+    // mutators copy only the stores a write touches), and publish it
+    // with an epoch bump. Concurrent readers holding an older snapshot
+    // clone keep a consistent (pre-update) view.
     // ------------------------------------------------------------------
 
     /// Publishes `next` as the new snapshot epoch. Callers must hold the
@@ -399,7 +404,9 @@ impl VirtualKnowledgeGraph {
     /// embeddings locally). Both endpoints' S₂ points are updated in the
     /// partial index in place.
     ///
-    /// Returns whether the edge was new.
+    /// Returns `(added, epoch)`: whether the edge was new, and the exact
+    /// epoch this write published (for a duplicate, the epoch current
+    /// while the write held the engine lock — no publication happens).
     pub fn add_fact_dynamic(
         &self,
         h: EntityId,
@@ -407,7 +414,7 @@ impl VirtualKnowledgeGraph {
         t: EntityId,
         refine_steps: usize,
         learning_rate: f64,
-    ) -> VkgResult<bool> {
+    ) -> VkgResult<(bool, u64)> {
         let mut engine = self.engine.write();
         let cur = self.snapshot();
         cur.check_ids(h, r)?;
@@ -415,7 +422,9 @@ impl VirtualKnowledgeGraph {
         let mut next = (*cur).clone();
         let added = next.graph_mut().add_triple(h, r, t)?;
         if !added {
-            return Ok(false);
+            // The engine lock is still held, so no concurrent writer can
+            // publish between the duplicate check and this epoch read.
+            return Ok((false, self.epoch()));
         }
         let d = next.embeddings().dim();
         for _ in 0..refine_steps {
@@ -441,8 +450,8 @@ impl VirtualKnowledgeGraph {
         engine.index_mut().update_point(h.0, &h_s2);
         let t_s2 = next.transform().apply(next.embeddings().entity(t));
         engine.index_mut().update_point(t.0, &t_s2);
-        self.publish(next);
-        Ok(true)
+        let epoch = self.publish(next);
+        Ok((true, epoch))
     }
 
     /// Sets (or updates) an attribute of an entity — aggregate queries
@@ -734,10 +743,18 @@ mod tests {
         // Queries never advance the epoch.
         let _ = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
         assert_eq!(vkg.epoch(), 1);
-        assert!(vkg.add_fact_dynamic(u0, likes, m_new, 2, 0.01).unwrap());
+        // The write reports the exact epoch it published.
+        assert_eq!(
+            vkg.add_fact_dynamic(u0, likes, m_new, 2, 0.01).unwrap(),
+            (true, 2)
+        );
         assert_eq!(vkg.epoch(), 2);
-        // A duplicate fact is a no-op and publishes nothing.
-        assert!(!vkg.add_fact_dynamic(u0, likes, m_new, 2, 0.01).unwrap());
+        // A duplicate fact is a no-op, publishes nothing, and reports
+        // the epoch current during the (serialized) write.
+        assert_eq!(
+            vkg.add_fact_dynamic(u0, likes, m_new, 2, 0.01).unwrap(),
+            (false, 2)
+        );
         assert_eq!(vkg.epoch(), 2);
         vkg.set_attribute_dynamic("year", m_new, 2020.0);
         assert_eq!(vkg.epoch(), 3);
@@ -759,7 +776,7 @@ mod tests {
             let vkg = std::sync::Arc::clone(&vkg);
             std::thread::spawn(move || vkg.add_fact_dynamic(u1, likes, m3, 2, 0.01).unwrap())
         };
-        assert!(writer.join().unwrap());
+        assert!(writer.join().unwrap().0);
         assert!(vkg.graph().tails(u1, likes).any(|e| e == m3));
     }
 

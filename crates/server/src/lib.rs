@@ -16,8 +16,12 @@
 //! * [`server`] — accept loop + per-connection threads + a bounded
 //!   admission queue feeding a fixed worker pool. A full queue sheds
 //!   load explicitly; admitted work is always answered (the
-//!   `admitted == answered` invariant), and reads pin one snapshot
-//!   epoch end-to-end via the facade's epoch-swap publication.
+//!   `admitted == answered` invariant); well-formed requests are
+//!   sanitized before admission (`k` clamped to the entity count and
+//!   frame budget, write refinement capped at
+//!   [`server::MAX_REFINE_STEPS`], non-finite learning rates refused);
+//!   and reads pin one snapshot epoch end-to-end via the facade's
+//!   epoch-swap publication.
 //! * [`client`] — a synchronous [`client::Client`] speaking the same
 //!   protocol, used by the test suite and `vkg-bench`'s `serve_load`
 //!   load generator.
@@ -49,5 +53,5 @@ pub use protocol::{
     AggregateWire, ErrorCode, PredictionWire, Request, RequestOp, Response, ServerCounters,
     ServerError, StatsWire, TopKWire, WireFilter,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, MAX_REFINE_STEPS};
 pub use wire::{WireError, MAX_FRAME, WIRE_VERSION};

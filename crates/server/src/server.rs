@@ -12,6 +12,16 @@
 //! with [`ErrorCode::Overloaded`] instead of queueing unboundedly;
 //! clients are expected to back off and retry.
 //!
+//! Admission also **sanitizes parameters**: decoding being fail-closed
+//! is not enough, because a *well-formed* frame can still carry
+//! resource-exhaustion values. Before a request is queued, `k` is
+//! clamped to the entity count and to the largest answer that fits in a
+//! response frame, the dynamic write's gradient-step budget is capped at
+//! [`MAX_REFINE_STEPS`] (the refinement loop runs under the engine write
+//! lock), and a non-finite or out-of-range learning rate is refused with
+//! a typed [`ErrorCode::Query`] error before it can poison the shared
+//! embeddings.
+//!
 //! # Epoch-swapped reads
 //!
 //! Workers execute reads through
@@ -276,6 +286,66 @@ impl ServerHandle {
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 const CONN_READ_TIMEOUT: Duration = Duration::from_millis(20);
 
+/// Most gradient-refinement steps a wire `AddFactDynamic` may request.
+/// The refinement loop runs while holding the engine write lock, so an
+/// unbounded step count from one client would wedge every query, stat,
+/// and drain behind it.
+pub const MAX_REFINE_STEPS: u32 = 1024;
+
+/// Wire cost of one `PredictionWire` (`u32` id + two `f64`s).
+const PREDICTION_WIRE_BYTES: usize = 20;
+
+/// Fixed bytes of a top-k response around its prediction list (version,
+/// opcode, epoch, list length, and the four trailing guarantee/counter
+/// fields), rounded up for safety.
+const TOPK_FRAME_OVERHEAD: usize = 64;
+
+/// Largest `k` whose top-k response is guaranteed to fit in one
+/// [`crate::wire::MAX_FRAME`]-sized frame.
+const fn max_k_per_frame() -> u32 {
+    ((crate::wire::MAX_FRAME - TOPK_FRAME_OVERHEAD) / PREDICTION_WIRE_BYTES) as u32
+}
+
+/// Validates and clamps a decoded request's parameters before it is
+/// admitted (see the module docs). Returns the typed refusal to send
+/// instead of queueing when a parameter is rejected outright.
+fn sanitize(shared: &Shared, request: &mut Request) -> Result<(), Response> {
+    match &mut request.op {
+        RequestOp::TopK { k, .. } | RequestOp::TopKFiltered { k, .. } => {
+            // Clamp rather than refuse: the engine allocates O(k) per
+            // query, and no answer can exceed the entity count anyway.
+            // `max(1)` keeps `k >= 1` requests out of the engine's
+            // `k == 0` rejection on an empty graph.
+            let entities = shared.vkg.snapshot().graph().num_entities();
+            let cap = u32::try_from(entities)
+                .unwrap_or(u32::MAX)
+                .max(1)
+                .min(max_k_per_frame());
+            *k = (*k).min(cap);
+        }
+        RequestOp::AddFactDynamic {
+            refine_steps,
+            learning_rate,
+            ..
+        } => {
+            if *refine_steps > MAX_REFINE_STEPS {
+                return Err(refusal(
+                    ErrorCode::Query,
+                    &format!("refine_steps {refine_steps} exceeds the cap of {MAX_REFINE_STEPS}"),
+                ));
+            }
+            if !learning_rate.is_finite() || !(0.0..=1.0).contains(learning_rate) {
+                return Err(refusal(
+                    ErrorCode::Query,
+                    "learning_rate must be finite and within [0, 1]",
+                ));
+            }
+        }
+        RequestOp::Aggregate { .. } | RequestOp::Stats | RequestOp::Shutdown => {}
+    }
+    Ok(())
+}
+
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shared.draining.load(Ordering::SeqCst) {
@@ -354,7 +424,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// Handles one decoded frame. Returns `false` when the connection must
 /// close (shutdown acknowledged, malformed request, or I/O failure).
 fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
-    let request = match Request::decode(payload) {
+    let mut request = match Request::decode(payload) {
         Ok(r) => r,
         Err(e) => {
             fail_connection(stream, &e);
@@ -384,6 +454,9 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             if shared.draining.load(Ordering::SeqCst) {
                 shared.counters.drained.fetch_add(1, Ordering::Relaxed);
                 return send(stream, &refusal(ErrorCode::Draining, "server is draining")).is_ok();
+            }
+            if let Err(rejection) = sanitize(shared, &mut request) {
+                return send(stream, &rejection).is_ok();
             }
             let deadline = if request.deadline_ms == 0 {
                 shared.cfg.default_deadline
@@ -430,7 +503,20 @@ fn refusal(code: ErrorCode, message: &str) -> Response {
 }
 
 fn send(stream: &mut TcpStream, response: &Response) -> Result<(), WireError> {
-    write_frame(stream, &response.encode())?;
+    let payload = response.encode();
+    // A result that outgrew the frame limit is the request's problem,
+    // not the connection's: answer with a typed error instead of letting
+    // `write_frame` fail and the caller tear the connection down.
+    let payload = if payload.len() > crate::wire::MAX_FRAME {
+        refusal(
+            ErrorCode::Query,
+            "result exceeds the maximum response frame; request less data",
+        )
+        .encode()
+    } else {
+        payload
+    };
+    write_frame(stream, &payload)?;
     stream.flush()?;
     Ok(())
 }
@@ -553,10 +639,10 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             *refine_steps as usize,
             *learning_rate,
         ) {
-            Ok(added) => Response::FactAdded {
-                added,
-                epoch: vkg.epoch(),
-            },
+            // The facade reports the epoch of *this* write (taken while
+            // it held the engine lock), so a concurrent writer publishing
+            // right after cannot leak its later epoch into this response.
+            Ok((added, epoch)) => Response::FactAdded { added, epoch },
             Err(e) => Response::Error(ServerError::query(&e)),
         },
         RequestOp::Stats | RequestOp::Shutdown => {

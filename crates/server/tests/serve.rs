@@ -432,6 +432,76 @@ fn malformed_frames_fail_closed_and_server_survives() {
     assert_eq!(counters.admitted, counters.answered);
 }
 
+/// Well-formed frames carrying resource-exhaustion parameters are
+/// sanitized at admission: an absurd `k` is clamped (no multi-GiB
+/// allocation, the answer still arrives), an unbounded refinement
+/// budget and a non-finite learning rate are refused with typed `Query`
+/// errors, and the shared embeddings stay unpoisoned throughout.
+#[test]
+fn extreme_parameters_are_sanitized_not_fatal() {
+    let vkg = build_vkg();
+    let handle = start(&vkg, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    // k = u32::MAX: clamped to the entity count, answered normally.
+    let top = client
+        .top_k(
+            EntityId(0),
+            RelationId(0),
+            Direction::Tails,
+            u32::MAX as usize,
+        )
+        .expect("clamped top-k is answered");
+    assert!(top.predictions.len() <= vkg.graph().num_entities());
+    assert!(!top.predictions.is_empty());
+
+    // A write demanding billions of gradient steps under the engine
+    // write lock is refused before execution.
+    match client.add_fact(
+        EntityId(0),
+        RelationId(0),
+        EntityId(USERS),
+        u32::MAX as usize,
+        0.01,
+    ) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::Query);
+            assert!(e.message.contains("refine_steps"), "typed cause: {e}");
+        }
+        other => panic!("oversized refine_steps must be refused, got {other:?}"),
+    }
+
+    // Non-finite and out-of-range learning rates are refused before
+    // they can touch the shared embeddings.
+    for lr in [f64::NAN, f64::INFINITY, -0.5, 2.0] {
+        match client.add_fact(EntityId(1), RelationId(0), EntityId(USERS + 1), 2, lr) {
+            Err(ClientError::Server(e)) => {
+                assert_eq!(e.code, ErrorCode::Query);
+                assert!(e.message.contains("learning_rate"), "typed cause: {e}");
+            }
+            other => panic!("learning_rate {lr} must be refused, got {other:?}"),
+        }
+    }
+    assert_eq!(vkg.epoch(), 0, "no refused write published an epoch");
+
+    // The embeddings were never poisoned: answers still match the
+    // in-process engine and carry finite distances.
+    let remote = client
+        .top_k(EntityId(2), RelationId(0), Direction::Tails, 5)
+        .expect("server still healthy");
+    let local = vkg
+        .top_k(EntityId(2), RelationId(0), Direction::Tails, 5)
+        .expect("in-process answer");
+    assert_eq!(
+        remote.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+        local.predictions.iter().map(|p| p.id).collect::<Vec<_>>()
+    );
+    assert!(remote.predictions.iter().all(|p| p.distance.is_finite()));
+
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered);
+}
+
 /// `Stats` reports the live epoch, engine counters, and the
 /// admission-control ledger; it stays answerable while queries flow.
 #[test]

@@ -57,7 +57,7 @@ fn new_fact_is_excluded_from_predictions() {
 
     // The user now actually likes their top prediction: the edge enters
     // E, so E′ semantics must drop it from future answers.
-    assert!(vkg.add_fact_dynamic(user, likes, top, 4, 0.05).unwrap());
+    assert!(vkg.add_fact_dynamic(user, likes, top, 4, 0.05).unwrap().0);
     vkg.index().check_invariants();
     let after = vkg.top_k(user, likes, Direction::Tails, 5).unwrap();
     assert!(
@@ -95,9 +95,11 @@ fn duplicate_fact_is_noop() {
         .copied()
         .unwrap();
     let h_before = vkg.embeddings().entity(t.head).to_vec();
-    assert!(!vkg
+    let (added, epoch) = vkg
         .add_fact_dynamic(t.head, likes, t.tail, 5, 0.05)
-        .unwrap());
+        .unwrap();
+    assert!(!added);
+    assert_eq!(epoch, vkg.epoch(), "duplicates report the current epoch");
     assert_eq!(
         vkg.embeddings().entity(t.head),
         h_before.as_slice(),
