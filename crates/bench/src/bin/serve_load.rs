@@ -16,10 +16,10 @@
 //! and at least one completed — the CI tier-2 gate.
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+use vkg::sync::{AtomicU64, Ordering};
 
 use vkg::prelude::*;
 use vkg_bench::latency::Histogram;
@@ -149,6 +149,7 @@ fn main() -> ExitCode {
                 let mut client = Client::connect(addr).expect("connect load connection");
                 let mut tally = Tally::default();
                 loop {
+                    // relaxed: a ticket dispenser; each thread only needs a unique value, not ordering.
                     let i = tickets.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;

@@ -145,16 +145,16 @@ impl CrackingIndex {
                 NodeKind::Internal(children) => {
                     // Prefer a child containing the point; otherwise the
                     // nearest child region.
-                    let next = children
-                        .iter()
-                        .copied()
-                        .min_by(|&a, &b| {
-                            let da = self.nodes[a as usize].mbr.min_distance_sq(point);
-                            let db = self.nodes[b as usize].mbr.min_distance_sq(point);
-                            da.total_cmp(&db)
-                        })
-                        .expect("invariant: internal nodes always have ≥ 1 child");
-                    id = next;
+                    let next = children.iter().copied().min_by(|&a, &b| {
+                        let da = self.nodes[a as usize].mbr.min_distance_sq(point);
+                        let db = self.nodes[b as usize].mbr.min_distance_sq(point);
+                        da.total_cmp(&db)
+                    });
+                    match next {
+                        Some(n) => id = n,
+                        // A childless internal node has no smaller element.
+                        None => return id,
+                    }
                 }
                 _ => return id,
             }

@@ -84,6 +84,7 @@ impl CrackingIndex {
                                     .total_cmp(&self.nodes[b as usize].mbr.volume())
                             })
                         })
+                        // lint: allow(no-unwrap, split never installs a childless Internal; guarded by the debug_assert above)
                         .expect("internal node has children")
                 }
                 NodeKind::Leaf(_) | NodeKind::Unsplit(_) => break,
@@ -111,6 +112,7 @@ impl CrackingIndex {
                 orders.insert(points, id);
                 node.height = height_for(orders.len(), leaf_capacity, fanout);
             }
+            // lint: allow(no-unwrap, the descent loop above only breaks on Leaf or Unsplit)
             NodeKind::Internal(_) => unreachable!("descent ends at a contour element"),
         }
     }

@@ -111,6 +111,7 @@ impl CrackingIndex {
                 &mut index.nodes[root as usize].kind,
                 NodeKind::Internal(Vec::new()),
             ) else {
+                // lint: allow(no-unwrap, replace returns the value the matches! above proved Unsplit)
                 unreachable!("kind matched Unsplit above");
             };
             let mut cost = RunCost::default();

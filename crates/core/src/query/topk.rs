@@ -119,15 +119,9 @@ pub fn find_top_k(
     // Lines 3–4: initial region. If seeding found fewer than k usable
     // entities the radius is unknown; fall back to the whole data region
     // (correct, just slower — happens only on degenerate inputs).
-    let initial_region = if heap.len() >= k {
-        let r_q = heap
-            .peek()
-            .expect("invariant: heap holds ≥ k ≥ 1 entries here")
-            .distance
-            * (1.0 + epsilon);
-        Mbr::of_ball(q_s2, r_q)
-    } else {
-        index.points().mbr_of(&index.points().all_ids())
+    let initial_region = match heap.peek() {
+        Some(worst) if heap.len() >= k => Mbr::of_ball(q_s2, worst.distance * (1.0 + epsilon)),
+        _ => index.points().mbr_of(&index.points().all_ids()),
     };
 
     // Gather the candidate ids in the initial region and consume them
@@ -171,14 +165,9 @@ pub fn find_top_k(
     }
 
     // Line 9: crack the index for the final (stabilized) region.
-    let final_region = if heap.is_empty() {
-        initial_region
-    } else {
-        let r_k = heap
-            .peek()
-            .expect("invariant: heap is non-empty in this branch")
-            .distance;
-        Mbr::of_ball(q_s2, r_k * (1.0 + epsilon))
+    let final_region = match heap.peek() {
+        None => initial_region,
+        Some(worst) => Mbr::of_ball(q_s2, worst.distance * (1.0 + epsilon)),
     };
     index.crack(&final_region);
     index.stats_mut().s1_distance_evals += s1_evals;
@@ -212,32 +201,26 @@ pub fn find_top_k(
 fn push_candidate(heap: &mut BinaryHeap<HeapEntry>, k: usize, id: u32, distance: f64) -> bool {
     if heap.len() < k {
         heap.push(HeapEntry { distance, id });
-        true
-    } else if distance
-        < heap
-            .peek()
-            .expect("invariant: heap is at capacity k ≥ 1 in this branch")
-            .distance
-    {
-        heap.pop();
-        heap.push(HeapEntry { distance, id });
-        true
-    } else {
-        false
+        return true;
+    }
+    match heap.peek().map(|worst| worst.distance) {
+        Some(kth) if distance < kth => {
+            heap.pop();
+            heap.push(HeapEntry { distance, id });
+            true
+        }
+        _ => false,
     }
 }
 
 /// Squared S₂ ball radius for the current k-set (infinite until k found).
 fn current_ball_radius_sq(heap: &BinaryHeap<HeapEntry>, k: usize, epsilon: f64) -> f64 {
-    if heap.len() < k {
-        f64::INFINITY
-    } else {
-        let r = heap
-            .peek()
-            .expect("invariant: heap holds ≥ k ≥ 1 entries here")
-            .distance
-            * (1.0 + epsilon);
-        r * r
+    match heap.peek() {
+        Some(worst) if heap.len() >= k => {
+            let r = worst.distance * (1.0 + epsilon);
+            r * r
+        }
+        _ => f64::INFINITY,
     }
 }
 

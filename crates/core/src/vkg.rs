@@ -26,9 +26,9 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use vkg_embed::EmbeddingStore;
 use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
+use vkg_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::config::VkgConfig;
 use crate::engine::{IndexState, QueryEngine};
@@ -141,6 +141,7 @@ impl VirtualKnowledgeGraph {
     ) -> Self {
         match Self::try_assemble(graph, attributes, embeddings, config) {
             Ok(vkg) => vkg,
+            // lint: allow(no-unwrap, documented `# Panics` contract; try_assemble is the fallible form)
             Err(e) => panic!("{e}"),
         }
     }
@@ -153,12 +154,15 @@ impl VirtualKnowledgeGraph {
         config: VkgConfig,
     ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
-        let engine = RwLock::new(IndexState::cracking(&snapshot));
+        let engine = RwLock::with_name(IndexState::cracking(&snapshot), "vkg.engine");
         Ok(Self {
-            published: RwLock::new(Published {
-                epoch: 0,
-                snap: snapshot,
-            }),
+            published: RwLock::with_name(
+                Published {
+                    epoch: 0,
+                    snap: snapshot,
+                },
+                "vkg.published",
+            ),
             engine,
         })
     }
@@ -177,6 +181,7 @@ impl VirtualKnowledgeGraph {
     ) -> Self {
         match Self::try_assemble_bulk_loaded(graph, attributes, embeddings, config) {
             Ok(vkg) => vkg,
+            // lint: allow(no-unwrap, documented `# Panics` contract; try_assemble_bulk_loaded is the fallible form)
             Err(e) => panic!("{e}"),
         }
     }
@@ -189,12 +194,15 @@ impl VirtualKnowledgeGraph {
         config: VkgConfig,
     ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
-        let engine = RwLock::new(IndexState::bulk_loaded(&snapshot));
+        let engine = RwLock::with_name(IndexState::bulk_loaded(&snapshot), "vkg.engine");
         Ok(Self {
-            published: RwLock::new(Published {
-                epoch: 0,
-                snap: snapshot,
-            }),
+            published: RwLock::with_name(
+                Published {
+                    epoch: 0,
+                    snap: snapshot,
+                },
+                "vkg.published",
+            ),
             engine,
         })
     }

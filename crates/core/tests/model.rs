@@ -1,0 +1,217 @@
+//! Model-checked scenarios over the real facade: the epoch-swap
+//! publication protocol of [`VirtualKnowledgeGraph`] is explored under
+//! `vkg-sync`'s seeded scheduler, which serializes the threads onto
+//! adversarial interleavings and verifies the absence of data races,
+//! lock-order inversions, and deadlocks at every step.
+//!
+//! Run with `cargo test -p vkg-core --features model --test model`.
+
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use vkg_core::vkg::VirtualKnowledgeGraph;
+use vkg_core::{Direction, SplitStrategy, VkgConfig};
+use vkg_embed::EmbeddingStore;
+use vkg_kg::{AttributeStore, KnowledgeGraph, RelationId};
+use vkg_sync::{model, thread};
+
+const SEEDS: u64 = 64;
+
+/// A hand-built world (no training): users u0..u3 at x = i, items
+/// m0..m5 at x = 10 + i, "likes" translates by +10, so uᵢ + likes ≈ mᵢ.
+fn tiny_vkg() -> (VirtualKnowledgeGraph, RelationId) {
+    let dim = 8;
+    let mut g = KnowledgeGraph::new();
+    let likes = g.add_relation("likes");
+    let users: Vec<_> = (0..4).map(|i| g.add_entity(&format!("u{i}"))).collect();
+    let items: Vec<_> = (0..6).map(|i| g.add_entity(&format!("m{i}"))).collect();
+    g.add_triple(users[0], likes, items[0]).expect("fresh edge");
+
+    let mut ent = vec![0.0; 10 * dim];
+    for (i, _) in users.iter().enumerate() {
+        ent[i * dim] = i as f64;
+    }
+    for (j, _) in items.iter().enumerate() {
+        ent[(4 + j) * dim] = 10.0 + j as f64;
+        ent[(4 + j) * dim + 1] = 0.5;
+    }
+    let mut rel = vec![0.0; dim];
+    rel[0] = 10.0;
+    rel[1] = 0.5;
+    let store = EmbeddingStore::from_raw(dim, ent, rel);
+
+    let mut attrs = AttributeStore::new();
+    for (j, &m) in items.iter().enumerate() {
+        attrs.set("year", m, 2000.0 + j as f64);
+    }
+    let cfg = VkgConfig {
+        alpha: 3,
+        epsilon: 3.0,
+        leaf_capacity: 2,
+        fanout: 2,
+        beta: 2.0,
+        split_strategy: SplitStrategy::Greedy,
+        query_aware_cost: true,
+        transform_seed: 7,
+    };
+    let vkg = VirtualKnowledgeGraph::try_assemble(g, attrs, store, cfg).expect("tiny world");
+    (vkg, likes)
+}
+
+/// Two concurrent writers and a polling reader: every epoch observation
+/// is monotone, and after both writers land the epoch counted exactly
+/// one publication per write.
+#[test]
+fn epoch_monotonic_across_concurrent_writers() {
+    model::sweep(SEEDS, || {
+        let (vkg, likes) = tiny_vkg();
+        let vkg = Arc::new(vkg);
+        let u1 = vkg.graph().entity_id("u1").expect("u1");
+        let m4 = vkg.graph().entity_id("m4").expect("m4");
+        let m1 = vkg.graph().entity_id("m1").expect("m1");
+
+        let w1 = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || {
+                let (added, _) = vkg
+                    .add_fact_dynamic(u1, likes, m4, 2, 0.01)
+                    .expect("valid ids");
+                assert!(added, "fresh edge");
+            })
+        };
+        let w2 = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || vkg.set_attribute_dynamic("year", m1, 1999.0))
+        };
+        let reader = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || {
+                let mut last = vkg.epoch();
+                for _ in 0..3 {
+                    let e = vkg.epoch();
+                    assert!(e >= last, "epoch went backwards: {last} -> {e}");
+                    last = e;
+                }
+            })
+        };
+        w1.join().expect("writer 1");
+        w2.join().expect("writer 2");
+        reader.join().expect("reader");
+        assert_eq!(vkg.epoch(), 2, "one publication per write");
+    })
+    .unwrap_or_else(|v| panic!("epoch-monotonicity model failed: {v}"));
+}
+
+/// A reader taking the `(epoch, snapshot)` pair must see either all of
+/// an update or none of it — the epoch alone decides which.
+#[test]
+fn no_torn_snapshot_visibility() {
+    model::sweep(SEEDS, || {
+        let (vkg, _likes) = tiny_vkg();
+        let vkg = Arc::new(vkg);
+        let u0 = vkg.graph().entity_id("u0").expect("u0");
+        let base = vkg.epoch();
+
+        let writer = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || vkg.set_attribute_dynamic("year", u0, 1987.0))
+        };
+        let reader = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || {
+                let (epoch, snap) = vkg.published();
+                let year = snap.attributes().get("year", u0).expect("year column");
+                if epoch > base {
+                    assert_eq!(year, Some(1987.0), "bumped epoch ⇒ whole update");
+                } else {
+                    assert_eq!(year, None, "old epoch ⇒ none of the update");
+                }
+            })
+        };
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+        let (epoch, snap) = vkg.published();
+        assert_eq!(epoch, base + 1);
+        assert_eq!(
+            snap.attributes().get("year", u0).expect("year column"),
+            Some(1987.0)
+        );
+    })
+    .unwrap_or_else(|v| panic!("torn-snapshot model failed: {v}"));
+}
+
+/// `with_published_engine` pins one epoch for its whole closure: while
+/// it runs, a concurrent writer cannot publish (writers serialize on
+/// the engine lock), so the epoch handed in stays exact. Queries and
+/// writes also contend on the engine lock here, which lets the checker
+/// watch the engine→published acquisition order from both sides.
+#[test]
+fn with_published_engine_pins_epoch_against_writer() {
+    model::sweep(SEEDS, || {
+        let (vkg, likes) = tiny_vkg();
+        let vkg = Arc::new(vkg);
+        let u0 = vkg.graph().entity_id("u0").expect("u0");
+        let m5 = vkg.graph().entity_id("m5").expect("m5");
+
+        let writer = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || vkg.set_attribute_dynamic("year", m5, 2024.0))
+        };
+        let querier = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || {
+                let r = vkg
+                    .top_k(u0, likes, Direction::Tails, 2)
+                    .expect("valid query");
+                assert!(!r.predictions.is_empty());
+                assert!(r.predictions.iter().all(|p| p.id != u0.0), "skip self");
+            })
+        };
+        let (epoch_in, epoch_reread) = vkg.with_published_engine(|epoch, snap, _engine| {
+            assert!(snap.graph().num_entities() >= 10);
+            (epoch, vkg.epoch())
+        });
+        assert_eq!(
+            epoch_in, epoch_reread,
+            "no publication can land while the engine lock is held"
+        );
+        writer.join().expect("writer");
+        querier.join().expect("querier");
+        assert_eq!(vkg.epoch(), 1);
+    })
+    .unwrap_or_else(|v| panic!("epoch-pinning model failed: {v}"));
+}
+
+/// Readers that cloned a snapshot `Arc` before a write keep a frozen,
+/// internally consistent view while the writer publishes — the engine's
+/// copy-on-write contract, checked against explored schedules.
+#[test]
+fn pinned_snapshot_stays_frozen_during_publication() {
+    model::sweep(SEEDS, || {
+        let (vkg, likes) = tiny_vkg();
+        let vkg = Arc::new(vkg);
+        let u2 = vkg.graph().entity_id("u2").expect("u2");
+        let snap = vkg.snapshot();
+        let entities_before = snap.graph().num_entities();
+        let dim = snap.embeddings().dim();
+
+        let writer = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || {
+                vkg.add_entity_dynamic("m_fresh", &vec![30.0; dim]);
+            })
+        };
+        let reader = thread::spawn(move || {
+            assert_eq!(snap.graph().num_entities(), entities_before);
+            let q = snap
+                .query_point_s1(u2, likes, Direction::Tails)
+                .expect("pinned view answers");
+            assert_eq!(q.len(), snap.embeddings().dim());
+        });
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+        assert_eq!(vkg.graph().num_entities(), entities_before + 1);
+    })
+    .unwrap_or_else(|v| panic!("frozen-snapshot model failed: {v}"));
+}

@@ -13,6 +13,9 @@
 //!   their typed responses, including the [`protocol::ErrorCode`]
 //!   vocabulary for admission-control refusals (`Overloaded`,
 //!   `DeadlineExceeded`, `Draining`).
+//! * [`queue`] — the bounded admission queue ([`queue::JobQueue`]) and
+//!   the monotonic [`queue::Counters`], built on `vkg-sync` primitives
+//!   so the model-checking tests explore their interleavings directly.
 //! * [`server`] — accept loop + per-connection threads + a bounded
 //!   admission queue feeding a fixed worker pool. A full queue sheds
 //!   load explicitly; admitted work is always answered (the
@@ -45,6 +48,7 @@
 
 pub mod client;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 pub mod wire;
 

@@ -629,6 +629,7 @@ impl Response {
             Response::TopK(t) => {
                 e.u8(op::R_TOP_K);
                 e.u64(t.epoch);
+                // lint: allow(no-truncating-cast, encode side; k is capped at MAX_K well below 2^32)
                 e.u32(t.predictions.len() as u32);
                 for p in &t.predictions {
                     e.u32(p.id);

@@ -31,24 +31,23 @@
 //! snapshot with a bumped epoch; every response carries the epoch it
 //! was computed at so clients can reason about read-your-writes.
 
-use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar};
-use std::thread::{self, JoinHandle};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use vkg_core::engine::QueryEngine;
 use vkg_core::vkg::VirtualKnowledgeGraph;
 use vkg_kg::{EntityId, RelationId};
+use vkg_sync::thread::{self, JoinHandle};
+use vkg_sync::{AtomicBool, Ordering};
 
 use crate::protocol::{
     AggregateWire, ErrorCode, Request, RequestOp, Response, ServerCounters, ServerError, StatsWire,
     TopKWire, WireFilter,
 };
+use crate::queue::{Admission, Counters, JobQueue};
 use crate::wire::{write_frame, FrameBuffer, WireError};
 
 /// Tuning knobs for a [`Server`].
@@ -88,100 +87,10 @@ struct Job {
     reply: mpsc::Sender<Response>,
 }
 
-/// Outcome of [`JobQueue::try_push`].
-enum Admission {
-    Admitted,
-    QueueFull,
-    Closed,
-}
-
-/// A bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`. Push never
-/// blocks — a full queue is an explicit shed decision, not a wait.
-struct JobQueue {
-    inner: Mutex<QueueState>,
-    ready: Condvar,
-    capacity: usize,
-}
-
-struct QueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
-        JobQueue {
-            inner: Mutex::new(QueueState {
-                jobs: VecDeque::with_capacity(capacity),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            capacity,
-        }
-    }
-
-    fn try_push(&self, job: Job) -> Admission {
-        let mut state = self.inner.lock();
-        if state.closed {
-            return Admission::Closed;
-        }
-        if state.jobs.len() >= self.capacity {
-            return Admission::QueueFull;
-        }
-        state.jobs.push_back(job);
-        drop(state);
-        self.ready.notify_one();
-        Admission::Admitted
-    }
-
-    /// Blocks for the next job; `None` once the queue is closed *and*
-    /// drained, so workers never abandon admitted work.
-    fn pop(&self) -> Option<Job> {
-        let mut state = self.inner.lock();
-        loop {
-            if let Some(job) = state.jobs.pop_front() {
-                return Some(job);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.ready.wait(state).expect("queue mutex poisoned");
-        }
-    }
-
-    fn close(&self) {
-        self.inner.lock().closed = true;
-        self.ready.notify_all();
-    }
-}
-
-/// Monotonic admission-control counters (relaxed atomics — they are
-/// statistics, ordering is established by the queue's mutex).
-#[derive(Default)]
-struct Counters {
-    admitted: AtomicU64,
-    answered: AtomicU64,
-    shed: AtomicU64,
-    deadline_expired: AtomicU64,
-    drained: AtomicU64,
-}
-
-impl Counters {
-    fn snapshot(&self) -> ServerCounters {
-        ServerCounters {
-            admitted: self.admitted.load(Ordering::Relaxed),
-            answered: self.answered.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
-            drained: self.drained.load(Ordering::Relaxed),
-        }
-    }
-}
-
 struct Shared {
     vkg: Arc<VirtualKnowledgeGraph>,
     cfg: ServerConfig,
-    queue: JobQueue,
+    queue: JobQueue<Job>,
     counters: Counters,
     draining: AtomicBool,
 }
@@ -211,21 +120,37 @@ impl Server {
             draining: AtomicBool::new(false),
             cfg,
         });
-        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("vkg-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let worker_shared = Arc::clone(&shared);
+            match thread::Builder::new()
+                .name(format!("vkg-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unblock the workers spawned so far (they are parked
+                    // on `pop`) before reporting the OS's refusal.
+                    shared.queue.close();
+                    return Err(e);
+                }
+            }
+        }
         let accept = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
+            let accept_shared = Arc::clone(&shared);
+            match thread::Builder::new()
                 .name("vkg-accept".into())
-                .spawn(move || accept_loop(listener, &shared, workers))
-                .expect("spawn accept loop")
+                .spawn(move || accept_loop(listener, &accept_shared, workers))
+            {
+                Ok(handle) => handle,
+                Err(e) => {
+                    // The worker handles were owned by the failed spawn's
+                    // closure and are gone; closing the queue lets those
+                    // detached workers drain and exit.
+                    shared.queue.close();
+                    return Err(e);
+                }
+            }
         };
         Ok(ServerHandle {
             addr,
@@ -351,13 +276,22 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, workers: Vec<JoinHan
     while !shared.draining.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let shared = Arc::clone(shared);
-                let handle = thread::Builder::new()
+                let conn_shared = Arc::clone(shared);
+                match thread::Builder::new()
                     .name("vkg-conn".into())
-                    .spawn(move || connection_loop(stream, &shared))
-                    .expect("spawn connection thread");
-                conns.push(handle);
-                conns.retain(|h| !h.is_finished());
+                    .spawn(move || connection_loop(stream, &conn_shared))
+                {
+                    Ok(handle) => {
+                        conns.push(handle);
+                        conns.retain(|h| !h.is_finished());
+                    }
+                    Err(_) => {
+                        // Thread exhaustion: the stream was owned by the
+                        // failed spawn's closure and dropped with it, so
+                        // the client sees a closed connection and can
+                        // retry — the server itself keeps serving.
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(_) => thread::sleep(ACCEPT_POLL),
@@ -452,7 +386,7 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
         }
         _ => {
             if shared.draining.load(Ordering::SeqCst) {
-                shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                shared.counters.record_drained();
                 return send(stream, &refusal(ErrorCode::Draining, "server is draining")).is_ok();
             }
             if let Err(rejection) = sanitize(shared, &mut request) {
@@ -472,14 +406,14 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             };
             match shared.queue.try_push(job) {
                 Admission::Admitted => {
-                    shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.record_admitted();
                     let response = reply_rx.recv().unwrap_or_else(|_| {
                         refusal(ErrorCode::Internal, "worker pool disappeared")
                     });
                     send(stream, &response).is_ok()
                 }
                 Admission::QueueFull => {
-                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.record_shed();
                     send(
                         stream,
                         &refusal(ErrorCode::Overloaded, "admission queue full; back off"),
@@ -487,7 +421,7 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
                     .is_ok()
                 }
                 Admission::Closed => {
-                    shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.record_drained();
                     send(stream, &refusal(ErrorCode::Draining, "server is draining")).is_ok()
                 }
             }
@@ -532,10 +466,7 @@ fn fail_connection(stream: &mut TcpStream, e: &WireError) {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let response = if job.admitted_at.elapsed() >= job.deadline {
-            shared
-                .counters
-                .deadline_expired
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.record_deadline_expired();
             refusal(
                 ErrorCode::DeadlineExceeded,
                 "deadline expired while queued; not executed",
@@ -548,7 +479,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         // Every admitted job is answered exactly once; a hung-up client
         // (closed reply channel) still counts as answered.
-        shared.counters.answered.fetch_add(1, Ordering::Relaxed);
+        shared.counters.record_answered();
         let _ = job.reply.send(response);
     }
 }
@@ -609,11 +540,12 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             relation,
             direction,
             ..
-        } => {
-            let spec = request
-                .aggregate_spec()
-                .expect("aggregate request has a spec");
-            vkg.with_published_engine(|epoch, snap, engine| {
+        } => match request.aggregate_spec() {
+            // Decoding guarantees aggregate ops carry a spec, but a
+            // refusal here is cheaper to reason about than a panic in a
+            // worker thread if that invariant ever drifts.
+            None => refusal(ErrorCode::Internal, "aggregate request lost its spec"),
+            Some(spec) => vkg.with_published_engine(|epoch, snap, engine| {
                 match engine.aggregate(
                     snap,
                     EntityId(*entity),
@@ -624,8 +556,8 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
                     Ok(r) => Response::Aggregate(AggregateWire::from_result(epoch, &r)),
                     Err(e) => Response::Error(ServerError::query(&e)),
                 }
-            })
-        }
+            }),
+        },
         RequestOp::AddFactDynamic {
             h,
             r,

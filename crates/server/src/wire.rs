@@ -222,6 +222,7 @@ impl Enc {
 
     /// Appends a length-prefixed UTF-8 string.
     pub fn str(&mut self, s: &str) {
+        // lint: allow(no-truncating-cast, encode side; strings are bounded by MAX_FRAME = 1 MiB < 2^32)
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }

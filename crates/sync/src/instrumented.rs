@@ -1,0 +1,492 @@
+//! Model-mode (`--features model`) implementations of the facade
+//! primitives. Same API as `passthrough`, but on a *managed* thread
+//! (one spawned inside [`crate::model::check`]) every operation first
+//! consults the runtime: a scheduling decision, happens-before
+//! bookkeeping, and violation checks. On unmanaged threads everything
+//! degrades to plain `std::sync` behavior, so binaries compiled with
+//! the feature still run their ordinary tests unchanged.
+//!
+//! Physically the data still lives in `std::sync` primitives; because
+//! the model runtime admits exactly one managed thread at a time and
+//! grants model-level ownership before the real `try_lock`, those
+//! inner locks are always uncontended in a model run.
+
+use std::sync::PoisonError;
+
+use crate::model::runtime::{current, LazyId};
+use crate::Ordering;
+
+fn ordering_effects(order: Ordering, is_load: bool, is_store: bool) -> (bool, bool) {
+    // (acquire-edge, release-edge) the model runtime should apply.
+    // SeqCst is modelled as AcqRel: the global total order is not
+    // tracked, only its happens-before consequences.
+    let acq = !is_store
+        && matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        );
+    let rel = !is_load
+        && matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        );
+    (acq, rel)
+}
+
+/// A mutual-exclusion lock; see the passthrough twin for the contract.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    id: LazyId,
+    name: Option<&'static str>,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    managed: bool,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: LazyId::new(),
+            name: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a named mutex; the name appears in model violations.
+    pub const fn with_name(value: T, name: &'static str) -> Self {
+        Self {
+            id: LazyId::new(),
+            name: Some(name),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock (a model yield point on managed threads).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current() {
+            Some((rt, me)) => {
+                rt.acquire_mutex(me, self.id.get(), self.name);
+                let inner = self
+                    .inner
+                    .try_lock()
+                    .expect("model runtime granted a mutex that is really held");
+                MutexGuard {
+                    lock: self,
+                    managed: true,
+                    inner: Some(inner),
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                managed: false,
+                inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model release hands the
+        // processor to a thread that may immediately try_lock it.
+        self.inner = None;
+        if self.managed {
+            if let Some((rt, me)) = current() {
+                rt.release_mutex(me, self.lock.id.get());
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+/// A reader-writer lock; see the passthrough twin for the contract.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    id: LazyId,
+    name: Option<&'static str>,
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII guard for [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    managed: bool,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+/// RAII guard for [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    managed: bool,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: LazyId::new(),
+            name: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a named lock; the name appears in model violations.
+    pub const fn with_name(value: T, name: &'static str) -> Self {
+        Self {
+            id: LazyId::new(),
+            name: Some(name),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access (a model yield point).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match current() {
+            Some((rt, me)) => {
+                rt.acquire_rw(me, self.id.get(), false, self.name);
+                let inner = self
+                    .inner
+                    .try_read()
+                    .expect("model runtime granted a read lock that is really held");
+                RwLockReadGuard {
+                    lock: self,
+                    managed: true,
+                    inner: Some(inner),
+                }
+            }
+            None => RwLockReadGuard {
+                lock: self,
+                managed: false,
+                inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+            },
+        }
+    }
+
+    /// Acquires exclusive write access (a model yield point).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match current() {
+            Some((rt, me)) => {
+                rt.acquire_rw(me, self.id.get(), true, self.name);
+                let inner = self
+                    .inner
+                    .try_write()
+                    .expect("model runtime granted a write lock that is really held");
+                RwLockWriteGuard {
+                    lock: self,
+                    managed: true,
+                    inner: Some(inner),
+                }
+            }
+            None => RwLockWriteGuard {
+                lock: self,
+                managed: false,
+                inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.managed {
+            if let Some((rt, me)) = current() {
+                rt.release_rw(me, self.lock.id.get(), false);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.managed {
+            if let Some((rt, me)) = current() {
+                rt.release_rw(me, self.lock.id.get(), true);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+/// A condition variable tied to [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: LazyId,
+    /// Used only on unmanaged threads; managed waits are pure model
+    /// state.
+    std_cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            id: LazyId::new(),
+            std_cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified;
+    /// reacquires before returning.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match current() {
+            Some((rt, me)) if guard.managed => {
+                let lock = guard.lock;
+                let mutex_id = lock.id.get();
+                // Disarm the guard: the model release happens inside
+                // condvar_wait, atomically with parking.
+                guard.managed = false;
+                guard.inner = None;
+                drop(guard);
+                rt.condvar_wait(me, self.id.get(), mutex_id, None);
+                // Notified: reacquire through the full model path.
+                rt.acquire_mutex(me, mutex_id, lock.name);
+                let inner = lock
+                    .inner
+                    .try_lock()
+                    .expect("model runtime granted a mutex that is really held");
+                MutexGuard {
+                    lock,
+                    managed: true,
+                    inner: Some(inner),
+                }
+            }
+            _ => {
+                let lock = guard.lock;
+                let inner = guard.inner.take().expect("guard holds the lock");
+                guard.managed = false; // nothing left to release
+                drop(guard);
+                let inner = self
+                    .std_cv
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+                MutexGuard {
+                    lock,
+                    managed: false,
+                    inner: Some(inner),
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter (the model picks which, from the seed).
+    pub fn notify_one(&self) {
+        if let Some((rt, me)) = current() {
+            rt.condvar_notify(me, self.id.get(), false, None);
+        } else {
+            self.std_cv.notify_one();
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if let Some((rt, me)) = current() {
+            rt.condvar_notify(me, self.id.get(), true, None);
+        } else {
+            self.std_cv.notify_all();
+        }
+    }
+}
+
+/// A 64-bit atomic counter with model-interpreted orderings.
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    id: LazyId,
+    inner: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicU64 {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(value: u64) -> Self {
+        Self {
+            id: LazyId::new(),
+            inner: std::sync::atomic::AtomicU64::new(value),
+        }
+    }
+
+    fn instrument(&self, order: Ordering, is_load: bool, is_store: bool) {
+        if let Some((rt, me)) = current() {
+            let (acq, rel) = ordering_effects(order, is_load, is_store);
+            rt.atomic_access(me, self.id.get(), acq, rel, None);
+        }
+    }
+
+    /// Loads the current value.
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.instrument(order, true, false);
+        self.inner.load(order)
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: u64, order: Ordering) {
+        self.instrument(order, false, true);
+        self.inner.store(value, order)
+    }
+
+    /// Adds `value`, returning the previous value.
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.instrument(order, false, false);
+        self.inner.fetch_add(value, order)
+    }
+}
+
+/// A boolean atomic flag with model-interpreted orderings.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    id: LazyId,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new flag with the given initial value.
+    pub const fn new(value: bool) -> Self {
+        Self {
+            id: LazyId::new(),
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn instrument(&self, order: Ordering, is_load: bool, is_store: bool) {
+        if let Some((rt, me)) = current() {
+            let (acq, rel) = ordering_effects(order, is_load, is_store);
+            rt.atomic_access(me, self.id.get(), acq, rel, None);
+        }
+    }
+
+    /// Loads the current value.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.instrument(order, true, false);
+        self.inner.load(order)
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.instrument(order, false, true);
+        self.inner.store(value, order)
+    }
+
+    /// Stores `value`, returning the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.instrument(order, false, false);
+        self.inner.swap(value, order)
+    }
+}
+
+/// A shared cell whose every access is race-checked by the model
+/// runtime: two accesses (at least one a write) with no happens-before
+/// edge between them fail the run at that first conflicting pair.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    id: LazyId,
+    name: Option<&'static str>,
+    /// Physical storage. The inner mutex is *not* part of the modelled
+    /// program — races are judged purely on vector clocks — it merely
+    /// keeps the cell `Sync` for the real OS threads underneath.
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Creates a new cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: LazyId::new(),
+            name: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a named cell; the name appears in race reports.
+    pub const fn with_name(value: T, name: &'static str) -> Self {
+        Self {
+            id: LazyId::new(),
+            name: Some(name),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Reads the current value (race-checked on managed threads).
+    pub fn get(&self) -> T {
+        if let Some((rt, me)) = current() {
+            rt.cell_read(me, self.id.get(), self.name);
+        }
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replaces the value (race-checked on managed threads).
+    pub fn set(&self, value: T) {
+        if let Some((rt, me)) = current() {
+            rt.cell_write(me, self.id.get(), self.name);
+        }
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+}

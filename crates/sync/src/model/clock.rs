@@ -1,0 +1,69 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! One component per managed thread. Thread `t`'s clock counts the
+//! events `t` has performed in its own component and the latest events
+//! it has *observed* from every other thread (via lock hand-offs,
+//! Acquire loads of Release stores, spawn and join edges). An access
+//! with clock `a` happens-before one with clock `b` iff `a ≤ b`
+//! component-wise — anything else is concurrency, and concurrency on an
+//! unsynchronized cell is a data race.
+
+/// A grow-on-demand vector clock. Missing components read as zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The component for `tid` (zero if never touched).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component by one (a new local event).
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: absorb everything `other` has observed.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self ≤ other` component-wise: the event stamped `self`
+    /// happens-before (or equals) the event stamped `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        (0..self.0.len().max(other.0.len())).all(|i| self.get(i) <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_concurrency() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        a.tick(0); // a = [1]
+        b.join(&a);
+        b.tick(1); // b = [1, 1] — a happened-before b
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+
+        let mut c = VClock::default();
+        c.tick(2); // c = [0, 0, 1] — concurrent with a
+        assert!(!a.le(&c));
+        assert!(!c.le(&a));
+        assert_eq!(c.get(2), 1);
+        assert_eq!(c.get(7), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The schedule-exploring model checker (only with `--features model`).
+//!
+//! [`check`] runs a closure under a seed-deterministic randomized
+//! scheduler: threads spawned with [`crate::thread::spawn`] inside the
+//! closure become *managed* — serialized onto one logical processor,
+//! preempted only at instrumentation yield points (every operation on a
+//! [`crate::Mutex`], [`crate::RwLock`], [`crate::Condvar`],
+//! [`crate::AtomicU64`]/[`crate::AtomicBool`], [`crate::RaceCell`],
+//! spawn or join), with every scheduling decision drawn from the seed.
+//! Vector clocks track happens-before across those operations, so the
+//! runtime reports:
+//!
+//! * **data races** — concurrent, unsynchronized accesses to a
+//!   [`crate::RaceCell`], at the first conflicting pair;
+//! * **lock-order inversions** — a cycle in the global
+//!   acquired-while-holding graph, even when this particular schedule
+//!   did not deadlock;
+//! * **deadlocks and lost wakeups** — no runnable thread while some
+//!   thread still waits (a condvar waiter nobody will notify is the
+//!   lost-wakeup shape);
+//! * **panics** inside managed threads, and runaway schedules
+//!   (step-bound exceeded).
+//!
+//! [`sweep`] runs a range of seeds and stops at the first violation;
+//! re-running [`check`] with `Violation::seed` replays the failing
+//! schedule exactly.
+//!
+//! ```
+//! use vkg_sync::{model, thread, Arc, Mutex};
+//!
+//! let report = model::check(7, || {
+//!     let m = Arc::new(Mutex::new(0_u64));
+//!     let m2 = m.clone();
+//!     let h = thread::spawn(move || *m2.lock() += 1);
+//!     *m.lock() += 1;
+//!     h.join().expect("worker");
+//!     assert_eq!(*m.lock(), 2);
+//! })
+//! .expect("clean program");
+//! assert!(report.steps > 0);
+//! ```
+
+mod clock;
+mod rng;
+pub(crate) mod runtime;
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+/// Tuning knobs for a model run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum number of *voluntary* preemptions the scheduler may
+    /// inject (PCT-style bound). Switches forced by blocking are free.
+    pub preemption_bound: u32,
+    /// Abort the schedule (as a [`ViolationKind::ScheduleBound`]
+    /// violation) after this many instrumented operations.
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 8,
+            max_steps: 200_000,
+        }
+    }
+}
+
+/// What went wrong in a failing schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// Concurrent unsynchronized accesses to a [`crate::RaceCell`].
+    DataRace,
+    /// A cycle in the acquired-while-holding lock-order graph.
+    LockOrderInversion,
+    /// No runnable thread while some thread still waits — includes
+    /// classic ABBA deadlocks and lost condvar wakeups.
+    Deadlock,
+    /// A managed thread panicked (failed assertion, unwrap, …).
+    Panic,
+    /// The schedule exceeded [`Config::max_steps`] operations.
+    ScheduleBound,
+}
+
+/// A violation found by the checker, tied to the seed that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The seed whose schedule exposed the violation; re-running
+    /// [`check`] with it replays the exact interleaving.
+    pub seed: u64,
+    /// The violation class.
+    pub kind: ViolationKind,
+    /// Human-readable description naming the objects and threads.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} (seed {}): {} — replay with model::check({}, …)",
+            self.kind, self.seed, self.message, self.seed
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Statistics from a clean schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Instrumented operations executed.
+    pub steps: u64,
+    /// Threads that participated (including the root).
+    pub threads: usize,
+}
+
+fn panic_payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Installs (once per process) a panic hook that silences the private
+/// [`runtime::ModelAbort`] payload used to unwind managed threads after
+/// a violation; every other panic still prints normally.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<runtime::ModelAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Explores one schedule of `f` under `seed` with default [`Config`].
+pub fn check<F: FnOnce()>(seed: u64, f: F) -> Result<Report, Violation> {
+    check_with(&Config::default(), seed, f)
+}
+
+/// Explores one schedule of `f` under `seed` with explicit knobs.
+pub fn check_with<F: FnOnce()>(cfg: &Config, seed: u64, f: F) -> Result<Report, Violation> {
+    install_quiet_hook();
+    assert!(
+        runtime::current().is_none(),
+        "model::check cannot be nested inside a managed thread"
+    );
+    let rt = Arc::new(runtime::Runtime::new(seed, cfg));
+    runtime::set_current(Some((rt.clone(), 0)));
+    let user = panic::catch_unwind(AssertUnwindSafe(f));
+    // Drive leftover spawned threads to completion (or flag them) so
+    // the run ends quiescent regardless of how `f` exited.
+    let _ = panic::catch_unwind(AssertUnwindSafe(|| rt.wind_down()));
+    runtime::set_current(None);
+    let failure = rt.take_failure();
+    match (user, failure) {
+        (_, Some(v)) => Err(v),
+        (Err(p), None) => {
+            if p.is::<runtime::ModelAbort>() {
+                // Aborted but no recorded violation: only possible if
+                // someone raced take_failure; treat as clean teardown.
+                Ok(rt.report())
+            } else {
+                Err(Violation {
+                    seed,
+                    kind: ViolationKind::Panic,
+                    message: format!("root thread panicked: {}", panic_payload_to_string(&*p)),
+                })
+            }
+        }
+        (Ok(()), None) => Ok(rt.report()),
+    }
+}
+
+/// Runs `f` under seeds `0..seeds`, stopping at the first violation.
+pub fn sweep<F: Fn()>(seeds: u64, f: F) -> Result<(), Violation> {
+    sweep_with(&Config::default(), seeds, f)
+}
+
+/// [`sweep`] with explicit knobs.
+pub fn sweep_with<F: Fn()>(cfg: &Config, seeds: u64, f: F) -> Result<(), Violation> {
+    for seed in 0..seeds {
+        check_with(cfg, seed, &f)?;
+    }
+    Ok(())
+}

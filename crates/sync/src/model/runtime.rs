@@ -1,0 +1,953 @@
+//! The instrumented runtime behind `--features model`.
+//!
+//! Real OS threads, one logical processor: every managed thread parks
+//! on a condvar turnstile until the scheduler names it the active
+//! thread, so at most one managed thread executes user code at any
+//! instant. Every instrumented operation (lock, unlock, atomic access,
+//! condvar wait/notify, spawn, join, `RaceCell` access) is a *yield
+//! point*: the seeded RNG may preempt the active thread there (bounded
+//! by [`super::Config::preemption_bound`]), and a thread that blocks
+//! always forces a switch. Because every decision comes from the seed,
+//! a schedule replays exactly.
+//!
+//! On top of the scheduler the runtime maintains vector clocks
+//! ([`super::clock::VClock`]) for happens-before, a global lock-order
+//! graph for inversion detection, and per-cell access histories for
+//! race detection. The first violation wins: it is recorded, every
+//! turnstile is notified, and managed threads unwind with a private
+//! [`ModelAbort`] payload that the panic hook suppresses.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use super::clock::VClock;
+use super::rng::SplitMix64;
+use super::{Config, Violation, ViolationKind};
+
+/// Panic payload used to unwind managed threads after a violation (or
+/// when the run is torn down). Never surfaces to users: the spawn
+/// wrapper catches it and the installed panic hook silences it.
+pub(crate) struct ModelAbort;
+
+/// What a managed thread is doing, as the scheduler sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedRwRead(u64),
+    BlockedRwWrite(u64),
+    WaitingCondvar(u64),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct TState {
+    status: Status,
+    clock: VClock,
+    /// Lock object ids currently held, in acquisition order.
+    held: Vec<u64>,
+    name: String,
+}
+
+#[derive(Debug, Default)]
+struct MutexSt {
+    owner: Option<usize>,
+    /// Clock published by the last release.
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct RwSt {
+    writer: Option<usize>,
+    /// Reader tid → reentrant hold count.
+    readers: BTreeMap<usize, u32>,
+    /// Clock published by the last write release.
+    write_clock: VClock,
+    /// Join of every read release (a later writer synchronizes with
+    /// all of them).
+    read_release: VClock,
+}
+
+#[derive(Debug, Default)]
+struct CondvarSt {
+    /// (tid, mutex object id) for each thread parked in `wait`.
+    waiters: Vec<(usize, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct AtomicSt {
+    /// Accumulated clock of Release-or-stronger writers; Acquire
+    /// readers join it. Relaxed transfers nothing.
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct CellSt {
+    /// Full clock of the last writer at its write, plus who wrote.
+    write_clock: VClock,
+    writer: Option<usize>,
+    /// Latest read clock per reader since the last write.
+    reads: BTreeMap<usize, VClock>,
+}
+
+#[derive(Debug)]
+struct Sched {
+    threads: Vec<TState>,
+    active: usize,
+    rng: SplitMix64,
+    preemptions_left: u32,
+    steps: u64,
+    max_steps: u64,
+    seed: u64,
+    failure: Option<Violation>,
+    mutexes: BTreeMap<u64, MutexSt>,
+    rwlocks: BTreeMap<u64, RwSt>,
+    condvars: BTreeMap<u64, CondvarSt>,
+    atomics: BTreeMap<u64, AtomicSt>,
+    cells: BTreeMap<u64, CellSt>,
+    /// Edge (a, b) = "some thread acquired b while holding a", with the
+    /// first thread that established it. A cycle is a lock-order
+    /// inversion — a schedule exists that deadlocks — reported at the
+    /// first conflicting pair even if this schedule got lucky.
+    lock_edges: BTreeMap<(u64, u64), usize>,
+    /// Diagnostic names for sync objects, captured at first use.
+    names: BTreeMap<u64, String>,
+}
+
+impl Sched {
+    fn name_of(&self, id: u64) -> String {
+        self.names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("sync#{id}"))
+    }
+
+    fn thread_name(&self, tid: usize) -> String {
+        self.threads[tid].name.clone()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The scheduling decision. Returns the next active thread, or
+    /// `None` when nothing can run.
+    fn pick_next(&mut self, me: usize) -> Option<usize> {
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            return None;
+        }
+        if runnable.contains(&me) {
+            // The active thread may keep running; a preemption here is
+            // the PCT-style context switch the budget bounds.
+            if runnable.len() > 1 && self.preemptions_left > 0 && self.rng.chance(1, 3) {
+                self.preemptions_left -= 1;
+                let others: Vec<usize> = runnable.into_iter().filter(|&t| t != me).collect();
+                Some(others[self.rng.below(others.len())])
+            } else {
+                Some(me)
+            }
+        } else {
+            // `me` blocked or finished: a switch is forced (free).
+            let i = self.rng.below(runnable.len());
+            Some(runnable[i])
+        }
+    }
+
+    fn describe_stuck(&self) -> String {
+        let mut lines = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            let what = match &t.status {
+                Status::Runnable => "runnable".to_string(),
+                Status::Finished => continue,
+                Status::BlockedMutex(id) => {
+                    let holder = self
+                        .mutexes
+                        .get(id)
+                        .and_then(|m| m.owner)
+                        .map(|o| self.thread_name(o))
+                        .unwrap_or_else(|| "nobody".to_string());
+                    format!(
+                        "blocked locking '{}' (held by '{holder}')",
+                        self.name_of(*id)
+                    )
+                }
+                Status::BlockedRwRead(id) => {
+                    format!("blocked acquiring read lock '{}'", self.name_of(*id))
+                }
+                Status::BlockedRwWrite(id) => {
+                    format!("blocked acquiring write lock '{}'", self.name_of(*id))
+                }
+                Status::WaitingCondvar(id) => format!(
+                    "waiting on condvar '{}' with no notifier left (lost wakeup?)",
+                    self.name_of(*id)
+                ),
+                Status::BlockedJoin(t2) => format!("joining '{}'", self.thread_name(*t2)),
+            };
+            lines.push(format!("thread '{}' (t{i}) {what}", t.name));
+        }
+        lines.join("; ")
+    }
+}
+
+/// The per-run model runtime. One exists per [`super::check`] call,
+/// shared by the root thread and everything it spawns.
+#[derive(Debug)]
+pub(crate) struct Runtime {
+    sched: Mutex<Sched>,
+    turnstile: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(std::sync::Arc<Runtime>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The runtime managing the calling thread, if any. `None` means the
+/// thread is outside any model run and primitives degrade to plain
+/// `std::sync` behavior.
+pub(crate) fn current() -> Option<(std::sync::Arc<Runtime>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(std::sync::Arc<Runtime>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+fn abort_run() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+/// Lazily assigned global ids for sync objects (0 = unassigned, so
+/// `const fn new` stays possible on every primitive).
+pub(crate) struct LazyId(std::sync::atomic::AtomicU64);
+
+static NEXT_OBJECT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl LazyId {
+    pub const fn new() -> Self {
+        Self(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    pub fn get(&self) -> u64 {
+        use std::sync::atomic::Ordering;
+        let v = self.0.load(Ordering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        let fresh = NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+}
+
+impl Default for LazyId {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LazyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LazyId({})",
+            self.0.load(std::sync::atomic::Ordering::Relaxed)
+        )
+    }
+}
+
+impl Runtime {
+    pub fn new(seed: u64, cfg: &Config) -> Self {
+        let mut root_clock = VClock::default();
+        root_clock.tick(0);
+        Self {
+            sched: Mutex::new(Sched {
+                threads: vec![TState {
+                    status: Status::Runnable,
+                    clock: root_clock,
+                    held: Vec::new(),
+                    name: "main".to_string(),
+                }],
+                active: 0,
+                rng: SplitMix64::new(seed),
+                preemptions_left: cfg.preemption_bound,
+                steps: 0,
+                max_steps: cfg.max_steps,
+                seed,
+                failure: None,
+                mutexes: BTreeMap::new(),
+                rwlocks: BTreeMap::new(),
+                condvars: BTreeMap::new(),
+                atomics: BTreeMap::new(),
+                cells: BTreeMap::new(),
+                lock_edges: BTreeMap::new(),
+                names: BTreeMap::new(),
+            }),
+            turnstile: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records a violation (first one wins), wakes every turnstile and
+    /// unwinds the calling thread.
+    fn fail(&self, mut s: MutexGuard<'_, Sched>, kind: ViolationKind, message: String) -> ! {
+        if s.failure.is_none() {
+            let seed = s.seed;
+            s.failure = Some(Violation {
+                seed,
+                kind,
+                message,
+            });
+        }
+        self.turnstile.notify_all();
+        drop(s);
+        abort_run()
+    }
+
+    /// Entry bookkeeping shared by every instrumented operation: abort
+    /// if the run already failed, count the step, enforce the bound.
+    fn begin_op<'a>(&'a self, mut s: MutexGuard<'a, Sched>) -> MutexGuard<'a, Sched> {
+        if s.failure.is_some() {
+            drop(s);
+            abort_run();
+        }
+        s.steps += 1;
+        if s.steps > s.max_steps {
+            let max = s.max_steps;
+            self.fail(
+                s,
+                ViolationKind::ScheduleBound,
+                format!("schedule exceeded {max} steps (livelock or runaway loop)"),
+            );
+        }
+        s
+    }
+
+    /// Parks until the scheduler names `me` active and runnable.
+    fn wait_until_active<'a>(
+        &'a self,
+        mut s: MutexGuard<'a, Sched>,
+        me: usize,
+    ) -> MutexGuard<'a, Sched> {
+        loop {
+            if s.failure.is_some() {
+                drop(s);
+                abort_run();
+            }
+            if s.active == me && s.threads[me].status == Status::Runnable {
+                return s;
+            }
+            s = self
+                .turnstile
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A scheduling decision while `me` is still runnable: maybe
+    /// preempt; returns with `me` active again.
+    fn decide<'a>(&'a self, mut s: MutexGuard<'a, Sched>, me: usize) -> MutexGuard<'a, Sched> {
+        match s.pick_next(me) {
+            Some(next) if next != me => {
+                s.active = next;
+                self.turnstile.notify_all();
+                self.wait_until_active(s, me)
+            }
+            _ => {
+                s.active = me;
+                s
+            }
+        }
+    }
+
+    /// `me` just became non-runnable: hand the processor to someone
+    /// else, or flag a deadlock if nobody can run.
+    fn advance_from_blocked(&self, s: &mut Sched, me: usize) {
+        match s.pick_next(me) {
+            Some(next) => s.active = next,
+            None => {
+                if !s.all_finished() && s.failure.is_none() {
+                    let seed = s.seed;
+                    s.failure = Some(Violation {
+                        seed,
+                        kind: ViolationKind::Deadlock,
+                        message: format!("no runnable thread: {}", s.describe_stuck()),
+                    });
+                }
+            }
+        }
+        self.turnstile.notify_all();
+    }
+
+    fn note_name(s: &mut Sched, id: u64, name: Option<&'static str>) {
+        if let Some(n) = name {
+            s.names.entry(id).or_insert_with(|| n.to_string());
+        }
+    }
+
+    /// Adds the lock-order edge `held → acquiring` and checks the graph
+    /// for a cycle. Returns the violation message if this edge closes
+    /// one.
+    fn lock_order_check(s: &mut Sched, me: usize, held: u64, acquiring: u64) -> Option<String> {
+        if held == acquiring || s.lock_edges.contains_key(&(held, acquiring)) {
+            return None;
+        }
+        // A path acquiring ⇝ held means the opposite order was already
+        // observed: adding held → acquiring closes a cycle.
+        let mut stack = vec![acquiring];
+        let mut seen = BTreeSet::new();
+        let mut reaches = false;
+        while let Some(n) = stack.pop() {
+            if n == held {
+                reaches = true;
+                break;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            for (&(a, b), _) in s.lock_edges.range((n, 0)..=(n, u64::MAX)) {
+                debug_assert_eq!(a, n);
+                stack.push(b);
+            }
+        }
+        if reaches {
+            let direct = s.lock_edges.get(&(acquiring, held)).copied();
+            let prior = match direct {
+                Some(t) => format!(
+                    "thread '{}' previously acquired '{}' before '{}'",
+                    s.thread_name(t),
+                    s.name_of(acquiring),
+                    s.name_of(held)
+                ),
+                None => format!(
+                    "the opposite order '{}' → '{}' was previously established through a chain",
+                    s.name_of(acquiring),
+                    s.name_of(held)
+                ),
+            };
+            return Some(format!(
+                "lock-order inversion: thread '{}' acquires '{}' while holding '{}', but {prior}",
+                s.thread_name(me),
+                s.name_of(acquiring),
+                s.name_of(held)
+            ));
+        }
+        s.lock_edges.insert((held, acquiring), me);
+        None
+    }
+
+    /// A bare scheduling point (`yield_now`, model-mode `sleep`).
+    pub fn yield_point(&self, me: usize) {
+        let s = self.begin_op(self.lock());
+        let s = self.decide(s, me);
+        drop(s);
+    }
+
+    // ----- mutex -----
+
+    pub fn acquire_mutex(&self, me: usize, id: u64, name: Option<&'static str>) {
+        let mut s = self.begin_op(self.lock());
+        Self::note_name(&mut s, id, name);
+        s = self.decide(s, me);
+        loop {
+            let owner = s.mutexes.entry(id).or_default().owner;
+            match owner {
+                None => {
+                    let lock_clock = s
+                        .mutexes
+                        .get(&id)
+                        .map(|m| m.clock.clone())
+                        .unwrap_or_default();
+                    let held = s.threads[me].held.clone();
+                    for h in held {
+                        if let Some(msg) = Self::lock_order_check(&mut s, me, h, id) {
+                            self.fail(s, ViolationKind::LockOrderInversion, msg);
+                        }
+                    }
+                    let t = &mut s.threads[me];
+                    t.clock.join(&lock_clock);
+                    t.held.push(id);
+                    if let Some(m) = s.mutexes.get_mut(&id) {
+                        m.owner = Some(me);
+                    }
+                    return;
+                }
+                Some(o) if o == me => {
+                    let msg = format!(
+                        "thread '{}' locked '{}' recursively (self-deadlock)",
+                        s.thread_name(me),
+                        s.name_of(id)
+                    );
+                    self.fail(s, ViolationKind::Deadlock, msg);
+                }
+                Some(_) => {
+                    s.threads[me].status = Status::BlockedMutex(id);
+                    self.advance_from_blocked(&mut s, me);
+                    s = self.wait_until_active(s, me);
+                }
+            }
+        }
+    }
+
+    pub fn release_mutex(&self, me: usize, id: u64) {
+        let quiet = std::thread::panicking();
+        let mut s = self.lock();
+        if let Some(m) = s.mutexes.get_mut(&id) {
+            m.owner = None;
+        }
+        let clock = s.threads[me].clock.clone();
+        if let Some(m) = s.mutexes.get_mut(&id) {
+            m.clock = clock;
+        }
+        s.threads[me].clock.tick(me);
+        s.threads[me].held.retain(|&x| x != id);
+        for t in s.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(id) {
+                t.status = Status::Runnable;
+            }
+        }
+        if quiet || s.failure.is_some() {
+            // Unwinding (or the run already failed): hand off state
+            // without scheduling, and never panic from a Drop.
+            self.turnstile.notify_all();
+            return;
+        }
+        s = self.begin_op(s);
+        s = self.decide(s, me);
+        drop(s);
+        self.turnstile.notify_all();
+    }
+
+    // ----- rwlock -----
+
+    pub fn acquire_rw(&self, me: usize, id: u64, write: bool, name: Option<&'static str>) {
+        let mut s = self.begin_op(self.lock());
+        Self::note_name(&mut s, id, name);
+        s = self.decide(s, me);
+        loop {
+            let (writer, i_read, any_readers, wc, rr) = {
+                let st = s.rwlocks.entry(id).or_default();
+                (
+                    st.writer,
+                    st.readers.contains_key(&me),
+                    !st.readers.is_empty(),
+                    st.write_clock.clone(),
+                    st.read_release.clone(),
+                )
+            };
+            if write {
+                if writer.is_none() && !any_readers {
+                    let held = s.threads[me].held.clone();
+                    for h in held {
+                        if let Some(msg) = Self::lock_order_check(&mut s, me, h, id) {
+                            self.fail(s, ViolationKind::LockOrderInversion, msg);
+                        }
+                    }
+                    let t = &mut s.threads[me];
+                    t.clock.join(&wc);
+                    t.clock.join(&rr);
+                    t.held.push(id);
+                    if let Some(st) = s.rwlocks.get_mut(&id) {
+                        st.writer = Some(me);
+                    }
+                    return;
+                }
+                if writer == Some(me) || i_read {
+                    let msg = format!(
+                        "thread '{}' requested write lock '{}' while already holding it (self-deadlock)",
+                        s.thread_name(me),
+                        s.name_of(id)
+                    );
+                    self.fail(s, ViolationKind::Deadlock, msg);
+                }
+                s.threads[me].status = Status::BlockedRwWrite(id);
+            } else {
+                match writer {
+                    None => {
+                        if !i_read {
+                            let held = s.threads[me].held.clone();
+                            for h in held {
+                                if let Some(msg) = Self::lock_order_check(&mut s, me, h, id) {
+                                    self.fail(s, ViolationKind::LockOrderInversion, msg);
+                                }
+                            }
+                            s.threads[me].held.push(id);
+                        }
+                        if let Some(st) = s.rwlocks.get_mut(&id) {
+                            *st.readers.entry(me).or_insert(0) += 1;
+                        }
+                        s.threads[me].clock.join(&wc);
+                        return;
+                    }
+                    Some(w) if w == me => {
+                        let msg = format!(
+                            "thread '{}' requested read lock '{}' while holding its write lock (self-deadlock)",
+                            s.thread_name(me),
+                            s.name_of(id)
+                        );
+                        self.fail(s, ViolationKind::Deadlock, msg);
+                    }
+                    Some(_) => {
+                        s.threads[me].status = Status::BlockedRwRead(id);
+                    }
+                }
+            }
+            self.advance_from_blocked(&mut s, me);
+            s = self.wait_until_active(s, me);
+        }
+    }
+
+    pub fn release_rw(&self, me: usize, id: u64, write: bool) {
+        let quiet = std::thread::panicking();
+        let mut s = self.lock();
+        let clock = s.threads[me].clock.clone();
+        let mut fully_released = true;
+        if let Some(st) = s.rwlocks.get_mut(&id) {
+            if write {
+                st.writer = None;
+                st.write_clock = clock;
+            } else {
+                if let Some(c) = st.readers.get_mut(&me) {
+                    *c -= 1;
+                    if *c == 0 {
+                        st.readers.remove(&me);
+                    } else {
+                        fully_released = false;
+                    }
+                }
+                st.read_release.join(&clock);
+            }
+        }
+        s.threads[me].clock.tick(me);
+        if fully_released {
+            s.threads[me].held.retain(|&x| x != id);
+        }
+        let readers_empty = s
+            .rwlocks
+            .get(&id)
+            .map(|st| st.readers.is_empty() && st.writer.is_none())
+            .unwrap_or(true);
+        for t in s.threads.iter_mut() {
+            let unblock = match t.status {
+                Status::BlockedRwRead(b) => b == id && write,
+                Status::BlockedRwWrite(b) => b == id && readers_empty,
+                _ => false,
+            };
+            if unblock {
+                t.status = Status::Runnable;
+            }
+        }
+        if quiet || s.failure.is_some() {
+            self.turnstile.notify_all();
+            return;
+        }
+        s = self.begin_op(s);
+        s = self.decide(s, me);
+        drop(s);
+        self.turnstile.notify_all();
+    }
+
+    // ----- condvar -----
+
+    /// Atomically (under the scheduler lock) releases `mutex_id`, parks
+    /// on the condvar, and returns once notified. The caller reacquires
+    /// the mutex afterwards via [`Runtime::acquire_mutex`].
+    pub fn condvar_wait(&self, me: usize, cv_id: u64, mutex_id: u64, name: Option<&'static str>) {
+        let mut s = self.begin_op(self.lock());
+        Self::note_name(&mut s, cv_id, name);
+        // Release the mutex exactly like release_mutex, but without a
+        // scheduling gap between the release and the park — a real
+        // condvar's release-and-sleep is atomic, and modelling it any
+        // other way would report phantom lost wakeups.
+        if let Some(m) = s.mutexes.get_mut(&mutex_id) {
+            m.owner = None;
+        }
+        let clock = s.threads[me].clock.clone();
+        if let Some(m) = s.mutexes.get_mut(&mutex_id) {
+            m.clock = clock;
+        }
+        s.threads[me].clock.tick(me);
+        s.threads[me].held.retain(|&x| x != mutex_id);
+        for t in s.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(mutex_id) {
+                t.status = Status::Runnable;
+            }
+        }
+        s.condvars
+            .entry(cv_id)
+            .or_default()
+            .waiters
+            .push((me, mutex_id));
+        s.threads[me].status = Status::WaitingCondvar(cv_id);
+        self.advance_from_blocked(&mut s, me);
+        s = self.wait_until_active(s, me);
+        drop(s);
+    }
+
+    pub fn condvar_notify(&self, me: usize, cv_id: u64, all: bool, name: Option<&'static str>) {
+        let mut s = self.begin_op(self.lock());
+        Self::note_name(&mut s, cv_id, name);
+        let waiter_count = s.condvars.entry(cv_id).or_default().waiters.len();
+        let woken: Vec<usize> = if waiter_count == 0 {
+            Vec::new()
+        } else if all {
+            let cv = s.condvars.get_mut(&cv_id).expect("condvar state exists");
+            cv.waiters.drain(..).map(|(t, _)| t).collect()
+        } else {
+            let i = s.rng.below(waiter_count);
+            let cv = s.condvars.get_mut(&cv_id).expect("condvar state exists");
+            vec![cv.waiters.remove(i).0]
+        };
+        for t in woken {
+            s.threads[t].status = Status::Runnable;
+        }
+        s = self.decide(s, me);
+        drop(s);
+        self.turnstile.notify_all();
+    }
+
+    // ----- atomics -----
+
+    pub fn atomic_access(
+        &self,
+        me: usize,
+        id: u64,
+        acquire: bool,
+        release: bool,
+        name: Option<&'static str>,
+    ) {
+        let mut s = self.begin_op(self.lock());
+        Self::note_name(&mut s, id, name);
+        s = self.decide(s, me);
+        if acquire {
+            let c = s.atomics.entry(id).or_default().clock.clone();
+            s.threads[me].clock.join(&c);
+        }
+        if release {
+            let tc = s.threads[me].clock.clone();
+            s.atomics.entry(id).or_default().clock.join(&tc);
+            s.threads[me].clock.tick(me);
+        }
+    }
+
+    // ----- race-checked cells -----
+
+    pub fn cell_read(&self, me: usize, id: u64, name: Option<&'static str>) {
+        let mut s = self.begin_op(self.lock());
+        Self::note_name(&mut s, id, name);
+        s = self.decide(s, me);
+        let my_clock = s.threads[me].clock.clone();
+        let racy_writer = {
+            let cell = s.cells.entry(id).or_default();
+            cell.writer
+                .filter(|&w| w != me && !cell.write_clock.le(&my_clock))
+        };
+        if let Some(w) = racy_writer {
+            let msg = format!(
+                "data race on '{}': read by thread '{}' is concurrent with write by thread '{}' (no happens-before edge)",
+                s.name_of(id),
+                s.thread_name(me),
+                s.thread_name(w)
+            );
+            self.fail(s, ViolationKind::DataRace, msg);
+        }
+        s.cells.entry(id).or_default().reads.insert(me, my_clock);
+    }
+
+    pub fn cell_write(&self, me: usize, id: u64, name: Option<&'static str>) {
+        let mut s = self.begin_op(self.lock());
+        Self::note_name(&mut s, id, name);
+        s = self.decide(s, me);
+        let my_clock = s.threads[me].clock.clone();
+        let racy_writer = {
+            let cell = s.cells.entry(id).or_default();
+            cell.writer
+                .filter(|&w| w != me && !cell.write_clock.le(&my_clock))
+        };
+        if let Some(w) = racy_writer {
+            let msg = format!(
+                "data race on '{}': write by thread '{}' is concurrent with write by thread '{}' (no happens-before edge)",
+                s.name_of(id),
+                s.thread_name(me),
+                s.thread_name(w)
+            );
+            self.fail(s, ViolationKind::DataRace, msg);
+        }
+        let racy_reader = s
+            .cells
+            .entry(id)
+            .or_default()
+            .reads
+            .iter()
+            .find(|(&t, rc)| t != me && !rc.le(&my_clock))
+            .map(|(&t, _)| t);
+        if let Some(r) = racy_reader {
+            let msg = format!(
+                "data race on '{}': write by thread '{}' is concurrent with read by thread '{}' (no happens-before edge)",
+                s.name_of(id),
+                s.thread_name(me),
+                s.thread_name(r)
+            );
+            self.fail(s, ViolationKind::DataRace, msg);
+        }
+        let cell = s.cells.entry(id).or_default();
+        cell.write_clock = my_clock;
+        cell.writer = Some(me);
+        cell.reads.clear();
+        s.threads[me].clock.tick(me);
+    }
+
+    // ----- threads -----
+
+    /// Registers a child thread (runnable, clock seeded from the
+    /// parent) and returns its tid. No scheduling decision happens
+    /// here: the caller has not created the OS thread yet, and parking
+    /// the parent now would mean it never does. The spawn path yields
+    /// *after* the OS thread exists.
+    pub fn register_child(&self, me: usize, name: Option<String>) -> usize {
+        let mut s = self.begin_op(self.lock());
+        let tid = s.threads.len();
+        let mut clock = s.threads[me].clock.clone();
+        clock.tick(tid);
+        s.threads[me].clock.tick(me);
+        s.threads.push(TState {
+            status: Status::Runnable,
+            clock,
+            held: Vec::new(),
+            name: name.unwrap_or_else(|| format!("t{tid}")),
+        });
+        drop(s);
+        tid
+    }
+
+    /// First thing a managed child does: park until scheduled.
+    pub fn block_until_scheduled(&self, me: usize) {
+        let s = self.lock();
+        let s = self.wait_until_active(s, me);
+        drop(s);
+    }
+
+    /// Marks `me` finished, wakes joiners, hands the processor on.
+    /// Never panics: it runs on the way out of the spawn wrapper.
+    pub fn thread_finished(&self, me: usize) {
+        let mut s = self.lock();
+        s.threads[me].status = Status::Finished;
+        for t in s.threads.iter_mut() {
+            if t.status == Status::BlockedJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if !s.all_finished() {
+            self.advance_from_blocked(&mut s, me);
+        } else {
+            self.turnstile.notify_all();
+        }
+    }
+
+    /// A spawned thread's user closure panicked: that fails the model.
+    pub fn flag_thread_panic(&self, tid: usize, message: String) {
+        let mut s = self.lock();
+        if s.failure.is_none() {
+            let seed = s.seed;
+            let name = s.thread_name(tid);
+            s.failure = Some(Violation {
+                seed,
+                kind: ViolationKind::Panic,
+                message: format!("thread '{name}' panicked: {message}"),
+            });
+        }
+        self.turnstile.notify_all();
+    }
+
+    /// Blocks until `target` finishes, then joins its clock (the join
+    /// happens-before edge).
+    pub fn join_thread(&self, me: usize, target: usize) {
+        let mut s = self.begin_op(self.lock());
+        loop {
+            if s.threads[target].status == Status::Finished {
+                let c = s.threads[target].clock.clone();
+                let t = &mut s.threads[me];
+                t.clock.join(&c);
+                t.clock.tick(me);
+                return;
+            }
+            s.threads[me].status = Status::BlockedJoin(target);
+            self.advance_from_blocked(&mut s, me);
+            s = self.wait_until_active(s, me);
+        }
+    }
+
+    pub fn is_thread_finished(&self, target: usize) -> bool {
+        self.lock().threads[target].status == Status::Finished
+    }
+
+    /// Called by the root after its closure returns (or unwinds):
+    /// drives every leftover spawned thread to completion so the run
+    /// ends in a quiescent, deterministic state. Never panics.
+    pub fn wind_down(&self) {
+        let mut s = self.lock();
+        s.threads[0].status = Status::Finished;
+        loop {
+            if s.all_finished() {
+                self.turnstile.notify_all();
+                return;
+            }
+            if s.failure.is_some() {
+                // Threads parked in turnstiles observe the failure and
+                // unwind themselves; just keep nudging them.
+                self.turnstile.notify_all();
+            } else {
+                let runnable = s.runnable();
+                if runnable.is_empty() {
+                    let seed = s.seed;
+                    let msg = format!("no runnable thread: {}", s.describe_stuck());
+                    s.failure = Some(Violation {
+                        seed,
+                        kind: ViolationKind::Deadlock,
+                        message: msg,
+                    });
+                    self.turnstile.notify_all();
+                } else if !runnable.contains(&s.active) {
+                    let i = s.rng.below(runnable.len());
+                    s.active = runnable[i];
+                    self.turnstile.notify_all();
+                }
+            }
+            s = self
+                .turnstile
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn take_failure(&self) -> Option<Violation> {
+        self.lock().failure.take()
+    }
+
+    pub fn report(&self) -> super::Report {
+        let s = self.lock();
+        super::Report {
+            steps: s.steps,
+            threads: s.threads.len(),
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Default (non-`model`) implementations: `#[inline]` newtypes over
+//! `std::sync` with poisoning erased via `PoisonError::into_inner`, the
+//! same recovery `parking_lot` gives. Zero state beyond the wrapped
+//! primitive.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock (see [`std::sync::Mutex`]), non-poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    pub(crate) inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a named mutex. The name is diagnostic-only and unused in
+    /// passthrough mode; the model runtime reports it in violations.
+    #[inline]
+    pub const fn with_name(value: T, _name: &'static str) -> Self {
+        Self::new(value)
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A reader-writer lock (see [`std::sync::RwLock`]), non-poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII guard for [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII guard for [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a named lock (name is used only by the model runtime).
+    #[inline]
+    pub const fn with_name(value: T, _name: &'static str) -> Self {
+        Self::new(value)
+    }
+
+    /// Consumes the lock, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable tied to [`Mutex`] (see [`std::sync::Condvar`]).
+///
+/// `wait` consumes and returns the guard, so callers never observe the
+/// unlocked window — the same shape the model-mode implementation
+/// needs to make release-and-sleep atomic under the scheduler.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[inline]
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and sleeps until notified;
+    /// reacquires before returning.
+    #[inline]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            inner: self
+                .inner
+                .wait(guard.inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`].
+    #[inline]
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked in [`Condvar::wait`].
+    #[inline]
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A 64-bit atomic counter (see [`std::sync::atomic::AtomicU64`]).
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    inner: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicU64 {
+    /// Creates a new atomic with the given initial value.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicU64::new(value),
+        }
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self, order: super::Ordering) -> u64 {
+        self.inner.load(order)
+    }
+
+    /// Stores `value`.
+    #[inline]
+    pub fn store(&self, value: u64, order: super::Ordering) {
+        self.inner.store(value, order)
+    }
+
+    /// Adds `value`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, value: u64, order: super::Ordering) -> u64 {
+        self.inner.fetch_add(value, order)
+    }
+}
+
+/// A boolean atomic flag (see [`std::sync::atomic::AtomicBool`]).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new flag with the given initial value.
+    #[inline]
+    pub const fn new(value: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self, order: super::Ordering) -> bool {
+        self.inner.load(order)
+    }
+
+    /// Stores `value`.
+    #[inline]
+    pub fn store(&self, value: bool, order: super::Ordering) {
+        self.inner.store(value, order)
+    }
+
+    /// Stores `value`, returning the previous value.
+    #[inline]
+    pub fn swap(&self, value: bool, order: super::Ordering) -> bool {
+        self.inner.swap(value, order)
+    }
+}
+
+/// A shared cell the *model* runtime checks for data races.
+///
+/// In passthrough mode it is simply a tiny mutex-backed cell, so
+/// scenario code shared between tier-1 tests and model tests (see
+/// `tests/concurrency.rs`) compiles and behaves identically in both —
+/// only the model build gets the happens-before verdict.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Creates a new cell holding `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a named cell (name is used only by the model runtime).
+    #[inline]
+    pub const fn with_name(value: T, _name: &'static str) -> Self {
+        Self::new(value)
+    }
+
+    /// Reads the current value.
+    #[inline]
+    pub fn get(&self) -> T {
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, value: T) {
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ordering;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Mutex::new(0_u32);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut started = lock.lock();
+            *started = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut started = lock.lock();
+        while !*started {
+            started = cv.wait(started);
+        }
+        h.join().expect("notifier thread");
+        assert!(*started);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn atomics_passthrough() {
+        let c = AtomicU64::new(1);
+        assert_eq!(c.fetch_add(2, Ordering::Relaxed), 1);
+        assert_eq!(c.load(Ordering::Acquire), 3);
+        c.store(7, Ordering::Release);
+        assert_eq!(c.load(Ordering::Relaxed), 7);
+
+        let f = AtomicBool::new(false);
+        assert!(!f.swap(true, Ordering::Relaxed));
+        assert!(f.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn race_cell_is_a_plain_cell() {
+        let c = RaceCell::with_name(0_u64, "cell");
+        c.set(9);
+        assert_eq!(c.get(), 9);
+    }
+}

@@ -1,0 +1,204 @@
+//! Thread spawning through the facade.
+//!
+//! Passthrough mode re-exports `std::thread`'s pieces. In model mode,
+//! a spawn performed on a *managed* thread creates another managed
+//! thread: a real OS thread that parks on the runtime's turnstile and
+//! runs only when the seeded scheduler says so. Spawns on unmanaged
+//! threads (a server accept loop in an ordinary integration test, say)
+//! fall through to `std::thread` untouched.
+
+#[cfg(not(feature = "model"))]
+pub use std::thread::{sleep, yield_now, Builder, JoinHandle};
+
+#[cfg(not(feature = "model"))]
+/// Spawns an OS thread (passthrough to [`std::thread::spawn`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::spawn(f)
+}
+
+#[cfg(feature = "model")]
+pub use model_impl::{sleep, spawn, yield_now, Builder, JoinHandle};
+
+#[cfg(feature = "model")]
+mod model_impl {
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex, PoisonError};
+    use std::time::Duration;
+
+    use crate::model::runtime::{current, set_current, ModelAbort, Runtime};
+
+    type ResultSlot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+    /// Handle to a spawned thread; mirrors [`std::thread::JoinHandle`].
+    #[derive(Debug)]
+    pub struct JoinHandle<T>(Inner<T>);
+
+    #[derive(Debug)]
+    enum Inner<T> {
+        /// Spawned outside any model run: a plain std handle.
+        Unmanaged(std::thread::JoinHandle<T>),
+        /// Spawned inside a model run: joined through the scheduler.
+        Managed {
+            rt: Arc<Runtime>,
+            tid: usize,
+            /// The underlying OS thread (exits right after the child
+            /// reports itself finished).
+            os: std::thread::JoinHandle<()>,
+            slot: ResultSlot<T>,
+        },
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result (or
+        /// the panic payload, like std).
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Unmanaged(h) => h.join(),
+                Inner::Managed { rt, tid, os, slot } => {
+                    if let Some((rt2, me)) = current() {
+                        debug_assert!(Arc::ptr_eq(&rt, &rt2), "join across model runs");
+                        rt2.join_thread(me, tid);
+                    }
+                    // The model join already ordered us after the
+                    // child's completion; the OS join is instant.
+                    let _ = os.join();
+                    slot.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take()
+                        .expect("managed thread stored its result before finishing")
+                }
+            }
+        }
+
+        /// Whether the thread has finished running.
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                Inner::Unmanaged(h) => h.is_finished(),
+                Inner::Managed { rt, tid, .. } => rt.is_thread_finished(*tid),
+            }
+        }
+    }
+
+    /// Mirrors [`std::thread::Builder`] (name only).
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// Creates a builder with no name set.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Names the thread — visible in model violation reports and
+        /// on the OS thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns the thread, propagating OS spawn failure.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match current() {
+                None => {
+                    let mut b = std::thread::Builder::new();
+                    if let Some(n) = &self.name {
+                        b = b.name(n.clone());
+                    }
+                    Ok(JoinHandle(Inner::Unmanaged(b.spawn(f)?)))
+                }
+                Some((rt, me)) => spawn_managed(rt, me, self.name, f),
+            }
+        }
+    }
+
+    fn spawn_managed<F, T>(
+        rt: Arc<Runtime>,
+        me: usize,
+        name: Option<String>,
+        f: F,
+    ) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let tid = rt.register_child(me, name.clone());
+        let slot: ResultSlot<T> = Arc::new(Mutex::new(None));
+        let slot2 = slot.clone();
+        let rt2 = rt.clone();
+        let mut b = std::thread::Builder::new();
+        if let Some(n) = name {
+            b = b.name(n);
+        }
+        let os = b.spawn(move || {
+            set_current(Some((rt2.clone(), tid)));
+            rt2.block_until_scheduled(tid);
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            match result {
+                Ok(v) => {
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                }
+                Err(p) => {
+                    if !p.is::<ModelAbort>() {
+                        let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = p.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "<non-string panic payload>".to_string()
+                        };
+                        rt2.flag_thread_panic(tid, msg);
+                    }
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Err(p));
+                }
+            }
+            rt2.thread_finished(tid);
+            set_current(None);
+        })?;
+        // The child physically exists now; the spawn's scheduling
+        // point may hand it the processor straight away.
+        rt.yield_point(me);
+        Ok(JoinHandle(Inner::Managed { rt, tid, os, slot }))
+    }
+
+    /// Spawns a thread; managed if called from inside a model run.
+    ///
+    /// # Panics
+    /// Like [`std::thread::spawn`], panics if the OS refuses to spawn.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn thread")
+    }
+
+    /// A scheduling point in model runs; [`std::thread::yield_now`]
+    /// otherwise.
+    pub fn yield_now() {
+        if let Some((rt, me)) = current() {
+            rt.yield_point(me);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Model time is abstract: on a managed thread a sleep is just a
+    /// scheduling point. Unmanaged threads really sleep.
+    pub fn sleep(dur: Duration) {
+        if let Some((rt, me)) = current() {
+            rt.yield_point(me);
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+}

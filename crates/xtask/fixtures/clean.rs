@@ -1,0 +1,18 @@
+// pretend: crates/server/src/server.rs
+// Fixture with zero findings: typed errors, facade primitives, and
+// justified orderings only.
+
+use vkg_sync::{AtomicU64, Mutex, Ordering};
+
+fn typed_error(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+fn facade_lock(m: &Mutex<u64>) -> u64 {
+    *m.lock()
+}
+
+fn justified(c: &AtomicU64) -> u64 {
+    // relaxed: monotonic statistic; snapshot freshness is best-effort
+    c.load(Ordering::Relaxed)
+}

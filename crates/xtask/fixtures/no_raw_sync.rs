@@ -1,0 +1,19 @@
+// pretend: crates/core/src/engine.rs
+// Fixture for the no-raw-sync rule: lock/atomic primitives must come
+// from vkg_sync; Arc, mpsc, and PoisonError stay allowed.
+
+use std::sync::Mutex; // expect: no-raw-sync
+use std::sync::RwLock; // expect: no-raw-sync
+use std::sync::atomic::AtomicU64; // expect: no-raw-sync
+use std::sync::{Arc, Condvar}; // expect: no-raw-sync
+use parking_lot::RwLock as PlRwLock; // expect: no-raw-sync
+
+use std::sync::Arc as SharedPtr;
+use std::sync::mpsc;
+use std::sync::{Arc as A, PoisonError};
+use vkg_sync::{AtomicBool, Mutex as GoodMutex};
+
+fn escape_hatch() {
+    // lint: allow(no-raw-sync, interop with a std API that demands the std type)
+    let _m = std::sync::Mutex::new(0);
+}

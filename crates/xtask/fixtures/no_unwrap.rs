@@ -1,0 +1,43 @@
+// pretend: crates/server/src/server.rs
+// Fixture for the no-unwrap rule: panicking calls in the panic-free
+// zone must fire; annotated and #[cfg(test)] uses must not.
+
+fn bare_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // expect: no-unwrap
+}
+
+fn bare_expect(x: Result<u32, ()>) -> u32 {
+    x.expect("boom") // expect: no-unwrap
+}
+
+fn bare_panic() {
+    panic!("nope") // expect: no-unwrap
+}
+
+fn bare_unreachable() {
+    unreachable!() // expect: no-unwrap
+}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // lint: allow(no-unwrap, the caller checked is_some on the previous line)
+    x.unwrap()
+}
+
+// lint: allow(no-unwrap) expect: malformed-allow
+fn allow_without_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // expect: no-unwrap
+}
+
+fn string_and_comment_immunity() -> &'static str {
+    // a comment saying panic!("x") never fires
+    "neither does .unwrap() in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,23 @@
+// pretend: crates/server/src/queue.rs
+// Fixture for the relaxed-justify rule: every Ordering::Relaxed needs
+// a written `// relaxed:` justification nearby.
+
+use vkg_sync::{AtomicU64, Ordering};
+
+fn bare(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // expect: relaxed-justify
+}
+
+fn justified_above(c: &AtomicU64) -> u64 {
+    // relaxed: monotonic statistic; no reader infers other state from it
+    c.load(Ordering::Relaxed)
+}
+
+fn justified_trailing(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // relaxed: pure statistic
+}
+
+fn stronger_orders_need_no_comment(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Release);
+    c.load(Ordering::Acquire)
+}

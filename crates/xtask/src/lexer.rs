@@ -1,0 +1,317 @@
+//! A small Rust lexer for linting purposes: it separates *code* from
+//! *comments and string contents* without parsing. The output is a
+//! scrubbed copy of the source — byte-for-byte the same length, with
+//! every comment and every string/char literal body replaced by spaces
+//! — plus the list of comments with their line numbers. Rules match
+//! against the scrubbed text (so `"panic!"` inside a string never
+//! fires) and consult the comment list for `// lint: allow(..)` and
+//! `// relaxed:` annotations.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings `r#"…"#` (any hash depth), byte/raw-byte
+//! strings, char literals, and the char-vs-lifetime ambiguity (`'a'`
+//! is a literal, `'a` in `<'a>` is not).
+
+/// One comment in the original source.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: usize,
+    /// Text of the comment without delimiters, trimmed.
+    pub text: String,
+}
+
+/// The lexer's output: scrubbed code plus extracted comments.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Source with comments and literal bodies blanked to spaces.
+    /// Newlines are preserved, so line/column arithmetic carries over.
+    pub code: String,
+    /// All comments, in order of appearance.
+    pub comments: Vec<Comment>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: usize },
+    Str,
+    RawStr { hashes: usize },
+    Char,
+}
+
+/// Lexes `src`, blanking comments and literal bodies.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+    let mut comment_start_line = 0usize;
+    let mut comment_buf = String::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a byte to the scrubbed output, keeping newlines so the
+    // scrubbed text lines up with the original line-by-line.
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comment_start_line = line;
+                    comment_buf.clear();
+                    blank(&mut out, b);
+                    blank(&mut out, b'/');
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment { depth: 1 };
+                    comment_start_line = line;
+                    comment_buf.clear();
+                    blank(&mut out, b);
+                    blank(&mut out, b'*');
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) strings: r"…", r#"…"#, br#"…"#.
+                if b == b'r' || (b == b'b' && bytes.get(i + 1) == Some(&b'r')) {
+                    let r_at = if b == b'r' { i } else { i + 1 };
+                    // `r` must start the token: previous byte must not be
+                    // an identifier character.
+                    let prev_ident = i > 0 && is_ident_byte(bytes[i - 1]);
+                    if !prev_ident && bytes.get(r_at) == Some(&b'r') {
+                        let mut j = r_at + 1;
+                        let mut hashes = 0usize;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&b'"') {
+                            for &kept in &bytes[i..=j] {
+                                out.push(kept);
+                            }
+                            i = j + 1;
+                            state = State::RawStr { hashes };
+                            continue;
+                        }
+                    }
+                    out.push(b);
+                    i += 1;
+                    continue;
+                }
+                if b == b'"' {
+                    out.push(b);
+                    i += 1;
+                    state = State::Str;
+                    continue;
+                }
+                if b == b'\'' {
+                    // Char literal vs lifetime. A literal is 'x' or an
+                    // escape '\…'; a lifetime is 'ident not followed by
+                    // a closing quote.
+                    let next = bytes.get(i + 1).copied();
+                    let is_escape = next == Some(b'\\');
+                    let closes_after_one = bytes.get(i + 2) == Some(&b'\'');
+                    let is_literal =
+                        is_escape || (next.is_some() && next != Some(b'\'') && closes_after_one);
+                    if is_literal {
+                        out.push(b);
+                        i += 1;
+                        state = State::Char;
+                        continue;
+                    }
+                    out.push(b);
+                    i += 1;
+                    continue;
+                }
+                if b == b'\n' {
+                    line += 1;
+                }
+                out.push(b);
+                i += 1;
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    comments.push(Comment {
+                        line: comment_start_line,
+                        text: comment_buf.trim().to_string(),
+                    });
+                    line += 1;
+                    out.push(b'\n');
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    comment_buf.push(b as char);
+                    blank(&mut out, b);
+                    i += 1;
+                }
+            }
+            State::BlockComment { depth } => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    blank(&mut out, b);
+                    blank(&mut out, b'*');
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    if depth == 1 {
+                        comments.push(Comment {
+                            line: comment_start_line,
+                            text: comment_buf.trim().to_string(),
+                        });
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment { depth: depth - 1 };
+                    }
+                    blank(&mut out, b);
+                    blank(&mut out, b'/');
+                    i += 2;
+                } else {
+                    if b == b'\n' {
+                        line += 1;
+                    }
+                    comment_buf.push(b as char);
+                    blank(&mut out, b);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    blank(&mut out, b);
+                    blank(&mut out, bytes[i + 1]);
+                    if bytes[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                } else if b == b'"' {
+                    out.push(b);
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    if b == b'\n' {
+                        line += 1;
+                    }
+                    blank(&mut out, b);
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        out.extend_from_slice(&bytes[i..j]);
+                        i = j;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                if b == b'\n' {
+                    line += 1;
+                }
+                blank(&mut out, b);
+                i += 1;
+            }
+            State::Char => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    blank(&mut out, b);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if b == b'\'' {
+                    out.push(b);
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    blank(&mut out, b);
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        comments.push(Comment {
+            line: comment_start_line,
+            text: comment_buf.trim().to_string(),
+        });
+    }
+    Scrubbed {
+        code: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = scrub("let a = 1; // panic!(\"x\")\n/* unwrap() */ let b = 2;\n");
+        assert!(!s.code.contains("panic!"));
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let a = 1;"));
+        assert!(s.code.contains("let b = 2;"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[0].text.contains("panic!"));
+        assert_eq!(s.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("a /* outer /* inner */ still */ b");
+        assert!(s.code.contains('a'));
+        assert!(s.code.contains('b'));
+        assert!(!s.code.contains("outer"));
+        assert!(!s.code.contains("still"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_are_blanked_not_parsed() {
+        let s = scrub(r#"let x = "panic!(\"deep\") // not a comment"; y();"#);
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("y();"));
+        assert!(s.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let s = scrub(r###"let x = r#"unwrap() " quote"#; z();"###);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("z();"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'y'; g(); }");
+        // The lifetime must not open a char literal that swallows code.
+        assert!(s.code.contains("g();"));
+        assert!(!s.code.contains('y'));
+    }
+
+    #[test]
+    fn newlines_survive_scrubbing() {
+        let src = "a\n\"multi\nline\"\nb // c\nd";
+        let s = scrub(src);
+        assert_eq!(
+            s.code.matches('\n').count(),
+            src.matches('\n').count(),
+            "line structure preserved"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Workspace automation. One subcommand so far:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--github] [--self-test]
+//! ```
+//!
+//! Lints every `.rs` file under `crates/` with the hand-rolled rule
+//! engine in [`rules`] (see `DESIGN.md` §3.3 for the rule catalogue and
+//! rationale). `--github` switches output to GitHub Actions `::error`
+//! annotations; `--self-test` runs the rules against the fixtures in
+//! `crates/xtask/fixtures/`, verifying each rule demonstrably fires
+//! where expected and stays silent where not.
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::Finding;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let github = args.iter().any(|a| a == "--github");
+            let root = repo_root();
+            if args.iter().any(|a| a == "--self-test") {
+                match self_test(&root) {
+                    Ok(report) => {
+                        println!("{report}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(failures) => {
+                        for f in &failures {
+                            eprintln!("{f}");
+                        }
+                        eprintln!("lint self-test: {} failure(s)", failures.len());
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                let (checked, findings) = lint_workspace(&root);
+                for f in &findings {
+                    if github {
+                        println!("{}", f.render_github());
+                    } else {
+                        println!("{}", f.render());
+                    }
+                }
+                if findings.is_empty() {
+                    println!("lint: {checked} files clean");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("lint: {} finding(s) across {checked} files", findings.len());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--github] [--self-test]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask → repo root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the repo root")
+        .to_path_buf()
+}
+
+/// Lints all sources under `crates/` and the top-level `tests/`.
+/// Returns `(files_checked, findings)`.
+fn lint_workspace(root: &Path) -> (usize, Vec<Finding>) {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    collect_rs(&root.join("tests"), &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/xtask/fixtures/") {
+            continue; // deliberately-bad inputs
+        }
+        let Ok(src) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        checked += 1;
+        findings.extend(rules::lint_source(&rel, &src));
+    }
+    (checked, findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the rules over the fixture corpus. Every fixture declares the
+/// path it pretends to live at (`// pretend: <path>`) and marks each
+/// line that must fire with `// expect: <rule> [<rule>…]`. The test
+/// fails on any missing or unexpected finding, so the fixtures prove
+/// both directions: rules fire where they must and nowhere else.
+fn self_test(root: &Path) -> Result<String, Vec<String>> {
+    let dir = root.join("crates/xtask/fixtures");
+    let mut fixtures: Vec<PathBuf> = Vec::new();
+    collect_rs(&dir, &mut fixtures);
+    fixtures.sort();
+    let mut failures = Vec::new();
+    let mut total_expected = 0usize;
+    if fixtures.is_empty() {
+        failures.push(format!("no fixtures found under {}", dir.display()));
+    }
+    for fixture in &fixtures {
+        let name = fixture.file_name().unwrap_or_default().to_string_lossy();
+        let Ok(src) = std::fs::read_to_string(fixture) else {
+            failures.push(format!("{name}: unreadable"));
+            continue;
+        };
+        let scrubbed = lexer::scrub(&src);
+        let Some(pretend) = scrubbed
+            .comments
+            .iter()
+            .find_map(|c| c.text.strip_prefix("pretend: ").map(str::to_string))
+        else {
+            failures.push(format!("{name}: missing `// pretend: <path>` header"));
+            continue;
+        };
+        // (line, rule) pairs the fixture promises.
+        let mut expected: Vec<(usize, String)> = Vec::new();
+        for c in &scrubbed.comments {
+            if let Some(pos) = c.text.find("expect: ") {
+                for rule in c.text[pos + "expect: ".len()..].split_whitespace() {
+                    expected.push((c.line, rule.to_string()));
+                }
+            }
+        }
+        total_expected += expected.len();
+        let mut actual: Vec<(usize, String)> = rules::lint_source(&pretend, &src)
+            .into_iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        expected.sort();
+        actual.sort();
+        for miss in expected.iter().filter(|e| !actual.contains(e)) {
+            failures.push(format!(
+                "{name}:{}: expected `{}` to fire, it did not",
+                miss.0, miss.1
+            ));
+        }
+        for extra in actual.iter().filter(|a| !expected.contains(a)) {
+            failures.push(format!(
+                "{name}:{}: unexpected `{}` finding",
+                extra.0, extra.1
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "lint self-test: {} fixtures, {total_expected} expected findings, all matched",
+            fixtures.len()
+        ))
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        let (checked, findings) = lint_workspace(&repo_root());
+        assert!(checked > 20, "walker found only {checked} files");
+        assert!(
+            findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            findings
+                .iter()
+                .map(rules::Finding::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn fixtures_prove_every_rule_fires() {
+        match self_test(&repo_root()) {
+            Ok(report) => {
+                // Every rule in the catalogue must be covered by at
+                // least one fixture expectation.
+                let dir = repo_root().join("crates/xtask/fixtures");
+                let mut all = String::new();
+                let mut files = Vec::new();
+                collect_rs(&dir, &mut files);
+                for f in files {
+                    all.push_str(&std::fs::read_to_string(f).expect("fixture readable"));
+                }
+                for rule in rules::RULES {
+                    assert!(
+                        all.contains(&format!("expect: {rule}"))
+                            || all.contains(&format!("{rule} ")),
+                        "no fixture covers rule {rule}"
+                    );
+                }
+                assert!(report.contains("all matched"));
+            }
+            Err(failures) => panic!("fixture self-test failed:\n{}", failures.join("\n")),
+        }
+    }
+}

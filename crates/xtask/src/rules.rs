@@ -1,0 +1,500 @@
+//! The lint rules and the engine that runs them over scrubbed sources.
+//!
+//! Every rule reports findings as `file:line:col: rule: message`. A
+//! finding is suppressed by an annotation comment
+//!
+//! ```text
+//! // lint: allow(rule-name, free-text reason)
+//! ```
+//!
+//! on the same line as the finding or on a comment line directly above
+//! it. The reason is mandatory — an allow without one is itself
+//! reported (`malformed-allow`), so suppressions stay auditable.
+//! `#[cfg(test)]` regions (the attribute plus the brace-matched item
+//! that follows) are exempt from every rule.
+
+use crate::lexer::{scrub, Scrubbed};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// 1-indexed column (byte offset within the line).
+    pub col: usize,
+    /// Rule identifier, e.g. `no-unwrap`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line:col: rule: message` — editor-clickable.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// GitHub Actions annotation format (`::error file=…`).
+    pub fn render_github(&self) -> String {
+        format!(
+            "::error file={},line={},col={}::{}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Names of all rules, for `allow(..)` validation.
+pub const RULES: &[&str] = &[
+    "no-unwrap",
+    "no-raw-sync",
+    "relaxed-justify",
+    "no-truncating-cast",
+    "no-instant-now",
+];
+
+/// A parsed `// lint: allow(rule, reason)` annotation.
+struct Allow {
+    /// Line the annotation comment sits on.
+    line: usize,
+    rule: String,
+    has_reason: bool,
+}
+
+fn parse_allows(scrubbed: &Scrubbed) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &scrubbed.comments {
+        // The annotation must *start* the comment — prose or docs that
+        // merely mention the syntax (like this crate's own) don't count.
+        let Some(rest) = c.text.strip_prefix("lint: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            allows.push(Allow {
+                line: c.line,
+                rule: String::new(),
+                has_reason: false,
+            });
+            continue;
+        };
+        let inner = &rest[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim().to_string(), !why.trim().is_empty()),
+            None => (inner.trim().to_string(), false),
+        };
+        allows.push(Allow {
+            line: c.line,
+            rule,
+            has_reason: reason,
+        });
+    }
+    allows
+}
+
+/// Lines covered by `#[cfg(test)]` regions: the attribute line through
+/// the end of the brace-matched block that follows it.
+fn test_region_lines(code: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut offset = 0usize;
+    let bytes = code.as_bytes();
+    while let Some(found) = code[offset..].find("#[cfg(test)]") {
+        let start = offset + found;
+        let start_line = line_of(code, start);
+        // Find the opening brace of the item the attribute decorates.
+        let mut i = start;
+        while i < bytes.len() && bytes[i] != b'{' {
+            i += 1;
+        }
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let end_line = line_of(code, i.min(bytes.len().saturating_sub(1)));
+        regions.push((start_line, end_line));
+        offset = i.min(bytes.len());
+        if offset <= start {
+            break;
+        }
+    }
+    regions
+}
+
+fn line_of(code: &str, byte: usize) -> usize {
+    code.as_bytes()[..byte.min(code.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Byte offset → (line, col), both 1-indexed.
+fn position(code: &str, byte: usize) -> (usize, usize) {
+    let prefix = &code.as_bytes()[..byte.min(code.len())];
+    let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+    let col = byte
+        - prefix
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1)
+        + 1;
+    (line, col)
+}
+
+/// Whether `path` (repo-relative, `/`-separated) is in scope for a rule.
+struct Scope;
+
+impl Scope {
+    /// The panic-free zones: the serving layer and the core's facade,
+    /// snapshot, query, and index modules.
+    fn no_unwrap(path: &str) -> bool {
+        path.starts_with("crates/server/src/")
+            || path == "crates/core/src/vkg.rs"
+            || path == "crates/core/src/snapshot.rs"
+            || path.starts_with("crates/core/src/query/")
+            || path.starts_with("crates/core/src/index/")
+    }
+
+    /// Everything except `vkg-sync` itself (and vendored shims) must go
+    /// through the facade for lock/atomic primitives. Only shipped code
+    /// (`src/` trees) is in scope — integration tests may use std
+    /// helpers like `Barrier` that the facade deliberately omits.
+    fn no_raw_sync(path: &str) -> bool {
+        path.starts_with("crates/") && !path.starts_with("crates/sync/") && path.contains("/src/")
+    }
+
+    /// Same scope as `no_raw_sync`: every `Ordering::Relaxed` in the
+    /// product crates needs a written justification.
+    fn relaxed_justify(path: &str) -> bool {
+        Self::no_raw_sync(path)
+    }
+
+    /// The fail-closed decode paths.
+    fn wire_decode(path: &str) -> bool {
+        path == "crates/server/src/wire.rs" || path == "crates/server/src/protocol.rs"
+    }
+}
+
+/// Runs every rule over one file. `rel_path` must be repo-relative with
+/// `/` separators.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let scrubbed = scrub(src);
+    let allows = parse_allows(&scrubbed);
+    let test_regions = test_region_lines(&scrubbed.code);
+    let mut findings = Vec::new();
+
+    // Malformed allows are findings themselves, never suppressions.
+    for a in &allows {
+        if a.rule.is_empty() || !a.has_reason {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: a.line,
+                col: 1,
+                rule: "malformed-allow",
+                message: "lint: allow(rule, reason) requires both a rule and a reason".to_string(),
+            });
+        } else if !RULES.contains(&a.rule.as_str()) {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: a.line,
+                col: 1,
+                rule: "malformed-allow",
+                message: format!("unknown rule `{}` in lint: allow(..)", a.rule),
+            });
+        }
+    }
+
+    let mut push = |byte: usize, rule: &'static str, message: String| {
+        let (line, col) = position(&scrubbed.code, byte);
+        if test_regions.iter().any(|&(s, e)| s <= line && line <= e) {
+            return;
+        }
+        // Suppressed by a valid allow on this line or the line above.
+        let suppressed = allows.iter().any(|a| {
+            a.has_reason
+                && a.rule == rule
+                && (a.line == line || a.line + 1 == line || a.line + 2 == line)
+        });
+        if suppressed {
+            return;
+        }
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            col,
+            rule,
+            message,
+        });
+    };
+
+    let code = &scrubbed.code;
+
+    if Scope::no_unwrap(rel_path) {
+        for (needle, what) in [
+            (".unwrap()", "unwrap() can panic"),
+            (".expect(", "expect() can panic"),
+            ("panic!", "panic! aborts the worker"),
+            ("unreachable!", "unreachable! aborts the worker"),
+            ("todo!", "todo! aborts the worker"),
+        ] {
+            for at in find_all(code, needle) {
+                push(
+                    at,
+                    "no-unwrap",
+                    format!(
+                        "{what}; return a typed error instead, or annotate with \
+                         `// lint: allow(no-unwrap, why it cannot fire)`"
+                    ),
+                );
+            }
+        }
+    }
+
+    if Scope::no_raw_sync(rel_path) {
+        for primitive in [
+            "std::sync::Mutex",
+            "std::sync::RwLock",
+            "std::sync::Condvar",
+            "std::sync::Barrier",
+            "std::sync::atomic",
+            "parking_lot",
+        ] {
+            for at in find_all(code, primitive) {
+                push(
+                    at,
+                    "no-raw-sync",
+                    format!(
+                        "direct use of `{primitive}`; go through `vkg_sync` so model \
+                         checking sees this synchronization"
+                    ),
+                );
+            }
+        }
+        // Grouped imports: `use std::sync::{…, Mutex, …}`.
+        for at in find_all(code, "use std::sync::{") {
+            let rest = &code[at..code.len().min(at + 200)];
+            let inner_end = rest.find('}').unwrap_or(rest.len());
+            let inner = &rest[..inner_end];
+            for primitive in ["Mutex", "RwLock", "Condvar", "Barrier"] {
+                if contains_word(inner, primitive) {
+                    push(
+                        at,
+                        "no-raw-sync",
+                        format!(
+                            "`{primitive}` imported from `std::sync`; go through \
+                             `vkg_sync` so model checking sees this synchronization"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if Scope::relaxed_justify(rel_path) {
+        for at in find_all(code, "Ordering::Relaxed") {
+            let (line, _) = position(code, at);
+            let justified = scrubbed
+                .comments
+                .iter()
+                .any(|c| c.text.contains("relaxed:") && (c.line == line || c.line + 1 == line));
+            if !justified {
+                push(
+                    at,
+                    "relaxed-justify",
+                    "Ordering::Relaxed without a `// relaxed: <why no ordering is needed>` \
+                     comment on this or the preceding line"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    if Scope::wire_decode(rel_path) {
+        for narrow in [
+            " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+        ] {
+            for at in find_all(code, narrow) {
+                // Make sure the match is the whole cast target (` as u8`
+                // must not fire inside ` as u864`-like idents — none
+                // exist, but stay principled).
+                let end = at + narrow.len();
+                if code.as_bytes().get(end).copied().is_some_and(is_ident_byte) {
+                    continue;
+                }
+                push(
+                    at + 1,
+                    "no-truncating-cast",
+                    format!(
+                        "truncating `{}` cast in a decode path; use `try_from` with a \
+                         typed error, or annotate with the bound that makes it safe",
+                        narrow.trim()
+                    ),
+                );
+            }
+        }
+        for at in find_all(code, "Instant::now()") {
+            push(
+                at,
+                "no-instant-now",
+                "decode paths must be deterministic; take time at the call site, \
+                 not inside the codec"
+                    .to_string(),
+            );
+        }
+    }
+
+    findings
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut offset = 0;
+    while let Some(at) = haystack[offset..].find(needle) {
+        out.push(offset + at);
+        offset += at + needle.len();
+    }
+    out
+}
+
+fn contains_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut offset = 0;
+    while let Some(at) = text[offset..].find(word) {
+        let start = offset + at;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        offset = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_flagged_in_scope_only() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_source("crates/server/src/server.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/core/src/engine.rs", src).len(), 0);
+        assert_eq!(lint_source("crates/core/src/query/topk.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f() {\n    // lint: allow(no-unwrap, infallible: len checked above)\n    x.unwrap();\n}\n";
+        assert_eq!(lint_source("crates/server/src/server.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "fn f() {\n    // lint: allow(no-unwrap)\n    x.unwrap();\n}\n";
+        let f = lint_source("crates/server/src/server.rs", src);
+        assert!(f.iter().any(|f| f.rule == "malformed-allow"));
+        assert!(f.iter().any(|f| f.rule == "no-unwrap"), "not suppressed");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let src = "// lint: allow(no-such-rule, because)\nfn f() {}\n";
+        let f = lint_source("crates/server/src/server.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "malformed-allow");
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); panic!(\"t\"); }\n}\n";
+        assert_eq!(lint_source("crates/server/src/server.rs", src), vec![]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() { let s = \"x.unwrap()\"; } // panic! here\n";
+        assert_eq!(lint_source("crates/server/src/server.rs", src), vec![]);
+    }
+
+    #[test]
+    fn raw_sync_imports_flagged() {
+        let grouped = "use std::sync::{Arc, Mutex};\n";
+        let f = lint_source("crates/core/src/vkg.rs", grouped);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-raw-sync");
+        let arc_only = "use std::sync::{Arc, PoisonError};\nuse std::sync::mpsc;\n";
+        assert_eq!(lint_source("crates/core/src/vkg.rs", arc_only), vec![]);
+        let pl = "use parking_lot::RwLock;\n";
+        assert_eq!(lint_source("crates/core/src/vkg.rs", pl).len(), 1);
+        assert_eq!(lint_source("crates/sync/src/passthrough.rs", pl), vec![]);
+    }
+
+    #[test]
+    fn relaxed_needs_justification() {
+        let bare = "fn f(a: &A) { a.x.load(Ordering::Relaxed); }\n";
+        let f = lint_source("crates/server/src/queue.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "relaxed-justify");
+        let justified =
+            "fn f(a: &A) {\n    // relaxed: pure statistic\n    a.x.load(Ordering::Relaxed);\n}\n";
+        assert_eq!(lint_source("crates/server/src/queue.rs", justified), vec![]);
+        let same_line = "fn f(a: &A) { a.x.load(Ordering::Relaxed); // relaxed: stat\n}\n";
+        assert_eq!(lint_source("crates/server/src/queue.rs", same_line), vec![]);
+    }
+
+    #[test]
+    fn truncating_casts_only_in_decode_files() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }\n";
+        let f = lint_source("crates/server/src/wire.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-truncating-cast");
+        assert_eq!(lint_source("crates/server/src/server.rs", src), vec![]);
+        // Widening casts are fine even in decode files.
+        let widen = "fn f(x: u32) -> u64 { x as u64 }\n";
+        assert_eq!(lint_source("crates/server/src/wire.rs", widen), vec![]);
+    }
+
+    #[test]
+    fn instant_now_flagged_in_decode_files() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let f = lint_source("crates/server/src/protocol.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-instant-now");
+        assert_eq!(lint_source("crates/server/src/server.rs", src), vec![]);
+    }
+
+    #[test]
+    fn finding_renders_clickable_and_github() {
+        let f = Finding {
+            file: "crates/server/src/wire.rs".into(),
+            line: 7,
+            col: 3,
+            rule: "no-unwrap",
+            message: "boom".into(),
+        };
+        assert_eq!(f.render(), "crates/server/src/wire.rs:7:3: no-unwrap: boom");
+        assert!(f
+            .render_github()
+            .starts_with("::error file=crates/server/src/wire.rs,line=7"));
+    }
+}

@@ -1,11 +1,18 @@
 //! Concurrency: the assembled engine is `Send`, read paths are shareable,
 //! and a lock-guarded engine serves a multi-threaded query workload with
 //! results identical to the serial run.
+//!
+//! The snapshot-readers-vs-one-writer scenario is defined **once**
+//! ([`snapshot_readers_vs_writer_scenario`]) and exercised two ways: as
+//! an ordinary multi-threaded test, and — under `--features model` —
+//! through `vkg-sync`'s seeded model scheduler, which serializes the
+//! same threads onto explored interleavings and checks for data races,
+//! lock-order inversions, and deadlocks along the way.
 
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
 use vkg::prelude::*;
+use vkg_sync::{thread as sync_thread, Mutex, RwLock};
 
 fn build() -> (Dataset, VirtualKnowledgeGraph) {
     let ds = movie_like(&MovieConfig::tiny());
@@ -183,6 +190,90 @@ fn snapshot_readers_progress_while_writer_holds_index_lock() {
         h.join().unwrap();
     }
     shared.index().check_invariants();
+}
+
+/// The one scenario definition shared by the direct test and the model
+/// sweep: readers pin a snapshot and keep reading while one writer
+/// publishes a dynamic update. Assertions cover snapshot freezing,
+/// epoch monotonicity, and no torn visibility (a bumped epoch implies
+/// the complete new snapshot, never half of it).
+fn snapshot_readers_vs_writer_scenario(
+    vkg: &Arc<VirtualKnowledgeGraph>,
+    likes: RelationId,
+    tag: &str,
+) {
+    let base_epoch = vkg.epoch();
+    let snap = vkg.snapshot();
+    let entities_before = snap.graph().num_entities();
+    let dim = snap.embeddings().dim();
+
+    let readers: Vec<_> = (0..2)
+        .map(|t| {
+            let vkg = Arc::clone(vkg);
+            let snap = Arc::clone(&snap);
+            sync_thread::spawn(move || {
+                let user = snap.graph().entity_id(&format!("user_{t}")).unwrap();
+                let q = snap.query_point_s1(user, likes, Direction::Tails).unwrap();
+                assert!(!q.is_empty());
+                // The pinned snapshot is frozen regardless of the writer.
+                assert_eq!(snap.graph().num_entities(), entities_before);
+                // Epoch monotonicity: successive reads never go back.
+                let e1 = vkg.epoch();
+                let (e2, s2) = vkg.published();
+                assert!(e2 >= e1, "epoch went backwards: {e1} -> {e2}");
+                assert!(e1 >= base_epoch);
+                // No torn visibility: an advanced epoch carries the whole
+                // update; an unchanged epoch carries none of it.
+                if e2 > base_epoch {
+                    assert_eq!(s2.graph().num_entities(), entities_before + 1);
+                } else {
+                    assert_eq!(s2.graph().num_entities(), entities_before);
+                }
+            })
+        })
+        .collect();
+    let writer = {
+        let vkg = Arc::clone(vkg);
+        let name = format!("fresh_{tag}");
+        sync_thread::spawn(move || {
+            vkg.add_entity_dynamic(&name, &vec![30.0; dim]);
+        })
+    };
+    for h in readers {
+        h.join().expect("reader");
+    }
+    writer.join().expect("writer");
+    assert_eq!(vkg.epoch(), base_epoch + 1, "exactly one publication");
+    assert_eq!(vkg.graph().num_entities(), entities_before + 1);
+}
+
+#[test]
+fn snapshot_readers_vs_one_writer() {
+    let (ds, vkg) = build();
+    let likes = ds.graph.relation_id("likes").unwrap();
+    let vkg = Arc::new(vkg);
+    for round in 0..3 {
+        snapshot_readers_vs_writer_scenario(&vkg, likes, &format!("round{round}"));
+    }
+}
+
+/// The same scenario driven through the model scheduler: each seed is
+/// one explored interleaving, checked for data races, lock-order
+/// inversions, and deadlocks. The VKG is built once (TransE training
+/// dominates the cost); the scenario is what the checker permutes.
+#[cfg(feature = "model")]
+#[test]
+fn snapshot_readers_vs_one_writer_model() {
+    let (ds, vkg) = build();
+    let likes = ds.graph.relation_id("likes").unwrap();
+    let vkg = Arc::new(vkg);
+    for seed in 0..8 {
+        let vkg2 = Arc::clone(&vkg);
+        vkg_sync::model::check(seed, move || {
+            snapshot_readers_vs_writer_scenario(&vkg2, likes, &format!("seed{seed}"));
+        })
+        .unwrap_or_else(|v| panic!("model run failed: {v}"));
+    }
 }
 
 #[test]
