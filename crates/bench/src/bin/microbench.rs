@@ -1,0 +1,391 @@
+//! Microbenchmarks for the data-parallel core: JL projection, bulk
+//! R-tree build, and top-k refinement at pool widths {1, N}.
+//!
+//! The dataset is synthetic but shaped like the paper's: ≥100k entities
+//! whose cluster memberships follow a Zipf law (real KG degree
+//! distributions are power-law, §II), embedded in a 64-d S₁ and
+//! projected to α = 16. Every section is timed at width 1 (the exact
+//! serial code path — bit-identical to the pre-pool implementation) and
+//! at width N, and the ratio is reported as the speedup.
+//!
+//! ```text
+//! cargo run --release -p vkg-bench --bin microbench -- --entities 100000 --width 4
+//! ```
+//!
+//! Results land in `BENCH_core.json` (schema: EXPERIMENTS.md §"Core
+//! microbenchmarks"). `--check` runs a seconds-fast parity gate instead:
+//! blocked kernels must match the scalar reference within 1e-9 relative
+//! error, pooled builds and queries must agree with serial ones exactly,
+//! and the pool must claim every chunk — the CI tier-2 gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vkg::core::config::threads_from_env;
+use vkg::core::geometry::kernels;
+use vkg::core::geometry::PointSet;
+use vkg::core::query::topk::find_top_k;
+use vkg::kg::zipf::Zipf;
+use vkg::prelude::*;
+use vkg::sync::pool::Pool;
+use vkg::sync::{AtomicU64, Ordering};
+
+struct Args {
+    entities: usize,
+    s1_dim: usize,
+    alpha: usize,
+    width: usize,
+    reps: usize,
+    queries: usize,
+    seed: u64,
+    zipf_s: f64,
+    out: String,
+    check: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Args {
+            entities: 100_000,
+            s1_dim: 64,
+            alpha: 16,
+            width: threads_from_env(cores),
+            reps: 3,
+            queries: 50,
+            seed: 42,
+            zipf_s: 1.0,
+            out: "BENCH_core.json".to_owned(),
+            check: false,
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: microbench [--entities N] [--dim N] [--alpha N] [--width N] [--reps N]\n\
+         \x20                [--queries N] [--seed N] [--zipf F] [--out PATH] [--check]"
+    );
+}
+
+fn parse_args() -> Option<Args> {
+    let mut a = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--check" {
+            a.check = true;
+            continue;
+        }
+        if arg == "--out" {
+            match args.next() {
+                Some(p) => a.out = p,
+                None => {
+                    usage();
+                    return None;
+                }
+            }
+            continue;
+        }
+        let mut num = |what: &str| -> Option<f64> {
+            match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => Some(v),
+                _ => {
+                    eprintln!("microbench: {what} wants a positive number");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--entities" => a.entities = num("--entities")? as usize,
+            "--dim" => a.s1_dim = num("--dim")? as usize,
+            "--alpha" => a.alpha = num("--alpha")? as usize,
+            "--width" => a.width = num("--width")? as usize,
+            "--reps" => a.reps = num("--reps")? as usize,
+            "--queries" => a.queries = num("--queries")? as usize,
+            "--seed" => a.seed = num("--seed")? as u64,
+            "--zipf" => a.zipf_s = num("--zipf")?,
+            _ => {
+                usage();
+                return None;
+            }
+        }
+    }
+    Some(a)
+}
+
+/// Zipf-clustered synthetic embedding matrix: `n × dim` row-major, with
+/// cluster popularity following `Zipf(centers, s)` so the point cloud is
+/// skewed the way a power-law KG's embedding space is.
+fn synthetic_s1(n: usize, dim: usize, zipf_s: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_centers = 256.min(n.max(1));
+    let centers: Vec<Vec<f64>> = (0..num_centers)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect();
+    let zipf = Zipf::new(num_centers, zipf_s);
+    let mut rows = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let c = &centers[zipf.sample(&mut rng)];
+        for &coord in c {
+            rows.push(coord + rng.gen_range(-1.0..1.0));
+        }
+    }
+    rows
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Timing {
+    section: &'static str,
+    width: usize,
+    ms: f64,
+}
+
+/// One timed sweep of every section at the given pool width. Returns
+/// `(timings, top-k prediction ids)` — the ids let the caller assert
+/// width-independence of the query results.
+fn run_sections(args: &Args, s1: &[f64], width: usize) -> (Vec<Timing>, Vec<u32>) {
+    let pool = Pool::new(width);
+    let transform = JlTransform::new(args.s1_dim, args.alpha, 7);
+    let mut timings = Vec::new();
+
+    // Section 1: JL projection of the full n × d entity matrix.
+    let mut projected = Vec::new();
+    timings.push(Timing {
+        section: "jl_transform",
+        width,
+        ms: time_ms(args.reps, || {
+            projected = transform.apply_matrix_pooled(&pool, s1);
+        }),
+    });
+
+    // Section 2: offline bulk build over the projected points.
+    let points = PointSet::from_rows(args.alpha, projected);
+    let mut built = None;
+    timings.push(Timing {
+        section: "bulk_build",
+        width,
+        ms: time_ms(args.reps, || {
+            built = Some(CrackingIndex::bulk_load_with_pool(
+                points.clone(),
+                64,
+                8,
+                2.0,
+                pool.clone(),
+            ));
+        }),
+    });
+    let mut index = built.expect("reps ≥ 1 always builds");
+
+    // Section 3: top-k refinement (Algorithm 3) with an S₂ oracle, query
+    // centers at Zipf-popular points. The tree is fully built, so the
+    // crack at the end of each query is a no-op and reps are comparable.
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed);
+    let zipf = Zipf::new(points.len(), args.zipf_s);
+    let queries: Vec<Vec<f64>> = (0..args.queries)
+        .map(|_| {
+            let anchor = zipf.sample(&mut rng) as u32;
+            points
+                .point(anchor)
+                .iter()
+                .map(|c| c + rng.gen_range(-0.5..0.5))
+                .collect()
+        })
+        .collect();
+    let mut ids = Vec::new();
+    timings.push(Timing {
+        section: "topk_refine",
+        width,
+        ms: time_ms(args.reps, || {
+            ids.clear();
+            for q in &queries {
+                let r = find_top_k(
+                    &mut index,
+                    q,
+                    10,
+                    0.5,
+                    args.alpha,
+                    |pts, id| pts.distance_sq(id, q).sqrt(),
+                    |_| false,
+                )
+                .expect("valid top-k parameters");
+                ids.extend(r.predictions.iter().map(|p| p.id));
+            }
+        }),
+    });
+    (timings, ids)
+}
+
+fn write_json(args: &Args, cores: usize, timings: &[Timing]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"vkg_core_microbench\",\n");
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"entities\": {},\n", args.entities));
+    out.push_str(&format!("  \"s1_dim\": {},\n", args.s1_dim));
+    out.push_str(&format!("  \"alpha\": {},\n", args.alpha));
+    out.push_str(&format!("  \"zipf_exponent\": {},\n", args.zipf_s));
+    out.push_str(&format!("  \"reps\": {},\n", args.reps));
+    out.push_str(&format!("  \"queries\": {},\n", args.queries));
+    out.push_str(&format!("  \"widths\": [1, {}],\n", args.width));
+    out.push_str("  \"timings_ms\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"section\": \"{}\", \"width\": {}, \"ms\": {:.3}}}{comma}\n",
+            t.section, t.width, t.ms
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    let sections = ["jl_transform", "bulk_build", "topk_refine"];
+    for (i, section) in sections.iter().enumerate() {
+        let at = |w: usize| {
+            timings
+                .iter()
+                .find(|t| t.section == *section && t.width == w)
+                .map_or(f64::NAN, |t| t.ms)
+        };
+        let speedup = at(1) / at(args.width).max(1e-9);
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        out.push_str(&format!("    \"{section}\": {speedup:.3}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(&args.out, out)
+}
+
+/// The `--check` gate: kernel parity, pool sanity, and serial/pooled
+/// agreement on a small dataset. Fast enough for CI tier 2.
+fn check(args: &Args) -> Result<(), String> {
+    // 1. Blocked kernel vs scalar reference, several dims and id strides.
+    let mut rng = StdRng::seed_from_u64(9);
+    for dim in [2usize, 3, 7, 16] {
+        let n = 512;
+        let coords: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let ps = PointSet::from_rows(dim, coords);
+        let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        for stride in [1usize, 3] {
+            let ids: Vec<u32> = (0..n as u32).step_by(stride).collect();
+            let mut scalar = vec![0.0; ids.len()];
+            let mut blocked = vec![0.0; ids.len()];
+            kernels::scalar_distances_sq(&ps, &ids, &q, &mut scalar);
+            kernels::blocked_distances_sq(&ps, &ids, &q, &mut blocked);
+            for (i, (s, b)) in scalar.iter().zip(&blocked).enumerate() {
+                if (s - b).abs() > 1e-9 * s.abs().max(1.0) {
+                    return Err(format!(
+                        "kernel parity: dim {dim} stride {stride} id {i}: scalar {s} blocked {b}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // 2. Pool sanity: width clamping and exactly-once chunk claiming.
+    if Pool::new(0).width() != 1 || !Pool::new(0).is_serial() {
+        return Err("pool width 0 must clamp to serial".into());
+    }
+    for width in [1usize, 4] {
+        let counter = AtomicU64::new(0);
+        Pool::new(width).run(97, |_| {
+            // relaxed: independent increments; the pool's scoped join publishes the sum.
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        // relaxed: single-threaded read after the pool joined every worker.
+        let claimed = counter.load(Ordering::Relaxed);
+        if claimed != 97 {
+            return Err(format!("pool width {width} ran {claimed}/97 chunks"));
+        }
+    }
+
+    // 3. Serial vs pooled agreement end-to-end on a small Zipf dataset:
+    //    same tree size, same top-k answers.
+    let small = Args {
+        entities: 4096,
+        reps: 1,
+        queries: 8,
+        ..Default::default()
+    };
+    let s1 = synthetic_s1(small.entities, small.s1_dim, small.zipf_s, small.seed);
+    let (_, serial_ids) = run_sections(&small, &s1, 1);
+    let (_, pooled_ids) = run_sections(&small, &s1, args.width.max(2));
+    if serial_ids != pooled_ids {
+        return Err(format!(
+            "pooled top-k diverged from serial ({} vs {} prediction ids)",
+            serial_ids.len(),
+            pooled_ids.len()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return ExitCode::FAILURE;
+    };
+    if args.check {
+        return match check(&args) {
+            Ok(()) => {
+                eprintln!("microbench --check: kernel parity and pool sanity OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("microbench --check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "microbench: {} entities, S1 dim {}, alpha {}, widths [1, {}], {} cores",
+        args.entities, args.s1_dim, args.alpha, args.width, cores
+    );
+    let s1 = synthetic_s1(args.entities, args.s1_dim, args.zipf_s, args.seed);
+
+    let mut timings = Vec::new();
+    let mut reference_ids = None;
+    for width in [1, args.width] {
+        let (t, ids) = run_sections(&args, &s1, width);
+        for timing in &t {
+            eprintln!(
+                "  {:<12} width {:>2}: {:>10.2} ms",
+                timing.section, timing.width, timing.ms
+            );
+        }
+        timings.extend(t);
+        match &reference_ids {
+            None => reference_ids = Some(ids),
+            Some(reference) => {
+                if *reference != ids {
+                    eprintln!("microbench: FATAL: width {width} changed the top-k answers");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    match write_json(&args, cores, &timings) {
+        Ok(()) => {
+            eprintln!("microbench: wrote {}", args.out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("microbench: cannot write {}: {e}", args.out);
+            ExitCode::FAILURE
+        }
+    }
+}

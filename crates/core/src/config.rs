@@ -47,6 +47,13 @@ pub struct VkgConfig {
     pub query_aware_cost: bool,
     /// Seed for the JL projection matrix.
     pub transform_seed: u64,
+    /// Width of the data-parallel pool the engine hands to the JL
+    /// projection, bulk build, and batched distance kernels. Width 1
+    /// (the default) takes the exact serial code paths, so results are
+    /// bit-identical to a build without the pool and model tests stay
+    /// deterministic. See [`threads_from_env`] for the `VKG_THREADS`
+    /// override.
+    pub threads: usize,
 }
 
 impl Default for VkgConfig {
@@ -60,7 +67,23 @@ impl Default for VkgConfig {
             split_strategy: SplitStrategy::Greedy,
             query_aware_cost: true,
             transform_seed: 0x4a4c_5452, // "JLTR"
+            threads: 1,
         }
+    }
+}
+
+/// Reads the pool width from the `VKG_THREADS` environment variable.
+///
+/// `0` or an unset/unparsable value falls back to `default_width`
+/// (clamped to ≥ 1), so deployments opt into parallelism explicitly
+/// and tests stay serial unless asked otherwise.
+pub fn threads_from_env(default_width: usize) -> usize {
+    match std::env::var("VKG_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_width.max(1),
+        },
+        Err(_) => default_width.max(1),
     }
 }
 
@@ -90,6 +113,9 @@ impl VkgConfig {
         }
         if !self.beta.is_finite() || self.beta < 1.0 {
             return fail("β must be ≥ 1 (paper §IV-B1)".into());
+        }
+        if self.threads < 1 {
+            return fail("thread pool width must be ≥ 1".into());
         }
         Ok(())
     }
@@ -151,5 +177,23 @@ mod tests {
             ..VkgConfig::default()
         };
         cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pool width must be ≥ 1")]
+    fn zero_threads_rejected() {
+        let cfg = VkgConfig {
+            threads: 0,
+            ..VkgConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn env_width_falls_back_to_default() {
+        // The suite never sets VKG_THREADS, so the fallback applies
+        // (reading an env var other tests might set would be racy).
+        assert_eq!(threads_from_env(0), 1);
+        assert_eq!(threads_from_env(4), 4);
     }
 }

@@ -7,6 +7,7 @@
 //! while readers use the snapshot lock-free.
 
 use vkg_kg::{EntityId, RelationId};
+use vkg_sync::pool::Pool;
 
 use crate::error::{VkgError, VkgResult};
 use crate::geometry::Mbr;
@@ -31,15 +32,19 @@ pub struct IndexState {
 
 impl IndexState {
     /// An **online cracking** index over the snapshot's projected points
-    /// (starts as a root-only tree; queries shape it).
+    /// (starts as a root-only tree; queries shape it). The configured
+    /// `threads` width drives the JL projection, the root sort orders
+    /// and every later crack/search through one shared [`Pool`].
     pub fn cracking(snap: &VkgSnapshot) -> Self {
         let cfg = snap.config();
-        let mut index = CrackingIndex::new(
-            snap.project_points(),
+        let pool = Pool::new(cfg.threads);
+        let mut index = CrackingIndex::with_pool(
+            snap.project_points_pooled(&pool),
             cfg.leaf_capacity,
             cfg.fanout,
             cfg.beta,
             cfg.split_strategy,
+            pool,
         );
         index.set_query_aware_cost(cfg.query_aware_cost);
         Self {
@@ -50,14 +55,17 @@ impl IndexState {
     }
 
     /// A fully **bulk-loaded** offline index (the BULKLOADCHUNK baseline
-    /// of §VI).
+    /// of §VI). Like [`IndexState::cracking`], the configured `threads`
+    /// width parallelizes the projection and the offline build.
     pub fn bulk_loaded(snap: &VkgSnapshot) -> Self {
         let cfg = snap.config();
-        let index = CrackingIndex::bulk_load(
-            snap.project_points(),
+        let pool = Pool::new(cfg.threads);
+        let index = CrackingIndex::bulk_load_with_pool(
+            snap.project_points_pooled(&pool),
             cfg.leaf_capacity,
             cfg.fanout,
             cfg.beta,
+            pool,
         );
         Self {
             index,
@@ -115,7 +123,7 @@ impl QueryEngine for IndexState {
             k,
             cfg.epsilon,
             cfg.alpha,
-            |id| embeddings.distance_to_entity(&q_s1, EntityId(id)),
+            |_, id| embeddings.distance_to_entity(&q_s1, EntityId(id)),
             |id| id == entity.0 || known.contains(&id) || !filter(EntityId(id)),
         )
     }
@@ -131,23 +139,15 @@ impl QueryEngine for IndexState {
     ) -> VkgResult<Vec<Neighbor>> {
         let q_s2 = snap.project(q_s1);
         let cfg = snap.config();
-        let embeddings = snap.embeddings();
         let result = find_top_k(
             &mut self.index,
             &q_s2,
             k,
             cfg.epsilon,
             cfg.alpha,
-            |id| {
-                // Re-project rather than borrow the index's point set:
-                // the index is exclusively borrowed by the search.
-                let p = snap.project(embeddings.entity(EntityId(id)));
-                p.iter()
-                    .zip(&q_s2)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>()
-                    .sqrt()
-            },
+            // The oracle reads the index's own stored S₂ points (handed
+            // through by the search), so no per-candidate re-projection.
+            |points, id| points.distance_sq(id, &q_s2).sqrt(),
             |_| false,
         )?;
         Ok(result

@@ -1,5 +1,6 @@
 //! Geometry in the low-dimensional index space S₂.
 
+pub mod kernels;
 pub mod mbr;
 pub mod points;
 

@@ -6,12 +6,27 @@
 //! cache-friendly (see the workspace performance notes in DESIGN.md §3).
 
 use super::mbr::{Mbr, MAX_DIM};
+use crate::error::{VkgError, VkgResult};
 
 /// An immutable set of `α`-dimensional points, indexed by dense `u32` ids.
+///
+/// Alongside the coordinates the set stores each point's squared norm
+/// `|p|²`, maintained on every mutation, so the blocked distance
+/// kernels (see [`crate::geometry::kernels`]) can use the
+/// `|p|² − 2p·q + |q|²` decomposition without a per-query norm pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointSet {
     dim: usize,
     coords: Vec<f64>,
+    norms_sq: Vec<f64>,
+}
+
+/// `|p|²` with the exact summation order the contour sweeps always
+/// used (`p.iter().map(|c| c * c).sum()`), so stored norms are
+/// bit-identical to values computed on the fly.
+#[inline]
+fn row_norm_sq(p: &[f64]) -> f64 {
+    p.iter().map(|c| c * c).sum()
 }
 
 impl PointSet {
@@ -27,7 +42,12 @@ impl PointSet {
             "index space dimensionality {dim} exceeds MAX_DIM={MAX_DIM}"
         );
         assert_eq!(coords.len() % dim, 0, "coordinate matrix shape mismatch");
-        Self { dim, coords }
+        let norms_sq = coords.chunks_exact(dim).map(row_norm_sq).collect();
+        Self {
+            dim,
+            coords,
+            norms_sq,
+        }
     }
 
     /// Dimensionality `α`.
@@ -59,6 +79,24 @@ impl PointSet {
     pub fn coord(&self, id: u32, axis: usize) -> f64 {
         debug_assert!(axis < self.dim);
         self.coords[id as usize * self.dim + axis]
+    }
+
+    /// The precomputed squared norm `|p|²` of point `id`.
+    #[inline]
+    pub fn norm_sq(&self, id: u32) -> f64 {
+        self.norms_sq[id as usize]
+    }
+
+    /// The whole row-major coordinate matrix (stride [`PointSet::dim`]).
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// All precomputed squared norms, id-aligned.
+    #[inline]
+    pub fn norms_sq(&self) -> &[f64] {
+        &self.norms_sq
     }
 
     /// Squared Euclidean distance from point `id` to `target`.
@@ -98,28 +136,59 @@ impl PointSet {
 
     /// Appends a point, returning its id (dynamic updates, paper §VIII).
     ///
-    /// # Panics
-    /// Panics if the coordinate count does not match the dimensionality.
-    pub fn push(&mut self, coords: &[f64]) -> u32 {
-        assert_eq!(coords.len(), self.dim, "point dimensionality mismatch");
-        let id = u32::try_from(self.len()).expect("point id overflow");
+    /// # Errors
+    /// [`VkgError::Mismatch`] if the coordinate count does not match
+    /// the dimensionality; [`VkgError::InvalidParameter`] if the dense
+    /// `u32` id space is exhausted. This path is reachable from served
+    /// dynamic updates, so it must not panic.
+    pub fn try_push(&mut self, coords: &[f64]) -> VkgResult<u32> {
+        if coords.len() != self.dim {
+            return Err(VkgError::Mismatch {
+                what: "point dimensionality",
+                expected: self.dim,
+                found: coords.len(),
+            });
+        }
+        let Ok(id) = u32::try_from(self.len()) else {
+            return Err(VkgError::InvalidParameter(format!(
+                "point id space exhausted at {} points",
+                self.len()
+            )));
+        };
         self.coords.extend_from_slice(coords);
-        id
+        self.norms_sq.push(row_norm_sq(coords));
+        Ok(id)
     }
 
     /// Overwrites the coordinates of an existing point.
     ///
-    /// # Panics
-    /// Panics on shape mismatch or out-of-range id.
-    pub fn set(&mut self, id: u32, coords: &[f64]) {
-        assert_eq!(coords.len(), self.dim, "point dimensionality mismatch");
+    /// # Errors
+    /// [`VkgError::Mismatch`] on a shape mismatch,
+    /// [`VkgError::InvalidParameter`] on an out-of-range id — both
+    /// reachable from served dynamic updates, so no panics here.
+    pub fn try_set(&mut self, id: u32, coords: &[f64]) -> VkgResult<()> {
+        if coords.len() != self.dim {
+            return Err(VkgError::Mismatch {
+                what: "point dimensionality",
+                expected: self.dim,
+                found: coords.len(),
+            });
+        }
+        if id as usize >= self.len() {
+            return Err(VkgError::InvalidParameter(format!(
+                "point id {id} out of range (len {})",
+                self.len()
+            )));
+        }
         let i = id as usize * self.dim;
         self.coords[i..i + self.dim].copy_from_slice(coords);
+        self.norms_sq[id as usize] = row_norm_sq(coords);
+        Ok(())
     }
 
     /// Approximate heap footprint in bytes.
     pub fn bytes(&self) -> usize {
-        self.coords.len() * std::mem::size_of::<f64>()
+        (self.coords.len() + self.norms_sq.len()) * std::mem::size_of::<f64>()
     }
 }
 
@@ -173,6 +242,42 @@ mod tests {
     #[test]
     fn all_ids_dense() {
         assert_eq!(grid().all_ids(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn norms_track_mutations() {
+        let mut ps = grid();
+        assert_eq!(ps.norm_sq(3), 2.0);
+        let id = ps.try_push(&[3.0, 4.0]).expect("well-shaped push");
+        assert_eq!(id, 4);
+        assert_eq!(ps.norm_sq(4), 25.0);
+        ps.try_set(0, &[2.0, 0.0]).expect("well-shaped set");
+        assert_eq!(ps.norm_sq(0), 4.0);
+        assert_eq!(ps.norms_sq().len(), ps.len());
+    }
+
+    #[test]
+    fn dynamic_shape_errors_are_typed() {
+        let mut ps = grid();
+        assert!(matches!(
+            ps.try_push(&[1.0, 2.0, 3.0]),
+            Err(VkgError::Mismatch {
+                what: "point dimensionality",
+                expected: 2,
+                found: 3,
+            })
+        ));
+        assert!(matches!(
+            ps.try_set(0, &[1.0]),
+            Err(VkgError::Mismatch { .. })
+        ));
+        assert!(matches!(
+            ps.try_set(99, &[1.0, 2.0]),
+            Err(VkgError::InvalidParameter(_))
+        ));
+        // Failed mutations leave the set untouched.
+        assert_eq!(ps.len(), 4);
+        assert_eq!(ps.point(0), &[0.0, 0.0]);
     }
 
     #[test]

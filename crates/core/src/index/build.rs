@@ -8,12 +8,15 @@
 //! the Algorithm 2 search build the same trees on cloned partitions and
 //! keep only the [`RunCost`].
 
+use vkg_sync::pool::Pool;
+use vkg_sync::Mutex;
+
 use crate::geometry::{Mbr, PointSet};
 use crate::rtree::cost::div_ceil;
 use crate::rtree::split::SplitContext;
 use crate::rtree::{best_splits, height_for, SortOrders};
 
-use super::chooser::SplitChooser;
+use super::chooser::{GreedyChooser, SplitChooser};
 
 /// Static build parameters (a subset of [`crate::config::VkgConfig`]).
 #[derive(Debug, Clone, Copy)]
@@ -102,7 +105,11 @@ pub fn stop_condition(in_q: usize, len: usize, leaf_capacity: usize) -> bool {
 /// * `query = Some(Q)` — cracking: partitions irrelevant to `Q` or fully
 ///   covered by `Q` stay unsplit.
 ///
-/// `cost` accumulates the run's `(c_Q, c_O)` and split count.
+/// `cost` accumulates the run's `(c_Q, c_O)` and split count. `pool`
+/// fans the counting sweeps, stable partitions, and (offline) per-piece
+/// recursion out over workers; a width-1 pool takes the exact serial
+/// code paths, so serial results are bit-identical to the pre-pool
+/// implementation.
 pub fn build_element(
     points: &PointSet,
     params: &BuildParams,
@@ -110,6 +117,7 @@ pub fn build_element(
     query: Option<&Mbr>,
     chooser: &mut dyn SplitChooser,
     cost: &mut RunCost,
+    pool: &Pool,
 ) -> BuiltNode {
     let len = orders.len();
     let mbr = orders.mbr(points);
@@ -130,7 +138,7 @@ pub fn build_element(
 
     // Stop conditions (only online).
     if let Some(q) = query {
-        let in_q = orders.count_in_region(points, q);
+        let in_q = orders.count_in_region_pooled(points, q, pool);
         if stop_condition(in_q, len, params.leaf_capacity) {
             cost.cq += div_ceil(in_q, params.leaf_capacity);
             return BuiltNode {
@@ -149,11 +157,60 @@ pub fn build_element(
         query: if params.query_aware_cost { query } else { None },
         leaf_capacity: params.leaf_capacity,
         beta_pow_h: params.beta.powi(height as i32),
+        pool,
     };
     let mut pieces: Vec<(SortOrders, bool)> = Vec::with_capacity(params.fanout);
     partition(&ctx, query, orders, m, chooser, cost, &mut pieces, true);
 
     let mut children = Vec::with_capacity(pieces.len());
+    // Offline bulk load with a single-choice (stateless) chooser: the
+    // pieces are independent subtrees, so each one builds on its own
+    // worker. The per-piece recursion gets a *serial* pool — the
+    // fan-out at this level already owns the workers, and nesting
+    // would oversubscribe the machine.
+    let offline_parallel =
+        query.is_none() && chooser.num_choices() == 1 && !pool.is_serial() && pieces.len() > 1;
+    if offline_parallel {
+        let inputs: Vec<Mutex<Option<SortOrders>>> = pieces
+            .into_iter()
+            .map(|(piece, _)| Mutex::new(Some(piece)))
+            .collect();
+        let outputs: Vec<Mutex<Option<(BuiltNode, RunCost)>>> =
+            inputs.iter().map(|_| Mutex::new(None)).collect();
+        let serial = Pool::serial();
+        pool.run(inputs.len(), |i| {
+            let Some(piece) = inputs[i].lock().take() else {
+                return;
+            };
+            let mut piece_cost = RunCost::default();
+            let built = build_element(
+                points,
+                params,
+                piece,
+                None,
+                &mut GreedyChooser,
+                &mut piece_cost,
+                &serial,
+            );
+            *outputs[i].lock() = Some((built, piece_cost));
+        });
+        // Merge in piece order so the aggregate cost sums the same
+        // addends in the same sequence on every run at a given width.
+        for slot in outputs {
+            if let Some((built, piece_cost)) = slot.into_inner() {
+                cost.cq += piece_cost.cq;
+                cost.co += piece_cost.co;
+                cost.splits += piece_cost.splits;
+                children.push(built);
+            }
+        }
+        return BuiltNode {
+            mbr,
+            height,
+            kind: BuiltKind::Internal(children),
+        };
+    }
+
     for (piece, stopped) in pieces {
         if stopped {
             // Stays a contour element (or terminal leaf when small).
@@ -179,7 +236,9 @@ pub fn build_element(
         } else {
             // Reached the per-child size ≤ m: recurse to the next level
             // (line 6 of BULKLOADCHUNK / step 4 of INCREMENTALINDEXBUILD).
-            children.push(build_element(points, params, piece, query, chooser, cost));
+            children.push(build_element(
+                points, params, piece, query, chooser, cost, pool,
+            ));
         }
     }
 
@@ -216,7 +275,7 @@ fn partition(
     }
     if !force {
         if let Some(q) = stop_query {
-            let in_q = orders.count_in_region(ctx.points, q);
+            let in_q = orders.count_in_region_pooled(ctx.points, q, ctx.pool);
             if stop_condition(in_q, len, ctx.leaf_capacity) {
                 out.push((orders, true));
                 return;
@@ -229,7 +288,7 @@ fn partition(
     let chosen = &candidates[pick];
     cost.co += chosen.cost.co;
     cost.splits += 1;
-    let (low, high) = orders.split_by_prefix(chosen.axis, chosen.count);
+    let (low, high) = orders.split_by_prefix_pooled(chosen.axis, chosen.count, ctx.pool);
     partition(ctx, stop_query, low, m, chooser, cost, out, false);
     partition(ctx, stop_query, high, m, chooser, cost, out, false);
 }
@@ -237,9 +296,10 @@ fn partition(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::chooser::GreedyChooser;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    static SERIAL: Pool = Pool::serial();
 
     fn params() -> BuildParams {
         BuildParams {
@@ -281,7 +341,15 @@ mod tests {
         let ps = random_points(500, 3, 1);
         let orders = SortOrders::build(&ps, ps.all_ids());
         let mut cost = RunCost::default();
-        let node = build_element(&ps, &params(), orders, None, &mut GreedyChooser, &mut cost);
+        let node = build_element(
+            &ps,
+            &params(),
+            orders,
+            None,
+            &mut GreedyChooser,
+            &mut cost,
+            &SERIAL,
+        );
         // Offline: every point in a real leaf, all leaves ≤ N.
         let mut ids = Vec::new();
         collect_leaf_ids(&node, &mut ids);
@@ -305,7 +373,15 @@ mod tests {
         let ps = random_points(5, 3, 2);
         let orders = SortOrders::build(&ps, ps.all_ids());
         let mut cost = RunCost::default();
-        let node = build_element(&ps, &params(), orders, None, &mut GreedyChooser, &mut cost);
+        let node = build_element(
+            &ps,
+            &params(),
+            orders,
+            None,
+            &mut GreedyChooser,
+            &mut cost,
+            &SERIAL,
+        );
         assert!(matches!(node.kind, BuiltKind::Leaf(_)));
         assert_eq!(node.height, 0);
         assert_eq!(cost.splits, 0);
@@ -325,6 +401,7 @@ mod tests {
             Some(&q),
             &mut GreedyChooser,
             &mut cost,
+            &SERIAL,
         );
         // All points still present exactly once (Lemma 1).
         let mut ids = Vec::new();
@@ -341,6 +418,7 @@ mod tests {
             None,
             &mut GreedyChooser,
             &mut full_cost,
+            &SERIAL,
         );
         assert!(
             cost.splits * 3 < full_cost.splits,
@@ -364,6 +442,7 @@ mod tests {
             Some(&q),
             &mut GreedyChooser,
             &mut cost,
+            &SERIAL,
         );
         assert!(matches!(node.kind, BuiltKind::Unsplit(_)));
         assert_eq!(cost.splits, 0);
@@ -384,6 +463,7 @@ mod tests {
             Some(&q),
             &mut GreedyChooser,
             &mut cost,
+            &SERIAL,
         );
         assert!(matches!(node.kind, BuiltKind::Unsplit(_)));
         assert_eq!(cost.splits, 0);
@@ -414,6 +494,7 @@ mod tests {
             Some(&q),
             &mut GreedyChooser,
             &mut cost,
+            &SERIAL,
         );
         fn contour_cq(n: &BuiltNode, ps: &PointSet, q: &Mbr, cap: usize) -> u64 {
             match &n.kind {
@@ -425,5 +506,87 @@ mod tests {
             }
         }
         assert_eq!(cost.cq, contour_cq(&node, &ps, &q, 8));
+    }
+
+    /// Structural equality of two built trees: identical MBRs, heights,
+    /// leaf id sequences, and unsplit partitions along every path.
+    fn trees_equal(a: &BuiltNode, b: &BuiltNode) -> bool {
+        if a.mbr != b.mbr || a.height != b.height {
+            return false;
+        }
+        match (&a.kind, &b.kind) {
+            (BuiltKind::Internal(ca), BuiltKind::Internal(cb)) => {
+                ca.len() == cb.len() && ca.iter().zip(cb).all(|(x, y)| trees_equal(x, y))
+            }
+            (BuiltKind::Leaf(ia), BuiltKind::Leaf(ib)) => ia == ib,
+            (BuiltKind::Unsplit(oa), BuiltKind::Unsplit(ob)) => oa == ob,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn pooled_offline_build_matches_serial_tree() {
+        let ps = random_points(6_000, 3, 77);
+        let serial_orders = SortOrders::build(&ps, ps.all_ids());
+        let mut c1 = RunCost::default();
+        let t1 = build_element(
+            &ps,
+            &params(),
+            serial_orders,
+            None,
+            &mut GreedyChooser,
+            &mut c1,
+            &SERIAL,
+        );
+        for width in [2, 4] {
+            let pool = Pool::new(width);
+            let orders = SortOrders::build_pooled(&ps, ps.all_ids(), &pool);
+            let mut c2 = RunCost::default();
+            let t2 = build_element(
+                &ps,
+                &params(),
+                orders,
+                None,
+                &mut GreedyChooser,
+                &mut c2,
+                &pool,
+            );
+            assert!(
+                trees_equal(&t1, &t2),
+                "width {width} built a different tree"
+            );
+            assert_eq!(c1.splits, c2.splits, "width {width}");
+            assert_eq!(c1.cq, c2.cq, "width {width}");
+        }
+    }
+
+    #[test]
+    fn pooled_online_crack_matches_serial_tree() {
+        let ps = random_points(6_000, 3, 78);
+        let q = Mbr::of_ball(&[2.0, 2.0, 2.0], 3.0);
+        let mut c1 = RunCost::default();
+        let t1 = build_element(
+            &ps,
+            &params(),
+            SortOrders::build(&ps, ps.all_ids()),
+            Some(&q),
+            &mut GreedyChooser,
+            &mut c1,
+            &SERIAL,
+        );
+        let pool = Pool::new(4);
+        let mut c2 = RunCost::default();
+        let t2 = build_element(
+            &ps,
+            &params(),
+            SortOrders::build_pooled(&ps, ps.all_ids(), &pool),
+            Some(&q),
+            &mut GreedyChooser,
+            &mut c2,
+            &pool,
+        );
+        assert!(trees_equal(&t1, &t2), "online crack diverged at width 4");
+        assert_eq!(c1.splits, c2.splits);
+        assert_eq!(c1.cq, c2.cq);
     }
 }

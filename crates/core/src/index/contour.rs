@@ -6,7 +6,7 @@
 //! the result region stabilizes). They do update access statistics,
 //! which is why the methods take `&mut self`.
 
-use crate::geometry::Mbr;
+use crate::geometry::{kernels, Mbr};
 
 use super::{CrackingIndex, NodeId, NodeKind};
 
@@ -116,7 +116,7 @@ impl CrackingIndex {
                     for (axis, &c) in p.iter().enumerate() {
                         sum[axis] += c;
                     }
-                    sum_norm_sq += p.iter().map(|c| c * c).sum::<f64>();
+                    sum_norm_sq += self.points.norm_sq(pid);
                 }
             }
             if members.is_empty() {
@@ -173,15 +173,16 @@ impl CrackingIndex {
         match &self.nodes[element as usize].kind {
             NodeKind::Internal(_) => Vec::new(),
             NodeKind::Leaf(ids) => {
-                let mut v: Vec<u32> = ids.clone();
-                self.stats.points_examined += v.len() as u64;
-                v.sort_by(|&a, &b| {
-                    self.points
-                        .distance_sq(a, center)
-                        .total_cmp(&self.points.distance_sq(b, center))
-                });
-                v.truncate(k);
-                v
+                let ids: Vec<u32> = ids.clone();
+                self.stats.points_examined += ids.len() as u64;
+                let mut dists = vec![0.0f64; ids.len()];
+                kernels::distances_sq(&self.pool, &self.points, &ids, center, &mut dists);
+                // Stable sort on the distance alone preserves the leaf's
+                // id order for ties, matching the old per-comparison sort.
+                let mut pairs: Vec<(f64, u32)> = dists.into_iter().zip(ids).collect();
+                pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                pairs.truncate(k);
+                pairs.into_iter().map(|(_, id)| id).collect()
             }
             NodeKind::Unsplit(orders) => {
                 let order = orders.ids(0);

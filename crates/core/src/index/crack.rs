@@ -77,6 +77,7 @@ impl CrackingIndex {
             Some(q),
             chooser,
             &mut cost,
+            &self.pool,
         );
         self.stats.splits_performed += cost.splits;
         self.install(id, built);
@@ -100,6 +101,7 @@ impl CrackingIndex {
                 Some(q),
                 chooser,
                 &mut cost,
+                &self.pool,
             );
         }
         cost

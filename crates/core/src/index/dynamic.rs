@@ -10,6 +10,7 @@
 //! element MBRs stay conservative (they may over-cover after removals,
 //! which affects pruning quality, never correctness).
 
+use crate::error::{VkgError, VkgResult};
 use crate::rtree::{height_for, SortOrders};
 
 use super::{CrackingIndex, NodeId, NodeKind};
@@ -17,24 +18,46 @@ use super::{CrackingIndex, NodeId, NodeKind};
 impl CrackingIndex {
     /// Inserts a new point, returning its id (= the new entity's dense
     /// id). O(height + S·|element|).
-    pub fn insert_point(&mut self, coords: &[f64]) -> u32 {
-        let id = self.points.push(coords);
+    ///
+    /// # Errors
+    /// Typed [`VkgError`]s for a shape mismatch or id-space overflow —
+    /// this path is reachable from served dynamic updates
+    /// (`AddFactDynamic`), so it must not panic.
+    pub fn insert_point(&mut self, coords: &[f64]) -> VkgResult<u32> {
+        let id = self.points.try_push(coords)?;
         self.attach_point(id);
-        id
+        Ok(id)
     }
 
     /// Moves an existing point to new coordinates (an embedding update
     /// after local graph changes). The id is stable.
     ///
-    /// # Panics
-    /// Panics if the id is out of range or tombstoned.
-    pub fn update_point(&mut self, id: u32, coords: &[f64]) {
-        assert!((id as usize) < self.points.len(), "unknown point id {id}");
-        assert!(!self.removed.contains(&id), "point {id} was removed");
+    /// # Errors
+    /// Typed [`VkgError`]s for an unknown or tombstoned id or a shape
+    /// mismatch — served dynamic updates reach this, so no panics.
+    pub fn update_point(&mut self, id: u32, coords: &[f64]) -> VkgResult<()> {
+        if (id as usize) >= self.points.len() {
+            return Err(VkgError::InvalidParameter(format!("unknown point id {id}")));
+        }
+        if self.removed.contains(&id) {
+            return Err(VkgError::InvalidParameter(format!(
+                "point {id} was removed"
+            )));
+        }
+        // Validate the shape *before* detaching so a failed update
+        // leaves the index untouched.
+        if coords.len() != self.points.dim() {
+            return Err(VkgError::Mismatch {
+                what: "point dimensionality",
+                expected: self.points.dim(),
+                found: coords.len(),
+            });
+        }
         let detached = self.detach_point(id);
         debug_assert!(detached, "live point must sit in some element");
-        self.points.set(id, coords);
+        self.points.try_set(id, coords)?;
         self.attach_point(id);
+        Ok(())
     }
 
     /// Removes a point from the index (tombstoned; ids are never reused).
@@ -197,7 +220,9 @@ mod tests {
     #[test]
     fn insert_into_fresh_index() {
         let mut idx = CrackingIndex::new(random_points(100, 1), 8, 4, 2.0, SplitStrategy::Greedy);
-        let id = idx.insert_point(&[1.0, 2.0, 3.0]);
+        let id = idx
+            .insert_point(&[1.0, 2.0, 3.0])
+            .expect("well-shaped insert");
         assert_eq!(id, 100);
         idx.check_invariants();
         let q = Mbr::of_ball(&[1.0, 2.0, 3.0], 0.1);
@@ -210,7 +235,7 @@ mod tests {
         let target = [0.5, 0.5, 0.5];
         idx.crack(&Mbr::of_ball(&target, 2.0));
         let nodes_before = idx.node_count();
-        let id = idx.insert_point(&target);
+        let id = idx.insert_point(&target).expect("well-shaped insert");
         idx.check_invariants();
         assert_eq!(idx.node_count(), nodes_before, "insert allocates no nodes");
         let q = Mbr::of_ball(&target, 0.05);
@@ -225,7 +250,10 @@ mod tests {
         // Stuff one location until leaves overflow repeatedly.
         let mut ids = Vec::new();
         for i in 0..40 {
-            ids.push(idx.insert_point(&[7.0 + i as f64 * 1e-3, 7.0, 7.0]));
+            ids.push(
+                idx.insert_point(&[7.0 + i as f64 * 1e-3, 7.0, 7.0])
+                    .expect("well-shaped insert"),
+            );
         }
         idx.check_invariants();
         // A fresh crack tidies the overflowed partitions back to ≤ N.
@@ -258,7 +286,7 @@ mod tests {
         let mut idx = CrackingIndex::new(random_points(400, 5), 8, 4, 2.0, SplitStrategy::Greedy);
         idx.crack(&Mbr::of_ball(&[0.0, 0.0, 0.0], 3.0));
         let old = idx.points().point(7).to_vec();
-        idx.update_point(7, &[9.5, 9.5, 9.5]);
+        idx.update_point(7, &[9.5, 9.5, 9.5]).expect("live id");
         idx.check_invariants();
         let near_new = Mbr::of_ball(&[9.5, 9.5, 9.5], 0.1);
         assert!(search_ids(&mut idx, &near_new).contains(&7));
@@ -279,7 +307,7 @@ mod tests {
                         rng.gen_range(-10.0..10.0),
                         rng.gen_range(-10.0..10.0),
                     ];
-                    live.insert(idx.insert_point(&p));
+                    live.insert(idx.insert_point(&p).expect("well-shaped insert"));
                 }
                 1 => {
                     if let Some(&id) = live.iter().next() {
@@ -311,5 +339,35 @@ mod tests {
     fn remove_unknown_ids() {
         let mut idx = CrackingIndex::new(random_points(10, 7), 8, 4, 2.0, SplitStrategy::Greedy);
         assert!(!idx.remove_point(999));
+    }
+
+    #[test]
+    fn dynamic_errors_are_typed_not_panics() {
+        use crate::error::VkgError;
+        let mut idx = CrackingIndex::new(random_points(50, 8), 8, 4, 2.0, SplitStrategy::Greedy);
+        assert!(matches!(
+            idx.insert_point(&[1.0, 2.0]),
+            Err(VkgError::Mismatch {
+                what: "point dimensionality",
+                expected: 3,
+                found: 2,
+            })
+        ));
+        assert!(matches!(
+            idx.update_point(999, &[0.0, 0.0, 0.0]),
+            Err(VkgError::InvalidParameter(_))
+        ));
+        assert!(idx.remove_point(3));
+        assert!(matches!(
+            idx.update_point(3, &[0.0, 0.0, 0.0]),
+            Err(VkgError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            idx.update_point(4, &[0.0]),
+            Err(VkgError::Mismatch { .. })
+        ));
+        // Failed calls left the index consistent.
+        idx.check_invariants();
+        assert_eq!(idx.live_points(), 49);
     }
 }

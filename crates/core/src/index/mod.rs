@@ -33,6 +33,8 @@ pub mod topk;
 pub use arena::{Node, NodeId, NodeKind};
 pub use contour::ElementSummary;
 
+use vkg_sync::pool::Pool;
+
 use crate::config::SplitStrategy;
 use crate::geometry::PointSet;
 use crate::rtree::SortOrders;
@@ -52,6 +54,9 @@ pub struct CrackingIndex {
     stats: IndexStats,
     /// Tombstoned point ids (dynamic removals; ids are never reused).
     removed: std::collections::HashSet<u32>,
+    /// Data-parallel pool the build layers fan out over. Width 1 (the
+    /// default) takes the exact serial code paths.
+    pool: Pool,
 }
 
 impl CrackingIndex {
@@ -65,6 +70,27 @@ impl CrackingIndex {
         beta: f64,
         strategy: SplitStrategy,
     ) -> Self {
+        Self::with_pool(
+            points,
+            leaf_capacity,
+            fanout,
+            beta,
+            strategy,
+            Pool::serial(),
+        )
+    }
+
+    /// [`CrackingIndex::new`] with an explicit pool: root sort orders
+    /// build in parallel, and every later crack or bulk load fans out
+    /// over the same pool. A width-1 pool reproduces `new` exactly.
+    pub fn with_pool(
+        points: PointSet,
+        leaf_capacity: usize,
+        fanout: usize,
+        beta: f64,
+        strategy: SplitStrategy,
+        pool: Pool,
+    ) -> Self {
         assert!(leaf_capacity >= 2, "leaf capacity N must be ≥ 2");
         assert!(fanout >= 2, "fanout M must be ≥ 2");
         assert!(beta >= 1.0, "β must be ≥ 1");
@@ -75,7 +101,7 @@ impl CrackingIndex {
             query_aware_cost: true,
         };
         let ids = points.all_ids();
-        let orders = SortOrders::build(&points, ids);
+        let orders = SortOrders::build_pooled(&points, ids, &pool);
         let mbr = orders.mbr(&points);
         let len = orders.len();
         let kind = if len <= leaf_capacity {
@@ -93,6 +119,7 @@ impl CrackingIndex {
             strategy,
             stats: IndexStats::default(),
             removed: std::collections::HashSet::new(),
+            pool,
         };
         index.stats.nodes_created = 1;
         index
@@ -101,7 +128,29 @@ impl CrackingIndex {
     /// Builds the complete balanced index offline (the BULKLOADCHUNK
     /// baseline of §VI). No stop conditions; every leaf materialized.
     pub fn bulk_load(points: PointSet, leaf_capacity: usize, fanout: usize, beta: f64) -> Self {
-        let mut index = Self::new(points, leaf_capacity, fanout, beta, SplitStrategy::Greedy);
+        Self::bulk_load_with_pool(points, leaf_capacity, fanout, beta, Pool::serial())
+    }
+
+    /// [`CrackingIndex::bulk_load`] with an explicit pool: sort-order
+    /// construction, candidate sweeps, stable partitions, and the
+    /// top-level piece recursion all fan out. The tree is structurally
+    /// identical at every width (split choices are deterministic); a
+    /// width-1 pool is bit-identical to `bulk_load`.
+    pub fn bulk_load_with_pool(
+        points: PointSet,
+        leaf_capacity: usize,
+        fanout: usize,
+        beta: f64,
+        pool: Pool,
+    ) -> Self {
+        let mut index = Self::with_pool(
+            points,
+            leaf_capacity,
+            fanout,
+            beta,
+            SplitStrategy::Greedy,
+            pool,
+        );
         let root = index.root;
         // A root that already fits in one leaf needs no building; only an
         // unsplit root is taken apart (swapping the kind out first would
@@ -122,11 +171,17 @@ impl CrackingIndex {
                 None,
                 &mut GreedyChooser,
                 &mut cost,
+                &index.pool,
             );
             index.stats.splits_performed += cost.splits;
             index.install(root, built);
         }
         index
+    }
+
+    /// The pool the index's build layers run on.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// Disables (or re-enables) the query-aware `c_Q` component of the

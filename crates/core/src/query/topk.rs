@@ -18,7 +18,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::error::{VkgError, VkgResult};
-use crate::geometry::Mbr;
+use crate::geometry::{kernels, Mbr, PointSet};
 use crate::index::CrackingIndex;
 
 use super::guarantees::{topk_guarantee, TopKGuarantee};
@@ -77,8 +77,10 @@ impl PartialOrd for HeapEntry {
 /// * `k` — number of entities requested.
 /// * `epsilon` — the radius inflation of line 3 (`r_q = r*_k(1+ε)`).
 /// * `alpha` — dimensionality of S₂ (for the Theorem 2 guarantee).
-/// * `s1_distance(id)` — the true S₁ distance from the query point to the
-///   entity's embedding (the expensive oracle; evaluations are counted).
+/// * `s1_distance(points, id)` — the true S₁ distance from the query
+///   point to the entity's embedding (the expensive oracle; evaluations
+///   are counted). The index's S₂ point set is passed through so oracles
+///   that only need S₂ geometry can read it without re-projecting.
 /// * `skip(id)` — true for entities excluded from `E'` (existing
 ///   neighbours, the query entity itself).
 ///
@@ -90,7 +92,7 @@ pub fn find_top_k(
     k: usize,
     epsilon: f64,
     alpha: usize,
-    mut s1_distance: impl FnMut(u32) -> f64,
+    mut s1_distance: impl FnMut(&PointSet, u32) -> f64,
     mut skip: impl FnMut(u32) -> bool,
 ) -> VkgResult<TopKResult> {
     if k == 0 {
@@ -111,7 +113,7 @@ pub fn find_top_k(
         if skip(id) {
             continue;
         }
-        let d = s1_distance(id);
+        let d = s1_distance(index.points(), id);
         s1_evals += 1;
         push_candidate(&mut heap, k, id, d);
     }
@@ -130,18 +132,23 @@ pub fn find_top_k(
     // min-heap beats a full sort: as soon as the nearest unexamined
     // candidate falls outside the shrunken ball, everything else does
     // too and the loop ends.
-    let mut candidates: Vec<(f64, u32)> = Vec::new();
-    index.search_region(&initial_region, |id| candidates.push((0.0, id)));
-    for c in &mut candidates {
-        c.0 = index.points().distance_sq(c.1, q_s2);
-    }
-    let candidates_examined = candidates.len() as u64;
-    let mut frontier: BinaryHeap<std::cmp::Reverse<HeapEntry>> = candidates
-        .into_iter()
-        .map(|(d, id)| std::cmp::Reverse(HeapEntry { distance: d, id }))
+    let mut ids: Vec<u32> = Vec::new();
+    index.search_region(&initial_region, |id| ids.push(id));
+    let candidates_examined = ids.len() as u64;
+    let mut d_s2 = vec![0.0f64; ids.len()];
+    kernels::distances_sq(index.pool(), index.points(), &ids, q_s2, &mut d_s2);
+
+    // The ball only shrinks, so candidates already outside the current
+    // radius can never be examined — drop them before heapifying instead
+    // of popping them one by one at the end of the loop.
+    let mut current_r_sq = current_ball_radius_sq(&heap, k, epsilon);
+    let mut frontier: BinaryHeap<std::cmp::Reverse<HeapEntry>> = ids
+        .iter()
+        .zip(&d_s2)
+        .filter(|&(_, &d)| d <= current_r_sq)
+        .map(|(&id, &d)| std::cmp::Reverse(HeapEntry { distance: d, id }))
         .collect();
 
-    let mut current_r_sq = current_ball_radius_sq(&heap, k, epsilon);
     let mut seen: std::collections::HashSet<u32> = heap.iter().map(|e| e.id).collect();
     while let Some(std::cmp::Reverse(HeapEntry {
         distance: d_s2_sq,
@@ -157,7 +164,7 @@ pub fn find_top_k(
         if !seen.insert(id) || skip(id) {
             continue;
         }
-        let d = s1_distance(id);
+        let d = s1_distance(index.points(), id);
         s1_evals += 1;
         if push_candidate(&mut heap, k, id, d) {
             current_r_sq = current_ball_radius_sq(&heap, k, epsilon);
@@ -276,7 +283,7 @@ mod tests {
             5,
             1.0,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |_| false,
         )
         .unwrap();
@@ -301,7 +308,7 @@ mod tests {
             3,
             1.0,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |id| id == 7 || id == 11,
         )
         .unwrap();
@@ -322,7 +329,7 @@ mod tests {
             10,
             1.0,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |_| false,
         )
         .unwrap();
@@ -332,7 +339,7 @@ mod tests {
             10,
             1.0,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |_| false,
         )
         .unwrap();
@@ -359,7 +366,7 @@ mod tests {
             10,
             1.0,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |_| false,
         )
         .unwrap();
@@ -376,7 +383,7 @@ mod tests {
             5,
             1.0,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |_| true,
         )
         .unwrap();
@@ -394,7 +401,7 @@ mod tests {
             5,
             0.5,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |_| false,
         )
         .unwrap();
@@ -412,7 +419,7 @@ mod tests {
             5,
             3.0,
             3,
-            |id| l2(&pts[id as usize], &q),
+            |_, id| l2(&pts[id as usize], &q),
             |_| false,
         )
         .unwrap();

@@ -8,7 +8,27 @@
 
 use std::collections::HashSet;
 
+use vkg_sync::pool::Pool;
+use vkg_sync::{AtomicU64, Mutex, Ordering};
+
 use crate::geometry::{Mbr, PointSet};
+
+/// Below this many points the pooled entry points run the serial code
+/// outright — fan-out bookkeeping would dominate the saved work.
+const POOLED_MIN: usize = 4096;
+
+/// Sorts one axis order with the canonical comparator (coordinate, then
+/// id). Shared by the serial and pooled builders so both produce the
+/// identical permutation.
+fn sort_axis(points: &PointSet, axis: usize, order: &mut [u32]) {
+    order.sort_unstable_by(|&a, &b| {
+        points
+            .coord(a, axis)
+            .partial_cmp(&points.coord(b, axis))
+            .expect("NaN coordinate in point set")
+            .then(a.cmp(&b))
+    });
+}
 
 /// A partition of point ids maintained in one sorted list per axis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,16 +49,37 @@ impl SortOrders {
             } else {
                 ids.clone()
             };
-            order.sort_unstable_by(|&a, &b| {
-                points
-                    .coord(a, axis)
-                    .partial_cmp(&points.coord(b, axis))
-                    .expect("NaN coordinate in point set")
-                    .then(a.cmp(&b))
-            });
+            sort_axis(points, axis, &mut order);
             orders.push(order);
         }
         Self { orders }
+    }
+
+    /// [`SortOrders::build`] with the per-axis sorts fanned out over a
+    /// pool. Every axis runs the identical comparator, so the result
+    /// equals the serial build at any width; a serial pool or a small
+    /// input takes the serial code path outright.
+    pub fn build_pooled(points: &PointSet, mut ids: Vec<u32>, pool: &Pool) -> Self {
+        let dim = points.dim();
+        if pool.is_serial() || ids.len() < POOLED_MIN || dim < 2 {
+            return Self::build(points, ids);
+        }
+        let slots: Vec<Mutex<Vec<u32>>> = (0..dim)
+            .map(|axis| {
+                Mutex::new(if axis + 1 == dim {
+                    std::mem::take(&mut ids)
+                } else {
+                    ids.clone()
+                })
+            })
+            .collect();
+        pool.run(dim, |axis| {
+            let mut order = slots[axis].lock();
+            sort_axis(points, axis, &mut order);
+        });
+        Self {
+            orders: slots.into_iter().map(Mutex::into_inner).collect(),
+        }
     }
 
     /// Number of points in the partition.
@@ -92,6 +133,27 @@ impl SortOrders {
             .count()
     }
 
+    /// [`SortOrders::count_in_region`] chunked over a pool. The count
+    /// is an integer sum of per-chunk partial counts, so the result is
+    /// exact at every width.
+    pub fn count_in_region_pooled(&self, points: &PointSet, region: &Mbr, pool: &Pool) -> usize {
+        let len = self.len();
+        if pool.is_serial() || len < POOLED_MIN {
+            return self.count_in_region(points, region);
+        }
+        let total = AtomicU64::new(0);
+        pool.run_chunked(len, 1024, |start, end| {
+            let c = self.orders[0][start..end]
+                .iter()
+                .filter(|&&id| points.in_region(id, region))
+                .count() as u64;
+            // relaxed: independent partial counts; the pool's scoped join publishes the sum.
+            total.fetch_add(c, Ordering::Relaxed);
+        });
+        // relaxed: single-threaded read after the pool joined every worker.
+        total.load(Ordering::Relaxed) as usize
+    }
+
     /// Splits off the first `count` ids of order `axis` (the paper's
     /// SPLITONKEY): returns `(low, high)` partitions with **all** orders
     /// maintained sorted via stable partition by membership.
@@ -115,6 +177,52 @@ impl SortOrders {
                     h.push(id);
                 }
             }
+            low.push(l);
+            high.push(h);
+        }
+        (SortOrders { orders: low }, SortOrders { orders: high })
+    }
+
+    /// [`SortOrders::split_by_prefix`] with the per-order stable
+    /// partitions fanned out over a pool. Membership comes from the
+    /// same prefix set, so `(low, high)` equal the serial split at any
+    /// width.
+    ///
+    /// # Panics
+    /// Panics if `count` is 0 or ≥ `len` (a split must be proper).
+    pub fn split_by_prefix_pooled(
+        &self,
+        axis: usize,
+        count: usize,
+        pool: &Pool,
+    ) -> (SortOrders, SortOrders) {
+        let len = self.len();
+        if pool.is_serial() || len < POOLED_MIN || self.num_orders() < 2 {
+            return self.split_by_prefix(axis, count);
+        }
+        assert!(count > 0 && count < len, "improper split {count}/{len}");
+        let low_set: HashSet<u32> = self.orders[axis][..count].iter().copied().collect();
+        let slots: Vec<Mutex<(Vec<u32>, Vec<u32>)>> = self
+            .orders
+            .iter()
+            .map(|_| Mutex::new((Vec::new(), Vec::new())))
+            .collect();
+        pool.run(self.num_orders(), |o| {
+            let mut l = Vec::with_capacity(count);
+            let mut h = Vec::with_capacity(len - count);
+            for &id in &self.orders[o] {
+                if low_set.contains(&id) {
+                    l.push(id);
+                } else {
+                    h.push(id);
+                }
+            }
+            *slots[o].lock() = (l, h);
+        });
+        let mut low = Vec::with_capacity(self.num_orders());
+        let mut high = Vec::with_capacity(self.num_orders());
+        for slot in slots {
+            let (l, h) = slot.into_inner();
             low.push(l);
             high.push(h);
         }
@@ -257,5 +365,53 @@ mod tests {
         let so = SortOrders::build(&ps, vec![]);
         assert!(so.is_empty());
         assert!(so.mbr(&ps).is_empty());
+    }
+
+    /// Enough points to clear `POOLED_MIN` so wide pools take the
+    /// parallel paths for real.
+    fn large_fixture() -> PointSet {
+        let n = POOLED_MIN + 500;
+        let coords: Vec<f64> = (0..n * 2)
+            .map(|i| ((i as f64) * 0.618).sin() * 50.0)
+            .collect();
+        PointSet::from_rows(2, coords)
+    }
+
+    #[test]
+    fn pooled_build_matches_serial_at_any_width() {
+        let ps = large_fixture();
+        let serial = SortOrders::build(&ps, ps.all_ids());
+        for width in [1, 2, 4] {
+            let pooled = SortOrders::build_pooled(&ps, ps.all_ids(), &Pool::new(width));
+            assert_eq!(pooled, serial, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn pooled_split_matches_serial() {
+        let ps = large_fixture();
+        let so = SortOrders::build(&ps, ps.all_ids());
+        let cut = so.len() / 3;
+        let (sl, sh) = so.split_by_prefix(1, cut);
+        let (pl, ph) = so.split_by_prefix_pooled(1, cut, &Pool::new(4));
+        assert_eq!(pl, sl);
+        assert_eq!(ph, sh);
+    }
+
+    #[test]
+    fn pooled_count_matches_serial() {
+        let ps = large_fixture();
+        let so = SortOrders::build(&ps, ps.all_ids());
+        let region = Mbr::of_ball(&[0.0, 0.0], 30.0);
+        let serial = so.count_in_region(&ps, &region);
+        assert!(serial > 0);
+        assert_eq!(
+            so.count_in_region_pooled(&ps, &region, &Pool::new(4)),
+            serial
+        );
+        assert_eq!(
+            so.count_in_region_pooled(&ps, &region, &Pool::serial()),
+            serial
+        );
     }
 }

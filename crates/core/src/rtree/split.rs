@@ -8,10 +8,17 @@
 //! the overlap penalty. Candidates are returned best-first, so the greedy
 //! algorithm takes index 0 and TOP-KSPLITSINDEXBUILD takes the first `k`.
 
+use vkg_sync::pool::Pool;
+use vkg_sync::Mutex;
+
 use crate::geometry::{Mbr, PointSet};
 
 use super::cost::{div_ceil, overlap_penalty, SplitCost};
 use super::sorted::SortOrders;
+
+/// Below this many points candidate enumeration stays serial even on a
+/// wide pool — the per-axis sweeps finish faster than a fan-out.
+const POOLED_MIN: usize = 4096;
 
 /// One ranked candidate binary split.
 #[derive(Debug, Clone)]
@@ -43,6 +50,9 @@ pub struct SplitContext<'a> {
     pub leaf_capacity: usize,
     /// Overlap weight `βʰ` at this node's height.
     pub beta_pow_h: f64,
+    /// Pool the candidate sweeps and partition splits fan out over
+    /// (width 1 = the exact serial code paths).
+    pub pool: &'a Pool,
 }
 
 /// Enumerates all candidate splits of `orders` at multiples of `m` and
@@ -64,7 +74,46 @@ pub fn best_splits(
     let positions: Vec<usize> = (1..).map(|i| i * m).take_while(|&p| p < len).collect();
 
     let mut candidates: Vec<SplitCandidate> = Vec::new();
-    for axis in 0..orders.num_orders() {
+    let num_orders = orders.num_orders();
+    if ctx.pool.is_serial() || len < POOLED_MIN || num_orders < 2 {
+        for axis in 0..num_orders {
+            axis_candidates(ctx, orders, axis, &positions, &mut candidates);
+        }
+    } else {
+        // One sweep per axis on the pool; per-axis results land in
+        // index-addressed slots and merge in axis order, so the
+        // candidate list matches the serial enumeration exactly.
+        let slots: Vec<Mutex<Vec<SplitCandidate>>> =
+            (0..num_orders).map(|_| Mutex::new(Vec::new())).collect();
+        ctx.pool.run(num_orders, |axis| {
+            let mut local = Vec::new();
+            axis_candidates(ctx, orders, axis, &positions, &mut local);
+            *slots[axis].lock() = local;
+        });
+        for slot in slots {
+            candidates.extend(slot.into_inner());
+        }
+    }
+    candidates.sort_by(|a, b| {
+        a.cost
+            .cmp(&b.cost)
+            .then(a.axis.cmp(&b.axis))
+            .then(a.count.cmp(&b.count))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+/// Enumerates the candidates of one sort order (axis): the two
+/// prefix/suffix sweeps of COMPUTEBOUNDINGBOXES sampled at `positions`.
+fn axis_candidates(
+    ctx: &SplitContext<'_>,
+    orders: &SortOrders,
+    axis: usize,
+    positions: &[usize],
+    candidates: &mut Vec<SplitCandidate>,
+) {
+    {
         let ids = orders.ids(axis);
         // One forward sweep for prefix MBRs and in-Q counts, one backward
         // sweep for suffix MBRs and counts, sampling at the positions.
@@ -157,14 +206,6 @@ pub fn best_splits(
             });
         }
     }
-    candidates.sort_by(|a, b| {
-        a.cost
-            .cmp(&b.cost)
-            .then(a.axis.cmp(&b.axis))
-            .then(a.count.cmp(&b.count))
-    });
-    candidates.truncate(k);
-    candidates
 }
 
 #[cfg(test)]
@@ -186,12 +227,15 @@ mod tests {
         (ps, so)
     }
 
+    static SERIAL: Pool = Pool::serial();
+
     fn offline_ctx(ps: &PointSet) -> SplitContext<'_> {
         SplitContext {
             points: ps,
             query: None,
             leaf_capacity: 4,
             beta_pow_h: 1.0,
+            pool: &SERIAL,
         }
     }
 
@@ -254,6 +298,7 @@ mod tests {
             query: Some(&q),
             leaf_capacity: 4,
             beta_pow_h: 1.0,
+            pool: &SERIAL,
         };
         // m = 4 → positions 4 and 8 on axis 0.
         let best = best_splits(&ctx, &so, 4, 10);
@@ -281,6 +326,7 @@ mod tests {
             query: Some(&q),
             leaf_capacity: 2,
             beta_pow_h: 1.0,
+            pool: &SERIAL,
         };
         let cands = best_splits(&ctx, &so, 4, 10);
         let at4 = cands
@@ -290,5 +336,34 @@ mod tests {
         assert_eq!(at4.low_in_q, 2);
         assert_eq!(at4.high_in_q, 2);
         assert_eq!(at4.cost.cq, 2, "⌈2/2⌉ + ⌈2/2⌉");
+    }
+
+    #[test]
+    fn pooled_candidates_match_serial() {
+        // Enough points past POOLED_MIN to exercise the fan-out.
+        let n = POOLED_MIN + 256;
+        let coords: Vec<f64> = (0..n * 2)
+            .map(|i| ((i as f64) * 0.377).sin() * 20.0)
+            .collect();
+        let ps = PointSet::from_rows(2, coords);
+        let so = SortOrders::build(&ps, ps.all_ids());
+        let m = n / 8;
+        let serial = best_splits(&offline_ctx(&ps), &so, m, 100);
+        for width in [2, 4] {
+            let pool = Pool::new(width);
+            let ctx = SplitContext {
+                pool: &pool,
+                ..offline_ctx(&ps)
+            };
+            let pooled = best_splits(&ctx, &so, m, 100);
+            assert_eq!(pooled.len(), serial.len());
+            for (a, b) in serial.iter().zip(&pooled) {
+                assert_eq!(a.axis, b.axis, "width {width}");
+                assert_eq!(a.count, b.count, "width {width}");
+                assert_eq!(a.cost, b.cost, "width {width}");
+                assert_eq!(a.low_mbr, b.low_mbr);
+                assert_eq!(a.high_mbr, b.high_mbr);
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use vkg_embed::EmbeddingStore;
 use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
+use vkg_sync::pool::Pool;
 use vkg_transform::JlTransform;
 
 use crate::config::VkgConfig;
@@ -140,7 +141,16 @@ impl VkgSnapshot {
     /// Projects every entity embedding into S₂ (the point set an index
     /// is built over).
     pub fn project_points(&self) -> PointSet {
-        let projected = self.transform.apply_matrix(self.embeddings.entity_matrix());
+        self.project_points_pooled(&Pool::serial())
+    }
+
+    /// [`VkgSnapshot::project_points`] over a thread pool: the n × d
+    /// entity matrix is chunked row-wise across the pool's workers.
+    /// Bit-identical at every width (each row's matvec is untouched).
+    pub fn project_points_pooled(&self, pool: &Pool) -> PointSet {
+        let projected = self
+            .transform
+            .apply_matrix_pooled(pool, self.embeddings.entity_matrix());
         PointSet::from_rows(self.config.alpha, projected)
     }
 

@@ -380,9 +380,15 @@ impl VirtualKnowledgeGraph {
     /// projected into S₂ and spliced into the partial index in place — no
     /// rebuild.
     ///
+    /// # Errors
+    /// A typed [`VkgError`] if the embedding's dimensionality does not
+    /// match the store or the dense id space is exhausted; the failed
+    /// write publishes nothing.
+    ///
     /// # Panics
-    /// Panics if the embedding's dimensionality does not match the store.
-    pub fn add_entity_dynamic(&self, name: &str, s1_embedding: &[f64]) -> EntityId {
+    /// Panics if the S₁ embedding length disagrees with the embedding
+    /// store (caught before any index mutation).
+    pub fn add_entity_dynamic(&self, name: &str, s1_embedding: &[f64]) -> VkgResult<EntityId> {
         let mut engine = self.engine.write();
         let mut next = (*self.snapshot()).clone();
         let id = next.graph_mut().add_entity(name);
@@ -392,17 +398,17 @@ impl VirtualKnowledgeGraph {
                 .entity_mut(id)
                 .copy_from_slice(s1_embedding);
             let s2 = next.transform().apply(s1_embedding);
-            engine.index_mut().update_point(id.0, &s2);
+            engine.index_mut().update_point(id.0, &s2)?;
             self.publish(next);
-            return id;
+            return Ok(id);
         }
         let store_id = next.embeddings_mut().push_entity(s1_embedding);
         debug_assert_eq!(store_id, id, "graph and store ids must stay aligned");
         let s2 = next.transform().apply(s1_embedding);
-        let point_id = engine.index_mut().insert_point(&s2);
+        let point_id = engine.index_mut().insert_point(&s2)?;
         debug_assert_eq!(point_id, id.0, "index point ids must stay aligned");
         self.publish(next);
-        id
+        Ok(id)
     }
 
     /// Adds a fact `(h, r, t)` to `E` and locally refines the embeddings:
@@ -455,9 +461,9 @@ impl VirtualKnowledgeGraph {
             }
         }
         let h_s2 = next.transform().apply(next.embeddings().entity(h));
-        engine.index_mut().update_point(h.0, &h_s2);
+        engine.index_mut().update_point(h.0, &h_s2)?;
         let t_s2 = next.transform().apply(next.embeddings().entity(t));
-        engine.index_mut().update_point(t.0, &t_s2);
+        engine.index_mut().update_point(t.0, &t_s2)?;
         let epoch = self.publish(next);
         Ok((true, epoch))
     }
@@ -534,6 +540,7 @@ mod tests {
             split_strategy: SplitStrategy::Greedy,
             query_aware_cost: true,
             transform_seed: 7,
+            threads: 1,
         }
     }
 
@@ -731,7 +738,8 @@ mod tests {
         let before = vkg.snapshot();
         let n = before.graph().num_entities();
         let dim = before.embeddings().dim();
-        vkg.add_entity_dynamic("m_new", &vec![20.0; dim]);
+        vkg.add_entity_dynamic("m_new", &vec![20.0; dim])
+            .expect("well-shaped embedding");
         // The old snapshot is frozen; the facade sees the new entity.
         assert_eq!(before.graph().num_entities(), n);
         assert_eq!(vkg.graph().num_entities(), n + 1);
@@ -743,7 +751,8 @@ mod tests {
         let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         assert_eq!(vkg.epoch(), 0);
         let dim = vkg.embeddings().dim();
-        vkg.add_entity_dynamic("m_new", &vec![20.0; dim]);
+        vkg.add_entity_dynamic("m_new", &vec![20.0; dim])
+            .expect("well-shaped embedding");
         assert_eq!(vkg.epoch(), 1);
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let m_new = vkg.graph().entity_id("m_new").unwrap();

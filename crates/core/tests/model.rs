@@ -54,6 +54,7 @@ fn tiny_vkg() -> (VirtualKnowledgeGraph, RelationId) {
         split_strategy: SplitStrategy::Greedy,
         query_aware_cost: true,
         transform_seed: 7,
+        threads: 1,
     };
     let vkg = VirtualKnowledgeGraph::try_assemble(g, attrs, store, cfg).expect("tiny world");
     (vkg, likes)
@@ -199,7 +200,8 @@ fn pinned_snapshot_stays_frozen_during_publication() {
         let writer = {
             let vkg = Arc::clone(&vkg);
             thread::spawn(move || {
-                vkg.add_entity_dynamic("m_fresh", &vec![30.0; dim]);
+                vkg.add_entity_dynamic("m_fresh", &vec![30.0; dim])
+                    .expect("well-shaped embedding");
             })
         };
         let reader = thread::spawn(move || {

@@ -5,10 +5,11 @@
 use proptest::prelude::*;
 
 use vkg_core::config::SplitStrategy;
-use vkg_core::geometry::{Mbr, PointSet};
+use vkg_core::geometry::{kernels, Mbr, PointSet};
 use vkg_core::index::CrackingIndex;
 use vkg_core::query::aggregate;
 use vkg_core::rtree::SortOrders;
+use vkg_sync::pool::Pool;
 
 fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = PointSet> {
     prop::collection::vec(-50.0f64..50.0, dim..=max_n * dim).prop_map(move |mut coords| {
@@ -185,6 +186,45 @@ proptest! {
         prop_assert!(max_certain >= lo - 1e-9, "certain max {max_certain} < lo {lo}");
     }
 
+    /// The blocked `|p|² − 2p·q + |q|²` kernel agrees with the scalar
+    /// reference within 1e-9 relative error at every dimension up to
+    /// MAX_DIM and over strided (non-contiguous) id lists.
+    #[test]
+    fn blocked_kernel_matches_scalar(
+        dim in 1usize..=16,
+        stride in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let n = 257usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2_000) as f64 / 10.0 - 100.0
+        };
+        let coords: Vec<f64> = (0..n * dim).map(|_| next()).collect();
+        let ps = PointSet::from_rows(dim, coords);
+        let q: Vec<f64> = (0..dim).map(|_| next()).collect();
+        let ids: Vec<u32> = (0..n as u32).step_by(stride).collect();
+        let mut scalar = vec![0.0; ids.len()];
+        let mut blocked = vec![0.0; ids.len()];
+        kernels::scalar_distances_sq(&ps, &ids, &q, &mut scalar);
+        kernels::blocked_distances_sq(&ps, &ids, &q, &mut blocked);
+        for (s, b) in scalar.iter().zip(&blocked) {
+            let tol = 1e-9 * s.abs().max(1.0);
+            prop_assert!((s - b).abs() <= tol, "dim {dim} stride {stride}: {s} vs {b}");
+        }
+        // The pooled dispatcher covers the same ids at any width.
+        for width in [1usize, 4] {
+            let mut pooled = vec![0.0; ids.len()];
+            kernels::distances_sq(&Pool::new(width), &ps, &ids, &q, &mut pooled);
+            for (s, p) in scalar.iter().zip(&pooled) {
+                prop_assert!((s - p).abs() <= 1e-9 * s.abs().max(1.0));
+            }
+        }
+    }
+
     /// Theorem 4 tail bound is a valid, monotone tail function for any
     /// inputs.
     #[test]
@@ -210,6 +250,51 @@ proptest! {
                 let delta = b.delta_for_confidence(conf);
                 prop_assert!(b.tail_probability(delta) <= 1.0 - conf + 1e-6);
             }
+        }
+    }
+}
+
+proptest! {
+    // Each case bulk-loads a ~5k-point set three times, so keep the
+    // case count low; the sizes stay above the pooled-path threshold
+    // (4096) so the parallel code genuinely runs.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A bulk build over a width-N pool produces a tree *identical* to
+    /// the width-1 (exact serial) build: same node count, same bytes,
+    /// and the same DFS leaf-id visit sequence — the split choices are
+    /// deterministic, only the cost bookkeeping may differ in float
+    /// accumulation order.
+    #[test]
+    fn pooled_bulk_build_matches_serial(seed in any::<u64>(), extra in 0usize..600) {
+        let n = 4_300 + extra;
+        let dim = 3usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 100.0 - 50.0
+        };
+        let coords: Vec<f64> = (0..n * dim).map(|_| next()).collect();
+        let ps = PointSet::from_rows(dim, coords);
+        let visit_order = |idx: &mut CrackingIndex| {
+            let all = idx.points().mbr_of(&idx.points().all_ids());
+            let mut order = Vec::with_capacity(n);
+            idx.search_region(&all, |id| order.push(id));
+            order
+        };
+        let mut serial = CrackingIndex::bulk_load_with_pool(ps.clone(), 16, 8, 2.0, Pool::serial());
+        serial.check_invariants();
+        let serial_order = visit_order(&mut serial);
+        for width in [2usize, 4] {
+            let mut pooled =
+                CrackingIndex::bulk_load_with_pool(ps.clone(), 16, 8, 2.0, Pool::new(width));
+            pooled.check_invariants();
+            prop_assert_eq!(pooled.node_count(), serial.node_count(), "width {}", width);
+            prop_assert_eq!(pooled.index_bytes(), serial.index_bytes(), "width {}", width);
+            let pooled_order = visit_order(&mut pooled);
+            prop_assert_eq!(&pooled_order, &serial_order, "width {}", width);
         }
     }
 }

@@ -49,6 +49,7 @@ pub use std::sync::atomic::Ordering;
 /// scheduling-visible operation, so the model leaves it alone.
 pub use std::sync::Arc;
 
+pub mod pool;
 pub mod thread;
 
 #[cfg(not(feature = "model"))]

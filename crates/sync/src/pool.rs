@@ -1,0 +1,251 @@
+//! A fixed-width, chunk-claiming data-parallel pool.
+//!
+//! [`Pool::run`] splits a job into `chunks` numbered work items and
+//! lets `width` threads race to claim them off a shared atomic
+//! counter — the classic "steal the next index" loop, which needs no
+//! per-worker deques because every item costs roughly the same. The
+//! pool is *scoped*: workers are spawned per call via
+//! [`thread::scope`], may borrow the caller's stack (the closure and
+//! its captures need only live as long as the call), and are all
+//! joined before `run` returns, so the join is a real happens-before
+//! barrier for everything the workers wrote.
+//!
+//! Width 1 (or a single chunk) takes an exact serial path on the
+//! calling thread — no spawns, no atomics, no scheduling points — so
+//! serial results are bit-identical to the pre-pool code and model
+//! tests stay deterministic.
+//!
+//! A panic inside a worker aborts the remaining work (other workers
+//! stop claiming) and is re-thrown on the calling thread after the
+//! barrier, mirroring what a plain serial loop would have done.
+//!
+//! Built entirely on the `vkg-sync` facade, so `--features model`
+//! schedule-checks the claim loop, the barrier, and the panic path
+//! like any other workspace concurrency (see `tests/model.rs`).
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::{thread, AtomicBool, AtomicU64, Mutex, Ordering};
+
+/// A fixed-width scoped thread pool. Stateless between calls: the
+/// width is the only configuration, threads exist only inside
+/// [`Pool::run`].
+#[derive(Debug, Clone)]
+pub struct Pool {
+    width: usize,
+}
+
+impl Pool {
+    /// Creates a pool that runs jobs on up to `width` threads
+    /// (including the caller). Width 0 is clamped to 1.
+    pub const fn new(width: usize) -> Self {
+        Self {
+            width: if width == 0 { 1 } else { width },
+        }
+    }
+
+    /// A width-1 pool: every job runs inline on the caller's thread.
+    pub const fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured width.
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether jobs run inline on the caller's thread.
+    pub const fn is_serial(&self) -> bool {
+        self.width == 1
+    }
+
+    /// Runs `f(i)` exactly once for every `i in 0..chunks`.
+    ///
+    /// Serial when `width == 1` or `chunks <= 1` (in-order, on the
+    /// calling thread); otherwise `min(width, chunks)` threads claim
+    /// chunk indices from a shared counter in an arbitrary order. The
+    /// caller participates as one of the workers. Returns after every
+    /// chunk has run — a happens-before barrier for the workers'
+    /// writes.
+    ///
+    /// # Panics
+    /// Re-throws the first worker panic after all workers have
+    /// stopped (remaining chunks may be skipped).
+    pub fn run<F>(&self, chunks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if chunks == 0 {
+            return;
+        }
+        let workers = self.width.min(chunks);
+        if workers <= 1 {
+            // Exact serial path: in-order, no synchronization.
+            for i in 0..chunks {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicU64::new(0);
+        let abort = AtomicBool::new(false);
+        let caught: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let work = || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                while !abort.load(Ordering::Acquire) {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= chunks {
+                        break;
+                    }
+                    f(i);
+                }
+            }));
+            if let Err(payload) = result {
+                #[cfg(feature = "model")]
+                if payload.is::<crate::model::runtime::ModelAbort>() {
+                    // Scheduler teardown, not a user panic: let it
+                    // keep unwinding this thread.
+                    panic::resume_unwind(payload);
+                }
+                abort.store(true, Ordering::Release);
+                let mut slot = caught.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        };
+        thread::scope(|s| {
+            // A `&closure` is Copy, so every worker can share one body.
+            let worker = &work;
+            for _ in 1..workers {
+                s.spawn(worker);
+            }
+            work();
+        });
+        // The scope joined every worker, so the slot is settled.
+        let payload = caught.lock().take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f(start, end)` over disjoint sub-ranges covering
+    /// `0..len`, each at least `min_per_chunk` long (except possibly
+    /// the last). Serial pools (and jobs shorter than one chunk) make
+    /// a single `f(0, len)` call — the exact serial path.
+    pub fn run_chunked<F>(&self, len: usize, min_per_chunk: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let min = min_per_chunk.max(1);
+        if self.is_serial() || len <= min {
+            f(0, len);
+            return;
+        }
+        // Aim for a few chunks per worker so uneven chunks still
+        // balance, but never below the per-chunk minimum.
+        let target = (self.width * 4).min(len.div_ceil(min)).max(1);
+        let per = len.div_ceil(target);
+        let chunks = len.div_ceil(per);
+        self.run(chunks, |i| {
+            let start = i * per;
+            let end = (start + per).min(len);
+            f(start, end);
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_pool_runs_in_order() {
+        let pool = Pool::serial();
+        let seen = Mutex::new(Vec::new());
+        pool.run(5, |i| seen.lock().push(i));
+        assert_eq!(*seen.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let pool = Pool::new(4);
+        let counts: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run(64, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Acquire), 1, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_ranges_tile_the_input() {
+        for width in [1, 2, 4, 7] {
+            let pool = Pool::new(width);
+            let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+            pool.run_chunked(1000, 16, |start, end| {
+                assert!(start < end && end <= 1000);
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Acquire) == 1),
+                "width {width} left gaps or overlaps"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_chunked_is_one_whole_range_call() {
+        let calls = Mutex::new(Vec::new());
+        Pool::serial().run_chunked(100, 8, |s, e| calls.lock().push((s, e)));
+        assert_eq!(*calls.lock(), vec![(0, 100)]);
+    }
+
+    #[test]
+    fn zero_work_is_a_no_op() {
+        let pool = Pool::new(4);
+        pool.run(0, |_| panic!("no chunks to run"));
+        pool.run_chunked(0, 8, |_, _| panic!("no range to run"));
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_barrier() {
+        let pool = Pool::new(4);
+        let ran = AtomicU64::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(32, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 7, "chunk 7 exploded");
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("chunk 7 exploded"), "got: {msg}");
+        assert!(ran.load(Ordering::Acquire) >= 1);
+    }
+
+    #[test]
+    fn width_is_clamped_and_reported() {
+        assert_eq!(Pool::new(0).width(), 1);
+        assert!(Pool::new(0).is_serial());
+        assert_eq!(Pool::new(8).width(), 8);
+        assert!(!Pool::new(8).is_serial());
+        assert!(Pool::default().is_serial());
+    }
+}

@@ -8,7 +8,7 @@
 //! fall through to `std::thread` untouched.
 
 #[cfg(not(feature = "model"))]
-pub use std::thread::{sleep, yield_now, Builder, JoinHandle};
+pub use std::thread::{sleep, yield_now, Builder, JoinHandle, Scope, ScopedJoinHandle};
 
 #[cfg(not(feature = "model"))]
 /// Spawns an OS thread (passthrough to [`std::thread::spawn`]).
@@ -20,8 +20,21 @@ where
     std::thread::spawn(f)
 }
 
+#[cfg(not(feature = "model"))]
+/// Scoped threads (passthrough to [`std::thread::scope`]): spawned
+/// threads may borrow from the caller's stack and are all joined
+/// before `scope` returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(f)
+}
+
 #[cfg(feature = "model")]
-pub use model_impl::{sleep, spawn, yield_now, Builder, JoinHandle};
+pub use model_impl::{
+    scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope, ScopedJoinHandle,
+};
 
 #[cfg(feature = "model")]
 mod model_impl {
@@ -180,6 +193,181 @@ mod model_impl {
         T: Send + 'static,
     {
         Builder::new().spawn(f).expect("failed to spawn thread")
+    }
+
+    /// Bookkeeping a managed scope carries: which runtime owns the
+    /// enclosing model run and which children still need a scheduler
+    /// join before the std scope's implicit OS join may run.
+    #[derive(Debug)]
+    struct ScopeRt {
+        rt: Arc<Runtime>,
+        me: usize,
+        pending: Arc<Mutex<Vec<usize>>>,
+    }
+
+    /// Scoped-spawn environment; mirrors [`std::thread::Scope`].
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        managed: Option<ScopeRt>,
+    }
+
+    /// Handle to a scoped thread; mirrors [`std::thread::ScopedJoinHandle`].
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T>(ScopedInner<'scope, T>);
+
+    #[derive(Debug)]
+    enum ScopedInner<'scope, T> {
+        /// Scope created outside any model run: a plain std handle.
+        Unmanaged(std::thread::ScopedJoinHandle<'scope, T>),
+        /// Scope created inside a model run: joined through the
+        /// scheduler first, exactly like a managed [`JoinHandle`].
+        Managed {
+            rt: Arc<Runtime>,
+            tid: usize,
+            os: std::thread::ScopedJoinHandle<'scope, ()>,
+            slot: ResultSlot<T>,
+            /// Shared with the owning scope so an explicit join takes
+            /// this child off the scope-exit join list.
+            pending: Arc<Mutex<Vec<usize>>>,
+        },
+    }
+
+    impl<'scope> Scope<'scope, '_> {
+        /// Spawns a scoped thread; managed if the scope itself was
+        /// opened on a managed thread.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let Some(m) = &self.managed else {
+                return ScopedJoinHandle(ScopedInner::Unmanaged(self.inner.spawn(f)));
+            };
+            let tid = m.rt.register_child(m.me, None);
+            let slot: ResultSlot<T> = Arc::new(Mutex::new(None));
+            let slot2 = slot.clone();
+            let rt2 = m.rt.clone();
+            let os = self.inner.spawn(move || {
+                set_current(Some((rt2.clone(), tid)));
+                rt2.block_until_scheduled(tid);
+                let result = panic::catch_unwind(AssertUnwindSafe(f));
+                match result {
+                    Ok(v) => {
+                        *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                    }
+                    Err(p) => {
+                        if !p.is::<ModelAbort>() {
+                            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                                (*s).to_string()
+                            } else if let Some(s) = p.downcast_ref::<String>() {
+                                s.clone()
+                            } else {
+                                "<non-string panic payload>".to_string()
+                            };
+                            rt2.flag_thread_panic(tid, msg);
+                        }
+                        *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Err(p));
+                    }
+                }
+                rt2.thread_finished(tid);
+                set_current(None);
+            });
+            // Record the child before the yield point: should the
+            // yield abort the run, scope teardown must know about it.
+            m.pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(tid);
+            m.rt.yield_point(m.me);
+            ScopedJoinHandle(ScopedInner::Managed {
+                rt: m.rt.clone(),
+                tid,
+                os,
+                slot,
+                pending: m.pending.clone(),
+            })
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the scoped thread to finish, returning its result
+        /// (or the panic payload, like std).
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                ScopedInner::Unmanaged(h) => h.join(),
+                ScopedInner::Managed {
+                    rt,
+                    tid,
+                    os,
+                    slot,
+                    pending,
+                } => {
+                    // An explicit join owns this child's release; the
+                    // scope exit must not scheduler-join it again.
+                    pending
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .retain(|&t| t != tid);
+                    if let Some((rt2, me)) = current() {
+                        debug_assert!(Arc::ptr_eq(&rt, &rt2), "join across model runs");
+                        rt2.join_thread(me, tid);
+                    }
+                    let _ = os.join();
+                    slot.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take()
+                        .expect("managed scoped thread stored its result before finishing")
+                }
+            }
+        }
+
+        /// Whether the scoped thread has finished running.
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                ScopedInner::Unmanaged(h) => h.is_finished(),
+                ScopedInner::Managed { rt, tid, .. } => rt.is_thread_finished(*tid),
+            }
+        }
+    }
+
+    /// Scoped threads; mirrors [`std::thread::scope`].
+    ///
+    /// On a managed thread the scope joins every still-pending child
+    /// *through the scheduler* before letting the underlying
+    /// [`std::thread::scope`] perform its implicit OS joins — without
+    /// that release step the OS join would block while the scheduler
+    /// still considers this thread runnable, deadlocking the run.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(|inner| {
+            let managed = current().map(|(rt, me)| ScopeRt {
+                rt,
+                me,
+                pending: Arc::new(Mutex::new(Vec::new())),
+            });
+            let s = Scope { inner, managed };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+            if let Some(m) = &s.managed {
+                let pending =
+                    std::mem::take(&mut *m.pending.lock().unwrap_or_else(PoisonError::into_inner));
+                // On a scheduler abort the runtime is already waking
+                // every thread with `ModelAbort`; touching it again
+                // from here is both pointless and unsafe.
+                let aborting = matches!(&result, Err(p) if p.is::<ModelAbort>());
+                if !aborting {
+                    for tid in pending {
+                        m.rt.join_thread(m.me, tid);
+                    }
+                }
+            }
+            match result {
+                Ok(v) => v,
+                Err(p) => panic::resume_unwind(p),
+            }
+        })
     }
 
     /// A scheduling point in model runs; [`std::thread::yield_now`]

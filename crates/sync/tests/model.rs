@@ -247,6 +247,66 @@ fn managed_thread_panic_becomes_violation() {
     assert!(v.message.contains("invariant broken"), "payload kept: {v}");
 }
 
+/// Pool chunk-claiming: across the full seed sweep, every chunk index
+/// is executed exactly once — the fetch-add claim loop neither loses
+/// nor double-executes an item under any explored schedule.
+#[test]
+fn pool_claims_every_chunk_exactly_once() {
+    model::sweep(SEEDS, || {
+        let pool = vkg_sync::pool::Pool::new(3);
+        let counts: Vec<vkg_sync::AtomicU64> =
+            (0..6).map(|_| vkg_sync::AtomicU64::new(0)).collect();
+        pool.run(6, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Acquire),
+                1,
+                "chunk {i} ran a wrong number of times"
+            );
+        }
+    })
+    .unwrap_or_else(|v| panic!("pool claim loop flagged: {v}"));
+}
+
+/// Pool barrier: workers publish into per-chunk [`RaceCell`]s and the
+/// caller reads them right after `run` returns with no further
+/// synchronization. If the scoped join were not a real happens-before
+/// barrier the checker would report a data race on some schedule.
+#[test]
+fn pool_join_is_a_happens_before_barrier() {
+    model::sweep(SEEDS, || {
+        let pool = vkg_sync::pool::Pool::new(3);
+        let cells: Vec<RaceCell<u64>> = (0..4)
+            .map(|_| RaceCell::with_name(0, "pool-slot"))
+            .collect();
+        pool.run(4, |i| cells[i].set(i as u64 + 1));
+        let total: u64 = cells.iter().map(RaceCell::get).sum();
+        assert_eq!(total, 1 + 2 + 3 + 4);
+    })
+    .unwrap_or_else(|v| panic!("barrier read flagged: {v}"));
+}
+
+/// A panic inside a pool worker must surface as a [`ViolationKind::Panic`]
+/// on every seed — never a deadlock or a wedged run: the surviving
+/// workers drain, the scoped join completes, and the caller re-throws.
+#[test]
+fn pool_worker_panic_propagates_without_deadlock() {
+    for seed in 0..SEEDS {
+        let v = model::check(seed, || {
+            let pool = vkg_sync::pool::Pool::new(2);
+            pool.run(3, |i| assert!(i != 1, "worker died on chunk 1"));
+        })
+        .expect_err("worker panic must fail the run");
+        assert_eq!(v.kind, ViolationKind::Panic, "seed {seed}: {v}");
+        assert!(
+            v.message.contains("worker died on chunk 1"),
+            "payload kept: {v}"
+        );
+    }
+}
+
 /// The step bound turns accidental livelock into a diagnosable
 /// violation instead of a wedged test run.
 #[test]

@@ -93,6 +93,42 @@ impl JlTransform {
         }
         out
     }
+
+    /// [`JlTransform::apply_matrix`] with the row loop chunked over a
+    /// pool. Every row's dot products are computed exactly as in the
+    /// serial path, so the output is bit-identical at any width (rows
+    /// are independent; only the interleaving changes).
+    ///
+    /// # Panics
+    /// Panics if `rows.len()` is not a multiple of `in_dim`.
+    pub fn apply_matrix_pooled(&self, pool: &vkg_sync::pool::Pool, rows: &[f64]) -> Vec<f64> {
+        assert_eq!(rows.len() % self.in_dim, 0, "matrix shape mismatch");
+        let n = rows.len() / self.in_dim;
+        if pool.is_serial() || n < 2048 {
+            return self.apply_matrix(rows);
+        }
+        let chunk_rows = n.div_ceil(pool.width() * 4).max(256);
+        let mut out = vec![0.0; n * self.out_dim];
+        {
+            // Disjoint per-chunk output windows behind uncontended
+            // mutexes, so workers write without aliasing or unsafe.
+            let slots: Vec<vkg_sync::Mutex<&mut [f64]>> = out
+                .chunks_mut(chunk_rows * self.out_dim)
+                .map(vkg_sync::Mutex::new)
+                .collect();
+            pool.run(slots.len(), |c| {
+                let row0 = c * chunk_rows;
+                let mut window = slots[c].lock();
+                let rows_here = window.len() / self.out_dim;
+                for i in 0..rows_here {
+                    let x = &rows[(row0 + i) * self.in_dim..(row0 + i + 1) * self.in_dim];
+                    let (lo, hi) = (i * self.out_dim, (i + 1) * self.out_dim);
+                    self.apply_into(x, &mut window[lo..hi]);
+                }
+            });
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +192,19 @@ mod tests {
         let r1 = t.apply(&rows[6..12]);
         assert_eq!(&m[0..2], r0.as_slice());
         assert_eq!(&m[2..4], r1.as_slice());
+    }
+
+    #[test]
+    fn pooled_matrix_is_bit_identical_at_any_width() {
+        use vkg_sync::pool::Pool;
+        let t = JlTransform::new(16, 3, 11);
+        let n = 5000;
+        let rows: Vec<f64> = (0..n * 16).map(|i| ((i as f64) * 0.173).sin()).collect();
+        let serial = t.apply_matrix(&rows);
+        for width in [1, 2, 4] {
+            let pooled = t.apply_matrix_pooled(&Pool::new(width), &rows);
+            assert_eq!(pooled, serial, "width {width} diverged");
+        }
     }
 
     #[test]

@@ -1,0 +1,28 @@
+// pretend: crates/core/src/geometry/kernels.rs
+// Fixture for the no-alloc-in-kernel rule: hot kernel files must not
+// allocate per call; sanctioned setup costs carry an explicit allow.
+
+fn hidden_alloc(ids: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new(); // expect: no-alloc-in-kernel
+    out.extend_from_slice(ids);
+    out
+}
+
+fn collect_alloc(ids: &[u32]) -> Vec<u64> {
+    ids.iter().map(|&i| u64::from(i)).collect() // expect: no-alloc-in-kernel
+}
+
+fn clone_alloc(ids: &[u32]) -> Vec<u32> {
+    ids.to_vec() // expect: no-alloc-in-kernel
+}
+
+fn sanctioned_setup(ids: &[u32]) -> Vec<u32> {
+    // lint: allow(no-alloc-in-kernel, one slot vec per pooled call is the sanctioned setup cost)
+    ids.to_vec()
+}
+
+fn alloc_free(ids: &[u32], out: &mut [u64]) {
+    for (o, &i) in out.iter_mut().zip(ids) {
+        *o = u64::from(i);
+    }
+}

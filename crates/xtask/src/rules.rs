@@ -55,6 +55,7 @@ pub const RULES: &[&str] = &[
     "relaxed-justify",
     "no-truncating-cast",
     "no-instant-now",
+    "no-alloc-in-kernel",
 ];
 
 /// A parsed `// lint: allow(rule, reason)` annotation.
@@ -185,6 +186,14 @@ impl Scope {
     /// The fail-closed decode paths.
     fn wire_decode(path: &str) -> bool {
         path == "crates/server/src/wire.rs" || path == "crates/server/src/protocol.rs"
+    }
+
+    /// The per-call hot paths that must not allocate: the blocked
+    /// distance kernels and the pool's chunk-claim loop (DESIGN.md
+    /// §3.4). Setup-time allocations are waived explicitly with
+    /// `// lint: allow(no-alloc-in-kernel, …)`.
+    fn alloc_free_kernel(path: &str) -> bool {
+        path == "crates/core/src/geometry/kernels.rs" || path == "crates/sync/src/pool.rs"
     }
 }
 
@@ -356,6 +365,22 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    if Scope::alloc_free_kernel(rel_path) {
+        for needle in ["Vec::new", ".collect(", ".to_vec("] {
+            for at in find_all(code, needle) {
+                push(
+                    at,
+                    "no-alloc-in-kernel",
+                    format!(
+                        "`{needle}` allocates inside a hot kernel/steal-loop file; hoist \
+                         the allocation to the caller, or annotate a sanctioned setup \
+                         cost with `// lint: allow(no-alloc-in-kernel, why)`"
+                    ),
+                );
+            }
+        }
+    }
+
     findings
 }
 
@@ -481,6 +506,25 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-instant-now");
         assert_eq!(lint_source("crates/server/src/server.rs", src), vec![]);
+    }
+
+    #[test]
+    fn alloc_flagged_in_kernel_files_only() {
+        let src = "fn f() { let v: Vec<u32> = it.collect(); let w = s.to_vec(); }\n";
+        let f = lint_source("crates/core/src/geometry/kernels.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "no-alloc-in-kernel"));
+        assert_eq!(lint_source("crates/sync/src/pool.rs", src).len(), 2);
+        assert_eq!(
+            lint_source("crates/core/src/geometry/points.rs", src),
+            vec![]
+        );
+        let allowed = "fn f() {\n    // lint: allow(no-alloc-in-kernel, slot setup)\n    \
+                       let v = Vec::new();\n}\n";
+        assert_eq!(
+            lint_source("crates/core/src/geometry/kernels.rs", allowed),
+            vec![]
+        );
     }
 
     #[test]

@@ -236,7 +236,8 @@ fn snapshot_readers_vs_writer_scenario(
         let vkg = Arc::clone(vkg);
         let name = format!("fresh_{tag}");
         sync_thread::spawn(move || {
-            vkg.add_entity_dynamic(&name, &vec![30.0; dim]);
+            vkg.add_entity_dynamic(&name, &vec![30.0; dim])
+                .expect("well-shaped dynamic entity");
         })
     };
     for h in readers {

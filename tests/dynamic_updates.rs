@@ -35,7 +35,9 @@ fn cold_start_entity_becomes_queryable() {
     // top prediction.
     let user = vkg.graph().entity_id("user_1").unwrap();
     let target = vkg.query_point_s1(user, likes, Direction::Tails).unwrap();
-    let new_movie = vkg.add_entity_dynamic("movie_coldstart", &target);
+    let new_movie = vkg
+        .add_entity_dynamic("movie_coldstart", &target)
+        .expect("well-shaped dynamic entity");
     vkg.index().check_invariants();
 
     let r = vkg.top_k(user, likes, Direction::Tails, 3).unwrap();
@@ -149,7 +151,8 @@ fn many_updates_keep_queries_exact() {
         let _ = vkg.top_k(user, likes, Direction::Tails, 5).unwrap();
         let q = vkg.query_point_s1(user, likes, Direction::Tails).unwrap();
         let jitter: Vec<f64> = q.iter().map(|v| v + 0.01 * i as f64).collect();
-        vkg.add_entity_dynamic(&format!("new_movie_{i}"), &jitter);
+        vkg.add_entity_dynamic(&format!("new_movie_{i}"), &jitter)
+            .expect("well-shaped dynamic entity");
     }
     vkg.index().check_invariants();
     let user = vkg.graph().entity_id("user_5").unwrap();
