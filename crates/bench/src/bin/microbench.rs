@@ -24,7 +24,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vkg::core::config::threads_from_env;
+use vkg::core::config::{shards_from_env, threads_from_env};
 use vkg::core::geometry::kernels;
 use vkg::core::geometry::PointSet;
 use vkg::core::query::topk::find_top_k;
@@ -32,12 +32,14 @@ use vkg::kg::zipf::Zipf;
 use vkg::prelude::*;
 use vkg::sync::pool::Pool;
 use vkg::sync::{AtomicU64, Ordering};
+use vkg_bench::setup;
 
 struct Args {
     entities: usize,
     s1_dim: usize,
     alpha: usize,
     width: usize,
+    shards: usize,
     reps: usize,
     queries: usize,
     seed: u64,
@@ -54,6 +56,7 @@ impl Default for Args {
             s1_dim: 64,
             alpha: 16,
             width: threads_from_env(cores),
+            shards: shards_from_env(1),
             reps: 3,
             queries: 50,
             seed: 42,
@@ -66,8 +69,9 @@ impl Default for Args {
 
 fn usage() {
     eprintln!(
-        "usage: microbench [--entities N] [--dim N] [--alpha N] [--width N] [--reps N]\n\
-         \x20                [--queries N] [--seed N] [--zipf F] [--out PATH] [--check]"
+        "usage: microbench [--entities N] [--dim N] [--alpha N] [--width N] [--shards N]\n\
+         \x20                [--reps N] [--queries N] [--seed N] [--zipf F] [--out PATH]\n\
+         \x20                [--check]"
     );
 }
 
@@ -103,6 +107,7 @@ fn parse_args() -> Option<Args> {
             "--dim" => a.s1_dim = num("--dim")? as usize,
             "--alpha" => a.alpha = num("--alpha")? as usize,
             "--width" => a.width = num("--width")? as usize,
+            "--shards" => a.shards = num("--shards")? as usize,
             "--reps" => a.reps = num("--reps")? as usize,
             "--queries" => a.queries = num("--queries")? as usize,
             "--seed" => a.seed = num("--seed")? as u64,
@@ -239,9 +244,14 @@ fn write_json(args: &Args, cores: usize, timings: &[Timing]) -> std::io::Result<
     out.push_str(&format!("  \"s1_dim\": {},\n", args.s1_dim));
     out.push_str(&format!("  \"alpha\": {},\n", args.alpha));
     out.push_str(&format!("  \"zipf_exponent\": {},\n", args.zipf_s));
+    out.push_str(&format!("  \"shards\": {},\n", args.shards));
     out.push_str(&format!("  \"reps\": {},\n", args.reps));
     out.push_str(&format!("  \"queries\": {},\n", args.queries));
-    out.push_str(&format!("  \"widths\": [1, {}],\n", args.width));
+    if args.width > 1 {
+        out.push_str(&format!("  \"widths\": [1, {}],\n", args.width));
+    } else {
+        out.push_str("  \"widths\": [1],\n");
+    }
     out.push_str("  \"timings_ms\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
@@ -329,6 +339,60 @@ fn check(args: &Args) -> Result<(), String> {
             pooled_ids.len()
         ));
     }
+
+    // 4. Shard parity: the relation-sharded engine answers every top-k
+    //    and aggregate query identically to the unsharded one — shards
+    //    change which tree a query cracks, never the answer. CI runs
+    //    this stage with VKG_SHARDS ∈ {1, 4}.
+    let prepared = setup::movie(setup::Scale::Smoke, 16);
+    let cfg = setup::bench_config();
+    let unsharded = prepared.engine(VkgConfig {
+        shards: 1,
+        ..cfg.clone()
+    });
+    let sharded = prepared.engine(VkgConfig {
+        shards: args.shards.max(2),
+        ..cfg
+    });
+    let relations = prepared.dataset.graph.num_relations();
+    let entities = prepared.dataset.graph.num_entities();
+    for r in 0..relations {
+        let relation = RelationId(r as u32);
+        for e in (0..entities).step_by(entities / 16 + 1) {
+            let entity = EntityId(e as u32);
+            for direction in [Direction::Tails, Direction::Heads] {
+                let a = unsharded.top_k(entity, relation, direction, 5);
+                let b = sharded.top_k(entity, relation, direction, 5);
+                let (a, b) = match (a, b) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (Err(ea), Err(eb)) if ea.to_string() == eb.to_string() => continue,
+                    (a, b) => {
+                        return Err(format!(
+                            "shard parity: top-k error mismatch e{e} r{r}: {a:?} vs {b:?}"
+                        ))
+                    }
+                };
+                let ids = |r: &TopKResult| r.predictions.iter().map(|p| p.id).collect::<Vec<_>>();
+                if ids(&a) != ids(&b) {
+                    return Err(format!(
+                        "shard parity: top-k diverged for entity {e} relation {r}"
+                    ));
+                }
+            }
+            let spec = AggregateSpec::count(0.05);
+            let a = unsharded.aggregate(entity, relation, Direction::Tails, &spec);
+            let b = sharded.aggregate(entity, relation, Direction::Tails, &spec);
+            match (a, b) {
+                (Ok(a), Ok(b)) if a.estimate == b.estimate => {}
+                (Err(_), Err(_)) => {}
+                (a, b) => {
+                    return Err(format!(
+                        "shard parity: COUNT diverged for entity {e} relation {r}: {a:?} vs {b:?}"
+                    ))
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -350,15 +414,31 @@ fn main() -> ExitCode {
     }
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut args = args;
+    if args.width > cores {
+        // Timing a width the machine cannot actually run in parallel
+        // reports scheduling overhead as if it were a property of the
+        // code; clamp so published speedups are honest.
+        eprintln!(
+            "microbench: clamping timed width {} to {} available core(s)",
+            args.width, cores
+        );
+        args.width = cores;
+    }
     eprintln!(
-        "microbench: {} entities, S1 dim {}, alpha {}, widths [1, {}], {} cores",
-        args.entities, args.s1_dim, args.alpha, args.width, cores
+        "microbench: {} entities, S1 dim {}, alpha {}, widths [1, {}], {} cores, {} shard(s)",
+        args.entities, args.s1_dim, args.alpha, args.width, cores, args.shards
     );
     let s1 = synthetic_s1(args.entities, args.s1_dim, args.zipf_s, args.seed);
 
     let mut timings = Vec::new();
     let mut reference_ids = None;
-    for width in [1, args.width] {
+    let widths = if args.width > 1 {
+        vec![1, args.width]
+    } else {
+        vec![1]
+    };
+    for width in widths {
         let (t, ids) = run_sections(&args, &s1, width);
         for timing in &t {
             eprintln!(

@@ -106,14 +106,20 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    eprintln!("serve_load: preparing smoke-scale movie dataset + embeddings...");
+    let shards = vkg::core::config::shards_from_env(1);
+    eprintln!(
+        "serve_load: preparing smoke-scale movie dataset + embeddings ({shards} shard(s))..."
+    );
     let prepared = setup::movie(Scale::Smoke, 16);
     let graph = prepared.dataset.graph.clone();
     let vkg = Arc::new(VirtualKnowledgeGraph::assemble(
         prepared.dataset.graph,
         prepared.dataset.attributes,
         prepared.embeddings,
-        setup::bench_config(),
+        VkgConfig {
+            shards,
+            ..setup::bench_config()
+        },
     ));
     let handle = Server::start(
         Arc::clone(&vkg),

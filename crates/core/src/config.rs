@@ -54,6 +54,15 @@ pub struct VkgConfig {
     /// deterministic. See [`threads_from_env`] for the `VKG_THREADS`
     /// override.
     pub threads: usize,
+    /// Number of relation-partitioned engine shards. Each shard owns its
+    /// own cracking R-tree, lock, and epoch counter; a query ⟨e, r⟩
+    /// takes only r's shard lock, so traffic on one hot relation never
+    /// stalls queries on another. Shard count 1 (the default) is the
+    /// single-lock engine, bit-identical to the pre-sharding layout —
+    /// and *any* shard count returns identical answers (shards differ
+    /// only in which queries crack which tree). See [`shards_from_env`]
+    /// for the `VKG_SHARDS` override.
+    pub shards: usize,
 }
 
 impl Default for VkgConfig {
@@ -68,6 +77,7 @@ impl Default for VkgConfig {
             query_aware_cost: true,
             transform_seed: 0x4a4c_5452, // "JLTR"
             threads: 1,
+            shards: 1,
         }
     }
 }
@@ -84,6 +94,23 @@ pub fn threads_from_env(default_width: usize) -> usize {
             _ => default_width.max(1),
         },
         Err(_) => default_width.max(1),
+    }
+}
+
+/// Reads the engine shard count from the `VKG_SHARDS` environment
+/// variable.
+///
+/// `0` or an unset/unparsable value falls back to `default_shards`
+/// (clamped to ≥ 1), mirroring [`threads_from_env`]: deployments opt
+/// into sharding explicitly and tests run single-shard unless asked
+/// otherwise.
+pub fn shards_from_env(default_shards: usize) -> usize {
+    match std::env::var("VKG_SHARDS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_shards.max(1),
+        },
+        Err(_) => default_shards.max(1),
     }
 }
 
@@ -116,6 +143,9 @@ impl VkgConfig {
         }
         if self.threads < 1 {
             return fail("thread pool width must be ≥ 1".into());
+        }
+        if self.shards < 1 {
+            return fail("shard count must be ≥ 1".into());
         }
         Ok(())
     }
@@ -190,10 +220,28 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "shard count must be ≥ 1")]
+    fn zero_shards_rejected() {
+        let cfg = VkgConfig {
+            shards: 0,
+            ..VkgConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
     fn env_width_falls_back_to_default() {
         // The suite never sets VKG_THREADS, so the fallback applies
         // (reading an env var other tests might set would be racy).
         assert_eq!(threads_from_env(0), 1);
         assert_eq!(threads_from_env(4), 4);
+    }
+
+    #[test]
+    fn env_shards_fall_back_to_default() {
+        // The suite never sets VKG_SHARDS (CI sets it only for the
+        // dedicated shard-parity job, which runs microbench, not tests).
+        assert_eq!(shards_from_env(0), 1);
+        assert_eq!(shards_from_env(7), 7);
     }
 }

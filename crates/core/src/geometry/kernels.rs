@@ -29,9 +29,19 @@ use vkg_sync::Mutex;
 use super::mbr::Mbr;
 use super::points::PointSet;
 
-/// Below this many points a pooled call runs inline: spawning threads
-/// costs more than the arithmetic it would save.
-const PAR_THRESHOLD: usize = 2048;
+/// Smallest `points × dim` work size worth dispatching a distance batch
+/// to the pool. Gating on total floating-point work rather than point
+/// count keeps low-dimensional batches — where each point is cheap —
+/// from paying thread-coordination overhead that the arithmetic cannot
+/// amortise (the `BENCH_core.json` jl regression was exactly this
+/// mistake: dispatch decided by row count alone).
+pub const DISTANCES_PAR_THRESHOLD: usize = 1 << 13;
+
+/// Smallest `points × dim` work size worth dispatching an MBR sweep to
+/// the pool. An MBR visit is two compares per coordinate — cheaper than
+/// a distance — but the same work-based gate keeps the dispatch
+/// decision honest on small inputs.
+pub const MBR_PAR_THRESHOLD: usize = 1 << 13;
 
 /// Minimum points per parallel chunk, so chunk bookkeeping stays noise.
 const MIN_CHUNK: usize = 512;
@@ -77,7 +87,7 @@ pub fn distances_sq(pool: &Pool, points: &PointSet, ids: &[u32], q: &[f64], out:
         return;
     }
     let n = ids.len();
-    if n < PAR_THRESHOLD {
+    if n * points.dim() < DISTANCES_PAR_THRESHOLD {
         blocked_distances_sq(points, ids, q, out);
         return;
     }
@@ -101,7 +111,7 @@ pub fn distances_sq(pool: &Pool, points: &PointSet, ids: &[u32], q: &[f64], out:
 /// is order-independent, so the result is identical at every width
 /// (and a serial pool runs the exact sequential sweep).
 pub fn par_mbr_of(pool: &Pool, points: &PointSet, ids: &[u32]) -> Mbr {
-    if pool.is_serial() || ids.len() < PAR_THRESHOLD {
+    if pool.is_serial() || ids.len() * points.dim() < MBR_PAR_THRESHOLD {
         return points.mbr_of(ids);
     }
     let merged = Mutex::new(Mbr::empty(points.dim()));
@@ -188,7 +198,8 @@ mod tests {
 
     #[test]
     fn pooled_dispatch_covers_large_inputs() {
-        let n = PAR_THRESHOLD * 2 + 17;
+        let n = 4096 + 17;
+        assert!(n * 4 >= DISTANCES_PAR_THRESHOLD, "must exercise dispatch");
         let (ps, q) = sample(4, n);
         let ids: Vec<u32> = (0..n as u32).collect();
         let mut serial = vec![0.0; n];
@@ -201,8 +212,27 @@ mod tests {
     }
 
     #[test]
+    fn small_work_skips_pool_dispatch() {
+        // Below the work threshold a wide pool still answers (via the
+        // inline blocked kernel) — and within the blocked tolerance.
+        let n = 256;
+        let dim = 4;
+        assert!(n * dim < DISTANCES_PAR_THRESHOLD);
+        let (ps, q) = sample(dim, n);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let mut serial = vec![0.0; n];
+        scalar_distances_sq(&ps, &ids, &q, &mut serial);
+        let mut pooled = vec![0.0; n];
+        distances_sq(&Pool::new(4), &ps, &ids, &q, &mut pooled);
+        for (s, b) in serial.iter().zip(&pooled) {
+            assert!((s - b).abs() <= 1e-9 * s.abs().max(1.0));
+        }
+    }
+
+    #[test]
     fn par_mbr_matches_serial_sweep() {
-        let n = PAR_THRESHOLD * 2;
+        let n = 4096;
+        assert!(n * 3 >= MBR_PAR_THRESHOLD, "must exercise dispatch");
         let (ps, _) = sample(3, n);
         let ids: Vec<u32> = (0..n as u32).collect();
         let serial = ps.mbr_of(&ids);

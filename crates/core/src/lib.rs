@@ -22,7 +22,9 @@
 //! * [`engine`] — the [`engine::QueryEngine`] trait every query-capable
 //!   structure implements (the cracking index, the bulk-loaded R-tree,
 //!   and the baselines in `vkg-baselines`), plus [`engine::IndexState`],
-//!   the mutable index half guarded by the facade's lock.
+//!   the mutable index half, and [`engine::ShardedEngine`], which
+//!   partitions it by query relationship — per-shard cracking locks and
+//!   epochs, routed by hashing relation ids.
 //! * [`error`] — the workspace [`VkgError`] type threaded through every
 //!   fallible engine entry point.
 //! * [`vkg`] — the `VirtualKnowledgeGraph` facade assembling an
@@ -44,7 +46,10 @@ pub mod stats;
 pub mod vkg;
 
 pub use config::{SplitStrategy, VkgConfig};
-pub use engine::{Accuracy, EngineStats, IndexState, Neighbor, QueryEngine};
+pub use engine::{
+    shard_of_relation, Accuracy, EngineStats, IndexState, Neighbor, QueryEngine, ShardSetGuard,
+    ShardedEngine,
+};
 pub use error::{VkgError, VkgResult};
 pub use index::CrackingIndex;
 pub use query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};

@@ -2,18 +2,29 @@
 //!
 //! Assembles an immutable, `Arc`-shared [`VkgSnapshot`] (graph +
 //! attributes + embeddings + JL transform) with a lock-guarded
-//! [`IndexState`] (the cracking index and its query pipelines) into one
-//! queryable object. The split means the lock guards **only** the index:
-//! any number of readers resolve entities, embeddings and query points
-//! through the snapshot without ever touching the lock, while queries —
-//! which may crack the index — serialize on the engine's write lock.
+//! [`ShardedEngine`] (relation-partitioned cracking indices and their
+//! query pipelines) into one queryable object. The split means the
+//! locks guard **only** the index shards: any number of readers resolve
+//! entities, embeddings and query points through the snapshot without
+//! ever touching a lock, while a query ⟨e, r⟩ — which may crack the
+//! index — serializes on *r's shard lock only*, so traffic on one hot
+//! relation never stalls queries on another
+//! ([`VirtualKnowledgeGraph::with_published_shard`]). Multi-relation
+//! aggregates fan out across shards through the data-parallel pool and
+//! merge their Theorem 4 bounds per shard
+//! ([`VirtualKnowledgeGraph::aggregate_multi`]).
 //!
 //! Dynamic updates are **epoch-swapped**: every write takes `&self`,
-//! serializes on the engine lock (single-writer), builds a fresh
-//! snapshot, and *publishes* it by swapping the shared `Arc` and bumping
-//! the epoch counter. Readers holding an older `Arc` clone keep a
-//! consistent pre-update view; new readers pick up the new epoch with a
-//! single pointer load. This is the concurrency contract the serving
+//! acquires every shard lock in ascending order (single-writer; an
+//! update splices the new point into every shard's tree), builds a
+//! fresh snapshot, and *publishes* it by swapping the shared `Arc` and
+//! bumping the epoch counters — the global epoch on every publication,
+//! each shard's epoch when the publication mutated that shard's index.
+//! Readers holding an older `Arc` clone keep a consistent pre-update
+//! view; new readers pick up the new epoch with a single pointer load.
+//! Because publication happens only under *all* shard locks, a reader
+//! holding any one shard lock sees both the global epoch and its
+//! shard's epoch pinned. This is the concurrency contract the serving
 //! layer (`vkg-server`) extends across the process boundary. Snapshots
 //! share components structurally ([`VkgSnapshot`] holds each store
 //! behind its own `Arc`), so per-write cost is proportional to the
@@ -28,13 +39,14 @@ use std::sync::Arc;
 
 use vkg_embed::EmbeddingStore;
 use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
-use vkg_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use vkg_sync::pool::Pool;
+use vkg_sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::config::VkgConfig;
-use crate::engine::{IndexState, QueryEngine};
+use crate::engine::{IndexState, QueryEngine, ShardSetGuard, ShardedEngine};
 use crate::error::{VkgError, VkgResult};
 use crate::index::CrackingIndex;
-use crate::query::aggregate::{AggregateResult, AggregateSpec};
+use crate::query::aggregate::{self, AggregateResult, AggregateSpec};
 use crate::query::topk::TopKResult;
 use crate::snapshot::VkgSnapshot;
 use crate::stats::IndexStats;
@@ -45,7 +57,8 @@ pub use crate::snapshot::Direction;
 /// errors became the workspace-wide [`VkgError`].
 pub type QueryError = VkgError;
 
-/// Read access to the facade's index, holding the engine's read lock for
+/// Read access to the facade's index (shard 0 — the only shard under
+/// the default single-shard layout), holding that shard's read lock for
 /// the guard's lifetime.
 pub struct IndexGuard<'a>(RwLockReadGuard<'a, IndexState>);
 
@@ -57,8 +70,10 @@ impl Deref for IndexGuard<'_> {
     }
 }
 
-/// Exclusive access to the facade's index, holding the engine's write
-/// lock for the guard's lifetime.
+/// Exclusive access to the facade's index (shard 0), holding that
+/// shard's write lock for the guard's lifetime. Dynamic updates block
+/// behind it (they need every shard); queries on relations owned by
+/// other shards do not.
 pub struct IndexGuardMut<'a>(RwLockWriteGuard<'a, IndexState>);
 
 impl Deref for IndexGuardMut<'_> {
@@ -110,19 +125,72 @@ struct Published {
     snap: Arc<VkgSnapshot>,
 }
 
+/// The epochs pinned by [`VirtualKnowledgeGraph::with_published_engine`]:
+/// the global epoch plus **every** shard's epoch, all exact for the
+/// closure's duration because the closure holds every shard lock and
+/// publication needs all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnginePin {
+    /// The global snapshot epoch (one per publication).
+    pub epoch: u64,
+    /// Per-shard epochs (one per publication that mutated the shard's
+    /// index), in shard order.
+    pub shard_epochs: Vec<u64>,
+}
+
+/// The epochs pinned by [`VirtualKnowledgeGraph::with_published_shard`]:
+/// exact while the shard's lock is held, because publication needs
+/// every shard lock — including this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPin {
+    /// The global snapshot epoch.
+    pub epoch: u64,
+    /// The shard serving the call (the router's choice).
+    pub shard: usize,
+    /// That shard's epoch.
+    pub shard_epoch: u64,
+}
+
+/// One relation's slice of a multi-relation aggregate
+/// ([`VirtualKnowledgeGraph::aggregate_multi`]).
+#[derive(Debug, Clone)]
+pub struct RelationAggregate {
+    /// The relation this partial answers.
+    pub relation: RelationId,
+    /// The shard that served it.
+    pub shard: usize,
+    /// The global epoch the serving worker observed under its shard
+    /// lock. Per-shard consistent: concurrent writers may advance the
+    /// epoch between two shards of one fan-out, never within one.
+    pub epoch: u64,
+    /// The partial estimate with its own Theorem 4 bound.
+    pub result: AggregateResult,
+}
+
+/// A multi-relation aggregate: the per-shard partials (input order) and
+/// their merged estimate with the combined Theorem 4 bound.
+#[derive(Debug, Clone)]
+pub struct MultiAggregateResult {
+    /// The merged estimate (see `query::aggregate::merge_partials`).
+    pub combined: AggregateResult,
+    /// One partial per queried relation, in input order.
+    pub parts: Vec<RelationAggregate>,
+}
+
 /// A knowledge graph extended with predicted, probabilistic edges, indexed
 /// for predictive top-k and aggregate queries.
 ///
 /// All query **and update** methods take `&self`: reads go through the
 /// currently-published snapshot lock-free, index mutations a query
-/// implies (cracking) serialize behind the internal engine lock, and
-/// dynamic updates act as a single writer that publishes a fresh
-/// snapshot epoch. The facade is `Send + Sync` and is shared behind an
-/// `Arc` by the serving layer with no outer lock.
+/// implies (cracking) serialize behind the owning relation's shard
+/// lock, and dynamic updates act as a single writer (all shard locks,
+/// ascending) that publishes a fresh snapshot epoch. The facade is
+/// `Send + Sync` and is shared behind an `Arc` by the serving layer
+/// with no outer lock.
 #[derive(Debug)]
 pub struct VirtualKnowledgeGraph {
     published: RwLock<Published>,
-    engine: RwLock<IndexState>,
+    engine: ShardedEngine,
 }
 
 impl VirtualKnowledgeGraph {
@@ -154,7 +222,7 @@ impl VirtualKnowledgeGraph {
         config: VkgConfig,
     ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
-        let engine = RwLock::with_name(IndexState::cracking(&snapshot), "vkg.engine");
+        let engine = ShardedEngine::cracking(&snapshot);
         Ok(Self {
             published: RwLock::with_name(
                 Published {
@@ -194,7 +262,7 @@ impl VirtualKnowledgeGraph {
         config: VkgConfig,
     ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
-        let engine = RwLock::with_name(IndexState::bulk_loaded(&snapshot), "vkg.engine");
+        let engine = ShardedEngine::bulk_loaded(&snapshot);
         Ok(Self {
             published: RwLock::with_name(
                 Published {
@@ -260,24 +328,60 @@ impl VirtualKnowledgeGraph {
         }
     }
 
-    /// Index statistics (splits, nodes, per-query access counters).
+    /// Index statistics (splits, nodes, per-query access counters),
+    /// summed across shards.
     pub fn index_stats(&self) -> IndexStats {
-        *self.engine.read().index().stats()
+        self.engine.merged_index_stats()
     }
 
-    /// Number of index nodes (Fig. 9 metric).
+    /// Number of index nodes across all shards (Fig. 9 metric).
     pub fn index_node_count(&self) -> usize {
-        self.engine.read().index().node_count()
+        self.engine.node_count()
     }
 
-    /// Approximate index size in bytes (Figs. 10–11 metric).
+    /// Approximate index size in bytes across all shards (Figs. 10–11
+    /// metric).
     pub fn index_bytes(&self) -> usize {
-        self.engine.read().index().index_bytes()
+        self.engine.index_bytes()
     }
 
-    /// Resets the per-query access counters.
+    /// Resets the per-query access counters on every shard.
     pub fn reset_access_counters(&self) {
-        self.engine.write().reset_access_counters();
+        for i in 0..self.engine.shard_count() {
+            self.engine.write_shard(i).reset_access_counters();
+        }
+    }
+
+    /// Number of engine shards (the configured [`VkgConfig::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.engine.shard_count()
+    }
+
+    /// The shard serving `relation`'s queries (the router's choice).
+    pub fn shard_of(&self, relation: RelationId) -> usize {
+        self.engine.shard_of(relation)
+    }
+
+    /// Every shard's epoch, in shard order — a monotone lock-free
+    /// snapshot (exact only under the corresponding shard lock).
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.engine.shard_epochs()
+    }
+
+    /// One shard's epoch (see [`VirtualKnowledgeGraph::shard_epochs`]).
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.engine.shard_epoch(shard)
+    }
+
+    /// Waits for every in-flight query to finish: acquires and releases
+    /// all shard locks in order. After `quiesce` returns, any query
+    /// admitted before the call has completed (the server's drain
+    /// barrier).
+    pub fn quiesce(&self) {
+        drop(self.engine.lock_all());
     }
 
     /// The query center in S₁ for an entity/relation/direction.
@@ -290,25 +394,63 @@ impl VirtualKnowledgeGraph {
         self.snapshot().query_point_s1(entity, relation, direction)
     }
 
-    /// Runs `f` with the engine lock held against the currently-published
-    /// snapshot — the epoch-consistent entry point the serving layer
-    /// builds on. While `f` runs no dynamic update can publish (writers
-    /// also hold the engine lock), so the epoch handed to `f` is exact
-    /// for the whole call.
+    /// Runs `f` with **one** shard's lock held — the shard the router
+    /// assigns to `relation` — against the currently-published snapshot.
+    /// This is the epoch-consistent entry point queries build on: while
+    /// `f` runs no dynamic update can publish (publication needs every
+    /// shard lock, including the one `f` holds), so both epochs in the
+    /// [`ShardPin`] are exact for the whole call. Queries on relations
+    /// owned by *other* shards proceed concurrently.
     ///
-    /// `f` must not call back into this facade (the engine lock is not
+    /// `f` must not call back into this facade (shard locks are not
+    /// reentrant).
+    pub fn with_published_shard<R>(
+        &self,
+        relation: RelationId,
+        f: impl FnOnce(ShardPin, &VkgSnapshot, &mut IndexState) -> R,
+    ) -> R {
+        let shard = self.engine.shard_of(relation);
+        let mut state = self.engine.write_shard(shard);
+        // Bring this shard's contour up to the canonical crack sequence
+        // before serving, and log what `f`'s query cracked afterwards,
+        // so every shard count answers identically (see the crack-log
+        // notes in `engine::shard`).
+        self.engine.sync_shard(shard, &mut state);
+        let (epoch, snap) = self.published();
+        let pin = ShardPin {
+            epoch,
+            shard,
+            shard_epoch: self.engine.shard_epoch(shard),
+        };
+        let r = f(pin, &snap, &mut state);
+        self.engine.publish_cracks(shard, &mut state);
+        r
+    }
+
+    /// Runs `f` with **every** shard lock held (ascending) against the
+    /// currently-published snapshot — the whole-engine entry point for
+    /// inspection and maintenance. While `f` runs no query executes and
+    /// no dynamic update can publish, so the global epoch and the whole
+    /// shard-epoch vector in the [`EnginePin`] are exact for the call.
+    ///
+    /// `f` must not call back into this facade (shard locks are not
     /// reentrant).
     pub fn with_published_engine<R>(
         &self,
-        f: impl FnOnce(u64, &VkgSnapshot, &mut IndexState) -> R,
+        f: impl FnOnce(&EnginePin, &VkgSnapshot, &mut ShardSetGuard<'_>) -> R,
     ) -> R {
-        let mut engine = self.engine.write();
+        let mut shards = self.engine.lock_all();
         let (epoch, snap) = self.published();
-        f(epoch, &snap, &mut engine)
+        let pin = EnginePin {
+            epoch,
+            shard_epochs: self.engine.shard_epochs(),
+        };
+        f(&pin, &snap, &mut shards)
     }
 
     /// Top-k predicted entities for `(entity, relation)` in `direction`
-    /// (Q1-style queries; Algorithm 3).
+    /// (Q1-style queries; Algorithm 3). Takes only `relation`'s shard
+    /// lock.
     pub fn top_k(
         &self,
         entity: EntityId,
@@ -316,8 +458,8 @@ impl VirtualKnowledgeGraph {
         direction: Direction,
         k: usize,
     ) -> VkgResult<TopKResult> {
-        self.with_published_engine(|_, snap, engine| {
-            engine.top_k(snap, entity, relation, direction, k)
+        self.with_published_shard(relation, |_pin, snap, state| {
+            state.top_k(snap, entity, relation, direction, k)
         })
     }
 
@@ -332,13 +474,13 @@ impl VirtualKnowledgeGraph {
         k: usize,
         filter: impl Fn(EntityId) -> bool,
     ) -> VkgResult<TopKResult> {
-        self.with_published_engine(|_, snap, engine| {
-            engine.top_k_filtered(snap, entity, relation, direction, k, &filter)
+        self.with_published_shard(relation, |_pin, snap, state| {
+            state.top_k_filtered(snap, entity, relation, direction, k, &filter)
         })
     }
 
     /// Answers an aggregate query over the probability ball around the
-    /// query center (§V-B).
+    /// query center (§V-B). Takes only `relation`'s shard lock.
     pub fn aggregate(
         &self,
         entity: EntityId,
@@ -346,9 +488,84 @@ impl VirtualKnowledgeGraph {
         direction: Direction,
         spec: &AggregateSpec,
     ) -> VkgResult<AggregateResult> {
-        self.with_published_engine(|_, snap, engine| {
-            engine.aggregate(snap, entity, relation, direction, spec)
+        self.with_published_shard(relation, |_pin, snap, state| {
+            state.aggregate(snap, entity, relation, direction, spec)
         })
+    }
+
+    /// Answers one aggregate query *per relation* and merges the partial
+    /// estimates with their Theorem 4 bounds combined per shard (see
+    /// `query::aggregate::merge_partials` for the combinators and their
+    /// proofs). COUNT/SUM partials add exactly; AVG is the ball-size
+    /// weighted mean; MAX/MIN take the extremum with a union-bound tail.
+    ///
+    /// The fan-out runs through the data-parallel pool: relations are
+    /// grouped by owning shard, each worker takes **one** shard lock
+    /// (never two — no cross-shard lock nesting, hence no ordering
+    /// concerns) and answers that shard's relations in input order.
+    /// Consistency is per shard: each partial records the epoch its
+    /// worker observed; a concurrent writer may land between two shards
+    /// of one fan-out, never inside one.
+    pub fn aggregate_multi(
+        &self,
+        entity: EntityId,
+        relations: &[RelationId],
+        direction: Direction,
+        spec: &AggregateSpec,
+    ) -> VkgResult<MultiAggregateResult> {
+        if relations.is_empty() {
+            return Err(VkgError::InvalidParameter(
+                "aggregate_multi needs at least one relation".into(),
+            ));
+        }
+        // Group (input slot, relation) by owning shard, preserving input
+        // order within each group.
+        let shard_count = self.engine.shard_count();
+        let mut by_shard: Vec<Vec<(usize, RelationId)>> = vec![Vec::new(); shard_count];
+        for (slot, &r) in relations.iter().enumerate() {
+            by_shard[self.engine.shard_of(r)].push((slot, r));
+        }
+        let groups: Vec<(usize, Vec<(usize, RelationId)>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect();
+        let slots: Vec<Mutex<Option<VkgResult<RelationAggregate>>>> =
+            relations.iter().map(|_| Mutex::new(None)).collect();
+        let width = self.config().threads.min(groups.len()).max(1);
+        let pool = Pool::new(width);
+        pool.run(groups.len(), |gi| {
+            let (shard, group) = &groups[gi];
+            let mut state = self.engine.write_shard(*shard);
+            self.engine.sync_shard(*shard, &mut state);
+            // Re-read under the shard lock: the epoch is pinned for this
+            // worker's whole group (publication needs this lock too).
+            let (epoch, snap) = self.published();
+            for &(slot, relation) in group {
+                let answer = state
+                    .aggregate(&snap, entity, relation, direction, spec)
+                    .map(|result| RelationAggregate {
+                        relation,
+                        shard: *shard,
+                        epoch,
+                        result,
+                    });
+                *slots[slot].lock() = Some(answer);
+            }
+            self.engine.publish_cracks(*shard, &mut state);
+        });
+        let mut parts = Vec::with_capacity(relations.len());
+        for slot in slots {
+            // Every slot is filled: `Pool::run` covers all group indices
+            // and re-throws worker panics before returning.
+            let filled = slot.into_inner().ok_or_else(|| {
+                VkgError::InvalidParameter("fan-out worker dropped a relation".into())
+            })?;
+            parts.push(filled?);
+        }
+        let partials: Vec<AggregateResult> = parts.iter().map(|p| p.result.clone()).collect();
+        let combined = aggregate::merge_partials(spec.kind, &partials);
+        Ok(MultiAggregateResult { combined, parts })
     }
 
     // ------------------------------------------------------------------
@@ -358,16 +575,19 @@ impl VirtualKnowledgeGraph {
     // to do incremental updates on our partial index.")
     //
     // Updates take `&self` and act as a single writer: they serialize on
-    // the engine's write lock, build the next snapshot off to the side
+    // *all* shard locks (ascending — an update must splice the new point
+    // into every shard's tree), build the next snapshot off to the side
     // (cloning is cheap — components are Arc-shared, and the CoW
     // mutators copy only the stores a write touches), and publish it
-    // with an epoch bump. Concurrent readers holding an older snapshot
-    // clone keep a consistent (pre-update) view.
+    // with an epoch bump. Index-mutating writes also bump every shard's
+    // epoch. Concurrent readers holding an older snapshot clone keep a
+    // consistent (pre-update) view.
     // ------------------------------------------------------------------
 
-    /// Publishes `next` as the new snapshot epoch. Callers must hold the
-    /// engine write lock so the index and the published snapshot advance
-    /// together.
+    /// Publishes `next` as the new snapshot epoch. Callers must hold
+    /// **every** shard lock so the shard indices and the published
+    /// snapshot advance together (and so any single held shard lock pins
+    /// the epoch for its holder).
     fn publish(&self, next: VkgSnapshot) -> u64 {
         let mut p = self.published.write();
         p.epoch += 1;
@@ -389,7 +609,7 @@ impl VirtualKnowledgeGraph {
     /// Panics if the S₁ embedding length disagrees with the embedding
     /// store (caught before any index mutation).
     pub fn add_entity_dynamic(&self, name: &str, s1_embedding: &[f64]) -> VkgResult<EntityId> {
-        let mut engine = self.engine.write();
+        let mut shards = self.engine.lock_all();
         let mut next = (*self.snapshot()).clone();
         let id = next.graph_mut().add_entity(name);
         if id.index() < next.embeddings().num_entities() {
@@ -398,16 +618,24 @@ impl VirtualKnowledgeGraph {
                 .entity_mut(id)
                 .copy_from_slice(s1_embedding);
             let s2 = next.transform().apply(s1_embedding);
-            engine.index_mut().update_point(id.0, &s2)?;
+            for state in shards.iter_mut() {
+                state.index_mut().update_point(id.0, &s2)?;
+            }
             self.publish(next);
+            self.engine.bump_all_epochs();
             return Ok(id);
         }
         let store_id = next.embeddings_mut().push_entity(s1_embedding);
         debug_assert_eq!(store_id, id, "graph and store ids must stay aligned");
         let s2 = next.transform().apply(s1_embedding);
-        let point_id = engine.index_mut().insert_point(&s2)?;
-        debug_assert_eq!(point_id, id.0, "index point ids must stay aligned");
+        for state in shards.iter_mut() {
+            // Identical trees hold identical point sets, so the new point
+            // gets the same dense id in every shard.
+            let point_id = state.index_mut().insert_point(&s2)?;
+            debug_assert_eq!(point_id, id.0, "index point ids must stay aligned");
+        }
         self.publish(next);
+        self.engine.bump_all_epochs();
         Ok(id)
     }
 
@@ -420,7 +648,7 @@ impl VirtualKnowledgeGraph {
     ///
     /// Returns `(added, epoch)`: whether the edge was new, and the exact
     /// epoch this write published (for a duplicate, the epoch current
-    /// while the write held the engine lock — no publication happens).
+    /// while the write held the shard locks — no publication happens).
     pub fn add_fact_dynamic(
         &self,
         h: EntityId,
@@ -429,14 +657,14 @@ impl VirtualKnowledgeGraph {
         refine_steps: usize,
         learning_rate: f64,
     ) -> VkgResult<(bool, u64)> {
-        let mut engine = self.engine.write();
+        let mut shards = self.engine.lock_all();
         let cur = self.snapshot();
         cur.check_ids(h, r)?;
         cur.check_ids(t, r)?;
         let mut next = (*cur).clone();
         let added = next.graph_mut().add_triple(h, r, t)?;
         if !added {
-            // The engine lock is still held, so no concurrent writer can
+            // All shard locks are still held, so no concurrent writer can
             // publish between the duplicate check and this epoch read.
             return Ok((false, self.epoch()));
         }
@@ -461,33 +689,40 @@ impl VirtualKnowledgeGraph {
             }
         }
         let h_s2 = next.transform().apply(next.embeddings().entity(h));
-        engine.index_mut().update_point(h.0, &h_s2)?;
         let t_s2 = next.transform().apply(next.embeddings().entity(t));
-        engine.index_mut().update_point(t.0, &t_s2)?;
+        for state in shards.iter_mut() {
+            state.index_mut().update_point(h.0, &h_s2)?;
+            state.index_mut().update_point(t.0, &t_s2)?;
+        }
         let epoch = self.publish(next);
+        self.engine.bump_all_epochs();
         Ok((true, epoch))
     }
 
     /// Sets (or updates) an attribute of an entity — aggregate queries
-    /// observe the new value from the next epoch on.
+    /// observe the new value from the next epoch on. Bumps the global
+    /// epoch but **no** shard epoch: no shard's index changes.
     pub fn set_attribute_dynamic(&self, attr: &str, entity: EntityId, value: f64) {
-        let _engine = self.engine.write();
+        let _shards = self.engine.lock_all();
         let mut next = (*self.snapshot()).clone();
         next.attributes_mut().set(attr, entity, value);
         self.publish(next);
     }
 
     /// Direct read access to the index (benchmarks, invariant checks).
-    /// Holds the engine's read lock while the guard lives.
+    /// Holds shard 0's read lock while the guard lives.
     pub fn index(&self) -> IndexGuard<'_> {
-        IndexGuard(self.engine.read())
+        IndexGuard(self.engine.read_shard(0))
     }
 
-    /// Exclusive access to the index. Holds the engine's write lock while
-    /// the guard lives — readers of [`VirtualKnowledgeGraph::graph`] /
-    /// [`VirtualKnowledgeGraph::embeddings`] are *not* blocked.
+    /// Exclusive access to the index (shard 0). Holds that shard's write
+    /// lock while the guard lives — readers of
+    /// [`VirtualKnowledgeGraph::graph`] /
+    /// [`VirtualKnowledgeGraph::embeddings`] are *not* blocked, and
+    /// neither are queries on relations owned by other shards; dynamic
+    /// updates (which need every shard) are.
     pub fn index_mut(&self) -> IndexGuardMut<'_> {
-        IndexGuardMut(self.engine.write())
+        IndexGuardMut(self.engine.write_shard(0))
     }
 }
 
@@ -541,6 +776,7 @@ mod tests {
             query_aware_cost: true,
             transform_seed: 7,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -803,14 +1039,193 @@ mod tests {
         let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
         let u0 = vkg.graph().entity_id("u0").unwrap();
         let likes = vkg.graph().relation_id("likes").unwrap();
-        let (epoch, ids) = vkg.with_published_engine(|epoch, snap, engine| {
-            let r = engine.top_k(snap, u0, likes, Direction::Tails, 2).unwrap();
+        let (pin, ids) = vkg.with_published_engine(|pin, snap, shards| {
+            let r = shards
+                .shard_mut(0)
+                .top_k(snap, u0, likes, Direction::Tails, 2)
+                .unwrap();
             (
-                epoch,
+                pin.clone(),
                 r.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
             )
         });
-        assert_eq!(epoch, 0);
+        assert_eq!(pin.epoch, 0);
+        assert_eq!(pin.shard_epochs, vec![0]);
         assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn with_published_shard_pins_the_owning_shard() {
+        let (g, attrs, emb) = tiny_world(8);
+        let cfg = VkgConfig {
+            shards: 4,
+            ..config()
+        };
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, cfg);
+        assert_eq!(vkg.shard_count(), 4);
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let owner = vkg.shard_of(likes);
+        let (pin, ids) = vkg.with_published_shard(likes, |pin, snap, state| {
+            let r = state.top_k(snap, u0, likes, Direction::Tails, 2).unwrap();
+            (pin, r.predictions.iter().map(|p| p.id).collect::<Vec<_>>())
+        });
+        assert_eq!(pin.shard, owner);
+        assert_eq!(pin.epoch, 0);
+        assert_eq!(pin.shard_epoch, 0);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn sharded_answers_match_single_shard() {
+        let (g, attrs, emb) = tiny_world(8);
+        let single =
+            VirtualKnowledgeGraph::assemble(g.clone(), attrs.clone(), emb.clone(), config());
+        let u0 = single.graph().entity_id("u0").unwrap();
+        let likes = single.graph().relation_id("likes").unwrap();
+        let reference = single.top_k(u0, likes, Direction::Tails, 3).unwrap();
+        let ref_ids: Vec<u32> = reference.predictions.iter().map(|p| p.id).collect();
+        let ref_agg = single
+            .aggregate(u0, likes, Direction::Tails, &AggregateSpec::count(0.05))
+            .unwrap();
+        for shards in [2, 7] {
+            let cfg = VkgConfig { shards, ..config() };
+            let vkg = VirtualKnowledgeGraph::assemble(g.clone(), attrs.clone(), emb.clone(), cfg);
+            assert_eq!(vkg.shard_count(), shards);
+            let r = vkg.top_k(u0, likes, Direction::Tails, 3).unwrap();
+            let ids: Vec<u32> = r.predictions.iter().map(|p| p.id).collect();
+            assert_eq!(ids, ref_ids, "top-k differs at {shards} shards");
+            let a = vkg
+                .aggregate(u0, likes, Direction::Tails, &AggregateSpec::count(0.05))
+                .unwrap();
+            assert_eq!(a.estimate, ref_agg.estimate, "estimate at {shards} shards");
+            assert_eq!(a.ball_size, ref_agg.ball_size);
+        }
+    }
+
+    #[test]
+    fn shard_epochs_track_index_mutations_only() {
+        let (g, attrs, emb) = tiny_world(8);
+        let cfg = VkgConfig {
+            shards: 3,
+            ..config()
+        };
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, cfg);
+        assert_eq!(vkg.shard_epochs(), vec![0, 0, 0]);
+        let dim = vkg.embeddings().dim();
+        // Index-touching writes bump the global epoch AND every shard.
+        vkg.add_entity_dynamic("m_new", &vec![20.0; dim])
+            .expect("well-shaped embedding");
+        assert_eq!(vkg.epoch(), 1);
+        assert_eq!(vkg.shard_epochs(), vec![1, 1, 1]);
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let m_new = vkg.graph().entity_id("m_new").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        vkg.add_fact_dynamic(u0, likes, m_new, 2, 0.01).unwrap();
+        assert_eq!(vkg.epoch(), 2);
+        assert_eq!(vkg.shard_epochs(), vec![2, 2, 2]);
+        // Attribute writes publish (global bump) but touch no index:
+        // shard epochs stay put.
+        vkg.set_attribute_dynamic("year", m_new, 2020.0);
+        assert_eq!(vkg.epoch(), 3);
+        assert_eq!(vkg.shard_epochs(), vec![2, 2, 2]);
+        assert_eq!(vkg.shard_epoch(0), 2);
+        // Queries bump nothing.
+        let _ = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
+        assert_eq!(vkg.shard_epochs(), vec![2, 2, 2]);
+        vkg.quiesce();
+    }
+
+    /// [`tiny_world`] plus a second relation "bookmarks" translating by
+    /// +12 along x (so u0 + bookmarks lands near m2).
+    fn tiny_world_two_relations(dim: usize) -> (KnowledgeGraph, AttributeStore, EmbeddingStore) {
+        let (mut g, attrs, emb) = tiny_world(dim);
+        let _bookmarks = g.add_relation("bookmarks");
+        let n = g.num_entities();
+        let mut ent = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            ent.extend_from_slice(emb.entity(EntityId(i as u32)));
+        }
+        let mut rel = emb.relation(RelationId(0)).to_vec();
+        let mut bm = vec![0.0; dim];
+        bm[0] = 12.0;
+        bm[1] = 0.5;
+        rel.extend_from_slice(&bm);
+        (g, attrs, EmbeddingStore::from_raw(dim, ent, rel))
+    }
+
+    #[test]
+    fn aggregate_multi_matches_per_relation_aggregates() {
+        let (g, attrs, store) = tiny_world_two_relations(8);
+        for shards in [1, 2, 7] {
+            let cfg = VkgConfig { shards, ..config() };
+            let vkg = VirtualKnowledgeGraph::assemble(g.clone(), attrs.clone(), store.clone(), cfg);
+            let u0 = vkg.graph().entity_id("u0").unwrap();
+            let likes = vkg.graph().relation_id("likes").unwrap();
+            let bookmarks = vkg.graph().relation_id("bookmarks").unwrap();
+            let spec = AggregateSpec::count(0.05);
+            let multi = vkg
+                .aggregate_multi(u0, &[likes, bookmarks], Direction::Tails, &spec)
+                .unwrap();
+            assert_eq!(multi.parts.len(), 2);
+            assert_eq!(multi.parts[0].relation, likes);
+            assert_eq!(multi.parts[1].relation, bookmarks);
+            // Each partial equals the single-relation aggregate.
+            let solo_likes = vkg.aggregate(u0, likes, Direction::Tails, &spec).unwrap();
+            let solo_bm = vkg
+                .aggregate(u0, bookmarks, Direction::Tails, &spec)
+                .unwrap();
+            assert_eq!(multi.parts[0].result.estimate, solo_likes.estimate);
+            assert_eq!(multi.parts[1].result.estimate, solo_bm.estimate);
+            assert_eq!(multi.parts[0].shard, vkg.shard_of(likes));
+            assert_eq!(multi.parts[1].shard, vkg.shard_of(bookmarks));
+            // COUNT partials add exactly.
+            assert!(
+                (multi.combined.estimate - (solo_likes.estimate + solo_bm.estimate)).abs() < 1e-12
+            );
+            assert_eq!(
+                multi.combined.ball_size,
+                solo_likes.ball_size + solo_bm.ball_size
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_multi_rejects_empty_and_propagates_errors() {
+        let (g, attrs, emb) = tiny_world(8);
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let spec = AggregateSpec::count(0.05);
+        assert!(matches!(
+            vkg.aggregate_multi(u0, &[], Direction::Tails, &spec),
+            Err(VkgError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            vkg.aggregate_multi(u0, &[likes, RelationId(99)], Direction::Tails, &spec),
+            Err(VkgError::UnknownRelation(99))
+        ));
+    }
+
+    #[test]
+    fn dynamic_updates_reach_every_shard() {
+        let (g, attrs, emb) = tiny_world(8);
+        let cfg = VkgConfig {
+            shards: 2,
+            ..config()
+        };
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, cfg);
+        let dim = vkg.embeddings().dim();
+        let id = vkg
+            .add_entity_dynamic("m_new", &vec![20.0; dim])
+            .expect("well-shaped embedding");
+        // Every shard must know the new point: a kNN through each shard
+        // finds it at its exact position.
+        let snap = vkg.snapshot();
+        for i in 0..vkg.shard_count() {
+            let mut state = vkg.engine.write_shard(i);
+            let nn = state.knn_in_s2(&snap, &vec![20.0; dim], 1).unwrap();
+            assert_eq!(nn[0].id, id.0, "shard {i} missing the new entity");
+        }
     }
 }

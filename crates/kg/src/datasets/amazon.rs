@@ -132,10 +132,12 @@ pub fn amazon_like(cfg: &AmazonConfig) -> Dataset {
             if stars >= 4.0 {
                 graph
                     .add_triple(u, likes, products[pi])
+                    // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
                     .expect("generated ids are valid");
             } else if stars <= 2.0 {
                 graph
                     .add_triple(u, dislikes, products[pi])
+                    // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
                     .expect("generated ids are valid");
             }
         }
@@ -176,6 +178,7 @@ pub fn amazon_like(cfg: &AmazonConfig) -> Dataset {
                 };
                 graph
                     .add_triple(p, rel, products[qi])
+                    // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
                     .expect("generated ids are valid");
             }
         }

@@ -129,6 +129,7 @@ pub fn freebase_like(cfg: &FreebaseConfig) -> Dataset {
         }
         if graph
             .add_triple(entities[h], relations[ri], entities[t])
+            // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
             .expect("generated ids are valid")
         {
             added += 1;

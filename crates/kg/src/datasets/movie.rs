@@ -146,12 +146,14 @@ pub fn movie_like(cfg: &MovieConfig) -> Dataset {
             .max_by(|(_, a), (_, b)| {
                 dot(a, &movie_latent[mi])
                     .partial_cmp(&dot(b, &movie_latent[mi]))
+                    // lint: allow(no-unwrap, dot products of finite latent vectors are never NaN)
                     .expect("finite dot products")
             })
             .map(|(gi, _)| gi)
             .unwrap_or(0);
         graph
             .add_triple(m, has_genre, genres[best])
+            // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
             .expect("generated ids are valid");
         if !tags.is_empty() {
             let ntags = rng.gen_range(0..3);
@@ -159,6 +161,7 @@ pub fn movie_like(cfg: &MovieConfig) -> Dataset {
                 let t = tags[tag_zipf.sample(&mut rng)];
                 graph
                     .add_triple(m, has_tag, t)
+                    // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
                     .expect("generated ids are valid");
             }
         }
@@ -175,10 +178,12 @@ pub fn movie_like(cfg: &MovieConfig) -> Dataset {
             if stars >= 4.0 {
                 graph
                     .add_triple(u, likes, movies[mi])
+                    // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
                     .expect("generated ids are valid");
             } else if stars <= 2.0 {
                 graph
                     .add_triple(u, dislikes, movies[mi])
+                    // lint: allow(no-unwrap, both endpoints were just added to this graph by the generator)
                     .expect("generated ids are valid");
             }
         }

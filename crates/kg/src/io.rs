@@ -45,13 +45,13 @@ pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, writer: W) -> Result<()> {
     for t in graph.triples() {
         let head = graph
             .entity_name(t.head)
-            .expect("triple head must be interned");
+            .ok_or(KgError::UnknownEntity(t.head.0))?;
         let rel = graph
             .relation_name(t.relation)
-            .expect("triple relation must be interned");
+            .ok_or(KgError::UnknownRelation(t.relation.0))?;
         let tail = graph
             .entity_name(t.tail)
-            .expect("triple tail must be interned");
+            .ok_or(KgError::UnknownEntity(t.tail.0))?;
         writeln!(out, "{head}\t{rel}\t{tail}")?;
     }
     out.flush()?;

@@ -60,6 +60,7 @@ impl Zipf {
         let u: f64 = rng.gen();
         match self
             .cdf
+            // lint: allow(no-unwrap, the CDF is built from finite positive masses; no entry is NaN)
             .binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF"))
         {
             Ok(i) => i,

@@ -479,15 +479,28 @@ pub struct ServerCounters {
     pub drained: u64,
 }
 
+/// One engine shard's slice of a stats report: its epoch (publications
+/// that mutated its index) and the admission traffic routed to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatsWire {
+    /// The shard's epoch at the time of the answer.
+    pub epoch: u64,
+    /// Requests admitted that routed to this shard.
+    pub admitted: u64,
+    /// Routed requests answered.
+    pub answered: u64,
+}
+
 /// Engine + server statistics at one epoch — the remote view of
-/// [`EngineStats`] (crack-depth, probe counters) and [`Accuracy`].
+/// [`EngineStats`] (crack-depth, probe counters, summed across shards)
+/// and [`Accuracy`], plus a per-shard breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsWire {
     /// Snapshot epoch at the time of the answer.
     pub epoch: u64,
-    /// Index nodes currently allocated.
+    /// Index nodes currently allocated (all shards).
     pub nodes: u64,
-    /// Approximate index size in bytes.
+    /// Approximate index size in bytes (all shards).
     pub bytes: u64,
     /// Binary splits performed (crack depth proxy).
     pub splits_performed: u64,
@@ -503,15 +516,19 @@ pub struct StatsWire {
     pub accuracy: AccuracyWire,
     /// Admission-control counters.
     pub server: ServerCounters,
+    /// Per-shard epochs and admission traffic, in shard order.
+    pub shards: Vec<ShardStatsWire>,
 }
 
 impl StatsWire {
-    /// Assembles from the engine's uniform stats report.
+    /// Assembles from the engine's uniform stats report plus the
+    /// per-shard breakdown.
     pub fn from_stats(
         epoch: u64,
         stats: &EngineStats,
         accuracy: Accuracy,
         server: ServerCounters,
+        shards: Vec<ShardStatsWire>,
     ) -> Self {
         StatsWire {
             epoch,
@@ -524,6 +541,7 @@ impl StatsWire {
             s1_distance_evals: stats.counters.s1_distance_evals,
             accuracy: AccuracyWire(accuracy),
             server,
+            shards,
         }
     }
 }
@@ -671,6 +689,13 @@ impl Response {
                 e.u64(s.server.shed);
                 e.u64(s.server.deadline_expired);
                 e.u64(s.server.drained);
+                // lint: allow(no-truncating-cast, encode side; shard counts are configuration-bounded, nowhere near 2^32)
+                e.u32(s.shards.len() as u32);
+                for sh in &s.shards {
+                    e.u64(sh.epoch);
+                    e.u64(sh.admitted);
+                    e.u64(sh.answered);
+                }
             }
             Response::ShuttingDown => {
                 e.u8(op::R_SHUTTING_DOWN);
@@ -748,6 +773,18 @@ impl Response {
                     shed: d.u64()?,
                     deadline_expired: d.u64()?,
                     drained: d.u64()?,
+                },
+                shards: {
+                    let n = d.seq_len(24)?;
+                    let mut shards = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        shards.push(ShardStatsWire {
+                            epoch: d.u64()?,
+                            admitted: d.u64()?,
+                            answered: d.u64()?,
+                        });
+                    }
+                    shards
                 },
             }),
             op::R_SHUTTING_DOWN => Response::ShuttingDown,

@@ -22,14 +22,20 @@
 //! a typed [`ErrorCode::Query`] error before it can poison the shared
 //! embeddings.
 //!
-//! # Epoch-swapped reads
+//! # Epoch-swapped reads, sharded
 //!
 //! Workers execute reads through
-//! [`VirtualKnowledgeGraph::with_published_engine`], which pins one
-//! `(epoch, snapshot)` pair for the whole query. Dynamic writes go
-//! through the facade's `&self` single-writer path and publish a fresh
-//! snapshot with a bumped epoch; every response carries the epoch it
-//! was computed at so clients can reason about read-your-writes.
+//! [`VirtualKnowledgeGraph::with_published_shard`], which takes only
+//! the owning relation's shard lock and pins one `(epoch, snapshot)`
+//! pair for the whole query — traffic on one hot relation never stalls
+//! queries routed to other shards. Dynamic writes go through the
+//! facade's `&self` single-writer path (all shard locks) and publish a
+//! fresh snapshot with a bumped epoch; every response carries the epoch
+//! it was computed at so clients can reason about read-your-writes.
+//! Admission is recorded per shard ([`crate::queue::ShardCounters`])
+//! and reported in `Stats`; a graceful drain ends by **quiescing** every
+//! shard (acquiring and releasing all shard locks) so no in-flight
+//! cracking outlives the server.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -44,10 +50,10 @@ use vkg_sync::thread::{self, JoinHandle};
 use vkg_sync::{AtomicBool, Ordering};
 
 use crate::protocol::{
-    AggregateWire, ErrorCode, Request, RequestOp, Response, ServerCounters, ServerError, StatsWire,
-    TopKWire, WireFilter,
+    AggregateWire, ErrorCode, Request, RequestOp, Response, ServerCounters, ServerError,
+    ShardStatsWire, StatsWire, TopKWire, WireFilter,
 };
-use crate::queue::{Admission, Counters, JobQueue};
+use crate::queue::{Admission, Counters, JobQueue, ShardCounters};
 use crate::wire::{write_frame, FrameBuffer, WireError};
 
 /// Tuning knobs for a [`Server`].
@@ -82,6 +88,9 @@ impl Default for ServerConfig {
 /// One admitted unit of work.
 struct Job {
     request: Request,
+    /// The engine shard the request routes to (`None` for control
+    /// operations, which never reach the queue anyway).
+    shard: Option<usize>,
     admitted_at: Instant,
     deadline: Duration,
     reply: mpsc::Sender<Response>,
@@ -92,6 +101,7 @@ struct Shared {
     cfg: ServerConfig,
     queue: JobQueue<Job>,
     counters: Counters,
+    shard_counters: ShardCounters,
     draining: AtomicBool,
 }
 
@@ -113,10 +123,12 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let shard_counters = ShardCounters::new(vkg.shard_count());
         let shared = Arc::new(Shared {
             vkg,
             queue: JobQueue::new(cfg.queue_capacity),
             counters: Counters::default(),
+            shard_counters,
             draining: AtomicBool::new(false),
             cfg,
         });
@@ -180,6 +192,11 @@ impl ServerHandle {
         self.shared.counters.snapshot()
     }
 
+    /// Per-shard `(admitted, answered)` counters, in shard order.
+    pub fn shard_counters(&self) -> Vec<(u64, u64)> {
+        self.shared.shard_counters.snapshot()
+    }
+
     /// Whether a drain has been triggered (locally or by a client's
     /// `Shutdown` request).
     pub fn is_draining(&self) -> bool {
@@ -234,6 +251,10 @@ const fn max_k_per_frame() -> u32 {
 /// Validates and clamps a decoded request's parameters before it is
 /// admitted (see the module docs). Returns the typed refusal to send
 /// instead of queueing when a parameter is rejected outright.
+// The Err IS the payload here (a full refusal Response, now carrying
+// per-shard stats rows); it is built once per rejected request on the
+// cold path, so boxing would only add an allocation.
+#[allow(clippy::result_large_err)]
 fn sanitize(shared: &Shared, request: &mut Request) -> Result<(), Response> {
     match &mut request.op {
         RequestOp::TopK { k, .. } | RequestOp::TopKFiltered { k, .. } => {
@@ -311,6 +332,11 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, workers: Vec<JoinHan
     for worker in workers {
         let _ = worker.join();
     }
+    // Quiesce every shard: acquire and release all shard locks, so any
+    // cracking still running on a shard (there should be none — workers
+    // joined — but belt and braces against detached readers holding a
+    // facade guard) finishes before the drain reports complete.
+    shared.vkg.quiesce();
 }
 
 /// One thread per connection: reassemble frames, decode, admit, and
@@ -372,14 +398,28 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             false
         }
         RequestOp::Stats => {
-            // Cheap and side-effect free: answered inline, bypassing
-            // admission control so it stays observable under overload.
-            let stats = shared.vkg.with_published_engine(|epoch, _, engine| {
+            // Side-effect free: answered inline, bypassing admission
+            // control so it stays observable under overload. Takes every
+            // shard lock briefly (an atomic cut across shards: the
+            // global epoch and all shard epochs are mutually consistent).
+            let stats = shared.vkg.with_published_engine(|pin, _, engine| {
+                let per_shard = shared.shard_counters.snapshot();
+                let shards = pin
+                    .shard_epochs
+                    .iter()
+                    .zip(per_shard)
+                    .map(|(&epoch, (admitted, answered))| ShardStatsWire {
+                        epoch,
+                        admitted,
+                        answered,
+                    })
+                    .collect();
                 StatsWire::from_stats(
-                    epoch,
-                    &engine.stats(),
+                    pin.epoch,
+                    &engine.merged_stats(),
                     engine.accuracy(),
                     shared.counters.snapshot(),
+                    shards,
                 )
             });
             send(stream, &Response::Stats(stats)).is_ok()
@@ -397,9 +437,11 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             } else {
                 Duration::from_millis(u64::from(request.deadline_ms))
             };
+            let shard = request_shard(shared, &request);
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = Job {
                 request,
+                shard,
                 admitted_at: Instant::now(),
                 deadline,
                 reply: reply_tx,
@@ -407,6 +449,9 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             match shared.queue.try_push(job) {
                 Admission::Admitted => {
                     shared.counters.record_admitted();
+                    if let Some(shard) = shard {
+                        shared.shard_counters.record_admitted(shard);
+                    }
                     let response = reply_rx.recv().unwrap_or_else(|_| {
                         refusal(ErrorCode::Internal, "worker pool disappeared")
                     });
@@ -463,6 +508,21 @@ fn fail_connection(stream: &mut TcpStream, e: &WireError) {
     );
 }
 
+/// The engine shard a request's relation routes to. Dynamic writes are
+/// charged to their relation's shard even though execution takes every
+/// shard lock — the *traffic* belongs to that relation. Control
+/// operations carry no relation and route nowhere.
+fn request_shard(shared: &Shared, request: &Request) -> Option<usize> {
+    let relation = match &request.op {
+        RequestOp::TopK { relation, .. }
+        | RequestOp::TopKFiltered { relation, .. }
+        | RequestOp::Aggregate { relation, .. } => *relation,
+        RequestOp::AddFactDynamic { r, .. } => *r,
+        RequestOp::Stats | RequestOp::Shutdown => return None,
+    };
+    Some(shared.vkg.shard_of(RelationId(relation)))
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let response = if job.admitted_at.elapsed() >= job.deadline {
@@ -480,13 +540,17 @@ fn worker_loop(shared: &Arc<Shared>) {
         // Every admitted job is answered exactly once; a hung-up client
         // (closed reply channel) still counts as answered.
         shared.counters.record_answered();
+        if let Some(shard) = job.shard {
+            shared.shard_counters.record_answered(shard);
+        }
         let _ = job.reply.send(response);
     }
 }
 
 /// Runs one request against the engine. Reads pin a single epoch via
-/// `with_published_engine`; the dynamic write goes through the facade's
-/// serialized `&self` writer path and reports the post-publish epoch.
+/// `with_published_shard` — taking only the owning relation's shard
+/// lock; the dynamic write goes through the facade's serialized `&self`
+/// writer path (all shard locks) and reports the post-publish epoch.
 fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
     match &request.op {
         RequestOp::TopK {
@@ -494,15 +558,15 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             relation,
             direction,
             k,
-        } => vkg.with_published_engine(|epoch, snap, engine| {
-            match engine.top_k(
+        } => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
+            match state.top_k(
                 snap,
                 EntityId(*entity),
                 RelationId(*relation),
                 *direction,
                 *k as usize,
             ) {
-                Ok(r) => Response::TopK(TopKWire::from_result(epoch, &r)),
+                Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
                 Err(e) => Response::Error(ServerError::query(&e)),
             }
         }),
@@ -512,7 +576,7 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             direction,
             k,
             filter,
-        } => vkg.with_published_engine(|epoch, snap, engine| {
+        } => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
             let graph = snap.graph();
             let accept: Box<dyn Fn(EntityId) -> bool> = match filter {
                 WireFilter::NamePrefix(prefix) => Box::new(move |id: EntityId| {
@@ -523,7 +587,7 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
                     Box::new(move |id: EntityId| lo <= id.0 && id.0 < hi)
                 }
             };
-            match engine.top_k_filtered(
+            match state.top_k_filtered(
                 snap,
                 EntityId(*entity),
                 RelationId(*relation),
@@ -531,7 +595,7 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
                 *k as usize,
                 &accept,
             ) {
-                Ok(r) => Response::TopK(TopKWire::from_result(epoch, &r)),
+                Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
                 Err(e) => Response::Error(ServerError::query(&e)),
             }
         }),
@@ -545,15 +609,15 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             // refusal here is cheaper to reason about than a panic in a
             // worker thread if that invariant ever drifts.
             None => refusal(ErrorCode::Internal, "aggregate request lost its spec"),
-            Some(spec) => vkg.with_published_engine(|epoch, snap, engine| {
-                match engine.aggregate(
+            Some(spec) => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
+                match state.aggregate(
                     snap,
                     EntityId(*entity),
                     RelationId(*relation),
                     *direction,
                     &spec,
                 ) {
-                    Ok(r) => Response::Aggregate(AggregateWire::from_result(epoch, &r)),
+                    Ok(r) => Response::Aggregate(AggregateWire::from_result(pin.epoch, &r)),
                     Err(e) => Response::Error(ServerError::query(&e)),
                 }
             }),

@@ -7,7 +7,7 @@ use vkg_core::query::aggregate::AggregateKind;
 use vkg_core::{Accuracy, Direction};
 use vkg_server::protocol::{
     AccuracyWire, AggregateWire, ErrorCode, PredictionWire, Request, RequestOp, Response,
-    ServerCounters, ServerError, StatsWire, TopKWire, WireFilter,
+    ServerCounters, ServerError, ShardStatsWire, StatsWire, TopKWire, WireFilter,
 };
 
 fn direction(tag: u8) -> Direction {
@@ -172,12 +172,18 @@ proptest! {
         (acc_tag, acc_x) in (0u8..3, 0.0f64..1.0),
         (admitted, answered, shed, deadline_expired, drained) in
             (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+        shards in prop::collection::vec(
+            (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX), 0..8),
     ) {
         let accuracy = AccuracyWire(match acc_tag {
             0 => Accuracy::Exact,
             1 => Accuracy::Approximate { min_overlap: acc_x },
             _ => Accuracy::SelfOracle { min_recall: acc_x },
         });
+        let shards = shards
+            .into_iter()
+            .map(|(epoch, admitted, answered)| ShardStatsWire { epoch, admitted, answered })
+            .collect();
         assert_response_roundtrip(Response::Stats(StatsWire {
             epoch,
             nodes,
@@ -189,6 +195,7 @@ proptest! {
             s1_distance_evals,
             accuracy,
             server: ServerCounters { admitted, answered, shed, deadline_expired, drained },
+            shards,
         }));
     }
 

@@ -73,9 +73,9 @@ pub mod prelude {
     pub use vkg_core::query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
     pub use vkg_core::query::topk::{Prediction, TopKResult};
     pub use vkg_core::{
-        Accuracy, CrackingIndex, Direction, EngineStats, IndexState, IndexStats, Neighbor,
-        QueryEngine, SplitStrategy, VirtualKnowledgeGraph, VkgConfig, VkgError, VkgResult,
-        VkgSnapshot,
+        shard_of_relation, Accuracy, CrackingIndex, Direction, EngineStats, IndexState, IndexStats,
+        Neighbor, QueryEngine, ShardedEngine, SplitStrategy, VirtualKnowledgeGraph, VkgConfig,
+        VkgError, VkgResult, VkgSnapshot,
     };
     pub use vkg_embed::{EmbeddingStore, TransA, TransAConfig, TransE, TransEConfig};
     pub use vkg_kg::datasets::{

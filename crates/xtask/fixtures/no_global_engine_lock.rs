@@ -1,0 +1,27 @@
+// pretend: crates/server/src/state.rs
+// Fixture for the no-global-engine-lock rule: the sharded engine owns
+// every `RwLock<IndexState>`; constructing one anywhere else brings
+// back the single global lock the router exists to remove. Generic
+// RwLocks over other payloads stay allowed.
+
+use vkg_sync::RwLock;
+
+struct Rebuilt {
+    state: RwLock<IndexState>, // expect: no-global-engine-lock
+}
+
+fn rebuild(points: ProjectedPoints, cfg: &VkgConfig) {
+    let _direct = RwLock::new(IndexState::cracking(points, cfg)); // expect: no-global-engine-lock
+    let _named = RwLock::with_name(IndexState::bulk(points, cfg), "vkg.engine"); // expect: no-global-engine-lock
+}
+
+struct FineElsewhere {
+    // Other payloads are not the engine; the rule must stay quiet here.
+    table: RwLock<Vec<u64>>,
+    config: RwLock<VkgConfig>,
+}
+
+fn escape_hatch(points: ProjectedPoints, cfg: &VkgConfig) {
+    // lint: allow(no-global-engine-lock, test harness drives one shard directly)
+    let _m = RwLock::new(IndexState::cracking(points, cfg));
+}

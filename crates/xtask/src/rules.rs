@@ -56,6 +56,7 @@ pub const RULES: &[&str] = &[
     "no-truncating-cast",
     "no-instant-now",
     "no-alloc-in-kernel",
+    "no-global-engine-lock",
 ];
 
 /// A parsed `// lint: allow(rule, reason)` annotation.
@@ -159,14 +160,17 @@ fn position(code: &str, byte: usize) -> (usize, usize) {
 struct Scope;
 
 impl Scope {
-    /// The panic-free zones: the serving layer and the core's facade,
-    /// snapshot, query, and index modules.
+    /// The panic-free zones: the serving layer, the core's facade,
+    /// snapshot, query, and index modules, and the data-ingest crates
+    /// (`vkg-kg`, `vkg-embed`) whose IO/parse paths feed everything else.
     fn no_unwrap(path: &str) -> bool {
         path.starts_with("crates/server/src/")
             || path == "crates/core/src/vkg.rs"
             || path == "crates/core/src/snapshot.rs"
             || path.starts_with("crates/core/src/query/")
             || path.starts_with("crates/core/src/index/")
+            || path.starts_with("crates/kg/src/")
+            || path.starts_with("crates/embed/src/")
     }
 
     /// Everything except `vkg-sync` itself (and vendored shims) must go
@@ -194,6 +198,15 @@ impl Scope {
     /// `// lint: allow(no-alloc-in-kernel, …)`.
     fn alloc_free_kernel(path: &str) -> bool {
         path == "crates/core/src/geometry/kernels.rs" || path == "crates/sync/src/pool.rs"
+    }
+
+    /// Every engine lock must live inside the shard router: a
+    /// `RwLock<IndexState>` constructed anywhere else reintroduces the
+    /// single global lock the sharded engine exists to remove.
+    fn no_global_engine_lock(path: &str) -> bool {
+        path.starts_with("crates/")
+            && path.contains("/src/")
+            && path != "crates/core/src/engine/shard.rs"
     }
 }
 
@@ -325,6 +338,24 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                     "relaxed-justify",
                     "Ordering::Relaxed without a `// relaxed: <why no ordering is needed>` \
                      comment on this or the preceding line"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    if Scope::no_global_engine_lock(rel_path) {
+        for needle in [
+            "RwLock<IndexState",
+            "RwLock::new(IndexState",
+            "RwLock::with_name(IndexState",
+        ] {
+            for at in find_all(code, needle) {
+                push(
+                    at,
+                    "no-global-engine-lock",
+                    "engine state must be locked per shard; construct IndexState locks \
+                     only inside the shard router (crates/core/src/engine/shard.rs)"
                         .to_string(),
                 );
             }

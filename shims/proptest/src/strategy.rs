@@ -83,6 +83,66 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 
+/// A strategy that always yields a clone of one value (mirrors
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous unions ([`prop_oneof!`]).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// A weighted choice over strategies with a common value type; the
+/// expansion of [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<V> {
+    options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty or all weights are zero.
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total: u32 = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u32 = self.options.iter().map(|(w, _)| *w).sum();
+        let mut draw = rng.gen_range(0..total);
+        for (weight, strategy) in &self.options {
+            if draw < *weight {
+                return strategy.generate(rng);
+            }
+            draw -= *weight;
+        }
+        // lint: allow(no-unwrap, the draw is < the sum of weights, so the loop above always returns)
+        unreachable!("weighted draw exceeded total weight")
+    }
+}
+
 /// String literals act as regex strategies (subset; see
 /// [`crate::string`]).
 impl Strategy for &str {

@@ -1,0 +1,174 @@
+//! Shard parity: the relation-sharded engine is an implementation
+//! detail, never an answer change.
+//!
+//! Algorithm 3 seeds its search from the contour element containing the
+//! query, so the crack history of a tree shapes the answers it gives.
+//! The sharded engine replicates every crack through a shared log (see
+//! `core/engine/shard.rs`), which makes a strong promise testable here:
+//! for ANY shard count, replaying the same query workload yields the
+//! same top-k id sequences and bit-identical aggregate estimates as the
+//! unsharded engine. Proptest drives seeded random workloads mixing
+//! top-k queries, single-relation aggregates, and cross-shard
+//! `aggregate_multi` fan-outs over shard counts {1, 2, 7}.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use vkg::prelude::*;
+
+/// Shard counts under test: unsharded reference, an even split, and a
+/// count coprime to the relation count (so hashing scatters unevenly).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Dataset + embeddings are trained once; every proptest case assembles
+/// fresh engines from clones so crack state never leaks between cases.
+fn trained() -> &'static (Dataset, EmbeddingStore) {
+    static TRAINED: OnceLock<(Dataset, EmbeddingStore)> = OnceLock::new();
+    TRAINED.get_or_init(|| {
+        let ds = movie_like(&MovieConfig::tiny());
+        let (embeddings, _) = TransE::new(TransEConfig {
+            dim: 16,
+            epochs: 6,
+            ..TransEConfig::default()
+        })
+        .train(&ds.graph);
+        (ds, embeddings)
+    })
+}
+
+fn engine(shards: usize) -> VirtualKnowledgeGraph {
+    let (ds, embeddings) = trained();
+    VirtualKnowledgeGraph::assemble(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        embeddings.clone(),
+        VkgConfig {
+            shards,
+            epsilon: 0.5,
+            ..VkgConfig::default()
+        },
+    )
+}
+
+/// One step of a replayable workload.
+#[derive(Debug, Clone)]
+enum Op {
+    TopK {
+        entity: u32,
+        relation: u32,
+        direction: Direction,
+        k: usize,
+    },
+    Aggregate {
+        entity: u32,
+        relation: u32,
+        direction: Direction,
+    },
+    /// Cross-shard fan-out over every relation in the dataset.
+    AggregateMulti { entity: u32 },
+}
+
+/// The observable outcome of one op, normalized for comparison. Errors
+/// compare by message: an invalid query must fail identically at every
+/// shard count.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    Ids(Vec<u32>),
+    Estimate(Vec<u64>),
+    Err(String),
+}
+
+fn apply(vkg: &VirtualKnowledgeGraph, op: &Op, relations: u32) -> Outcome {
+    match *op {
+        Op::TopK {
+            entity,
+            relation,
+            direction,
+            k,
+        } => match vkg.top_k(
+            EntityId(entity),
+            RelationId(relation % relations),
+            direction,
+            k,
+        ) {
+            Ok(r) => Outcome::Ids(r.predictions.iter().map(|p| p.id).collect()),
+            Err(e) => Outcome::Err(e.to_string()),
+        },
+        Op::Aggregate {
+            entity,
+            relation,
+            direction,
+        } => {
+            let spec = AggregateSpec::count(0.05);
+            match vkg.aggregate(
+                EntityId(entity),
+                RelationId(relation % relations),
+                direction,
+                &spec,
+            ) {
+                Ok(r) => Outcome::Estimate(vec![r.estimate.to_bits()]),
+                Err(e) => Outcome::Err(e.to_string()),
+            }
+        }
+        Op::AggregateMulti { entity } => {
+            let all: Vec<RelationId> = (0..relations).map(RelationId).collect();
+            let spec = AggregateSpec::count(0.05);
+            match vkg.aggregate_multi(EntityId(entity), &all, Direction::Tails, &spec) {
+                Ok(r) => Outcome::Estimate(
+                    std::iter::once(r.combined.estimate.to_bits())
+                        .chain(r.parts.iter().map(|p| p.result.estimate.to_bits()))
+                        .collect(),
+                ),
+                Err(e) => Outcome::Err(e.to_string()),
+            }
+        }
+    }
+}
+
+fn direction_strategy() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Tails), Just(Direction::Heads)]
+}
+
+fn op_strategy(entities: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..entities, 0u32..8, direction_strategy(), 1usize..8).prop_map(
+            |(entity, relation, direction, k)| Op::TopK { entity, relation, direction, k }
+        ),
+        2 => (0..entities, 0u32..8, direction_strategy()).prop_map(
+            |(entity, relation, direction)| Op::Aggregate { entity, relation, direction }
+        ),
+        1 => (0..entities).prop_map(|entity| Op::AggregateMulti { entity }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every shard count replays the workload to the exact same
+    /// outcome sequence as the unsharded reference engine.
+    #[test]
+    fn any_shard_count_answers_identically(
+        ops in prop::collection::vec(op_strategy(trained().0.graph.num_entities() as u32), 1..24)
+    ) {
+        let relations = trained().0.graph.num_relations() as u32;
+        let reference: Vec<Outcome> = {
+            let vkg = engine(SHARD_COUNTS[0]);
+            ops.iter().map(|op| apply(&vkg, op, relations)).collect()
+        };
+        for &shards in &SHARD_COUNTS[1..] {
+            let vkg = engine(shards);
+            for (i, op) in ops.iter().enumerate() {
+                let got = apply(&vkg, op, relations);
+                prop_assert_eq!(
+                    &got,
+                    &reference[i],
+                    "op {} ({:?}) diverged at {} shards",
+                    i,
+                    op,
+                    shards
+                );
+            }
+            vkg.index().check_invariants();
+        }
+    }
+}
