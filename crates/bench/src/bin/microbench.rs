@@ -29,10 +29,11 @@ use vkg::core::geometry::kernels;
 use vkg::core::geometry::PointSet;
 use vkg::core::query::topk::find_top_k;
 use vkg::kg::zipf::Zipf;
+use vkg::obs::{Clock, Registry};
 use vkg::prelude::*;
 use vkg::sync::pool::Pool;
 use vkg::sync::{AtomicU64, Ordering};
-use vkg_bench::setup;
+use vkg_bench::{setup, workload};
 
 struct Args {
     entities: usize,
@@ -194,6 +195,7 @@ fn run_sections(args: &Args, s1: &[f64], width: usize) -> (Vec<Timing>, Vec<u32>
             ));
         }),
     });
+    // lint: allow(no-unwrap, time_ms clamps reps to ≥ 1, so the closure ran at least once)
     let mut index = built.expect("reps ≥ 1 always builds");
 
     // Section 3: top-k refinement (Algorithm 3) with an S₂ oracle, query
@@ -227,6 +229,7 @@ fn run_sections(args: &Args, s1: &[f64], width: usize) -> (Vec<Timing>, Vec<u32>
                     |pts, id| pts.distance_sq(id, q).sqrt(),
                     |_| false,
                 )
+                // lint: allow(no-unwrap, constants k=10 and p_tau=0.5 satisfy find_top_k's contract)
                 .expect("valid top-k parameters");
                 ids.extend(r.predictions.iter().map(|p| p.id));
             }
@@ -235,7 +238,54 @@ fn run_sections(args: &Args, s1: &[f64], width: usize) -> (Vec<Timing>, Vec<u32>
     (timings, ids)
 }
 
-fn write_json(args: &Args, cores: usize, timings: &[Timing]) -> std::io::Result<()> {
+/// Observability overhead on the facade's top-k path: the same query
+/// batch against two otherwise identical engines, one recording into a
+/// live `vkg-obs` registry and one into [`Registry::noop`]. Returns
+/// `(instrumented_ms, noop_ms)` as the **min** over `reps` sweeps —
+/// scheduling noise only ever adds time, so the minima isolate the
+/// code-path difference the ≤5% gate is about.
+fn obs_overhead_ms(reps: usize, queries: usize) -> Result<(f64, f64), String> {
+    let prepared = setup::movie(setup::Scale::Smoke, 16);
+    let cfg = setup::bench_config();
+    let batch = workload::generate(&prepared.dataset.graph, queries, 0x0b5);
+    let build = |registry: Registry| {
+        VirtualKnowledgeGraph::try_assemble_with_metrics(
+            prepared.dataset.graph.clone(),
+            prepared.dataset.attributes.clone(),
+            prepared.embeddings.clone(),
+            cfg.clone(),
+            registry,
+            Clock::real(),
+        )
+        .map_err(|e| format!("obs overhead assemble: {e}"))
+    };
+    let measure = |vkg: &VirtualKnowledgeGraph| {
+        // One untimed sweep cracks the tree, so the timed sweeps
+        // measure steady-state refinement on both engines identically.
+        for q in &batch {
+            let _ = vkg.top_k(q.entity, q.relation, q.direction, 10);
+        }
+        (0..reps.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                for q in &batch {
+                    let _ = vkg.top_k(q.entity, q.relation, q.direction, 10);
+                }
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let instrumented = build(Registry::active())?;
+    let noop = build(Registry::noop())?;
+    Ok((measure(&instrumented), measure(&noop)))
+}
+
+fn write_json(
+    args: &Args,
+    cores: usize,
+    timings: &[Timing],
+    obs: (f64, f64),
+) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"vkg_core_microbench\",\n");
@@ -274,6 +324,13 @@ fn write_json(args: &Args, cores: usize, timings: &[Timing]) -> std::io::Result<
         let comma = if i + 1 < sections.len() { "," } else { "" };
         out.push_str(&format!("    \"{section}\": {speedup:.3}{comma}\n"));
     }
+    out.push_str("  },\n");
+    let (instr_ms, noop_ms) = obs;
+    let overhead_pct = (instr_ms / noop_ms.max(1e-9) - 1.0) * 1e2;
+    out.push_str("  \"obs_overhead\": {\n");
+    out.push_str(&format!("    \"instrumented_ms\": {instr_ms:.3},\n"));
+    out.push_str(&format!("    \"noop_ms\": {noop_ms:.3},\n"));
+    out.push_str(&format!("    \"overhead_pct\": {overhead_pct:.2}\n"));
     out.push_str("  }\n}\n");
     std::fs::write(&args.out, out)
 }
@@ -393,6 +450,21 @@ fn check(args: &Args) -> Result<(), String> {
             }
         }
     }
+
+    // 5. Observability overhead gate: the instrumented facade must stay
+    //    within 5% of the no-op-registry facade on the top-k path.
+    let (instr_ms, noop_ms) = obs_overhead_ms(5, 200)?;
+    if instr_ms > noop_ms * 1.05 {
+        return Err(format!(
+            "observability overhead {:.2}% exceeds the 5% gate \
+             (instrumented {instr_ms:.3}ms vs noop {noop_ms:.3}ms)",
+            (instr_ms / noop_ms.max(1e-9) - 1.0) * 1e2
+        ));
+    }
+    eprintln!(
+        "microbench --check: obs overhead {:.2}% (instrumented {instr_ms:.3}ms, noop {noop_ms:.3}ms)",
+        (instr_ms / noop_ms.max(1e-9) - 1.0) * 1e2
+    );
     Ok(())
 }
 
@@ -458,7 +530,20 @@ fn main() -> ExitCode {
         }
     }
 
-    match write_json(&args, cores, &timings) {
+    let obs = match obs_overhead_ms(args.reps.max(3), 200) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("microbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  obs_overhead: instrumented {:.3} ms, noop {:.3} ms ({:+.2}%)",
+        obs.0,
+        obs.1,
+        (obs.0 / obs.1.max(1e-9) - 1.0) * 1e2
+    );
+    match write_json(&args, cores, &timings, obs) {
         Ok(()) => {
             eprintln!("microbench: wrote {}", args.out);
             ExitCode::SUCCESS

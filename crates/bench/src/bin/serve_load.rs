@@ -12,8 +12,15 @@
 //! cargo run --release -p vkg-bench --bin serve_load -- --qps 150 --seconds 2 --seed 7 --check
 //! ```
 //!
-//! `--check` exits non-zero unless every completed request succeeded
-//! and at least one completed — the CI tier-2 gate.
+//! `--check` exits non-zero unless every completed request succeeded,
+//! at least one completed, and the server's own telemetry (fetched over
+//! the `Metrics` wire opcode before shutdown) reconciles with what the
+//! clients observed: `admitted == answered` once the senders drained,
+//! the server's shed count matches the client-observed overload
+//! rejections, and the server-side p50 sits at or below the
+//! client-side p50 (plus one histogram bucket of tolerance) — the CI
+//! tier-2 gate. `--metrics-out PATH` writes the full server snapshot in
+//! the `vkg-obs` text exposition format as a run artifact.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -21,10 +28,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 use vkg::sync::{AtomicU64, Ordering};
 
+use vkg::obs::expo;
 use vkg::prelude::*;
 use vkg_bench::latency::Histogram;
 use vkg_bench::setup::{self, Scale};
 use vkg_bench::workload;
+use vkg_server::server::names;
 use vkg_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
 
 struct Args {
@@ -36,6 +45,7 @@ struct Args {
     workers: usize,
     queue_capacity: usize,
     check: bool,
+    metrics_out: Option<String>,
 }
 
 impl Default for Args {
@@ -49,6 +59,7 @@ impl Default for Args {
             workers: 4,
             queue_capacity: 128,
             check: false,
+            metrics_out: None,
         }
     }
 }
@@ -56,7 +67,8 @@ impl Default for Args {
 fn usage() {
     eprintln!(
         "usage: serve_load [--qps N] [--seconds N] [--connections N] [--seed N]\n\
-         \x20                 [--write-ratio F] [--workers N] [--queue N] [--check]"
+         \x20                 [--write-ratio F] [--workers N] [--queue N] [--check]\n\
+         \x20                 [--metrics-out PATH]"
     );
 }
 
@@ -82,6 +94,13 @@ fn parse_args() -> Option<Args> {
             "--workers" => a.workers = num("--workers")? as usize,
             "--queue" => a.queue_capacity = num("--queue")? as usize,
             "--check" => a.check = true,
+            "--metrics-out" => match args.next() {
+                Some(path) => a.metrics_out = Some(path),
+                None => {
+                    eprintln!("serve_load: --metrics-out wants a path");
+                    return None;
+                }
+            },
             _ => {
                 usage();
                 return None;
@@ -121,7 +140,7 @@ fn main() -> ExitCode {
             ..setup::bench_config()
         },
     ));
-    let handle = Server::start(
+    let handle = match Server::start(
         Arc::clone(&vkg),
         "127.0.0.1:0",
         ServerConfig {
@@ -129,8 +148,13 @@ fn main() -> ExitCode {
             queue_capacity: args.queue_capacity,
             ..ServerConfig::default()
         },
-    )
-    .expect("bind loopback server");
+    ) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve_load: cannot bind loopback server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let addr = handle.addr();
 
     let total = (args.qps * args.seconds).ceil() as u64;
@@ -152,8 +176,15 @@ fn main() -> ExitCode {
             let write_ratio = args.write_ratio;
             let qps = args.qps;
             thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect load connection");
                 let mut tally = Tally::default();
+                let mut client = match Client::connect(addr) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        eprintln!("serve_load: connection {c} failed to connect: {e}");
+                        tally.errors += 1;
+                        return tally;
+                    }
+                };
                 loop {
                     // relaxed: a ticket dispenser; each thread only needs a unique value, not ordering.
                     let i = tickets.fetch_add(1, Ordering::Relaxed);
@@ -219,14 +250,28 @@ fn main() -> ExitCode {
 
     let mut merged = Tally::default();
     for s in senders {
-        let t = s.join().expect("sender thread");
-        merged.completed += t.completed;
-        merged.shed += t.shed;
-        merged.deadline_expired += t.deadline_expired;
-        merged.errors += t.errors;
-        merged.hist.merge(&t.hist);
+        match s.join() {
+            Ok(t) => {
+                merged.completed += t.completed;
+                merged.shed += t.shed;
+                merged.deadline_expired += t.deadline_expired;
+                merged.errors += t.errors;
+                merged.hist.merge(&t.hist);
+            }
+            Err(_) => {
+                eprintln!("serve_load: a sender thread panicked");
+                merged.errors += 1;
+            }
+        }
     }
     let elapsed = start.elapsed();
+
+    // Every sender has its answer, so the queue is drained — fetch the
+    // server's own telemetry over the wire before shutting it down.
+    let metrics = Client::connect(addr)
+        .and_then(|mut c| c.metrics(64))
+        .map_err(|e| eprintln!("serve_load: metrics fetch failed: {e}"))
+        .ok();
     let counters = handle.shutdown();
 
     let issued = merged.completed + merged.shed + merged.deadline_expired + merged.errors;
@@ -256,6 +301,35 @@ fn main() -> ExitCode {
         counters.deadline_expired,
         counters.drained
     );
+    if let Some(m) = &metrics {
+        let server_p50_us = m
+            .snapshot
+            .hist(names::LATENCY_US)
+            .map(|h| h.quantile_us(0.50))
+            .unwrap_or(0);
+        println!(
+            "  server telemetry (epoch {}): spans recorded={} dropped={} p50={:.2}ms",
+            m.epoch,
+            m.snapshot.spans_recorded,
+            m.snapshot.spans_dropped,
+            server_p50_us as f64 / 1e3,
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        match &metrics {
+            Some(m) => {
+                if let Err(e) = std::fs::write(path, expo::render(&m.snapshot)) {
+                    eprintln!("serve_load: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("  metrics snapshot written to {path}");
+            }
+            None => {
+                eprintln!("serve_load: --metrics-out set but the metrics fetch failed");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if args.check {
         if merged.errors > 0 {
@@ -276,7 +350,50 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        println!("serve_load: CHECK OK");
+        let Some(m) = &metrics else {
+            eprintln!("serve_load: CHECK FAILED — metrics opcode did not answer");
+            return ExitCode::FAILURE;
+        };
+        // The snapshot was taken after every sender had its answer, so
+        // the exported gauges must already agree with each other and
+        // with what the clients saw — not just the post-shutdown
+        // counters.
+        let g = |name: &str| m.snapshot.gauge(name).unwrap_or(u64::MAX);
+        if g(names::ADMITTED) != g(names::ANSWERED) {
+            eprintln!(
+                "serve_load: CHECK FAILED — exported admitted {} != answered {} after drain",
+                g(names::ADMITTED),
+                g(names::ANSWERED)
+            );
+            return ExitCode::FAILURE;
+        }
+        if g(names::SHED) != merged.shed {
+            eprintln!(
+                "serve_load: CHECK FAILED — server shed {} != client-observed rejections {}",
+                g(names::SHED),
+                merged.shed
+            );
+            return ExitCode::FAILURE;
+        }
+        // Server spans cover admission → encode, a strict sub-interval
+        // of each client-measured request, so the server p50 may not
+        // exceed the client p50 by more than one geometric bucket
+        // (≈9%) plus a small absolute allowance for bucket rounding.
+        let server_p50_us = m
+            .snapshot
+            .hist(names::LATENCY_US)
+            .map(|h| h.quantile_us(0.50))
+            .unwrap_or(u64::MAX);
+        let client_p50_us = merged.hist.quantile(0.50).as_micros() as f64;
+        let allowed_us = client_p50_us * 1.10 + 1_000.0;
+        if server_p50_us as f64 > allowed_us {
+            eprintln!(
+                "serve_load: CHECK FAILED — server p50 {server_p50_us}µs exceeds \
+                 client p50 {client_p50_us}µs beyond tolerance ({allowed_us:.0}µs)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("serve_load: CHECK OK (telemetry reconciled)");
     }
     ExitCode::SUCCESS
 }

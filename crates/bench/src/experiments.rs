@@ -9,7 +9,9 @@
 //! which query stream it sees.
 
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use vkg::obs::Stopwatch;
 
 use vkg::prelude::*;
 
@@ -162,7 +164,7 @@ fn run_method(
     timed_build: bool,
     build: impl FnOnce() -> Box<dyn QueryEngine>,
 ) -> MethodRun {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut engine = build();
     let build = if timed_build {
         t0.elapsed()
@@ -176,7 +178,7 @@ fn run_method(
     let mut precision_sum = 0.0;
     let mut precision_n = 0usize;
     for (i, q) in queries.iter().enumerate() {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let answer = workload::run(engine.as_mut(), snap, q, k);
         let dt = t.elapsed();
         if PROBE_QUERIES.contains(&(i + 1)) {
@@ -258,6 +260,7 @@ fn run_h2alsh(p: &Prepared, snap: &VkgSnapshot, k: usize, scale: Scale, label: &
         .collect();
     let likes = graph
         .relation_id("likes")
+        // lint: allow(no-unwrap, harness precondition: callers pass movie/amazon datasets, which define "likes")
         .expect("movie/amazon datasets define a likes relation");
     let queries: Vec<Query> = (0..steady_queries(scale) + 20)
         .map(|i| Query {
@@ -275,6 +278,7 @@ fn run_h2alsh(p: &Prepared, snap: &VkgSnapshot, k: usize, scale: Scale, label: &
         true,
         || match H2AlshEngine::build(snap, items, H2AlshConfig::default()) {
             Ok(e) => Box::new(e),
+            // lint: allow(no-unwrap, harness invariant: the item filter above yields a non-empty in-range corpus)
             Err(e) => panic!("item corpus is non-empty and in range: {e}"),
         },
     )
@@ -526,6 +530,7 @@ fn aggregate_sweep(
             .take(8)
             .collect()
     } else {
+        // lint: allow(no-unwrap, harness precondition: the non-freebase branch only sees movie/amazon datasets)
         let likes = p.dataset.graph.relation_id("likes").unwrap();
         p.dataset
             .graph
@@ -583,7 +588,7 @@ fn aggregate_sweep(
                     _ => continue,
                 };
             let spec = base_spec(if a == usize::MAX { None } else { Some(a) });
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let est = match engine.aggregate(&snap, q.entity, q.relation, q.direction, &spec) {
                 Ok(r) => r,
                 Err(_) => continue,
@@ -632,7 +637,7 @@ fn ablation_alpha(scale: Scale, out: &Path) {
         let mut prec = 0.0;
         let mut n_prec = 0usize;
         for (i, q) in queries.iter().enumerate() {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let answer = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();
@@ -671,7 +676,7 @@ fn ablation_epsilon(scale: Scale, out: &Path) {
         let mut n_prec = 0usize;
         let mut evals = 0u64;
         for (i, q) in queries.iter().enumerate() {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let answer = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();
@@ -713,7 +718,7 @@ fn ablation_beta(scale: Scale, out: &Path) {
         let mut engine = IndexState::cracking(&snap);
         let mut time = Duration::ZERO;
         for (i, q) in queries.iter().enumerate() {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let _ = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();
@@ -784,7 +789,7 @@ fn ablation_cost(scale: Scale, out: &Path) {
         let mut examined = 0u64;
         for (i, q) in queries.iter().enumerate() {
             engine.reset_access_counters();
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let _ = workload::run(&mut engine, &snap, q, 10);
             if i >= 20 {
                 time += t0.elapsed();

@@ -1,130 +1,24 @@
-//! Hand-rolled latency histogram for the serving-layer load generator.
+//! Latency histogram for the serving-layer load generator.
 //!
-//! Geometric buckets (≈9% relative width) over microseconds give
-//! HDR-style bounded relative error for quantiles without storing raw
-//! samples; the maximum is tracked exactly. Per-connection histograms
-//! [`Histogram::merge`] into one report.
+//! The hand-rolled geometric histogram that used to live here moved
+//! into `vkg-obs` (as [`vkg::obs::Histogram`]) when the observability
+//! subsystem landed, so the server, the facade registry, and this load
+//! generator all bucket latencies identically — which is what makes the
+//! server-vs-client quantile cross-check in `serve_load --check`
+//! meaningful. This module is now a thin re-export plus the
+//! bench-side property tests that pin the merge and exposition
+//! behaviour the cross-check relies on.
 
-use std::time::Duration;
-
-/// Bucket boundaries grow by this factor: `ceil(bucket upper bound) =
-/// GROWTH^(i+1)` microseconds, so any reported quantile is within one
-/// growth step of the true value.
-const GROWTH: f64 = 1.09;
-
-/// Fixed bucket count covers `GROWTH^BUCKETS` µs ≈ 36 minutes — beyond
-/// any sane request latency; slower samples clamp into the last bucket.
-const BUCKETS: usize = 256;
-
-/// A fixed-size geometric latency histogram.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    counts: [u64; BUCKETS],
-    total: u64,
-    max_us: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            counts: [0; BUCKETS],
-            total: 0,
-            max_us: 0,
-        }
-    }
-
-    fn bucket_of(us: u64) -> usize {
-        // log_GROWTH(us), computed without floats drifting at the low
-        // end: bucket 0 holds [0, 1] µs.
-        if us <= 1 {
-            return 0;
-        }
-        let idx = (us as f64).ln() / GROWTH.ln();
-        (idx.ceil() as usize).min(BUCKETS - 1)
-    }
-
-    /// Upper bound (µs) of a bucket, the value quantiles report.
-    fn bucket_upper(idx: usize) -> u64 {
-        if idx == 0 {
-            return 1;
-        }
-        GROWTH.powi(idx as i32).ceil() as u64
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.counts[Self::bucket_of(us)] += 1;
-        self.total += 1;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Number of recorded samples.
-    pub fn len(&self) -> u64 {
-        self.total
-    }
-
-    /// Whether no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// Exact maximum recorded latency.
-    pub fn max(&self) -> Duration {
-        Duration::from_micros(self.max_us)
-    }
-
-    /// The latency at quantile `q ∈ [0, 1]`, within one bucket's
-    /// relative error (and never above the exact maximum). Returns zero
-    /// for an empty histogram.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return Duration::from_micros(Self::bucket_upper(idx).min(self.max_us));
-            }
-        }
-        self.max()
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.max_us = self.max_us.max(other.max_us);
-    }
-
-    /// One-line `p50/p95/p99/max` summary in milliseconds.
-    pub fn summary(&self) -> String {
-        let ms = |d: Duration| d.as_secs_f64() * 1e3;
-        format!(
-            "p50={:.2}ms p95={:.2}ms p99={:.2}ms max={:.2}ms (n={})",
-            ms(self.quantile(0.50)),
-            ms(self.quantile(0.95)),
-            ms(self.quantile(0.99)),
-            ms(self.max()),
-            self.total,
-        )
-    }
-}
+pub use vkg::obs::Histogram;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use std::time::Duration;
+
+    use proptest::prelude::*;
+    use vkg::obs::{expo, HistSnapshot, MetricsSnapshot};
+
+    use super::Histogram;
 
     #[test]
     fn empty_histogram_reports_zero() {
@@ -144,17 +38,9 @@ mod tests {
         for (q, exact) in [(0.50, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
             let got = h.quantile(q).as_micros() as f64;
             let rel = (got - exact).abs() / exact;
-            assert!(rel < GROWTH - 1.0 + 0.01, "q{q}: got {got}, want ≈{exact}");
+            assert!(rel < 0.10, "q{q}: got {got}, want ≈{exact}");
         }
         assert_eq!(h.max(), Duration::from_micros(10_000));
-    }
-
-    #[test]
-    fn quantile_never_exceeds_exact_max() {
-        let mut h = Histogram::new();
-        h.record(Duration::from_micros(777));
-        assert_eq!(h.quantile(0.99), Duration::from_micros(777));
-        assert_eq!(h.quantile(1.0), Duration::from_micros(777));
     }
 
     #[test]
@@ -172,19 +58,62 @@ mod tests {
             whole.record(d);
         }
         a.merge(&b);
-        assert_eq!(a.len(), whole.len());
-        assert_eq!(a.max(), whole.max());
-        for q in [0.5, 0.9, 0.95, 0.99] {
-            assert_eq!(a.quantile(q), whole.quantile(q));
-        }
+        assert_eq!(a, whole);
     }
 
-    #[test]
-    fn oversized_samples_clamp_into_last_bucket() {
-        let mut h = Histogram::new();
-        h.record(Duration::from_secs(86_400));
-        assert_eq!(h.len(), 1);
-        assert_eq!(h.max(), Duration::from_secs(86_400));
-        assert!(h.quantile(0.5) <= h.max());
+    proptest! {
+        /// Merged quantiles are sandwiched: for every q, the merged
+        /// histogram's quantile is at least the smaller of the two
+        /// parts' quantiles and never exceeds the exact maximum over
+        /// both parts (`max(a.max(), b.max())`).
+        #[test]
+        fn merge_quantiles_bounded_by_parts(
+            xs in prop::collection::vec(0u64..2_000_000, 1..200),
+            ys in prop::collection::vec(0u64..2_000_000, 1..200),
+        ) {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for &us in &xs {
+                a.record_us(us);
+            }
+            for &us in &ys {
+                b.record_us(us);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            prop_assert_eq!(merged.len(), a.len() + b.len());
+            prop_assert_eq!(merged.max_us(), a.max_us().max(b.max_us()));
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                let m = merged.quantile(q);
+                prop_assert!(m >= a.quantile(q).min(b.quantile(q)),
+                    "q{}: merged {:?} below both parts", q, m);
+                prop_assert!(m <= a.max().max(b.max()),
+                    "q{}: merged {:?} above max(a, b)", q, m);
+            }
+        }
+
+        /// A histogram survives the snapshot → text exposition → parse
+        /// → rebuild path with every quantile intact — the load
+        /// generator's `--metrics-out` artifact is lossless.
+        #[test]
+        fn exposition_roundtrip_preserves_quantiles(
+            xs in prop::collection::vec(0u64..10_000_000, 0..300),
+        ) {
+            let mut h = Histogram::new();
+            for &us in &xs {
+                h.record_us(us);
+            }
+            let snap = MetricsSnapshot {
+                hists: vec![("client.latency_us".into(), HistSnapshot::from_histogram(&h))],
+                ..MetricsSnapshot::default()
+            };
+            let parsed = expo::parse(&expo::render(&snap)).expect("render output must parse");
+            prop_assert_eq!(&parsed, &snap);
+            let back = parsed.hist("client.latency_us").expect("hist present").to_histogram();
+            prop_assert_eq!(&back, &h);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(back.quantile(q), h.quantile(q));
+            }
+        }
     }
 }

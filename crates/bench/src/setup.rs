@@ -115,6 +115,7 @@ impl Prepared {
             cfg,
         ) {
             Ok(s) => s,
+            // lint: allow(no-unwrap, Prepared constructors validate the dataset/embedding pairing)
             Err(e) => panic!("prepared data is internally consistent: {e}"),
         }
     }

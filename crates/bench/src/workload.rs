@@ -52,6 +52,7 @@ pub fn generate(graph: &KnowledgeGraph, n: usize, seed: u64) -> Vec<Query> {
 pub fn run(engine: &mut dyn QueryEngine, snap: &VkgSnapshot, q: &Query, k: usize) -> TopKResult {
     match engine.top_k(snap, q.entity, q.relation, q.direction, k) {
         Ok(r) => r,
+        // lint: allow(no-unwrap, harness invariant: queries come from generate() over this graph)
         Err(e) => panic!("generated queries use valid ids: {e}"),
     }
 }
@@ -68,6 +69,7 @@ pub fn precision_vs_reference(
 ) -> f64 {
     let truth = match engine.reference_top_k(snap, q.entity, q.relation, q.direction, k) {
         Ok(t) => t,
+        // lint: allow(no-unwrap, harness invariant: queries come from generate() over this graph)
         Err(e) => panic!("generated queries use valid ids: {e}"),
     };
     if truth.is_empty() {

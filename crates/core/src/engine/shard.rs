@@ -45,8 +45,8 @@
 //! the global epoch *and* its shard's epoch as pinned for the duration.
 
 use vkg_kg::RelationId;
-use vkg_sync::pool::Pool;
-use vkg_sync::{AtomicU64, Mutex, Ordering, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use vkg_sync::pool::{Pool, PoolStats};
+use vkg_sync::{Arc, AtomicU64, Mutex, Ordering, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::config::VkgConfig;
 use crate::geometry::{Mbr, PointSet};
@@ -149,6 +149,14 @@ pub struct ShardedEngine {
     crack_log: Mutex<CrackLog>,
     name: &'static str,
     accuracy: Accuracy,
+    /// Dispatch statistics shared by every shard's kernel pool (and the
+    /// build-time projection pool), so observability can report how
+    /// often kernels ran serial vs. parallel.
+    pool_stats: Arc<PoolStats>,
+    /// Crack regions appended to the shared log (across all shards).
+    cracks_published: AtomicU64,
+    /// Log entries replayed onto lagging shards' trees.
+    cracks_replayed: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -168,16 +176,31 @@ impl ShardedEngine {
     fn build(snap: &VkgSnapshot, bulk: bool) -> Self {
         let cfg = snap.config();
         let count = cfg.shards.max(1);
-        let pool = Pool::new(cfg.threads);
+        let pool_stats = Arc::new(PoolStats::new());
+        let pool = Pool::new(cfg.threads).with_stats(pool_stats.clone());
         let points = snap.project_points_pooled(&pool);
         // Crack-log replication only matters with siblings to keep in
         // step; one shard skips journaling and runs the old exact path.
         let journal = count > 1;
         let mut shards = Vec::with_capacity(count);
         for i in 0..count - 1 {
-            shards.push(make_shard(points.clone(), cfg, bulk, i, journal));
+            shards.push(make_shard(
+                points.clone(),
+                cfg,
+                bulk,
+                i,
+                journal,
+                &pool_stats,
+            ));
         }
-        shards.push(make_shard(points, cfg, bulk, count - 1, journal));
+        shards.push(make_shard(
+            points,
+            cfg,
+            bulk,
+            count - 1,
+            journal,
+            &pool_stats,
+        ));
         Self {
             shards,
             crack_log: Mutex::with_name(
@@ -189,7 +212,30 @@ impl ShardedEngine {
             ),
             name: if bulk { "bulk-load R-tree" } else { "cracking" },
             accuracy: Accuracy::Approximate { min_overlap: 0.5 },
+            pool_stats,
+            cracks_published: AtomicU64::new(0),
+            cracks_replayed: AtomicU64::new(0),
         }
+    }
+
+    /// Dispatch statistics for the engine's kernel pools (shared by
+    /// every shard): serial vs. parallel runs and chunks claimed.
+    pub fn pool_stats(&self) -> &Arc<PoolStats> {
+        &self.pool_stats
+    }
+
+    /// Crack regions this engine has appended to the shared crack log.
+    /// Zero for one-shard engines (nothing journals).
+    pub fn cracks_published(&self) -> u64 {
+        // relaxed: pure statistic; no reader infers other state from it.
+        self.cracks_published.load(Ordering::Relaxed)
+    }
+
+    /// Log entries replayed onto lagging shards (each pending entry
+    /// counts once per shard that replays it).
+    pub fn cracks_replayed(&self) -> u64 {
+        // relaxed: pure statistic; no reader infers other state from it.
+        self.cracks_replayed.load(Ordering::Relaxed)
     }
 
     /// Number of shards (the configured `VkgConfig::shards`).
@@ -263,6 +309,11 @@ impl ShardedEngine {
             log.compact_if_converged();
             pending
         };
+        if !pending.is_empty() {
+            // relaxed: pure statistic; no reader infers other state from it.
+            self.cracks_replayed
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        }
         for region in &pending {
             state.index_mut().replay_crack(region);
         }
@@ -280,6 +331,9 @@ impl ShardedEngine {
         if fresh.is_empty() {
             return;
         }
+        // relaxed: pure statistic; no reader infers other state from it.
+        self.cracks_published
+            .fetch_add(fresh.len() as u64, Ordering::Relaxed);
         let mut log = self.crack_log.lock();
         let at_tail = log.applied[i] == log.entries.len();
         log.entries.extend(fresh);
@@ -350,8 +404,15 @@ impl ShardedEngine {
     }
 }
 
-fn make_shard(points: PointSet, cfg: &VkgConfig, bulk: bool, i: usize, journal: bool) -> Shard {
-    let pool = Pool::new(cfg.threads);
+fn make_shard(
+    points: PointSet,
+    cfg: &VkgConfig,
+    bulk: bool,
+    i: usize,
+    journal: bool,
+    stats: &Arc<PoolStats>,
+) -> Shard {
+    let pool = Pool::new(cfg.threads).with_stats(stats.clone());
     let state = if bulk {
         let mut index = CrackingIndex::bulk_load_with_pool(
             points,
@@ -727,6 +788,12 @@ mod tests {
         // each sibling tree is structurally identical to the single
         // tree that saw the whole crack sequence directly.
         drop(e2.lock_all());
+        // The crack traffic is observable: siblings published and
+        // replayed entries, while the one-shard engine journaled nothing.
+        assert!(e2.cracks_published() > 0, "siblings must journal cracks");
+        assert!(e2.cracks_replayed() > 0, "laggards must replay cracks");
+        assert_eq!(e1.cracks_published(), 0);
+        assert_eq!(e1.cracks_replayed(), 0);
         let reference = e1.read_shard(0).index().node_count();
         assert!(reference > 1, "fixture must actually crack");
         for i in 0..2 {

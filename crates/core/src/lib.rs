@@ -27,6 +27,9 @@
 //!   epochs, routed by hashing relation ids.
 //! * [`error`] — the workspace [`VkgError`] type threaded through every
 //!   fallible engine entry point.
+//! * [`metrics`] — the per-facade `vkg-obs` registry and the typed
+//!   handles the query paths record into (queries, refine steps,
+//!   latency), plus sampling of engine-side counters into gauges.
 //! * [`vkg`] — the `VirtualKnowledgeGraph` facade assembling an
 //!   `Arc<VkgSnapshot>` + locked [`engine::IndexState`] into one
 //!   queryable object (Definition 1).
@@ -39,6 +42,7 @@ pub mod engine;
 pub mod error;
 pub mod geometry;
 pub mod index;
+pub mod metrics;
 pub mod query;
 pub mod rtree;
 pub mod snapshot;
@@ -52,6 +56,7 @@ pub use engine::{
 };
 pub use error::{VkgError, VkgResult};
 pub use index::CrackingIndex;
+pub use metrics::VkgMetrics;
 pub use query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
 pub use query::topk::TopKResult;
 pub use snapshot::{Direction, VkgSnapshot};

@@ -1,0 +1,140 @@
+//! Facade-level observability: the `vkg-obs` registry owned by each
+//! [`crate::VirtualKnowledgeGraph`] and the typed metric handles its
+//! query paths record into.
+//!
+//! The handles are resolved **once** at assembly, so the per-query hot
+//! path pays one atomic add per counter and one short mutex hold for
+//! the latency histogram — never a name lookup. Engine-side statistics
+//! that already exist as plain counters ([`crate::IndexStats`], pool
+//! dispatch counts, crack-log traffic) are *sampled* into gauges when a
+//! snapshot is taken rather than double-counted on the hot path.
+
+use vkg_obs::{Clock, Counter, Gauge, HistogramCell, MetricsSnapshot, Registry, Tick};
+
+use crate::engine::ShardedEngine;
+
+/// Metric names exported by the facade (`core.*` namespace). Kept as
+/// constants so exporters and cross-checks reference one spelling.
+pub mod names {
+    /// Queries served (top-k, filtered top-k, and aggregates).
+    pub const QUERIES: &str = "core.queries";
+    /// Queries that returned a typed error.
+    pub const QUERY_ERRORS: &str = "core.query_errors";
+    /// Refine steps (S₁ distance evaluations) across served queries.
+    pub const REFINE_STEPS: &str = "core.refine_steps";
+    /// End-to-end facade query latency, microseconds.
+    pub const QUERY_LATENCY_US: &str = "core.query_latency_us";
+    /// Sampled: binary splits performed across shards.
+    pub const INDEX_SPLITS: &str = "core.index.splits";
+    /// Sampled: tree nodes across shards.
+    pub const INDEX_NODES: &str = "core.index.nodes";
+    /// Sampled: approximate index bytes across shards.
+    pub const INDEX_BYTES: &str = "core.index.bytes";
+    /// Sampled: cumulative S₁ distance evaluations across shards.
+    pub const INDEX_S1_EVALS: &str = "core.index.s1_evals";
+    /// Sampled: crack regions appended to the shared crack log.
+    pub const CRACKS_PUBLISHED: &str = "core.cracklog.published";
+    /// Sampled: crack-log entries replayed onto lagging shards.
+    pub const CRACKS_REPLAYED: &str = "core.cracklog.replayed";
+    /// Sampled: kernel pool jobs that ran on the exact serial path.
+    pub const POOL_SERIAL_RUNS: &str = "core.pool.serial_runs";
+    /// Sampled: kernel pool jobs dispatched across worker threads.
+    pub const POOL_PARALLEL_RUNS: &str = "core.pool.parallel_runs";
+    /// Sampled: chunks handed to parallel claim loops.
+    pub const POOL_CHUNKS_CLAIMED: &str = "core.pool.chunks_claimed";
+}
+
+/// The registry plus pre-resolved handles a facade records into.
+#[derive(Debug)]
+pub struct VkgMetrics {
+    registry: Registry,
+    clock: Clock,
+    queries: Counter,
+    query_errors: Counter,
+    refine_steps: Counter,
+    latency: HistogramCell,
+    index_splits: Gauge,
+    index_nodes: Gauge,
+    index_bytes: Gauge,
+    index_s1_evals: Gauge,
+    cracks_published: Gauge,
+    cracks_replayed: Gauge,
+    pool_serial: Gauge,
+    pool_parallel: Gauge,
+    pool_chunks: Gauge,
+}
+
+impl VkgMetrics {
+    /// Resolves every handle against `registry`. With a
+    /// [`Registry::noop`] registry every handle is a no-op too — the
+    /// configuration the overhead microbench compares against.
+    pub fn new(registry: Registry, clock: Clock) -> Self {
+        Self {
+            queries: registry.counter(names::QUERIES),
+            query_errors: registry.counter(names::QUERY_ERRORS),
+            refine_steps: registry.counter(names::REFINE_STEPS),
+            latency: registry.histogram(names::QUERY_LATENCY_US),
+            index_splits: registry.gauge(names::INDEX_SPLITS),
+            index_nodes: registry.gauge(names::INDEX_NODES),
+            index_bytes: registry.gauge(names::INDEX_BYTES),
+            index_s1_evals: registry.gauge(names::INDEX_S1_EVALS),
+            cracks_published: registry.gauge(names::CRACKS_PUBLISHED),
+            cracks_replayed: registry.gauge(names::CRACKS_REPLAYED),
+            pool_serial: registry.gauge(names::POOL_SERIAL_RUNS),
+            pool_parallel: registry.gauge(names::POOL_PARALLEL_RUNS),
+            pool_chunks: registry.gauge(names::POOL_CHUNKS_CLAIMED),
+            registry,
+            clock,
+        }
+    }
+
+    /// The registry behind the handles (export surfaces snapshot it).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The clock query latencies are measured on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Records one served query: latency since `start`, the refine
+    /// steps it performed, and whether it returned an error.
+    pub fn record_query(&self, start: Tick, refine_steps: u64, ok: bool) {
+        self.record_query_timed(self.clock.since(start), refine_steps, ok);
+    }
+
+    /// Records one served query whose latency was measured externally —
+    /// the server path executes reads inside shard closures and times
+    /// them on its own clock, so ticks from that clock cannot be
+    /// compared against this one.
+    pub fn record_query_timed(&self, latency: std::time::Duration, refine_steps: u64, ok: bool) {
+        self.queries.incr();
+        if !ok {
+            self.query_errors.incr();
+        }
+        self.refine_steps.add(refine_steps);
+        self.latency.record(latency);
+    }
+
+    /// Samples the engine-side counters (index statistics, crack-log
+    /// traffic, pool dispatch) into gauges and returns a full snapshot.
+    /// Takes each shard's read lock briefly (a consistent-per-shard
+    /// sum, like [`ShardedEngine::merged_stats`]).
+    pub fn snapshot_with_engine(&self, engine: &ShardedEngine) -> MetricsSnapshot {
+        if !self.registry.is_noop() {
+            let stats = engine.merged_stats();
+            self.index_splits.set(stats.counters.splits_performed);
+            self.index_nodes.set(stats.nodes as u64);
+            self.index_bytes.set(stats.bytes as u64);
+            self.index_s1_evals.set(stats.counters.s1_distance_evals);
+            self.cracks_published.set(engine.cracks_published());
+            self.cracks_replayed.set(engine.cracks_replayed());
+            let pool = engine.pool_stats();
+            self.pool_serial.set(pool.serial_runs());
+            self.pool_parallel.set(pool.parallel_runs());
+            self.pool_chunks.set(pool.chunks_claimed());
+        }
+        self.registry.snapshot()
+    }
+}

@@ -39,6 +39,7 @@ use std::sync::Arc;
 
 use vkg_embed::EmbeddingStore;
 use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
+use vkg_obs::{Clock, MetricsSnapshot, Registry};
 use vkg_sync::pool::Pool;
 use vkg_sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -46,6 +47,7 @@ use crate::config::VkgConfig;
 use crate::engine::{IndexState, QueryEngine, ShardSetGuard, ShardedEngine};
 use crate::error::{VkgError, VkgResult};
 use crate::index::CrackingIndex;
+use crate::metrics::VkgMetrics;
 use crate::query::aggregate::{self, AggregateResult, AggregateSpec};
 use crate::query::topk::TopKResult;
 use crate::snapshot::VkgSnapshot;
@@ -191,6 +193,7 @@ pub struct MultiAggregateResult {
 pub struct VirtualKnowledgeGraph {
     published: RwLock<Published>,
     engine: ShardedEngine,
+    metrics: VkgMetrics,
 }
 
 impl VirtualKnowledgeGraph {
@@ -214,16 +217,50 @@ impl VirtualKnowledgeGraph {
         }
     }
 
-    /// Fallible form of [`VirtualKnowledgeGraph::assemble`].
+    /// Fallible form of [`VirtualKnowledgeGraph::assemble`]. Metrics
+    /// record into a live per-facade registry on a real clock; use
+    /// [`VirtualKnowledgeGraph::try_assemble_with_metrics`] to supply a
+    /// no-op registry (overhead baselines) or a mock clock.
     pub fn try_assemble(
         graph: KnowledgeGraph,
         attributes: AttributeStore,
         embeddings: EmbeddingStore,
         config: VkgConfig,
     ) -> VkgResult<Self> {
+        Self::try_assemble_with_metrics(
+            graph,
+            attributes,
+            embeddings,
+            config,
+            Registry::active(),
+            Clock::real(),
+        )
+    }
+
+    /// [`VirtualKnowledgeGraph::try_assemble`] with an explicit metrics
+    /// registry and clock. A [`Registry::noop`] registry turns every
+    /// per-query record into a single branch — the configuration the
+    /// overhead microbench compares against.
+    pub fn try_assemble_with_metrics(
+        graph: KnowledgeGraph,
+        attributes: AttributeStore,
+        embeddings: EmbeddingStore,
+        config: VkgConfig,
+        registry: Registry,
+        clock: Clock,
+    ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
         let engine = ShardedEngine::cracking(&snapshot);
-        Ok(Self {
+        Ok(Self::from_parts(snapshot, engine, registry, clock))
+    }
+
+    fn from_parts(
+        snapshot: Arc<VkgSnapshot>,
+        engine: ShardedEngine,
+        registry: Registry,
+        clock: Clock,
+    ) -> Self {
+        Self {
             published: RwLock::with_name(
                 Published {
                     epoch: 0,
@@ -232,7 +269,8 @@ impl VirtualKnowledgeGraph {
                 "vkg.published",
             ),
             engine,
-        })
+            metrics: VkgMetrics::new(registry, clock),
+        }
     }
 
     /// Assembles with a fully **bulk-loaded** offline index (the
@@ -263,16 +301,12 @@ impl VirtualKnowledgeGraph {
     ) -> VkgResult<Self> {
         let snapshot = Arc::new(VkgSnapshot::new(graph, attributes, embeddings, config)?);
         let engine = ShardedEngine::bulk_loaded(&snapshot);
-        Ok(Self {
-            published: RwLock::with_name(
-                Published {
-                    epoch: 0,
-                    snap: snapshot,
-                },
-                "vkg.published",
-            ),
+        Ok(Self::from_parts(
+            snapshot,
             engine,
-        })
+            Registry::active(),
+            Clock::real(),
+        ))
     }
 
     /// The immutable read side, shareable across threads. Clones of this
@@ -332,6 +366,20 @@ impl VirtualKnowledgeGraph {
     /// summed across shards.
     pub fn index_stats(&self) -> IndexStats {
         self.engine.merged_index_stats()
+    }
+
+    /// The facade's metric handles (registry, clock, typed counters).
+    pub fn metrics(&self) -> &VkgMetrics {
+        &self.metrics
+    }
+
+    /// A full metrics snapshot: the per-query counters and latency
+    /// histogram recorded on the hot path, plus engine-side statistics
+    /// (index size, crack-log traffic, pool dispatch) sampled into
+    /// gauges at the moment of the call. Empty if the facade was
+    /// assembled with a [`Registry::noop`] registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot_with_engine(&self.engine)
     }
 
     /// Number of index nodes across all shards (Fig. 9 metric).
@@ -458,9 +506,13 @@ impl VirtualKnowledgeGraph {
         direction: Direction,
         k: usize,
     ) -> VkgResult<TopKResult> {
-        self.with_published_shard(relation, |_pin, snap, state| {
+        let start = self.metrics.clock().now();
+        let r = self.with_published_shard(relation, |_pin, snap, state| {
             state.top_k(snap, entity, relation, direction, k)
-        })
+        });
+        self.metrics
+            .record_query(start, r.as_ref().map_or(0, |t| t.s1_evals), r.is_ok());
+        r
     }
 
     /// Top-k restricted to entities accepted by `filter` (e.g. only
@@ -474,9 +526,13 @@ impl VirtualKnowledgeGraph {
         k: usize,
         filter: impl Fn(EntityId) -> bool,
     ) -> VkgResult<TopKResult> {
-        self.with_published_shard(relation, |_pin, snap, state| {
+        let start = self.metrics.clock().now();
+        let r = self.with_published_shard(relation, |_pin, snap, state| {
             state.top_k_filtered(snap, entity, relation, direction, k, &filter)
-        })
+        });
+        self.metrics
+            .record_query(start, r.as_ref().map_or(0, |t| t.s1_evals), r.is_ok());
+        r
     }
 
     /// Answers an aggregate query over the probability ball around the
@@ -488,9 +544,18 @@ impl VirtualKnowledgeGraph {
         direction: Direction,
         spec: &AggregateSpec,
     ) -> VkgResult<AggregateResult> {
-        self.with_published_shard(relation, |_pin, snap, state| {
+        let start = self.metrics.clock().now();
+        let r = self.with_published_shard(relation, |_pin, snap, state| {
             state.aggregate(snap, entity, relation, direction, spec)
-        })
+        });
+        // Aggregates refine by accessing exact S₁ distances; the access
+        // count is the refine-step analogue top-k reports as s1_evals.
+        self.metrics.record_query(
+            start,
+            r.as_ref().map_or(0, |a| a.accessed as u64),
+            r.is_ok(),
+        );
+        r
     }
 
     /// Answers one aggregate query *per relation* and merges the partial
@@ -518,6 +583,22 @@ impl VirtualKnowledgeGraph {
                 "aggregate_multi needs at least one relation".into(),
             ));
         }
+        let start = self.metrics.clock().now();
+        let r = self.aggregate_multi_inner(entity, relations, direction, spec);
+        let steps = r.as_ref().map_or(0, |m| {
+            m.parts.iter().map(|p| p.result.accessed as u64).sum()
+        });
+        self.metrics.record_query(start, steps, r.is_ok());
+        r
+    }
+
+    fn aggregate_multi_inner(
+        &self,
+        entity: EntityId,
+        relations: &[RelationId],
+        direction: Direction,
+        spec: &AggregateSpec,
+    ) -> VkgResult<MultiAggregateResult> {
         // Group (input slot, relation) by owning shard, preserving input
         // order within each group.
         let shard_count = self.engine.shard_count();
@@ -533,7 +614,9 @@ impl VirtualKnowledgeGraph {
         let slots: Vec<Mutex<Option<VkgResult<RelationAggregate>>>> =
             relations.iter().map(|_| Mutex::new(None)).collect();
         let width = self.config().threads.min(groups.len()).max(1);
-        let pool = Pool::new(width);
+        // The fan-out pool shares the engine's dispatch statistics, so
+        // the serial-vs-parallel gauges cover multi-relation queries too.
+        let pool = Pool::new(width).with_stats(self.engine.pool_stats().clone());
         pool.run(groups.len(), |gi| {
             let (shard, group) = &groups[gi];
             let mut state = self.engine.write_shard(*shard);
@@ -1205,6 +1288,68 @@ mod tests {
             vkg.aggregate_multi(u0, &[likes, RelationId(99)], Direction::Tails, &spec),
             Err(VkgError::UnknownRelation(99))
         ));
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_served_queries() {
+        use crate::metrics::names;
+        let (g, attrs, emb) = tiny_world(8);
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, emb, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let _ = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
+        let _ = vkg
+            .aggregate(u0, likes, Direction::Tails, &AggregateSpec::count(0.05))
+            .unwrap();
+        // An error still counts as a served query.
+        let _ = vkg.top_k(EntityId(999), likes, Direction::Tails, 2);
+        let snap = vkg.metrics_snapshot();
+        assert_eq!(snap.counter(names::QUERIES), Some(3));
+        assert_eq!(snap.counter(names::QUERY_ERRORS), Some(1));
+        assert!(snap.counter(names::REFINE_STEPS).unwrap() > 0);
+        let hist = snap.hist(names::QUERY_LATENCY_US).unwrap();
+        assert_eq!(hist.total, 3);
+        // Engine-side gauges are sampled at snapshot time.
+        assert!(snap.gauge(names::INDEX_NODES).unwrap() >= 1);
+        assert!(snap.gauge(names::INDEX_S1_EVALS).unwrap() > 0);
+        assert_eq!(snap.gauge(names::CRACKS_PUBLISHED), Some(0));
+        assert!(snap.gauge(names::POOL_SERIAL_RUNS).is_some());
+    }
+
+    #[test]
+    fn noop_registry_snapshots_empty() {
+        let (g, attrs, emb) = tiny_world(8);
+        let vkg = VirtualKnowledgeGraph::try_assemble_with_metrics(
+            g,
+            attrs,
+            emb,
+            config(),
+            Registry::noop(),
+            Clock::real(),
+        )
+        .unwrap();
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let _ = vkg.top_k(u0, likes, Direction::Tails, 2).unwrap();
+        let snap = vkg.metrics_snapshot();
+        assert_eq!(snap, vkg_obs::MetricsSnapshot::default());
+        assert!(vkg.metrics().registry().is_noop());
+    }
+
+    #[test]
+    fn aggregate_multi_records_one_query() {
+        use crate::metrics::names;
+        let (g, attrs, store) = tiny_world_two_relations(8);
+        let vkg = VirtualKnowledgeGraph::assemble(g, attrs, store, config());
+        let u0 = vkg.graph().entity_id("u0").unwrap();
+        let likes = vkg.graph().relation_id("likes").unwrap();
+        let bookmarks = vkg.graph().relation_id("bookmarks").unwrap();
+        let spec = AggregateSpec::count(0.05);
+        let _ = vkg
+            .aggregate_multi(u0, &[likes, bookmarks], Direction::Tails, &spec)
+            .unwrap();
+        let snap = vkg.metrics_snapshot();
+        assert_eq!(snap.counter(names::QUERIES), Some(1));
     }
 
     #[test]

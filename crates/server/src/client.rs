@@ -10,7 +10,8 @@ use vkg_core::Direction;
 use vkg_kg::{EntityId, RelationId};
 
 use crate::protocol::{
-    AggregateWire, Request, RequestOp, Response, ServerError, StatsWire, TopKWire, WireFilter,
+    AggregateWire, MetricsWire, Request, RequestOp, Response, ServerError, StatsWire, TopKWire,
+    WireFilter,
 };
 use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME};
 
@@ -204,6 +205,17 @@ impl Client {
             Response::Stats(s) => Ok(s),
             Response::Error(e) => Err(ClientError::Server(e)),
             _ => Err(ClientError::Unexpected("wanted Stats")),
+        }
+    }
+
+    /// The server's observability export: merged facade + server metric
+    /// registries and at most `last_spans` of the newest request spans.
+    /// Answered inline like `stats`, so it works even under overload.
+    pub fn metrics(&mut self, last_spans: u32) -> ClientResult<MetricsWire> {
+        match self.call(&self.request(RequestOp::Metrics { last_spans }))? {
+            Response::Metrics(m) => Ok(m),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted Metrics")),
         }
     }
 

@@ -29,6 +29,13 @@
 //!   protocol, used by the test suite and `vkg-bench`'s `serve_load`
 //!   load generator.
 //!
+//! The server is **observable end-to-end**: every admitted request is
+//! traced into a `vkg-obs` span (queue wait → shard lock → execute →
+//! encode), admission counters and a server-side latency histogram live
+//! in a per-server metrics registry, and the `Metrics` opcode exports
+//! all of it (merged with the engine facade's `core.*` registry) over
+//! the wire — see [`server::names`] and [`protocol::MetricsWire`].
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use vkg_server::{Client, Server, ServerConfig};
@@ -54,8 +61,8 @@ pub mod wire;
 
 pub use client::{Client, ClientError, ClientResult};
 pub use protocol::{
-    AggregateWire, ErrorCode, PredictionWire, Request, RequestOp, Response, ServerCounters,
-    ServerError, StatsWire, TopKWire, WireFilter,
+    AggregateWire, ErrorCode, MetricsWire, PredictionWire, Request, RequestOp, Response,
+    ServerCounters, ServerError, StatsWire, TopKWire, WireFilter,
 };
 pub use server::{Server, ServerConfig, ServerHandle, MAX_REFINE_STEPS};
 pub use wire::{WireError, MAX_FRAME, WIRE_VERSION};

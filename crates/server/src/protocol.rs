@@ -11,6 +11,7 @@ use vkg_core::engine::{Accuracy, EngineStats};
 use vkg_core::query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
 use vkg_core::query::topk::TopKResult;
 use vkg_core::{Direction, VkgError};
+use vkg_obs::{HistSnapshot, MetricsSnapshot, Span, SpanOutcome};
 
 use crate::wire::{Dec, Enc, WireError, WIRE_VERSION};
 
@@ -22,12 +23,14 @@ mod op {
     pub const ADD_FACT: u8 = 0x04;
     pub const STATS: u8 = 0x05;
     pub const SHUTDOWN: u8 = 0x06;
+    pub const METRICS: u8 = 0x07;
 
     pub const R_TOP_K: u8 = 0x81;
     pub const R_AGGREGATE: u8 = 0x82;
     pub const R_FACT_ADDED: u8 = 0x83;
     pub const R_STATS: u8 = 0x84;
     pub const R_SHUTTING_DOWN: u8 = 0x85;
+    pub const R_METRICS: u8 = 0x86;
     pub const R_ERROR: u8 = 0xE0;
 }
 
@@ -133,8 +136,32 @@ pub enum RequestOp {
     },
     /// Engine + server statistics at the current epoch.
     Stats,
+    /// Full observability export: the merged facade + server metrics
+    /// registry and the most recent spans from the server's span ring.
+    Metrics {
+        /// Keep at most this many of the newest spans (the server also
+        /// clamps to its ring capacity).
+        last_spans: u32,
+    },
     /// Begin a graceful drain: stop admitting, finish in-flight work.
     Shutdown,
+}
+
+impl RequestOp {
+    /// The wire opcode this operation encodes as. Also stamped into the
+    /// [`vkg_obs::Span`] traced for the request, so exported spans name
+    /// their operation in the protocol's own vocabulary.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            RequestOp::TopK { .. } => op::TOP_K,
+            RequestOp::TopKFiltered { .. } => op::TOP_K_FILTERED,
+            RequestOp::Aggregate { .. } => op::AGGREGATE,
+            RequestOp::AddFactDynamic { .. } => op::ADD_FACT,
+            RequestOp::Stats => op::STATS,
+            RequestOp::Metrics { .. } => op::METRICS,
+            RequestOp::Shutdown => op::SHUTDOWN,
+        }
+    }
 }
 
 /// One request frame: a deadline plus the operation.
@@ -188,15 +215,7 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         e.u8(WIRE_VERSION);
-        let opcode = match &self.op {
-            RequestOp::TopK { .. } => op::TOP_K,
-            RequestOp::TopKFiltered { .. } => op::TOP_K_FILTERED,
-            RequestOp::Aggregate { .. } => op::AGGREGATE,
-            RequestOp::AddFactDynamic { .. } => op::ADD_FACT,
-            RequestOp::Stats => op::STATS,
-            RequestOp::Shutdown => op::SHUTDOWN,
-        };
-        e.u8(opcode);
+        e.u8(self.op.opcode());
         e.u32(self.deadline_ms);
         match &self.op {
             RequestOp::TopK {
@@ -265,6 +284,9 @@ impl Request {
                 e.u32(*refine_steps);
                 e.f64(*learning_rate);
             }
+            RequestOp::Metrics { last_spans } => {
+                e.u32(*last_spans);
+            }
             RequestOp::Stats | RequestOp::Shutdown => {}
         }
         e.finish()
@@ -321,6 +343,9 @@ impl Request {
                 learning_rate: d.f64()?,
             },
             op::STATS => RequestOp::Stats,
+            op::METRICS => RequestOp::Metrics {
+                last_spans: d.u32()?,
+            },
             op::SHUTDOWN => RequestOp::Shutdown,
             other => return Err(WireError::UnknownOpcode(other)),
         };
@@ -546,6 +571,143 @@ impl StatsWire {
     }
 }
 
+/// A full observability export: the server's merged metric registry
+/// (facade `core.*` names plus server `server.*` names) and the newest
+/// spans from the span ring, stamped with the epoch it was taken at.
+///
+/// Wire shape (after the epoch): counters, gauges, and histograms as
+/// name-prefixed sequences; the span accounting pair; then the spans
+/// themselves, each a fixed 54-byte record. Decoding fails closed like
+/// every other message — declared lengths are bounded against the
+/// remaining payload before allocation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsWire {
+    /// Snapshot epoch at the time of the export.
+    pub epoch: u64,
+    /// The merged registry dump plus last-N spans.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Smallest wire footprint of a named counter/gauge row (empty name).
+const NAMED_U64_MIN_BYTES: usize = 12;
+/// Smallest wire footprint of a named histogram (empty name, no buckets).
+const HIST_MIN_BYTES: usize = 24;
+/// Wire footprint of one `(bucket, count)` pair.
+const BUCKET_PAIR_BYTES: usize = 12;
+/// Wire footprint of one span record.
+const SPAN_WIRE_BYTES: usize = 54;
+
+fn encode_named_u64s(e: &mut Enc, rows: &[(String, u64)]) {
+    // lint: allow(no-truncating-cast, encode side; registries hold tens of metrics, nowhere near 2^32)
+    e.u32(rows.len() as u32);
+    for (name, value) in rows {
+        e.str(name);
+        e.u64(*value);
+    }
+}
+
+fn decode_named_u64s(d: &mut Dec<'_>) -> Result<Vec<(String, u64)>, WireError> {
+    let n = d.seq_len(NAMED_U64_MIN_BYTES)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        rows.push((name, d.u64()?));
+    }
+    Ok(rows)
+}
+
+impl MetricsWire {
+    fn encode(&self, e: &mut Enc) {
+        e.u64(self.epoch);
+        encode_named_u64s(e, &self.snapshot.counters);
+        encode_named_u64s(e, &self.snapshot.gauges);
+        // lint: allow(no-truncating-cast, encode side; registries hold tens of histograms, nowhere near 2^32)
+        e.u32(self.snapshot.hists.len() as u32);
+        for (name, h) in &self.snapshot.hists {
+            e.str(name);
+            e.u64(h.total);
+            e.u64(h.max_us);
+            // lint: allow(no-truncating-cast, encode side; bucket count is bounded by the histogram's fixed resolution)
+            e.u32(h.buckets.len() as u32);
+            for &(bucket, count) in &h.buckets {
+                e.u32(bucket);
+                e.u64(count);
+            }
+        }
+        e.u64(self.snapshot.spans_recorded);
+        e.u64(self.snapshot.spans_dropped);
+        // lint: allow(no-truncating-cast, encode side; span count is bounded by the ring capacity)
+        e.u32(self.snapshot.spans.len() as u32);
+        for s in &self.snapshot.spans {
+            e.u64(s.id);
+            e.u8(s.op);
+            e.u32(s.shard);
+            // lint: allow(no-truncating-cast, encode side; SpanOutcome is a fieldless u8-ranged enum)
+            e.u8(s.outcome as u8);
+            e.u64(s.queue_ns);
+            e.u64(s.lock_ns);
+            e.u64(s.exec_ns);
+            e.u64(s.encode_ns);
+            e.u64(s.refine_steps);
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let epoch = d.u64()?;
+        let counters = decode_named_u64s(d)?;
+        let gauges = decode_named_u64s(d)?;
+        let n_hists = d.seq_len(HIST_MIN_BYTES)?;
+        let mut hists = Vec::with_capacity(n_hists);
+        for _ in 0..n_hists {
+            let name = d.str()?;
+            let total = d.u64()?;
+            let max_us = d.u64()?;
+            let n_buckets = d.seq_len(BUCKET_PAIR_BYTES)?;
+            let mut buckets = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                let bucket = d.u32()?;
+                buckets.push((bucket, d.u64()?));
+            }
+            hists.push((
+                name,
+                HistSnapshot {
+                    total,
+                    max_us,
+                    buckets,
+                },
+            ));
+        }
+        let spans_recorded = d.u64()?;
+        let spans_dropped = d.u64()?;
+        let n_spans = d.seq_len(SPAN_WIRE_BYTES)?;
+        let mut spans = Vec::with_capacity(n_spans);
+        for _ in 0..n_spans {
+            spans.push(Span {
+                id: d.u64()?,
+                op: d.u8()?,
+                shard: d.u32()?,
+                outcome: SpanOutcome::from_u8(d.u8()?),
+                queue_ns: d.u64()?,
+                lock_ns: d.u64()?,
+                exec_ns: d.u64()?,
+                encode_ns: d.u64()?,
+                refine_steps: d.u64()?,
+            });
+        }
+        Ok(MetricsWire {
+            epoch,
+            snapshot: MetricsSnapshot {
+                counters,
+                gauges,
+                hists,
+                spans,
+                spans_recorded,
+                spans_dropped,
+            },
+        })
+    }
+}
+
 /// Why a request was refused or failed — the typed half of
 /// [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -632,6 +794,8 @@ pub enum Response {
     },
     /// Statistics report.
     Stats(StatsWire),
+    /// Observability export (merged registries + recent spans).
+    Metrics(MetricsWire),
     /// Acknowledges a `Shutdown`: the server drains and exits.
     ShuttingDown,
     /// Typed refusal or failure.
@@ -696,6 +860,10 @@ impl Response {
                     e.u64(sh.admitted);
                     e.u64(sh.answered);
                 }
+            }
+            Response::Metrics(m) => {
+                e.u8(op::R_METRICS);
+                m.encode(&mut e);
             }
             Response::ShuttingDown => {
                 e.u8(op::R_SHUTTING_DOWN);
@@ -787,6 +955,7 @@ impl Response {
                     shards
                 },
             }),
+            op::R_METRICS => Response::Metrics(MetricsWire::decode(&mut d)?),
             op::R_SHUTTING_DOWN => Response::ShuttingDown,
             op::R_ERROR => Response::Error(ServerError {
                 code: ErrorCode::from_byte(d.u8()?)?,
@@ -853,6 +1022,10 @@ mod tests {
             },
             Request {
                 deadline_ms: 0,
+                op: RequestOp::Metrics { last_spans: 32 },
+            },
+            Request {
+                deadline_ms: 0,
                 op: RequestOp::Shutdown,
             },
         ];
@@ -890,6 +1063,35 @@ mod tests {
                 added: true,
                 epoch: 9,
             },
+            Response::Metrics(MetricsWire {
+                epoch: 3,
+                snapshot: MetricsSnapshot {
+                    counters: vec![("core.queries".into(), 12), ("server.shed".into(), 0)],
+                    gauges: vec![("server.queue_depth".into(), 2)],
+                    hists: vec![(
+                        "server.latency_us".into(),
+                        HistSnapshot {
+                            total: 3,
+                            max_us: 900,
+                            buckets: vec![(0, 1), (41, 2)],
+                        },
+                    )],
+                    spans: vec![Span {
+                        id: 7,
+                        op: 0x01,
+                        shard: 1,
+                        outcome: SpanOutcome::DeadlineExpired,
+                        queue_ns: 10,
+                        lock_ns: 20,
+                        exec_ns: 30,
+                        encode_ns: 40,
+                        refine_steps: 5,
+                    }],
+                    spans_recorded: 9,
+                    spans_dropped: 2,
+                },
+            }),
+            Response::Metrics(MetricsWire::default()),
             Response::ShuttingDown,
             Response::Error(ServerError {
                 code: ErrorCode::Overloaded,
@@ -922,6 +1124,17 @@ mod tests {
             Request::decode(&payload).unwrap_err(),
             WireError::UnknownOpcode(0x7C)
         );
+    }
+
+    #[test]
+    fn metrics_with_absurd_span_count_rejected() {
+        // An empty export ends with the span-count word; declaring
+        // u32::MAX spans with no bytes behind it must fail closed
+        // before allocation, not panic or allocate 200 GiB.
+        let mut payload = Response::Metrics(MetricsWire::default()).encode();
+        let n = payload.len();
+        payload[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&payload).is_err());
     }
 
     #[test]

@@ -36,25 +36,61 @@
 //! and reported in `Stats`; a graceful drain ends by **quiescing** every
 //! shard (acquiring and releasing all shard locks) so no in-flight
 //! cracking outlives the server.
+//!
+//! # Observability
+//!
+//! Every admitted request is traced into a [`vkg_obs::Span`] — queue
+//! wait → shard lock (including crack-log replay) → execute → encode —
+//! and pushed into a fixed-size lock-free [`SpanRing`]; the admission
+//! counters and a server-side latency histogram live in a `server.*`
+//! [`Registry`] (see [`names`]). The wire `Metrics` opcode (and
+//! [`ServerHandle::metrics`]) exports the server registry merged with
+//! the facade's `core.*` registry plus the newest spans. Like `Stats`
+//! it is answered inline, bypassing admission control, so telemetry
+//! stays reachable precisely when the server is overloaded. All timing
+//! runs on the [`Clock`] in [`ServerConfig::clock`], which tests mock.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use vkg_core::engine::QueryEngine;
 use vkg_core::vkg::VirtualKnowledgeGraph;
 use vkg_kg::{EntityId, RelationId};
+use vkg_obs::{Clock, Gauge, HistogramCell, Registry, Span, SpanOutcome, SpanRing, Tick};
 use vkg_sync::thread::{self, JoinHandle};
-use vkg_sync::{AtomicBool, Ordering};
+use vkg_sync::{AtomicBool, AtomicU64, Ordering};
 
 use crate::protocol::{
-    AggregateWire, ErrorCode, Request, RequestOp, Response, ServerCounters, ServerError,
-    ShardStatsWire, StatsWire, TopKWire, WireFilter,
+    AggregateWire, ErrorCode, MetricsWire, Request, RequestOp, Response, ServerCounters,
+    ServerError, ShardStatsWire, StatsWire, TopKWire, WireFilter,
 };
 use crate::queue::{Admission, Counters, JobQueue, ShardCounters};
 use crate::wire::{write_frame, FrameBuffer, WireError};
+
+/// Metric names exported by the server (`server.*` namespace). The
+/// admission counters are mirrored into gauges at export time — the
+/// [`Counters`] atomics stay the single source of truth — so the wire
+/// `Metrics` export and the `Stats` report can never disagree.
+pub mod names {
+    /// End-to-end server-side latency per answered request
+    /// (queue wait + lock + execute + encode), microseconds.
+    pub const LATENCY_US: &str = "server.latency_us";
+    /// Jobs sitting in the admission queue at export time.
+    pub const QUEUE_DEPTH: &str = "server.queue_depth";
+    /// Mirror of [`ServerCounters::admitted`].
+    pub const ADMITTED: &str = "server.admitted";
+    /// Mirror of [`ServerCounters::answered`].
+    pub const ANSWERED: &str = "server.answered";
+    /// Mirror of [`ServerCounters::shed`].
+    pub const SHED: &str = "server.shed";
+    /// Mirror of [`ServerCounters::deadline_expired`].
+    pub const DEADLINE_EXPIRED: &str = "server.deadline_expired";
+    /// Mirror of [`ServerCounters::drained`].
+    pub const DRAINED: &str = "server.drained";
+}
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -71,6 +107,13 @@ pub struct ServerConfig {
     /// Artificial per-request execution delay — fault injection used by
     /// the overload and deadline tests to make queueing deterministic.
     pub worker_think_time: Option<Duration>,
+    /// Capacity of the lock-free span ring: how many of the most recent
+    /// per-request spans the `Metrics` export can return.
+    pub span_ring: usize,
+    /// The clock every span phase, deadline check, and latency sample is
+    /// measured on. Tests inject [`Clock::mock`] to make timing
+    /// deterministic; the default is the real monotonic clock.
+    pub clock: Clock,
 }
 
 impl Default for ServerConfig {
@@ -81,19 +124,61 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(5),
             max_frame: crate::wire::MAX_FRAME,
             worker_think_time: None,
+            span_ring: 256,
+            clock: Clock::real(),
         }
     }
 }
 
 /// One admitted unit of work.
 struct Job {
+    /// Server-assigned query id, stamped into the traced span.
+    id: u64,
     request: Request,
     /// The engine shard the request routes to (`None` for control
     /// operations, which never reach the queue anyway).
     shard: Option<usize>,
-    admitted_at: Instant,
+    admitted_at: Tick,
     deadline: Duration,
-    reply: mpsc::Sender<Response>,
+    /// The worker sends back the answer plus the span traced for it;
+    /// the connection thread stamps `encode_ns` and publishes the span.
+    reply: mpsc::Sender<(Response, Span)>,
+}
+
+/// Server-side observability: the `server.*` registry, the span ring,
+/// and the clock everything is measured on. Always on — the handles are
+/// atomic adds and the ring never blocks a worker.
+struct Obs {
+    registry: Registry,
+    clock: Clock,
+    ring: SpanRing,
+    next_query_id: AtomicU64,
+    latency: HistogramCell,
+    queue_depth: Gauge,
+    admitted: Gauge,
+    answered: Gauge,
+    shed: Gauge,
+    deadline_expired: Gauge,
+    drained: Gauge,
+}
+
+impl Obs {
+    fn new(cfg: &ServerConfig) -> Self {
+        let registry = Registry::active();
+        Obs {
+            clock: cfg.clock.clone(),
+            ring: SpanRing::new(cfg.span_ring),
+            next_query_id: AtomicU64::new(0),
+            latency: registry.histogram(names::LATENCY_US),
+            queue_depth: registry.gauge(names::QUEUE_DEPTH),
+            admitted: registry.gauge(names::ADMITTED),
+            answered: registry.gauge(names::ANSWERED),
+            shed: registry.gauge(names::SHED),
+            deadline_expired: registry.gauge(names::DEADLINE_EXPIRED),
+            drained: registry.gauge(names::DRAINED),
+            registry,
+        }
+    }
 }
 
 struct Shared {
@@ -103,6 +188,7 @@ struct Shared {
     counters: Counters,
     shard_counters: ShardCounters,
     draining: AtomicBool,
+    obs: Obs,
 }
 
 /// The query server. Construct with [`Server::start`]; the returned
@@ -124,12 +210,14 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shard_counters = ShardCounters::new(vkg.shard_count());
+        let obs = Obs::new(&cfg);
         let shared = Arc::new(Shared {
             vkg,
             queue: JobQueue::new(cfg.queue_capacity),
             counters: Counters::default(),
             shard_counters,
             draining: AtomicBool::new(false),
+            obs,
             cfg,
         });
         let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(shared.cfg.workers);
@@ -195,6 +283,13 @@ impl ServerHandle {
     /// Per-shard `(admitted, answered)` counters, in shard order.
     pub fn shard_counters(&self) -> Vec<(u64, u64)> {
         self.shared.shard_counters.snapshot()
+    }
+
+    /// The merged observability export — identical in content to what
+    /// the wire `Metrics` opcode returns — for in-process callers like
+    /// the load generator's artifact writer.
+    pub fn metrics(&self, last_spans: usize) -> MetricsWire {
+        metrics_export(&self.shared, last_spans)
     }
 
     /// Whether a drain has been triggered (locally or by a client's
@@ -287,9 +382,56 @@ fn sanitize(shared: &Shared, request: &mut Request) -> Result<(), Response> {
                 ));
             }
         }
-        RequestOp::Aggregate { .. } | RequestOp::Stats | RequestOp::Shutdown => {}
+        RequestOp::Aggregate { .. }
+        | RequestOp::Stats
+        | RequestOp::Metrics { .. }
+        | RequestOp::Shutdown => {}
     }
     Ok(())
+}
+
+/// Builds the merged observability export: the facade's `core.*`
+/// registry with engine-side gauges freshly sampled, the server's
+/// `server.*` registry with the admission counters mirrored into
+/// gauges, and the newest `last_spans` spans from the ring.
+fn metrics_export(shared: &Shared, last_spans: usize) -> MetricsWire {
+    let obs = &shared.obs;
+    let counters = shared.counters.snapshot();
+    obs.admitted.set(counters.admitted);
+    obs.answered.set(counters.answered);
+    obs.shed.set(counters.shed);
+    obs.deadline_expired.set(counters.deadline_expired);
+    obs.drained.set(counters.drained);
+    obs.queue_depth
+        .set(u64::try_from(shared.queue.len()).unwrap_or(u64::MAX));
+    for (i, (admitted, answered)) in shared.shard_counters.snapshot().into_iter().enumerate() {
+        // Get-or-create by name: shard count is fixed at start, so after
+        // the first export these are lookups, and exports are rare.
+        obs.registry
+            .gauge(&format!("server.shard{i}.admitted"))
+            .set(admitted);
+        obs.registry
+            .gauge(&format!("server.shard{i}.answered"))
+            .set(answered);
+    }
+    let epoch = shared.vkg.with_published_engine(|pin, _, _| pin.epoch);
+    let mut snap = shared.vkg.metrics_snapshot();
+    let server = obs.registry.snapshot();
+    snap.counters.extend(server.counters);
+    snap.gauges.extend(server.gauges);
+    snap.hists.extend(server.hists);
+    // The merge preserves each registry's sorted order per namespace;
+    // re-sort so consumers see one name-ordered listing.
+    snap.counters.sort();
+    snap.gauges.sort();
+    snap.hists.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.spans = obs.ring.collect(last_spans);
+    snap.spans_recorded = obs.ring.recorded();
+    snap.spans_dropped = obs.ring.dropped();
+    MetricsWire {
+        epoch,
+        snapshot: snap,
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>) {
@@ -424,6 +566,13 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             });
             send(stream, &Response::Stats(stats)).is_ok()
         }
+        RequestOp::Metrics { last_spans } => {
+            // Like `Stats`: side-effect free and answered inline,
+            // bypassing admission control — observability must stay
+            // reachable precisely when the queue is full.
+            let export = metrics_export(shared, last_spans as usize);
+            send(stream, &Response::Metrics(export)).is_ok()
+        }
         _ => {
             if shared.draining.load(Ordering::SeqCst) {
                 shared.counters.record_drained();
@@ -440,9 +589,12 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             let shard = request_shard(shared, &request);
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = Job {
+                // relaxed: a ticket dispenser; span ids need uniqueness,
+                // not ordering with any other state.
+                id: shared.obs.next_query_id.fetch_add(1, Ordering::Relaxed),
                 request,
                 shard,
-                admitted_at: Instant::now(),
+                admitted_at: shared.obs.clock.now(),
                 deadline,
                 reply: reply_tx,
             };
@@ -452,10 +604,27 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
                     if let Some(shard) = shard {
                         shared.shard_counters.record_admitted(shard);
                     }
-                    let response = reply_rx.recv().unwrap_or_else(|_| {
-                        refusal(ErrorCode::Internal, "worker pool disappeared")
-                    });
-                    send(stream, &response).is_ok()
+                    match reply_rx.recv() {
+                        Ok((response, mut span)) => {
+                            // Encode on the connection thread so the
+                            // worker is already free; the span is
+                            // published only once its last phase is in.
+                            let enc_start = shared.obs.clock.now();
+                            let payload = encode_bounded(&response);
+                            span.encode_ns = shared.obs.clock.now().since(enc_start);
+                            shared
+                                .obs
+                                .latency
+                                .record(Duration::from_nanos(span.total_ns()));
+                            shared.obs.ring.push(&span);
+                            send_payload(stream, &payload).is_ok()
+                        }
+                        Err(_) => send(
+                            stream,
+                            &refusal(ErrorCode::Internal, "worker pool disappeared"),
+                        )
+                        .is_ok(),
+                    }
                 }
                 Admission::QueueFull => {
                     shared.counters.record_shed();
@@ -481,12 +650,12 @@ fn refusal(code: ErrorCode, message: &str) -> Response {
     })
 }
 
-fn send(stream: &mut TcpStream, response: &Response) -> Result<(), WireError> {
+/// Encodes a response, downgrading one that outgrew the frame limit to
+/// a typed error: that is the request's problem, not the connection's,
+/// so the caller never sees `write_frame` fail on size.
+fn encode_bounded(response: &Response) -> Vec<u8> {
     let payload = response.encode();
-    // A result that outgrew the frame limit is the request's problem,
-    // not the connection's: answer with a typed error instead of letting
-    // `write_frame` fail and the caller tear the connection down.
-    let payload = if payload.len() > crate::wire::MAX_FRAME {
+    if payload.len() > crate::wire::MAX_FRAME {
         refusal(
             ErrorCode::Query,
             "result exceeds the maximum response frame; request less data",
@@ -494,10 +663,17 @@ fn send(stream: &mut TcpStream, response: &Response) -> Result<(), WireError> {
         .encode()
     } else {
         payload
-    };
-    write_frame(stream, &payload)?;
+    }
+}
+
+fn send_payload(stream: &mut TcpStream, payload: &[u8]) -> Result<(), WireError> {
+    write_frame(stream, payload)?;
     stream.flush()?;
     Ok(())
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> Result<(), WireError> {
+    send_payload(stream, &encode_bounded(response))
 }
 
 /// Best-effort typed error before failing the connection closed.
@@ -518,32 +694,90 @@ fn request_shard(shared: &Shared, request: &Request) -> Option<usize> {
         | RequestOp::TopKFiltered { relation, .. }
         | RequestOp::Aggregate { relation, .. } => *relation,
         RequestOp::AddFactDynamic { r, .. } => *r,
-        RequestOp::Stats | RequestOp::Shutdown => return None,
+        RequestOp::Stats | RequestOp::Metrics { .. } | RequestOp::Shutdown => return None,
     };
     Some(shared.vkg.shard_of(RelationId(relation)))
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
+    let clock = &shared.obs.clock;
     while let Some(job) = shared.queue.pop() {
-        let response = if job.admitted_at.elapsed() >= job.deadline {
+        let popped = clock.now();
+        let queue_ns = popped.since(job.admitted_at);
+        let (response, locked_at) = if Duration::from_nanos(queue_ns) >= job.deadline {
             shared.counters.record_deadline_expired();
-            refusal(
-                ErrorCode::DeadlineExceeded,
-                "deadline expired while queued; not executed",
+            (
+                refusal(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued; not executed",
+                ),
+                popped,
             )
         } else {
             if let Some(think) = shared.cfg.worker_think_time {
                 thread::sleep(think);
             }
-            execute(&shared.vkg, &job.request)
+            execute(&shared.vkg, &job.request, clock)
         };
+        let finished = clock.now();
         // Every admitted job is answered exactly once; a hung-up client
         // (closed reply channel) still counts as answered.
         shared.counters.record_answered();
         if let Some(shard) = job.shard {
             shared.shard_counters.record_answered(shard);
         }
-        let _ = job.reply.send(response);
+        let span = Span {
+            id: job.id,
+            op: job.request.op.opcode(),
+            shard: job
+                .shard
+                .map_or(u32::MAX, |s| u32::try_from(s).unwrap_or(u32::MAX)),
+            outcome: outcome_of(&response),
+            queue_ns,
+            // Pop → shard lock held (includes crack-log replay, and the
+            // injected think time when the fault-injection knob is set).
+            lock_ns: locked_at.since(popped),
+            exec_ns: finished.since(locked_at),
+            // Stamped by the connection thread once the encode is done.
+            encode_ns: 0,
+            refine_steps: refine_steps_of(&response),
+        };
+        // The server executes reads inside shard closures, bypassing
+        // the facade's own instrumented entry points — mirror the
+        // executed reads into the facade registry so `core.queries`
+        // stays truthful however the engine is driven. Deadline-refused
+        // jobs never reached the engine and are not mirrored.
+        let is_read = matches!(
+            job.request.op,
+            RequestOp::TopK { .. } | RequestOp::TopKFiltered { .. } | RequestOp::Aggregate { .. }
+        );
+        if is_read && span.outcome != SpanOutcome::DeadlineExpired {
+            shared.vkg.metrics().record_query_timed(
+                Duration::from_nanos(span.lock_ns.saturating_add(span.exec_ns)),
+                span.refine_steps,
+                span.outcome == SpanOutcome::Ok,
+            );
+        }
+        let _ = job.reply.send((response, span));
+    }
+}
+
+/// The span outcome a response maps to.
+fn outcome_of(response: &Response) -> SpanOutcome {
+    match response {
+        Response::Error(e) if e.code == ErrorCode::DeadlineExceeded => SpanOutcome::DeadlineExpired,
+        Response::Error(_) => SpanOutcome::Error,
+        _ => SpanOutcome::Ok,
+    }
+}
+
+/// Refine steps a response reports: S₁ evaluations for top-k answers,
+/// entities accessed for aggregates, zero otherwise.
+fn refine_steps_of(response: &Response) -> u64 {
+    match response {
+        Response::TopK(t) => t.s1_evals,
+        Response::Aggregate(a) => a.accessed,
+        _ => 0,
     }
 }
 
@@ -551,7 +785,13 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// `with_published_shard` — taking only the owning relation's shard
 /// lock; the dynamic write goes through the facade's serialized `&self`
 /// writer path (all shard locks) and reports the post-publish epoch.
-fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
+///
+/// Returns the response plus the tick at which the shard lock was held
+/// (closure entry, i.e. after crack-log replay) so the worker can split
+/// the span into its lock and execute phases. Paths that take no shard
+/// lock report their own start tick, which makes `lock_ns` cover the
+/// whole wait (the single-writer path) or nothing (refusals).
+fn execute(vkg: &VirtualKnowledgeGraph, request: &Request, clock: &Clock) -> (Response, Tick) {
     match &request.op {
         RequestOp::TopK {
             entity,
@@ -559,7 +799,8 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             direction,
             k,
         } => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
-            match state.top_k(
+            let locked_at = clock.now();
+            let response = match state.top_k(
                 snap,
                 EntityId(*entity),
                 RelationId(*relation),
@@ -568,7 +809,8 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             ) {
                 Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
                 Err(e) => Response::Error(ServerError::query(&e)),
-            }
+            };
+            (response, locked_at)
         }),
         RequestOp::TopKFiltered {
             entity,
@@ -577,6 +819,7 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             k,
             filter,
         } => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
+            let locked_at = clock.now();
             let graph = snap.graph();
             let accept: Box<dyn Fn(EntityId) -> bool> = match filter {
                 WireFilter::NamePrefix(prefix) => Box::new(move |id: EntityId| {
@@ -587,7 +830,7 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
                     Box::new(move |id: EntityId| lo <= id.0 && id.0 < hi)
                 }
             };
-            match state.top_k_filtered(
+            let response = match state.top_k_filtered(
                 snap,
                 EntityId(*entity),
                 RelationId(*relation),
@@ -597,7 +840,8 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             ) {
                 Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
                 Err(e) => Response::Error(ServerError::query(&e)),
-            }
+            };
+            (response, locked_at)
         }),
         RequestOp::Aggregate {
             entity,
@@ -608,9 +852,13 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             // Decoding guarantees aggregate ops carry a spec, but a
             // refusal here is cheaper to reason about than a panic in a
             // worker thread if that invariant ever drifts.
-            None => refusal(ErrorCode::Internal, "aggregate request lost its spec"),
+            None => (
+                refusal(ErrorCode::Internal, "aggregate request lost its spec"),
+                clock.now(),
+            ),
             Some(spec) => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
-                match state.aggregate(
+                let locked_at = clock.now();
+                let response = match state.aggregate(
                     snap,
                     EntityId(*entity),
                     RelationId(*relation),
@@ -619,7 +867,8 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
                 ) {
                     Ok(r) => Response::Aggregate(AggregateWire::from_result(pin.epoch, &r)),
                     Err(e) => Response::Error(ServerError::query(&e)),
-                }
+                };
+                (response, locked_at)
             }),
         },
         RequestOp::AddFactDynamic {
@@ -628,21 +877,28 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request) -> Response {
             t,
             refine_steps,
             learning_rate,
-        } => match vkg.add_fact_dynamic(
-            EntityId(*h),
-            RelationId(*r),
-            EntityId(*t),
-            *refine_steps as usize,
-            *learning_rate,
-        ) {
-            // The facade reports the epoch of *this* write (taken while
-            // it held the engine lock), so a concurrent writer publishing
-            // right after cannot leak its later epoch into this response.
-            Ok((added, epoch)) => Response::FactAdded { added, epoch },
-            Err(e) => Response::Error(ServerError::query(&e)),
-        },
-        RequestOp::Stats | RequestOp::Shutdown => {
-            refusal(ErrorCode::Internal, "control requests are not queued")
+        } => {
+            // The write path acquires every shard lock inside the
+            // facade; its span charges the whole call to `exec_ns`.
+            let locked_at = clock.now();
+            let response = match vkg.add_fact_dynamic(
+                EntityId(*h),
+                RelationId(*r),
+                EntityId(*t),
+                *refine_steps as usize,
+                *learning_rate,
+            ) {
+                // The facade reports the epoch of *this* write (taken while
+                // it held the engine lock), so a concurrent writer publishing
+                // right after cannot leak its later epoch into this response.
+                Ok((added, epoch)) => Response::FactAdded { added, epoch },
+                Err(e) => Response::Error(ServerError::query(&e)),
+            };
+            (response, locked_at)
         }
+        RequestOp::Stats | RequestOp::Metrics { .. } | RequestOp::Shutdown => (
+            refusal(ErrorCode::Internal, "control requests are not queued"),
+            clock.now(),
+        ),
     }
 }

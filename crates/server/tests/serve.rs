@@ -16,6 +16,7 @@ use vkg_core::{Direction, VkgConfig};
 use vkg_embed::{TransE, TransEConfig};
 use vkg_kg::datasets::{movie_like, MovieConfig};
 use vkg_kg::{EntityId, RelationId};
+use vkg_obs::{Clock, SpanOutcome};
 use vkg_server::wire::{read_frame, write_frame, MAX_FRAME};
 use vkg_server::{
     Client, ClientError, ErrorCode, Request, RequestOp, Response, Server, ServerConfig,
@@ -661,4 +662,124 @@ fn writers_on_two_relations_do_not_block_each_others_readers() {
     drop(client);
     handle.shutdown();
     vkg.index().check_invariants();
+}
+
+/// The `Metrics` opcode exports telemetry that reconciles with what the
+/// client just did: per-query spans (with outcomes and refine steps),
+/// the mirrored admission counters, and the merged facade registry.
+#[test]
+fn metrics_opcode_exports_reconciling_telemetry() {
+    let vkg = build_vkg();
+    let handle = start(&vkg, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    let mut queries = 0u64;
+    for i in 0..8u32 {
+        client
+            .top_k(EntityId(i), RelationId(0), Direction::Tails, 5)
+            .expect("top-k is answered");
+        queries += 1;
+    }
+    client
+        .aggregate(
+            EntityId(0),
+            RelationId(0),
+            Direction::Tails,
+            AggregateKind::Count,
+            None,
+            0.05,
+            None,
+        )
+        .expect("aggregate is answered");
+    queries += 1;
+    // A well-formed query for an unknown entity: answered with a typed
+    // error, traced as an `Error`-outcome span.
+    let err = client.top_k(EntityId(9_999_999), RelationId(0), Direction::Tails, 5);
+    assert!(matches!(err, Err(ClientError::Server(_))));
+    queries += 1;
+
+    let m = client.metrics(64).expect("metrics is answered");
+    let snap = &m.snapshot;
+
+    // Facade-side counters: every executed query was recorded, and
+    // exactly one returned a typed error.
+    assert_eq!(snap.counter("core.queries"), Some(queries));
+    assert_eq!(snap.counter("core.query_errors"), Some(1));
+    let core_latency = snap.hist("core.query_latency_us").expect("facade latency");
+    assert_eq!(core_latency.total, queries);
+
+    // Server-side mirrors: all admitted work was answered (each call
+    // above is synchronous), nothing was shed, the queue is idle.
+    assert_eq!(snap.gauge("server.admitted"), Some(queries));
+    assert_eq!(snap.gauge("server.answered"), Some(queries));
+    assert_eq!(snap.gauge("server.shed"), Some(0));
+    assert_eq!(snap.gauge("server.queue_depth"), Some(0));
+    assert!(snap.gauge("server.shard0.admitted").is_some());
+    let server_latency = snap.hist("server.latency_us").expect("server latency");
+    assert_eq!(server_latency.total, queries);
+
+    // Spans: one per admitted request, none dropped (ring holds 256),
+    // ordered by id, with outcomes and refine steps that match the
+    // traffic above.
+    assert_eq!(snap.spans_recorded, queries);
+    assert_eq!(snap.spans_dropped, 0);
+    assert_eq!(snap.spans.len(), queries as usize);
+    for w in snap.spans.windows(2) {
+        assert!(w[0].id < w[1].id, "spans ordered by query id");
+    }
+    let errors = snap
+        .spans
+        .iter()
+        .filter(|s| s.outcome == SpanOutcome::Error)
+        .count();
+    assert_eq!(errors, 1, "exactly one traced error");
+    let topk_refines: u64 = snap
+        .spans
+        .iter()
+        .filter(|s| s.outcome == SpanOutcome::Ok && s.op == 0x01)
+        .map(|s| s.refine_steps)
+        .sum();
+    assert!(topk_refines > 0, "successful top-k spans carry S1 evals");
+    assert_eq!(
+        snap.counter("core.refine_steps"),
+        Some(snap.spans.iter().map(|s| s.refine_steps).sum()),
+        "facade refine counter equals the sum over all spans"
+    );
+
+    drop(client);
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered, "drain invariant");
+}
+
+/// With an injected mock clock the server still serves correctly, and
+/// every span phase reads zero — timing is fully deterministic, which
+/// is what lets tests assert on span contents at all.
+#[test]
+fn mock_clock_makes_span_timing_deterministic() {
+    let vkg = build_vkg();
+    let handle = start(
+        &vkg,
+        ServerConfig {
+            clock: Clock::mock(),
+            span_ring: 8,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    for i in 0..3u32 {
+        client
+            .top_k(EntityId(i), RelationId(0), Direction::Tails, 3)
+            .expect("top-k under a mock clock");
+    }
+    let m = client.metrics(8).expect("metrics");
+    assert_eq!(m.snapshot.spans.len(), 3);
+    for s in &m.snapshot.spans {
+        assert_eq!(s.total_ns(), 0, "mock time never advances: {s:?}");
+        assert_eq!(s.outcome, SpanOutcome::Ok);
+    }
+    let latency = m.snapshot.hist("server.latency_us").expect("latency");
+    assert_eq!(latency.total, 3);
+    assert_eq!(latency.max_us, 0);
+    drop(client);
+    handle.shutdown();
 }

@@ -5,9 +5,10 @@
 use proptest::prelude::*;
 use vkg_core::query::aggregate::AggregateKind;
 use vkg_core::{Accuracy, Direction};
+use vkg_obs::{HistSnapshot, MetricsSnapshot, Span, SpanOutcome};
 use vkg_server::protocol::{
-    AccuracyWire, AggregateWire, ErrorCode, PredictionWire, Request, RequestOp, Response,
-    ServerCounters, ServerError, ShardStatsWire, StatsWire, TopKWire, WireFilter,
+    AccuracyWire, AggregateWire, ErrorCode, MetricsWire, PredictionWire, Request, RequestOp,
+    Response, ServerCounters, ServerError, ShardStatsWire, StatsWire, TopKWire, WireFilter,
 };
 
 fn direction(tag: u8) -> Direction {
@@ -119,9 +120,10 @@ proptest! {
     }
 
     #[test]
-    fn control_request_roundtrip(deadline_ms in 0u32..=u32::MAX) {
+    fn control_request_roundtrip(deadline_ms in 0u32..=u32::MAX, last_spans in 0u32..=u32::MAX) {
         assert_request_roundtrip(Request { deadline_ms, op: RequestOp::Stats });
         assert_request_roundtrip(Request { deadline_ms, op: RequestOp::Shutdown });
+        assert_request_roundtrip(Request { deadline_ms, op: RequestOp::Metrics { last_spans } });
     }
 
     #[test]
@@ -215,6 +217,61 @@ proptest! {
     #[test]
     fn shutting_down_response_roundtrip(_x in 0u8..1) {
         assert_response_roundtrip(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn metrics_response_roundtrip(
+        epoch in 0u64..=u64::MAX,
+        counters in prop::collection::vec(("[a-z._]{0,24}", 0u64..=u64::MAX), 0..6),
+        gauges in prop::collection::vec(("[a-z._]{0,24}", 0u64..=u64::MAX), 0..6),
+        hists in prop::collection::vec(
+            (
+                "[a-z._]{0,24}",
+                0u64..=u64::MAX,
+                0u64..=u64::MAX,
+                prop::collection::vec((0u32..256, 0u64..=u64::MAX), 0..8),
+            ),
+            0..4,
+        ),
+        spans in prop::collection::vec(
+            (
+                0u64..=u64::MAX,
+                0u8..=255,
+                0u32..=u32::MAX,
+                0u8..3,
+                (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+            ),
+            0..8,
+        ),
+        (spans_recorded, spans_dropped) in (0u64..=u64::MAX, 0u64..=u64::MAX),
+    ) {
+        let snapshot = MetricsSnapshot {
+            counters,
+            gauges,
+            hists: hists
+                .into_iter()
+                .map(|(name, total, max_us, buckets)| {
+                    (name, HistSnapshot { total, max_us, buckets })
+                })
+                .collect(),
+            spans: spans
+                .into_iter()
+                .map(|(id, op, shard, outcome, ns)| Span {
+                    id,
+                    op,
+                    shard,
+                    outcome: SpanOutcome::from_u8(outcome),
+                    queue_ns: ns.0,
+                    lock_ns: ns.1,
+                    exec_ns: ns.2,
+                    encode_ns: ns.3,
+                    refine_steps: ns.4,
+                })
+                .collect(),
+            spans_recorded,
+            spans_dropped,
+        };
+        assert_response_roundtrip(Response::Metrics(MetricsWire { epoch, snapshot }));
     }
 
     /// Hostile bytes never panic the decoders — they return typed

@@ -398,6 +398,23 @@ impl AtomicU64 {
         self.instrument(order, false, false);
         self.inner.fetch_add(value, order)
     }
+
+    /// Stores `new` if the current value is `current`; returns the
+    /// previous value as `Ok` on success, `Err` on mismatch.
+    ///
+    /// Instrumented as a read-modify-write at the *success* ordering:
+    /// the scheduler treats every CAS as a yield point regardless of
+    /// outcome, so interleavings that make it fail are explored too.
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.instrument(success, false, false);
+        self.inner.compare_exchange(current, new, success, failure)
+    }
 }
 
 /// A boolean atomic flag with model-interpreted orderings.

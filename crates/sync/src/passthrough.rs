@@ -238,6 +238,20 @@ impl AtomicU64 {
     pub fn fetch_add(&self, value: u64, order: super::Ordering) -> u64 {
         self.inner.fetch_add(value, order)
     }
+
+    /// Stores `new` if the current value is `current`; returns the
+    /// previous value as `Ok` on success, `Err` on mismatch (see
+    /// [`std::sync::atomic::AtomicU64::compare_exchange`]).
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: super::Ordering,
+        failure: super::Ordering,
+    ) -> Result<u64, u64> {
+        self.inner.compare_exchange(current, new, success, failure)
+    }
 }
 
 /// A boolean atomic flag (see [`std::sync::atomic::AtomicBool`]).

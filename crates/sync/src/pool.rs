@@ -26,14 +26,53 @@
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 
-use crate::{thread, AtomicBool, AtomicU64, Mutex, Ordering};
+use crate::{thread, Arc, AtomicBool, AtomicU64, Mutex, Ordering};
+
+/// Dispatch statistics for a [`Pool`], shared by `Arc` so observers
+/// read while the pool runs. Counts are exact at quiescence (after any
+/// `run` returns): each job increments exactly one of the run counters,
+/// and `chunks_claimed` advances by the job's chunk count when it is
+/// dispatched parallel (each chunk is claimed exactly once unless a
+/// worker panic aborts the job early).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    serial_runs: AtomicU64,
+    parallel_runs: AtomicU64,
+    chunks_claimed: AtomicU64,
+}
+
+impl PoolStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jobs that took the exact serial path (width 1, or ≤ 1 chunk).
+    pub fn serial_runs(&self) -> u64 {
+        // relaxed: pure statistic; no reader infers other state from it.
+        self.serial_runs.load(Ordering::Relaxed)
+    }
+
+    /// Jobs dispatched across ≥ 2 worker threads.
+    pub fn parallel_runs(&self) -> u64 {
+        // relaxed: pure statistic; no reader infers other state from it.
+        self.parallel_runs.load(Ordering::Relaxed)
+    }
+
+    /// Chunks handed to parallel claim loops across all jobs.
+    pub fn chunks_claimed(&self) -> u64 {
+        // relaxed: pure statistic; no reader infers other state from it.
+        self.chunks_claimed.load(Ordering::Relaxed)
+    }
+}
 
 /// A fixed-width scoped thread pool. Stateless between calls: the
-/// width is the only configuration, threads exist only inside
-/// [`Pool::run`].
+/// width (and an optional stats sink) is the only configuration,
+/// threads exist only inside [`Pool::run`].
 #[derive(Debug, Clone)]
 pub struct Pool {
     width: usize,
+    stats: Option<Arc<PoolStats>>,
 }
 
 impl Pool {
@@ -42,7 +81,22 @@ impl Pool {
     pub const fn new(width: usize) -> Self {
         Self {
             width: if width == 0 { 1 } else { width },
+            // `None` keeps the constructor const (statics build serial
+            // pools); attach a sink with [`Pool::with_stats`].
+            stats: None,
         }
+    }
+
+    /// Attaches a dispatch-statistics sink: every subsequent job
+    /// (including on clones of this pool) counts itself there.
+    pub fn with_stats(mut self, stats: Arc<PoolStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The attached statistics sink, if any.
+    pub fn stats(&self) -> Option<&Arc<PoolStats>> {
+        self.stats.as_ref()
     }
 
     /// A width-1 pool: every job runs inline on the caller's thread.
@@ -81,11 +135,22 @@ impl Pool {
         }
         let workers = self.width.min(chunks);
         if workers <= 1 {
+            if let Some(stats) = &self.stats {
+                // relaxed: pure statistic (see `PoolStats`).
+                stats.serial_runs.fetch_add(1, Ordering::Relaxed);
+            }
             // Exact serial path: in-order, no synchronization.
             for i in 0..chunks {
                 f(i);
             }
             return;
+        }
+        if let Some(stats) = &self.stats {
+            // relaxed: pure statistic (see `PoolStats`).
+            stats.parallel_runs.fetch_add(1, Ordering::Relaxed);
+            stats
+                .chunks_claimed
+                .fetch_add(chunks as u64, Ordering::Relaxed);
         }
         let next = AtomicU64::new(0);
         let abort = AtomicBool::new(false);
@@ -142,6 +207,10 @@ impl Pool {
         }
         let min = min_per_chunk.max(1);
         if self.is_serial() || len <= min {
+            if let Some(stats) = &self.stats {
+                // relaxed: pure statistic (see `PoolStats`).
+                stats.serial_runs.fetch_add(1, Ordering::Relaxed);
+            }
             f(0, len);
             return;
         }
@@ -238,6 +307,30 @@ mod tests {
             .unwrap_or_default();
         assert!(msg.contains("chunk 7 exploded"), "got: {msg}");
         assert!(ran.load(Ordering::Acquire) >= 1);
+    }
+
+    #[test]
+    fn stats_count_serial_and_parallel_dispatch() {
+        let stats = Arc::new(PoolStats::new());
+        let pool = Pool::new(4).with_stats(stats.clone());
+        // One chunk falls back to the serial path even on a wide pool.
+        pool.run(1, |_| {});
+        assert_eq!(stats.serial_runs(), 1);
+        assert_eq!(stats.parallel_runs(), 0);
+        pool.run(16, |_| {});
+        assert_eq!(stats.parallel_runs(), 1);
+        assert_eq!(stats.chunks_claimed(), 16);
+        // Chunked jobs count through `run`; a short job is one serial
+        // whole-range call.
+        pool.run_chunked(8, 100, |_, _| {});
+        assert_eq!(stats.serial_runs(), 2);
+        // Zero work counts nowhere; a pool without a sink is silent.
+        pool.run(0, |_| {});
+        Pool::new(4).run(16, |_| {});
+        assert_eq!(stats.serial_runs(), 2);
+        assert_eq!(stats.parallel_runs(), 1);
+        assert!(pool.stats().is_some());
+        assert!(Pool::serial().stats().is_none());
     }
 
     #[test]

@@ -224,7 +224,7 @@ fn cmd_topk(args: &Args) -> Result<(), String> {
     let vkg = build_engine(args)?;
     let (entity, relation, direction) = resolve(&vkg, args)?;
     let k: usize = args.num("k", 10)?;
-    let t = std::time::Instant::now();
+    let t = vkg::obs::Stopwatch::start();
     let r = vkg
         .top_k(entity, relation, direction, k)
         .map_err(|e| e.to_string())?;

@@ -57,6 +57,7 @@ pub use vkg_baselines as baselines;
 pub use vkg_core as core;
 pub use vkg_embed as embed;
 pub use vkg_kg as kg;
+pub use vkg_obs as obs;
 pub use vkg_server as server;
 pub use vkg_sync as sync;
 pub use vkg_transform as transform;

@@ -1,0 +1,33 @@
+// pretend: crates/core/src/engine/shard.rs
+// Fixture for the no-raw-timing rule: shipped code must take time
+// through the vkg-obs Clock seam, never std's clocks directly.
+
+fn raw_instant() -> std::time::Instant {
+    std::time::Instant::now() // expect: no-raw-timing
+}
+
+fn raw_wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now() // expect: no-raw-timing
+}
+
+fn suppressed() -> std::time::Instant {
+    // lint: allow(no-raw-timing, calibrating the clock seam itself against raw time)
+    std::time::Instant::now()
+}
+
+fn through_the_seam(clock: &vkg_obs::Clock) -> vkg_obs::Tick {
+    clock.now()
+}
+
+fn string_and_comment_immunity() -> &'static str {
+    // a comment mentioning Instant::now() never fires
+    "neither does SystemTime::now( in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_raw_time() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -24,5 +24,5 @@ fn float_is_fine(x: u32) -> f64 {
 }
 
 fn clock_in_codec() -> std::time::Instant {
-    std::time::Instant::now() // expect: no-instant-now
+    std::time::Instant::now() // expect: no-instant-now no-raw-timing
 }

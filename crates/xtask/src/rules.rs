@@ -55,6 +55,7 @@ pub const RULES: &[&str] = &[
     "relaxed-justify",
     "no-truncating-cast",
     "no-instant-now",
+    "no-raw-timing",
     "no-alloc-in-kernel",
     "no-global-engine-lock",
 ];
@@ -161,8 +162,10 @@ struct Scope;
 
 impl Scope {
     /// The panic-free zones: the serving layer, the core's facade,
-    /// snapshot, query, and index modules, and the data-ingest crates
-    /// (`vkg-kg`, `vkg-embed`) whose IO/parse paths feed everything else.
+    /// snapshot, query, and index modules, the data-ingest crates
+    /// (`vkg-kg`, `vkg-embed`) whose IO/parse paths feed everything
+    /// else, and the bench harness (a crashed load generator or
+    /// experiment sweep loses the whole run's results).
     fn no_unwrap(path: &str) -> bool {
         path.starts_with("crates/server/src/")
             || path == "crates/core/src/vkg.rs"
@@ -171,6 +174,7 @@ impl Scope {
             || path.starts_with("crates/core/src/index/")
             || path.starts_with("crates/kg/src/")
             || path.starts_with("crates/embed/src/")
+            || path.starts_with("crates/bench/src/")
     }
 
     /// Everything except `vkg-sync` itself (and vendored shims) must go
@@ -198,6 +202,18 @@ impl Scope {
     /// `// lint: allow(no-alloc-in-kernel, …)`.
     fn alloc_free_kernel(path: &str) -> bool {
         path == "crates/core/src/geometry/kernels.rs" || path == "crates/sync/src/pool.rs"
+    }
+
+    /// All shipped code takes time through the `vkg_obs::Clock` seam
+    /// (`Clock`/`Stopwatch`) so tests can mock it — except `vkg-obs`
+    /// itself (the seam's implementation sits on `Instant`) and the
+    /// bench binaries, whose open-loop pacing wants raw monotonic time.
+    /// Decode files are additionally covered by `no-instant-now`.
+    fn no_raw_timing(path: &str) -> bool {
+        path.starts_with("crates/")
+            && path.contains("/src/")
+            && !path.starts_with("crates/obs/src/")
+            && !path.starts_with("crates/bench/src/bin/")
     }
 
     /// Every engine lock must live inside the shard router: a
@@ -328,10 +344,12 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     if Scope::relaxed_justify(rel_path) {
         for at in find_all(code, "Ordering::Relaxed") {
             let (line, _) = position(code, at);
-            let justified = scrubbed
-                .comments
-                .iter()
-                .any(|c| c.text.contains("relaxed:") && (c.line == line || c.line + 1 == line));
+            // The justification may sit up to three lines above the
+            // `Relaxed` token: rustfmt wraps long statements, and the
+            // justification itself may wrap across comment lines.
+            let justified = scrubbed.comments.iter().any(|c| {
+                c.text.contains("relaxed:") && line.saturating_sub(3) <= c.line && c.line <= line
+            });
             if !justified {
                 push(
                     at,
@@ -396,6 +414,22 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    if Scope::no_raw_timing(rel_path) {
+        for needle in ["Instant::now(", "SystemTime::now("] {
+            for at in find_all(code, needle) {
+                push(
+                    at,
+                    "no-raw-timing",
+                    format!(
+                        "`{needle}..)` bypasses the clock seam; take time via \
+                         `vkg_obs::Clock`/`Stopwatch` so tests can mock it, or annotate \
+                         with `// lint: allow(no-raw-timing, why raw time is required)`"
+                    ),
+                );
+            }
+        }
+    }
+
     if Scope::alloc_free_kernel(rel_path) {
         for needle in ["Vec::new", ".collect(", ".to_vec("] {
             for at in find_all(code, needle) {
@@ -455,6 +489,11 @@ mod tests {
         assert_eq!(lint_source("crates/server/src/server.rs", src).len(), 1);
         assert_eq!(lint_source("crates/core/src/engine.rs", src).len(), 0);
         assert_eq!(lint_source("crates/core/src/query/topk.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/bench/src/workload.rs", src).len(), 1);
+        assert_eq!(
+            lint_source("crates/bench/src/bin/serve_load.rs", src).len(),
+            1
+        );
     }
 
     #[test]
@@ -534,9 +573,34 @@ mod tests {
     fn instant_now_flagged_in_decode_files() {
         let src = "fn f() { let t = Instant::now(); }\n";
         let f = lint_source("crates/server/src/protocol.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "no-instant-now");
-        assert_eq!(lint_source("crates/server/src/server.rs", src), vec![]);
+        // Decode files get both the determinism rule and the clock-seam
+        // rule — they police different properties of the same call.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "no-instant-now"));
+        assert!(f.iter().any(|f| f.rule == "no-raw-timing"));
+    }
+
+    #[test]
+    fn raw_timing_flagged_outside_clock_seam() {
+        let src = "fn f() { let t = Instant::now(); let w = SystemTime::now(); }\n";
+        let f = lint_source("crates/core/src/engine/shard.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "no-raw-timing"));
+        // The seam's own implementation and the bench binaries are out
+        // of scope; integration tests under `tests/` are too.
+        assert_eq!(lint_source("crates/obs/src/clock.rs", src), vec![]);
+        assert_eq!(
+            lint_source("crates/bench/src/bin/serve_load.rs", src),
+            vec![]
+        );
+        assert_eq!(lint_source("tests/end_to_end.rs", src), vec![]);
+        let allowed =
+            "fn f() {\n    // lint: allow(no-raw-timing, pacing needs raw monotonic time)\n    \
+                       let t = Instant::now();\n}\n";
+        assert_eq!(
+            lint_source("crates/core/src/engine/shard.rs", allowed),
+            vec![]
+        );
     }
 
     #[test]
