@@ -263,6 +263,7 @@ impl ShardedEngine {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, IndexState> {
+        // lint: allow(no-panic-on-request-path, i comes from shard_of/the router, bounded by shard count; the # Panics contract is the API)
         self.shards[i].state.write()
     }
 
@@ -273,6 +274,7 @@ impl ShardedEngine {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn shard_epoch(&self, i: usize) -> u64 {
+        // lint: allow(no-panic-on-request-path, i comes from shard_of/the router, bounded by shard count; the # Panics contract is the API)
         self.shards[i].epoch.load(Ordering::Acquire)
     }
 
@@ -303,8 +305,10 @@ impl ShardedEngine {
         }
         let pending: Vec<Mbr> = {
             let mut log = self.crack_log.lock();
+            // lint: allow(no-panic-on-request-path, applied has one cursor per shard and each cursor is <= entries.len() by construction)
             let from = log.applied[i];
             let pending = log.entries[from..].to_vec();
+            // lint: allow(no-panic-on-request-path, applied has one cursor per shard; i is a valid shard index from the caller)
             log.applied[i] = log.entries.len();
             log.compact_if_converged();
             pending
@@ -335,12 +339,14 @@ impl ShardedEngine {
         self.cracks_published
             .fetch_add(fresh.len() as u64, Ordering::Relaxed);
         let mut log = self.crack_log.lock();
+        // lint: allow(no-panic-on-request-path, applied has one cursor per shard; i is a valid shard index from the caller)
         let at_tail = log.applied[i] == log.entries.len();
         log.entries.extend(fresh);
         if at_tail {
             // Nothing foreign arrived since this shard synced, so its
             // own cracks are the log tail and are already applied to
             // its tree — advance past them.
+            // lint: allow(no-panic-on-request-path, applied has one cursor per shard; i is a valid shard index from the caller)
             log.applied[i] = log.entries.len();
             log.compact_if_converged();
         }

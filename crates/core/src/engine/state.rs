@@ -253,6 +253,7 @@ impl QueryEngine for IndexState {
                 // √(‖q − centroid‖² + spread²), de-biased by E[√α/χ_α] for
                 // the S₂ → S₁ inverse-distance projection bias.
                 let center = summary.mbr.center();
+                // lint: allow(no-panic-on-request-path, MBR centers have the index dimensionality, which q_s2 never exceeds)
                 let d_center: f64 = center[..q_s2.len()]
                     .iter()
                     .zip(&q_s2)
@@ -323,6 +324,7 @@ impl QueryEngine for IndexState {
             AggregateKind::Count => aggregate::estimate_count(&probs),
             AggregateKind::Sum => aggregate::estimate_sum(&values, &probs),
             AggregateKind::Avg => aggregate::estimate_avg(&values, &probs),
+            // lint: allow(no-panic-on-request-path, a = accessed.len() <= probs.len(): probs holds accessed then unaccessed)
             AggregateKind::Max => aggregate::estimate_max(&values, &probs[..a]),
             AggregateKind::Min => aggregate::estimate_min(&values, &probs[..a]),
         };
@@ -334,8 +336,10 @@ impl QueryEngine for IndexState {
         let bound = if spec.kind == AggregateKind::Avg {
             let count = aggregate::estimate_count(&probs).max(1.0);
             let scaled: Vec<f64> = values.iter().map(|v| v / count).collect();
+            // lint: allow(no-panic-on-request-path, a = accessed.len() <= probs.len(): probs holds accessed then unaccessed)
             aggregate::deviation_bound(estimate, &scaled, &probs[a..], v_max / count)
         } else {
+            // lint: allow(no-panic-on-request-path, a = accessed.len() <= probs.len(): probs holds accessed then unaccessed)
             aggregate::deviation_bound(estimate, &values, &probs[a..], v_max)
         };
 

@@ -761,14 +761,17 @@ impl VirtualKnowledgeGraph {
                     embeddings.relation(r),
                     embeddings.entity(t),
                 );
-                for (i, g) in grad.iter_mut().enumerate().take(d) {
-                    *g = 2.0 * (hv[i] + rv[i] - tv[i]);
+                for ((g, (&hi, &ri)), &ti) in grad.iter_mut().zip(hv.iter().zip(rv)).zip(tv).take(d)
+                {
+                    *g = 2.0 * (hi + ri - ti);
                 }
             }
             let embeddings = next.embeddings_mut();
-            for (i, &g) in grad.iter().enumerate().take(d) {
-                embeddings.entity_mut(h)[i] -= learning_rate * g;
-                embeddings.entity_mut(t)[i] += learning_rate * g;
+            for (e, &g) in embeddings.entity_mut(h).iter_mut().zip(&grad).take(d) {
+                *e -= learning_rate * g;
+            }
+            for (e, &g) in embeddings.entity_mut(t).iter_mut().zip(&grad).take(d) {
+                *e += learning_rate * g;
             }
         }
         let h_s2 = next.transform().apply(next.embeddings().entity(h));

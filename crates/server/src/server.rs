@@ -295,12 +295,17 @@ impl ServerHandle {
     /// Whether a drain has been triggered (locally or by a client's
     /// `Shutdown` request).
     pub fn is_draining(&self) -> bool {
+        // seqcst: drain flag; all threads must agree on one global
+        // order of drain vs. admit (see shutdown()).
         self.shared.draining.load(Ordering::SeqCst)
     }
 
     /// Triggers a graceful drain and blocks until every thread exits:
     /// stop accepting, answer all admitted work, join workers.
     pub fn shutdown(mut self) -> ServerCounters {
+        // seqcst: drain flag; the drained-counters invariant (admitted ==
+        // answered + shed + expired + drained after join) needs every
+        // thread to agree on which requests arrived before the drain.
         self.shared.draining.store(true, Ordering::SeqCst);
         self.join_inner();
         self.shared.counters.snapshot()
@@ -436,6 +441,7 @@ fn metrics_export(shared: &Shared, last_spans: usize) -> MetricsWire {
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    // seqcst: drain flag; pairs with the SeqCst store in shutdown().
     while !shared.draining.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -505,6 +511,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 }
             }
         }
+        // seqcst: drain flag; pairs with the SeqCst store in shutdown().
         if shared.draining.load(Ordering::SeqCst) {
             return;
         }
@@ -514,6 +521,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 // request; either way the conversation is over.
                 return;
             }
+            // lint: allow(no-panic-on-request-path, read() returns n <= chunk.len() by the io::Read contract)
             Ok(n) => buf.feed(&chunk[..n]),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
@@ -535,6 +543,8 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
     };
     match request.op {
         RequestOp::Shutdown => {
+            // seqcst: drain flag; a wire-triggered drain needs the same
+            // total order as shutdown() for the counters invariant.
             shared.draining.store(true, Ordering::SeqCst);
             let _ = send(stream, &Response::ShuttingDown);
             false
@@ -574,6 +584,8 @@ fn serve_frame(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> 
             send(stream, &Response::Metrics(export)).is_ok()
         }
         _ => {
+            // seqcst: drain flag; a request must observe the drain iff
+            // it globally follows the store, so drained counts add up.
             if shared.draining.load(Ordering::SeqCst) {
                 shared.counters.record_drained();
                 return send(stream, &refusal(ErrorCode::Draining, "server is draining")).is_ok();

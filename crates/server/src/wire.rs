@@ -163,10 +163,10 @@ impl FrameBuffer {
     /// Extracts the next complete frame payload, if one is buffered.
     /// A hostile length prefix fails here, before any allocation.
     pub fn next_frame(&mut self, max: usize) -> Result<Option<Vec<u8>>, WireError> {
-        if self.buf.len() < 4 {
-            return Ok(None);
-        }
-        let declared = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        let Some(&[b0, b1, b2, b3]) = self.buf.get(..4) else {
+            return Ok(None); // length prefix not complete yet
+        };
+        let declared = u32::from_le_bytes([b0, b1, b2, b3]);
         if declared as usize > max {
             return Err(WireError::FrameTooLarge { declared, max });
         }
@@ -174,10 +174,10 @@ impl FrameBuffer {
             return Err(WireError::FrameTooShort(declared as usize));
         }
         let total = 4 + declared as usize;
-        if self.buf.len() < total {
-            return Ok(None);
-        }
-        let payload = self.buf[4..total].to_vec();
+        let Some(payload) = self.buf.get(4..total) else {
+            return Ok(None); // payload not complete yet
+        };
+        let payload = payload.to_vec();
         self.buf.drain(..total);
         Ok(Some(payload))
     }
@@ -256,31 +256,30 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        match *self.take(1)? {
+            [b] => Ok(b),
+            _ => Err(WireError::Truncated),
+        }
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads an IEEE-754 `f64`.

@@ -1,0 +1,24 @@
+// pretend: crates/core/src/geometry/kernels.rs
+// Fixture for the lexer edge cases: raw identifiers (`r#match`) lex as
+// single tokens and nested turbofish (`::<Vec<Vec<u64>>>`) survives
+// the `>>` shift ambiguity, so the alloc rule still sees the call
+// through both.
+
+fn r#match(ids: &[u32]) -> Vec<u64> {
+    ids.iter().map(|&i| u64::from(i)).collect::<Vec<u64>>() // expect: no-alloc-in-kernel
+}
+
+fn deep_turbofish(ids: &[u32]) -> Vec<Vec<u64>> {
+    ids.chunks(2).map(to_wide).collect::<Vec<Vec<u64>>>() // expect: no-alloc-in-kernel
+}
+
+fn to_wide(c: &[u32]) -> Vec<u64> {
+    // lint: allow(no-alloc-in-kernel, fixture helper; setup-time shape conversion)
+    c.iter().map(|&i| u64::from(i)).collect()
+}
+
+fn r#loop(out: &mut [u64], ids: &[u32]) {
+    for (o, &i) in out.iter_mut().zip(ids) {
+        *o = u64::from(i);
+    }
+}

@@ -1,0 +1,56 @@
+// pretend: crates/core/src/engine/shard.rs
+// Fixture for the lock-order rule: acquisitions are replayed against
+// the DAG declared in crates/xtask/lockorder.toml (shard state before
+// published before crack-log side structures), including acquisitions
+// reached through calls while a guard is still live.
+
+use vkg_sync::{Mutex, RwLock};
+
+struct Shard {
+    state: RwLock<u32>,
+    crack_log: Mutex<Vec<u32>>,
+    published: RwLock<u32>,
+}
+
+impl Shard {
+    fn sanctioned_order(&self) {
+        let s = self.state.write();
+        let log = self.crack_log.lock();
+        drop(log);
+        drop(s);
+    }
+
+    fn inverted(&self) {
+        let log = self.crack_log.lock();
+        let s = self.state.write(); // expect: lock-order
+        drop(s);
+        drop(log);
+    }
+
+    fn held_through_call(&self) {
+        let p = self.published.read();
+        self.touch_state(); // expect: lock-order
+        drop(p);
+    }
+
+    fn touch_state(&self) {
+        let s = self.state.read();
+        drop(s);
+    }
+
+    fn drop_ends_the_hold(&self) {
+        let log = self.crack_log.lock();
+        drop(log);
+        let s = self.state.write();
+        drop(s);
+    }
+
+    fn scope_ends_the_hold(&self) {
+        {
+            let log = self.crack_log.lock();
+            log.len();
+        }
+        let s = self.state.write();
+        drop(s);
+    }
+}

@@ -1,0 +1,29 @@
+// pretend: crates/server/src/server.rs
+// Fixture for the no-panic-on-request-path rule: panic sources are
+// flagged only when the call graph reaches them from a request entry
+// point (`connection_loop` / `worker_loop`). Unwrap/expect sites in
+// this file are already policed by the token-level no-unwrap rule, so
+// the graph rule adds the cases tokens cannot see: slice indexing.
+
+pub fn worker_loop(jobs: &[u32]) -> u32 {
+    first_job(jobs) + justified(jobs, 0)
+}
+
+fn first_job(jobs: &[u32]) -> u32 {
+    jobs[0] // expect: no-panic-on-request-path
+}
+
+pub fn connection_loop(frames: &[u32]) -> u32 {
+    let f = frames.first().unwrap(); // expect: no-unwrap
+    *f
+}
+
+fn boot_only(cfg: &[u32]) -> u32 {
+    // Indexing here is silent: nothing on the request path calls this.
+    cfg[1]
+}
+
+fn justified(jobs: &[u32], i: usize) -> u32 {
+    // lint: allow(no-panic-on-request-path, i comes from the admission router which bounds it by len)
+    jobs[i]
+}

@@ -1,0 +1,45 @@
+// pretend: crates/server/src/queue.rs
+// Fixture for the v2 semantic ordering policy: justifications attach
+// to the *statement* holding the operand, contiguous comment blocks
+// count as one justification, and SeqCst needs a written reason just
+// like Relaxed does.
+
+use vkg_sync::{AtomicU64, Ordering};
+
+fn bare_seqcst(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst) // expect: seqcst-justify
+}
+
+fn justified_seqcst(c: &AtomicU64) {
+    // seqcst: the drain flag and the counters need one total order
+    c.store(1, Ordering::SeqCst);
+}
+
+fn block_comment_reaches_the_statement(c: &AtomicU64) -> u64 {
+    // relaxed: the justification may sit anywhere in a contiguous
+    // comment block that touches the statement, even when the marker
+    // line is further than two raw lines from the operand.
+    c.load(Ordering::Relaxed)
+}
+
+fn multiline_statement(c: &AtomicU64) {
+    // relaxed: pure statistic; no reader infers other state from it
+    c.fetch_add(
+        1,
+        Ordering::Relaxed,
+    );
+}
+
+fn stale_comment_does_not_leak(c: &AtomicU64) -> u64 {
+    // relaxed: this justifies only statements within its window
+    let a = c.load(Ordering::Relaxed);
+    let b = a + 1;
+    let d = b + 1;
+    let e = c.load(Ordering::Relaxed); // expect: relaxed-justify
+    a + b + d + e
+}
+
+fn failure_ordering_shares_the_window(c: &AtomicU64) -> bool {
+    // relaxed: failure ordering only; success re-reads under Acquire
+    c.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_ok()
+}

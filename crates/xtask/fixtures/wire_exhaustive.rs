@@ -1,0 +1,24 @@
+// pretend: crates/server/src/protocol.rs
+// Fixture for the wire-exhaustive rule: every opcode const in an `op`
+// module must be matched somewhere in a `decode` function. (The
+// DESIGN.md half of the rule only runs on the real workspace tree,
+// where the doc text is available to check against.)
+
+mod op {
+    pub const PING: u8 = 0x01;
+    pub const PONG: u8 = 0x02;
+    pub const QUERY: u8 = 0x03; // expect: wire-exhaustive
+}
+
+pub enum Frame {
+    Ping,
+    Pong,
+}
+
+pub fn decode(opcode: u8) -> Option<Frame> {
+    match opcode {
+        op::PING => Some(Frame::Ping),
+        op::PONG => Some(Frame::Pong),
+        _ => None,
+    }
+}

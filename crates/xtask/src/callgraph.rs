@@ -1,0 +1,625 @@
+//! Workspace call graph and the two analyses that run over it:
+//!
+//! * **Lock-order extraction.** Each function body is replayed with an
+//!   abstract held-lock set (guards bound by `let` live to their block
+//!   or an explicit `drop`; temporaries die at the statement's `;`).
+//!   Calling a function adds every lock class that callee can acquire
+//!   transitively, so `holding crack_log; self.write_shard(i)` yields
+//!   the edge `vkg.cracklog → vkg.shard` with the full static
+//!   acquisition path. Guard-*returning* callees (`write_shard`,
+//!   `lock_all`) additionally leave their classes held in the caller.
+//!   Every observed edge is checked against the declared DAG
+//!   ([`crate::model::LockConfig`]).
+//!
+//! * **Request-path panic reachability.** BFS from the declared entry
+//!   points over the call graph, restricted to the audit scope; every
+//!   panic source in a reachable function is reported with the call
+//!   chain that reaches it.
+//!
+//! Approximations (deliberate, documented in DESIGN.md §3.7): calls
+//! resolve by bare name — uniquely for the lock analysis (an ambiguous
+//! name contributes no edges) and to *all* candidates for the panic
+//! audit (over-approximate, so a miss needs a justified allow, never
+//! silence). Closure bodies are scanned as part of the enclosing
+//! function but run with the caller's held-set at the closure's
+//! *definition* site, not its call site.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::model::LockConfig;
+use crate::parser::{Event, FileModel, PanicKind, TokKind};
+
+/// A lock-order violation: acquiring `to` while holding `from`.
+#[derive(Debug)]
+pub struct LockViolation {
+    pub file: String,
+    pub line: usize,
+    pub at: usize,
+    /// Class already held.
+    pub from: String,
+    /// Class being acquired against the declared order.
+    pub to: String,
+    /// Static acquisition path, starting at the function holding
+    /// `from` and ending where `to` is acquired.
+    pub path: Vec<String>,
+}
+
+/// A panic source reachable from a request-path entry point.
+#[derive(Debug)]
+pub struct ReachablePanic {
+    pub file: String,
+    pub line: usize,
+    pub at: usize,
+    pub kind: PanicKind,
+    pub what: String,
+    /// Call chain from the entry point to the containing function.
+    pub chain: Vec<String>,
+}
+
+/// Result of both graph analyses.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub lock_violations: Vec<LockViolation>,
+    pub panics: Vec<ReachablePanic>,
+}
+
+/// Global function id: (file index, fn index).
+type FnId = (usize, usize);
+
+struct Graph<'a> {
+    files: &'a [FileModel],
+    /// name → every non-test function with that name.
+    by_name: HashMap<&'a str, Vec<FnId>>,
+    /// Per-file set of identifier texts, for the visibility gate.
+    idents: Vec<HashSet<&'a str>>,
+}
+
+impl<'a> Graph<'a> {
+    fn build(files: &'a [FileModel]) -> Self {
+        let mut by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+        let mut idents = Vec::with_capacity(files.len());
+        for (fi, fm) in files.iter().enumerate() {
+            for (gi, f) in fm.fns.iter().enumerate() {
+                if !f.is_test {
+                    by_name.entry(f.name.as_str()).or_default().push((fi, gi));
+                }
+            }
+            idents.push(
+                fm.toks
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| &fm.code[t.start..t.end])
+                    .collect(),
+            );
+        }
+        Graph {
+            files,
+            by_name,
+            idents,
+        }
+    }
+
+    fn fun(&self, id: FnId) -> &'a crate::parser::FnItem {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// The visibility gate against name-collision false edges: a
+    /// cross-file call may resolve to a *method* only if the method's
+    /// `impl` type is mentioned somewhere in the caller's file (as an
+    /// import, field type, or expression). Without this, `runs.pop()`
+    /// on a plain `Vec` would resolve to `JobQueue::pop` merely because
+    /// that is the workspace's only *defined* `pop`. Same-file
+    /// candidates and free functions are always visible.
+    fn visible(&self, from_file: usize, callee: FnId) -> bool {
+        if from_file == callee.0 {
+            return true;
+        }
+        match &self.fun(callee).impl_ty {
+            Some(ty) => self.idents[from_file].contains(ty.as_str()),
+            None => true,
+        }
+    }
+
+    /// Unique resolution (lock analysis): `None` when the name is
+    /// undefined or ambiguous among the candidates visible from
+    /// `from_file`.
+    fn resolve_unique(&self, from_file: usize, name: &str) -> Option<FnId> {
+        let all = self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[]);
+        let mut vis = all.iter().filter(|c| self.visible(from_file, **c));
+        match (vis.next(), vis.next()) {
+            (Some(one), None) => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Conservative resolution (panic audit): every visible candidate.
+    fn resolve_all(&self, from_file: usize, name: &str) -> Vec<FnId> {
+        self.by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|c| self.visible(from_file, **c))
+            .copied()
+            .collect()
+    }
+}
+
+/// How a function comes to acquire a lock class: directly at a line, or
+/// through a (uniquely-resolved) callee.
+#[derive(Clone, Copy)]
+enum Via {
+    Direct(usize),
+    Call(FnId),
+}
+
+/// Per-function lock summary, computed to a fixpoint.
+#[derive(Default)]
+struct Summary {
+    /// class → how this function (transitively) acquires it.
+    acquires: HashMap<usize, Via>,
+    /// Classes still held when the function returns (guard-returning
+    /// functions only).
+    holds_on_return: Vec<usize>,
+}
+
+/// Runs both analyses over the parsed workspace.
+pub fn analyze(files: &[FileModel], cfg: &LockConfig) -> Analysis {
+    let graph = Graph::build(files);
+    let summaries = lock_summaries(&graph, cfg);
+    let mut out = Analysis::default();
+    lock_replay(&graph, cfg, &summaries, &mut out);
+    panic_reachability(&graph, cfg, &mut out);
+    out
+}
+
+fn lock_summaries(graph: &Graph<'_>, cfg: &LockConfig) -> HashMap<FnId, Summary> {
+    let mut sums: HashMap<FnId, Summary> = HashMap::new();
+    for ids in graph.by_name.values() {
+        for &id in ids {
+            sums.insert(id, Summary::default());
+        }
+    }
+    // Fixpoint: tiny graph, so iterate until nothing changes.
+    loop {
+        let mut changed = false;
+        for ids in graph.by_name.values() {
+            for &id in ids {
+                let f = graph.fun(id);
+                let mut acquires: Vec<(usize, Via)> = Vec::new();
+                let mut holds: Vec<usize> = Vec::new();
+                for ev in &f.events {
+                    match ev {
+                        Event::Acquire {
+                            field, line, depth, ..
+                        } => {
+                            if let Some(class) = cfg.class_of_field(field) {
+                                acquires.push((class, Via::Direct(*line)));
+                                if f.returns_guard && *depth == 1 && !holds.contains(&class) {
+                                    holds.push(class);
+                                }
+                            }
+                        }
+                        Event::Call { name, depth, .. } => {
+                            if let Some(callee) = graph.resolve_unique(id.0, name) {
+                                let cs = &sums[&callee];
+                                for &class in cs.acquires.keys() {
+                                    acquires.push((class, Via::Call(callee)));
+                                }
+                                if f.returns_guard && *depth == 1 {
+                                    for &class in &cs.holds_on_return {
+                                        if !holds.contains(&class) {
+                                            holds.push(class);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let s = sums.get_mut(&id).expect("pre-seeded");
+                for (class, via) in acquires {
+                    if let std::collections::hash_map::Entry::Vacant(e) = s.acquires.entry(class) {
+                        e.insert(via);
+                        changed = true;
+                    }
+                }
+                holds.sort_unstable();
+                if s.holds_on_return != holds {
+                    s.holds_on_return = holds;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return sums;
+        }
+    }
+}
+
+/// Reconstructs how `id` acquires `class`: the chain of qualified names
+/// ending at the direct acquisition site.
+fn witness_chain(
+    graph: &Graph<'_>,
+    sums: &HashMap<FnId, Summary>,
+    mut id: FnId,
+    class: usize,
+) -> Vec<String> {
+    let mut chain = Vec::new();
+    for _ in 0..32 {
+        chain.push(graph.fun(id).qname());
+        match sums[&id].acquires.get(&class) {
+            Some(Via::Direct(line)) => {
+                let last = chain.len() - 1;
+                chain[last] = format!("{} (acquires at line {line})", chain[last]);
+                return chain;
+            }
+            Some(Via::Call(callee)) => id = *callee,
+            None => return chain,
+        }
+    }
+    chain
+}
+
+/// One abstractly-held guard during replay.
+struct Held {
+    class: usize,
+    var: Option<String>,
+    depth: usize,
+    /// Temporary: dies at the statement's `;`.
+    temp: bool,
+    /// Path suffix describing how it was acquired (for reporting).
+    how: String,
+}
+
+fn lock_replay(
+    graph: &Graph<'_>,
+    cfg: &LockConfig,
+    sums: &HashMap<FnId, Summary>,
+    out: &mut Analysis,
+) {
+    for (fi, fm) in graph.files.iter().enumerate() {
+        for f in fm.fns.iter() {
+            if f.is_test {
+                continue;
+            }
+            let mut held: Vec<Held> = Vec::new();
+            let mut edge =
+                |held: &[Held], to: usize, line: usize, at: usize, path_tail: Vec<String>| {
+                    for h in held {
+                        if cfg.allows(h.class, to) {
+                            continue;
+                        }
+                        let mut path = vec![format!("{} ({})", f.qname(), h.how)];
+                        path.extend(path_tail.iter().cloned());
+                        out.lock_violations.push(LockViolation {
+                            file: fm.path.clone(),
+                            line,
+                            at,
+                            from: cfg.classes[h.class].name.clone(),
+                            to: cfg.classes[to].name.clone(),
+                            path,
+                        });
+                    }
+                };
+            for ev in &f.events {
+                match ev {
+                    Event::Acquire {
+                        field,
+                        method,
+                        var,
+                        line,
+                        at,
+                        depth,
+                    } => {
+                        let Some(class) = cfg.class_of_field(field) else {
+                            continue;
+                        };
+                        edge(
+                            &held,
+                            class,
+                            *line,
+                            *at,
+                            vec![format!("{}.{method}() at line {line}", field)],
+                        );
+                        held.push(Held {
+                            class,
+                            var: var.clone(),
+                            depth: *depth,
+                            temp: var.is_none(),
+                            how: format!(
+                                "holds {} via .{method}() at line {line}",
+                                cfg.classes[class].name
+                            ),
+                        });
+                    }
+                    Event::Call {
+                        name,
+                        var,
+                        arg,
+                        line,
+                        at,
+                        depth,
+                    } => {
+                        if name == "drop" {
+                            if let Some(a) = arg {
+                                held.retain(|h| h.var.as_deref() != Some(a.as_str()));
+                            }
+                            continue;
+                        }
+                        let Some(callee) = graph.resolve_unique(fi, name) else {
+                            continue;
+                        };
+                        let cs = &sums[&callee];
+                        let mut classes: Vec<usize> = cs.acquires.keys().copied().collect();
+                        classes.sort_unstable();
+                        for class in classes {
+                            edge(
+                                &held,
+                                class,
+                                *line,
+                                *at,
+                                witness_chain(graph, sums, callee, class),
+                            );
+                        }
+                        for &class in &cs.holds_on_return {
+                            held.push(Held {
+                                class,
+                                var: var.clone(),
+                                depth: *depth,
+                                temp: var.is_none(),
+                                how: format!(
+                                    "holds {} via {}() at line {line}",
+                                    cfg.classes[class].name,
+                                    graph.fun(callee).qname()
+                                ),
+                            });
+                        }
+                    }
+                    Event::StmtEnd { depth } => held.retain(|h| !(h.temp && h.depth >= *depth)),
+                    Event::Close { depth } => held.retain(|h| h.depth < *depth),
+                    Event::Panic { .. } => {}
+                }
+            }
+        }
+    }
+    // One report per (site, edge): the replay can visit a call that
+    // produces the same violation through several held guards.
+    out.lock_violations
+        .sort_by(|a, b| (&a.file, a.line, &a.from, &a.to).cmp(&(&b.file, b.line, &b.from, &b.to)));
+    out.lock_violations
+        .dedup_by(|a, b| a.file == b.file && a.line == b.line && a.from == b.from && a.to == b.to);
+}
+
+fn panic_reachability(graph: &Graph<'_>, cfg: &LockConfig, out: &mut Analysis) {
+    // BFS from entries, staying inside the audit scope.
+    let mut pred: HashMap<FnId, Option<FnId>> = HashMap::new();
+    let mut queue: Vec<FnId> = Vec::new();
+    for (fi, fm) in graph.files.iter().enumerate() {
+        if !cfg.in_scope(&fm.path) {
+            continue;
+        }
+        for (gi, f) in fm.fns.iter().enumerate() {
+            if !f.is_test && cfg.is_entry(&fm.path, &f.name) {
+                pred.insert((fi, gi), None);
+                queue.push((fi, gi));
+            }
+        }
+    }
+    let mut qi = 0usize;
+    while qi < queue.len() {
+        let id = queue[qi];
+        qi += 1;
+        for ev in &graph.fun(id).events {
+            if let Event::Call { name, .. } = ev {
+                for callee in graph.resolve_all(id.0, name) {
+                    if cfg.in_scope(&graph.files[callee.0].path) && !pred.contains_key(&callee) {
+                        pred.insert(callee, Some(id));
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+    }
+    for &id in &queue {
+        let f = graph.fun(id);
+        // Entry → … → f, for the finding message.
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            chain.push(graph.fun(c).qname());
+            cur = pred[&c].map(Some).unwrap_or(None);
+            if chain.len() > 32 {
+                break;
+            }
+        }
+        chain.reverse();
+        for ev in &f.events {
+            if let Event::Panic {
+                kind,
+                what,
+                line,
+                at,
+                ..
+            } = ev
+            {
+                out.panics.push(ReachablePanic {
+                    file: graph.files[id.0].path.clone(),
+                    line: *line,
+                    at: *at,
+                    kind: *kind,
+                    what: what.clone(),
+                    chain: chain.clone(),
+                });
+            }
+        }
+    }
+    out.panics
+        .sort_by(|a, b| (&a.file, a.line, a.at).cmp(&(&b.file, b.line, b.at)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+    use crate::model::parse_config;
+    use crate::parser::parse;
+
+    fn cfg() -> LockConfig {
+        parse_config(
+            "[[class]]\nname = \"vkg.shard\"\nfields = [\"state\"]\nself_nest = true\n\
+             before = [\"vkg.published\", \"vkg.cracklog\"]\n\
+             [[class]]\nname = \"vkg.published\"\nfields = [\"published\"]\n\
+             [[class]]\nname = \"vkg.cracklog\"\nfields = [\"crack_log\"]\n\
+             [request_path]\nentries = [\"worker_loop\"]\n\
+             entry_files = [\"crates/server/src/server.rs\"]\n\
+             scope = [\"crates/server/src/\", \"crates/core/src/engine/\"]\n",
+        )
+        .expect("test config")
+    }
+
+    fn run(path: &str, src: &str) -> Analysis {
+        let m = parse(path, &scrub(src).code);
+        analyze(&[m], &cfg())
+    }
+
+    #[test]
+    fn ordered_nesting_is_clean() {
+        let a = run(
+            "crates/core/src/engine/shard.rs",
+            "impl E {\n\
+               fn sync(&self) { let log = self.crack_log.lock(); }\n\
+               fn query(&self) {\n\
+                 let s = self.state.write();\n\
+                 self.sync();\n\
+                 let p = self.published.read();\n\
+               }\n\
+             }\n",
+        );
+        assert!(a.lock_violations.is_empty(), "{:?}", a.lock_violations);
+    }
+
+    #[test]
+    fn direct_inversion_flagged_with_path() {
+        let a = run(
+            "crates/core/src/engine/shard.rs",
+            "impl E {\n\
+               fn bad(&self) {\n\
+                 let log = self.crack_log.lock();\n\
+                 let s = self.state.write();\n\
+               }\n\
+             }\n",
+        );
+        assert_eq!(a.lock_violations.len(), 1, "{:?}", a.lock_violations);
+        let v = &a.lock_violations[0];
+        assert_eq!(v.from, "vkg.cracklog");
+        assert_eq!(v.to, "vkg.shard");
+        assert_eq!(v.line, 4);
+        assert!(v.path[0].contains("E::bad"), "{:?}", v.path);
+    }
+
+    #[test]
+    fn inversion_through_call_chain_carries_full_path() {
+        let a = run(
+            "crates/core/src/engine/shard.rs",
+            "impl E {\n\
+               fn locks_shard(&self) { let s = self.state.write(); }\n\
+               fn middle(&self) { self.locks_shard(); }\n\
+               fn bad(&self) {\n\
+                 let log = self.crack_log.lock();\n\
+                 self.middle();\n\
+               }\n\
+             }\n",
+        );
+        assert_eq!(a.lock_violations.len(), 1, "{:?}", a.lock_violations);
+        let v = &a.lock_violations[0];
+        let path = v.path.join(" -> ");
+        assert!(path.contains("E::bad"), "{path}");
+        assert!(path.contains("E::middle"), "{path}");
+        assert!(path.contains("E::locks_shard"), "{path}");
+    }
+
+    #[test]
+    fn guard_returning_callee_leaves_class_held() {
+        let a = run(
+            "crates/core/src/engine/shard.rs",
+            "impl E {\n\
+               fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, S> {\n\
+                 self.shards[i].state.write()\n\
+               }\n\
+               fn ok(&self) {\n\
+                 let s = self.write_shard(0);\n\
+                 let log = self.crack_log.lock();\n\
+               }\n\
+               fn bad(&self) {\n\
+                 let log = self.crack_log.lock();\n\
+                 let s = self.write_shard(0);\n\
+               }\n\
+             }\n",
+        );
+        assert_eq!(a.lock_violations.len(), 1, "{:?}", a.lock_violations);
+        assert!(a.lock_violations[0].path.join(" ").contains("write_shard"));
+    }
+
+    #[test]
+    fn temporaries_die_at_statement_end_and_drop_releases() {
+        let a = run(
+            "crates/core/src/engine/shard.rs",
+            "impl E {\n\
+               fn temp(&self) {\n\
+                 self.crack_log.lock();\n\
+                 let s = self.state.write();\n\
+               }\n\
+               fn dropped(&self) {\n\
+                 let log = self.crack_log.lock();\n\
+                 drop(log);\n\
+                 let s = self.state.write();\n\
+               }\n\
+             }\n",
+        );
+        assert!(a.lock_violations.is_empty(), "{:?}", a.lock_violations);
+    }
+
+    #[test]
+    fn block_scope_releases_guards() {
+        let a = run(
+            "crates/core/src/engine/shard.rs",
+            "impl E {\n\
+               fn scoped(&self) {\n\
+                 { let log = self.crack_log.lock(); }\n\
+                 let s = self.state.write();\n\
+               }\n\
+             }\n",
+        );
+        assert!(a.lock_violations.is_empty(), "{:?}", a.lock_violations);
+    }
+
+    #[test]
+    fn panic_reachability_follows_calls_and_stops_at_scope() {
+        let files = vec![
+            parse(
+                "crates/server/src/server.rs",
+                &scrub(
+                    "fn worker_loop() { execute(); }\n\
+                     fn execute() { helper(); outside(); }\n\
+                     fn helper() { let x = xs[0]; }\n\
+                     fn unrelated() { ys[1]; }\n",
+                )
+                .code,
+            ),
+            parse(
+                "crates/core/src/index/topk.rs",
+                &scrub("pub fn outside() { zs[2]; }\n").code,
+            ),
+        ];
+        let a = analyze(&files, &cfg());
+        assert_eq!(a.panics.len(), 1, "{:?}", a.panics);
+        assert_eq!(a.panics[0].kind, PanicKind::Index);
+        assert_eq!(
+            a.panics[0].chain,
+            vec!["worker_loop", "execute", "helper"],
+            "chain reconstructs the static route"
+        );
+    }
+}

@@ -1,32 +1,50 @@
 //! Workspace automation. One subcommand so far:
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--github] [--self-test]
+//! cargo run -p xtask -- lint [--github] [--self-test] [--strict]
+//!                            [--baseline] [--write-baseline]
 //! ```
 //!
-//! Lints every `.rs` file under `crates/` with the hand-rolled rule
-//! engine in [`rules`] (see `DESIGN.md` §3.3 for the rule catalogue and
-//! rationale). `--github` switches output to GitHub Actions `::error`
-//! annotations; `--self-test` runs the rules against the fixtures in
-//! `crates/xtask/fixtures/`, verifying each rule demonstrably fires
-//! where expected and stays silent where not.
+//! Lints every `.rs` file under `crates/` and `tests/` with the
+//! two-layer engine in [`rules`]: token rules over the scrubbed text,
+//! plus semantic rules (lock-order, request-path panic audit, ordering
+//! justification, wire exhaustiveness) over the item model and call
+//! graph built by [`parser`]/[`callgraph`] against the declared model
+//! in `crates/xtask/lockorder.toml`. See `DESIGN.md` §3.3 and §3.7.
+//!
+//! * `--github` — GitHub Actions `::error` annotations.
+//! * `--self-test` — run the rules against `crates/xtask/fixtures/`,
+//!   exact-matching each fixture's `// expect:` lines both directions.
+//! * `--strict` — additionally report `unused-allow` (a valid
+//!   suppression that suppressed nothing) as a failure.
+//! * `--write-baseline` — snapshot current findings to
+//!   `crates/xtask/lint.baseline`.
+//! * `--baseline` — compare against the snapshot: only *new* findings
+//!   fail; entries in the snapshot that no longer fire are noted as
+//!   stale so the baseline can be shrunk, never silently grown.
 
+mod callgraph;
 mod lexer;
+mod model;
+mod parser;
 mod rules;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rules::Finding;
+use rules::{Finding, LintReport};
+
+const BASELINE_PATH: &str = "crates/xtask/lint.baseline";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let github = args.iter().any(|a| a == "--github");
+            let flag = |name: &str| args.iter().any(|a| a == name);
+            let github = flag("--github");
             let root = repo_root();
-            if args.iter().any(|a| a == "--self-test") {
-                match self_test(&root) {
+            if flag("--self-test") {
+                return match self_test(&root) {
                     Ok(report) => {
                         println!("{report}");
                         ExitCode::SUCCESS
@@ -38,27 +56,87 @@ fn main() -> ExitCode {
                         eprintln!("lint self-test: {} failure(s)", failures.len());
                         ExitCode::FAILURE
                     }
+                };
+            }
+            let (checked, report) = lint_workspace(&root);
+            let mut findings = report.findings;
+            if flag("--strict") {
+                findings.extend(report.unused_allows);
+            }
+            if flag("--write-baseline") {
+                let body: String = findings
+                    .iter()
+                    .map(|f| format!("{}\n", f.baseline_key()))
+                    .collect();
+                let path = root.join(BASELINE_PATH);
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("lint: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
                 }
-            } else {
-                let (checked, findings) = lint_workspace(&root);
-                for f in &findings {
+                println!(
+                    "lint: baseline of {} finding(s) written to {BASELINE_PATH}",
+                    findings.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            if flag("--baseline") {
+                let path = root.join(BASELINE_PATH);
+                let Ok(snapshot) = std::fs::read_to_string(&path) else {
+                    eprintln!(
+                        "lint: no baseline at {BASELINE_PATH}; run with --write-baseline first"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                let known: Vec<&str> = snapshot.lines().filter(|l| !l.is_empty()).collect();
+                let new: Vec<&Finding> = findings
+                    .iter()
+                    .filter(|f| !known.contains(&f.baseline_key().as_str()))
+                    .collect();
+                let stale: Vec<&&str> = known
+                    .iter()
+                    .filter(|k| findings.iter().all(|f| f.baseline_key() != ***k))
+                    .collect();
+                for f in &new {
                     if github {
                         println!("{}", f.render_github());
                     } else {
                         println!("{}", f.render());
                     }
                 }
-                if findings.is_empty() {
-                    println!("lint: {checked} files clean");
+                for k in &stale {
+                    println!("lint: baseline entry no longer fires (prune it): {k}");
+                }
+                return if new.is_empty() {
+                    println!(
+                        "lint: {checked} files, no findings beyond the {}-entry baseline",
+                        known.len()
+                    );
                     ExitCode::SUCCESS
                 } else {
-                    eprintln!("lint: {} finding(s) across {checked} files", findings.len());
+                    eprintln!("lint: {} new finding(s) beyond the baseline", new.len());
                     ExitCode::FAILURE
+                };
+            }
+            for f in &findings {
+                if github {
+                    println!("{}", f.render_github());
+                } else {
+                    println!("{}", f.render());
                 }
+            }
+            if findings.is_empty() {
+                println!("lint: {checked} files clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("lint: {} finding(s) across {checked} files", findings.len());
+                ExitCode::FAILURE
             }
         }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--github] [--self-test]");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [--github] [--self-test] [--strict] \
+                 [--baseline] [--write-baseline]"
+            );
             ExitCode::from(2)
         }
     }
@@ -73,31 +151,32 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Lints all sources under `crates/` and the top-level `tests/`.
-/// Returns `(files_checked, findings)`.
-fn lint_workspace(root: &Path) -> (usize, Vec<Finding>) {
-    let mut files = Vec::new();
-    collect_rs(&root.join("crates"), &mut files);
-    collect_rs(&root.join("tests"), &mut files);
-    files.sort();
-    let mut findings = Vec::new();
-    let mut checked = 0usize;
-    for file in &files {
-        let rel = file
+/// Lints all sources under `crates/` and the top-level `tests/` as one
+/// workspace (the call-graph rules need every file at once). Returns
+/// `(files_checked, report)`.
+fn lint_workspace(root: &Path) -> (usize, LintReport) {
+    let mut paths = Vec::new();
+    collect_rs(&root.join("crates"), &mut paths);
+    collect_rs(&root.join("tests"), &mut paths);
+    paths.sort();
+    let mut files: Vec<(String, String)> = Vec::new();
+    for path in &paths {
+        let rel = path
             .strip_prefix(root)
-            .unwrap_or(file)
+            .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
         if rel.starts_with("crates/xtask/fixtures/") {
             continue; // deliberately-bad inputs
         }
-        let Ok(src) = std::fs::read_to_string(file) else {
+        let Ok(src) = std::fs::read_to_string(path) else {
             continue;
         };
-        checked += 1;
-        findings.extend(rules::lint_source(&rel, &src));
+        files.push((rel, src));
     }
-    (checked, findings)
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let report = rules::lint_files(&files, &model::default_config(), design.as_deref());
+    (files.len(), report)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -192,12 +271,23 @@ mod tests {
 
     #[test]
     fn workspace_is_lint_clean() {
-        let (checked, findings) = lint_workspace(&repo_root());
+        let (checked, report) = lint_workspace(&repo_root());
         assert!(checked > 20, "walker found only {checked} files");
         assert!(
-            findings.is_empty(),
+            report.findings.is_empty(),
             "workspace has lint findings:\n{}",
-            findings
+            report
+                .findings
+                .iter()
+                .map(rules::Finding::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            report.unused_allows.is_empty(),
+            "workspace has stale lint allows:\n{}",
+            report
+                .unused_allows
                 .iter()
                 .map(rules::Finding::render)
                 .collect::<Vec<_>>()
@@ -229,5 +319,17 @@ mod tests {
             }
             Err(failures) => panic!("fixture self-test failed:\n{}", failures.join("\n")),
         }
+    }
+
+    #[test]
+    fn baseline_keys_are_stable_identities() {
+        let f = Finding {
+            file: "crates/server/src/wire.rs".into(),
+            line: 12,
+            col: 9,
+            rule: "no-unwrap",
+            message: "wording may change".into(),
+        };
+        assert_eq!(f.baseline_key(), "crates/server/src/wire.rs:12:no-unwrap");
     }
 }

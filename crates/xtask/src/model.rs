@@ -1,0 +1,314 @@
+//! The declared concurrency model the semantic rules check against:
+//! lock classes with their acquisition DAG, and the request-path audit
+//! scope. Loaded from `crates/xtask/lockorder.toml` (embedded at build
+//! time, so the binary needs no working directory).
+//!
+//! The file is parsed with a deliberately tiny TOML-subset reader
+//! (tables, `[[class]]` arrays-of-tables, string/bool/string-array
+//! values) — the workspace takes no external dependencies.
+
+/// One declared lock class.
+#[derive(Debug, Clone, Default)]
+pub struct LockClass {
+    /// Display name, matching `vkg_sync` lock names (`vkg.shard`, …).
+    pub name: String,
+    /// Receiver field names whose `.lock()/.read()/.write()` acquire
+    /// this class (`self.crack_log.lock()` → field `crack_log`).
+    pub fields: Vec<String>,
+    /// Classes that may be acquired *while holding* this one.
+    pub before: Vec<String>,
+    /// The class may nest with itself (the ascending `lock_all` sweep).
+    pub self_nest: bool,
+}
+
+/// Parsed `lockorder.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LockConfig {
+    pub classes: Vec<LockClass>,
+    /// Request-path entry-point function names.
+    pub entries: Vec<String>,
+    /// Files whose functions can be entry points.
+    pub entry_files: Vec<String>,
+    /// Path prefixes (or exact paths) inside the request-path audit
+    /// scope; calls leaving the scope are treated as opaque.
+    pub scope: Vec<String>,
+}
+
+impl LockConfig {
+    /// Class index acquired through `field`, if declared.
+    pub fn class_of_field(&self, field: &str) -> Option<usize> {
+        self.classes
+            .iter()
+            .position(|c| c.fields.iter().any(|f| f == field))
+    }
+
+    pub fn class_index(&self, name: &str) -> Option<usize> {
+        self.classes.iter().position(|c| c.name == name)
+    }
+
+    /// Whether acquiring `to` while holding `from` follows the declared
+    /// DAG (transitively: `a before b`, `b before c` ⇒ `a before c`).
+    pub fn allows(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return self.classes[from].self_nest;
+        }
+        // DFS over `before` edges; class counts are tiny.
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.classes.len()];
+        while let Some(c) = stack.pop() {
+            if seen[c] {
+                continue;
+            }
+            seen[c] = true;
+            for b in &self.classes[c].before {
+                if let Some(bi) = self.class_index(b) {
+                    if bi == to {
+                        return true;
+                    }
+                    stack.push(bi);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `path` is inside the request-path audit scope.
+    pub fn in_scope(&self, path: &str) -> bool {
+        self.scope
+            .iter()
+            .any(|s| path == s || (s.ends_with('/') && path.starts_with(s.as_str())))
+    }
+
+    /// Whether `(path, fn_name)` is a request-path entry point.
+    pub fn is_entry(&self, path: &str, fn_name: &str) -> bool {
+        self.entry_files.iter().any(|f| f == path) && self.entries.iter().any(|e| e == fn_name)
+    }
+}
+
+/// Parses the TOML subset used by `lockorder.toml`. Errors carry the
+/// offending line for diagnostics.
+pub fn parse_config(text: &str) -> Result<LockConfig, String> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Class,
+        RequestPath,
+    }
+    let mut cfg = LockConfig::default();
+    let mut section = Section::None;
+    for (n, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[class]]" {
+            cfg.classes.push(LockClass::default());
+            section = Section::Class;
+            continue;
+        }
+        if line == "[request_path]" {
+            section = Section::RequestPath;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "lockorder.toml:{}: unknown section `{line}`",
+                n + 1
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lockorder.toml:{}: expected `key = value`", n + 1));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let err = |what: &str| format!("lockorder.toml:{}: {what}", n + 1);
+        match section {
+            Section::Class => {
+                let class = cfg
+                    .classes
+                    .last_mut()
+                    .ok_or_else(|| err("no open [[class]]"))?;
+                match key {
+                    "name" => class.name = parse_str(value).ok_or_else(|| err("bad string"))?,
+                    "fields" => {
+                        class.fields = parse_array(value).ok_or_else(|| err("bad array"))?
+                    }
+                    "before" => {
+                        class.before = parse_array(value).ok_or_else(|| err("bad array"))?
+                    }
+                    "self_nest" => {
+                        class.self_nest = match value {
+                            "true" => true,
+                            "false" => false,
+                            _ => return Err(err("self_nest must be true or false")),
+                        }
+                    }
+                    _ => return Err(err("unknown class key")),
+                }
+            }
+            Section::RequestPath => match key {
+                "entries" => cfg.entries = parse_array(value).ok_or_else(|| err("bad array"))?,
+                "entry_files" => {
+                    cfg.entry_files = parse_array(value).ok_or_else(|| err("bad array"))?
+                }
+                "scope" => cfg.scope = parse_array(value).ok_or_else(|| err("bad array"))?,
+                _ => return Err(err("unknown request_path key")),
+            },
+            Section::None => return Err(err("key outside any section")),
+        }
+    }
+    for c in &cfg.classes {
+        if c.name.is_empty() {
+            return Err("lockorder.toml: a [[class]] is missing `name`".to_string());
+        }
+        for b in &c.before {
+            if cfg.class_index(b).is_none() {
+                return Err(format!(
+                    "lockorder.toml: class `{}` orders before undeclared `{b}`",
+                    c.name
+                ));
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// The workspace's declared model, embedded at compile time.
+pub fn default_config() -> LockConfig {
+    static TEXT: &str = include_str!("../lockorder.toml");
+    parse_config(TEXT).unwrap_or_else(|e| {
+        // A broken declaration must fail loudly, not lint vacuously.
+        eprintln!("invalid crates/xtask/lockorder.toml: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_str(v: &str) -> Option<String> {
+    let v = v.strip_prefix('"')?.strip_suffix('"')?;
+    Some(v.to_string())
+}
+
+fn parse_array(v: &str) -> Option<Vec<String>> {
+    let v = v.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if v.is_empty() {
+        return Some(Vec::new());
+    }
+    v.split(',')
+        .map(|item| {
+            let item = item.trim();
+            if item.is_empty() {
+                // Trailing comma.
+                Some(None)
+            } else {
+                parse_str(item).map(Some)
+            }
+        })
+        .collect::<Option<Vec<_>>>()
+        .map(|items| items.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a comment
+[[class]]
+name = "vkg.shard"            # inline comment
+fields = ["state"]
+self_nest = true
+before = ["vkg.published", "vkg.cracklog"]
+
+[[class]]
+name = "vkg.published"
+fields = ["published"]
+
+[[class]]
+name = "vkg.cracklog"
+fields = ["crack_log"]
+
+[request_path]
+entries = ["worker_loop"]
+entry_files = ["crates/server/src/server.rs"]
+scope = ["crates/server/src/", "crates/core/src/vkg.rs"]
+"#;
+
+    #[test]
+    fn parses_classes_and_order() {
+        let cfg = parse_config(SAMPLE).expect("parses");
+        assert_eq!(cfg.classes.len(), 3);
+        let shard = cfg.class_index("vkg.shard").unwrap();
+        let publ = cfg.class_index("vkg.published").unwrap();
+        let log = cfg.class_index("vkg.cracklog").unwrap();
+        assert!(cfg.allows(shard, publ));
+        assert!(cfg.allows(shard, log));
+        assert!(!cfg.allows(log, shard), "inversion must be rejected");
+        assert!(!cfg.allows(publ, log), "unordered pair is rejected");
+        assert!(cfg.allows(shard, shard), "self_nest = true");
+        assert!(!cfg.allows(log, log), "self_nest defaults to false");
+        assert_eq!(cfg.class_of_field("crack_log"), Some(log));
+        assert_eq!(cfg.class_of_field("nope"), None);
+    }
+
+    #[test]
+    fn scope_and_entries() {
+        let cfg = parse_config(SAMPLE).expect("parses");
+        assert!(cfg.in_scope("crates/server/src/server.rs"));
+        assert!(cfg.in_scope("crates/core/src/vkg.rs"));
+        assert!(!cfg.in_scope("crates/core/src/index/topk.rs"));
+        assert!(cfg.is_entry("crates/server/src/server.rs", "worker_loop"));
+        assert!(!cfg.is_entry("crates/server/src/queue.rs", "worker_loop"));
+    }
+
+    #[test]
+    fn transitive_order() {
+        let cfg = parse_config(
+            "[[class]]\nname = \"a\"\nfields = [\"fa\"]\nbefore = [\"b\"]\n\
+             [[class]]\nname = \"b\"\nfields = [\"fb\"]\nbefore = [\"c\"]\n\
+             [[class]]\nname = \"c\"\nfields = [\"fc\"]\n",
+        )
+        .expect("parses");
+        let (a, c) = (cfg.class_index("a").unwrap(), cfg.class_index("c").unwrap());
+        assert!(cfg.allows(a, c), "a < b < c implies a < c");
+        assert!(!cfg.allows(c, a));
+    }
+
+    #[test]
+    fn bad_configs_error() {
+        assert!(
+            parse_config("[[class]]\nfields = [\"x\"]\n").is_err(),
+            "missing name"
+        );
+        assert!(
+            parse_config("[[class]]\nname = \"a\"\nbefore = [\"ghost\"]\n").is_err(),
+            "undeclared order target"
+        );
+        assert!(parse_config("[wat]\n").is_err());
+        assert!(
+            parse_config("name = \"a\"\n").is_err(),
+            "key outside section"
+        );
+    }
+
+    #[test]
+    fn embedded_config_is_valid() {
+        let cfg = default_config();
+        assert!(cfg.class_index("vkg.shard").is_some());
+        assert!(cfg.class_index("vkg.published").is_some());
+        assert!(cfg.class_index("vkg.cracklog").is_some());
+        assert!(!cfg.entries.is_empty());
+        assert!(!cfg.scope.is_empty());
+    }
+}

@@ -1,0 +1,1199 @@
+//! A span-carrying tokenizer and a recursive-descent item parser over
+//! the scrubbed source (see [`crate::lexer`]).
+//!
+//! The tokenizer fixes the two gaps that confused the token-free rules:
+//! raw identifiers (`r#type`) lex as one identifier token, and turbofish
+//! paths (`.collect::<Vec<u32>>()`) keep the method name adjacent to its
+//! argument list instead of hiding it behind generic noise. Every token
+//! carries its byte span into the scrubbed text (which is byte-for-byte
+//! aligned with the original source), so `parse → span-print` must
+//! reproduce the input exactly — a property the round-trip test below
+//! checks over every file in `crates/core/src`.
+//!
+//! The parser does not build an expression tree. It recognises *items*
+//! (`fn`, `impl`, `mod`, `trait`, `const`) and, inside each function
+//! body, records the ordered event stream the semantic rules need:
+//! lock acquisitions, calls, panic sources, and statement/block
+//! boundaries for guard-lifetime tracking.
+
+/// Token kind. Literal bodies are already blanked by the lexer, so a
+/// `Str` token is its delimiters plus interior spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// `'a`-style lifetime (never a char literal).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String / raw-string literal (scrubbed interior).
+    Str,
+    /// Char literal (scrubbed interior).
+    Char,
+    /// Punctuation; `::`, `->` and `=>` are single tokens.
+    Punct,
+}
+
+/// One token with its byte span into the scrubbed source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-indexed line of the first byte.
+    pub line: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes scrubbed source. Total coverage: the bytes between
+/// consecutive token spans are whitespace only (see [`roundtrip_gaps_ok`]).
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        // Raw strings (`r"…"`, `r#"…"#`) and raw byte strings; the lexer
+        // kept the delimiters and blanked the interior.
+        let raw_at = if b == b'r' {
+            Some(i)
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'r') {
+            Some(i + 1)
+        } else {
+            None
+        };
+        if let Some(r) = raw_at {
+            let mut j = r + 1;
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'"') {
+                // Scan the blanked interior to the closing quote + hashes.
+                j += 1;
+                loop {
+                    match bytes.get(j) {
+                        None => break,
+                        Some(&b'"') => {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        Some(&c) => {
+                            if c == b'\n' {
+                                line += 1;
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    start,
+                    end: j,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if b == b'r'
+                && bytes.get(i + 1) == Some(&b'#')
+                && bytes.get(i + 2).copied().is_some_and(is_ident_start)
+            {
+                // Raw identifier: `r#type` is one Ident token.
+                let mut j = i + 2;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    start,
+                    end: j,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        if b == b'b' && bytes.get(i + 1) == Some(&b'"') || b == b'"' {
+            // (Byte) string literal: interior is blanked, so the next
+            // quote closes it.
+            let mut j = if b == b'"' { i + 1 } else { i + 2 };
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            j = (j + 1).min(bytes.len());
+            toks.push(Tok {
+                kind: TokKind::Str,
+                start,
+                end: j,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+            // Byte char literal `b'x'` (interior blanked).
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            j = (j + 1).min(bytes.len());
+            toks.push(Tok {
+                kind: TokKind::Char,
+                start,
+                end: j,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_start(b) {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start,
+                end: j,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            // Fractional part: `1.5`, but not the range `1..5`.
+            if bytes.get(j) == Some(&b'.')
+                && bytes
+                    .get(j + 1)
+                    .copied()
+                    .is_some_and(|c| c.is_ascii_digit())
+            {
+                j += 1;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                start,
+                end: j,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        if b == b'\'' {
+            let next = bytes.get(i + 1).copied();
+            let closes_after_one = bytes.get(i + 2) == Some(&b'\'');
+            if next.is_some_and(is_ident_start) && !closes_after_one {
+                // Lifetime: `'a`, `'static`, `'_`.
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    start,
+                    end: j,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal with blanked interior: scan to the close.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            j = (j + 1).min(bytes.len());
+            toks.push(Tok {
+                kind: TokKind::Char,
+                start,
+                end: j,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation. Multi-byte tokens the parser relies on.
+        let two = bytes.get(i + 1).map(|&n| [b, n]);
+        let end = match two {
+            Some([b':', b':']) | Some([b'-', b'>']) | Some([b'=', b'>']) => i + 2,
+            _ => i + 1,
+        };
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            start,
+            end,
+            line: start_line,
+        });
+        i = end;
+    }
+    toks
+}
+
+/// The tokenizer's coverage invariant: re-printing every token span in
+/// order, with the original inter-token bytes, reproduces the scrubbed
+/// source — and every inter-token byte is whitespace. Returns the first
+/// offending byte offset, if any.
+#[cfg_attr(not(test), allow(dead_code))]
+pub fn roundtrip_gaps_ok(code: &str, toks: &[Tok]) -> Result<(), usize> {
+    let bytes = code.as_bytes();
+    let mut pos = 0usize;
+    for t in toks {
+        if t.start < pos || t.end > bytes.len() || t.start > t.end {
+            return Err(t.start);
+        }
+        for (off, &b) in bytes[pos..t.start].iter().enumerate() {
+            if !b.is_ascii_whitespace() {
+                return Err(pos + off);
+            }
+        }
+        pos = t.end;
+    }
+    for (off, &b) in bytes[pos..].iter().enumerate() {
+        if !b.is_ascii_whitespace() {
+            return Err(pos + off);
+        }
+    }
+    Ok(())
+}
+
+/// What kind of panic source a [`Event::Panic`] site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`
+    Unwrap,
+    /// `.expect(..)`
+    Expect,
+    /// `panic!`/`unreachable!`/`todo!`/`unimplemented!`/`assert*!`
+    Macro,
+    /// `[..]` indexing in expression position (slice/array/map panics).
+    Index,
+}
+
+/// One ordered fact inside a function body. `depth` is the brace depth
+/// relative to the body (the body block itself is depth 1).
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// `recv.lock()` / `recv.read()` / `recv.write()` with no arguments.
+    Acquire {
+        /// Last field/variable segment of the receiver chain.
+        field: String,
+        /// Method used (`lock`, `read`, `write`).
+        method: &'static str,
+        /// `let` binding the guard, if the statement has one; `None`
+        /// means a temporary dropped at the end of the statement.
+        var: Option<String>,
+        line: usize,
+        at: usize,
+        depth: usize,
+    },
+    /// A call by last path segment (free fn, method, or `Path::fn`).
+    Call {
+        name: String,
+        /// `let` binding of the statement (a returned guard lives in it).
+        var: Option<String>,
+        /// The sole argument when it is a bare identifier (`drop(g)`).
+        arg: Option<String>,
+        line: usize,
+        at: usize,
+        depth: usize,
+    },
+    /// A statically-detected panic source.
+    Panic {
+        kind: PanicKind,
+        /// The token text (method/macro name, or `[` for indexing).
+        what: String,
+        line: usize,
+        at: usize,
+        /// Kept for symmetry with the other events; the panic rules are
+        /// scope-insensitive within a body.
+        #[allow(dead_code)]
+        depth: usize,
+    },
+    /// `;` at `depth`: temporaries acquired in this statement die here.
+    StmtEnd { depth: usize },
+    /// A `}` closing brace: everything acquired at ≥ `depth` dies.
+    Close { depth: usize },
+}
+
+/// One parsed function (or method, or trait default method).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Bare name (raw-ident prefix stripped).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub impl_ty: Option<String>,
+    /// 1-indexed line of the `fn` keyword (diagnostics/debugging).
+    #[allow(dead_code)]
+    pub line: usize,
+    /// Under `#[cfg(test)]` or carrying `#[test]`.
+    pub is_test: bool,
+    /// Return type mentions a `*Guard*` type — callers inherit the
+    /// locks this function leaves held.
+    pub returns_guard: bool,
+    /// Ordered body facts.
+    pub events: Vec<Event>,
+    /// Token index range of the body (for identifier sweeps).
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// `Type::name` or `name` — the label used in reported call paths.
+    pub fn qname(&self) -> String {
+        match &self.impl_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `const` item (for the wire-exhaustiveness rule).
+#[derive(Debug)]
+pub struct ConstItem {
+    pub name: String,
+    /// Declared type is exactly `u8` (opcode constants).
+    pub is_u8: bool,
+    /// Enclosing module path, e.g. `["op"]`.
+    pub mods: Vec<String>,
+    pub line: usize,
+}
+
+/// Per-file item model.
+#[derive(Debug)]
+pub struct FileModel {
+    pub path: String,
+    pub fns: Vec<FnItem>,
+    pub consts: Vec<ConstItem>,
+    pub toks: Vec<Tok>,
+    /// The scrubbed source the token spans index into.
+    pub code: String,
+}
+
+/// Parses one scrubbed file into its item model. Never panics: any
+/// construct the parser does not recognise is skipped token-by-token.
+pub fn parse(path: &str, code: &str) -> FileModel {
+    let toks = tokenize(code);
+    let mut p = P {
+        code,
+        toks: &toks,
+        i: 0,
+        fns: Vec::new(),
+        consts: Vec::new(),
+    };
+    p.items(&Ctx {
+        impl_ty: None,
+        mods: Vec::new(),
+        cfg_test: false,
+    });
+    FileModel {
+        path: path.to_string(),
+        fns: p.fns,
+        consts: p.consts,
+        toks,
+        code: code.to_string(),
+    }
+}
+
+#[derive(Clone)]
+struct Ctx {
+    impl_ty: Option<String>,
+    mods: Vec<String>,
+    cfg_test: bool,
+}
+
+struct P<'a> {
+    code: &'a str,
+    toks: &'a [Tok],
+    i: usize,
+    fns: Vec<FnItem>,
+    consts: Vec<ConstItem>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "match", "return", "loop", "as", "move", "mut", "ref",
+    "let", "fn", "pub", "use", "impl", "struct", "enum", "union", "trait", "where", "unsafe",
+    "dyn", "box", "break", "continue", "crate", "self", "Self", "super", "mod", "const", "static",
+    "type", "extern", "async", "await", "true", "false",
+];
+
+impl<'a> P<'a> {
+    fn txt(&self, i: usize) -> &'a str {
+        match self.toks.get(i) {
+            Some(t) => &self.code[t.start..t.end],
+            None => "",
+        }
+    }
+
+    fn kind(&self, i: usize) -> Option<TokKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.kind(i) == Some(TokKind::Punct) && self.txt(i) == s
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.kind(i) == Some(TokKind::Ident) && self.txt(i) == s
+    }
+
+    fn line(&self, i: usize) -> usize {
+        self.toks.get(i).map_or(1, |t| t.line)
+    }
+
+    /// Ident text with any `r#` raw prefix stripped.
+    fn ident_name(&self, i: usize) -> String {
+        let t = self.txt(i);
+        t.strip_prefix("r#").unwrap_or(t).to_string()
+    }
+
+    /// Skips a balanced `(..)`, `[..]` or `{..}` starting at `self.i`.
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.txt(self.i) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => {
+                self.i += 1;
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while self.i < self.toks.len() {
+            if self.is_punct(self.i, open) {
+                depth += 1;
+            } else if self.is_punct(self.i, close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skips to the `;` terminating the current item, balancing every
+    /// bracket kind on the way.
+    fn skip_to_semi(&mut self) {
+        while self.i < self.toks.len() {
+            match self.txt(self.i) {
+                "(" | "[" | "{" => self.skip_balanced(),
+                ";" => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Parses an attribute starting at `#`; returns true when it marks
+    /// the next item as test-only (`#[test]` or `#[cfg(test)]`, but not
+    /// `#[cfg(not(test))]`).
+    fn attr(&mut self) -> bool {
+        debug_assert!(self.is_punct(self.i, "#"));
+        self.i += 1; // '#'
+        if self.is_punct(self.i, "!") {
+            self.i += 1; // inner attribute `#![..]`
+        }
+        if !self.is_punct(self.i, "[") {
+            return false;
+        }
+        let start = self.i;
+        self.skip_balanced();
+        let end = self.i;
+        // `#[test]`
+        if end == start + 3 && self.is_ident(start + 1, "test") {
+            return true;
+        }
+        // `#[cfg(test)]` — the exact sequence `cfg ( test )`.
+        for j in start + 1..end.saturating_sub(3) {
+            if self.is_ident(j, "cfg")
+                && self.is_punct(j + 1, "(")
+                && self.is_ident(j + 2, "test")
+                && self.is_punct(j + 3, ")")
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Item loop for one brace level. Returns on the closing `}` (which
+    /// it consumes) or at end of input.
+    fn items(&mut self, ctx: &Ctx) {
+        let mut pending_test = false;
+        while self.i < self.toks.len() {
+            if self.is_punct(self.i, "#") {
+                pending_test |= self.attr();
+                continue;
+            }
+            if self.is_punct(self.i, "}") {
+                self.i += 1;
+                return;
+            }
+            if self.is_punct(self.i, "{") {
+                self.i += 1;
+                self.items(ctx);
+                continue;
+            }
+            if self.kind(self.i) != Some(TokKind::Ident) {
+                self.i += 1;
+                continue;
+            }
+            match self.txt(self.i) {
+                "fn" => {
+                    let test = pending_test;
+                    pending_test = false;
+                    self.function(ctx, test);
+                }
+                "impl" | "trait" => {
+                    let test = pending_test;
+                    pending_test = false;
+                    self.impl_or_trait(ctx, test);
+                }
+                "mod" => {
+                    let test = pending_test;
+                    pending_test = false;
+                    self.i += 1;
+                    let name = if self.kind(self.i) == Some(TokKind::Ident) {
+                        let n = self.ident_name(self.i);
+                        self.i += 1;
+                        n
+                    } else {
+                        String::new()
+                    };
+                    if self.is_punct(self.i, "{") {
+                        self.i += 1;
+                        let mut inner = ctx.clone();
+                        inner.mods.push(name);
+                        inner.cfg_test |= test;
+                        inner.impl_ty = None;
+                        self.items(&inner);
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                "struct" | "enum" | "union" => {
+                    pending_test = false;
+                    self.i += 1;
+                    while self.i < self.toks.len() {
+                        if self.is_punct(self.i, ";") {
+                            self.i += 1;
+                            break;
+                        }
+                        if self.is_punct(self.i, "{") || self.is_punct(self.i, "(") {
+                            self.skip_balanced();
+                            // Tuple structs still end with `;`.
+                            if self.is_punct(self.i, ";") {
+                                self.i += 1;
+                            }
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                }
+                "const" | "static" => {
+                    pending_test = false;
+                    let line = self.line(self.i);
+                    self.i += 1;
+                    // `const fn` / `const unsafe fn` / `const extern ..`:
+                    // a function, not an item constant — let the `fn`
+                    // arm handle it on the next iteration.
+                    if matches!(self.txt(self.i), "fn" | "unsafe" | "extern" | "async") {
+                        continue;
+                    }
+                    if self.kind(self.i) == Some(TokKind::Ident)
+                        && !KEYWORDS.contains(&self.txt(self.i))
+                    {
+                        let name = self.ident_name(self.i);
+                        let is_u8 =
+                            self.is_punct(self.i + 1, ":") && self.is_ident(self.i + 2, "u8");
+                        self.consts.push(ConstItem {
+                            name,
+                            is_u8,
+                            mods: ctx.mods.clone(),
+                            line,
+                        });
+                    }
+                    self.skip_to_semi();
+                }
+                "use" | "type" | "extern" => {
+                    pending_test = false;
+                    self.skip_to_semi();
+                }
+                "macro_rules" => {
+                    pending_test = false;
+                    self.i += 1; // name, `!`, then a balanced body
+                    while self.i < self.toks.len()
+                        && !self.is_punct(self.i, "{")
+                        && !self.is_punct(self.i, "(")
+                    {
+                        self.i += 1;
+                    }
+                    self.skip_balanced();
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn impl_or_trait(&mut self, ctx: &Ctx, test: bool) {
+        let is_trait = self.is_ident(self.i, "trait");
+        self.i += 1;
+        // Find the subject type name: for `impl A for B`, it is `B`;
+        // otherwise the first top-level (angle-depth 0) identifier.
+        let mut name: Option<String> = None;
+        let mut after_for = false;
+        let mut angle = 0isize;
+        while self.i < self.toks.len() && !self.is_punct(self.i, "{") {
+            if self.is_punct(self.i, ";") {
+                // `impl Trait for Type;` style — no body.
+                self.i += 1;
+                return;
+            }
+            match self.txt(self.i) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "for" if angle == 0 && !is_trait => {
+                    after_for = true;
+                    name = None;
+                }
+                "where" if angle == 0 => {
+                    // The name is settled; keep scanning to the `{`.
+                }
+                t if self.kind(self.i) == Some(TokKind::Ident)
+                    && angle == 0
+                    && !KEYWORDS.contains(&t)
+                    && (name.is_none() || after_for) =>
+                {
+                    name = Some(self.ident_name(self.i));
+                    after_for = false;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        if self.is_punct(self.i, "{") {
+            self.i += 1;
+            let mut inner = ctx.clone();
+            inner.impl_ty = name;
+            inner.cfg_test |= test;
+            self.items(&inner);
+        }
+    }
+
+    fn function(&mut self, ctx: &Ctx, test: bool) {
+        let line = self.line(self.i);
+        self.i += 1; // `fn`
+        if self.kind(self.i) != Some(TokKind::Ident) {
+            return;
+        }
+        let name = self.ident_name(self.i);
+        self.i += 1;
+        // Generics.
+        if self.is_punct(self.i, "<") {
+            let mut angle = 0isize;
+            while self.i < self.toks.len() {
+                match self.txt(self.i) {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            self.i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                self.i += 1;
+            }
+        }
+        // Parameters.
+        if self.is_punct(self.i, "(") {
+            self.skip_balanced();
+        }
+        // Return type + where clause, up to the body or `;`.
+        let mut returns_guard = false;
+        while self.i < self.toks.len() && !self.is_punct(self.i, "{") && !self.is_punct(self.i, ";")
+        {
+            if self.kind(self.i) == Some(TokKind::Ident) && self.txt(self.i).contains("Guard") {
+                returns_guard = true;
+            }
+            if self.is_punct(self.i, "(") || self.is_punct(self.i, "[") {
+                self.skip_balanced();
+                continue;
+            }
+            self.i += 1;
+        }
+        if self.is_punct(self.i, ";") {
+            self.i += 1;
+            self.fns.push(FnItem {
+                name,
+                impl_ty: ctx.impl_ty.clone(),
+                line,
+                is_test: test || ctx.cfg_test,
+                returns_guard,
+                events: Vec::new(),
+                body: (self.i, self.i),
+            });
+            return;
+        }
+        if !self.is_punct(self.i, "{") {
+            return;
+        }
+        let body_start = self.i;
+        self.i += 1;
+        let events = self.body_events();
+        self.fns.push(FnItem {
+            name,
+            impl_ty: ctx.impl_ty.clone(),
+            line,
+            is_test: test || ctx.cfg_test,
+            returns_guard,
+            events,
+            body: (body_start, self.i),
+        });
+    }
+
+    /// Scans a function body (opening `{` already consumed), recording
+    /// the ordered event stream. Consumes the closing `}`.
+    fn body_events(&mut self) -> Vec<Event> {
+        let mut events = Vec::new();
+        let mut depth = 1usize;
+        let mut current_let: Option<String> = None;
+        while self.i < self.toks.len() {
+            if self.kind(self.i) == Some(TokKind::Punct) {
+                match self.txt(self.i) {
+                    "{" => {
+                        depth += 1;
+                        current_let = None;
+                        self.i += 1;
+                        continue;
+                    }
+                    "}" => {
+                        events.push(Event::Close { depth });
+                        current_let = None;
+                        depth -= 1;
+                        self.i += 1;
+                        if depth == 0 {
+                            return events;
+                        }
+                        continue;
+                    }
+                    ";" => {
+                        events.push(Event::StmtEnd { depth });
+                        current_let = None;
+                        self.i += 1;
+                        continue;
+                    }
+                    "[" => {
+                        // Indexing panics only in expression position:
+                        // the previous token ends an expression.
+                        let expr_pos = self.i > 0
+                            && match self.kind(self.i - 1) {
+                                Some(TokKind::Ident) => !KEYWORDS.contains(&self.txt(self.i - 1)),
+                                Some(TokKind::Str) => true,
+                                Some(TokKind::Punct) => {
+                                    let p = self.txt(self.i - 1);
+                                    p == "]" || p == ")"
+                                }
+                                _ => false,
+                            };
+                        if expr_pos {
+                            let t = self.toks[self.i];
+                            events.push(Event::Panic {
+                                kind: PanicKind::Index,
+                                what: "[..] indexing".to_string(),
+                                line: t.line,
+                                at: t.start,
+                                depth,
+                            });
+                        }
+                        self.i += 1;
+                        continue;
+                    }
+                    _ => {
+                        self.i += 1;
+                        continue;
+                    }
+                }
+            }
+            if self.kind(self.i) != Some(TokKind::Ident) {
+                self.i += 1;
+                continue;
+            }
+            let t = self.toks[self.i];
+            let word = self.txt(self.i);
+            // `let [mut] name` opens a binding for the statement.
+            if word == "let" {
+                let mut j = self.i + 1;
+                if self.is_ident(j, "mut") {
+                    j += 1;
+                }
+                if self.kind(j) == Some(TokKind::Ident) && !KEYWORDS.contains(&self.txt(j)) {
+                    current_let = Some(self.ident_name(j));
+                } else {
+                    current_let = None;
+                }
+                self.i += 1;
+                continue;
+            }
+            // Panic macros.
+            if self.is_punct(self.i + 1, "!")
+                && matches!(
+                    word,
+                    "panic"
+                        | "unreachable"
+                        | "todo"
+                        | "unimplemented"
+                        | "assert"
+                        | "assert_eq"
+                        | "assert_ne"
+                )
+            {
+                events.push(Event::Panic {
+                    kind: PanicKind::Macro,
+                    what: format!("{word}!"),
+                    line: t.line,
+                    at: t.start,
+                    depth,
+                });
+                self.i += 2;
+                continue;
+            }
+            if KEYWORDS.contains(&word) {
+                self.i += 1;
+                continue;
+            }
+            // A call: ident, optional turbofish, then `(`.
+            let mut j = self.i + 1;
+            if self.is_punct(j, "::") && self.is_punct(j + 1, "<") {
+                let mut angle = 0isize;
+                j += 1;
+                while j < self.toks.len() {
+                    match self.txt(j) {
+                        "<" => angle += 1,
+                        ">" => {
+                            angle -= 1;
+                            if angle == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        "(" | ")" | ";" | "{" | "}" => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if !self.is_punct(j, "(") {
+                self.i += 1;
+                continue;
+            }
+            let name = self.ident_name(self.i);
+            let is_method = self.i > 0 && self.is_punct(self.i - 1, ".");
+            let empty_args = self.is_punct(j + 1, ")");
+            if is_method && empty_args && matches!(name.as_str(), "lock" | "read" | "write") {
+                if let Some(field) = self.receiver_field(self.i - 1) {
+                    let method = match name.as_str() {
+                        "lock" => "lock",
+                        "read" => "read",
+                        _ => "write",
+                    };
+                    events.push(Event::Acquire {
+                        field,
+                        method,
+                        var: current_let.clone(),
+                        line: t.line,
+                        at: t.start,
+                        depth,
+                    });
+                    self.i = j + 2;
+                    continue;
+                }
+            }
+            if is_method && name == "unwrap" && empty_args {
+                events.push(Event::Panic {
+                    kind: PanicKind::Unwrap,
+                    what: ".unwrap()".to_string(),
+                    line: t.line,
+                    at: t.start,
+                    depth,
+                });
+                self.i = j + 1;
+                continue;
+            }
+            if is_method && name == "expect" {
+                events.push(Event::Panic {
+                    kind: PanicKind::Expect,
+                    what: ".expect(..)".to_string(),
+                    line: t.line,
+                    at: t.start,
+                    depth,
+                });
+                self.i = j + 1;
+                continue;
+            }
+            // `drop(g)` releases the named guard.
+            let arg = if self.kind(j + 1) == Some(TokKind::Ident) && self.is_punct(j + 2, ")") {
+                Some(self.ident_name(j + 1))
+            } else {
+                None
+            };
+            events.push(Event::Call {
+                name,
+                var: current_let.clone(),
+                arg,
+                line: t.line,
+                at: t.start,
+                depth,
+            });
+            self.i = j + 1;
+        }
+        events
+    }
+
+    /// Receiver of a method call: the identifier ending the field chain
+    /// before the `.` at token index `dot` (`self.a.b.lock()` → `b`,
+    /// `slots[i].lock()` → `slots`).
+    fn receiver_field(&self, dot: usize) -> Option<String> {
+        if dot == 0 {
+            return None;
+        }
+        let mut k = dot - 1;
+        if self.is_punct(k, "]") {
+            // Skip back over the balanced index expression.
+            let mut depth = 0isize;
+            loop {
+                if self.is_punct(k, "]") {
+                    depth += 1;
+                } else if self.is_punct(k, "[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+        if self.kind(k) == Some(TokKind::Ident) && !KEYWORDS.contains(&self.txt(k)) {
+            return Some(self.ident_name(k));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    fn model(src: &str) -> FileModel {
+        parse("crates/test/src/lib.rs", &scrub(src).code)
+    }
+
+    #[test]
+    fn raw_idents_and_turbofish_tokenize_as_units() {
+        let code = "let r#type = xs.collect::<Vec<u32>>();";
+        let toks = tokenize(code);
+        let texts: Vec<&str> = toks.iter().map(|t| &code[t.start..t.end]).collect();
+        assert!(texts.contains(&"r#type"), "{texts:?}");
+        assert!(texts.contains(&"collect"), "{texts:?}");
+        assert!(roundtrip_gaps_ok(code, &toks).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_over_tricky_literals() {
+        for src in [
+            "fn f<'a>(x: &'a str) -> char { 'y' }",
+            "let s = r#\"raw \" body\"#; let b = b\"bytes\"; let c = b'x';",
+            "let n = 1_000.5e3; let r = 0..10; let h = 0xFF_u8;",
+        ] {
+            let code = scrub(src).code;
+            let toks = tokenize(&code);
+            assert_eq!(roundtrip_gaps_ok(&code, &toks), Ok(()), "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_fns_impls_and_tests() {
+        let m = model(
+            "impl Foo { fn a(&self) {} }\n\
+             impl Bar for Foo { fn b(&self) {} }\n\
+             #[cfg(test)] mod tests { fn c() {} #[test] fn d() {} }\n\
+             fn e() {}\n",
+        );
+        let names: Vec<(String, bool)> = m.fns.iter().map(|f| (f.qname(), f.is_test)).collect();
+        assert!(names.contains(&("Foo::a".into(), false)), "{names:?}");
+        assert!(names.contains(&("Foo::b".into(), false)), "{names:?}");
+        assert!(names.contains(&("c".into(), true)));
+        assert!(names.contains(&("d".into(), true)));
+        assert!(names.contains(&("e".into(), false)));
+    }
+
+    #[test]
+    fn body_events_capture_locks_calls_and_panics() {
+        let m = model(
+            "fn f(&self) {\n\
+                 let g = self.crack_log.lock();\n\
+                 self.sync_shard(0);\n\
+                 drop(g);\n\
+                 let v = xs[i];\n\
+                 x.unwrap();\n\
+             }\n",
+        );
+        let ev = &m.fns[0].events;
+        assert!(matches!(&ev[0], Event::Acquire { field, var: Some(v), .. }
+            if field == "crack_log" && v == "g"));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, Event::Call { name, .. } if name == "sync_shard")));
+        assert!(ev.iter().any(
+            |e| matches!(e, Event::Call { name, arg: Some(a), .. } if name == "drop" && a == "g")
+        ));
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::Panic {
+                kind: PanicKind::Index,
+                ..
+            }
+        )));
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::Panic {
+                kind: PanicKind::Unwrap,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn indexed_receiver_and_guard_returns() {
+        let m = model(
+            "fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, IndexState> {\n\
+                 self.shards[i].state.write()\n\
+             }\n",
+        );
+        let f = &m.fns[0];
+        assert!(f.returns_guard);
+        assert!(f
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Acquire { field, .. } if field == "state")));
+    }
+
+    #[test]
+    fn consts_record_module_and_type() {
+        let m = model("pub mod op { pub const TOP_K: u8 = 0x01; }\nconst N: usize = 4;\n");
+        assert_eq!(m.consts.len(), 2);
+        let top_k = m.consts.iter().find(|c| c.name == "TOP_K").unwrap();
+        assert!(top_k.is_u8);
+        assert_eq!(top_k.mods, vec!["op".to_string()]);
+        assert!(!m.consts.iter().find(|c| c.name == "N").unwrap().is_u8);
+    }
+
+    #[test]
+    fn roundtrip_every_core_source_file() {
+        // The acceptance property: tokenize → span-print reproduces the
+        // input byte-for-byte over every file in crates/core/src.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("repo root")
+            .join("crates/core/src");
+        let mut files = Vec::new();
+        collect(&root, &mut files);
+        assert!(files.len() > 10, "walker found only {} files", files.len());
+        for f in files {
+            let src = std::fs::read_to_string(&f).expect("readable");
+            let code = scrub(&src).code;
+            assert_eq!(
+                code.len(),
+                src.len(),
+                "{}: scrub preserves length",
+                f.display()
+            );
+            let toks = tokenize(&code);
+            assert_eq!(
+                roundtrip_gaps_ok(&code, &toks),
+                Ok(()),
+                "{}: non-whitespace byte outside every token span",
+                f.display()
+            );
+            // And the parser must accept it without panicking, finding
+            // fns wherever the source declares any (re-export-only
+            // `mod.rs` files legitimately have none).
+            let m = parse("crates/core/src/x.rs", &code);
+            assert!(
+                !m.fns.is_empty() || !code.contains("fn "),
+                "{}",
+                f.display()
+            );
+        }
+    }
+
+    fn collect(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    collect(&p, out);
+                } else if p.extension().is_some_and(|x| x == "rs") {
+                    out.push(p);
+                }
+            }
+        }
+    }
+}

@@ -1,4 +1,13 @@
-//! The lint rules and the engine that runs them over scrubbed sources.
+//! The lint rules and the engine that runs them.
+//!
+//! Two layers (DESIGN.md §3.7):
+//!
+//! * **Token rules** match needles against the scrubbed text of one
+//!   file (`no-unwrap`, `no-raw-sync`, …).
+//! * **Semantic rules** run over the item model and workspace call
+//!   graph built by [`crate::parser`] / [`crate::callgraph`]:
+//!   `lock-order`, `no-panic-on-request-path`, `relaxed-justify` /
+//!   `seqcst-justify` (statement-attached), and `wire-exhaustive`.
 //!
 //! Every rule reports findings as `file:line:col: rule: message`. A
 //! finding is suppressed by an annotation comment
@@ -7,13 +16,17 @@
 //! // lint: allow(rule-name, free-text reason)
 //! ```
 //!
-//! on the same line as the finding or on a comment line directly above
-//! it. The reason is mandatory — an allow without one is itself
-//! reported (`malformed-allow`), so suppressions stay auditable.
-//! `#[cfg(test)]` regions (the attribute plus the brace-matched item
-//! that follows) are exempt from every rule.
+//! on the same line as the finding or on a comment line up to two lines
+//! above it. The reason is mandatory — an allow without one is itself
+//! reported (`malformed-allow`), and an allow that suppresses nothing
+//! is reported under `--strict` (`unused-allow`), so suppressions stay
+//! auditable in both directions. `#[cfg(test)]` regions (the attribute
+//! plus the brace-matched item that follows) are exempt from every rule.
 
+use crate::callgraph;
 use crate::lexer::{scrub, Scrubbed};
+use crate::model::{default_config, LockConfig};
+use crate::parser::{self, FileModel, PanicKind, TokKind};
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +59,12 @@ impl Finding {
             self.file, self.line, self.col, self.rule, self.message
         )
     }
+
+    /// The stable identity used by `--baseline` comparison: message
+    /// texts may be reworded, but file/line/rule identify a site.
+    pub fn baseline_key(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.rule)
+    }
 }
 
 /// Names of all rules, for `allow(..)` validation.
@@ -53,12 +72,25 @@ pub const RULES: &[&str] = &[
     "no-unwrap",
     "no-raw-sync",
     "relaxed-justify",
+    "seqcst-justify",
     "no-truncating-cast",
     "no-instant-now",
     "no-raw-timing",
     "no-alloc-in-kernel",
     "no-global-engine-lock",
+    "lock-order",
+    "no-panic-on-request-path",
+    "wire-exhaustive",
 ];
+
+/// The full lint result for a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Rule findings (unsuppressed).
+    pub findings: Vec<Finding>,
+    /// Valid allows that suppressed nothing (reported under `--strict`).
+    pub unused_allows: Vec<Finding>,
+}
 
 /// A parsed `// lint: allow(rule, reason)` annotation.
 struct Allow {
@@ -66,6 +98,8 @@ struct Allow {
     line: usize,
     rule: String,
     has_reason: bool,
+    /// Suppressed at least one finding.
+    used: bool,
 }
 
 fn parse_allows(scrubbed: &Scrubbed) -> Vec<Allow> {
@@ -81,6 +115,7 @@ fn parse_allows(scrubbed: &Scrubbed) -> Vec<Allow> {
                 line: c.line,
                 rule: String::new(),
                 has_reason: false,
+                used: false,
             });
             continue;
         };
@@ -93,6 +128,7 @@ fn parse_allows(scrubbed: &Scrubbed) -> Vec<Allow> {
             line: c.line,
             rule,
             has_reason: reason,
+            used: false,
         });
     }
     allows
@@ -186,14 +222,21 @@ impl Scope {
     }
 
     /// Same scope as `no_raw_sync`: every `Ordering::Relaxed` in the
-    /// product crates needs a written justification.
-    fn relaxed_justify(path: &str) -> bool {
+    /// product crates needs a written justification. `SeqCst` needs one
+    /// too — outside `crates/sync`, whose model runtime legitimately
+    /// sequentializes everything.
+    fn ordering_justify(path: &str) -> bool {
         Self::no_raw_sync(path)
     }
 
     /// The fail-closed decode paths.
     fn wire_decode(path: &str) -> bool {
         path == "crates/server/src/wire.rs" || path == "crates/server/src/protocol.rs"
+    }
+
+    /// The wire-protocol opcode registry.
+    fn wire_protocol(path: &str) -> bool {
+        path == "crates/server/src/protocol.rs"
     }
 
     /// The per-call hot paths that must not allocate: the blocked
@@ -226,61 +269,151 @@ impl Scope {
     }
 }
 
-/// Runs every rule over one file. `rel_path` must be repo-relative with
-/// `/` separators.
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let scrubbed = scrub(src);
-    let allows = parse_allows(&scrubbed);
-    let test_regions = test_region_lines(&scrubbed.code);
-    let mut findings = Vec::new();
+/// Per-file state shared by every rule: the scrubbed text, allows with
+/// use-tracking, test regions, and accumulated findings.
+struct FileCtx {
+    path: String,
+    scrubbed: Scrubbed,
+    allows: Vec<Allow>,
+    test_regions: Vec<(usize, usize)>,
+    findings: Vec<Finding>,
+}
 
-    // Malformed allows are findings themselves, never suppressions.
-    for a in &allows {
-        if a.rule.is_empty() || !a.has_reason {
-            findings.push(Finding {
-                file: rel_path.to_string(),
-                line: a.line,
-                col: 1,
-                rule: "malformed-allow",
-                message: "lint: allow(rule, reason) requires both a rule and a reason".to_string(),
-            });
-        } else if !RULES.contains(&a.rule.as_str()) {
-            findings.push(Finding {
-                file: rel_path.to_string(),
-                line: a.line,
-                col: 1,
-                rule: "malformed-allow",
-                message: format!("unknown rule `{}` in lint: allow(..)", a.rule),
-            });
+impl FileCtx {
+    fn new(path: &str, src: &str) -> Self {
+        let scrubbed = scrub(src);
+        let allows = parse_allows(&scrubbed);
+        let test_regions = test_region_lines(&scrubbed.code);
+        FileCtx {
+            path: path.to_string(),
+            scrubbed,
+            allows,
+            test_regions,
+            findings: Vec::new(),
         }
     }
 
-    let mut push = |byte: usize, rule: &'static str, message: String| {
-        let (line, col) = position(&scrubbed.code, byte);
-        if test_regions.iter().any(|&(s, e)| s <= line && line <= e) {
+    fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// Records a finding at byte offset `at` unless the line is inside
+    /// a test region or suppressed by a valid allow on the same line or
+    /// up to two lines above (allows that fire are marked used).
+    fn push(&mut self, at: usize, rule: &'static str, message: String) {
+        let (line, col) = position(&self.scrubbed.code, at);
+        self.push_at(line, col, rule, message);
+    }
+
+    fn push_at(&mut self, line: usize, col: usize, rule: &'static str, message: String) {
+        if self.in_test_region(line) {
             return;
         }
-        // Suppressed by a valid allow on this line or the line above.
-        let suppressed = allows.iter().any(|a| {
+        if let Some(a) = self.allows.iter_mut().find(|a| {
             a.has_reason
                 && a.rule == rule
                 && (a.line == line || a.line + 1 == line || a.line + 2 == line)
-        });
-        if suppressed {
+        }) {
+            a.used = true;
             return;
         }
-        findings.push(Finding {
-            file: rel_path.to_string(),
+        self.findings.push(Finding {
+            file: self.path.clone(),
             line,
             col,
             rule,
             message,
         });
-    };
+    }
+}
 
-    let code = &scrubbed.code;
+/// Lints a set of files as one workspace: per-file token and semantic
+/// rules, then the cross-file call-graph rules. `design` is the text of
+/// DESIGN.md when available (the wire-exhaustiveness doc check is
+/// skipped without it, e.g. under `--self-test`).
+pub fn lint_files(
+    files: &[(String, String)],
+    cfg: &LockConfig,
+    design: Option<&str>,
+) -> LintReport {
+    let mut ctxs: Vec<FileCtx> = Vec::new();
+    let mut models: Vec<FileModel> = Vec::new();
+    for (path, src) in files {
+        let ctx = FileCtx::new(path, src);
+        models.push(parser::parse(path, &ctx.scrubbed.code));
+        ctxs.push(ctx);
+    }
+    for (ctx, model) in ctxs.iter_mut().zip(&models) {
+        file_rules(ctx, model, cfg, design);
+    }
+    graph_rules(&mut ctxs, &models, cfg);
 
-    if Scope::no_unwrap(rel_path) {
+    let mut report = LintReport::default();
+    for ctx in ctxs {
+        for a in &ctx.allows {
+            let valid = a.has_reason && RULES.contains(&a.rule.as_str());
+            if valid && !a.used && !ctx.in_test_region(a.line) {
+                report.unused_allows.push(Finding {
+                    file: ctx.path.clone(),
+                    line: a.line,
+                    col: 1,
+                    rule: "unused-allow",
+                    message: format!(
+                        "`lint: allow({}, ..)` suppresses nothing; delete it so the \
+                         audit trail stays honest",
+                        a.rule
+                    ),
+                });
+            }
+        }
+        report.findings.extend(ctx.findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report
+}
+
+/// Runs every rule over one file in isolation (unit-test and fixture
+/// convenience; the semantic rules see a one-file workspace with the
+/// embedded `lockorder.toml`).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let files = vec![(rel_path.to_string(), src.to_string())];
+    lint_files(&files, &default_config(), None).findings
+}
+
+fn file_rules(ctx: &mut FileCtx, model: &FileModel, cfg: &LockConfig, design: Option<&str>) {
+    // Malformed allows are findings themselves, never suppressions.
+    let mut malformed = Vec::new();
+    for a in &ctx.allows {
+        if a.rule.is_empty() || !a.has_reason {
+            malformed.push((
+                a.line,
+                "lint: allow(rule, reason) requires both a rule and a reason".to_string(),
+            ));
+        } else if !RULES.contains(&a.rule.as_str()) {
+            malformed.push((
+                a.line,
+                format!("unknown rule `{}` in lint: allow(..)", a.rule),
+            ));
+        }
+    }
+    for (line, message) in malformed {
+        ctx.findings.push(Finding {
+            file: ctx.path.clone(),
+            line,
+            col: 1,
+            rule: "malformed-allow",
+            message,
+        });
+    }
+
+    let rel_path = ctx.path.clone();
+    let code = ctx.scrubbed.code.clone();
+
+    if Scope::no_unwrap(&rel_path) {
         for (needle, what) in [
             (".unwrap()", "unwrap() can panic"),
             (".expect(", "expect() can panic"),
@@ -288,8 +421,8 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             ("unreachable!", "unreachable! aborts the worker"),
             ("todo!", "todo! aborts the worker"),
         ] {
-            for at in find_all(code, needle) {
-                push(
+            for at in find_all(&code, needle) {
+                ctx.push(
                     at,
                     "no-unwrap",
                     format!(
@@ -301,7 +434,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    if Scope::no_raw_sync(rel_path) {
+    if Scope::no_raw_sync(&rel_path) {
         for primitive in [
             "std::sync::Mutex",
             "std::sync::RwLock",
@@ -310,8 +443,8 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             "std::sync::atomic",
             "parking_lot",
         ] {
-            for at in find_all(code, primitive) {
-                push(
+            for at in find_all(&code, primitive) {
+                ctx.push(
                     at,
                     "no-raw-sync",
                     format!(
@@ -322,13 +455,13 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             }
         }
         // Grouped imports: `use std::sync::{…, Mutex, …}`.
-        for at in find_all(code, "use std::sync::{") {
+        for at in find_all(&code, "use std::sync::{") {
             let rest = &code[at..code.len().min(at + 200)];
             let inner_end = rest.find('}').unwrap_or(rest.len());
             let inner = &rest[..inner_end];
             for primitive in ["Mutex", "RwLock", "Condvar", "Barrier"] {
                 if contains_word(inner, primitive) {
-                    push(
+                    ctx.push(
                         at,
                         "no-raw-sync",
                         format!(
@@ -341,35 +474,18 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    if Scope::relaxed_justify(rel_path) {
-        for at in find_all(code, "Ordering::Relaxed") {
-            let (line, _) = position(code, at);
-            // The justification may sit up to three lines above the
-            // `Relaxed` token: rustfmt wraps long statements, and the
-            // justification itself may wrap across comment lines.
-            let justified = scrubbed.comments.iter().any(|c| {
-                c.text.contains("relaxed:") && line.saturating_sub(3) <= c.line && c.line <= line
-            });
-            if !justified {
-                push(
-                    at,
-                    "relaxed-justify",
-                    "Ordering::Relaxed without a `// relaxed: <why no ordering is needed>` \
-                     comment on this or the preceding line"
-                        .to_string(),
-                );
-            }
-        }
+    if Scope::ordering_justify(&rel_path) {
+        ordering_rules(ctx, model);
     }
 
-    if Scope::no_global_engine_lock(rel_path) {
+    if Scope::no_global_engine_lock(&rel_path) {
         for needle in [
             "RwLock<IndexState",
             "RwLock::new(IndexState",
             "RwLock::with_name(IndexState",
         ] {
-            for at in find_all(code, needle) {
-                push(
+            for at in find_all(&code, needle) {
+                ctx.push(
                     at,
                     "no-global-engine-lock",
                     "engine state must be locked per shard; construct IndexState locks \
@@ -380,11 +496,11 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    if Scope::wire_decode(rel_path) {
+    if Scope::wire_decode(&rel_path) {
         for narrow in [
             " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
         ] {
-            for at in find_all(code, narrow) {
+            for at in find_all(&code, narrow) {
                 // Make sure the match is the whole cast target (` as u8`
                 // must not fire inside ` as u864`-like idents — none
                 // exist, but stay principled).
@@ -392,7 +508,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                 if code.as_bytes().get(end).copied().is_some_and(is_ident_byte) {
                     continue;
                 }
-                push(
+                ctx.push(
                     at + 1,
                     "no-truncating-cast",
                     format!(
@@ -403,8 +519,8 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                 );
             }
         }
-        for at in find_all(code, "Instant::now()") {
-            push(
+        for at in find_all(&code, "Instant::now()") {
+            ctx.push(
                 at,
                 "no-instant-now",
                 "decode paths must be deterministic; take time at the call site, \
@@ -414,10 +530,14 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    if Scope::no_raw_timing(rel_path) {
+    if Scope::wire_protocol(&rel_path) {
+        wire_exhaustive(ctx, model, design);
+    }
+
+    if Scope::no_raw_timing(&rel_path) {
         for needle in ["Instant::now(", "SystemTime::now("] {
-            for at in find_all(code, needle) {
-                push(
+            for at in find_all(&code, needle) {
+                ctx.push(
                     at,
                     "no-raw-timing",
                     format!(
@@ -430,23 +550,261 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    if Scope::alloc_free_kernel(rel_path) {
-        for needle in ["Vec::new", ".collect(", ".to_vec("] {
-            for at in find_all(code, needle) {
-                push(
-                    at,
-                    "no-alloc-in-kernel",
-                    format!(
-                        "`{needle}` allocates inside a hot kernel/steal-loop file; hoist \
-                         the allocation to the caller, or annotate a sanctioned setup \
-                         cost with `// lint: allow(no-alloc-in-kernel, why)`"
-                    ),
+    if Scope::alloc_free_kernel(&rel_path) {
+        alloc_rules(ctx, model);
+    }
+
+    let _ = cfg;
+}
+
+/// `relaxed-justify` / `seqcst-justify` v2: statement-attached. Every
+/// `Ordering::Relaxed` operand needs a `// relaxed:` comment between
+/// the start of its statement (minus two lines, for wrapped comments)
+/// and the operand's line — and after the previous atomic operand of
+/// the statement, so each operand is justified individually. `SeqCst`
+/// outside `crates/sync` needs a `// seqcst:` comment the same way.
+fn ordering_rules(ctx: &mut FileCtx, model: &FileModel) {
+    let code = ctx.scrubbed.code.clone();
+    let toks = &model.toks;
+    // Contiguous comment lines form one block; a block justifies an
+    // operand when it carries the marker anywhere in its text and ends
+    // inside the attachment window (so a wrapped multi-line comment
+    // attaches by where it *ends*, not where the marker happens to sit).
+    struct Block {
+        start: usize,
+        end: usize,
+        relaxed: bool,
+        seqcst: bool,
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    for c in &ctx.scrubbed.comments {
+        match blocks.last_mut() {
+            Some(b) if b.end + 1 >= c.line && b.end <= c.line => {
+                b.end = c.line;
+                b.relaxed |= c.text.contains("relaxed:");
+                b.seqcst |= c.text.contains("seqcst:");
+            }
+            _ => blocks.push(Block {
+                start: c.line,
+                end: c.line,
+                relaxed: c.text.contains("relaxed:"),
+                seqcst: c.text.contains("seqcst:"),
+            }),
+        }
+    }
+    let mut stmt_start_line = 1usize;
+    let mut pending_stmt = true;
+    let mut prev_operand_line = 0usize;
+    let mut sites: Vec<(usize, usize, bool, usize)> = Vec::new(); // (at, line, is_seqcst, window_lo)
+    for i in 0..toks.len() {
+        let t = toks[i];
+        let text = &code[t.start..t.end];
+        if t.kind == TokKind::Punct && matches!(text, ";" | "{" | "}") {
+            pending_stmt = true;
+            prev_operand_line = 0;
+            continue;
+        }
+        if pending_stmt {
+            // The window opens two lines before the statement so a
+            // wrapped two-line justification comment still attaches.
+            stmt_start_line = t.line;
+            pending_stmt = false;
+        }
+        if t.kind == TokKind::Ident
+            && text == "Ordering"
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Punct
+            && &code[toks[i + 1].start..toks[i + 1].end] == "::"
+            && toks[i + 2].kind == TokKind::Ident
+        {
+            let which = &code[toks[i + 2].start..toks[i + 2].end];
+            let line = toks[i + 2].line;
+            // A previous justified operand closes the window behind it —
+            // unless it sits on the same line (one comment may cover
+            // both orderings of a one-line compare_exchange). Acquire/
+            // Release operands need no comment and consume nothing.
+            let eff_prev = if prev_operand_line < line {
+                prev_operand_line
+            } else {
+                0
+            };
+            let lo = stmt_start_line.saturating_sub(2).max(eff_prev);
+            match which {
+                "Relaxed" => sites.push((t.start, line, false, lo)),
+                "SeqCst" => sites.push((t.start, line, true, lo)),
+                _ => continue,
+            }
+            prev_operand_line = line;
+        }
+    }
+    for (at, line, is_seqcst, lo) in sites {
+        let justified = blocks.iter().any(|b| {
+            let marked = if is_seqcst { b.seqcst } else { b.relaxed };
+            marked && b.end >= lo && b.start <= line
+        });
+        if justified {
+            continue;
+        }
+        if is_seqcst {
+            ctx.push(
+                at,
+                "seqcst-justify",
+                "Ordering::SeqCst outside crates/sync without a `// seqcst: <why total \
+                 order is required>` comment attached to this statement; prefer \
+                 Acquire/Release with an invariant, or justify the fence"
+                    .to_string(),
+            );
+        } else {
+            ctx.push(
+                at,
+                "relaxed-justify",
+                "Ordering::Relaxed without a `// relaxed: <why no ordering is needed>` \
+                 comment attached to this statement (each Relaxed operand needs its own)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// `no-alloc-in-kernel`, token-aware: `.collect()`, `.to_vec()` (both
+/// including turbofish forms like `.collect::<Vec<u32>>()`), and
+/// `Vec::new`.
+fn alloc_rules(ctx: &mut FileCtx, model: &FileModel) {
+    let code = ctx.scrubbed.code.clone();
+    let toks = &model.toks;
+    let txt = |i: usize| -> &str { toks.get(i).map(|t| &code[t.start..t.end]).unwrap_or("") };
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = txt(i);
+        let method = i > 0 && txt(i - 1) == ".";
+        if method && matches!(name, "collect" | "to_vec") {
+            ctx.push(
+                tok.start,
+                "no-alloc-in-kernel",
+                format!(
+                    "`.{name}(..)` allocates inside a hot kernel/steal-loop file; hoist \
+                     the allocation to the caller, or annotate a sanctioned setup \
+                     cost with `// lint: allow(no-alloc-in-kernel, why)`"
+                ),
+            );
+        }
+        if name == "Vec" && txt(i + 1) == "::" && txt(i + 2) == "new" {
+            ctx.push(
+                tok.start,
+                "no-alloc-in-kernel",
+                "`Vec::new` allocates inside a hot kernel/steal-loop file; hoist \
+                 the allocation to the caller, or annotate a sanctioned setup \
+                 cost with `// lint: allow(no-alloc-in-kernel, why)`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// `wire-exhaustive`: every `u8` opcode constant in `mod op` must be
+/// matched in a `decode` function of the same file, and (when DESIGN.md
+/// is supplied) documented there.
+fn wire_exhaustive(ctx: &mut FileCtx, model: &FileModel, design: Option<&str>) {
+    let code = ctx.scrubbed.code.clone();
+    // Idents appearing in any non-test `decode` body.
+    let mut decode_idents: Vec<&str> = Vec::new();
+    for f in &model.fns {
+        if f.name != "decode" || f.is_test {
+            continue;
+        }
+        for t in &model.toks[f.body.0..f.body.1.min(model.toks.len())] {
+            if t.kind == TokKind::Ident {
+                decode_idents.push(&code[t.start..t.end]);
+            }
+        }
+    }
+    for c in &model.consts {
+        if !c.is_u8 || c.mods.last().map(String::as_str) != Some("op") {
+            continue;
+        }
+        if !decode_idents.iter().any(|i| *i == c.name) {
+            ctx.push_at(
+                c.line,
+                1,
+                "wire-exhaustive",
+                format!(
+                    "opcode `op::{}` is declared but matched in no `decode` fn; a frame \
+                     carrying it would fail as UnknownOpcode despite being a declared \
+                     message",
+                    c.name
+                ),
+            );
+        }
+        if let Some(doc) = design {
+            if !contains_word(doc, &c.name) {
+                ctx.push_at(
+                    c.line,
+                    1,
+                    "wire-exhaustive",
+                    format!("opcode `op::{}` is not documented in DESIGN.md", c.name),
                 );
             }
         }
     }
+}
 
-    findings
+/// Cross-file rules: lock-order and the request-path panic audit.
+fn graph_rules(ctxs: &mut [FileCtx], models: &[FileModel], cfg: &LockConfig) {
+    let analysis = callgraph::analyze(models, cfg);
+    fn idx_of(ctxs: &[FileCtx], file: &str) -> Option<usize> {
+        ctxs.iter().position(|c| c.path == file)
+    }
+
+    for v in &analysis.lock_violations {
+        let Some(i) = idx_of(ctxs, &v.file) else {
+            continue;
+        };
+        ctxs[i].push(
+            v.at,
+            "lock-order",
+            format!(
+                "acquires `{}` while holding `{}`, against the declared DAG \
+                 (crates/xtask/lockorder.toml); static acquisition path: {}",
+                v.to,
+                v.from,
+                v.path.join(" -> ")
+            ),
+        );
+    }
+
+    for p in &analysis.panics {
+        // Unwrap/expect/panic-macro sites inside the token-level
+        // `no-unwrap` scope are already policed (and justified) there;
+        // this rule adds reachability context for everything else —
+        // notably `[]`-indexing, and whole files (crates/core/src/
+        // engine/) the token rule does not cover.
+        let covered_by_no_unwrap = Scope::no_unwrap(&p.file)
+            && matches!(
+                p.kind,
+                PanicKind::Unwrap | PanicKind::Expect | PanicKind::Macro
+            );
+        if covered_by_no_unwrap {
+            continue;
+        }
+        let Some(i) = idx_of(ctxs, &p.file) else {
+            continue;
+        };
+        ctxs[i].push(
+            p.at,
+            "no-panic-on-request-path",
+            format!(
+                "{} can panic and is reachable from request entry `{}` (static call \
+                 path: {}); return a typed error, restructure without the panic \
+                 source, or annotate with `// lint: allow(no-panic-on-request-path, \
+                 why it cannot fire)`",
+                p.what,
+                p.chain.first().map(String::as_str).unwrap_or("?"),
+                p.chain.join(" -> ")
+            ),
+        );
+    }
 }
 
 fn is_ident_byte(b: u8) -> bool {
@@ -558,6 +916,63 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_justification_is_statement_attached() {
+        // A justification does not leak past its two-line attachment
+        // window into later statements.
+        let leaky = "fn f(a: &A) {\n\
+                     // relaxed: stat\n\
+                     a.x.load(Ordering::Relaxed);\n\
+                     let y = 1;\n\
+                     let z = y;\n\
+                     a.y.load(Ordering::Relaxed);\n\
+                     }\n";
+        let f = lint_source("crates/server/src/queue.rs", leaky);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+        // Every operand of one long statement needs its own comment
+        // *after* the previous operand …
+        let struct_lit = "fn f(a: &A) -> S {\n\
+                          S {\n\
+                          // relaxed: stat one\n\
+                          x: a.x.load(Ordering::Relaxed),\n\
+                          y: a.y.load(Ordering::Relaxed),\n\
+                          }\n\
+                          }\n";
+        let f = lint_source("crates/server/src/queue.rs", struct_lit);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+        // … and is clean when each one has it.
+        let each = "fn f(a: &A) -> S {\n\
+                    S {\n\
+                    // relaxed: stat one\n\
+                    x: a.x.load(Ordering::Relaxed),\n\
+                    // relaxed: stat two\n\
+                    y: a.y.load(Ordering::Relaxed),\n\
+                    }\n\
+                    }\n";
+        assert_eq!(lint_source("crates/server/src/queue.rs", each), vec![]);
+    }
+
+    #[test]
+    fn seqcst_needs_justification_outside_sync() {
+        let bare = "fn f(a: &A) { a.x.store(true, Ordering::SeqCst); }\n";
+        let f = lint_source("crates/server/src/server.rs", bare);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "seqcst-justify");
+        let justified = "fn f(a: &A) {\n    // seqcst: drain flag must totally order with admits\n    a.x.store(true, Ordering::SeqCst);\n}\n";
+        assert_eq!(
+            lint_source("crates/server/src/server.rs", justified),
+            vec![]
+        );
+        // crates/sync may SeqCst freely (the model runtime is built on it).
+        assert_eq!(lint_source("crates/sync/src/model.rs", bare), vec![]);
+        // Acquire/Release need no comment anywhere.
+        let acqrel =
+            "fn f(a: &A) { a.x.load(Ordering::Acquire); a.x.store(1, Ordering::Release); }\n";
+        assert_eq!(lint_source("crates/server/src/queue.rs", acqrel), vec![]);
+    }
+
+    #[test]
     fn truncating_casts_only_in_decode_files() {
         let src = "fn f(x: usize) -> u32 { x as u32 }\n";
         let f = lint_source("crates/server/src/wire.rs", src);
@@ -623,6 +1038,91 @@ mod tests {
     }
 
     #[test]
+    fn alloc_rule_sees_through_turbofish() {
+        // The lexer-gap satellite: `.collect::<Vec<u32>>()` must fire
+        // exactly like `.collect()` (the old needle missed it).
+        let src = "fn f() { let v = it.collect::<Vec<u32>>(); }\n";
+        let f = lint_source("crates/core/src/geometry/kernels.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-alloc-in-kernel");
+    }
+
+    #[test]
+    fn lock_order_inversion_flagged_with_path() {
+        let src = "impl E {\n\
+                   fn bad(&self) {\n\
+                   let log = self.crack_log.lock();\n\
+                   let s = self.state.write();\n\
+                   }\n\
+                   }\n";
+        let f = lint_source("crates/core/src/engine/shard.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lock-order");
+        assert!(f[0].message.contains("vkg.cracklog"), "{}", f[0].message);
+        assert!(f[0].message.contains("E::bad"), "{}", f[0].message);
+        // The sanctioned order is clean.
+        let ok = "impl E {\n\
+                  fn good(&self) {\n\
+                  let s = self.state.write();\n\
+                  let log = self.crack_log.lock();\n\
+                  }\n\
+                  }\n";
+        assert_eq!(lint_source("crates/core/src/engine/shard.rs", ok), vec![]);
+    }
+
+    #[test]
+    fn request_path_panic_flagged_with_chain() {
+        let src = "fn worker_loop() { helper(); }\n\
+                   fn helper(xs: &[u32]) -> u32 { xs[0] }\n\
+                   fn not_reachable(ys: &[u32]) -> u32 { ys[1] }\n";
+        let f = lint_source("crates/server/src/server.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-panic-on-request-path");
+        assert_eq!(f[0].line, 2);
+        assert!(
+            f[0].message.contains("worker_loop -> helper"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn wire_exhaustive_checks_decode_and_design() {
+        let src = "pub mod op {\n\
+                   pub const A: u8 = 0x01;\n\
+                   pub const B: u8 = 0x02;\n\
+                   }\n\
+                   impl Request {\n\
+                   pub fn decode(x: u8) -> Option<u8> { match x { op::A => Some(x), _ => None } }\n\
+                   }\n";
+        let files = vec![("crates/server/src/protocol.rs".to_string(), src.to_string())];
+        // Without DESIGN.md: only the decode check runs.
+        let f = lint_files(&files, &default_config(), None).findings;
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "wire-exhaustive");
+        assert_eq!(f[0].line, 3, "B is the undecodable opcode");
+        // With DESIGN.md mentioning only A, B is flagged twice.
+        let f = lint_files(&files, &default_config(), Some("opcode A is documented")).findings;
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "wire-exhaustive" && x.line == 3));
+    }
+
+    #[test]
+    fn unused_allow_surfaces_in_report() {
+        let src = "fn f() {\n    // lint: allow(no-unwrap, stale reason)\n    let x = 1;\n}\n";
+        let files = vec![("crates/server/src/server.rs".to_string(), src.to_string())];
+        let report = lint_files(&files, &default_config(), None);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.unused_allows.len(), 1, "{:?}", report.unused_allows);
+        assert_eq!(report.unused_allows[0].rule, "unused-allow");
+        // A used allow is not reported.
+        let src = "fn f() {\n    // lint: allow(no-unwrap, checked)\n    x.unwrap();\n}\n";
+        let files = vec![("crates/server/src/server.rs".to_string(), src.to_string())];
+        let report = lint_files(&files, &default_config(), None);
+        assert!(report.findings.is_empty() && report.unused_allows.is_empty());
+    }
+
+    #[test]
     fn finding_renders_clickable_and_github() {
         let f = Finding {
             file: "crates/server/src/wire.rs".into(),
@@ -635,5 +1135,6 @@ mod tests {
         assert!(f
             .render_github()
             .starts_with("::error file=crates/server/src/wire.rs,line=7"));
+        assert_eq!(f.baseline_key(), "crates/server/src/wire.rs:7:no-unwrap");
     }
 }
