@@ -13,20 +13,28 @@
 //! ```
 //!
 //! Results land in `BENCH_core.json` (schema: EXPERIMENTS.md §"Core
-//! microbenchmarks"). `--check` runs a seconds-fast parity gate instead:
-//! blocked kernels must match the scalar reference within 1e-9 relative
-//! error, pooled builds and queries must agree with serial ones exactly,
-//! and the pool must claim every chunk — the CI tier-2 gate.
+//! microbenchmarks"), including the result cache's Zipf hit ratio and
+//! cold-miss overhead and the serve path's batch-{1,N} wall times with
+//! the lock-rounds-per-answer ratio. `--check` runs a seconds-fast
+//! parity gate instead: blocked kernels must match the scalar reference
+//! within 1e-9 relative error, pooled builds and queries must agree with
+//! serial ones exactly, the pool must claim every chunk, the cache must
+//! earn a > 0.5 Zipf hit ratio at ≤ 5% miss overhead, and batched
+//! serving must take < 1 lock acquisition per answered request — the CI
+//! tier-2 gate.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vkg::core::config::{shards_from_env, threads_from_env};
+use vkg::core::config::{shards_from_env, threads_from_env, DEFAULT_CACHE_CAPACITY};
 use vkg::core::geometry::kernels;
 use vkg::core::geometry::PointSet;
+use vkg::core::metrics::names as core_names;
 use vkg::core::query::topk::find_top_k;
 use vkg::kg::zipf::Zipf;
 use vkg::obs::{Clock, Registry};
@@ -34,6 +42,8 @@ use vkg::prelude::*;
 use vkg::sync::pool::Pool;
 use vkg::sync::{AtomicU64, Ordering};
 use vkg_bench::{setup, workload};
+use vkg_server::server::names as server_names;
+use vkg_server::{Client, Server, ServerConfig};
 
 struct Args {
     entities: usize,
@@ -280,11 +290,172 @@ fn obs_overhead_ms(reps: usize, queries: usize) -> Result<(f64, f64), String> {
     Ok((measure(&instrumented), measure(&noop)))
 }
 
+/// Measured behavior of the epoch-keyed result cache and the serve
+/// path's same-shard batching, all on the smoke-scale movie engine.
+struct CacheStats {
+    /// hits / (hits + misses) over a repeat-heavy Zipf(1.2) read
+    /// workload — the regime the cache is built for.
+    hit_ratio: f64,
+    /// Min wall time of one warm (all-hit) Zipf pass.
+    hit_pass_ms: f64,
+    /// Min wall time of one all-miss pass with the cache enabled
+    /// (fresh engine per rep, every query distinct).
+    miss_on_ms: f64,
+    /// The same all-miss pass against a cache-disabled twin.
+    miss_off_ms: f64,
+    /// Wall time of the loopback serve storm at batch_max = 1.
+    batch1_ms: f64,
+    /// The same storm at `batch_max` — same workload, same workers.
+    batchn_ms: f64,
+    /// The batch cap used for `batchn_ms`.
+    batch_max: usize,
+    /// Server lock acquisitions per answered request in the batched
+    /// storm; < 1.0 means same-shard grouping really amortized locks.
+    lock_rounds_per_answered: f64,
+}
+
+impl CacheStats {
+    fn miss_overhead_pct(&self) -> f64 {
+        (self.miss_on_ms / self.miss_off_ms.max(1e-9) - 1.0) * 1e2
+    }
+    fn batch_speedup(&self) -> f64 {
+        self.batch1_ms / self.batchn_ms.max(1e-9)
+    }
+}
+
+/// Times the cache's three regimes (steady-state hits, cold misses
+/// vs a cache-off twin, and the batched serve path at batch sizes
+/// {1, N}). Minima over `reps` isolate the code-path difference, as in
+/// [`obs_overhead_ms`].
+fn cache_batch_stats(reps: usize, shards: usize) -> Result<CacheStats, String> {
+    let prepared = setup::movie(setup::Scale::Smoke, 16);
+    let base = VkgConfig {
+        shards,
+        ..setup::bench_config()
+    };
+    let graph = &prepared.dataset.graph;
+    let reps = reps.max(1);
+
+    // (a) Hit ratio + hit-path latency on a repeat-heavy Zipf workload.
+    let zipf = workload::generate_zipf(graph, 300, 0xcafe, 1.2);
+    let cached = prepared.engine(VkgConfig {
+        cache_capacity: DEFAULT_CACHE_CAPACITY,
+        ..base.clone()
+    });
+    let pass = |vkg: &VirtualKnowledgeGraph, qs: &[workload::Query]| {
+        let t = Instant::now();
+        for q in qs {
+            let _ = vkg.top_k(q.entity, q.relation, q.direction, 10);
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    pass(&cached, &zipf); // warm fill: the timed passes measure hits
+    let hit_pass_ms = (0..reps)
+        .map(|_| pass(&cached, &zipf))
+        .fold(f64::INFINITY, f64::min);
+    let snap = cached.metrics_snapshot();
+    let hits = snap.counter(core_names::CACHE_HIT).unwrap_or(0) as f64;
+    let misses = snap.counter(core_names::CACHE_MISS).unwrap_or(0) as f64;
+    let hit_ratio = hits / (hits + misses).max(1.0);
+
+    // (b) Cold-miss overhead: every query distinct, fresh engines per
+    // rep so the cache-on side never hits — its overhead is the lookup,
+    // the fingerprint, and the insert.
+    let mut seen = std::collections::HashSet::new();
+    let distinct: Vec<workload::Query> = workload::generate(graph, 512, 0xd15)
+        .into_iter()
+        .filter(|q| seen.insert((q.entity.0, q.relation.0, q.direction == Direction::Tails)))
+        .collect();
+    // Min over at least 5 fresh-engine trials regardless of --reps: this
+    // difference is a per-query ~µs effect, and scheduling noise only
+    // adds time, so more minima mean a more honest code-path comparison.
+    let miss_trials = reps.max(5);
+    let mut miss_on_ms = f64::INFINITY;
+    let mut miss_off_ms = f64::INFINITY;
+    for _ in 0..miss_trials {
+        let on = prepared.engine(VkgConfig {
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            ..base.clone()
+        });
+        miss_on_ms = miss_on_ms.min(pass(&on, &distinct));
+        let off = prepared.engine(VkgConfig {
+            cache_capacity: 0,
+            ..base.clone()
+        });
+        miss_off_ms = miss_off_ms.min(pass(&off, &distinct));
+    }
+
+    // (c) The serve path at batch_max {1, N}: 8 closed-loop connections
+    // against 2 workers keep the queue deep enough for same-shard
+    // groups to form; the lock-rounds counter shows the amortization.
+    let batch_max = 8;
+    let storm = Arc::new(zipf);
+    let serve_pass = |batch: usize| -> Result<(f64, u64, u64), String> {
+        let vkg = Arc::new(prepared.engine(VkgConfig {
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            ..base.clone()
+        }));
+        let handle = Server::start(
+            Arc::clone(&vkg),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 512,
+                batch_max: batch,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| format!("serve storm bind: {e}"))?;
+        let addr = handle.addr();
+        let t = Instant::now();
+        let conns: Vec<_> = (0..8)
+            .map(|_| {
+                let storm = Arc::clone(&storm);
+                thread::spawn(move || -> Result<(), String> {
+                    let mut client =
+                        Client::connect(addr).map_err(|e| format!("storm connect: {e}"))?;
+                    for q in storm.iter() {
+                        client
+                            .top_k(q.entity, q.relation, q.direction, 10)
+                            .map_err(|e| format!("storm top-k: {e}"))?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for c in conns {
+            c.join().map_err(|_| "storm connection panicked")??;
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let m = Client::connect(addr)
+            .and_then(|mut c| c.metrics(0))
+            .map_err(|e| format!("storm metrics: {e}"))?;
+        let rounds = m.snapshot.counter(server_names::LOCK_ROUNDS).unwrap_or(0);
+        let answered = m.snapshot.gauge(server_names::ANSWERED).unwrap_or(0);
+        handle.shutdown();
+        Ok((ms, rounds, answered))
+    };
+    let (batch1_ms, _, _) = serve_pass(1)?;
+    let (batchn_ms, rounds, answered) = serve_pass(batch_max)?;
+
+    Ok(CacheStats {
+        hit_ratio,
+        hit_pass_ms,
+        miss_on_ms,
+        miss_off_ms,
+        batch1_ms,
+        batchn_ms,
+        batch_max,
+        lock_rounds_per_answered: rounds as f64 / (answered as f64).max(1.0),
+    })
+}
+
 fn write_json(
     args: &Args,
     cores: usize,
     timings: &[Timing],
     obs: (f64, f64),
+    cache: &CacheStats,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -331,6 +502,29 @@ fn write_json(
     out.push_str(&format!("    \"instrumented_ms\": {instr_ms:.3},\n"));
     out.push_str(&format!("    \"noop_ms\": {noop_ms:.3},\n"));
     out.push_str(&format!("    \"overhead_pct\": {overhead_pct:.2}\n"));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"cache_hit_ratio\": {:.4},\n", cache.hit_ratio));
+    out.push_str(&format!(
+        "  \"batch_speedup\": {:.3},\n",
+        cache.batch_speedup()
+    ));
+    out.push_str("  \"cache\": {\n");
+    out.push_str(&format!("    \"hit_pass_ms\": {:.3},\n", cache.hit_pass_ms));
+    out.push_str(&format!("    \"miss_on_ms\": {:.3},\n", cache.miss_on_ms));
+    out.push_str(&format!("    \"miss_off_ms\": {:.3},\n", cache.miss_off_ms));
+    out.push_str(&format!(
+        "    \"miss_overhead_pct\": {:.2}\n",
+        cache.miss_overhead_pct()
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"serve_batch\": {\n");
+    out.push_str(&format!("    \"batch1_ms\": {:.3},\n", cache.batch1_ms));
+    out.push_str(&format!("    \"batchN_ms\": {:.3},\n", cache.batchn_ms));
+    out.push_str(&format!("    \"batch_max\": {},\n", cache.batch_max));
+    out.push_str(&format!(
+        "    \"lock_rounds_per_answered\": {:.4}\n",
+        cache.lock_rounds_per_answered
+    ));
     out.push_str("  }\n}\n");
     std::fs::write(&args.out, out)
 }
@@ -465,6 +659,41 @@ fn check(args: &Args) -> Result<(), String> {
         "microbench --check: obs overhead {:.2}% (instrumented {instr_ms:.3}ms, noop {noop_ms:.3}ms)",
         (instr_ms / noop_ms.max(1e-9) - 1.0) * 1e2
     );
+
+    // 6. Cache + batching gates: the cache must earn > 0.5 hit ratio on
+    //    a Zipf workload, cost ≤ 5% on an all-miss workload, and the
+    //    batched serve path must take strictly fewer than one lock
+    //    acquisition per answered request.
+    let cs = cache_batch_stats(5, args.shards)?;
+    if cs.hit_ratio <= 0.5 {
+        return Err(format!(
+            "cache hit ratio {:.3} ≤ 0.5 on the Zipf workload",
+            cs.hit_ratio
+        ));
+    }
+    if cs.miss_overhead_pct() > 5.0 {
+        return Err(format!(
+            "cache-miss overhead {:.2}% exceeds the 5% gate \
+             (on {:.3}ms vs off {:.3}ms)",
+            cs.miss_overhead_pct(),
+            cs.miss_on_ms,
+            cs.miss_off_ms
+        ));
+    }
+    if cs.lock_rounds_per_answered >= 1.0 {
+        return Err(format!(
+            "batched serving took {:.3} lock rounds per answered request (want < 1.0)",
+            cs.lock_rounds_per_answered
+        ));
+    }
+    eprintln!(
+        "microbench --check: cache hit ratio {:.3}, miss overhead {:+.2}%, \
+         batch speedup {:.2}x, {:.3} lock rounds/answer",
+        cs.hit_ratio,
+        cs.miss_overhead_pct(),
+        cs.batch_speedup(),
+        cs.lock_rounds_per_answered
+    );
     Ok(())
 }
 
@@ -543,7 +772,28 @@ fn main() -> ExitCode {
         obs.1,
         (obs.0 / obs.1.max(1e-9) - 1.0) * 1e2
     );
-    match write_json(&args, cores, &timings, obs) {
+    let cache = match cache_batch_stats(args.reps, args.shards) {
+        Ok(cs) => cs,
+        Err(e) => {
+            eprintln!("microbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  cache: hit ratio {:.3}, hit pass {:.3} ms, miss overhead {:+.2}%",
+        cache.hit_ratio,
+        cache.hit_pass_ms,
+        cache.miss_overhead_pct()
+    );
+    eprintln!(
+        "  serve_batch: batch1 {:.3} ms, batch{} {:.3} ms ({:.2}x), {:.3} lock rounds/answer",
+        cache.batch1_ms,
+        cache.batch_max,
+        cache.batchn_ms,
+        cache.batch_speedup(),
+        cache.lock_rounds_per_answered
+    );
+    match write_json(&args, cores, &timings, obs, &cache) {
         Ok(()) => {
             eprintln!("microbench: wrote {}", args.out);
             ExitCode::SUCCESS

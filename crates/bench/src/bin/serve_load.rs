@@ -21,6 +21,19 @@
 //! client-side p50 (plus one histogram bucket of tolerance) — the CI
 //! tier-2 gate. `--metrics-out PATH` writes the full server snapshot in
 //! the `vkg-obs` text exposition format as a run artifact.
+//!
+//! The serve path's result cache and same-shard batching are load-tested
+//! through three more knobs. `--cache on|off` forces the engine's
+//! epoch-keyed result cache (default: the `VKG_CACHE` env override, else
+//! off); `--batch N` lets each worker drain up to N queued requests per
+//! round, executing same-shard groups under one lock acquisition;
+//! `--zipf S` skews the workload so a hot head of queries repeats
+//! (`S = 0`, the default, keeps the historical uniform stream). Under
+//! `--check`, a quiescent sample of the workload is then asked once over
+//! the wire — the cached, batched path — and recomputed cache-free
+//! against the same pinned engine state: any bit of divergence fails the
+//! run, and with the cache on a skewed workload must also show a
+//! non-zero hit count.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -28,6 +41,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 use vkg::sync::{AtomicU64, Ordering};
 
+use vkg::core::metrics::names as core_names;
 use vkg::obs::expo;
 use vkg::prelude::*;
 use vkg_bench::latency::Histogram;
@@ -44,6 +58,14 @@ struct Args {
     write_ratio: f64,
     workers: usize,
     queue_capacity: usize,
+    /// `Some(true)`/`Some(false)` from `--cache on|off`; `None` defers
+    /// to the `VKG_CACHE` env override (default off).
+    cache: Option<bool>,
+    /// Max requests a worker drains per round (`--batch`); 1 is the
+    /// unbatched serve loop.
+    batch: usize,
+    /// Zipf exponent of the workload (`--zipf`); 0 is uniform.
+    zipf: f64,
     check: bool,
     metrics_out: Option<String>,
 }
@@ -58,6 +80,9 @@ impl Default for Args {
             write_ratio: 0.02,
             workers: 4,
             queue_capacity: 128,
+            cache: None,
+            batch: 1,
+            zipf: 0.0,
             check: false,
             metrics_out: None,
         }
@@ -67,7 +92,8 @@ impl Default for Args {
 fn usage() {
     eprintln!(
         "usage: serve_load [--qps N] [--seconds N] [--connections N] [--seed N]\n\
-         \x20                 [--write-ratio F] [--workers N] [--queue N] [--check]\n\
+         \x20                 [--write-ratio F] [--workers N] [--queue N]\n\
+         \x20                 [--cache on|off] [--batch N] [--zipf S] [--check]\n\
          \x20                 [--metrics-out PATH]"
     );
 }
@@ -93,6 +119,16 @@ fn parse_args() -> Option<Args> {
             "--write-ratio" => a.write_ratio = num("--write-ratio")?.min(1.0),
             "--workers" => a.workers = num("--workers")? as usize,
             "--queue" => a.queue_capacity = num("--queue")? as usize,
+            "--cache" => match args.next().as_deref() {
+                Some("on") => a.cache = Some(true),
+                Some("off") => a.cache = Some(false),
+                _ => {
+                    eprintln!("serve_load: --cache wants `on` or `off`");
+                    return None;
+                }
+            },
+            "--batch" => a.batch = num("--batch")? as usize,
+            "--zipf" => a.zipf = num("--zipf")?,
             "--check" => a.check = true,
             "--metrics-out" => match args.next() {
                 Some(path) => a.metrics_out = Some(path),
@@ -120,14 +156,105 @@ struct Tally {
     hist: Histogram,
 }
 
+/// `--check`'s cache-parity clause: at quiescence a sample of distinct
+/// workload queries is asked once over the wire — the cached, batched
+/// serve path — and recomputed cache-free against the same pinned
+/// engine state. Returns the number of queries checked; any bit of
+/// divergence is an error. Every fourth sample also cross-checks the
+/// aggregate path.
+fn check_cache_parity(
+    vkg: &VirtualKnowledgeGraph,
+    addr: std::net::SocketAddr,
+    queries: &[workload::Query],
+) -> Result<usize, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("parity client: {e}"))?;
+    let mut seen = std::collections::HashSet::new();
+    let mut checked = 0usize;
+    for q in queries {
+        if checked >= 32 {
+            break;
+        }
+        if !seen.insert((q.entity.0, q.relation.0, q.direction == Direction::Tails)) {
+            continue;
+        }
+        let remote = client
+            .top_k(q.entity, q.relation, q.direction, 10)
+            .map_err(|e| format!("remote top-k: {e}"))?;
+        let local = vkg
+            .with_published_shard(q.relation, |_pin, snap, state| {
+                state.top_k(snap, q.entity, q.relation, q.direction, 10)
+            })
+            .map_err(|e| format!("local recompute: {e}"))?;
+        if remote.predictions.len() != local.predictions.len()
+            || remote
+                .predictions
+                .iter()
+                .zip(&local.predictions)
+                .any(|(r, l)| {
+                    r.id != l.id
+                        || r.distance.to_bits() != l.distance.to_bits()
+                        || r.probability.to_bits() != l.probability.to_bits()
+                })
+            || remote.success_probability.to_bits() != local.guarantee.success_probability.to_bits()
+            || remote.expected_misses.to_bits() != local.guarantee.expected_misses.to_bits()
+        {
+            return Err(format!(
+                "top-k diverged from recomputation on entity {} relation {} ({:?})",
+                q.entity.0, q.relation.0, q.direction
+            ));
+        }
+        if checked % 4 == 0 {
+            let remote_agg = client
+                .aggregate(
+                    q.entity,
+                    q.relation,
+                    q.direction,
+                    AggregateKind::Count,
+                    None,
+                    0.05,
+                    None,
+                )
+                .map_err(|e| format!("remote aggregate: {e}"))?;
+            let spec = AggregateSpec::count(0.05);
+            let local_agg = vkg
+                .with_published_shard(q.relation, |_pin, snap, state| {
+                    state.aggregate(snap, q.entity, q.relation, q.direction, &spec)
+                })
+                .map_err(|e| format!("local aggregate recompute: {e}"))?;
+            if remote_agg.estimate.to_bits() != local_agg.estimate.to_bits()
+                || remote_agg.mu.to_bits() != local_agg.bound.mu.to_bits()
+                || remote_agg.increment_mass.to_bits() != local_agg.bound.increment_mass.to_bits()
+                || remote_agg.ball_size as usize != local_agg.ball_size
+            {
+                return Err(format!(
+                    "aggregate diverged from recomputation on entity {} relation {}",
+                    q.entity.0, q.relation.0
+                ));
+            }
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("no queries to sample".into());
+    }
+    Ok(checked)
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return ExitCode::FAILURE;
     };
 
     let shards = vkg::core::config::shards_from_env(1);
+    let cache_capacity = match args.cache {
+        Some(true) => vkg::core::config::DEFAULT_CACHE_CAPACITY,
+        Some(false) => 0,
+        None => vkg::core::config::cache_from_env(0),
+    };
     eprintln!(
-        "serve_load: preparing smoke-scale movie dataset + embeddings ({shards} shard(s))..."
+        "serve_load: preparing smoke-scale movie dataset + embeddings \
+         ({shards} shard(s), cache {} entries, batch {})...",
+        cache_capacity, args.batch
     );
     let prepared = setup::movie(Scale::Smoke, 16);
     let graph = prepared.dataset.graph.clone();
@@ -137,6 +264,7 @@ fn main() -> ExitCode {
         prepared.embeddings,
         VkgConfig {
             shards,
+            cache_capacity,
             ..setup::bench_config()
         },
     ));
@@ -146,6 +274,7 @@ fn main() -> ExitCode {
         ServerConfig {
             workers: args.workers,
             queue_capacity: args.queue_capacity,
+            batch_max: args.batch.max(1),
             ..ServerConfig::default()
         },
     ) {
@@ -158,7 +287,11 @@ fn main() -> ExitCode {
     let addr = handle.addr();
 
     let total = (args.qps * args.seconds).ceil() as u64;
-    let queries = Arc::new(workload::generate(&graph, total as usize, args.seed));
+    let queries = Arc::new(if args.zipf > 0.0 {
+        workload::generate_zipf(&graph, total as usize, args.seed, args.zipf)
+    } else {
+        workload::generate(&graph, total as usize, args.seed)
+    });
     let entities = graph.num_entities() as u32;
     eprintln!(
         "serve_load: {} requests at {} QPS over {} connections -> {}",
@@ -266,6 +399,11 @@ fn main() -> ExitCode {
     }
     let elapsed = start.elapsed();
 
+    // The cache-parity clause runs while the server is live but
+    // quiescent, before the telemetry snapshot, so its traffic (and any
+    // hits it produces) is part of the exported counters.
+    let parity = args.check.then(|| check_cache_parity(&vkg, addr, &queries));
+
     // Every sender has its answer, so the queue is drained — fetch the
     // server's own telemetry over the wire before shutting it down.
     let metrics = Client::connect(addr)
@@ -313,6 +451,20 @@ fn main() -> ExitCode {
             m.snapshot.spans_recorded,
             m.snapshot.spans_dropped,
             server_p50_us as f64 / 1e3,
+        );
+        let hits = m.snapshot.counter(core_names::CACHE_HIT).unwrap_or(0);
+        let misses = m.snapshot.counter(core_names::CACHE_MISS).unwrap_or(0);
+        println!(
+            "  cache: hits={} misses={} prefix_hits={} invalidations={} | lock rounds={}",
+            hits,
+            misses,
+            m.snapshot
+                .counter(core_names::CACHE_PREFIX_HIT)
+                .unwrap_or(0),
+            m.snapshot
+                .counter(core_names::CACHE_INVALIDATE)
+                .unwrap_or(0),
+            m.snapshot.counter(names::LOCK_ROUNDS).unwrap_or(0),
         );
     }
     if let Some(path) = &args.metrics_out {
@@ -390,6 +542,27 @@ fn main() -> ExitCode {
             eprintln!(
                 "serve_load: CHECK FAILED — server p50 {server_p50_us}µs exceeds \
                  client p50 {client_p50_us}µs beyond tolerance ({allowed_us:.0}µs)"
+            );
+            return ExitCode::FAILURE;
+        }
+        match parity {
+            Some(Ok(n)) => println!("  cache parity OK over {n} sampled queries"),
+            Some(Err(e)) => {
+                eprintln!("serve_load: CHECK FAILED — cache parity: {e}");
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
+        let hits = m.snapshot.counter(core_names::CACHE_HIT).unwrap_or(0);
+        if cache_capacity == 0 && hits > 0 {
+            eprintln!(
+                "serve_load: CHECK FAILED — {hits} cache hits reported with the cache disabled"
+            );
+            return ExitCode::FAILURE;
+        }
+        if cache_capacity > 0 && args.zipf > 0.0 && hits == 0 {
+            eprintln!(
+                "serve_load: CHECK FAILED — cache enabled on a skewed workload but never hit"
             );
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,671 @@
+//! Epoch-keyed semantic result cache for the facade's read path.
+//!
+//! Repeated queries on a skewed stream (the serving layer's reality)
+//! recompute identical answers: the same ⟨entity, relation, direction,
+//! k⟩ arrives again and again while nothing was published in between.
+//! This cache memoizes complete [`TopKResult`]s and [`AggregateResult`]s
+//! keyed by the query's semantic identity, and validates every hit
+//! against the **exact** epoch pair the engine pins for the serving
+//! shard ([`crate::vkg::ShardPin`]): a hit is served only when both the
+//! global snapshot epoch and the owning shard's epoch equal the values
+//! the entry was computed at. Publication bumps those counters under
+//! every shard lock, so a matching pair proves the snapshot — graph,
+//! embeddings, attributes, and the shard's point set — is byte-identical
+//! to fill time, which makes a hit *provably* identical to
+//! recomputation. Stale entries are invalidated lazily on touch; no
+//! writer ever scans the cache.
+//!
+//! Two deliberate asymmetries keep hits honest:
+//!
+//! * **Cracks replay on hits.** Queries reshape the index (Algorithm 3
+//!   line 9 cracks for the final ball) without bumping any epoch —
+//!   cracking is answer-neutral, so entries stay valid across it. But a
+//!   served hit that skipped the engine would also skip the crack, and
+//!   a cached deployment's tree (and its crack-log traffic to sibling
+//!   shards) would drift from an uncached one's. Every cached value
+//!   therefore carries the crack regions its computation performed, and
+//!   the facade replays them (idempotently) on each hit.
+//! * **Containment answers smaller k.** A cached top-k′ answers any
+//!   k ≤ k′ by prefix — the top-k of a fixed candidate set is a prefix
+//!   of its top-k′ — with probabilities and the Theorem 2 guarantee
+//!   recomputed from the prefix distances (both are pure functions of
+//!   them). For k > k′ the entry still helps: its (id, distance) pairs
+//!   warm-start the shrinking ball
+//!   ([`crate::query::topk::find_top_k_warm`]).
+//!
+//! Locking: entries live in `stripes` (hash-partitioned mutexes, lock
+//! class `vkg.cache`). A stripe lock is only taken while the caller
+//! holds the serving shard's lock, and **nothing** is acquired while a
+//! stripe lock is held — `vkg.cache` sits after the shard classes and
+//! before `vkg.published` in the lock order, and is never held across
+//! another acquisition.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use vkg_sync::Mutex;
+
+use crate::query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
+use crate::query::guarantees::topk_guarantee;
+use crate::query::probability::inverse_distance_probabilities;
+use crate::query::topk::{Prediction, TopKResult};
+use crate::snapshot::Direction;
+
+/// Semantic identity of a cacheable query.
+///
+/// The query *point* is deliberately absent: at a pinned epoch it is a
+/// pure function of ⟨entity, relation, direction⟩ (embeddings and the JL
+/// transform are part of the epoch-validated snapshot), so the id triple
+/// is a lossless — and collision-free — stand-in for the quantized
+/// point. `k` is also absent: it lives in the entry, which is what lets
+/// one entry answer every k ≤ k′ (and seed every k > k′). Refinement
+/// parameters (ε, α) are fixed per facade by [`crate::VkgConfig`] and
+/// need no key bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// A top-k entity query (plain or wire-filtered).
+    TopK {
+        /// Dense query-entity id.
+        entity: u32,
+        /// Relation id.
+        relation: u32,
+        /// Whether the query runs tail-ward (`h + r`).
+        tails: bool,
+        /// Deterministic fingerprint of the candidate filter (the wire
+        /// encoding of the filter expression); `None` for unfiltered
+        /// queries. Closure filters have no fingerprint and bypass the
+        /// cache entirely.
+        filter: Option<Vec<u8>>,
+    },
+    /// A full-accuracy aggregate query (sampled aggregates bypass the
+    /// cache: their access order depends on tree shape, so their answers
+    /// are not reproducible across differently-cracked trees).
+    Aggregate {
+        /// Dense query-entity id.
+        entity: u32,
+        /// Relation id.
+        relation: u32,
+        /// Whether the query runs tail-ward (`h + r`).
+        tails: bool,
+        /// The aggregate kind, as a stable discriminant.
+        kind: u8,
+        /// Attribute name (`None` for COUNT).
+        attribute: Option<String>,
+        /// The probability threshold p_τ, as bits (total order ≡ value
+        /// equality for the validated range (0, 1]).
+        p_tau_bits: u64,
+    },
+}
+
+impl CacheKey {
+    /// Key for a top-k query; `filter` is the deterministic wire
+    /// fingerprint, `None` when unfiltered.
+    pub fn top_k(
+        entity: u32,
+        relation: u32,
+        direction: Direction,
+        filter: Option<Vec<u8>>,
+    ) -> Self {
+        CacheKey::TopK {
+            entity,
+            relation,
+            tails: matches!(direction, Direction::Tails),
+            filter,
+        }
+    }
+
+    /// Key for an aggregate query. Callers must not build keys for
+    /// sampled specs (`sample_size.is_some()`) — those are uncacheable.
+    pub fn aggregate(
+        entity: u32,
+        relation: u32,
+        direction: Direction,
+        spec: &AggregateSpec,
+    ) -> Self {
+        debug_assert!(
+            spec.sample_size.is_none(),
+            "sampled aggregates are not cacheable"
+        );
+        let kind = match spec.kind {
+            AggregateKind::Count => 0u8,
+            AggregateKind::Sum => 1,
+            AggregateKind::Avg => 2,
+            AggregateKind::Max => 3,
+            AggregateKind::Min => 4,
+        };
+        CacheKey::Aggregate {
+            entity,
+            relation,
+            tails: matches!(direction, Direction::Tails),
+            kind,
+            attribute: spec.attribute.clone(),
+            p_tau_bits: spec.p_tau.to_bits(),
+        }
+    }
+}
+
+/// Outcome of a top-k probe.
+// Hit dwarfs Miss/Stale by design; boxing it would put an allocation on
+// the hit path this cache exists to make cheap.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum TopKLookup {
+    /// A complete answer. The caller must replay `result.crack_region`
+    /// before serving so cached and uncached trees stay identical.
+    Hit {
+        /// The answer, already cut to the requested k.
+        result: TopKResult,
+        /// Whether the answer was cut down from a larger cached k
+        /// (containment fast path) rather than matched exactly.
+        prefix: bool,
+    },
+    /// The entry matches the epochs but was computed for a smaller k:
+    /// its (id, S₁-distance) pairs warm-start the shrinking ball.
+    Partial {
+        /// Trusted (id, distance) pairs, ascending by distance.
+        warm: Vec<(u32, f64)>,
+    },
+    /// An entry existed but its epochs no longer match — it has been
+    /// removed (lazy invalidation).
+    Stale,
+    /// No entry.
+    Miss,
+}
+
+/// Outcome of an aggregate probe.
+#[derive(Debug)]
+pub enum AggregateLookup {
+    /// A complete answer. The caller must replay `crack_regions`.
+    Hit(AggregateResult),
+    /// Removed a stale entry (lazy invalidation).
+    Stale,
+    /// No entry.
+    Miss,
+}
+
+// Same tradeoff as TopKLookup: values are stored once, read hot.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum CachedValue {
+    TopK(TopKResult),
+    Aggregate(AggregateResult),
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Global snapshot epoch at fill time.
+    epoch: u64,
+    /// Owning shard's epoch at fill time.
+    shard_epoch: u64,
+    /// The k the value was computed for (0 for aggregates).
+    k: usize,
+    value: CachedValue,
+    /// Monotone per-stripe use stamp (LRU victim selection).
+    stamp: u64,
+}
+
+/// FNV-1a, used both for stripe selection and inside the stripe maps.
+/// The keys are short (a handful of ids and flags), already admitted —
+/// SipHash's DoS resistance buys nothing here and costs ~4 full-key
+/// hashes per miss (stripe choice + map op, on lookup and insert). FNV
+/// is several times cheaper on these sizes and, unlike
+/// `DefaultHasher`'s per-process keys, deterministic across runs, which
+/// the model tests' stripe-choice reproducibility relies on.
+#[derive(Debug)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+#[derive(Debug)]
+struct Stripe {
+    map: HashMap<CacheKey, Entry, FnvBuild>,
+    /// Monotone counter behind the stripe lock — no atomics needed.
+    tick: u64,
+}
+
+/// The sharded (striped) cache. See the module docs for the validity
+/// and locking story.
+#[derive(Debug)]
+pub struct ResultCache {
+    stripes: Vec<Mutex<Stripe>>,
+    /// Entry capacity per stripe (total capacity / stripe count).
+    stripe_capacity: usize,
+}
+
+/// Stripe count: enough to keep same-shard batch workers from
+/// serializing on one mutex, small enough that a capacity-1024 cache
+/// still gives each stripe a useful working set.
+const STRIPES: usize = 8;
+
+impl ResultCache {
+    /// A cache holding up to `capacity` entries (clamped to ≥ 1; a
+    /// facade with `cache_capacity = 0` holds no cache at all).
+    pub fn new(capacity: usize) -> Self {
+        let stripes = STRIPES.min(capacity.max(1));
+        let stripe_capacity = capacity.max(1).div_ceil(stripes);
+        Self {
+            stripes: (0..stripes)
+                .map(|_| {
+                    Mutex::with_name(
+                        Stripe {
+                            // Preallocate up to the stripe's working set
+                            // (clamped so a huge configured capacity does
+                            // not reserve memory up front): filling the
+                            // cache must never rehash, which would re-run
+                            // every stored key's hash on the miss path.
+                            map: HashMap::with_capacity_and_hasher(
+                                stripe_capacity.min(4096),
+                                FnvBuild::default(),
+                            ),
+                            tick: 0,
+                        },
+                        "vkg.cache",
+                    )
+                })
+                .collect(),
+            stripe_capacity,
+        }
+    }
+
+    /// Total entries currently held (tests, exposition).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn stripe(&self, key: &CacheKey) -> &Mutex<Stripe> {
+        // FNV is keyless, so stripe choice is deterministic across runs
+        // (the model tests rely on that).
+        let mut h = FnvHasher::default();
+        key.hash(&mut h);
+        &self.stripes[(h.finish() as usize) % self.stripes.len()]
+    }
+
+    /// Probes for a top-k answer at the pinned epochs. `epsilon`/`alpha`
+    /// recompute the Theorem 2 guarantee on prefix cuts.
+    pub fn lookup_top_k(
+        &self,
+        key: &CacheKey,
+        k: usize,
+        epoch: u64,
+        shard_epoch: u64,
+        epsilon: f64,
+        alpha: usize,
+    ) -> TopKLookup {
+        let mut stripe = self.stripe(key).lock();
+        stripe.tick += 1;
+        let tick = stripe.tick;
+        let Some(entry) = stripe.map.get_mut(key) else {
+            return TopKLookup::Miss;
+        };
+        if entry.epoch != epoch || entry.shard_epoch != shard_epoch {
+            stripe.map.remove(key);
+            return TopKLookup::Stale;
+        }
+        entry.stamp = tick;
+        let CachedValue::TopK(cached) = &entry.value else {
+            // Key kinds and value kinds correspond one-to-one; treat a
+            // mismatch as a miss rather than asserting on the hot path.
+            return TopKLookup::Miss;
+        };
+        if k == entry.k {
+            return TopKLookup::Hit {
+                result: cached.clone(),
+                prefix: false,
+            };
+        }
+        if k < entry.k || cached.predictions.len() < entry.k {
+            // Containment: the top-k of a fixed candidate set is a
+            // prefix of its top-k′ for k ≤ k′; and an entry with fewer
+            // than k′ predictions exhausted the candidate set, so it
+            // answers *any* k.
+            return TopKLookup::Hit {
+                result: cut_prefix(cached, k, epsilon, alpha),
+                prefix: true,
+            };
+        }
+        TopKLookup::Partial {
+            warm: cached
+                .predictions
+                .iter()
+                .map(|p| (p.id, p.distance))
+                .collect(),
+        }
+    }
+
+    /// Records a freshly-computed top-k answer for `k` at the pinned
+    /// epochs, replacing any entry under the same key.
+    pub fn insert_top_k(
+        &self,
+        key: CacheKey,
+        k: usize,
+        epoch: u64,
+        shard_epoch: u64,
+        result: &TopKResult,
+    ) {
+        self.insert(
+            key,
+            k,
+            epoch,
+            shard_epoch,
+            CachedValue::TopK(result.clone()),
+        );
+    }
+
+    /// Probes for an aggregate answer at the pinned epochs.
+    pub fn lookup_aggregate(
+        &self,
+        key: &CacheKey,
+        epoch: u64,
+        shard_epoch: u64,
+    ) -> AggregateLookup {
+        let mut stripe = self.stripe(key).lock();
+        stripe.tick += 1;
+        let tick = stripe.tick;
+        let Some(entry) = stripe.map.get_mut(key) else {
+            return AggregateLookup::Miss;
+        };
+        if entry.epoch != epoch || entry.shard_epoch != shard_epoch {
+            stripe.map.remove(key);
+            return AggregateLookup::Stale;
+        }
+        entry.stamp = tick;
+        match &entry.value {
+            CachedValue::Aggregate(a) => AggregateLookup::Hit(a.clone()),
+            CachedValue::TopK(_) => AggregateLookup::Miss,
+        }
+    }
+
+    /// Records a freshly-computed aggregate answer at the pinned epochs.
+    pub fn insert_aggregate(
+        &self,
+        key: CacheKey,
+        epoch: u64,
+        shard_epoch: u64,
+        result: &AggregateResult,
+    ) {
+        self.insert(
+            key,
+            0,
+            epoch,
+            shard_epoch,
+            CachedValue::Aggregate(result.clone()),
+        );
+    }
+
+    fn insert(&self, key: CacheKey, k: usize, epoch: u64, shard_epoch: u64, value: CachedValue) {
+        let mut stripe = self.stripe(&key).lock();
+        stripe.tick += 1;
+        let tick = stripe.tick;
+        if stripe.map.len() >= self.stripe_capacity && !stripe.map.contains_key(&key) {
+            // Evict the least-recently-used entry. Linear in the stripe
+            // (≤ capacity/stripes entries) — fine at the capacities the
+            // facade configures, and only on insert at a full stripe.
+            if let Some(victim) = stripe
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(key, _)| key.clone())
+            {
+                stripe.map.remove(&victim);
+            }
+        }
+        stripe.map.insert(
+            key,
+            Entry {
+                epoch,
+                shard_epoch,
+                k,
+                value,
+                stamp: tick,
+            },
+        );
+    }
+}
+
+/// Cuts a cached top-k′ answer down to k, recomputing probabilities and
+/// the Theorem 2 guarantee from the prefix distances (both are pure
+/// functions of them, so the cut is bit-identical to recomputing the
+/// smaller query at the same epochs). Cost counters keep their fill-time
+/// values: they describe the work that *built* the answer.
+fn cut_prefix(cached: &TopKResult, k: usize, epsilon: f64, alpha: usize) -> TopKResult {
+    if k >= cached.predictions.len() {
+        return cached.clone();
+    }
+    let distances: Vec<f64> = cached.predictions[..k].iter().map(|p| p.distance).collect();
+    let probabilities = inverse_distance_probabilities(&distances);
+    let predictions: Vec<Prediction> = cached.predictions[..k]
+        .iter()
+        .zip(probabilities)
+        .map(|(p, probability)| Prediction {
+            id: p.id,
+            distance: p.distance,
+            probability,
+        })
+        .collect();
+    let guarantee = topk_guarantee(&distances, epsilon, alpha);
+    TopKResult {
+        predictions,
+        guarantee,
+        s1_evals: cached.s1_evals,
+        candidates_examined: cached.candidates_examined,
+        crack_region: cached.crack_region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Mbr;
+
+    fn top_k_result(n: usize) -> TopKResult {
+        let distances: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let probabilities = inverse_distance_probabilities(&distances);
+        TopKResult {
+            predictions: distances
+                .iter()
+                .zip(probabilities)
+                .enumerate()
+                .map(|(i, (&distance, probability))| Prediction {
+                    id: i as u32,
+                    distance,
+                    probability,
+                })
+                .collect(),
+            guarantee: topk_guarantee(&distances, 3.0, 3),
+            s1_evals: 10,
+            candidates_examined: 20,
+            crack_region: Some(Mbr::of_ball(&[0.0, 0.0, 0.0], 1.0)),
+        }
+    }
+
+    fn key() -> CacheKey {
+        CacheKey::top_k(1, 2, Direction::Tails, None)
+    }
+
+    #[test]
+    fn exact_hit_after_insert() {
+        let cache = ResultCache::new(16);
+        let r = top_k_result(3);
+        cache.insert_top_k(key(), 3, 5, 2, &r);
+        match cache.lookup_top_k(&key(), 3, 5, 2, 3.0, 3) {
+            TopKLookup::Hit { result, prefix } => {
+                assert!(!prefix);
+                assert_eq!(result.predictions, r.predictions);
+                assert_eq!(result.crack_region, r.crack_region);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_mismatch_invalidates_lazily() {
+        let cache = ResultCache::new(16);
+        cache.insert_top_k(key(), 3, 5, 2, &top_k_result(3));
+        // Global epoch moved on.
+        assert!(matches!(
+            cache.lookup_top_k(&key(), 3, 6, 2, 3.0, 3),
+            TopKLookup::Stale
+        ));
+        // The stale entry is gone: the next probe is a plain miss.
+        assert!(matches!(
+            cache.lookup_top_k(&key(), 3, 6, 2, 3.0, 3),
+            TopKLookup::Miss
+        ));
+        // Shard epoch mismatch invalidates too.
+        cache.insert_top_k(key(), 3, 5, 2, &top_k_result(3));
+        assert!(matches!(
+            cache.lookup_top_k(&key(), 3, 5, 3, 3.0, 3),
+            TopKLookup::Stale
+        ));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn prefix_cut_matches_direct_computation() {
+        let cache = ResultCache::new(16);
+        cache.insert_top_k(key(), 5, 0, 0, &top_k_result(5));
+        let TopKLookup::Hit { result, prefix } = cache.lookup_top_k(&key(), 2, 0, 0, 3.0, 3) else {
+            panic!("expected prefix hit");
+        };
+        assert!(prefix);
+        assert_eq!(result.predictions.len(), 2);
+        // Bit-identical to computing the 2-element answer directly.
+        let direct = top_k_result(2);
+        for (got, want) in result.predictions.iter().zip(&direct.predictions) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.distance.to_bits(), want.distance.to_bits());
+            assert_eq!(got.probability.to_bits(), want.probability.to_bits());
+        }
+        assert_eq!(
+            result.guarantee.success_probability.to_bits(),
+            direct.guarantee.success_probability.to_bits()
+        );
+        // The crack region stays the fill-time one (it is what the
+        // filling query cracked; the facade replays it on this hit).
+        assert_eq!(result.crack_region, top_k_result(5).crack_region);
+    }
+
+    #[test]
+    fn exhausted_entry_answers_larger_k() {
+        let cache = ResultCache::new(16);
+        // Asked for k=8, found only 3 candidates: the candidate set is
+        // exhausted, so the same answer serves any larger k.
+        cache.insert_top_k(key(), 8, 0, 0, &top_k_result(3));
+        match cache.lookup_top_k(&key(), 20, 0, 0, 3.0, 3) {
+            TopKLookup::Hit { result, prefix } => {
+                assert!(prefix);
+                assert_eq!(result.predictions.len(), 3);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn larger_k_gets_warm_seeds() {
+        let cache = ResultCache::new(16);
+        cache.insert_top_k(key(), 3, 0, 0, &top_k_result(3));
+        match cache.lookup_top_k(&key(), 5, 0, 0, 3.0, 3) {
+            TopKLookup::Partial { warm } => {
+                assert_eq!(warm, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_roundtrip_and_kind_separation() {
+        use crate::query::aggregate::DeviationBound;
+        let cache = ResultCache::new(16);
+        let spec = AggregateSpec::count(0.05);
+        let akey = CacheKey::aggregate(1, 2, Direction::Tails, &spec);
+        let a = AggregateResult {
+            estimate: 4.25,
+            accessed: 5,
+            ball_size: 6,
+            bound: DeviationBound {
+                mu: 4.25,
+                increment_mass: 0.5,
+            },
+            crack_regions: vec![Mbr::of_ball(&[0.0, 0.0, 0.0], 2.0)],
+        };
+        cache.insert_aggregate(akey.clone(), 1, 1, &a);
+        match cache.lookup_aggregate(&akey, 1, 1) {
+            AggregateLookup::Hit(got) => {
+                assert_eq!(got.estimate.to_bits(), a.estimate.to_bits());
+                assert_eq!(got.ball_size, a.ball_size);
+                assert_eq!(got.crack_regions, a.crack_regions);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(
+            cache.lookup_aggregate(&akey, 2, 1),
+            AggregateLookup::Stale
+        ));
+        // A different p_τ is a different key.
+        let other = CacheKey::aggregate(1, 2, Direction::Tails, &AggregateSpec::count(0.1));
+        assert_ne!(akey, other);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        // Capacity below the stripe count degenerates to one stripe of
+        // one entry each — use a single-stripe configuration to make the
+        // LRU order observable.
+        let cache = ResultCache::new(1);
+        assert_eq!(cache.stripes.len(), 1);
+        let k1 = CacheKey::top_k(1, 0, Direction::Tails, None);
+        let k2 = CacheKey::top_k(2, 0, Direction::Tails, None);
+        cache.insert_top_k(k1.clone(), 3, 0, 0, &top_k_result(3));
+        cache.insert_top_k(k2.clone(), 3, 0, 0, &top_k_result(3));
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(
+            cache.lookup_top_k(&k1, 3, 0, 0, 3.0, 3),
+            TopKLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup_top_k(&k2, 3, 0, 0, 3.0, 3),
+            TopKLookup::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn filter_fingerprint_separates_keys() {
+        let cache = ResultCache::new(16);
+        let plain = CacheKey::top_k(1, 2, Direction::Tails, None);
+        let filtered = CacheKey::top_k(1, 2, Direction::Tails, Some(vec![0, 3, b'a', b'b', b'c']));
+        cache.insert_top_k(plain.clone(), 3, 0, 0, &top_k_result(3));
+        assert!(matches!(
+            cache.lookup_top_k(&filtered, 3, 0, 0, 3.0, 3),
+            TopKLookup::Miss
+        ));
+        let heads = CacheKey::top_k(1, 2, Direction::Heads, None);
+        assert!(matches!(
+            cache.lookup_top_k(&heads, 3, 0, 0, 3.0, 3),
+            TopKLookup::Miss
+        ));
+    }
+}

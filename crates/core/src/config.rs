@@ -63,6 +63,14 @@ pub struct VkgConfig {
     /// only in which queries crack which tree). See [`shards_from_env`]
     /// for the `VKG_SHARDS` override.
     pub shards: usize,
+    /// Capacity (entries) of the epoch-keyed result cache on the facade's
+    /// read path; `0` (the default) disables caching entirely, taking the
+    /// exact pre-cache code paths. A hit is only served when the global
+    /// and shard epochs still match the entry, and the entry's recorded
+    /// crack regions are replayed, so cached answers stay bit-identical
+    /// to recomputation. See [`cache_from_env`] for the `VKG_CACHE`
+    /// override.
+    pub cache_capacity: usize,
 }
 
 impl Default for VkgConfig {
@@ -78,6 +86,7 @@ impl Default for VkgConfig {
             transform_seed: 0x4a4c_5452, // "JLTR"
             threads: 1,
             shards: 1,
+            cache_capacity: 0,
         }
     }
 }
@@ -111,6 +120,30 @@ pub fn shards_from_env(default_shards: usize) -> usize {
             _ => default_shards.max(1),
         },
         Err(_) => default_shards.max(1),
+    }
+}
+
+/// Entry capacity selected by `VKG_CACHE=on` when no explicit size is
+/// given: enough for the hot set of a Zipf-skewed query stream at the
+/// harness's scales without holding a large snapshot's worth of results.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Reads the result-cache capacity from the `VKG_CACHE` environment
+/// variable.
+///
+/// Accepts `on` (= [`DEFAULT_CACHE_CAPACITY`]), `off` (= 0, disabled)
+/// or an explicit entry count; an unset or unparsable value falls back
+/// to `default_capacity`, mirroring [`threads_from_env`]: deployments
+/// opt into caching explicitly and tests run uncached unless asked
+/// otherwise.
+pub fn cache_from_env(default_capacity: usize) -> usize {
+    match std::env::var("VKG_CACHE") {
+        Ok(v) => match v.trim() {
+            "on" => DEFAULT_CACHE_CAPACITY,
+            "off" => 0,
+            other => other.parse::<usize>().unwrap_or(default_capacity),
+        },
+        Err(_) => default_capacity,
     }
 }
 
@@ -243,5 +276,14 @@ mod tests {
         // dedicated shard-parity job, which runs microbench, not tests).
         assert_eq!(shards_from_env(0), 1);
         assert_eq!(shards_from_env(7), 7);
+    }
+
+    #[test]
+    fn env_cache_falls_back_to_default() {
+        // The suite never sets VKG_CACHE (CI sets it only for the
+        // dedicated cache-parity job, which runs serve_load, not tests),
+        // so the fallback applies — including 0 = disabled.
+        assert_eq!(cache_from_env(0), 0);
+        assert_eq!(cache_from_env(256), 256);
     }
 }

@@ -30,6 +30,11 @@
 //! * [`metrics`] — the per-facade `vkg-obs` registry and the typed
 //!   handles the query paths record into (queries, refine steps,
 //!   latency), plus sampling of engine-side counters into gauges.
+//! * [`cache`] — the epoch-keyed semantic result cache the facade
+//!   consults on its read path when [`VkgConfig::cache_capacity`] > 0:
+//!   hits are validated against the exact pinned epochs and replay the
+//!   filling query's crack regions, so they are provably identical to
+//!   recomputation.
 //! * [`vkg`] — the `VirtualKnowledgeGraph` facade assembling an
 //!   `Arc<VkgSnapshot>` + locked [`engine::IndexState`] into one
 //!   queryable object (Definition 1).
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -49,6 +55,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod vkg;
 
+pub use cache::ResultCache;
 pub use config::{SplitStrategy, VkgConfig};
 pub use engine::{
     shard_of_relation, Accuracy, EngineStats, IndexState, Neighbor, QueryEngine, ShardSetGuard,

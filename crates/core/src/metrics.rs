@@ -42,6 +42,16 @@ pub mod names {
     pub const POOL_PARALLEL_RUNS: &str = "core.pool.parallel_runs";
     /// Sampled: chunks handed to parallel claim loops.
     pub const POOL_CHUNKS_CLAIMED: &str = "core.pool.chunks_claimed";
+    /// Result-cache hits served whole at the pinned epochs.
+    pub const CACHE_HIT: &str = "core.cache.hit";
+    /// Result-cache probes that found nothing usable (includes probes
+    /// that only yielded warm-start seeds).
+    pub const CACHE_MISS: &str = "core.cache.miss";
+    /// Stale result-cache entries removed on touch (epoch moved on).
+    pub const CACHE_INVALIDATE: &str = "core.cache.invalidate";
+    /// Hits served by cutting a larger cached k down to the requested
+    /// one (superset containment).
+    pub const CACHE_PREFIX_HIT: &str = "core.cache.prefix_hit";
 }
 
 /// The registry plus pre-resolved handles a facade records into.
@@ -62,6 +72,10 @@ pub struct VkgMetrics {
     pool_serial: Gauge,
     pool_parallel: Gauge,
     pool_chunks: Gauge,
+    cache_hit: Counter,
+    cache_miss: Counter,
+    cache_invalidate: Counter,
+    cache_prefix_hit: Counter,
 }
 
 impl VkgMetrics {
@@ -83,6 +97,10 @@ impl VkgMetrics {
             pool_serial: registry.gauge(names::POOL_SERIAL_RUNS),
             pool_parallel: registry.gauge(names::POOL_PARALLEL_RUNS),
             pool_chunks: registry.gauge(names::POOL_CHUNKS_CLAIMED),
+            cache_hit: registry.counter(names::CACHE_HIT),
+            cache_miss: registry.counter(names::CACHE_MISS),
+            cache_invalidate: registry.counter(names::CACHE_INVALIDATE),
+            cache_prefix_hit: registry.counter(names::CACHE_PREFIX_HIT),
             registry,
             clock,
         }
@@ -115,6 +133,27 @@ impl VkgMetrics {
         }
         self.refine_steps.add(refine_steps);
         self.latency.record(latency);
+    }
+
+    /// Records one whole-result cache hit (served at the pinned epochs).
+    pub fn record_cache_hit(&self) {
+        self.cache_hit.incr();
+    }
+
+    /// Records one cache probe that had to recompute (no entry, or only
+    /// warm-start seeds).
+    pub fn record_cache_miss(&self) {
+        self.cache_miss.incr();
+    }
+
+    /// Records the lazy removal of one stale cache entry.
+    pub fn record_cache_invalidate(&self) {
+        self.cache_invalidate.incr();
+    }
+
+    /// Records one hit served by prefix-cutting a larger cached k.
+    pub fn record_cache_prefix_hit(&self) {
+        self.cache_prefix_hit.incr();
     }
 
     /// Samples the engine-side counters (index statistics, crack-log

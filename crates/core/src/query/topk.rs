@@ -46,6 +46,11 @@ pub struct TopKResult {
     pub s1_evals: u64,
     /// Number of points examined in S₂ (the cheap filter).
     pub candidates_examined: u64,
+    /// The region the index was cracked for (Algorithm 3 line 9), kept so
+    /// a result cache replaying this answer can reproduce the crack and
+    /// keep cached and uncached trees identical. `None` for engines that
+    /// never crack (the baselines).
+    pub crack_region: Option<Mbr>,
 }
 
 /// Max-heap entry so the k-th (worst) current answer pops first.
@@ -92,6 +97,28 @@ pub fn find_top_k(
     k: usize,
     epsilon: f64,
     alpha: usize,
+    s1_distance: impl FnMut(&PointSet, u32) -> f64,
+    skip: impl FnMut(u32) -> bool,
+) -> VkgResult<TopKResult> {
+    find_top_k_warm(index, q_s2, k, epsilon, alpha, &[], s1_distance, skip)
+}
+
+/// [`find_top_k`] warm-started from already-known `(id, s1_distance)`
+/// pairs — the result cache's partial-hit path: a cached top-k′ answer
+/// (k′ < k, same query, same epoch) seeds the k-set so the initial ball
+/// of line 3 starts at its smallest admissible radius instead of being
+/// re-derived from a seed scan. Warm pairs must come from an identical
+/// query at an identical snapshot epoch (their distances and skip status
+/// are trusted verbatim); they are not counted as oracle evaluations.
+/// With `warm` empty this **is** `find_top_k`, byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn find_top_k_warm(
+    index: &mut CrackingIndex,
+    q_s2: &[f64],
+    k: usize,
+    epsilon: f64,
+    alpha: usize,
+    warm: &[(u32, f64)],
     mut s1_distance: impl FnMut(&PointSet, u32) -> f64,
     mut skip: impl FnMut(u32) -> bool,
 ) -> VkgResult<TopKResult> {
@@ -103,14 +130,21 @@ pub fn find_top_k(
     }
     let mut s1_evals = 0u64;
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for &(id, d) in warm {
+        push_candidate(&mut heap, k, id, d);
+    }
 
     // Line 2: probe the smallest contour element containing q and seed
     // the k-set by walking its points outward along one sort order.
     let element = index.smallest_element_containing(q_s2);
     let seed_want = (k * 4).max(16);
     let seeds = index.seed_scan(element, q_s2, seed_want);
+    // The warm set already holds exact distances for its ids; skipping
+    // them here both saves oracle calls and keeps the heap duplicate-free
+    // (`push_candidate` does not deduplicate).
+    let warm_ids: std::collections::HashSet<u32> = warm.iter().map(|&(id, _)| id).collect();
     for id in seeds {
-        if skip(id) {
+        if warm_ids.contains(&id) || skip(id) {
             continue;
         }
         let d = s1_distance(index.points(), id);
@@ -200,6 +234,7 @@ pub fn find_top_k(
         guarantee,
         s1_evals,
         candidates_examined,
+        crack_region: Some(final_region),
     })
 }
 

@@ -43,6 +43,7 @@ use vkg_obs::{Clock, MetricsSnapshot, Registry};
 use vkg_sync::pool::Pool;
 use vkg_sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::cache::{AggregateLookup, CacheKey, ResultCache, TopKLookup};
 use crate::config::VkgConfig;
 use crate::engine::{IndexState, QueryEngine, ShardSetGuard, ShardedEngine};
 use crate::error::{VkgError, VkgResult};
@@ -194,6 +195,11 @@ pub struct VirtualKnowledgeGraph {
     published: RwLock<Published>,
     engine: ShardedEngine,
     metrics: VkgMetrics,
+    /// The epoch-keyed result cache ([`crate::cache`]), present when
+    /// [`VkgConfig::cache_capacity`] > 0. Consulted only inside shard
+    /// closures (epochs pinned), so every hit is provably identical to
+    /// recomputation.
+    cache: Option<ResultCache>,
 }
 
 impl VirtualKnowledgeGraph {
@@ -260,6 +266,10 @@ impl VirtualKnowledgeGraph {
         registry: Registry,
         clock: Clock,
     ) -> Self {
+        let cache = match snapshot.config().cache_capacity {
+            0 => None,
+            capacity => Some(ResultCache::new(capacity)),
+        };
         Self {
             published: RwLock::with_name(
                 Published {
@@ -270,6 +280,7 @@ impl VirtualKnowledgeGraph {
             ),
             engine,
             metrics: VkgMetrics::new(registry, clock),
+            cache,
         }
     }
 
@@ -457,7 +468,22 @@ impl VirtualKnowledgeGraph {
         relation: RelationId,
         f: impl FnOnce(ShardPin, &VkgSnapshot, &mut IndexState) -> R,
     ) -> R {
-        let shard = self.engine.shard_of(relation);
+        self.with_published_shard_index(self.engine.shard_of(relation), f)
+    }
+
+    /// [`VirtualKnowledgeGraph::with_published_shard`] addressed by
+    /// shard index instead of relation — the entry point for callers
+    /// that already routed (the serving layer's same-shard batches:
+    /// one lock acquisition and one crack-log sync serve a whole group
+    /// of requests routed to `shard`).
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn with_published_shard_index<R>(
+        &self,
+        shard: usize,
+        f: impl FnOnce(ShardPin, &VkgSnapshot, &mut IndexState) -> R,
+    ) -> R {
         let mut state = self.engine.write_shard(shard);
         // Bring this shard's contour up to the canonical crack sequence
         // before serving, and log what `f`'s query cracked afterwards,
@@ -507,8 +533,8 @@ impl VirtualKnowledgeGraph {
         k: usize,
     ) -> VkgResult<TopKResult> {
         let start = self.metrics.clock().now();
-        let r = self.with_published_shard(relation, |_pin, snap, state| {
-            state.top_k(snap, entity, relation, direction, k)
+        let r = self.with_published_shard(relation, |pin, snap, state| {
+            self.top_k_pinned(pin, snap, state, entity, relation, direction, k)
         });
         self.metrics
             .record_query(start, r.as_ref().map_or(0, |t| t.s1_evals), r.is_ok());
@@ -518,6 +544,12 @@ impl VirtualKnowledgeGraph {
     /// Top-k restricted to entities accepted by `filter` (e.g. only
     /// movies). The E′ semantics (skip known edges, skip self) always
     /// apply on top of the filter.
+    ///
+    /// Closure filters have no deterministic fingerprint, so this entry
+    /// point always bypasses the result cache; callers whose filter has
+    /// a canonical encoding (the wire protocol's filter expressions)
+    /// should use [`VirtualKnowledgeGraph::top_k_filtered_pinned`] with
+    /// the fingerprint inside a shard closure instead.
     pub fn top_k_filtered(
         &self,
         entity: EntityId,
@@ -535,6 +567,173 @@ impl VirtualKnowledgeGraph {
         r
     }
 
+    /// The cache-aware top-k execution path, run inside a shard closure
+    /// (the [`ShardPin`] proves both epochs are exact). Serves from the
+    /// result cache when possible — replaying the filling query's crack
+    /// region so the tree evolves exactly as if the query had executed —
+    /// and otherwise computes (warm-started when a smaller same-query
+    /// entry exists) and fills the cache.
+    ///
+    /// This is the entry point the serving layer drives per batched
+    /// request while holding one shard lock for the whole group; the
+    /// facade's own [`VirtualKnowledgeGraph::top_k`] wraps it. It does
+    /// **not** record query latency metrics — callers own that.
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_k_pinned(
+        &self,
+        pin: ShardPin,
+        snap: &VkgSnapshot,
+        state: &mut IndexState,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        k: usize,
+    ) -> VkgResult<TopKResult> {
+        self.top_k_cached(
+            pin,
+            snap,
+            state,
+            entity,
+            relation,
+            direction,
+            k,
+            None,
+            &|_| true,
+        )
+    }
+
+    /// [`VirtualKnowledgeGraph::top_k_pinned`] with a candidate filter.
+    /// `fingerprint` is a deterministic byte encoding of the filter
+    /// (equal bytes ⇒ equal predicate — the wire protocol's filter
+    /// encoding qualifies); with `None` the call bypasses the cache,
+    /// because a bare closure cannot be keyed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_k_filtered_pinned(
+        &self,
+        pin: ShardPin,
+        snap: &VkgSnapshot,
+        state: &mut IndexState,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        k: usize,
+        fingerprint: Option<&[u8]>,
+        filter: &dyn Fn(EntityId) -> bool,
+    ) -> VkgResult<TopKResult> {
+        match fingerprint {
+            Some(bytes) => self.top_k_cached(
+                pin,
+                snap,
+                state,
+                entity,
+                relation,
+                direction,
+                k,
+                Some(bytes.to_vec()),
+                filter,
+            ),
+            None => state.top_k_filtered(snap, entity, relation, direction, k, filter),
+        }
+    }
+
+    /// Shared cacheable top-k path. `key_filter` is the key's filter
+    /// fingerprint (`None` = the unfiltered query), distinct from the
+    /// executable `filter` closure, which always runs on misses.
+    #[allow(clippy::too_many_arguments)]
+    fn top_k_cached(
+        &self,
+        pin: ShardPin,
+        snap: &VkgSnapshot,
+        state: &mut IndexState,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        k: usize,
+        key_filter: Option<Vec<u8>>,
+        filter: &dyn Fn(EntityId) -> bool,
+    ) -> VkgResult<TopKResult> {
+        // `k == 0` must surface the engine's typed rejection; a prefix
+        // cut of a cached entry would instead fabricate an empty Ok.
+        let (Some(cache), true) = (self.cache.as_ref(), k > 0) else {
+            return state.top_k_warm(snap, entity, relation, direction, k, &[], filter);
+        };
+        let cfg = snap.config();
+        let key = CacheKey::top_k(entity.0, relation.0, direction, key_filter);
+        let mut warm = Vec::new();
+        match cache.lookup_top_k(&key, k, pin.epoch, pin.shard_epoch, cfg.epsilon, cfg.alpha) {
+            TopKLookup::Hit { result, prefix } => {
+                if let Some(region) = &result.crack_region {
+                    // Replay the filling query's crack (idempotent, and
+                    // journaled exactly like a live crack) so cached and
+                    // uncached trees — and their crack-log traffic to
+                    // sibling shards — stay identical.
+                    state.index_mut().crack(region);
+                }
+                if prefix {
+                    self.metrics.record_cache_prefix_hit();
+                } else {
+                    self.metrics.record_cache_hit();
+                }
+                return Ok(result);
+            }
+            TopKLookup::Partial { warm: seeds } => {
+                warm = seeds;
+                self.metrics.record_cache_miss();
+            }
+            TopKLookup::Stale => {
+                self.metrics.record_cache_invalidate();
+                self.metrics.record_cache_miss();
+            }
+            TopKLookup::Miss => self.metrics.record_cache_miss(),
+        }
+        let r = state.top_k_warm(snap, entity, relation, direction, k, &warm, filter)?;
+        cache.insert_top_k(key, k, pin.epoch, pin.shard_epoch, &r);
+        Ok(r)
+    }
+
+    /// The cache-aware aggregate execution path, run inside a shard
+    /// closure — the aggregate counterpart of
+    /// [`VirtualKnowledgeGraph::top_k_pinned`]. Sampled specs
+    /// (`sample_size.is_some()`) always bypass the cache: their access
+    /// order depends on tree shape, so their answers are not
+    /// reproducible across differently-cracked trees.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregate_pinned(
+        &self,
+        pin: ShardPin,
+        snap: &VkgSnapshot,
+        state: &mut IndexState,
+        entity: EntityId,
+        relation: RelationId,
+        direction: Direction,
+        spec: &AggregateSpec,
+    ) -> VkgResult<AggregateResult> {
+        let cacheable = spec.sample_size.is_none();
+        let Some(cache) = self.cache.as_ref().filter(|_| cacheable) else {
+            return state.aggregate(snap, entity, relation, direction, spec);
+        };
+        let key = CacheKey::aggregate(entity.0, relation.0, direction, spec);
+        match cache.lookup_aggregate(&key, pin.epoch, pin.shard_epoch) {
+            AggregateLookup::Hit(result) => {
+                for region in &result.crack_regions {
+                    // Replay both fill-time cracks (inner top-1, then
+                    // the probability ball) — see `top_k_cached`.
+                    state.index_mut().crack(region);
+                }
+                self.metrics.record_cache_hit();
+                return Ok(result);
+            }
+            AggregateLookup::Stale => {
+                self.metrics.record_cache_invalidate();
+                self.metrics.record_cache_miss();
+            }
+            AggregateLookup::Miss => self.metrics.record_cache_miss(),
+        }
+        let r = state.aggregate(snap, entity, relation, direction, spec)?;
+        cache.insert_aggregate(key, pin.epoch, pin.shard_epoch, &r);
+        Ok(r)
+    }
+
     /// Answers an aggregate query over the probability ball around the
     /// query center (§V-B). Takes only `relation`'s shard lock.
     pub fn aggregate(
@@ -545,8 +744,8 @@ impl VirtualKnowledgeGraph {
         spec: &AggregateSpec,
     ) -> VkgResult<AggregateResult> {
         let start = self.metrics.clock().now();
-        let r = self.with_published_shard(relation, |_pin, snap, state| {
-            state.aggregate(snap, entity, relation, direction, spec)
+        let r = self.with_published_shard(relation, |pin, snap, state| {
+            self.aggregate_pinned(pin, snap, state, entity, relation, direction, spec)
         });
         // Aggregates refine by accessing exact S₁ distances; the access
         // count is the refine-step analogue top-k reports as s1_evals.
@@ -624,9 +823,17 @@ impl VirtualKnowledgeGraph {
             // Re-read under the shard lock: the epoch is pinned for this
             // worker's whole group (publication needs this lock too).
             let (epoch, snap) = self.published();
+            // Exact under the held shard lock, like the pin built by
+            // `with_published_shard_index` — so per-relation partials
+            // share the result cache with single-relation aggregates.
+            let pin = ShardPin {
+                epoch,
+                shard: *shard,
+                shard_epoch: self.engine.shard_epoch(*shard),
+            };
             for &(slot, relation) in group {
-                let answer = state
-                    .aggregate(&snap, entity, relation, direction, spec)
+                let answer = self
+                    .aggregate_pinned(pin, &snap, &mut state, entity, relation, direction, spec)
                     .map(|result| RelationAggregate {
                         relation,
                         shard: *shard,
@@ -863,6 +1070,7 @@ mod tests {
             transform_seed: 7,
             threads: 1,
             shards: 1,
+            cache_capacity: 0,
         }
     }
 

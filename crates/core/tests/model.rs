@@ -27,6 +27,12 @@ fn tiny_vkg() -> (VirtualKnowledgeGraph, RelationId) {
 /// [`tiny_vkg`] with an explicit engine shard count, for scenarios that
 /// exercise per-shard locks and epochs.
 fn tiny_vkg_sharded(shards: usize) -> (VirtualKnowledgeGraph, RelationId) {
+    tiny_vkg_config(shards, 0)
+}
+
+/// [`tiny_vkg_sharded`] plus an enabled result cache, for scenarios
+/// that race cached readers against epoch-bumping writers.
+fn tiny_vkg_config(shards: usize, cache_capacity: usize) -> (VirtualKnowledgeGraph, RelationId) {
     let dim = 8;
     let mut g = KnowledgeGraph::new();
     let likes = g.add_relation("likes");
@@ -69,6 +75,7 @@ fn tiny_vkg_sharded(shards: usize) -> (VirtualKnowledgeGraph, RelationId) {
         transform_seed: 7,
         threads: 1,
         shards,
+        cache_capacity,
     };
     let vkg = VirtualKnowledgeGraph::try_assemble(g, attrs, store, cfg).expect("tiny world");
     let _ = also;
@@ -332,4 +339,83 @@ fn cross_shard_queries_and_quiesce_are_deadlock_free() {
         vkg.index().check_invariants();
     })
     .unwrap_or_else(|v| panic!("cross-shard deadlock-freedom model failed: {v}"));
+}
+
+/// The result cache's epoch validation raced against a writer: when no
+/// publication lands between two identical reads, the second (cached)
+/// answer must be the first one's exact bits; once the writer lands and
+/// the world quiesces, the cached engine's answer must equal a
+/// cache-disabled twin that applied the same write — a stale entry is
+/// invalidated, never served. The checker also watches the cache
+/// stripe lock (acquired under the shard lock) for order inversions,
+/// lost updates, and data races on every explored schedule.
+#[test]
+fn cached_reads_race_writer_without_stale_answers() {
+    model::sweep(SEEDS, || {
+        let (vkg, likes) = tiny_vkg_config(2, 64);
+        let vkg = Arc::new(vkg);
+        let u0 = vkg.graph().entity_id("u0").expect("u0");
+        let u1 = vkg.graph().entity_id("u1").expect("u1");
+        let m4 = vkg.graph().entity_id("m4").expect("m4");
+
+        let writer = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || {
+                let (added, _) = vkg
+                    .add_fact_dynamic(u1, likes, m4, 2, 0.01)
+                    .expect("valid ids");
+                assert!(added, "fresh edge");
+            })
+        };
+        let reader = {
+            let vkg = Arc::clone(&vkg);
+            thread::spawn(move || {
+                let before = vkg.epoch();
+                let r1 = vkg
+                    .top_k(u0, likes, Direction::Tails, 2)
+                    .expect("valid query");
+                let r2 = vkg
+                    .top_k(u0, likes, Direction::Tails, 2)
+                    .expect("valid query");
+                if vkg.epoch() == before {
+                    // No publication interleaved the pair, so whether the
+                    // second read hit the cache or recomputed, the answer
+                    // is the same bits.
+                    assert_eq!(
+                        r1.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+                        r2.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    );
+                    for (a, b) in r1.predictions.iter().zip(&r2.predictions) {
+                        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+                        assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+                    }
+                }
+            })
+        };
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+
+        // Quiescent cross-check: the hand-built world is deterministic,
+        // so a cache-off twin given the same write is the ground truth.
+        let (plain, likes_p) = tiny_vkg_sharded(2);
+        plain
+            .add_fact_dynamic(u1, likes_p, m4, 2, 0.01)
+            .expect("valid ids");
+        let want = plain
+            .top_k(u0, likes_p, Direction::Tails, 2)
+            .expect("valid query");
+        let got = vkg
+            .top_k(u0, likes, Direction::Tails, 2)
+            .expect("valid query");
+        assert_eq!(
+            got.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+            want.predictions.iter().map(|p| p.id).collect::<Vec<_>>(),
+            "post-write cached answer matches the cache-off ground truth"
+        );
+        for (g, w) in got.predictions.iter().zip(&want.predictions) {
+            assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+        }
+        vkg.index().check_invariants();
+    })
+    .unwrap_or_else(|v| panic!("cache-race model failed: {v}"));
 }

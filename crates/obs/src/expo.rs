@@ -11,7 +11,7 @@
 //! gauge server.queue.depth 0
 //! hist server.latency_us total=120 max_us=5333 buckets=14:2,40:118
 //! spans recorded=120 dropped=56
-//! span id=119 op=1 shard=0 outcome=0 queue_ns=81000 lock_ns=2000 exec_ns=410000 encode_ns=3000 refine_steps=961
+//! span id=119 op=1 shard=0 outcome=0 queue_ns=81000 lock_ns=2000 exec_ns=410000 encode_ns=3000 batch_ns=0 refine_steps=961
 //! ```
 //!
 //! [`parse`] inverts [`render`] exactly (`parse(render(s)) == s`), which
@@ -73,7 +73,7 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     ));
     for s in &snap.spans {
         out.push_str(&format!(
-            "span id={} op={} shard={} outcome={} queue_ns={} lock_ns={} exec_ns={} encode_ns={} refine_steps={}\n",
+            "span id={} op={} shard={} outcome={} queue_ns={} lock_ns={} exec_ns={} encode_ns={} batch_ns={} refine_steps={}\n",
             s.id,
             s.op,
             s.shard,
@@ -82,6 +82,7 @@ pub fn render(snap: &MetricsSnapshot) -> String {
             s.lock_ns,
             s.exec_ns,
             s.encode_ns,
+            s.batch_ns,
             s.refine_steps,
         ));
     }
@@ -206,6 +207,7 @@ pub fn parse(text: &str) -> Result<MetricsSnapshot, ExpoError> {
                     lock_ns: parse_u64(kv(toks.next(), "lock_ns", line)?, line)?,
                     exec_ns: parse_u64(kv(toks.next(), "exec_ns", line)?, line)?,
                     encode_ns: parse_u64(kv(toks.next(), "encode_ns", line)?, line)?,
+                    batch_ns: parse_u64(kv(toks.next(), "batch_ns", line)?, line)?,
                     refine_steps: parse_u64(kv(toks.next(), "refine_steps", line)?, line)?,
                 });
             }
@@ -249,6 +251,7 @@ mod tests {
                 lock_ns: 20,
                 exec_ns: 30,
                 encode_ns: 40,
+                batch_ns: 5,
                 refine_steps: 50,
             }],
             spans_recorded: 8,

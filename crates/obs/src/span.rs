@@ -1,14 +1,15 @@
 //! Per-query span records.
 //!
 //! One [`Span`] is produced per served request and follows it through
-//! the serving pipeline's phases: admission → queue wait → shard lock
-//! (including crack-log replay) → crack/refine execution → response
-//! encode. Spans are fixed-size and encode into a constant number of
+//! the serving pipeline's phases: admission → queue wait → batch wait
+//! (same-shard group draining) → shard lock (including crack-log
+//! replay) → crack/refine execution → response encode. Spans are
+//! fixed-size and encode into a constant number of
 //! `u64` words ([`SPAN_WORDS`]) so the lock-free [`crate::SpanRing`]
 //! can store them in per-slot atomic arrays without allocation.
 
 /// Number of `u64` words a span packs into (the ring's slot width).
-pub const SPAN_WORDS: usize = 8;
+pub const SPAN_WORDS: usize = 9;
 
 /// How a traced request ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +59,11 @@ pub struct Span {
     pub exec_ns: u64,
     /// Response encode on the connection thread.
     pub encode_ns: u64,
+    /// Time spent waiting for same-shard batch siblings: worker pop →
+    /// this request's shard lock acquisition, when the worker drained it
+    /// as part of a multi-request group. Zero on the single-request
+    /// path.
+    pub batch_ns: u64,
     /// Refine steps (S1 distance evaluations) the query performed.
     pub refine_steps: u64,
 }
@@ -74,6 +80,7 @@ impl Span {
             self.lock_ns,
             self.exec_ns,
             self.encode_ns,
+            self.batch_ns,
             self.refine_steps,
         ]
     }
@@ -89,7 +96,8 @@ impl Span {
             lock_ns: w[4],
             exec_ns: w[5],
             encode_ns: w[6],
-            refine_steps: w[7],
+            batch_ns: w[7],
+            refine_steps: w[8],
         }
     }
 
@@ -99,6 +107,7 @@ impl Span {
             .saturating_add(self.lock_ns)
             .saturating_add(self.exec_ns)
             .saturating_add(self.encode_ns)
+            .saturating_add(self.batch_ns)
     }
 }
 
@@ -117,10 +126,11 @@ mod tests {
             lock_ns: 2_000,
             exec_ns: 3_000,
             encode_ns: 4_000,
+            batch_ns: 500,
             refine_steps: 99,
         };
         assert_eq!(Span::from_words(&s.to_words()), s);
-        assert_eq!(s.total_ns(), 10_000);
+        assert_eq!(s.total_ns(), 10_500);
     }
 
     #[test]

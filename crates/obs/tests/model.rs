@@ -20,6 +20,7 @@ fn stamped(id: u64) -> Span {
         lock_ns: id.wrapping_mul(5),
         exec_ns: id.wrapping_mul(7),
         encode_ns: id.wrapping_mul(11),
+        batch_ns: id.wrapping_mul(13),
         refine_steps: id,
         ..Span::default()
     }
@@ -30,6 +31,7 @@ fn assert_not_torn(s: &Span) {
     assert_eq!(s.lock_ns, s.id.wrapping_mul(5), "torn span: {s:?}");
     assert_eq!(s.exec_ns, s.id.wrapping_mul(7), "torn span: {s:?}");
     assert_eq!(s.encode_ns, s.id.wrapping_mul(11), "torn span: {s:?}");
+    assert_eq!(s.batch_ns, s.id.wrapping_mul(13), "torn span: {s:?}");
     assert_eq!(s.refine_steps, s.id, "torn span: {s:?}");
 }
 

@@ -75,6 +75,16 @@ impl WireFilter {
             _ => Err(WireError::Malformed("filter tag")),
         }
     }
+
+    /// A canonical byte encoding of the filter — the wire encoding
+    /// itself, which is deterministic and injective per variant. Equal
+    /// fingerprints therefore imply equal predicates, which is exactly
+    /// the contract the result cache's filtered-top-k key requires.
+    pub fn fingerprint(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.encode(&mut e);
+        e.finish()
+    }
 }
 
 /// The operation a request asks for.
@@ -577,7 +587,7 @@ impl StatsWire {
 ///
 /// Wire shape (after the epoch): counters, gauges, and histograms as
 /// name-prefixed sequences; the span accounting pair; then the spans
-/// themselves, each a fixed 54-byte record. Decoding fails closed like
+/// themselves, each a fixed 62-byte record. Decoding fails closed like
 /// every other message — declared lengths are bounded against the
 /// remaining payload before allocation.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -595,7 +605,7 @@ const HIST_MIN_BYTES: usize = 24;
 /// Wire footprint of one `(bucket, count)` pair.
 const BUCKET_PAIR_BYTES: usize = 12;
 /// Wire footprint of one span record.
-const SPAN_WIRE_BYTES: usize = 54;
+const SPAN_WIRE_BYTES: usize = 62;
 
 fn encode_named_u64s(e: &mut Enc, rows: &[(String, u64)]) {
     // lint: allow(no-truncating-cast, encode side; registries hold tens of metrics, nowhere near 2^32)
@@ -648,6 +658,7 @@ impl MetricsWire {
             e.u64(s.lock_ns);
             e.u64(s.exec_ns);
             e.u64(s.encode_ns);
+            e.u64(s.batch_ns);
             e.u64(s.refine_steps);
         }
     }
@@ -691,6 +702,7 @@ impl MetricsWire {
                 lock_ns: d.u64()?,
                 exec_ns: d.u64()?,
                 encode_ns: d.u64()?,
+                batch_ns: d.u64()?,
                 refine_steps: d.u64()?,
             });
         }
@@ -1085,6 +1097,7 @@ mod tests {
                         lock_ns: 20,
                         exec_ns: 30,
                         encode_ns: 40,
+                        batch_ns: 15,
                         refine_steps: 5,
                     }],
                     spans_recorded: 9,

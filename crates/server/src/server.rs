@@ -37,6 +37,21 @@
 //! shard (acquiring and releasing all shard locks) so no in-flight
 //! cracking outlives the server.
 //!
+//! # Same-shard batching
+//!
+//! With [`ServerConfig::batch_max`] > 1 a worker drains up to that many
+//! queued jobs per wake-up ([`crate::queue::JobQueue::pop_batch`]),
+//! buckets the relation-routed reads by engine shard, and executes each
+//! bucket under **one** shard-lock acquisition — amortizing lock and
+//! crack-log-replay cost across the group (`server.lock_rounds` /
+//! `server.answered` drops below 1). Reads go through the facade's
+//! cache-aware pinned entry points, so the epoch-keyed result cache
+//! serves repeats without recomputation. Each batched job's deadline is
+//! re-checked **after** the lock is held; expired jobs are refused, not
+//! executed, and still answered — `admitted == answered` survives
+//! batching. The default `batch_max = 1` reproduces unbatched serving
+//! exactly.
+//!
 //! # Observability
 //!
 //! Every admitted request is traced into a [`vkg_obs::Span`] — queue
@@ -56,10 +71,11 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use vkg_core::engine::QueryEngine;
-use vkg_core::vkg::VirtualKnowledgeGraph;
+use vkg_core::engine::IndexState;
+use vkg_core::vkg::{ShardPin, VirtualKnowledgeGraph};
+use vkg_core::VkgSnapshot;
 use vkg_kg::{EntityId, RelationId};
-use vkg_obs::{Clock, Gauge, HistogramCell, Registry, Span, SpanOutcome, SpanRing, Tick};
+use vkg_obs::{Clock, Counter, Gauge, HistogramCell, Registry, Span, SpanOutcome, SpanRing, Tick};
 use vkg_sync::thread::{self, JoinHandle};
 use vkg_sync::{AtomicBool, AtomicU64, Ordering};
 
@@ -90,6 +106,13 @@ pub mod names {
     pub const DEADLINE_EXPIRED: &str = "server.deadline_expired";
     /// Mirror of [`ServerCounters::drained`].
     pub const DRAINED: &str = "server.drained";
+    /// Jobs drained per worker wake-up — the batch-size distribution.
+    /// Recorded as raw counts (a sample of `3` means a 3-job batch).
+    pub const BATCH_SIZE: &str = "server.batch_size";
+    /// Engine lock rounds taken by workers: one per same-shard batch
+    /// group, per standalone query, and per dynamic write. With
+    /// batching on, `lock_rounds / answered < 1` is the whole point.
+    pub const LOCK_ROUNDS: &str = "server.lock_rounds";
 }
 
 /// Tuning knobs for a [`Server`].
@@ -110,6 +133,11 @@ pub struct ServerConfig {
     /// Capacity of the lock-free span ring: how many of the most recent
     /// per-request spans the `Metrics` export can return.
     pub span_ring: usize,
+    /// Most jobs a worker drains from the queue per wake-up. Jobs
+    /// routing to the same engine shard execute under **one** shard-lock
+    /// acquisition; each job's deadline is re-checked after the lock is
+    /// held. `1` (the default) reproduces unbatched serving exactly.
+    pub batch_max: usize,
     /// The clock every span phase, deadline check, and latency sample is
     /// measured on. Tests inject [`Clock::mock`] to make timing
     /// deterministic; the default is the real monotonic clock.
@@ -125,6 +153,7 @@ impl Default for ServerConfig {
             max_frame: crate::wire::MAX_FRAME,
             worker_think_time: None,
             span_ring: 256,
+            batch_max: 1,
             clock: Clock::real(),
         }
     }
@@ -154,6 +183,8 @@ struct Obs {
     ring: SpanRing,
     next_query_id: AtomicU64,
     latency: HistogramCell,
+    batch_size: HistogramCell,
+    lock_rounds: Counter,
     queue_depth: Gauge,
     admitted: Gauge,
     answered: Gauge,
@@ -170,6 +201,8 @@ impl Obs {
             ring: SpanRing::new(cfg.span_ring),
             next_query_id: AtomicU64::new(0),
             latency: registry.histogram(names::LATENCY_US),
+            batch_size: registry.histogram(names::BATCH_SIZE),
+            lock_rounds: registry.counter(names::LOCK_ROUNDS),
             queue_depth: registry.gauge(names::QUEUE_DEPTH),
             admitted: registry.gauge(names::ADMITTED),
             answered: registry.gauge(names::ANSWERED),
@@ -711,67 +744,199 @@ fn request_shard(shared: &Shared, request: &Request) -> Option<usize> {
     Some(shared.vkg.shard_of(RelationId(relation)))
 }
 
+/// One unit of execution inside a batch: either a same-shard group of
+/// relation-routed reads (one shard-lock round for the lot) or a job
+/// that must run standalone (dynamic writes, which take every shard
+/// lock inside the facade).
+enum Unit {
+    Group(usize, Vec<Job>),
+    Solo(Job),
+}
+
+/// Whether a request is a relation-routed read that can share a
+/// shard-lock round with same-shard siblings.
+fn batchable(op: &RequestOp) -> bool {
+    matches!(
+        op,
+        RequestOp::TopK { .. } | RequestOp::TopKFiltered { .. } | RequestOp::Aggregate { .. }
+    )
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     let clock = &shared.obs.clock;
-    while let Some(job) = shared.queue.pop() {
+    let batch_max = shared.cfg.batch_max.max(1);
+    while let Some(mut batch) = shared.queue.pop_batch(batch_max) {
         let popped = clock.now();
-        let queue_ns = popped.since(job.admitted_at);
-        let (response, locked_at) = if Duration::from_nanos(queue_ns) >= job.deadline {
-            shared.counters.record_deadline_expired();
-            (
-                refusal(
-                    ErrorCode::DeadlineExceeded,
-                    "deadline expired while queued; not executed",
-                ),
-                popped,
-            )
-        } else {
-            if let Some(think) = shared.cfg.worker_think_time {
-                thread::sleep(think);
+        shared.obs.batch_size.record_us(batch.len() as u64);
+        if batch.len() == 1 {
+            if let Some(job) = batch.pop() {
+                serve_one(shared, job, popped);
             }
-            execute(&shared.vkg, &job.request, clock)
-        };
-        let finished = clock.now();
-        // Every admitted job is answered exactly once; a hung-up client
-        // (closed reply channel) still counts as answered.
-        shared.counters.record_answered();
-        if let Some(shard) = job.shard {
-            shared.shard_counters.record_answered(shard);
+            continue;
         }
+        // Bucket relation-routed reads by shard, preserving first-seen
+        // order; everything else runs standalone in arrival order.
+        // Reordering across a batch is unobservable to clients: each
+        // connection serializes (it blocks on its reply before sending
+        // the next frame), so batched jobs always belong to distinct
+        // connections with no cross-ordering obligations.
+        let mut units: Vec<Unit> = Vec::new();
+        for job in batch {
+            match job.shard {
+                Some(shard) if batchable(&job.request.op) => {
+                    let existing = units.iter_mut().find_map(|u| match u {
+                        Unit::Group(s, jobs) if *s == shard => Some(jobs),
+                        _ => None,
+                    });
+                    match existing {
+                        Some(jobs) => jobs.push(job),
+                        None => units.push(Unit::Group(shard, vec![job])),
+                    }
+                }
+                _ => units.push(Unit::Solo(job)),
+            }
+        }
+        for unit in units {
+            match unit {
+                Unit::Solo(job) => serve_one(shared, job, popped),
+                Unit::Group(shard, jobs) => serve_group(shared, shard, jobs, popped),
+            }
+        }
+    }
+}
+
+/// Serves one job on the standalone path (the whole path when
+/// `batch_max == 1`): deadline check at unit start, optional think-time
+/// fault injection, then `execute`, which takes its own lock round.
+fn serve_one(shared: &Arc<Shared>, job: Job, popped: Tick) {
+    let clock = &shared.obs.clock;
+    let unit_start = clock.now();
+    let queue_ns = popped.since(job.admitted_at);
+    let waited = unit_start.since(job.admitted_at);
+    let (response, locked_at) = if Duration::from_nanos(waited) >= job.deadline {
+        shared.counters.record_deadline_expired();
+        (
+            refusal(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired while queued; not executed",
+            ),
+            unit_start,
+        )
+    } else {
+        if let Some(think) = shared.cfg.worker_think_time {
+            thread::sleep(think);
+        }
+        if job.shard.is_some() {
+            // One lock round: a read takes its shard's lock, a write
+            // takes all of them — either way one acquisition episode.
+            shared.obs.lock_rounds.incr();
+        }
+        execute(&shared.vkg, &job.request, clock)
+    };
+    let finished = clock.now();
+    let span = Span {
+        id: job.id,
+        op: job.request.op.opcode(),
+        shard: job
+            .shard
+            .map_or(u32::MAX, |s| u32::try_from(s).unwrap_or(u32::MAX)),
+        outcome: outcome_of(&response),
+        queue_ns,
+        // Pop → shard lock held (includes crack-log replay, and the
+        // injected think time when the fault-injection knob is set).
+        lock_ns: locked_at.since(unit_start),
+        exec_ns: finished.since(locked_at),
+        // Stamped by the connection thread once the encode is done.
+        encode_ns: 0,
+        // Time spent behind earlier units of the same batch (zero when
+        // this job was popped alone).
+        batch_ns: unit_start.since(popped),
+        refine_steps: refine_steps_of(&response),
+    };
+    finish_job(shared, job, response, span);
+}
+
+/// Serves a same-shard group of reads under **one** shard-lock round.
+///
+/// Each job's deadline is re-checked *after* the lock is held: a
+/// request can expire while its batch siblings execute (or while the
+/// lock round waits behind a writer), and executing it anyway would
+/// spend lock time on an answer the client has already written off.
+/// Expired jobs are refused with `DeadlineExceeded` — still answered,
+/// so `admitted == answered` survives batching.
+fn serve_group(shared: &Arc<Shared>, shard: usize, jobs: Vec<Job>, popped: Tick) {
+    let clock = &shared.obs.clock;
+    let group_start = clock.now();
+    shared.obs.lock_rounds.incr();
+    let (locked_at, served) = shared
+        .vkg
+        .with_published_shard_index(shard, |pin, snap, state| {
+            let locked_at = clock.now();
+            let mut served = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                let exec_start = clock.now();
+                let waited = exec_start.since(job.admitted_at);
+                let response = if Duration::from_nanos(waited) >= job.deadline {
+                    shared.counters.record_deadline_expired();
+                    refusal(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline expired before execution; not executed",
+                    )
+                } else {
+                    if let Some(think) = shared.cfg.worker_think_time {
+                        thread::sleep(think);
+                    }
+                    execute_pinned(&shared.vkg, &job.request, pin, snap, state)
+                };
+                served.push((job, response, exec_start, clock.now()));
+            }
+            (locked_at, served)
+        });
+    for (job, response, exec_start, finished) in served {
         let span = Span {
             id: job.id,
             op: job.request.op.opcode(),
-            shard: job
-                .shard
-                .map_or(u32::MAX, |s| u32::try_from(s).unwrap_or(u32::MAX)),
+            shard: u32::try_from(shard).unwrap_or(u32::MAX),
             outcome: outcome_of(&response),
-            queue_ns,
-            // Pop → shard lock held (includes crack-log replay, and the
-            // injected think time when the fault-injection knob is set).
-            lock_ns: locked_at.since(popped),
-            exec_ns: finished.since(locked_at),
-            // Stamped by the connection thread once the encode is done.
+            queue_ns: popped.since(job.admitted_at),
+            // The group's shared wait for the shard lock.
+            lock_ns: locked_at.since(group_start),
+            exec_ns: finished.since(exec_start),
             encode_ns: 0,
+            // Waiting on earlier batch units plus on earlier siblings
+            // inside this group's lock round.
+            batch_ns: group_start
+                .since(popped)
+                .saturating_add(exec_start.since(locked_at)),
             refine_steps: refine_steps_of(&response),
         };
-        // The server executes reads inside shard closures, bypassing
-        // the facade's own instrumented entry points — mirror the
-        // executed reads into the facade registry so `core.queries`
-        // stays truthful however the engine is driven. Deadline-refused
-        // jobs never reached the engine and are not mirrored.
-        let is_read = matches!(
-            job.request.op,
-            RequestOp::TopK { .. } | RequestOp::TopKFiltered { .. } | RequestOp::Aggregate { .. }
-        );
-        if is_read && span.outcome != SpanOutcome::DeadlineExpired {
-            shared.vkg.metrics().record_query_timed(
-                Duration::from_nanos(span.lock_ns.saturating_add(span.exec_ns)),
-                span.refine_steps,
-                span.outcome == SpanOutcome::Ok,
-            );
-        }
-        let _ = job.reply.send((response, span));
+        finish_job(shared, job, response, span);
     }
+}
+
+/// Accounts for one answered job and hands the response back to its
+/// connection thread. Every admitted job passes through here exactly
+/// once; a hung-up client (closed reply channel) still counts as
+/// answered.
+fn finish_job(shared: &Arc<Shared>, job: Job, response: Response, span: Span) {
+    shared.counters.record_answered();
+    if let Some(shard) = job.shard {
+        shared.shard_counters.record_answered(shard);
+    }
+    // The server executes reads inside shard closures, bypassing
+    // the facade's own instrumented entry points — mirror the
+    // executed reads into the facade registry so `core.queries`
+    // stays truthful however the engine is driven. Deadline-refused
+    // jobs never reached the engine and are not mirrored.
+    let is_read = batchable(&job.request.op);
+    if is_read && span.outcome != SpanOutcome::DeadlineExpired {
+        shared.vkg.metrics().record_query_timed(
+            Duration::from_nanos(span.lock_ns.saturating_add(span.exec_ns)),
+            span.refine_steps,
+            span.outcome == SpanOutcome::Ok,
+        );
+    }
+    let _ = job.reply.send((response, span));
 }
 
 /// The span outcome a response maps to.
@@ -805,84 +970,14 @@ fn refine_steps_of(response: &Response) -> u64 {
 /// whole wait (the single-writer path) or nothing (refusals).
 fn execute(vkg: &VirtualKnowledgeGraph, request: &Request, clock: &Clock) -> (Response, Tick) {
     match &request.op {
-        RequestOp::TopK {
-            entity,
-            relation,
-            direction,
-            k,
-        } => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
-            let locked_at = clock.now();
-            let response = match state.top_k(
-                snap,
-                EntityId(*entity),
-                RelationId(*relation),
-                *direction,
-                *k as usize,
-            ) {
-                Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
-                Err(e) => Response::Error(ServerError::query(&e)),
-            };
-            (response, locked_at)
-        }),
-        RequestOp::TopKFiltered {
-            entity,
-            relation,
-            direction,
-            k,
-            filter,
-        } => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
-            let locked_at = clock.now();
-            let graph = snap.graph();
-            let accept: Box<dyn Fn(EntityId) -> bool> = match filter {
-                WireFilter::NamePrefix(prefix) => Box::new(move |id: EntityId| {
-                    graph.entity_name(id).is_some_and(|n| n.starts_with(prefix))
-                }),
-                WireFilter::IdRange { lo, hi } => {
-                    let (lo, hi) = (*lo, *hi);
-                    Box::new(move |id: EntityId| lo <= id.0 && id.0 < hi)
-                }
-            };
-            let response = match state.top_k_filtered(
-                snap,
-                EntityId(*entity),
-                RelationId(*relation),
-                *direction,
-                *k as usize,
-                &accept,
-            ) {
-                Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
-                Err(e) => Response::Error(ServerError::query(&e)),
-            };
-            (response, locked_at)
-        }),
-        RequestOp::Aggregate {
-            entity,
-            relation,
-            direction,
-            ..
-        } => match request.aggregate_spec() {
-            // Decoding guarantees aggregate ops carry a spec, but a
-            // refusal here is cheaper to reason about than a panic in a
-            // worker thread if that invariant ever drifts.
-            None => (
-                refusal(ErrorCode::Internal, "aggregate request lost its spec"),
-                clock.now(),
-            ),
-            Some(spec) => vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
+        RequestOp::TopK { relation, .. }
+        | RequestOp::TopKFiltered { relation, .. }
+        | RequestOp::Aggregate { relation, .. } => {
+            vkg.with_published_shard(RelationId(*relation), |pin, snap, state| {
                 let locked_at = clock.now();
-                let response = match state.aggregate(
-                    snap,
-                    EntityId(*entity),
-                    RelationId(*relation),
-                    *direction,
-                    &spec,
-                ) {
-                    Ok(r) => Response::Aggregate(AggregateWire::from_result(pin.epoch, &r)),
-                    Err(e) => Response::Error(ServerError::query(&e)),
-                };
-                (response, locked_at)
-            }),
-        },
+                (execute_pinned(vkg, request, pin, snap, state), locked_at)
+            })
+        }
         RequestOp::AddFactDynamic {
             h,
             r,
@@ -911,6 +1006,106 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request, clock: &Clock) -> (Re
         RequestOp::Stats | RequestOp::Metrics { .. } | RequestOp::Shutdown => (
             refusal(ErrorCode::Internal, "control requests are not queued"),
             clock.now(),
+        ),
+    }
+}
+
+/// Runs one relation-routed read against an already-locked shard — the
+/// shared execution core of the standalone path (`execute` wraps it in
+/// its own lock round) and the batched path (`serve_group` drives many
+/// requests through one round). All three reads go through the facade's
+/// cache-aware pinned entry points, so cached answers — validated
+/// against the pin's exact epochs — serve identically on either path.
+fn execute_pinned(
+    vkg: &VirtualKnowledgeGraph,
+    request: &Request,
+    pin: ShardPin,
+    snap: &VkgSnapshot,
+    state: &mut IndexState,
+) -> Response {
+    match &request.op {
+        RequestOp::TopK {
+            entity,
+            relation,
+            direction,
+            k,
+        } => {
+            match vkg.top_k_pinned(
+                pin,
+                snap,
+                state,
+                EntityId(*entity),
+                RelationId(*relation),
+                *direction,
+                *k as usize,
+            ) {
+                Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
+                Err(e) => Response::Error(ServerError::query(&e)),
+            }
+        }
+        RequestOp::TopKFiltered {
+            entity,
+            relation,
+            direction,
+            k,
+            filter,
+        } => {
+            let graph = snap.graph();
+            let accept: Box<dyn Fn(EntityId) -> bool> = match filter {
+                WireFilter::NamePrefix(prefix) => Box::new(move |id: EntityId| {
+                    graph.entity_name(id).is_some_and(|n| n.starts_with(prefix))
+                }),
+                WireFilter::IdRange { lo, hi } => {
+                    let (lo, hi) = (*lo, *hi);
+                    Box::new(move |id: EntityId| lo <= id.0 && id.0 < hi)
+                }
+            };
+            // The wire encoding doubles as the cache key's filter
+            // fingerprint: equal bytes ⇒ equal predicate.
+            let fingerprint = filter.fingerprint();
+            match vkg.top_k_filtered_pinned(
+                pin,
+                snap,
+                state,
+                EntityId(*entity),
+                RelationId(*relation),
+                *direction,
+                *k as usize,
+                Some(&fingerprint),
+                &accept,
+            ) {
+                Ok(r) => Response::TopK(TopKWire::from_result(pin.epoch, &r)),
+                Err(e) => Response::Error(ServerError::query(&e)),
+            }
+        }
+        RequestOp::Aggregate {
+            entity,
+            relation,
+            direction,
+            ..
+        } => match request.aggregate_spec() {
+            // Decoding guarantees aggregate ops carry a spec, but a
+            // refusal here is cheaper to reason about than a panic in a
+            // worker thread if that invariant ever drifts.
+            None => refusal(ErrorCode::Internal, "aggregate request lost its spec"),
+            Some(spec) => {
+                match vkg.aggregate_pinned(
+                    pin,
+                    snap,
+                    state,
+                    EntityId(*entity),
+                    RelationId(*relation),
+                    *direction,
+                    &spec,
+                ) {
+                    Ok(r) => Response::Aggregate(AggregateWire::from_result(pin.epoch, &r)),
+                    Err(e) => Response::Error(ServerError::query(&e)),
+                }
+            }
+        },
+        _ => refusal(
+            ErrorCode::Internal,
+            "only relation-routed reads execute pinned",
         ),
     }
 }

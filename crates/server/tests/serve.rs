@@ -292,6 +292,200 @@ fn queued_requests_past_deadline_are_refused() {
     assert_eq!(counters.deadline_expired as u32, expired);
 }
 
+/// Regression test for the batched-deadline bug: a request grouped
+/// behind same-shard siblings must be re-checked against *its own*
+/// deadline **after** the shard lock is acquired, because siblings
+/// executing ahead of it inside the lock consume real time. Without the
+/// post-lock re-check, late group members would execute (and bill their
+/// think time) long past the deadline the client was promised.
+///
+/// One worker with a 25ms think time serves 8 same-shard requests
+/// carrying 60ms deadlines: the first batch member(s) answer in time,
+/// and members queued behind ≥2 siblings' think time must be refused
+/// with `DeadlineExceeded` — never executed late, never dropped.
+#[test]
+fn batched_requests_expiring_after_lock_are_refused_not_executed() {
+    let vkg = build_vkg();
+    let handle = start(
+        &vkg,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            batch_max: 8,
+            worker_think_time: Some(Duration::from_millis(25)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                client.set_deadline(Some(Duration::from_millis(60)));
+                barrier.wait();
+                match client.top_k(
+                    EntityId(t as u32 % USERS),
+                    RelationId(0),
+                    Direction::Tails,
+                    3,
+                ) {
+                    Ok(_) => (1u32, 0u32),
+                    Err(ClientError::Server(e)) => {
+                        assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+                        (0, 1)
+                    }
+                    Err(other) => panic!("unexpected failure kind: {other}"),
+                }
+            })
+        })
+        .collect();
+
+    let (mut ok, mut expired) = (0u32, 0u32);
+    for t in threads {
+        let (o, e) = t.join().expect("client thread");
+        ok += o;
+        expired += e;
+    }
+    assert_eq!(ok + expired, clients as u32, "every request got a response");
+    assert!(ok >= 1, "the front of the batch answered within deadline");
+    assert!(
+        expired >= 1,
+        "members queued behind siblings' in-lock think time expired"
+    );
+
+    // The refusals really came from batched execution: the worker
+    // drained same-shard groups larger than one.
+    let mut probe = Client::connect(addr).expect("metrics client connects");
+    let m = probe.metrics(0).expect("metrics answered");
+    let batch = m.snapshot.hist("server.batch_size").expect("batch hist");
+    assert!(
+        batch.max_us >= 2,
+        "the worker formed a multi-request batch (max {})",
+        batch.max_us
+    );
+
+    drop(probe);
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered, "no request dropped");
+    assert_eq!(counters.deadline_expired as u32, expired);
+}
+
+/// Batching and the result cache together on a live server: concurrent
+/// repeat-heavy readers with a dynamic writer, then quiescent answers
+/// verified bit-for-bit against the in-process engine. The cache must
+/// actually hit and batches must actually form — while every admitted
+/// request is still answered.
+#[test]
+fn batched_cached_serving_stays_correct_under_writes() {
+    let ds = movie_like(&MovieConfig::tiny());
+    let (embeddings, _) = TransE::new(TransEConfig {
+        dim: 16,
+        epochs: 6,
+        ..TransEConfig::default()
+    })
+    .train(&ds.graph);
+    let vkg = Arc::new(VirtualKnowledgeGraph::assemble(
+        ds.graph,
+        ds.attributes,
+        embeddings,
+        VkgConfig {
+            shards: 2,
+            cache_capacity: 1024,
+            ..VkgConfig::default()
+        },
+    ));
+    let handle = start(
+        &vkg,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 512,
+            batch_max: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let writer = thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("writer connects");
+        for i in 0..12u32 {
+            client
+                .add_fact(
+                    EntityId(i % USERS),
+                    RelationId(0),
+                    EntityId(USERS + (i * 7) % MOVIES),
+                    2,
+                    0.01,
+                )
+                .expect("dynamic write is answered");
+            thread::sleep(Duration::from_millis(3));
+        }
+    });
+    // A tiny entity window and repeated k keep the workload cache-hot.
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connects");
+                for i in 0..40u32 {
+                    let entity = EntityId((t + i) % 4);
+                    let relation = RelationId(i % 2);
+                    let top = client
+                        .top_k(entity, relation, Direction::Tails, 5)
+                        .expect("top-k is answered");
+                    assert!(top.predictions.len() <= 5);
+                    for w in top.predictions.windows(2) {
+                        assert!(w[0].distance <= w[1].distance, "ascending by distance");
+                    }
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer thread");
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+
+    // Quiescent: remote answers equal the in-process engine's exactly.
+    let mut client = Client::connect(addr).expect("verification client");
+    for entity in 0..4u32 {
+        let remote = client
+            .top_k(EntityId(entity), RelationId(0), Direction::Tails, 5)
+            .expect("top-k answered");
+        let local = vkg
+            .top_k(EntityId(entity), RelationId(0), Direction::Tails, 5)
+            .expect("in-process answer");
+        assert_eq!(remote.predictions.len(), local.predictions.len());
+        for (rp, lp) in remote.predictions.iter().zip(&local.predictions) {
+            assert_eq!(rp.id, lp.id);
+            assert_eq!(rp.distance, lp.distance);
+            assert_eq!(rp.probability, lp.probability);
+        }
+    }
+
+    let m = client.metrics(0).expect("metrics answered");
+    assert!(
+        m.snapshot.counter("core.cache.hit").unwrap_or(0) > 0,
+        "the repeat-heavy workload hit the cache"
+    );
+    let answered = m.snapshot.gauge("server.answered").expect("answered gauge");
+    let rounds = m
+        .snapshot
+        .counter("server.lock_rounds")
+        .expect("lock rounds");
+    assert!(
+        rounds <= answered,
+        "batching never takes more lock rounds than answers ({rounds} vs {answered})"
+    );
+
+    drop(client);
+    let counters = handle.shutdown();
+    assert_eq!(counters.admitted, counters.answered);
+    vkg.index().check_invariants();
+}
+
 /// A client-initiated `Shutdown` drains gracefully: the acknowledgement
 /// arrives, in-flight work is answered (admitted == answered), all
 /// threads join, and the listener stops accepting.

@@ -239,7 +239,10 @@ proptest! {
                 0u8..=255,
                 0u32..=u32::MAX,
                 0u8..3,
-                (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+                (
+                    (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+                    (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+                ),
             ),
             0..8,
         ),
@@ -261,11 +264,12 @@ proptest! {
                     op,
                     shard,
                     outcome: SpanOutcome::from_u8(outcome),
-                    queue_ns: ns.0,
-                    lock_ns: ns.1,
-                    exec_ns: ns.2,
-                    encode_ns: ns.3,
-                    refine_steps: ns.4,
+                    queue_ns: ns.0 .0,
+                    lock_ns: ns.0 .1,
+                    exec_ns: ns.0 .2,
+                    encode_ns: ns.1 .0,
+                    batch_ns: ns.1 .1,
+                    refine_steps: ns.1 .2,
                 })
                 .collect(),
             spans_recorded,
