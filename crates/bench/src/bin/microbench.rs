@@ -14,14 +14,16 @@
 //!
 //! Results land in `BENCH_core.json` (schema: EXPERIMENTS.md §"Core
 //! microbenchmarks"), including the result cache's Zipf hit ratio and
-//! cold-miss overhead and the serve path's batch-{1,N} wall times with
-//! the lock-rounds-per-answer ratio. `--check` runs a seconds-fast
+//! cold-miss overhead, the WAL-on vs WAL-off dynamic-write wall times,
+//! and the serve path's batch-{1,N} wall times with the
+//! lock-rounds-per-answer ratio. `--check` runs a seconds-fast
 //! parity gate instead: blocked kernels must match the scalar reference
 //! within 1e-9 relative error, pooled builds and queries must agree with
 //! serial ones exactly, the pool must claim every chunk, the cache must
-//! earn a > 0.5 Zipf hit ratio at ≤ 5% miss overhead, and batched
-//! serving must take < 1 lock acquisition per answered request — the CI
-//! tier-2 gate.
+//! earn a > 0.5 Zipf hit ratio at ≤ 5% miss overhead, batched
+//! serving must take < 1 lock acquisition per answered request, and
+//! arming the write-ahead log must cost ≤ 10% on the dynamic-write
+//! path — the CI tier-2 gate.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -36,6 +38,7 @@ use vkg::core::geometry::kernels;
 use vkg::core::geometry::PointSet;
 use vkg::core::metrics::names as core_names;
 use vkg::core::query::topk::find_top_k;
+use vkg::core::FaultPlane;
 use vkg::kg::zipf::Zipf;
 use vkg::obs::{Clock, Registry};
 use vkg::prelude::*;
@@ -290,6 +293,56 @@ fn obs_overhead_ms(reps: usize, queries: usize) -> Result<(f64, f64), String> {
     Ok((measure(&instrumented), measure(&noop)))
 }
 
+/// Dynamic-write wall time with and without the write-ahead log armed:
+/// the same write plan against two identically-built smoke-scale
+/// engines, one of which first attached a fresh WAL (so every write
+/// appends + flushes a 54-byte record before publishing). Returns
+/// `(wal_on_ms, wal_off_ms)` as the **min** over `trials` fresh-engine
+/// pairs — as in [`obs_overhead_ms`], minima isolate the code-path
+/// difference the ≤10% gate is about. The WAL-off side *is* today's
+/// in-memory path: with no writer armed, `add_fact_dynamic` never
+/// touches the durability module beyond one uncontended lock probe.
+fn wal_overhead_ms(trials: usize, writes: usize) -> Result<(f64, f64), String> {
+    let prepared = setup::movie(setup::Scale::Smoke, 16);
+    let cfg = setup::bench_config();
+    let n = prepared.dataset.graph.num_entities() as u32;
+    let relations = prepared.dataset.graph.num_relations() as u32;
+    let plan: Vec<(EntityId, RelationId, EntityId)> = (0..writes as u32)
+        .map(|i| {
+            (
+                EntityId(i % n),
+                RelationId(i % relations),
+                EntityId((i * 37 + 11) % n),
+            )
+        })
+        .collect();
+    let mut wal_path = std::env::temp_dir();
+    wal_path.push(format!("vkg_microbench_{}.wal", std::process::id()));
+    let pass = |vkg: &VirtualKnowledgeGraph| -> Result<f64, String> {
+        let t = Instant::now();
+        for &(h, r, tail) in &plan {
+            vkg.add_fact_dynamic(h, r, tail, 2, 0.01)
+                .map_err(|e| format!("wal overhead write: {e}"))?;
+        }
+        Ok(t.elapsed().as_secs_f64() * 1e3)
+    };
+    let mut on_ms = f64::INFINITY;
+    let mut off_ms = f64::INFINITY;
+    for _ in 0..trials.max(3) {
+        let off = prepared.engine(cfg.clone());
+        off_ms = off_ms.min(pass(&off)?);
+        let on = prepared.engine(cfg.clone());
+        // A fresh log each trial: replaying the previous trial's
+        // records would make later trials pay for earlier ones.
+        let _ = std::fs::remove_file(&wal_path);
+        on.attach_wal(&wal_path, FaultPlane::none())
+            .map_err(|e| format!("wal overhead attach: {e}"))?;
+        on_ms = on_ms.min(pass(&on)?);
+    }
+    let _ = std::fs::remove_file(&wal_path);
+    Ok((on_ms, off_ms))
+}
+
 /// Measured behavior of the epoch-keyed result cache and the serve
 /// path's same-shard batching, all on the smoke-scale movie engine.
 struct CacheStats {
@@ -455,6 +508,7 @@ fn write_json(
     cores: usize,
     timings: &[Timing],
     obs: (f64, f64),
+    wal: (f64, f64),
     cache: &CacheStats,
 ) -> std::io::Result<()> {
     let mut out = String::new();
@@ -502,6 +556,13 @@ fn write_json(
     out.push_str(&format!("    \"instrumented_ms\": {instr_ms:.3},\n"));
     out.push_str(&format!("    \"noop_ms\": {noop_ms:.3},\n"));
     out.push_str(&format!("    \"overhead_pct\": {overhead_pct:.2}\n"));
+    out.push_str("  },\n");
+    let (wal_on_ms, wal_off_ms) = wal;
+    let wal_overhead_pct = (wal_on_ms / wal_off_ms.max(1e-9) - 1.0) * 1e2;
+    out.push_str("  \"wal\": {\n");
+    out.push_str(&format!("    \"on_ms\": {wal_on_ms:.3},\n"));
+    out.push_str(&format!("    \"off_ms\": {wal_off_ms:.3},\n"));
+    out.push_str(&format!("    \"overhead_pct\": {wal_overhead_pct:.2}\n"));
     out.push_str("  },\n");
     out.push_str(&format!("  \"cache_hit_ratio\": {:.4},\n", cache.hit_ratio));
     out.push_str(&format!(
@@ -694,6 +755,24 @@ fn check(args: &Args) -> Result<(), String> {
         cs.batch_speedup(),
         cs.lock_rounds_per_answered
     );
+
+    // 7. Durability overhead gate: arming the WAL (append + flush one
+    //    54-byte record per write, no fsync) must cost ≤ 10% on the
+    //    dynamic-write path. The dominant per-write cost is the
+    //    snapshot clone, so a breach here means the log is doing more
+    //    I/O than the format requires.
+    let (wal_on_ms, wal_off_ms) = wal_overhead_ms(3, 48)?;
+    if wal_on_ms > wal_off_ms * 1.10 {
+        return Err(format!(
+            "WAL write overhead {:.2}% exceeds the 10% gate \
+             (on {wal_on_ms:.3}ms vs off {wal_off_ms:.3}ms)",
+            (wal_on_ms / wal_off_ms.max(1e-9) - 1.0) * 1e2
+        ));
+    }
+    eprintln!(
+        "microbench --check: WAL write overhead {:+.2}% (on {wal_on_ms:.3}ms, off {wal_off_ms:.3}ms)",
+        (wal_on_ms / wal_off_ms.max(1e-9) - 1.0) * 1e2
+    );
     Ok(())
 }
 
@@ -772,6 +851,19 @@ fn main() -> ExitCode {
         obs.1,
         (obs.0 / obs.1.max(1e-9) - 1.0) * 1e2
     );
+    let wal = match wal_overhead_ms(args.reps.max(5), 64) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("microbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  wal_overhead: on {:.3} ms, off {:.3} ms ({:+.2}%)",
+        wal.0,
+        wal.1,
+        (wal.0 / wal.1.max(1e-9) - 1.0) * 1e2
+    );
     let cache = match cache_batch_stats(args.reps, args.shards) {
         Ok(cs) => cs,
         Err(e) => {
@@ -793,7 +885,7 @@ fn main() -> ExitCode {
         cache.batch_speedup(),
         cache.lock_rounds_per_answered
     );
-    match write_json(&args, cores, &timings, obs, &cache) {
+    match write_json(&args, cores, &timings, obs, wal, &cache) {
         Ok(()) => {
             eprintln!("microbench: wrote {}", args.out);
             ExitCode::SUCCESS

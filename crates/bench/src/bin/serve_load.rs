@@ -34,7 +34,27 @@
 //! against the same pinned engine state: any bit of divergence fails the
 //! run, and with the cache on a skewed workload must also show a
 //! non-zero hit count.
+//!
+//! The crash → restart → parity loop is scriptable through three more
+//! flags. `--wal PATH` (default: the `VKG_WAL` env override, else off)
+//! attaches the write-ahead log: the server logs + flushes every
+//! dynamic write before acking it, every connection self-heals with a
+//! per-connection deterministically-seeded [`RetryPolicy`], and writes
+//! carry idempotency tokens so a retry after an ambiguous failure
+//! applies at most once. `--kill-after N` aborts the whole process the
+//! moment the Nth write is acked — destructors do not run, exactly like
+//! a SIGKILL — leaving the acked prefix on disk (exit code
+//! [`KILLED_EXIT`] tells the harness the kill fired as planned).
+//! `--recover` runs the other phase: rebuild the engine, replay the
+//! WAL, and merge `"recovery": {...}` (attach wall time, replayed-record
+//! count, truncated bytes; schema in EXPERIMENTS.md) into the JSON at
+//! `--bench-out` (default `BENCH_core.json`). With `--wal`, `--check`
+//! additionally reconciles the durability counters: exported
+//! `server.wal.appended` must equal the client-observed applied writes,
+//! every `server.wal.dedup_hits` must be explained by a recorded client
+//! write retry, and the final epoch must equal replayed + appended.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::thread;
@@ -42,13 +62,18 @@ use std::time::{Duration, Instant};
 use vkg::sync::{AtomicU64, Ordering};
 
 use vkg::core::metrics::names as core_names;
+use vkg::core::FaultPlane;
 use vkg::obs::expo;
 use vkg::prelude::*;
 use vkg_bench::latency::Histogram;
 use vkg_bench::setup::{self, Scale};
 use vkg_bench::workload;
 use vkg_server::server::names;
-use vkg_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use vkg_server::{Client, ClientError, ErrorCode, RetryPolicy, RetryStats, Server, ServerConfig};
+
+/// Process exit code of a `--kill-after` abort, so the crash-recovery
+/// harness can tell a planned kill from an ordinary failure.
+const KILLED_EXIT: i32 = 86;
 
 struct Args {
     qps: f64,
@@ -66,6 +91,18 @@ struct Args {
     batch: usize,
     /// Zipf exponent of the workload (`--zipf`); 0 is uniform.
     zipf: f64,
+    /// Write-ahead-log path (`--wal`, default the `VKG_WAL` env
+    /// override); `None` keeps the in-memory write path bit-identical.
+    wal: Option<PathBuf>,
+    /// Abort the process (as a SIGKILL would) once this many writes
+    /// have been acked (`--kill-after`); requires `--wal`.
+    kill_after: Option<u64>,
+    /// Run the recovery phase instead of the load phase (`--recover`):
+    /// replay the WAL into a fresh engine and record `recovery{...}`.
+    recover: bool,
+    /// Where `--recover` merges its `recovery{...}` block
+    /// (`--bench-out`, default `BENCH_core.json`).
+    bench_out: String,
     check: bool,
     metrics_out: Option<String>,
 }
@@ -83,6 +120,10 @@ impl Default for Args {
             cache: None,
             batch: 1,
             zipf: 0.0,
+            wal: vkg::core::config::wal_from_env(),
+            kill_after: None,
+            recover: false,
+            bench_out: "BENCH_core.json".to_owned(),
             check: false,
             metrics_out: None,
         }
@@ -94,7 +135,8 @@ fn usage() {
         "usage: serve_load [--qps N] [--seconds N] [--connections N] [--seed N]\n\
          \x20                 [--write-ratio F] [--workers N] [--queue N]\n\
          \x20                 [--cache on|off] [--batch N] [--zipf S] [--check]\n\
-         \x20                 [--metrics-out PATH]"
+         \x20                 [--wal PATH] [--kill-after N] [--recover]\n\
+         \x20                 [--bench-out PATH] [--metrics-out PATH]"
     );
 }
 
@@ -129,6 +171,22 @@ fn parse_args() -> Option<Args> {
             },
             "--batch" => a.batch = num("--batch")? as usize,
             "--zipf" => a.zipf = num("--zipf")?,
+            "--wal" => match args.next() {
+                Some(path) => a.wal = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("serve_load: --wal wants a path");
+                    return None;
+                }
+            },
+            "--kill-after" => a.kill_after = Some(num("--kill-after")? as u64),
+            "--recover" => a.recover = true,
+            "--bench-out" => match args.next() {
+                Some(path) => a.bench_out = path,
+                None => {
+                    eprintln!("serve_load: --bench-out wants a path");
+                    return None;
+                }
+            },
             "--check" => a.check = true,
             "--metrics-out" => match args.next() {
                 Some(path) => a.metrics_out = Some(path),
@@ -143,6 +201,18 @@ fn parse_args() -> Option<Args> {
             }
         }
     }
+    if a.kill_after.is_some() && a.wal.is_none() {
+        eprintln!("serve_load: --kill-after only makes sense with --wal (the acked prefix must survive the kill)");
+        return None;
+    }
+    if a.recover && a.wal.is_none() {
+        eprintln!("serve_load: --recover wants --wal (which log should be replayed?)");
+        return None;
+    }
+    if a.recover && a.kill_after.is_some() {
+        eprintln!("serve_load: --recover and --kill-after are separate phases");
+        return None;
+    }
     Some(a)
 }
 
@@ -153,6 +223,10 @@ struct Tally {
     shed: u64,
     deadline_expired: u64,
     errors: u64,
+    /// Writes acked with `added = true` — each one the WAL must hold.
+    writes_applied: u64,
+    /// The connection's self-healing counters (zero without `--wal`).
+    retry: RetryStats,
     hist: Histogram,
 }
 
@@ -240,10 +314,162 @@ fn check_cache_parity(
     Ok(checked)
 }
 
+/// Merges a `"recovery": {...}` block into the benchmark JSON at
+/// `path`, preserving whatever `microbench` wrote there. Both writers
+/// emit the stable hand-rolled layout, and `recovery` is always the
+/// last key, so the merge is textual: drop any previous `recovery`
+/// block, reopen the object, append, close.
+fn merge_recovery_json(path: &str, block: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut doc = existing.trim_end().to_owned();
+    if let Some(at) = doc.find("\"recovery\"") {
+        let head = doc[..at].trim_end().trim_end_matches(',').trim_end();
+        doc = head.to_owned();
+        if doc == "{" {
+            doc.push('\n');
+        } else {
+            doc.push_str(",\n");
+        }
+    } else if doc.ends_with('}') {
+        doc.pop();
+        let head = doc.trim_end().to_owned();
+        doc = head;
+        doc.push_str(",\n");
+    } else {
+        doc = "{\n".to_owned();
+    }
+    doc.push_str(block);
+    doc.push_str("\n}\n");
+    std::fs::write(path, doc)
+}
+
+/// The `--recover` phase: rebuild the engine the load phase served,
+/// replay the WAL into it (timing the attach — replay runs every record
+/// through the normal dynamic-write path), bring a server up on the
+/// recovered state so the `server.wal.*` mirrors export, and merge the
+/// measurements into the benchmark JSON. Under `--check` the phase also
+/// gates parity: every replayed record must have published exactly one
+/// epoch, and the wire-exported mirror must agree with the facade.
+fn run_recover(args: &Args, wal_path: &std::path::Path) -> ExitCode {
+    let shards = vkg::core::config::shards_from_env(1);
+    let cache_capacity = match args.cache {
+        Some(true) => vkg::core::config::DEFAULT_CACHE_CAPACITY,
+        Some(false) => 0,
+        None => vkg::core::config::cache_from_env(0),
+    };
+    eprintln!(
+        "serve_load: recovery phase — rebuilding the smoke-scale engine \
+         ({shards} shard(s), cache {cache_capacity} entries)..."
+    );
+    let prepared = setup::movie(Scale::Smoke, 16);
+    let vkg = Arc::new(VirtualKnowledgeGraph::assemble(
+        prepared.dataset.graph,
+        prepared.dataset.attributes,
+        prepared.embeddings,
+        VkgConfig {
+            shards,
+            cache_capacity,
+            ..setup::bench_config()
+        },
+    ));
+    let wal_bytes = std::fs::metadata(wal_path).map(|m| m.len()).unwrap_or(0);
+    let t = Instant::now();
+    let report = match vkg.attach_wal(wal_path, FaultPlane::none()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve_load: WAL recovery failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let attach_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "serve_load recovery: replayed {} record(s) ({} byte(s), {} truncated) in {:.3} ms -> epoch {}",
+        report.replayed, wal_bytes, report.truncated_bytes, attach_ms, report.epoch
+    );
+
+    // The WAL is already attached, so the server starts without one —
+    // but its metrics export still mirrors the facade's counters, which
+    // is the end-to-end surface the parity gate reads.
+    let handle = match Server::start(
+        Arc::clone(&vkg),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: args.workers,
+            queue_capacity: args.queue_capacity,
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve_load: cannot bind loopback server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = Client::connect(handle.addr())
+        .and_then(|mut c| c.metrics(0))
+        .map_err(|e| eprintln!("serve_load: metrics fetch failed: {e}"))
+        .ok();
+    if let (Some(path), Some(m)) = (&args.metrics_out, &metrics) {
+        if let Err(e) = std::fs::write(path, expo::render(&m.snapshot)) {
+            eprintln!("serve_load: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  metrics snapshot written to {path}");
+    }
+    handle.shutdown();
+
+    let block = format!(
+        "  \"recovery\": {{\n    \"wal_bytes\": {wal_bytes},\n    \"replayed\": {},\n    \
+         \"truncated_bytes\": {},\n    \"attach_ms\": {attach_ms:.3},\n    \
+         \"epoch_after_replay\": {}\n  }}",
+        report.replayed, report.truncated_bytes, report.epoch
+    );
+    if let Err(e) = merge_recovery_json(&args.bench_out, &block) {
+        eprintln!("serve_load: cannot write {}: {e}", args.bench_out);
+        return ExitCode::FAILURE;
+    }
+    println!("  recovery block merged into {}", args.bench_out);
+
+    if args.check {
+        // Replayed records were all fresh (`added = true`) when they
+        // were logged, so replaying them into an identically-built
+        // engine publishes exactly one epoch each — any drift means a
+        // lost or duplicated write.
+        if report.epoch != report.replayed {
+            eprintln!(
+                "serve_load: CHECK FAILED — epoch {} after replaying {} record(s)",
+                report.epoch, report.replayed
+            );
+            return ExitCode::FAILURE;
+        }
+        let Some(m) = &metrics else {
+            eprintln!("serve_load: CHECK FAILED — metrics opcode did not answer");
+            return ExitCode::FAILURE;
+        };
+        let mirrored = m.snapshot.gauge(names::WAL_REPLAYED).unwrap_or(u64::MAX);
+        if mirrored != report.replayed {
+            eprintln!(
+                "serve_load: CHECK FAILED — exported server.wal.replayed {} != facade report {}",
+                mirrored, report.replayed
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("serve_load: CHECK OK (recovery parity reconciled)");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return ExitCode::FAILURE;
     };
+    if args.recover {
+        let Some(wal_path) = args.wal.clone() else {
+            // parse_args already refused this combination.
+            return ExitCode::FAILURE;
+        };
+        return run_recover(&args, &wal_path);
+    }
 
     let shards = vkg::core::config::shards_from_env(1);
     let cache_capacity = match args.cache {
@@ -253,8 +479,12 @@ fn main() -> ExitCode {
     };
     eprintln!(
         "serve_load: preparing smoke-scale movie dataset + embeddings \
-         ({shards} shard(s), cache {} entries, batch {})...",
-        cache_capacity, args.batch
+         ({shards} shard(s), cache {} entries, batch {}, wal {})...",
+        cache_capacity,
+        args.batch,
+        args.wal
+            .as_deref()
+            .map_or("off".into(), |p| p.display().to_string()),
     );
     let prepared = setup::movie(Scale::Smoke, 16);
     let graph = prepared.dataset.graph.clone();
@@ -275,6 +505,7 @@ fn main() -> ExitCode {
             workers: args.workers,
             queue_capacity: args.queue_capacity,
             batch_max: args.batch.max(1),
+            wal: args.wal.clone(),
             ..ServerConfig::default()
         },
     ) {
@@ -301,13 +532,19 @@ fn main() -> ExitCode {
     // Open loop: a shared ticket counter assigns each request its
     // absolute launch time; whichever connection is free next takes it.
     let tickets = Arc::new(AtomicU64::new(0));
+    // Write acks across every connection, for `--kill-after`.
+    let acked_writes = Arc::new(AtomicU64::new(0));
+    let wal_mode = args.wal.is_some();
+    let kill_after = args.kill_after;
     let start = Instant::now();
     let senders: Vec<_> = (0..args.connections)
         .map(|c| {
             let tickets = Arc::clone(&tickets);
+            let acked_writes = Arc::clone(&acked_writes);
             let queries = Arc::clone(&queries);
             let write_ratio = args.write_ratio;
             let qps = args.qps;
+            let seed = args.seed;
             thread::spawn(move || {
                 let mut tally = Tally::default();
                 let mut client = match Client::connect(addr) {
@@ -318,6 +555,25 @@ fn main() -> ExitCode {
                         return tally;
                     }
                 };
+                if wal_mode {
+                    // Durability runs are the crash runs: every
+                    // connection self-heals, seeded per-connection so
+                    // the backoff jitter and write tokens are distinct
+                    // across the fleet. The pid is mixed in because a
+                    // token names a logical write *across* runs: a
+                    // fresh process resuming an old WAL must not
+                    // regenerate the previous run's token stream, or
+                    // the replay-seeded idempotency map would answer
+                    // its brand-new writes with the old outcomes.
+                    client.set_retry_policy(Some(RetryPolicy {
+                        max_attempts: 10,
+                        base_backoff: Duration::from_millis(1),
+                        max_backoff: Duration::from_millis(50),
+                        seed: seed
+                            ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ u64::from(std::process::id()) << 32,
+                    }));
+                }
                 loop {
                     // relaxed: a ticket dispenser; each thread only needs a unique value, not ordering.
                     let i = tickets.fetch_add(1, Ordering::Relaxed);
@@ -341,7 +597,32 @@ fn main() -> ExitCode {
                     let outcome = if i % write_every == write_every - 1 {
                         let h = q.entity;
                         let t = EntityId((h.0 * 31 + i as u32 * 7 + c as u32) % entities);
-                        client.add_fact(h, q.relation, t, 2, 0.01).map(|_| ())
+                        let written = if wal_mode {
+                            // Tokened: a retry after a crash or a lost
+                            // ack applies at most once.
+                            client.add_fact_idempotent(h, q.relation, t, 2, 0.01)
+                        } else {
+                            client.add_fact(h, q.relation, t, 2, 0.01)
+                        };
+                        written.map(|(added, _epoch)| {
+                            if added {
+                                tally.writes_applied += 1;
+                            }
+                            if let Some(kill) = kill_after {
+                                // relaxed: a monotone tally; the exit below is the only consumer.
+                                let acked = acked_writes.fetch_add(1, Ordering::Relaxed) + 1;
+                                if acked >= kill {
+                                    // Die the way a SIGKILL would: no
+                                    // destructors, no WAL cleanup — the
+                                    // acked prefix stays on disk for
+                                    // the --recover phase to replay.
+                                    eprintln!(
+                                        "serve_load: --kill-after {kill} reached; aborting the process"
+                                    );
+                                    std::process::exit(KILLED_EXIT);
+                                }
+                            }
+                        })
                     } else if i % 10 == 9 {
                         client
                             .aggregate(
@@ -376,6 +657,7 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+                tally.retry = client.retry_stats();
                 tally
             })
         })
@@ -389,6 +671,11 @@ fn main() -> ExitCode {
                 merged.shed += t.shed;
                 merged.deadline_expired += t.deadline_expired;
                 merged.errors += t.errors;
+                merged.writes_applied += t.writes_applied;
+                merged.retry.backoffs += t.retry.backoffs;
+                merged.retry.reconnects += t.retry.reconnects;
+                merged.retry.retried_frames += t.retry.retried_frames;
+                merged.retry.write_retries += t.retry.write_retries;
                 merged.hist.merge(&t.hist);
             }
             Err(_) => {
@@ -466,6 +753,18 @@ fn main() -> ExitCode {
                 .unwrap_or(0),
             m.snapshot.counter(names::LOCK_ROUNDS).unwrap_or(0),
         );
+        if wal_mode {
+            println!(
+                "  wal: appended={} replayed={} dedup_hits={} | client retry: \
+                 backoffs={} reconnects={} write_retries={}",
+                m.snapshot.gauge(names::WAL_APPENDED).unwrap_or(0),
+                m.snapshot.gauge(names::WAL_REPLAYED).unwrap_or(0),
+                m.snapshot.gauge(names::WAL_DEDUP_HITS).unwrap_or(0),
+                merged.retry.backoffs,
+                merged.retry.reconnects,
+                merged.retry.write_retries,
+            );
+        }
     }
     if let Some(path) = &args.metrics_out {
         match &metrics {
@@ -519,7 +818,23 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        if g(names::SHED) != merged.shed {
+        if wal_mode {
+            // A self-healing client retries Overloaded refusals, and
+            // every such retry the server sheds again counts once more
+            // server-side — so the server total sits between the
+            // client's terminal rejections and terminal + backoffs.
+            let shed = g(names::SHED);
+            if shed < merged.shed || shed > merged.shed + merged.retry.backoffs {
+                eprintln!(
+                    "serve_load: CHECK FAILED — server shed {} outside [{}, {}] \
+                     (client rejections + recorded backoffs)",
+                    shed,
+                    merged.shed,
+                    merged.shed + merged.retry.backoffs
+                );
+                return ExitCode::FAILURE;
+            }
+        } else if g(names::SHED) != merged.shed {
             eprintln!(
                 "serve_load: CHECK FAILED — server shed {} != client-observed rejections {}",
                 g(names::SHED),
@@ -565,6 +880,39 @@ fn main() -> ExitCode {
                 "serve_load: CHECK FAILED — cache enabled on a skewed workload but never hit"
             );
             return ExitCode::FAILURE;
+        }
+        if wal_mode {
+            // Durability counter parity: every applied write the
+            // clients saw is a WAL append, every dedup hit is explained
+            // by a recorded client write retry, and every record —
+            // replayed at startup or appended since — published exactly
+            // one epoch.
+            let appended = g(names::WAL_APPENDED);
+            let replayed = g(names::WAL_REPLAYED);
+            let dedup_hits = g(names::WAL_DEDUP_HITS);
+            if appended != merged.writes_applied {
+                eprintln!(
+                    "serve_load: CHECK FAILED — server.wal.appended {} != client-observed \
+                     applied writes {}",
+                    appended, merged.writes_applied
+                );
+                return ExitCode::FAILURE;
+            }
+            if dedup_hits > merged.retry.write_retries {
+                eprintln!(
+                    "serve_load: CHECK FAILED — {} dedup hits but only {} client write \
+                     retries: a duplicate frame applied somewhere",
+                    dedup_hits, merged.retry.write_retries
+                );
+                return ExitCode::FAILURE;
+            }
+            if m.epoch != replayed + appended {
+                eprintln!(
+                    "serve_load: CHECK FAILED — epoch {} != replayed {} + appended {}",
+                    m.epoch, replayed, appended
+                );
+                return ExitCode::FAILURE;
+            }
         }
         println!("serve_load: CHECK OK (telemetry reconciled)");
     }

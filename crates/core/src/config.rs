@@ -147,6 +147,20 @@ pub fn cache_from_env(default_capacity: usize) -> usize {
     }
 }
 
+/// Reads the write-ahead-log path from the `VKG_WAL` environment
+/// variable.
+///
+/// Unset or empty means no WAL: the engine keeps today's purely
+/// in-memory dynamic-write path, bit-identical to the pre-durability
+/// behavior. Deployments opt into durability explicitly, mirroring
+/// [`threads_from_env`].
+pub fn wal_from_env() -> Option<std::path::PathBuf> {
+    match std::env::var("VKG_WAL") {
+        Ok(v) if !v.trim().is_empty() => Some(std::path::PathBuf::from(v.trim())),
+        _ => None,
+    }
+}
+
 impl VkgConfig {
     /// Validates invariants the index relies on, reporting violations as
     /// [`VkgError::InvalidParameter`](crate::error::VkgError::InvalidParameter).
@@ -285,5 +299,13 @@ mod tests {
         // so the fallback applies — including 0 = disabled.
         assert_eq!(cache_from_env(0), 0);
         assert_eq!(cache_from_env(256), 256);
+    }
+
+    #[test]
+    fn env_wal_defaults_to_disabled() {
+        // The suite never sets VKG_WAL (CI sets it only for the
+        // crash-recovery job, which runs serve_load, not tests), so the
+        // engine stays on the in-memory write path by default.
+        assert_eq!(wal_from_env(), None);
     }
 }

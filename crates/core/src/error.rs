@@ -48,6 +48,10 @@ pub enum VkgError {
     /// An underlying knowledge-graph operation failed (rendered message;
     /// the original [`KgError`] may wrap a non-clonable I/O error).
     Graph(String),
+    /// The durability layer refused or failed the write: the WAL append
+    /// or flush did not complete, so the write was **not** applied and
+    /// **not** acked (rendered [`crate::wal::WalError`]).
+    Durability(String),
 }
 
 impl fmt::Display for VkgError {
@@ -71,11 +75,18 @@ impl fmt::Display for VkgError {
                 write!(f, "engine {engine:?} does not support {operation}")
             }
             VkgError::Graph(e) => write!(f, "knowledge graph error: {e}"),
+            VkgError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
 
 impl std::error::Error for VkgError {}
+
+impl From<crate::wal::WalError> for VkgError {
+    fn from(e: crate::wal::WalError) -> Self {
+        VkgError::Durability(e.to_string())
+    }
+}
 
 impl From<KgError> for VkgError {
     fn from(e: KgError) -> Self {

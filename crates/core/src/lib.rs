@@ -35,6 +35,11 @@
 //!   hits are validated against the exact pinned epochs and replay the
 //!   filling query's crack regions, so they are provably identical to
 //!   recomputation.
+//! * [`wal`] — the durability layer (§3.9): a length-prefixed,
+//!   checksummed, epoch-stamped write-ahead log for dynamic writes,
+//!   replayed on startup with torn-tail truncation, plus the
+//!   deterministic [`wal::fault::FaultPlane`] injection seam every
+//!   durability touchpoint routes through.
 //! * [`vkg`] — the `VirtualKnowledgeGraph` facade assembling an
 //!   `Arc<VkgSnapshot>` + locked [`engine::IndexState`] into one
 //!   queryable object (Definition 1).
@@ -54,6 +59,7 @@ pub mod rtree;
 pub mod snapshot;
 pub mod stats;
 pub mod vkg;
+pub mod wal;
 
 pub use cache::ResultCache;
 pub use config::{SplitStrategy, VkgConfig};
@@ -68,4 +74,6 @@ pub use query::aggregate::{AggregateKind, AggregateResult, AggregateSpec};
 pub use query::topk::TopKResult;
 pub use snapshot::{Direction, VkgSnapshot};
 pub use stats::IndexStats;
-pub use vkg::{SnapRef, VirtualKnowledgeGraph};
+pub use vkg::{SnapRef, VirtualKnowledgeGraph, WalRecoveryReport};
+pub use wal::fault::{FaultPlane, FaultSpec};
+pub use wal::{WalError, WalRecord};

@@ -52,6 +52,15 @@ pub mod names {
     /// Hits served by cutting a larger cached k down to the requested
     /// one (superset containment).
     pub const CACHE_PREFIX_HIT: &str = "core.cache.prefix_hit";
+    /// WAL records appended + flushed on the dynamic write path.
+    pub const WAL_APPENDED: &str = "core.wal.appended";
+    /// WAL records replayed into the engine at recovery.
+    pub const WAL_REPLAYED: &str = "core.wal.replayed";
+    /// Tokened writes answered from the idempotency map without being
+    /// re-applied (retries after an ambiguous failure).
+    pub const WAL_DEDUP_HITS: &str = "core.wal.dedup_hits";
+    /// Sampled at recovery: torn-tail bytes truncated from the log.
+    pub const WAL_TRUNCATED_BYTES: &str = "core.wal.truncated_bytes";
 }
 
 /// The registry plus pre-resolved handles a facade records into.
@@ -76,6 +85,10 @@ pub struct VkgMetrics {
     cache_miss: Counter,
     cache_invalidate: Counter,
     cache_prefix_hit: Counter,
+    wal_appended: Counter,
+    wal_replayed: Counter,
+    wal_dedup_hits: Counter,
+    wal_truncated_bytes: Gauge,
 }
 
 impl VkgMetrics {
@@ -101,6 +114,10 @@ impl VkgMetrics {
             cache_miss: registry.counter(names::CACHE_MISS),
             cache_invalidate: registry.counter(names::CACHE_INVALIDATE),
             cache_prefix_hit: registry.counter(names::CACHE_PREFIX_HIT),
+            wal_appended: registry.counter(names::WAL_APPENDED),
+            wal_replayed: registry.counter(names::WAL_REPLAYED),
+            wal_dedup_hits: registry.counter(names::WAL_DEDUP_HITS),
+            wal_truncated_bytes: registry.gauge(names::WAL_TRUNCATED_BYTES),
             registry,
             clock,
         }
@@ -154,6 +171,23 @@ impl VkgMetrics {
     /// Records one hit served by prefix-cutting a larger cached k.
     pub fn record_cache_prefix_hit(&self) {
         self.cache_prefix_hit.incr();
+    }
+
+    /// Records one WAL record appended + flushed before its ack.
+    pub fn record_wal_append(&self) {
+        self.wal_appended.incr();
+    }
+
+    /// Records WAL records replayed at recovery, and the torn-tail
+    /// bytes the recovery truncated.
+    pub fn record_wal_recovery(&self, replayed: u64, truncated_bytes: u64) {
+        self.wal_replayed.add(replayed);
+        self.wal_truncated_bytes.set(truncated_bytes);
+    }
+
+    /// Records one tokened retry answered from the idempotency map.
+    pub fn record_wal_dedup_hit(&self) {
+        self.wal_dedup_hits.incr();
     }
 
     /// Samples the engine-side counters (index statistics, crack-log

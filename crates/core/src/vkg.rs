@@ -53,6 +53,7 @@ use crate::query::aggregate::{self, AggregateResult, AggregateSpec};
 use crate::query::topk::TopKResult;
 use crate::snapshot::VkgSnapshot;
 use crate::stats::IndexStats;
+use crate::wal::{self, fault::FaultPlane, TokenMap, WalRecord};
 
 pub use crate::snapshot::Direction;
 
@@ -180,6 +181,33 @@ pub struct MultiAggregateResult {
     pub parts: Vec<RelationAggregate>,
 }
 
+/// What [`VirtualKnowledgeGraph::attach_wal`] reconstructed from the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecoveryReport {
+    /// Valid records replayed into the engine, in append order.
+    pub replayed: u64,
+    /// Torn-tail bytes truncated from the log before appends resumed.
+    pub truncated_bytes: u64,
+    /// The snapshot epoch after replay finished.
+    pub epoch: u64,
+}
+
+/// The durability state guarded by the `vkg.wal` lock: the append
+/// handle (absent until [`VirtualKnowledgeGraph::attach_wal`]) and the
+/// idempotency map. The map works with the WAL detached too, so a
+/// duplicated `AddFactDynamic` frame never double-applies even on a
+/// purely in-memory facade.
+#[derive(Debug)]
+struct Durability {
+    writer: Option<wal::Writer>,
+    dedup: TokenMap,
+}
+
+/// Retry horizon of the idempotency map: how many distinct tokens the
+/// facade remembers before FIFO eviction. Far beyond any client's
+/// bounded-retry window.
+const TOKEN_CAPACITY: usize = 4096;
+
 /// A knowledge graph extended with predicted, probabilistic edges, indexed
 /// for predictive top-k and aggregate queries.
 ///
@@ -200,6 +228,10 @@ pub struct VirtualKnowledgeGraph {
     /// closures (epochs pinned), so every hit is provably identical to
     /// recomputation.
     cache: Option<ResultCache>,
+    /// WAL writer + idempotency map (DESIGN.md §3.9). Ordered strictly
+    /// after the shard locks: the write path appends under all shard
+    /// locks, *before* the publication the record guards.
+    durability: Mutex<Durability>,
 }
 
 impl VirtualKnowledgeGraph {
@@ -281,6 +313,13 @@ impl VirtualKnowledgeGraph {
             engine,
             metrics: VkgMetrics::new(registry, clock),
             cache,
+            durability: Mutex::with_name(
+                Durability {
+                    writer: None,
+                    dedup: TokenMap::new(TOKEN_CAPACITY),
+                },
+                "vkg.wal",
+            ),
         }
     }
 
@@ -947,7 +986,39 @@ impl VirtualKnowledgeGraph {
         refine_steps: usize,
         learning_rate: f64,
     ) -> VkgResult<(bool, u64)> {
+        self.add_fact_durable(0, h, r, t, refine_steps, learning_rate)
+    }
+
+    /// [`VirtualKnowledgeGraph::add_fact_dynamic`] carrying a client
+    /// idempotency token (0 = untokened). The durability contract, in
+    /// order, all under every shard lock:
+    ///
+    /// 1. a tokened retry of a remembered write is answered from the
+    ///    idempotency map without touching the graph;
+    /// 2. with a WAL attached, the record is appended **and flushed**
+    ///    before any reader-visible mutation — a failure here returns
+    ///    [`VkgError::Durability`] with the published state untouched;
+    /// 3. only then do the shard indices update and the new snapshot
+    ///    publish. A crash between 2 and 3 replays an unacked write on
+    ///    recovery, which the token map then dedups against retries.
+    pub fn add_fact_durable(
+        &self,
+        token: u64,
+        h: EntityId,
+        r: RelationId,
+        t: EntityId,
+        refine_steps: usize,
+        learning_rate: f64,
+    ) -> VkgResult<(bool, u64)> {
         let mut shards = self.engine.lock_all();
+        if token != 0 {
+            let d = self.durability.lock();
+            if let Some(outcome) = d.dedup.get(token) {
+                drop(d);
+                self.metrics.record_wal_dedup_hit();
+                return Ok(outcome);
+            }
+        }
         let cur = self.snapshot();
         cur.check_ids(h, r)?;
         cur.check_ids(t, r)?;
@@ -956,7 +1027,11 @@ impl VirtualKnowledgeGraph {
         if !added {
             // All shard locks are still held, so no concurrent writer can
             // publish between the duplicate check and this epoch read.
-            return Ok((false, self.epoch()));
+            let epoch = self.epoch();
+            if token != 0 {
+                self.durability.lock().dedup.insert(token, (false, epoch));
+            }
+            return Ok((false, epoch));
         }
         let d = next.embeddings().dim();
         for _ in 0..refine_steps {
@@ -983,13 +1058,91 @@ impl VirtualKnowledgeGraph {
         }
         let h_s2 = next.transform().apply(next.embeddings().entity(h));
         let t_s2 = next.transform().apply(next.embeddings().entity(t));
+        // Log + flush BEFORE any reader-visible mutation. Everything
+        // above only touched `next` (a private clone), so a WAL failure
+        // aborts the write with the published state untouched.
+        {
+            // The epoch this write will publish, read before taking the
+            // wal lock (vkg.wal orders after the shard locks only).
+            let record = WalRecord {
+                epoch: self.epoch() + 1,
+                token,
+                h: h.0,
+                r: r.0,
+                t: t.0,
+                refine_steps: refine_steps as u32,
+                learning_rate,
+            };
+            let mut d = self.durability.lock();
+            if let Some(writer) = d.writer.as_mut() {
+                writer.append(&record).map_err(VkgError::from)?;
+                drop(d);
+                self.metrics.record_wal_append();
+            }
+        }
         for state in shards.iter_mut() {
             state.index_mut().update_point(h.0, &h_s2)?;
             state.index_mut().update_point(t.0, &t_s2)?;
         }
         let epoch = self.publish(next);
         self.engine.bump_all_epochs();
+        if token != 0 {
+            self.durability.lock().dedup.insert(token, (true, epoch));
+        }
         Ok((true, epoch))
+    }
+
+    /// Opens (creating if absent) the write-ahead log at `path`, replays
+    /// its valid prefix through the normal dynamic write path, truncates
+    /// any torn tail, and arms the writer: from this call on, every
+    /// dynamic fact write is appended + flushed before it publishes.
+    /// Replayed records re-seed the idempotency map, so a client
+    /// retrying a write that was logged but never acked before a crash
+    /// gets the original outcome instead of a duplicate apply.
+    ///
+    /// All I/O routes through `fault` — [`FaultPlane::none`] in
+    /// production, a seeded injector under test.
+    ///
+    /// # Errors
+    /// [`VkgError::Durability`] if the file is not a WAL or recovery
+    /// I/O fails; a replayed record naming unknown ids surfaces its
+    /// typed error.
+    pub fn attach_wal(
+        &self,
+        path: &std::path::Path,
+        fault: FaultPlane,
+    ) -> VkgResult<WalRecoveryReport> {
+        let recovered = wal::recover(path, fault).map_err(VkgError::from)?;
+        for record in &recovered.records {
+            let (added, epoch) = self.add_fact_dynamic(
+                EntityId(record.h),
+                RelationId(record.r),
+                EntityId(record.t),
+                record.refine_steps as usize,
+                record.learning_rate,
+            )?;
+            if record.token != 0 {
+                self.durability
+                    .lock()
+                    .dedup
+                    .insert(record.token, (added, epoch));
+            }
+        }
+        self.metrics
+            .record_wal_recovery(recovered.stats.replayed, recovered.stats.truncated_bytes);
+        let mut d = self.durability.lock();
+        d.writer = Some(recovered.writer);
+        drop(d);
+        Ok(WalRecoveryReport {
+            replayed: recovered.stats.replayed,
+            truncated_bytes: recovered.stats.truncated_bytes,
+            epoch: self.epoch(),
+        })
+    }
+
+    /// Whether a WAL is attached (writes are durable before they ack).
+    pub fn wal_attached(&self) -> bool {
+        self.durability.lock().writer.is_some()
     }
 
     /// Sets (or updates) an attribute of an entity — aggregate queries

@@ -1,0 +1,296 @@
+//! Deterministic fault injection for the durability path.
+//!
+//! Styled after the `vkg_obs::Clock` seam and the `vkg-sync` model
+//! runtime: the default plane ([`FaultPlane::none`]) is a pure
+//! passthrough that adds one branch per I/O call, and tests install an
+//! injector — either an explicit [`FaultSpec`] (kill at byte 17 of
+//! record 3) or a seed-derived one ([`FaultPlane::seeded`]) for sweeps —
+//! that forces short writes, flush failures, and mid-record kills at
+//! exact, reproducible offsets. Every write and flush the WAL performs
+//! is routed through the plane, so the injector sees the same
+//! touchpoints the real kernel does.
+//!
+//! A **kill** models process death: the configured byte prefix reaches
+//! the file, everything after fails, and no later operation on the same
+//! plane succeeds — exactly the torn-tail shape a SIGKILL mid-`write`
+//! leaves behind. A **short write** tears one append without killing
+//! the plane (the writer poisons itself; recovery truncates). A **flush
+//! failure** fails the nth flush after its record's bytes are already
+//! in the file — the ambiguous case where a write is logged but never
+//! acked.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use vkg_sync::{AtomicBool, AtomicU64, Ordering};
+
+use super::WalError;
+
+/// One step of the SplitMix64 sequence — the same generator the
+/// vkg-sync model sweeps and the bench harness seed from.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What the injector forces, and where. All triggers are optional and
+/// independent; a default spec injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Simulated process death: the first `n` bytes offered to the file
+    /// are written, every byte after fails, and the plane stays dead.
+    pub kill_after_bytes: Option<u64>,
+    /// The nth write call (0-based) writes only half its buffer and
+    /// fails — a torn record without process death.
+    pub short_write_at: Option<u64>,
+    /// The nth flush call (0-based) fails after the record's bytes are
+    /// already in the file — logged but unacked.
+    pub flush_fail_at: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Injector {
+    spec: FaultSpec,
+    bytes: AtomicU64,
+    writes: AtomicU64,
+    flushes: AtomicU64,
+    killed: AtomicBool,
+}
+
+/// The durability layer's fault seam. Cloning shares the injector (and
+/// its counters), so a test can hold one handle while the engine under
+/// test holds the other.
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    inner: Option<Arc<Injector>>,
+}
+
+impl Default for FaultPlane {
+    fn default() -> Self {
+        FaultPlane::none()
+    }
+}
+
+impl FaultPlane {
+    /// The production plane: every operation passes straight through.
+    pub fn none() -> Self {
+        FaultPlane { inner: None }
+    }
+
+    /// An injector with an explicit trigger layout.
+    pub fn with_spec(spec: FaultSpec) -> Self {
+        FaultPlane {
+            inner: Some(Arc::new(Injector {
+                spec,
+                bytes: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                flushes: AtomicU64::new(0),
+                killed: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A seed-derived injector for sweeps: the seed deterministically
+    /// picks one fault kind and its trigger point somewhere inside the
+    /// first `horizon_records` appends (record geometry from
+    /// [`super::RECORD_BYTES`]).
+    pub fn seeded(seed: u64, horizon_records: u64) -> Self {
+        let mut s = seed;
+        let horizon = horizon_records.max(1);
+        let kind = splitmix64(&mut s) % 3;
+        let record_bytes = super::RECORD_BYTES as u64;
+        let spec = match kind {
+            0 => FaultSpec {
+                // Kill at an arbitrary byte of an arbitrary record; the
+                // magic header (already on disk on recovery runs) is
+                // counted past so the kill always lands inside a record.
+                kill_after_bytes: Some(splitmix64(&mut s) % (horizon * record_bytes)),
+                ..FaultSpec::default()
+            },
+            1 => FaultSpec {
+                short_write_at: Some(splitmix64(&mut s) % horizon),
+                ..FaultSpec::default()
+            },
+            _ => FaultSpec {
+                flush_fail_at: Some(splitmix64(&mut s) % horizon),
+                ..FaultSpec::default()
+            },
+        };
+        FaultPlane::with_spec(spec)
+    }
+
+    /// Whether the plane has simulated process death. After a kill every
+    /// further operation fails, mirroring a dead process.
+    pub fn killed(&self) -> bool {
+        self.inner
+            .as_ref()
+            // relaxed: a one-way latch read for reporting; the writer's
+            // poisoned flag already orders the durability state machine.
+            .is_some_and(|i| i.killed.load(Ordering::Relaxed))
+    }
+
+    /// Writes `buf` through the plane. The passthrough maps straight to
+    /// `write_all`; an injector may cut the buffer short or kill the
+    /// plane mid-buffer, leaving exactly the configured byte prefix in
+    /// the file.
+    pub fn write(&self, file: &mut impl Write, buf: &[u8]) -> Result<(), WalError> {
+        let Some(inj) = self.inner.as_ref() else {
+            return file.write_all(buf).map_err(|e| WalError::io("write", &e));
+        };
+        // relaxed: counters below are only read by this same durability
+        // path (single writer) and by tests after the writer is done.
+        if inj.killed.load(Ordering::Relaxed) {
+            return Err(WalError::io_str("write", "fault plane killed"));
+        }
+        let n = inj.writes.fetch_add(1, Ordering::Relaxed); // relaxed: single-writer counter
+        let offset = inj.bytes.load(Ordering::Relaxed); // relaxed: single-writer counter
+        if let Some(kill) = inj.spec.kill_after_bytes {
+            if offset + buf.len() as u64 > kill {
+                let keep = kill.saturating_sub(offset) as usize;
+                // `keep < buf.len()` by the branch condition; `get` +
+                // `unwrap_or` keeps the prefix take infallible anyway.
+                let torn = file
+                    .write_all(buf.get(..keep).unwrap_or(buf))
+                    .and_then(|()| file.flush())
+                    .map_err(|e| WalError::io("write", &e));
+                inj.bytes.store(kill, Ordering::Relaxed); // relaxed: single-writer counter
+                inj.killed.store(true, Ordering::Relaxed); // relaxed: one-way latch
+                return torn.and(Err(WalError::io_str("write", "killed mid-record")));
+            }
+        }
+        if inj.spec.short_write_at == Some(n) {
+            let keep = buf.len() / 2;
+            let torn = file
+                .write_all(buf.get(..keep).unwrap_or(buf))
+                .map_err(|e| WalError::io("write", &e));
+            inj.bytes.fetch_add(keep as u64, Ordering::Relaxed); // relaxed: single-writer counter
+            return torn.and(Err(WalError::io_str("write", "short write injected")));
+        }
+        file.write_all(buf).map_err(|e| WalError::io("write", &e))?;
+        inj.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed); // relaxed: single-writer counter
+        Ok(())
+    }
+
+    /// Flushes the file through the plane (and `sync_data`s it when the
+    /// caller runs the fsync policy).
+    pub fn flush(&self, file: &mut std::fs::File, fsync: bool) -> Result<(), WalError> {
+        let sync = |file: &mut std::fs::File| -> Result<(), WalError> {
+            file.flush().map_err(|e| WalError::io("flush", &e))?;
+            if fsync {
+                file.sync_data().map_err(|e| WalError::io("fsync", &e))?;
+            }
+            Ok(())
+        };
+        let Some(inj) = self.inner.as_ref() else {
+            return sync(file);
+        };
+        // relaxed: same single-writer counter discipline as write().
+        if inj.killed.load(Ordering::Relaxed) {
+            return Err(WalError::io_str("flush", "fault plane killed"));
+        }
+        let n = inj.flushes.fetch_add(1, Ordering::Relaxed); // relaxed: single-writer counter
+        if inj.spec.flush_fail_at == Some(n) {
+            return Err(WalError::io_str("flush", "flush failure injected"));
+        }
+        sync(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_writes_everything() {
+        let dir = std::env::temp_dir().join("vkg_wal_fault_pass");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("pass.log");
+        let mut f = std::fs::File::create(&path).unwrap();
+        let plane = FaultPlane::none();
+        plane.write(&mut f, b"hello").unwrap();
+        plane.flush(&mut f, false).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        assert!(!plane.killed());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_leaves_exact_prefix_and_stays_dead() {
+        let dir = std::env::temp_dir().join("vkg_wal_fault_kill");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("kill.log");
+        let mut f = std::fs::File::create(&path).unwrap();
+        let plane = FaultPlane::with_spec(FaultSpec {
+            kill_after_bytes: Some(7),
+            ..FaultSpec::default()
+        });
+        plane.write(&mut f, b"0123").unwrap();
+        assert!(plane.write(&mut f, b"456789").is_err());
+        assert!(plane.killed());
+        assert!(plane.write(&mut f, b"x").is_err());
+        assert!(plane.flush(&mut f, false).is_err());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn short_write_tears_without_killing() {
+        let dir = std::env::temp_dir().join("vkg_wal_fault_short");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("short.log");
+        let mut f = std::fs::File::create(&path).unwrap();
+        let plane = FaultPlane::with_spec(FaultSpec {
+            short_write_at: Some(1),
+            ..FaultSpec::default()
+        });
+        plane.write(&mut f, b"abcd").unwrap();
+        assert!(plane.write(&mut f, b"efgh").is_err());
+        assert!(!plane.killed());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcdef");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_failure_fires_once_at_its_index() {
+        let dir = std::env::temp_dir().join("vkg_wal_fault_flush");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("flush.log");
+        let mut f = std::fs::File::create(&path).unwrap();
+        let plane = FaultPlane::with_spec(FaultSpec {
+            flush_fail_at: Some(0),
+            ..FaultSpec::default()
+        });
+        assert!(plane.flush(&mut f, false).is_err());
+        plane.flush(&mut f, false).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn seeded_specs_are_deterministic_and_varied() {
+        let a = FaultPlane::seeded(11, 16);
+        let b = FaultPlane::seeded(11, 16);
+        assert_eq!(
+            a.inner.as_ref().unwrap().spec,
+            b.inner.as_ref().unwrap().spec
+        );
+        let kinds: std::collections::HashSet<&'static str> = (0..64)
+            .map(|seed| {
+                let p = FaultPlane::seeded(seed, 16);
+                let s = p.inner.as_ref().unwrap().spec;
+                if s.kill_after_bytes.is_some() {
+                    "kill"
+                } else if s.short_write_at.is_some() {
+                    "short"
+                } else {
+                    "flush"
+                }
+            })
+            .collect();
+        assert_eq!(kinds.len(), 3, "64 seeds must exercise every fault kind");
+    }
+}

@@ -27,7 +27,12 @@
 //!   epoch-swap publication.
 //! * [`client`] — a synchronous [`client::Client`] speaking the same
 //!   protocol, used by the test suite and `vkg-bench`'s `serve_load`
-//!   load generator.
+//!   load generator. With a [`client::RetryPolicy`] installed it
+//!   self-heals: bounded exponential backoff with deterministic jitter
+//!   on `Overloaded`/`Draining`, transparent reconnect on connection
+//!   loss, and idempotent write tokens
+//!   ([`client::Client::add_fact_idempotent`]) so a retried write
+//!   applies at most once even across a server crash + WAL recovery.
 //!
 //! The server is **observable end-to-end**: every admitted request is
 //! traced into a `vkg-obs` span (queue wait → shard lock → execute →
@@ -59,7 +64,7 @@ pub mod queue;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, ClientResult};
+pub use client::{Client, ClientError, ClientResult, RetryPolicy, RetryStats};
 pub use protocol::{
     AggregateWire, ErrorCode, MetricsWire, PredictionWire, Request, RequestOp, Response,
     ServerCounters, ServerError, StatsWire, TopKWire, WireFilter,

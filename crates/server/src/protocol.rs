@@ -13,7 +13,7 @@ use vkg_core::query::topk::TopKResult;
 use vkg_core::{Direction, VkgError};
 use vkg_obs::{HistSnapshot, MetricsSnapshot, Span, SpanOutcome};
 
-use crate::wire::{Dec, Enc, WireError, WIRE_VERSION};
+use crate::wire::{Dec, Enc, WireError, MIN_WIRE_VERSION, WIRE_VERSION};
 
 /// Request opcodes (`0x01..=0x7F`).
 mod op {
@@ -143,6 +143,11 @@ pub enum RequestOp {
         refine_steps: u32,
         /// Refinement learning rate.
         learning_rate: f64,
+        /// Client idempotency token (wire v2; 0 = untokened). A retry
+        /// after an ambiguous failure reuses the token, and the server
+        /// applies the write at most once, echoing the token in
+        /// [`Response::FactAdded`]. v1 frames decode with token 0.
+        token: u64,
     },
     /// Engine + server statistics at the current epoch.
     Stats,
@@ -287,12 +292,14 @@ impl Request {
                 t,
                 refine_steps,
                 learning_rate,
+                token,
             } => {
                 e.u32(*h);
                 e.u32(*r);
                 e.u32(*t);
                 e.u32(*refine_steps);
                 e.f64(*learning_rate);
+                e.u64(*token);
             }
             RequestOp::Metrics { last_spans } => {
                 e.u32(*last_spans);
@@ -309,7 +316,7 @@ impl Request {
         }
         let mut d = Dec::new(payload);
         let version = d.u8()?;
-        if version != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
         let opcode = d.u8()?;
@@ -351,6 +358,9 @@ impl Request {
                 t: d.u32()?,
                 refine_steps: d.u32()?,
                 learning_rate: d.f64()?,
+                // v1 predates idempotency tokens; those writes decode
+                // as untokened.
+                token: if version >= 2 { d.u64()? } else { 0 },
             },
             op::STATS => RequestOp::Stats,
             op::METRICS => RequestOp::Metrics {
@@ -803,6 +813,9 @@ pub enum Response {
         added: bool,
         /// The epoch after the write (unchanged for duplicates).
         epoch: u64,
+        /// The request's idempotency token echoed back (wire v2; 0 when
+        /// the write was untokened or arrived on a v1 frame).
+        token: u64,
     },
     /// Statistics report.
     Stats(StatsWire),
@@ -844,10 +857,15 @@ impl Response {
                 e.f64(a.mu);
                 e.f64(a.increment_mass);
             }
-            Response::FactAdded { added, epoch } => {
+            Response::FactAdded {
+                added,
+                epoch,
+                token,
+            } => {
                 e.u8(op::R_FACT_ADDED);
                 e.u8(u8::from(*added));
                 e.u64(*epoch);
+                e.u64(*token);
             }
             Response::Stats(s) => {
                 e.u8(op::R_STATS);
@@ -896,7 +914,7 @@ impl Response {
         }
         let mut d = Dec::new(payload);
         let version = d.u8()?;
-        if version != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
         let opcode = d.u8()?;
@@ -936,6 +954,7 @@ impl Response {
                     _ => return Err(WireError::Malformed("bool byte")),
                 },
                 epoch: d.u64()?,
+                token: if version >= 2 { d.u64()? } else { 0 },
             },
             op::R_STATS => Response::Stats(StatsWire {
                 epoch: d.u64()?,
@@ -1026,6 +1045,7 @@ mod tests {
                     t: 2,
                     refine_steps: 4,
                     learning_rate: 0.05,
+                    token: 0xDEAD_BEEF,
                 },
             },
             Request {
@@ -1074,6 +1094,7 @@ mod tests {
             Response::FactAdded {
                 added: true,
                 epoch: 9,
+                token: 41,
             },
             Response::Metrics(MetricsWire {
                 epoch: 3,
@@ -1127,6 +1148,47 @@ mod tests {
         assert_eq!(
             Request::decode(&payload).unwrap_err(),
             WireError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn v1_add_fact_decodes_with_token_zero() {
+        // A hand-assembled v1 ADD_FACT frame (no trailing token field)
+        // must still decode, defaulting the token to 0.
+        let mut e = Enc::new();
+        e.u8(1); // wire v1
+        e.u8(0x04); // ADD_FACT
+        e.u32(0); // deadline
+        e.u32(1); // h
+        e.u32(0); // r
+        e.u32(2); // t
+        e.u32(4); // refine_steps
+        e.f64(0.05); // learning_rate
+        let req = Request::decode(&e.finish()).unwrap();
+        assert_eq!(
+            req.op,
+            RequestOp::AddFactDynamic {
+                h: 1,
+                r: 0,
+                t: 2,
+                refine_steps: 4,
+                learning_rate: 0.05,
+                token: 0,
+            }
+        );
+
+        let mut e = Enc::new();
+        e.u8(1); // wire v1
+        e.u8(0x83); // R_FACT_ADDED
+        e.u8(1); // added
+        e.u64(9); // epoch
+        assert_eq!(
+            Response::decode(&e.finish()).unwrap(),
+            Response::FactAdded {
+                added: true,
+                epoch: 9,
+                token: 0,
+            }
         );
     }
 

@@ -113,6 +113,15 @@ pub mod names {
     /// group, per standalone query, and per dynamic write. With
     /// batching on, `lock_rounds / answered < 1` is the whole point.
     pub const LOCK_ROUNDS: &str = "server.lock_rounds";
+    /// Mirror of the facade's `core.wal.appended` counter: WAL records
+    /// flushed before their ack. The `--check` reconciliation compares
+    /// this against the client's completed tokened writes.
+    pub const WAL_APPENDED: &str = "server.wal.appended";
+    /// Mirror of `core.wal.replayed`: records replayed at recovery.
+    pub const WAL_REPLAYED: &str = "server.wal.replayed";
+    /// Mirror of `core.wal.dedup_hits`: tokened retries answered from
+    /// the idempotency map instead of being applied twice.
+    pub const WAL_DEDUP_HITS: &str = "server.wal.dedup_hits";
 }
 
 /// Tuning knobs for a [`Server`].
@@ -142,6 +151,12 @@ pub struct ServerConfig {
     /// measured on. Tests inject [`Clock::mock`] to make timing
     /// deterministic; the default is the real monotonic clock.
     pub clock: Clock,
+    /// Write-ahead log path. `Some(path)` makes [`Server::start`] attach
+    /// the WAL to the facade before serving: the log at `path` is
+    /// replayed (torn tail truncated), and from then on every dynamic
+    /// write is appended + flushed before its `FactAdded` ack. `None`
+    /// (the default) serves exactly the in-memory path.
+    pub wal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -155,6 +170,7 @@ impl Default for ServerConfig {
             span_ring: 256,
             batch_max: 1,
             clock: Clock::real(),
+            wal: None,
         }
     }
 }
@@ -191,6 +207,9 @@ struct Obs {
     shed: Gauge,
     deadline_expired: Gauge,
     drained: Gauge,
+    wal_appended: Gauge,
+    wal_replayed: Gauge,
+    wal_dedup_hits: Gauge,
 }
 
 impl Obs {
@@ -209,6 +228,9 @@ impl Obs {
             shed: registry.gauge(names::SHED),
             deadline_expired: registry.gauge(names::DEADLINE_EXPIRED),
             drained: registry.gauge(names::DRAINED),
+            wal_appended: registry.gauge(names::WAL_APPENDED),
+            wal_replayed: registry.gauge(names::WAL_REPLAYED),
+            wal_dedup_hits: registry.gauge(names::WAL_DEDUP_HITS),
             registry,
         }
     }
@@ -239,6 +261,12 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.queue_capacity >= 1, "need a non-empty queue");
+        if let Some(path) = cfg.wal.as_deref() {
+            // Replay + arm the WAL before any connection is accepted, so
+            // the first acked write is already covered by the log.
+            vkg.attach_wal(path, vkg_core::FaultPlane::none())
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -454,6 +482,22 @@ fn metrics_export(shared: &Shared, last_spans: usize) -> MetricsWire {
     }
     let epoch = shared.vkg.with_published_engine(|pin, _, _| pin.epoch);
     let mut snap = shared.vkg.metrics_snapshot();
+    // Mirror the facade's durability counters into `server.wal.*` gauges
+    // (before the server registry snapshot below, so one export is
+    // internally consistent): the reconciliation harness compares these
+    // against the client's `client.retry.*` view of the same writes.
+    let core_counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    obs.wal_appended
+        .set(core_counter(vkg_core::metrics::names::WAL_APPENDED));
+    obs.wal_replayed
+        .set(core_counter(vkg_core::metrics::names::WAL_REPLAYED));
+    obs.wal_dedup_hits
+        .set(core_counter(vkg_core::metrics::names::WAL_DEDUP_HITS));
     let server = obs.registry.snapshot();
     snap.counters.extend(server.counters);
     snap.gauges.extend(server.gauges);
@@ -984,11 +1028,15 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request, clock: &Clock) -> (Re
             t,
             refine_steps,
             learning_rate,
+            token,
         } => {
             // The write path acquires every shard lock inside the
             // facade; its span charges the whole call to `exec_ns`.
+            // With a WAL attached the facade appends + flushes the
+            // record before the index mutation this ack reports.
             let locked_at = clock.now();
-            let response = match vkg.add_fact_dynamic(
+            let response = match vkg.add_fact_durable(
+                *token,
                 EntityId(*h),
                 RelationId(*r),
                 EntityId(*t),
@@ -998,7 +1046,11 @@ fn execute(vkg: &VirtualKnowledgeGraph, request: &Request, clock: &Clock) -> (Re
                 // The facade reports the epoch of *this* write (taken while
                 // it held the engine lock), so a concurrent writer publishing
                 // right after cannot leak its later epoch into this response.
-                Ok((added, epoch)) => Response::FactAdded { added, epoch },
+                Ok((added, epoch)) => Response::FactAdded {
+                    added,
+                    epoch,
+                    token: *token,
+                },
                 Err(e) => Response::Error(ServerError::query(&e)),
             };
             (response, locked_at)

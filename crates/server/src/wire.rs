@@ -14,7 +14,12 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Protocol version carried in the first payload byte of every frame.
-pub const WIRE_VERSION: u8 = 1;
+/// v2 added the idempotency token to `AddFactDynamic` / `FactAdded`.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest protocol version this build still decodes. v1 frames are
+/// accepted with token fields defaulted to 0 (untokened).
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Default upper bound on a frame's payload length (1 MiB). Anything
 /// larger is rejected before allocation.
@@ -40,7 +45,8 @@ pub enum WireError {
     },
     /// The payload is shorter than version + opcode.
     FrameTooShort(usize),
-    /// The version byte is not [`WIRE_VERSION`].
+    /// The version byte is outside
+    /// [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`].
     BadVersion(u8),
     /// The opcode byte names no known message.
     UnknownOpcode(u8),
@@ -63,7 +69,10 @@ impl fmt::Display for WireError {
                 write!(f, "payload of {n} bytes is shorter than version + opcode")
             }
             WireError::BadVersion(v) => {
-                write!(f, "protocol version {v} (this build speaks {WIRE_VERSION})")
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {MIN_WIRE_VERSION}..={WIRE_VERSION})"
+                )
             }
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
             WireError::Malformed(what) => write!(f, "malformed field: {what}"),

@@ -112,10 +112,11 @@ proptest! {
     fn add_fact_request_roundtrip(
         (h, r, t, refine_steps, learning_rate) in
             (0u32..=u32::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX, 0u32..1000, -1.0f64..1.0),
+        token in 0u64..=u64::MAX,
     ) {
         assert_request_roundtrip(Request {
             deadline_ms: 0,
-            op: RequestOp::AddFactDynamic { h, r, t, refine_steps, learning_rate },
+            op: RequestOp::AddFactDynamic { h, r, t, refine_steps, learning_rate, token },
         });
     }
 
@@ -161,8 +162,10 @@ proptest! {
     }
 
     #[test]
-    fn fact_added_response_roundtrip((added, epoch) in (0u8..2, 0u64..=u64::MAX)) {
-        assert_response_roundtrip(Response::FactAdded { added: added == 1, epoch });
+    fn fact_added_response_roundtrip(
+        (added, epoch, token) in (0u8..2, 0u64..=u64::MAX, 0u64..=u64::MAX),
+    ) {
+        assert_response_roundtrip(Response::FactAdded { added: added == 1, epoch, token });
     }
 
     #[test]

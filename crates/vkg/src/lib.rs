@@ -83,7 +83,7 @@ pub mod prelude {
         amazon_like, freebase_like, movie_like, AmazonConfig, Dataset, FreebaseConfig, MovieConfig,
     };
     pub use vkg_kg::{AttributeStore, EntityId, KnowledgeGraph, RelationId};
-    pub use vkg_server::{Client, Server, ServerConfig, ServerHandle};
+    pub use vkg_server::{Client, RetryPolicy, RetryStats, Server, ServerConfig, ServerHandle};
     pub use vkg_transform::JlTransform;
 }
 

@@ -1,0 +1,45 @@
+// pretend: crates/core/src/wal/append.rs
+// Fixture for the io-fallible rule: discarding the Result of file IO
+// on the durability path must fire; propagating it must not.
+
+use std::fs::File;
+use std::io::Write;
+
+fn propagated(file: &mut File) -> std::io::Result<()> {
+    file.write_all(b"record")?;
+    file.flush()?;
+    file.sync_data()?;
+    Ok(())
+}
+
+fn matched(file: &mut File) -> bool {
+    match file.flush() {
+        Ok(()) => true,
+        Err(_) => false,
+    }
+}
+
+fn discarded_by_let(file: &mut File) {
+    let _ = file.flush(); // expect: io-fallible
+    let _ = file.sync_all(); // expect: io-fallible
+    let _ = file.set_len(0); // expect: io-fallible
+}
+
+fn discarded_by_ok(file: &mut File) {
+    file.write_all(b"record").ok(); // expect: io-fallible
+    file.sync_data().ok(); // expect: io-fallible
+}
+
+fn suppressed(file: &mut File) {
+    // lint: allow(io-fallible, best-effort tail flush on the shutdown path)
+    let _ = file.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_discard() {
+        let mut f = std::fs::File::create("/tmp/x").unwrap();
+        let _ = std::io::Write::flush(&mut f);
+    }
+}

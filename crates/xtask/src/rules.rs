@@ -81,6 +81,7 @@ pub const RULES: &[&str] = &[
     "lock-order",
     "no-panic-on-request-path",
     "wire-exhaustive",
+    "io-fallible",
 ];
 
 /// The full lint result for a set of files.
@@ -208,9 +209,16 @@ impl Scope {
             || path == "crates/core/src/snapshot.rs"
             || path.starts_with("crates/core/src/query/")
             || path.starts_with("crates/core/src/index/")
+            || path.starts_with("crates/core/src/wal/")
             || path.starts_with("crates/kg/src/")
             || path.starts_with("crates/embed/src/")
             || path.starts_with("crates/bench/src/")
+    }
+
+    /// The durability path: IO results there are load-bearing — a
+    /// discarded flush error becomes an acked-but-lost write.
+    fn io_fallible(path: &str) -> bool {
+        path.starts_with("crates/core/src/wal/")
     }
 
     /// Everything except `vkg-sync` itself (and vendored shims) must go
@@ -432,6 +440,10 @@ fn file_rules(ctx: &mut FileCtx, model: &FileModel, cfg: &LockConfig, design: Op
                 );
             }
         }
+    }
+
+    if Scope::io_fallible(&rel_path) {
+        io_fallible_rule(ctx);
     }
 
     if Scope::no_raw_sync(&rel_path) {
@@ -662,6 +674,55 @@ fn ordering_rules(ctx: &mut FileCtx, model: &FileModel) {
                  comment attached to this statement (each Relaxed operand needs its own)"
                     .to_string(),
             );
+        }
+    }
+}
+
+/// `io-fallible`: on the durability path, the `Result` of file IO
+/// (`flush`, `write_all`, `sync_all`/`sync_data`, `set_len`) must be
+/// propagated, not discarded — `let _ = file.flush()` (or `.ok()`)
+/// turns a failed flush into an acked-but-lost write. The check is
+/// statement-scoped: an IO call whose enclosing statement discards its
+/// result fires; one whose result flows onward (`?`, `match`, binding
+/// to a used name) does not.
+fn io_fallible_rule(ctx: &mut FileCtx) {
+    const IO_CALLS: &[&str] = &[
+        ".flush(",
+        ".write_all(",
+        ".sync_all(",
+        ".sync_data(",
+        ".set_len(",
+    ];
+    let code = ctx.scrubbed.code.clone();
+    let bytes = code.as_bytes();
+    for needle in IO_CALLS {
+        for at in find_all(&code, needle) {
+            // The enclosing statement: from just past the previous
+            // `;`/`{`/`}` through the terminating `;`.
+            let start = bytes[..at]
+                .iter()
+                .rposition(|&b| matches!(b, b';' | b'{' | b'}'))
+                .map_or(0, |p| p + 1);
+            // Stop forward at a brace too: `match file.flush() { .. }`
+            // hands its result onward and must not absorb the next
+            // statement's text.
+            let end = code[at..]
+                .find([';', '{', '}'])
+                .map_or(code.len(), |p| at + p);
+            let stmt = &code[start..end];
+            if stmt.contains("let _ =") || stmt.contains(".ok()") {
+                ctx.push(
+                    at,
+                    "io-fallible",
+                    format!(
+                        "result of `{}..)` is discarded on the durability path; a \
+                         swallowed IO error here acks a write the disk never took — \
+                         propagate it (or annotate with `// lint: allow(io-fallible, \
+                         why the loss is safe)`)",
+                        needle
+                    ),
+                );
+            }
         }
     }
 }
@@ -900,6 +961,31 @@ mod tests {
         let pl = "use parking_lot::RwLock;\n";
         assert_eq!(lint_source("crates/core/src/vkg.rs", pl).len(), 1);
         assert_eq!(lint_source("crates/sync/src/passthrough.rs", pl), vec![]);
+    }
+
+    #[test]
+    fn io_fallible_statement_scoped_on_durability_path() {
+        let discard = "fn f(file: &mut std::fs::File) {\n    let _ = file.flush();\n}\n";
+        let f = lint_source("crates/core/src/wal/mod.rs", discard);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "io-fallible");
+        let swallow = "fn f(file: &mut std::fs::File) {\n    file.sync_data().ok();\n}\n";
+        assert_eq!(lint_source("crates/core/src/wal/mod.rs", swallow).len(), 1);
+        let propagated = "fn f(file: &mut std::fs::File) -> std::io::Result<()> {\n    \
+                          file.flush()?;\n    Ok(())\n}\n";
+        assert_eq!(
+            lint_source("crates/core/src/wal/mod.rs", propagated),
+            vec![]
+        );
+        // A `match` hands the result onward; the statement scan must
+        // not absorb a later statement's discard.
+        let matched = "fn f(file: &mut std::fs::File) -> bool {\n    \
+                       match file.flush() {\n    Ok(()) => true,\n    Err(_) => false,\n    }\n}\n\
+                       fn g() { let _ = 1; }\n";
+        assert_eq!(lint_source("crates/core/src/wal/mod.rs", matched), vec![]);
+        // Out of scope: the same discard off the durability path is
+        // someone else's judgement call.
+        assert_eq!(lint_source("crates/server/src/server.rs", discard), vec![]);
     }
 
     #[test]
